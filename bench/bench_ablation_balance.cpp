@@ -1,0 +1,133 @@
+// E13 — ablation: why the allocation must be the balanced (min-norm) flow.
+//
+// Definition 5 leaves the pair flows underdetermined; this bench runs the
+// mechanism under both policies (raw extreme-point max-flow vs canonical
+// min-norm) across an instance sweep and counts, for each:
+//   * Def.-5 axiom violations            (none for either — both are valid),
+//   * proportional-response fixed-point violations,
+//   * Lemma 9 honest-split anchor violations on rings.
+// Expected shape: the extreme-point flow breaks the fixed point and the
+// Lemma 9 anchor on a significant fraction of instances; the balanced flow
+// never does — the reproduction finding documented in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bd/allocation.hpp"
+#include "exp/families.hpp"
+#include "game/sybil_ring.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ringshare;
+using bd::BalancePolicy;
+using game::Rational;
+
+struct PolicyStats {
+  int instances = 0;
+  int axiom_violations = 0;
+  int fixed_point_violations = 0;
+  int lemma9_violations = 0;
+};
+
+/// Lemma 9 check under an explicit allocation: split at that allocation's
+/// transfer amounts and compare the copies' total to U_v.
+bool lemma9_holds(const graph::Graph& ring, graph::Vertex v,
+                  const bd::Allocation& allocation,
+                  const bd::Decomposition& decomposition) {
+  // Successor = the neighbor the split construction attaches v¹ to.
+  const auto neighbors = ring.neighbors(v);
+  const graph::Vertex successor = neighbors[0];
+  const Rational w1 = allocation.sent(v, successor);
+  const game::SybilSplit split =
+      game::split_ring(ring, v, w1, ring.weight(v) - w1);
+  const bd::Decomposition path_decomposition(split.path);
+  return path_decomposition.utility(split.v1) +
+             path_decomposition.utility(split.v2) ==
+         decomposition.utility(v);
+}
+
+void print_ablation_report() {
+  std::printf("=== E13: extreme-point vs balanced allocation ===\n\n");
+
+  std::vector<graph::Graph> rings = exp::random_rings(10, 5, 777, 8);
+  {
+    auto odd = exp::random_rings(6, 7, 778, 8);
+    rings.insert(rings.end(), odd.begin(), odd.end());
+    auto even = exp::random_rings(6, 6, 779, 8);
+    rings.insert(rings.end(), even.begin(), even.end());
+  }
+  rings.push_back(exp::uniform_ring(3));  // the directed-3-cycle poster child
+  rings.push_back(exp::uniform_ring(5));
+  rings.push_back(exp::uniform_ring(6));
+
+  PolicyStats raw;
+  PolicyStats balanced;
+  auto account = [&](PolicyStats& stats, const graph::Graph& ring,
+                     BalancePolicy policy) {
+    const bd::Decomposition decomposition(ring);
+    const bd::Allocation allocation = bd::bd_allocation(decomposition, policy);
+    ++stats.instances;
+    stats.axiom_violations += static_cast<int>(
+        bd::allocation_violations(decomposition, allocation).size());
+    stats.fixed_point_violations +=
+        bd::fixed_point_violations(decomposition, allocation).empty() ? 0 : 1;
+    for (graph::Vertex v = 0; v < ring.vertex_count(); ++v) {
+      if (!lemma9_holds(ring, v, allocation, decomposition)) {
+        ++stats.lemma9_violations;
+        break;  // count instances, not vertices
+      }
+    }
+  };
+  for (const auto& ring : rings) {
+    account(raw, ring, BalancePolicy::kExtremePoint);
+    account(balanced, ring, BalancePolicy::kMinNorm);
+  }
+
+  util::Table table({"policy", "instances", "Def-5 axiom violations",
+                     "PR fixed-point broken", "Lemma 9 anchor broken"});
+  table.add_row({"extreme-point max-flow", std::to_string(raw.instances),
+                 std::to_string(raw.axiom_violations),
+                 std::to_string(raw.fixed_point_violations),
+                 std::to_string(raw.lemma9_violations)});
+  table.add_row({"min-norm (default)", std::to_string(balanced.instances),
+                 std::to_string(balanced.axiom_violations),
+                 std::to_string(balanced.fixed_point_violations),
+                 std::to_string(balanced.lemma9_violations)});
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("shape check: both satisfy Def. 5; only the balanced flow is a "
+              "dynamics fixed point and supports Lemma 9.\n\n");
+}
+
+void BM_BalancedAllocation(benchmark::State& state) {
+  const auto rings =
+      exp::random_rings(1, static_cast<std::size_t>(state.range(0)), 777, 8);
+  const bd::Decomposition decomposition(rings[0]);
+  for (auto _ : state) {
+    const auto allocation = bd::bd_allocation(decomposition);
+    benchmark::DoNotOptimize(allocation.vertex_count());
+  }
+}
+void BM_ExtremePointAllocation(benchmark::State& state) {
+  const auto rings =
+      exp::random_rings(1, static_cast<std::size_t>(state.range(0)), 777, 8);
+  const bd::Decomposition decomposition(rings[0]);
+  for (auto _ : state) {
+    const auto allocation =
+        bd::bd_allocation(decomposition, BalancePolicy::kExtremePoint);
+    benchmark::DoNotOptimize(allocation.vertex_count());
+  }
+}
+BENCHMARK(BM_BalancedAllocation)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExtremePointAllocation)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E7 — Bounds history: measured worst cases against the literature's
+// bounds 4 [5] → 3 [9] → 2 (this paper, tight).
+//
+// For each ring size, the measured sup of the incentive ratio is printed
+// next to the three analytic bounds. Expected shape: measurements respect
+// all three bounds, approach 2 on the tightness family, and show how loose
+// 4 and 3 were.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "exp/families.hpp"
+#include "exp/sweep.hpp"
+#include "game/incentive_ratio.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ringshare;
+using game::Rational;
+
+void print_bounds_report() {
+  std::printf("=== E7: bounds history (4 -> 3 -> 2) vs measured sup ===\n\n");
+  game::SybilOptions options;
+  options.samples_per_piece = 24;
+  options.refinement_rounds = 24;
+
+  util::Table table({"ring family", "measured sup", "bound [5] (4)",
+                     "bound [9] (3)", "Thm 8 (2)", "slack to 2"});
+  auto add = [&](const char* family, const Rational& measured) {
+    table.add_row({family, util::format_double(measured.to_double(), 6),
+                   measured <= Rational(4) ? "respected" : "VIOLATED",
+                   measured <= Rational(3) ? "respected" : "VIOLATED",
+                   measured <= Rational(2) ? "respected" : "VIOLATED",
+                   util::format_double(2.0 - measured.to_double(), 6)});
+  };
+
+  add("exhaustive 3-rings {1..4}",
+      exp::sweep_rings(exp::exhaustive_rings(3, 4), options).max_ratio);
+  add("exhaustive 4-rings {1..3}",
+      exp::sweep_rings(exp::exhaustive_rings(4, 3), options).max_ratio);
+  add("random 5-rings",
+      exp::sweep_rings(exp::random_rings(10, 5, 2021), options).max_ratio);
+  add("random 7-rings",
+      exp::sweep_rings(exp::random_rings(5, 7, 2022), options).max_ratio);
+  add("adversarial 7-ring",
+      game::optimize_sybil_split(
+          graph::make_ring({Rational(7), Rational(6), Rational(22),
+                            Rational(5), Rational(48), Rational(9),
+                            Rational(2)}),
+          0, options)
+          .ratio);
+  add("tightness family H=100",
+      game::optimize_sybil_split(exp::near_tight_ring(Rational(100)), 0,
+                                 options)
+          .ratio);
+  add("tightness family H=10000",
+      game::optimize_sybil_split(exp::near_tight_ring(Rational(10000)), 0,
+                                 options)
+          .ratio);
+
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("shape check: the 2010s bounds (4, 3) are loose everywhere; "
+              "the tight bound 2 is approached but never crossed.\n\n");
+}
+
+void BM_RingRatioScan(benchmark::State& state) {
+  const auto rings =
+      exp::random_rings(1, static_cast<std::size_t>(state.range(0)), 7, 8);
+  game::SybilOptions options;
+  options.samples_per_piece = 16;
+  options.refinement_rounds = 16;
+  for (auto _ : state) {
+    const auto result = game::ring_incentive_ratio(rings[0], options);
+    benchmark::DoNotOptimize(result.best_ratio);
+  }
+}
+BENCHMARK(BM_RingRatioScan)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_bounds_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

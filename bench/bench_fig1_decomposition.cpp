@@ -1,0 +1,77 @@
+// E1 — Fig. 1: the paper's worked bottleneck-decomposition example.
+//
+// Regenerates the figure's data: the 6-vertex graph, its two bottleneck
+// pairs (B1,C1) = ({v1,v2},{v3}) with α = 1/3 and (B2,C2) with α = 1, the
+// class of every vertex, and the resulting allocation — plus a
+// google-benchmark timing of the decomposition itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bd/allocation.hpp"
+#include "graph/builders.hpp"
+#include "graph/dot.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ringshare;
+
+void print_fig1_report() {
+  const graph::Graph g = graph::make_fig1_example();
+  const bd::Decomposition decomposition(g);
+
+  std::printf("=== E1: Fig. 1 bottleneck decomposition ===\n");
+  std::printf("%s", decomposition.to_string().c_str());
+  std::printf("expected (paper): (B1,C1)=({v1,v2},{v3}) alpha=1/3; "
+              "(B2,C2)=({v4,v5,v6},{v4,v5,v6}) alpha=1\n\n");
+
+  util::Table table({"vertex", "w", "class", "alpha", "U (Prop 6)"});
+  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+    table.add_row({"v" + std::to_string(v + 1), g.weight(v).to_string(),
+                   bd::to_string(decomposition.vertex_class(v)),
+                   decomposition.alpha_of(v).to_string(),
+                   decomposition.utility(v).to_string()});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  const auto violations =
+      bd::proposition3_violations(g, decomposition);
+  std::printf("Proposition 3 invariants: %s\n\n",
+              violations.empty() ? "all hold" : violations.front().c_str());
+
+  std::vector<std::string> labels;
+  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+    labels.push_back(bd::to_string(decomposition.vertex_class(v)) + " pair " +
+                     std::to_string(decomposition.pair_index(v) + 1));
+  }
+  std::printf("DOT rendering:\n%s\n", graph::to_dot(g, labels).c_str());
+}
+
+void BM_Fig1Decomposition(benchmark::State& state) {
+  const graph::Graph g = graph::make_fig1_example();
+  for (auto _ : state) {
+    bd::Decomposition decomposition(g);
+    benchmark::DoNotOptimize(decomposition.pair_count());
+  }
+}
+BENCHMARK(BM_Fig1Decomposition);
+
+void BM_Fig1Allocation(benchmark::State& state) {
+  const graph::Graph g = graph::make_fig1_example();
+  const bd::Decomposition decomposition(g);
+  for (auto _ : state) {
+    const bd::Allocation allocation = bd::bd_allocation(decomposition);
+    benchmark::DoNotOptimize(allocation.vertex_count());
+  }
+}
+BENCHMARK(BM_Fig1Allocation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig1_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E2 — Fig. 2: the three shapes of α_v(x) under misreporting (Prop. 11).
+//
+// Builds one instance per case (B-1: always C class, non-decreasing;
+// B-2: always B class, non-increasing; B-3: crossover at α = 1), traces the
+// exact curves, and prints the series the figure plots.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/prop11.hpp"
+#include "graph/builders.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ringshare;
+using analysis::AlphaCase;
+using graph::Rational;
+
+struct CaseInstance {
+  const char* label;
+  graph::Graph graph;
+  graph::Vertex vertex;
+  AlphaCase expected;
+};
+
+std::vector<CaseInstance> case_instances() {
+  std::vector<CaseInstance> out;
+  // B-1: hub with heavy leaves never leaves C class.
+  out.push_back({"Case B-1", graph::make_star({Rational(2), Rational(9),
+                                               Rational(9)}),
+                 0, AlphaCase::kB1});
+  // B-2: a leaf of a light hub never leaves B class.
+  out.push_back({"Case B-2", graph::make_star({Rational(1), Rational(4),
+                                               Rational(4)}),
+                 1, AlphaCase::kB2});
+  // B-3: on a two-agent exchange the crossover sits at the partner's
+  // weight: α_v(x) = x/2 below, 2/x above.
+  out.push_back({"Case B-3", graph::make_path({Rational(4), Rational(2)}), 0,
+                 AlphaCase::kB3});
+  return out;
+}
+
+void print_fig2_report() {
+  std::printf("=== E2: Fig. 2 — shapes of alpha_v(x) ===\n\n");
+  for (const CaseInstance& instance : case_instances()) {
+    const game::MisreportAnalysis analysis(instance.graph, instance.vertex);
+    const analysis::Prop11Report report =
+        analysis::verify_prop11(analysis, 16);
+    std::printf("%s: classified %s (expected %s); checks %s\n",
+                instance.label,
+                analysis::to_string(report.alpha_case).c_str(),
+                analysis::to_string(instance.expected).c_str(),
+                report.violations.empty() ? "hold"
+                                          : report.violations.front().c_str());
+    util::Table table({"x", "alpha_v(x)", "U_v(x)", "class"});
+    for (const auto& point : report.trace) {
+      table.add_row({util::format_double(point.x.to_double(), 4),
+                     util::format_double(point.alpha.to_double(), 4),
+                     util::format_double(point.utility.to_double(), 4),
+                     bd::to_string(point.cls)});
+    }
+    std::printf("%s\n", table.to_text().c_str());
+  }
+}
+
+void BM_AlphaCurveTrace(benchmark::State& state) {
+  const auto instances = case_instances();
+  const auto& instance = instances[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    const game::MisreportAnalysis analysis(instance.graph, instance.vertex);
+    const auto report = analysis::verify_prop11(analysis, 8);
+    benchmark::DoNotOptimize(report.trace.size());
+  }
+}
+BENCHMARK(BM_AlphaCurveTrace)->DenseRange(0, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig2_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E4 — Fig. 4: the possible forms of B(w1^0, w2^0) on the honest split
+// path (Lemma 14 for C-class manipulators, Lemma 20 / Case D-1 for
+// B-class).
+//
+// Classifies the initial decomposition form for every vertex of a ring
+// sweep and prints the census: every single one must land in
+// {C-1, C-2, C-3, D-1}, C-cases iff the manipulator was C class.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "analysis/forms.hpp"
+#include "exp/families.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ringshare;
+using analysis::InitialForm;
+
+void print_fig4_report() {
+  std::printf("=== E4: Fig. 4 — forms of the honest split path ===\n");
+
+  std::vector<graph::Graph> rings = exp::random_rings(12, 5, 444, 8);
+  {
+    auto more = exp::random_rings(10, 6, 445, 8);
+    rings.insert(rings.end(), more.begin(), more.end());
+    auto odd = exp::random_rings(8, 7, 446, 8);
+    rings.insert(rings.end(), odd.begin(), odd.end());
+  }
+  rings.push_back(exp::uniform_ring(5));   // the α = 1 Case C-1 shape
+  rings.push_back(exp::uniform_ring(6));
+  rings.push_back(exp::alternating_ring(6, game::Rational(5)));
+
+  std::map<std::string, int> census;
+  int violations = 0;
+  int total = 0;
+  for (const graph::Graph& ring : rings) {
+    for (graph::Vertex v = 0; v < ring.vertex_count(); ++v) {
+      const analysis::FormReport report =
+          analysis::classify_initial_form(ring, v);
+      const std::string key =
+          analysis::to_string(report.form) + " (ring class " +
+          bd::to_string(report.ring_class) + ")";
+      ++census[key];
+      ++total;
+      violations += static_cast<int>(report.violations.size());
+    }
+  }
+
+  util::Table table({"form (manipulator ring class)", "count", "share"});
+  for (const auto& [key, count] : census) {
+    table.add_row({key, std::to_string(count),
+                   util::format_double(100.0 * count / total, 1) + "%"});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("lemma 14/20 violations across %d classifications: %d\n\n",
+              total, violations);
+}
+
+void BM_FormClassification(benchmark::State& state) {
+  const auto rings = exp::random_rings(1, static_cast<std::size_t>(state.range(0)),
+                                       444, 8);
+  for (auto _ : state) {
+    const auto report = analysis::classify_initial_form(rings[0], 0);
+    benchmark::DoNotOptimize(report.form);
+  }
+}
+BENCHMARK(BM_FormClassification)->Arg(5)->Arg(7)->Arg(9);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig4_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

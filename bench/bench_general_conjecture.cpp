@@ -1,0 +1,124 @@
+// E11 — the conclusion's conjecture: incentive ratio ≤ 2 on general
+// networks.
+//
+// Exhaustive neighbor-partition Sybil attacks (weights searched over the
+// simplex, every evaluation exact) on complete graphs, stars, the Fig. 1
+// example, random connected graphs and theta-like graphs. Expected shape:
+// no evaluated attack exceeds 2; rings remain the worst family observed.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "exp/families.hpp"
+#include "game/sybil_general.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ringshare;
+using game::Rational;
+
+void print_conjecture_report() {
+  std::printf("=== E11: conjecture — Sybil ratio <= 2 beyond rings ===\n\n");
+
+  struct Named {
+    std::string name;
+    graph::Graph graph;
+  };
+  std::vector<Named> graphs;
+  graphs.push_back({"K4 uneven", graph::make_complete({Rational(1), Rational(3),
+                                                       Rational(2),
+                                                       Rational(5)})});
+  graphs.push_back({"K5 uniform",
+                    graph::make_complete(std::vector<Rational>(5, Rational(1)))});
+  graphs.push_back({"star-5", graph::make_star({Rational(3), Rational(1),
+                                                Rational(4), Rational(1),
+                                                Rational(5)})});
+  graphs.push_back({"fig1", graph::make_fig1_example()});
+  // Paths: the other degree-2 family — splitting an interior vertex
+  // disconnects the network, a qualitatively different attack surface.
+  graphs.push_back({"path-6", graph::make_path({Rational(3), Rational(1),
+                                                Rational(5), Rational(2),
+                                                Rational(4), Rational(1)})});
+  graphs.push_back({"path-7 adversarial",
+                    graph::make_path({Rational(7), Rational(6), Rational(22),
+                                      Rational(5), Rational(48), Rational(9),
+                                      Rational(2)})});
+  util::Xoshiro256 rng(1111);
+  for (int i = 0; i < 4; ++i) {
+    graphs.push_back({"random G(5,.5) #" + std::to_string(i),
+                      graph::make_random_connected(5, 0.5, rng, 6)});
+  }
+  // Theta graph: a ring with a chord path (first non-ring cycle structure).
+  {
+    graph::Graph theta(std::vector<Rational>{Rational(2), Rational(1),
+                                             Rational(3), Rational(1),
+                                             Rational(2), Rational(4)});
+    theta.add_edge(0, 1);
+    theta.add_edge(1, 2);
+    theta.add_edge(2, 3);
+    theta.add_edge(3, 4);
+    theta.add_edge(4, 0);
+    theta.add_edge(1, 5);
+    theta.add_edge(5, 3);
+    graphs.push_back({"theta", std::move(theta)});
+  }
+
+  game::GeneralSybilOptions options;
+  options.grid = 10;
+  options.refinement_rounds = 8;
+
+  util::Table table({"graph", "worst vertex", "degree", "ratio", "<= 2"});
+  Rational global_worst(0);
+  for (const auto& [name, g] : graphs) {
+    Rational worst(0);
+    graph::Vertex argmax = 0;
+    std::size_t argmax_degree = 0;
+    for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (g.degree(v) < 2 || g.weight(v).is_zero()) continue;
+      const auto optimum = game::optimize_general_sybil(g, v, options);
+      if (worst < optimum.ratio) {
+        worst = optimum.ratio;
+        argmax = v;
+        argmax_degree = g.degree(v);
+      }
+    }
+    if (global_worst < worst) global_worst = worst;
+    table.add_row({name, "v" + std::to_string(argmax),
+                   std::to_string(argmax_degree),
+                   util::format_double(worst.to_double(), 6),
+                   worst <= Rational(2) ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("max over all non-ring attacks: %.6f — conjecture %s; rings "
+              "stay the extremal family.\n\n",
+              global_worst.to_double(),
+              global_worst <= Rational(2) ? "holds" : "VIOLATED");
+}
+
+void BM_GeneralSybil(benchmark::State& state) {
+  util::Xoshiro256 rng(1113);
+  const graph::Graph g = graph::make_random_connected(
+      static_cast<std::size_t>(state.range(0)), 0.5, rng, 5);
+  graph::Vertex attacker = 0;
+  while (g.degree(attacker) < 2) ++attacker;  // a connected graph has one
+  game::GeneralSybilOptions options;
+  options.grid = 6;
+  options.refinement_rounds = 4;
+  for (auto _ : state) {
+    const auto optimum = game::optimize_general_sybil(g, attacker, options);
+    benchmark::DoNotOptimize(optimum.ratio);
+  }
+}
+BENCHMARK(BM_GeneralSybil)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_conjecture_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

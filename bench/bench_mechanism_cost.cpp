@@ -1,0 +1,126 @@
+// E12 — mechanism cost ablation: what the exactness and the solver
+// structure cost.
+//
+// Microbenchmarks of the building blocks across instance sizes:
+// decomposition (exact rational Dinkelbach) vs the brute-force oracle,
+// allocation, max-flow with Rational vs double capacities, and the
+// Dinkelbach iteration count (the design claim: a handful of exact
+// min-cuts suffice).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bd/allocation.hpp"
+#include "bd/brute.hpp"
+#include "exp/families.hpp"
+#include "flow/dinic.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ringshare;
+using num::Rational;
+
+void print_cost_report() {
+  std::printf("=== E12: mechanism cost ablation ===\n\n");
+  util::Table table({"n", "pairs", "Dinkelbach iterations", "bits of alpha"});
+  for (const std::size_t n : {5u, 9u, 17u, 33u, 65u}) {
+    util::Xoshiro256 rng(n);
+    const graph::Graph ring =
+        graph::make_ring(graph::random_integer_weights(n, rng, 50));
+    const bd::Decomposition decomposition(ring);
+    std::size_t bits = 0;
+    for (const auto& pair : decomposition.pairs()) {
+      bits = std::max(bits, pair.alpha.numerator().bit_count() +
+                                pair.alpha.denominator().bit_count());
+    }
+    table.add_row({std::to_string(n),
+                   std::to_string(decomposition.pair_count()),
+                   std::to_string(decomposition.total_dinkelbach_iterations()),
+                   std::to_string(bits)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("shape check: Dinkelbach converges in O(pairs) exact min-cuts; "
+              "alpha stays a small fraction.\n\n");
+}
+
+graph::Graph sized_ring(std::int64_t n) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(n));
+  return graph::make_ring(
+      graph::random_integer_weights(static_cast<std::size_t>(n), rng, 50));
+}
+
+void BM_DecompositionExact(benchmark::State& state) {
+  const graph::Graph ring = sized_ring(state.range(0));
+  for (auto _ : state) {
+    bd::Decomposition decomposition(ring);
+    benchmark::DoNotOptimize(decomposition.pair_count());
+  }
+}
+BENCHMARK(BM_DecompositionExact)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DecompositionBruteForce(benchmark::State& state) {
+  const graph::Graph ring = sized_ring(state.range(0));
+  for (auto _ : state) {
+    const auto pairs = bd::brute_force_decomposition(ring);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+}
+BENCHMARK(BM_DecompositionBruteForce)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Allocation(benchmark::State& state) {
+  const graph::Graph ring = sized_ring(state.range(0));
+  const bd::Decomposition decomposition(ring);
+  for (auto _ : state) {
+    const auto allocation = bd::bd_allocation(decomposition);
+    benchmark::DoNotOptimize(allocation.vertex_count());
+  }
+}
+BENCHMARK(BM_Allocation)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+template <typename Cap>
+void run_flow_benchmark(benchmark::State& state) {
+  // Random bipartite transport network.
+  util::Xoshiro256 rng(1234);
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    flow::MaxFlow<Cap> network(2 * side + 2);
+    const std::size_t s = 2 * side;
+    const std::size_t t = 2 * side + 1;
+    util::Xoshiro256 local = rng.split();
+    for (std::size_t i = 0; i < side; ++i) {
+      network.add_arc(s, i, Cap(local.uniform_int(1, 20)));
+      network.add_arc(side + i, t, Cap(local.uniform_int(1, 20)));
+      for (std::size_t j = 0; j < side; ++j) {
+        if (local.uniform01() < 0.3) network.add_infinite_arc(i, side + j);
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(network.run(s, t));
+  }
+}
+
+void BM_MaxFlowRational(benchmark::State& state) {
+  run_flow_benchmark<Rational>(state);
+}
+void BM_MaxFlowDouble(benchmark::State& state) {
+  run_flow_benchmark<double>(state);
+}
+BENCHMARK(BM_MaxFlowRational)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MaxFlowDouble)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_cost_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

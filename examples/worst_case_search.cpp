@@ -1,0 +1,72 @@
+// worst_case_search — randomized search for high incentive ratios.
+//
+// Samples random rings, runs the exact Sybil optimizer on every vertex (in
+// parallel), and reports the instances closest to the tight bound 2 of
+// Theorem 8. A refinement stage hill-climbs the best instance's weights.
+//
+//   $ ./worst_case_search [instances] [ring-size] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/families.hpp"
+#include "exp/sweep.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ringshare;
+  using game::Rational;
+
+  const std::size_t instances =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20;
+  const std::size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 5;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2020;
+
+  game::SybilOptions options;
+  options.samples_per_piece = 24;
+  options.refinement_rounds = 20;
+
+  std::printf("sampling %zu random %zu-rings...\n", instances, n);
+  const auto rings = exp::random_rings(instances, n, seed);
+  const exp::SweepResult sweep = exp::sweep_rings(rings, options);
+  std::printf("best random instance: ratio %.6f (vertex v%u of instance %zu)\n",
+              sweep.max_ratio.to_double(), sweep.argmax_vertex,
+              sweep.argmax_instance);
+
+  // Hill-climb the winner.
+  std::vector<Rational> weights = rings[sweep.argmax_instance].weights();
+  graph::Vertex v = sweep.argmax_vertex;
+  Rational best = sweep.max_ratio;
+  util::Xoshiro256 rng(seed ^ 0xABCDEF);
+  std::printf("\nrefining by hill-climbing (40 steps)...\n");
+  for (int it = 0; it < 40; ++it) {
+    auto candidate = weights;
+    const auto k = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const std::int64_t numerator = rng.uniform_int(2, 6);
+    candidate[k] = candidate[k] * Rational(numerator, 4);  // x0.5 .. x1.5
+    if (candidate[k].is_zero()) continue;
+    const Rational ratio =
+        game::optimize_sybil_split(graph::make_ring(candidate), v, options)
+            .ratio;
+    if (best < ratio) {
+      best = ratio;
+      weights = candidate;
+      std::printf("  step %2d: ratio %.6f\n", it, ratio.to_double());
+    }
+  }
+
+  std::printf("\nfinal ratio %.6f on weights:", best.to_double());
+  for (const auto& w : weights) std::printf(" %s", w.to_string().c_str());
+  std::printf("\nTheorem 8 bound respected: %s\n",
+              best <= Rational(2) ? "yes (<= 2)" : "VIOLATED — impossible");
+
+  // Persist the extremal instance for replay with ringshare_cli.
+  const std::string out_path = "worst_case_found.graph";
+  graph::save_graph(graph::make_ring(weights), out_path);
+  std::printf("saved extremal instance to ./%s (analyze it with "
+              "./ringshare_cli %s %u)\n",
+              out_path.c_str(), out_path.c_str(), v);
+  return best <= Rational(2) ? 0 : 1;
+}

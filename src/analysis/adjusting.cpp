@@ -1,0 +1,121 @@
+#include "analysis/adjusting.hpp"
+
+#include <stdexcept>
+
+#include "bd/decomposition.hpp"
+
+namespace ringshare::analysis {
+
+namespace {
+
+using bd::Decomposition;
+using game::ParametrizedGraph;
+using game::SybilSplit;
+
+}  // namespace
+
+AdjustingResult apply_adjusting_technique(const Graph& ring, Vertex v,
+                                          const Rational& w1_0,
+                                          const Rational& w1_star) {
+  if (w1_star < w1_0)
+    throw std::invalid_argument(
+        "apply_adjusting_technique: requires w1_star >= w1_0 (orient first)");
+  const Rational w_v = ring.weight(v);
+  const Rational w2_0 = w_v - w1_0;
+
+  AdjustingResult out;
+  out.z = Rational(0);
+  out.adjusted_w1 = w1_0;
+  out.adjusted_w2 = w2_0;
+
+  const SybilSplit start = game::split_ring(ring, v, w1_0, w2_0);
+  const Decomposition at_start(start.path);
+  // The technique needs the copies in one pair on the SAME side (both C:
+  // Case C-3, or both B: Case D-1). With opposite sides (Case C-1) the
+  // shared pair's α itself moves along the diagonal and the total is not
+  // invariant — the paper handles that case by other means.
+  const auto class1 = at_start.vertex_class(start.v1);
+  const auto class2 = at_start.vertex_class(start.v2);
+  const bool same_side =
+      class1 == class2 || class1 == bd::VertexClass::kBoth ||
+      class2 == bd::VertexClass::kBoth;
+  out.same_pair_at_start =
+      at_start.pair_index(start.v1) == at_start.pair_index(start.v2) &&
+      same_side;
+  if (!out.same_pair_at_start || w1_star == w1_0) {
+    out.structure_constant = w1_star == w1_0;
+    return out;
+  }
+
+  // Diagonal family over z ∈ [0, w1_star − w1_0].
+  const Rational span = w1_star - w1_0;
+  ParametrizedGraph diagonal(start.path, Rational(0), span);
+  diagonal.set_affine(start.v1, game::AffineWeight{w1_0, Rational(1)});
+  diagonal.set_affine(start.v2, game::AffineWeight{w2_0, Rational(-1)});
+
+  const game::StructurePartition partition =
+      find_structure_partition(diagonal);
+  const Rational start_total =
+      at_start.utility(start.v1) + at_start.utility(start.v2);
+
+  // The structure can change IMMEDIATELY past the honest point when another
+  // set ties the shared pair's α exactly at z = 0 (the maximal bottleneck
+  // is a union of minimizers only at that point). Then the critical shift
+  // is 0 — the Lemma 15/21 ε-split applies with no room to slide. Detect
+  // this by comparing the first piece's interior structure to the start.
+  if (partition.piece_count() > 0 &&
+      partition.piece_signatures.front() != diagonal.signature(Rational(0))) {
+    out.z = Rational(0);
+    return out;
+  }
+
+  if (partition.breakpoints.empty()) {
+    out.structure_constant = true;
+    out.z = span;
+    out.adjusted_w1 = w1_star;
+    out.adjusted_w2 = w_v - w1_star;
+    // No-gain invariant: total copy utility unchanged over the diagonal.
+    const Decomposition at_end = diagonal.decompose(span);
+    const Rational end_total =
+        at_end.utility(start.v1) + at_end.utility(start.v2);
+    if (start_total != end_total) {
+      out.violations.push_back(
+          "structure constant on the diagonal but total utility changed");
+    }
+    return out;
+  }
+
+  const game::Breakpoint& critical = partition.breakpoints.front();
+  out.z = critical.value;
+  out.adjusted_w1 = w1_0 + out.z;
+  out.adjusted_w2 = w2_0 - out.z;
+
+  // Invariants at the critical point: still one shared pair with the same
+  // α, and the same total utility U_{v¹} + U_{v²}.
+  const Decomposition at_critical = diagonal.decompose(out.z);
+  const Rational critical_total =
+      at_critical.utility(start.v1) + at_critical.utility(start.v2);
+  if (start_total != critical_total) {
+    out.violations.push_back(
+        "total copy utility changed before the critical point");
+  }
+  if (at_critical.pair_index(start.v1) == at_critical.pair_index(start.v2)) {
+    if (at_critical.alpha_of(start.v1) != at_start.alpha_of(start.v1)) {
+      out.violations.push_back("shared pair alpha changed at critical point");
+    }
+  }
+
+  // Just past the critical point the shared pair must split: sample the
+  // next piece's interior.
+  if (partition.piece_count() >= 2) {
+    const Rational probe = partition.piece_midpoint(1);
+    const Decomposition past(diagonal.decompose(probe));
+    if (past.pair_index(start.v1) == past.pair_index(start.v2)) {
+      out.violations.push_back(
+          "copies still share a pair past the critical point (Lemma 15/21)");
+    }
+  }
+  return out;
+}
+
+}  // namespace ringshare::analysis

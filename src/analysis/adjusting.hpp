@@ -1,0 +1,45 @@
+// adjusting.hpp — the paper's Adjusting Technique.
+//
+// When both Sybil copies start in the same bottleneck pair on the honest
+// path P_v(w₁⁰, w₂⁰), sliding weight along the diagonal (w₁⁰+z, w₂⁰−z)
+// leaves the decomposition — and hence the total copy utility, which stays
+// U_v — unchanged up to a critical z. The technique replaces the honest
+// split with that critical point, after which the shared pair splits into
+// one pair per copy (Lemmas 15 / 21). If the structure never changes all
+// the way to the target split, the attack gains nothing at all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "game/sybil_ring.hpp"
+
+namespace ringshare::analysis {
+
+using game::Graph;
+using game::Rational;
+using graph::Vertex;
+
+struct AdjustingResult {
+  /// True when both copies share a pair at (w₁⁰, w₂⁰) — the technique's
+  /// precondition.
+  bool same_pair_at_start = false;
+  /// True when the structure is constant over the whole diagonal segment:
+  /// the no-gain situation (U(w₁*, w₂*) = U_v), nothing to adjust past.
+  bool structure_constant = false;
+  Rational z;            ///< critical shift (0 when not applicable)
+  Rational adjusted_w1;  ///< w₁⁰ + z
+  Rational adjusted_w2;  ///< w₂⁰ − z
+  std::vector<std::string> violations;
+};
+
+/// Run the Adjusting Technique along the diagonal from (w1_0, w2_0) toward
+/// (w1_star, w_v − w1_star); requires w1_star ≥ w1_0 (orient the copies
+/// first). Verifies: total utility U_{v¹}+U_{v²} equals its start value at
+/// the critical point, and the shared pair splits just past it.
+[[nodiscard]] AdjustingResult apply_adjusting_technique(const Graph& ring,
+                                                        Vertex v,
+                                                        const Rational& w1_0,
+                                                        const Rational& w1_star);
+
+}  // namespace ringshare::analysis

@@ -1,0 +1,161 @@
+#include "analysis/forms.hpp"
+
+#include <algorithm>
+
+#include "bd/decomposition.hpp"
+
+namespace ringshare::analysis {
+
+namespace {
+
+using bd::Decomposition;
+using bd::VertexClass;
+using game::SybilSplit;
+
+bool is_c_like(VertexClass cls) {
+  return cls == VertexClass::kC || cls == VertexClass::kBoth;
+}
+bool is_b_like(VertexClass cls) {
+  return cls == VertexClass::kB || cls == VertexClass::kBoth;
+}
+
+}  // namespace
+
+std::string to_string(InitialForm form) {
+  switch (form) {
+    case InitialForm::kC1: return "C-1";
+    case InitialForm::kC2: return "C-2";
+    case InitialForm::kC3: return "C-3";
+    case InitialForm::kD1: return "D-1";
+    case InitialForm::kUnclassified: return "unclassified";
+  }
+  return "?";
+}
+
+FormReport classify_initial_form(const Graph& ring, Vertex v) {
+  FormReport report;
+  const Decomposition ring_decomposition(ring);
+  report.ring_class = ring_decomposition.vertex_class(v);
+  const Rational alpha_v = ring_decomposition.alpha_of(v);
+
+  const auto [w1_0, w2_0] = game::honest_split_weights(ring, v);
+  report.w1_0 = w1_0;
+  report.w2_0 = w2_0;
+
+  const SybilSplit split = game::split_ring(ring, v, w1_0, w2_0);
+  const Decomposition d(split.path);
+
+  const VertexClass class1 = d.vertex_class(split.v1);
+  const VertexClass class2 = d.vertex_class(split.v2);
+  const std::size_t index1 = d.pair_index(split.v1);
+  const std::size_t index2 = d.pair_index(split.v2);
+  const Rational alpha1 = d.alpha_of(split.v1);
+  const Rational alpha2 = d.alpha_of(split.v2);
+
+  // The paper treats a vertex with α_v = 1 on the ring as C class w.l.o.g.
+  const bool ring_c = is_c_like(report.ring_class);
+
+  if (ring_c) {
+    // Single α = 1 pair covering the whole path: every vertex is B and C at
+    // once and the labels are assigned by the paper's alternation
+    // convention. An even path alternates the copies onto opposite sides
+    // (Case C-1); an odd path gives both copies the C label (Case C-3 — the
+    // even-ring situation in Lemma 14's discussion), unless a copy carries
+    // zero weight (Case C-2).
+    if (d.pair_count() == 1 && class1 == VertexClass::kBoth &&
+        class2 == VertexClass::kBoth &&
+        d.graph().vertex_count() % 2 != 0) {
+      if (w1_0.is_zero() || w2_0.is_zero()) {
+        report.form = InitialForm::kC2;
+      } else {
+        report.form = InitialForm::kC3;
+      }
+      return report;
+    }
+    // Case C-1: one pair only, copies on opposite sides.
+    if (d.pair_count() == 1 &&
+        ((is_b_like(class1) && is_c_like(class2)) ||
+         (is_c_like(class1) && is_b_like(class2)))) {
+      report.form = InitialForm::kC1;
+      if (d.graph().vertex_count() % 2 != 0)
+        report.violations.push_back(
+            "Case C-1: path does not have an even number of vertices");
+      // Alternating classes along the path.
+      for (Vertex u = 0; u + 1 < d.graph().vertex_count(); ++u) {
+        const VertexClass cls_u = d.vertex_class(u);
+        const VertexClass cls_next = d.vertex_class(u + 1);
+        // Vertices of an α = 1 pair are B and C at once; the alternation
+        // there is the paper's labeling convention, not a computed fact.
+        if (cls_u == VertexClass::kBoth || cls_next == VertexClass::kBoth)
+          continue;
+        if (cls_u == cls_next) {
+          report.violations.push_back(
+              "Case C-1: classes do not alternate along the path at v" +
+              std::to_string(u));
+          break;
+        }
+      }
+      if (d.pairs()[0].alpha != alpha_v &&
+          !(is_c_like(report.ring_class) && is_b_like(report.ring_class))) {
+        report.violations.push_back("Case C-1: alpha_1 != alpha_v");
+      }
+      return report;
+    }
+    // Case C-2: a zero-weight copy in B class, the full-weight copy in C.
+    const bool c2_direct = w1_0.is_zero() && is_b_like(class1) &&
+                           w2_0 == ring.weight(v) && is_c_like(class2);
+    const bool c2_mirrored = w2_0.is_zero() && is_b_like(class2) &&
+                             w1_0 == ring.weight(v) && is_c_like(class1);
+    if (c2_direct || c2_mirrored) {
+      report.form = InitialForm::kC2;
+      return report;
+    }
+    // Case C-3: both copies in C class.
+    if (is_c_like(class1) && is_c_like(class2)) {
+      report.form = InitialForm::kC3;
+      // Order so that j (higher index) has the larger α; one copy's pair
+      // must carry α_v.
+      // α_i = α_v where i is the smaller-α pair (the paper's w.l.o.g.).
+      if (Rational::min(alpha1, alpha2) != alpha_v) {
+        report.violations.push_back(
+            "Case C-3: the smaller copy alpha is not alpha_v = " +
+            alpha_v.to_string());
+      }
+      if ((index1 < index2 && alpha2 < alpha1) ||
+          (index2 < index1 && alpha1 < alpha2)) {
+        report.violations.push_back(
+            "Case C-3: pair order and alpha order disagree");
+      }
+      return report;
+    }
+    report.violations.push_back(
+        "Lemma 14: decomposition matches none of Cases C-1/C-2/C-3 "
+        "(classes " + bd::to_string(class1) + ", " + bd::to_string(class2) +
+        ")");
+    return report;
+  }
+
+  // v was B class on the ring: Lemma 20, Case D-1 (both copies in B class,
+  // α_j ≤ α_i = α_v).
+  if (is_b_like(class1) && is_b_like(class2)) {
+    report.form = InitialForm::kD1;
+    const Rational high = Rational::max(alpha1, alpha2);
+    if (high != alpha_v) {
+      report.violations.push_back(
+          "Case D-1: the larger copy alpha is not alpha_v = " +
+          alpha_v.to_string());
+    }
+    if ((index1 < index2 && alpha2 < alpha1) ||
+        (index2 < index1 && alpha1 < alpha2)) {
+      report.violations.push_back(
+          "Case D-1: pair order and alpha order disagree");
+    }
+    return report;
+  }
+  report.violations.push_back(
+      "Lemma 20: copies are not both B class (classes " +
+      bd::to_string(class1) + ", " + bd::to_string(class2) + ")");
+  return report;
+}
+
+}  // namespace ringshare::analysis

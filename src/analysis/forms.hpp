@@ -1,0 +1,48 @@
+// forms.hpp — Lemma 14 / Lemma 20: the possible forms of the bottleneck
+// decomposition B(w₁⁰, w₂⁰) of the honest split path P_v(w₁⁰, w₂⁰) (the
+// paper's Fig. 4).
+//
+//   Case C-1: a single pair, one copy in B₁ and the other in C₁; the path
+//             has an even number of vertices with alternating classes.
+//   Case C-2: one copy has weight 0 and sits in some B_j, the other carries
+//             all of w_v and sits in some C_i.
+//   Case C-3: both copies in C class, the higher-indexed pair belongs to
+//             the copy with the larger α (α_j ≥ α_i = α_v).
+//   Case D-1: both copies in B class with α_j ≤ α_i = α_v (v was B class on
+//             the ring).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "game/sybil_ring.hpp"
+
+namespace ringshare::analysis {
+
+using game::Graph;
+using game::Rational;
+using graph::Vertex;
+
+enum class InitialForm {
+  kC1,
+  kC2,
+  kC3,
+  kD1,
+  kUnclassified,  ///< violates Lemma 14 / Lemma 20
+};
+
+[[nodiscard]] std::string to_string(InitialForm form);
+
+struct FormReport {
+  InitialForm form = InitialForm::kUnclassified;
+  bd::VertexClass ring_class;            ///< v's class on the original ring
+  Rational w1_0, w2_0;                    ///< the honest split used
+  std::vector<std::string> violations;    ///< empty iff the lemma holds
+};
+
+/// Classify the decomposition of P_v(w₁⁰, w₂⁰) for the honest split of v
+/// and verify the invariants of the matched case. Classification tries both
+/// copy orientations (the paper's w.l.o.g.).
+[[nodiscard]] FormReport classify_initial_form(const Graph& ring, Vertex v);
+
+}  // namespace ringshare::analysis

@@ -1,0 +1,112 @@
+#include "analysis/lemma13.hpp"
+
+#include <algorithm>
+
+#include "bd/decomposition.hpp"
+
+namespace ringshare::analysis {
+
+namespace {
+
+using bd::Decomposition;
+using bd::VertexClass;
+
+bool is_c_like(VertexClass cls) {
+  return cls == VertexClass::kC || cls == VertexClass::kBoth;
+}
+bool is_b_like(VertexClass cls) {
+  return cls == VertexClass::kB || cls == VertexClass::kBoth;
+}
+
+/// True if `pair` appears (same B and C sets, same α) in `decomposition`.
+bool pair_survives(const bd::BottleneckPair& pair,
+                   const Decomposition& decomposition) {
+  for (const auto& other : decomposition.pairs()) {
+    if (other.b == pair.b && other.c == pair.c && other.alpha == pair.alpha)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Lemma13Report verify_lemma13(const ParametrizedGraph& pg, Vertex v,
+                             const Rational& a, const Rational& b, int grid) {
+  Lemma13Report report;
+  const Decomposition at_a = pg.decompose(a);
+  const Decomposition at_b = pg.decompose(b);
+
+  // Establish that v keeps one class over [a, b] (sampled).
+  bool always_c = true;
+  bool always_b = true;
+  std::vector<Rational> xs;
+  for (int i = 0; i <= grid; ++i) xs.push_back(a + (b - a) * Rational(i, grid));
+  std::vector<Decomposition> decompositions;
+  decompositions.reserve(xs.size());
+  for (const Rational& x : xs) decompositions.push_back(pg.decompose(x));
+  for (const Decomposition& d : decompositions) {
+    const VertexClass cls = d.vertex_class(v);
+    always_c = always_c && is_c_like(cls);
+    always_b = always_b && is_b_like(cls);
+  }
+  if (!always_c && !always_b) return report;  // lemma premise fails: skip
+  report.applicable = true;
+
+  // All other vertices keep their classes.
+  const std::size_t n = pg.base().vertex_count();
+  for (Vertex u = 0; u < n; ++u) {
+    if (u == v) continue;
+    const VertexClass cls_a = at_a.vertex_class(u);
+    for (std::size_t i = 0; i < decompositions.size(); ++i) {
+      const VertexClass cls = decompositions[i].vertex_class(u);
+      const bool compatible =
+          cls == cls_a || cls == VertexClass::kBoth || cls_a == VertexClass::kBoth;
+      if (!compatible) {
+        report.violations.push_back("vertex v" + std::to_string(u) +
+                                    " changes class inside [a, b] at x = " +
+                                    xs[i].to_string());
+        break;
+      }
+    }
+  }
+
+  const Rational alpha_v_a = at_a.alpha_of(v);
+  const Rational alpha_v_b = at_b.alpha_of(v);
+
+  if (always_c) {
+    // Pairs of B(a) with α < α_v(a) survive into B(b)...
+    for (const auto& pair : at_a.pairs()) {
+      if (pair.alpha < alpha_v_a && !pair_survives(pair, at_b)) {
+        report.violations.push_back(
+            "C case: pair with alpha " + pair.alpha.to_string() +
+            " < alpha_v(a) impacted when x increased");
+      }
+    }
+    // ...and pairs of B(b) with α > α_v(b) survive into B(a).
+    for (const auto& pair : at_b.pairs()) {
+      if (alpha_v_b < pair.alpha && !pair_survives(pair, at_a)) {
+        report.violations.push_back(
+            "C case: pair with alpha " + pair.alpha.to_string() +
+            " > alpha_v(b) impacted when x decreased");
+      }
+    }
+  } else {
+    for (const auto& pair : at_a.pairs()) {
+      if (alpha_v_a < pair.alpha && !pair_survives(pair, at_b)) {
+        report.violations.push_back(
+            "B case: pair with alpha " + pair.alpha.to_string() +
+            " > alpha_v(a) impacted when x increased");
+      }
+    }
+    for (const auto& pair : at_b.pairs()) {
+      if (pair.alpha < alpha_v_b && !pair_survives(pair, at_a)) {
+        report.violations.push_back(
+            "B case: pair with alpha " + pair.alpha.to_string() +
+            " < alpha_v(b) impacted when x decreased");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ringshare::analysis

@@ -1,0 +1,36 @@
+// lemma13.hpp — machine verification of Lemma 13: which bottleneck pairs
+// are left untouched when the manipulative agent's report moves across an
+// interval on which its class does not change.
+//
+//   * v in C class on [a, b]:  pairs of B(a) with α < α_v(a) survive into
+//     B(b) unchanged (x: a → b), and pairs of B(b) with α > α_v(b) survive
+//     into B(a) unchanged (x: b → a).
+//   * v in B class on [a, b]:  the same with the inequalities flipped.
+//   * all other vertices keep their classes throughout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "game/breakpoints.hpp"
+
+namespace ringshare::analysis {
+
+using game::ParametrizedGraph;
+using game::Rational;
+using graph::Vertex;
+
+struct Lemma13Report {
+  bool applicable = false;  ///< v did keep a single class on [a, b]
+  std::vector<std::string> violations;
+};
+
+/// Verify Lemma 13 for vertex v over [a, b] ⊆ the parameter range of pg.
+/// If v's class is not constant on [a, b] (checked on a sample grid), the
+/// lemma does not apply and `applicable` is false.
+[[nodiscard]] Lemma13Report verify_lemma13(const ParametrizedGraph& pg,
+                                           Vertex v, const Rational& a,
+                                           const Rational& b,
+                                           int grid = 12);
+
+}  // namespace ringshare::analysis

@@ -1,0 +1,121 @@
+#include "analysis/prop11.hpp"
+
+#include <algorithm>
+
+namespace ringshare::analysis {
+
+std::string to_string(AlphaCase alpha_case) {
+  switch (alpha_case) {
+    case AlphaCase::kB1: return "B-1";
+    case AlphaCase::kB2: return "B-2";
+    case AlphaCase::kB3: return "B-3";
+  }
+  return "?";
+}
+
+Prop11Report verify_prop11(const MisreportAnalysis& analysis, int extra_grid) {
+  Prop11Report report;
+  const auto& partition = analysis.partition();
+  const Rational lo = partition.t_lo;
+  const Rational hi = partition.t_hi;
+
+  std::vector<Rational> xs = {lo, hi};
+  for (std::size_t i = 0; i < partition.piece_count(); ++i)
+    xs.push_back(partition.piece_midpoint(i));
+  for (const auto& bp : partition.breakpoints) xs.push_back(bp.value);
+  for (int i = 1; i < extra_grid; ++i)
+    xs.push_back(lo + (hi - lo) * Rational(i, extra_grid));
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  for (const Rational& x : xs) {
+    const auto decomposition = analysis.decompose_at(x);
+    report.trace.push_back(TracePoint{x, decomposition.alpha_of(analysis.vertex()),
+                                      decomposition.utility(analysis.vertex()),
+                                      decomposition.vertex_class(analysis.vertex())});
+  }
+
+  // Theorem 10: U_v(x) monotonically non-decreasing.
+  for (std::size_t i = 1; i < report.trace.size(); ++i) {
+    if (report.trace[i].utility < report.trace[i - 1].utility) {
+      report.violations.push_back(
+          "Thm 10: U_v decreases between x = " +
+          report.trace[i - 1].x.to_string() + " and x = " +
+          report.trace[i].x.to_string());
+    }
+  }
+
+  // Proposition 11: classify the class pattern (skipping x = 0 where a
+  // zero-weight vertex's class is a degenerate artifact).
+  auto is_c = [](const TracePoint& p) {
+    return p.cls == bd::VertexClass::kC || p.cls == bd::VertexClass::kBoth;
+  };
+  auto is_b = [](const TracePoint& p) {
+    return p.cls == bd::VertexClass::kB || p.cls == bd::VertexClass::kBoth;
+  };
+  std::vector<const TracePoint*> classified;
+  for (const TracePoint& p : report.trace) {
+    if (!p.x.is_zero()) classified.push_back(&p);
+  }
+
+  const bool all_c = std::all_of(classified.begin(), classified.end(),
+                                 [&](const TracePoint* p) { return is_c(*p); });
+  const bool all_b = std::all_of(classified.begin(), classified.end(),
+                                 [&](const TracePoint* p) { return is_b(*p); });
+
+  auto check_monotone = [&](auto begin, auto end, bool non_decreasing,
+                            const char* what) {
+    for (auto it = begin; it != end; ++it) {
+      if (it == begin) continue;
+      const auto prev = std::prev(it);
+      const bool bad = non_decreasing ? (*it)->alpha < (*prev)->alpha
+                                      : (*prev)->alpha < (*it)->alpha;
+      if (bad) {
+        report.violations.push_back(std::string("Prop 11: alpha_v not ") +
+                                    what + " at x = " + (*it)->x.to_string());
+      }
+    }
+  };
+
+  if (all_c) {
+    report.alpha_case = AlphaCase::kB1;
+    check_monotone(classified.begin(), classified.end(), true,
+                   "non-decreasing (Case B-1)");
+  } else if (all_b) {
+    report.alpha_case = AlphaCase::kB2;
+    check_monotone(classified.begin(), classified.end(), false,
+                   "non-increasing (Case B-2)");
+  } else {
+    report.alpha_case = AlphaCase::kB3;
+    // Expect: C-prefix then B-suffix with a single crossover.
+    std::size_t first_b_only = classified.size();
+    for (std::size_t i = 0; i < classified.size(); ++i) {
+      if (!is_c(*classified[i])) {
+        first_b_only = i;
+        break;
+      }
+    }
+    for (std::size_t i = first_b_only; i < classified.size(); ++i) {
+      if (!is_b(*classified[i])) {
+        report.violations.push_back(
+            "Prop 11: class pattern is not C-prefix/B-suffix at x = " +
+            classified[i]->x.to_string());
+      }
+    }
+    check_monotone(classified.begin(),
+                   classified.begin() + static_cast<long>(first_b_only), true,
+                   "non-decreasing before x* (Case B-3)");
+    check_monotone(classified.begin() + static_cast<long>(first_b_only),
+                   classified.end(), false,
+                   "non-increasing after x* (Case B-3)");
+    // α ≤ 1 on the C side and the B side starts from α = 1 downward.
+    for (const TracePoint* p : classified) {
+      if (Rational(1) < p->alpha)
+        report.violations.push_back("Prop 11: alpha_v > 1 at x = " +
+                                    p->x.to_string());
+    }
+  }
+  return report;
+}
+
+}  // namespace ringshare::analysis

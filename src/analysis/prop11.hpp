@@ -1,0 +1,51 @@
+// prop11.hpp — machine verification of Theorem 10 and Proposition 11.
+//
+// Theorem 10: under misreporting, U_v(x) is continuous and monotonically
+// non-decreasing in the reported weight x ∈ [0, w_v].
+// Proposition 11: α_v(x) has one of three shapes —
+//   B-1: v is C class everywhere, α_v non-decreasing;
+//   B-2: v is B class everywhere, α_v non-increasing;
+//   B-3: a crossover x* with α_v(x*) = 1; C class and non-decreasing below,
+//        B class and non-increasing above.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "game/misreport.hpp"
+
+namespace ringshare::analysis {
+
+using game::MisreportAnalysis;
+using game::Rational;
+
+enum class AlphaCase {
+  kB1,  ///< C class throughout
+  kB2,  ///< B class throughout
+  kB3,  ///< C then B with a crossover at α = 1
+};
+
+[[nodiscard]] std::string to_string(AlphaCase alpha_case);
+
+/// One sampled point of the α_v(x) / U_v(x) trace.
+struct TracePoint {
+  Rational x;
+  Rational alpha;
+  Rational utility;
+  bd::VertexClass cls;
+};
+
+struct Prop11Report {
+  AlphaCase alpha_case = AlphaCase::kB1;
+  std::vector<TracePoint> trace;        ///< sorted by x
+  std::vector<std::string> violations;  ///< empty iff the paper's claims hold
+};
+
+/// Sample the misreport curve at piece midpoints, exact breakpoints and a
+/// uniform grid of `extra_grid` points; classify per Prop 11 and verify
+/// Thm 10 monotonicity. x = 0 is skipped for class checks (a zero-weight
+/// vertex's class is degenerate) but kept for the utility trace.
+[[nodiscard]] Prop11Report verify_prop11(const MisreportAnalysis& analysis,
+                                         int extra_grid = 16);
+
+}  // namespace ringshare::analysis

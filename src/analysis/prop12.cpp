@@ -1,0 +1,314 @@
+#include "analysis/prop12.hpp"
+
+#include <algorithm>
+
+namespace ringshare::analysis {
+
+namespace {
+
+using game::alpha_function;
+
+std::vector<Vertex> sorted_union(const std::vector<Vertex>& a,
+                                 const std::vector<Vertex>& b) {
+  std::vector<Vertex> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+bool contains(const std::vector<Vertex>& sorted, Vertex v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+bool pair_contains_any(const Signature::value_type& pair,
+                       const std::vector<Vertex>& tracked) {
+  for (const Vertex v : tracked) {
+    if (contains(pair.first, v) || contains(pair.second, v)) return true;
+  }
+  return false;
+}
+
+/// Detect the α=1 crossover event: signatures equal except one pair whose
+/// vertex union is preserved — (B, C) unifying into (B∪C, B∪C), the
+/// reverse, or the full role inversion (B, C) → (C, B) when the crossover
+/// sits exactly at a breakpoint (Prop 11 Case B-3: v's pair passes through
+/// α = 1 and the B/C sides trade places). The α = 1 check at the exact
+/// breakpoint validates the semantic.
+std::optional<std::size_t> flip_relation(const Signature& sig_a,
+                                         const Signature& sig_b) {
+  if (sig_a.size() != sig_b.size()) return std::nullopt;
+  std::optional<std::size_t> found;
+  for (std::size_t i = 0; i < sig_a.size(); ++i) {
+    if (sig_a[i] == sig_b[i]) continue;
+    if (found) return std::nullopt;  // more than one differing pair
+    if (sorted_union(sig_a[i].first, sig_a[i].second) !=
+        sorted_union(sig_b[i].first, sig_b[i].second))
+      return std::nullopt;
+    found = i;
+  }
+  return found;
+}
+
+}  // namespace
+
+namespace {
+
+/// Detect the adjacent-transposition event: signatures equal except two
+/// neighboring pairs whose (B, C) unions coincide on both sides.
+std::optional<std::size_t> swap_relation(const Signature& a,
+                                         const Signature& b) {
+  if (a.size() != b.size()) return std::nullopt;
+  std::size_t j = 0;
+  while (j < a.size() && a[j] == b[j]) ++j;
+  if (j + 1 >= a.size()) return std::nullopt;
+  if (sorted_union(a[j].first, a[j + 1].first) !=
+      sorted_union(b[j].first, b[j + 1].first))
+    return std::nullopt;
+  if (sorted_union(a[j].second, a[j + 1].second) !=
+      sorted_union(b[j].second, b[j + 1].second))
+    return std::nullopt;
+  if (a[j] == b[j] || a[j + 1] == b[j + 1]) return std::nullopt;  // no swap
+  for (std::size_t i = j + 2; i < a.size(); ++i) {
+    if (a[i] != b[i]) return std::nullopt;
+  }
+  return j;
+}
+
+/// Detect a merge into an α = 1 unified pair: sig_single has one pair
+/// (D, D) with D = B₁∪C₁∪B₂∪C₂ of two adjacent pairs of sig_split (the
+/// event where v's pair α rises into the trailing B_k = C_k pair and
+/// everything coalesces at α = 1).
+std::optional<std::size_t> unify_merge_relation(const Signature& sig_single,
+                                                const Signature& sig_split) {
+  if (sig_single.size() + 1 != sig_split.size()) return std::nullopt;
+  std::size_t j = 0;
+  while (j < sig_single.size() && sig_single[j] == sig_split[j]) ++j;
+  if (j >= sig_single.size() || j + 1 >= sig_split.size())
+    return std::nullopt;
+  const auto everything = sorted_union(
+      sorted_union(sig_split[j].first, sig_split[j].second),
+      sorted_union(sig_split[j + 1].first, sig_split[j + 1].second));
+  if (sig_single[j].first != everything || sig_single[j].second != everything)
+    return std::nullopt;
+  for (std::size_t i = j + 1; i < sig_single.size(); ++i) {
+    if (sig_single[i] != sig_split[i + 1]) return std::nullopt;
+  }
+  return j;
+}
+
+}  // namespace
+
+std::optional<std::size_t> merge_relation(const Signature& sig_single,
+                                          const Signature& sig_split) {
+  if (sig_single.size() + 1 != sig_split.size()) return std::nullopt;
+  // Find the first index where they differ.
+  std::size_t j = 0;
+  while (j < sig_single.size() && sig_single[j] == sig_split[j]) ++j;
+  if (j == sig_single.size()) return std::nullopt;  // no merge visible
+  // sig_single[j] must be the union of sig_split[j] and sig_split[j+1].
+  if (j + 1 >= sig_split.size()) return std::nullopt;
+  if (sig_single[j].first !=
+      sorted_union(sig_split[j].first, sig_split[j + 1].first))
+    return std::nullopt;
+  if (sig_single[j].second !=
+      sorted_union(sig_split[j].second, sig_split[j + 1].second))
+    return std::nullopt;
+  for (std::size_t i = j + 1; i < sig_single.size(); ++i) {
+    if (sig_single[i] != sig_split[i + 1]) return std::nullopt;
+  }
+  return j;
+}
+
+Prop12Report verify_prop12(const ParametrizedGraph& pg,
+                           const StructurePartition& partition,
+                           const std::vector<Vertex>& tracked) {
+  Prop12Report report;
+
+  auto class_of = [](const Signature& sig, Vertex v) -> int {
+    // 0 = B only, 1 = C only, 2 = both, -1 = absent.
+    for (const auto& pair : sig) {
+      const bool in_b = contains(pair.first, v);
+      const bool in_c = contains(pair.second, v);
+      if (in_b && in_c) return 2;
+      if (in_b) return 0;
+      if (in_c) return 1;
+    }
+    return -1;
+  };
+
+  for (std::size_t i = 0; i < partition.breakpoints.size(); ++i) {
+    const auto& bp = partition.breakpoints[i];
+    const Signature& left = partition.piece_signatures[i];
+    const Signature& right = partition.piece_signatures[i + 1];
+    if (!bp.exact) ++report.skipped_inexact;
+
+    // Identify the event type.
+    std::optional<std::size_t> split_idx = merge_relation(left, right);
+    std::optional<std::size_t> merge_idx = merge_relation(right, left);
+    std::optional<std::size_t> swap_idx = swap_relation(left, right);
+    std::optional<std::size_t> flip_ab = flip_relation(left, right);
+    std::optional<std::size_t> flip_ba = flip_relation(right, left);
+    // α = 1 coalescence events (one side's pair count drops by one, the
+    // merged pair is a unified B = C superset of both halves).
+    std::optional<std::size_t> unify_right = unify_merge_relation(right, left);
+    std::optional<std::size_t> unify_left = unify_merge_relation(left, right);
+    const bool is_flip = flip_ab.has_value() || flip_ba.has_value() ||
+                         unify_right.has_value() || unify_left.has_value();
+
+    if (!split_idx && !merge_idx && !swap_idx && !is_flip) {
+      // Catch-all region event (seen on general graphs): strip the common
+      // prefix/suffix; the changed middle regions must cover the same
+      // vertices on both sides and all their pairs' α-ratios must coincide
+      // at the (exact) breakpoint — the α-coincidence that lets a whole
+      // region reorganize at once.
+      std::size_t prefix = 0;
+      while (prefix < left.size() && prefix < right.size() &&
+             left[prefix] == right[prefix])
+        ++prefix;
+      std::size_t suffix = 0;
+      while (suffix + prefix < left.size() && suffix + prefix < right.size() &&
+             left[left.size() - 1 - suffix] ==
+                 right[right.size() - 1 - suffix])
+        ++suffix;
+      auto region_union = [&](const Signature& sig) {
+        std::vector<Vertex> out;
+        for (std::size_t i = prefix; i + suffix < sig.size(); ++i) {
+          out = sorted_union(out, sorted_union(sig[i].first, sig[i].second));
+        }
+        return out;
+      };
+      bool ok = region_union(left) == region_union(right);
+      if (ok && bp.exact) {
+        std::optional<Rational> shared;
+        auto check_region = [&](const Signature& sig) {
+          for (std::size_t i = prefix; ok && i + suffix < sig.size(); ++i) {
+            const Rational alpha =
+                alpha_function(pg, sig[i].first, sig[i].second).at(bp.value);
+            if (!shared) shared = alpha;
+            else if (*shared != alpha) ok = false;
+          }
+        };
+        check_region(left);
+        check_region(right);
+      }
+      if (!ok) {
+        report.violations.push_back(
+            "breakpoint " + bp.value.to_string() +
+            ": structures differ by more than one adjacent merge/split");
+        continue;
+      }
+      report.events.push_back(
+          PairEvent{bp.value, bp.exact, PairEventKind::kRegion, prefix});
+      continue;
+    }
+
+    // Prop 12-(1): tracked vertices keep their side across the breakpoint
+    // (unless the event is an α=1 unification, the Prop 11 B-3 crossover).
+    if (!is_flip) {
+      for (const Vertex v : tracked) {
+        const int left_class = class_of(left, v);
+        const int right_class = class_of(right, v);
+        if (left_class < 0 || right_class < 0) continue;
+        const bool compatible = left_class == right_class ||
+                                left_class == 2 || right_class == 2;
+        if (!compatible) {
+          report.violations.push_back("breakpoint " + bp.value.to_string() +
+                                      ": tracked vertex v" + std::to_string(v) +
+                                      " changes class without an alpha=1 "
+                                      "crossover");
+        }
+      }
+    }
+
+    if (split_idx || merge_idx) {
+      const bool splits = split_idx.has_value();
+      const std::size_t merged_index = splits ? *split_idx : *merge_idx;
+      const Signature& single_sig = splits ? left : right;
+      const Signature& split_sig = splits ? right : left;
+
+      if (!pair_contains_any(single_sig[merged_index], tracked)) {
+        report.violations.push_back(
+            "breakpoint " + bp.value.to_string() +
+            ": merge/split does not involve a tracked vertex");
+      }
+
+      // α equality at the breakpoint itself (exact breakpoints only).
+      if (bp.exact) {
+        const auto alpha_at = [&](const Signature::value_type& pair) {
+          return alpha_function(pg, pair.first, pair.second).at(bp.value);
+        };
+        const Rational merged_alpha = alpha_at(single_sig[merged_index]);
+        const Rational half1 = alpha_at(split_sig[merged_index]);
+        const Rational half2 = alpha_at(split_sig[merged_index + 1]);
+        if (merged_alpha != half1 || merged_alpha != half2) {
+          report.violations.push_back(
+              "breakpoint " + bp.value.to_string() +
+              ": alpha ratios of merged pair and halves do not coincide");
+        }
+      }
+      report.events.push_back(PairEvent{
+          bp.value, bp.exact,
+          splits ? PairEventKind::kSplit : PairEventKind::kMerge,
+          merged_index});
+    } else if (swap_idx) {
+      // Adjacent transposition: both participating pairs must share one α
+      // at the breakpoint (the fused merge+split), and a tracked vertex
+      // must be involved (only v's pair has a moving α).
+      const std::size_t j = *swap_idx;
+      if (!pair_contains_any(left[j], tracked) &&
+          !pair_contains_any(left[j + 1], tracked)) {
+        report.violations.push_back(
+            "breakpoint " + bp.value.to_string() +
+            ": pair transposition does not involve a tracked vertex");
+      }
+      if (bp.exact) {
+        const auto alpha_at = [&](const Signature::value_type& pair) {
+          return alpha_function(pg, pair.first, pair.second).at(bp.value);
+        };
+        if (alpha_at(left[j]) != alpha_at(left[j + 1])) {
+          report.violations.push_back(
+              "breakpoint " + bp.value.to_string() +
+              ": transposed pairs' alpha ratios do not coincide");
+        }
+      }
+      report.events.push_back(
+          PairEvent{bp.value, bp.exact, PairEventKind::kSwap, j});
+    } else if (flip_ab || flip_ba) {
+      const std::size_t index = flip_ab ? *flip_ab : *flip_ba;
+      if (bp.exact) {
+        const Signature& pre = flip_ab ? left : right;
+        const Rational alpha =
+            alpha_function(pg, pre[index].first, pre[index].second)
+                .at(bp.value);
+        if (alpha != Rational(1)) {
+          report.violations.push_back(
+              "breakpoint " + bp.value.to_string() +
+              ": class flip without alpha = 1 at the crossover");
+        }
+      }
+      report.events.push_back(
+          PairEvent{bp.value, bp.exact, PairEventKind::kClassFlip, index});
+    } else if (unify_right || unify_left) {
+      const std::size_t index = unify_right ? *unify_right : *unify_left;
+      const Signature& split_side = unify_right ? left : right;
+      if (bp.exact) {
+        // Both halves reach α = 1 exactly at the coalescence point.
+        for (const std::size_t k : {index, index + 1}) {
+          const Rational alpha =
+              alpha_function(pg, split_side[k].first, split_side[k].second)
+                  .at(bp.value);
+          if (alpha != Rational(1)) {
+            report.violations.push_back(
+                "breakpoint " + bp.value.to_string() +
+                ": alpha = 1 coalescence with a half not at alpha = 1");
+          }
+        }
+      }
+      report.events.push_back(
+          PairEvent{bp.value, bp.exact, PairEventKind::kClassFlip, index});
+    }
+  }
+  return report;
+}
+
+}  // namespace ringshare::analysis

@@ -1,0 +1,70 @@
+// prop12.hpp — machine verification of Proposition 12: how the bottleneck
+// pair containing the manipulative vertex merges/splits between two
+// adjacent structure pieces.
+//
+// At every breakpoint b of B(x), comparing the piece structures on both
+// sides must show: (1) v keeps its side (B or C) across the breakpoint; (2)
+// the structures differ by exactly one merge or split of adjacent pairs
+// involving v's pair (all other pairs identical); (3) at b itself the two
+// halves' α-ratios and the merged pair's α-ratio coincide.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "game/breakpoints.hpp"
+
+namespace ringshare::analysis {
+
+using game::ParametrizedGraph;
+using game::Rational;
+using game::Signature;
+using game::StructurePartition;
+using graph::Vertex;
+
+/// What happened to the pair structure at a breakpoint.
+enum class PairEventKind {
+  kSplit,  ///< one pair on the left becomes two on the right
+  kMerge,  ///< two pairs on the left become one on the right
+  /// Two adjacent pairs trade places: v's pair α crossed a neighbor pair's
+  /// α, the pairs coincide (merged) exactly AT the breakpoint, and re-split
+  /// with swapped order — a merge and a split fused at one point. Prop 12
+  /// describes the two half-events; the checker validates the fused form
+  /// via the α coincidence at the breakpoint.
+  kSwap,
+  kClassFlip,  ///< a pair crossed α = 1 and unified (B=C)
+  /// A contiguous region of pairs reorganized at a shared α value (general
+  /// graphs): unions preserved, all region αs coincide at the breakpoint.
+  kRegion,
+};
+
+/// One structural event at a breakpoint.
+struct PairEvent {
+  Rational breakpoint;
+  bool exact = false;
+  PairEventKind kind = PairEventKind::kSplit;
+  std::size_t merged_index = 0;  ///< index of the merged/affected pair
+};
+
+struct Prop12Report {
+  std::vector<PairEvent> events;
+  std::vector<std::string> violations;
+  int skipped_inexact = 0;  ///< breakpoints without exact roots (α equality
+                            ///< checked only approximately there)
+};
+
+/// Verify Proposition 12 across all breakpoints of `partition` for the
+/// manipulated vertex/vertices `tracked` (the misreporting agent, or both
+/// Sybil copies).
+[[nodiscard]] Prop12Report verify_prop12(const ParametrizedGraph& pg,
+                                         const StructurePartition& partition,
+                                         const std::vector<Vertex>& tracked);
+
+/// Decide whether sig_single differs from sig_split by replacing the pair
+/// at `merged_index` with two adjacent pairs (all others equal); returns
+/// the index if so.
+[[nodiscard]] std::optional<std::size_t> merge_relation(
+    const Signature& sig_single, const Signature& sig_split);
+
+}  // namespace ringshare::analysis

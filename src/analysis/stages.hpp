@@ -1,0 +1,69 @@
+// stages.hpp — the two-stage decomposition at the core of the Theorem 8
+// proof, with exact per-stage utility deltas.
+//
+// The move from the honest split path P_v(w₁⁰, w₂⁰) to the optimal path
+// P_v(w₁*, w₂*) changes both copy weights; the paper decomposes it into two
+// one-weight stages (oriented w.l.o.g. so the increasing copy is v¹):
+//
+//   v in C class on the ring:  Stage C-1 lowers w_{v²}: w₂⁰ → w₂* (v¹
+//   fixed at w₁⁰); Stage C-2 raises w_{v¹}: w₁⁰ → w₁* (v² fixed at w₂*).
+//   Lemma 16: δ_{v¹}⁽¹⁾ ≤ 0, δ_{v²}⁽¹⁾ ≤ 0; Lemma 18: δ_{v¹}⁽²⁾ ≤ U_v and
+//   δ_{v²}⁽²⁾ = 0 when v¹ ends in C class; Lemma 19: U' ≤ 2U_v directly
+//   when v¹ ends in B class.
+//
+//   v in B class on the ring:  Stage D-1 raises w_{v¹} first, then Stage
+//   D-2 lowers w_{v²}. Lemma 22: Δ_{v¹}⁽¹⁾ ≤ U_v, Δ_{v²}⁽¹⁾ = 0;
+//   Lemma 24: Δ_{v¹}⁽²⁾ ≤ 0, Δ_{v²}⁽²⁾ ≤ 0.
+//
+// Every quantity here is exact; the reports are the oracle for the E10
+// bench and the lemma test suites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/forms.hpp"
+#include "game/sybil_ring.hpp"
+
+namespace ringshare::analysis {
+
+/// Exact utilities of both copies at one (w₁, w₂) split.
+struct SplitState {
+  Rational w1, w2;
+  Rational u1, u2;  ///< U_{v¹}, U_{v²}
+  bd::VertexClass class1, class2;
+
+  [[nodiscard]] Rational total() const { return u1 + u2; }
+};
+
+struct StageReport {
+  bd::VertexClass ring_class;  ///< v's class on the original ring
+  InitialForm initial_form = InitialForm::kUnclassified;
+  bool oriented_swapped = false;  ///< copies swapped to make v¹ the riser
+
+  SplitState honest;        ///< (w₁⁰, w₂⁰)
+  SplitState intermediate;  ///< after stage 1
+  SplitState optimal;       ///< (w₁*, w₂*)
+
+  Rational honest_ring_utility;  ///< U_v on the ring (Lemma 9 reference)
+
+  /// Stage deltas for copy 1 and copy 2 (δ or Δ depending on the case).
+  Rational delta1_stage1, delta2_stage1;
+  Rational delta1_stage2, delta2_stage2;
+
+  std::vector<std::string> violations;  ///< lemma inequalities that failed
+};
+
+/// Run the stage decomposition for vertex v against the optimizer's best
+/// split and verify Lemmas 9, 16, 18, 19, 22, 24 (as applicable) plus the
+/// Theorem 8 bound U' ≤ 2·U_v — all exactly.
+[[nodiscard]] StageReport analyze_stages(
+    const Graph& ring, graph::Vertex v,
+    const game::SybilOptions& options = {});
+
+/// Same, against a caller-chosen target split (w₁*, w₂* = w_v − w₁*).
+[[nodiscard]] StageReport analyze_stages_to(const Graph& ring,
+                                            graph::Vertex v,
+                                            const Rational& w1_star);
+
+}  // namespace ringshare::analysis

@@ -1,0 +1,84 @@
+#include "analysis/verify_all.hpp"
+
+#include "analysis/forms.hpp"
+#include "analysis/prop11.hpp"
+#include "analysis/prop12.hpp"
+#include "analysis/stages.hpp"
+#include "bd/allocation.hpp"
+#include "game/misreport.hpp"
+
+namespace ringshare::analysis {
+
+namespace {
+
+void append(FullReport& report, const std::string& layer,
+            const std::vector<std::string>& violations) {
+  ++report.checks_run;
+  for (const std::string& violation : violations)
+    report.violations.push_back(layer + ": " + violation);
+}
+
+bool is_ring(const graph::Graph& g) {
+  if (!g.is_connected() || g.vertex_count() < 3) return false;
+  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+    if (g.degree(v) != 2) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FullReport full_verification(const graph::Graph& g,
+                             const FullVerificationOptions& options) {
+  FullReport report;
+
+  const bd::Decomposition decomposition(g);
+  append(report, "Prop 3", bd::proposition3_violations(g, decomposition));
+
+  const bd::Allocation allocation = bd::bd_allocation(decomposition);
+  append(report, "Def 5/Prop 6",
+         bd::allocation_violations(decomposition, allocation));
+  append(report, "PR fixed point",
+         bd::fixed_point_violations(decomposition, allocation));
+
+  if (options.misreport_checks) {
+    for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (g.weight(v).is_zero()) continue;
+      const game::MisreportAnalysis analysis(g, v);
+      const Prop11Report prop11 = verify_prop11(analysis, 8);
+      append(report, "Thm 10/Prop 11 (v" + std::to_string(v) + ")",
+             prop11.violations);
+      const Prop12Report prop12 =
+          verify_prop12(analysis.parametrized(), analysis.partition(), {v});
+      append(report, "Prop 12 (v" + std::to_string(v) + ")",
+             prop12.violations);
+    }
+  }
+
+  if (options.game_checks && is_ring(g)) {
+    for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (g.weight(v).is_zero()) continue;
+      // Lemma 9 anchor.
+      const auto [w1, w2] = game::honest_split_weights(g, v);
+      ++report.checks_run;
+      if (game::sybil_utility(g, v, w1) != decomposition.utility(v)) {
+        report.violations.push_back("Lemma 9 (v" + std::to_string(v) +
+                                    "): honest split total != U_v");
+      }
+      // Lemma 14/20 forms.
+      const FormReport form = classify_initial_form(g, v);
+      append(report, "Lemma 14/20 (v" + std::to_string(v) + ")",
+             form.violations);
+      // Stage lemmas + Theorem 8 against the optimizer's best split.
+      game::SybilOptions sybil_options;
+      sybil_options.samples_per_piece = 12;
+      sybil_options.refinement_rounds = 12;
+      const StageReport stages = analyze_stages(g, v, sybil_options);
+      append(report, "Lemmas 16-24/Thm 8 (v" + std::to_string(v) + ")",
+             stages.violations);
+    }
+  }
+  return report;
+}
+
+}  // namespace ringshare::analysis

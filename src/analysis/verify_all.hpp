@@ -1,0 +1,41 @@
+// verify_all.hpp — one-call verification of every machine-checked paper
+// property on a single instance.
+//
+// Aggregates: Prop. 3 (decomposition invariants), Def. 5 axioms + Prop. 6
+// (allocation), the PR fixed-point property, Thm 10 + Prop. 11 + Prop. 12
+// (misreport structure, per vertex), and — on rings — Lemma 9, the
+// Lemma 14/20 form classification, the stage-delta lemmas and Theorem 8's
+// bound for every vertex. The fuzz suite and ringshare_cli run this as a
+// single entry point; an empty report is a machine-checked "this instance
+// behaves exactly as the paper says".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ringshare::analysis {
+
+struct FullReport {
+  /// Each entry: "<layer>: <violation>".
+  std::vector<std::string> violations;
+  int checks_run = 0;  ///< number of checker layers executed
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+struct FullVerificationOptions {
+  /// Run the per-vertex misreport structure checks (partition + Prop 11/12)
+  /// — the most expensive layer.
+  bool misreport_checks = true;
+  /// Run the ring-only game checks (Lemma 9, forms, stages, Theorem 8).
+  bool game_checks = true;
+};
+
+/// Run every applicable checker on `g` (ring-only layers are skipped
+/// automatically for non-rings).
+[[nodiscard]] FullReport full_verification(
+    const graph::Graph& g, const FullVerificationOptions& options = {});
+
+}  // namespace ringshare::analysis

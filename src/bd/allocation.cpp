@@ -1,0 +1,255 @@
+#include "bd/allocation.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "bd/balance.hpp"
+#include "flow/dinic.hpp"
+
+namespace ringshare::bd {
+
+Allocation::Allocation(std::size_t vertex_count) : outgoing_(vertex_count) {}
+
+Rational Allocation::sent(Vertex u, Vertex v) const {
+  const auto& bucket = outgoing_.at(u);
+  const auto it = bucket.find(v);
+  return it == bucket.end() ? Rational(0) : it->second;
+}
+
+void Allocation::set_sent(Vertex u, Vertex v, Rational amount) {
+  if (amount.is_zero()) {
+    outgoing_.at(u).erase(v);
+  } else {
+    outgoing_.at(u)[v] = std::move(amount);
+  }
+}
+
+Rational Allocation::utility(Vertex v) const {
+  Rational total(0);
+  for (Vertex u = 0; u < outgoing_.size(); ++u) {
+    const auto it = outgoing_[u].find(v);
+    if (it != outgoing_[u].end()) total += it->second;
+  }
+  return total;
+}
+
+Rational Allocation::sent_total(Vertex v) const {
+  Rational total(0);
+  for (const auto& [_, amount] : outgoing_.at(v)) total += amount;
+  return total;
+}
+
+std::vector<std::tuple<Vertex, Vertex, Rational>> Allocation::transfers()
+    const {
+  std::vector<std::tuple<Vertex, Vertex, Rational>> out;
+  for (Vertex u = 0; u < outgoing_.size(); ++u) {
+    for (const auto& [v, amount] : outgoing_[u]) out.emplace_back(u, v, amount);
+  }
+  return out;
+}
+
+namespace {
+
+/// Allocate one pair with α < 1 via the bipartite network of Def. 5
+/// (restricted to actual graph edges; the complete-bipartite statement in
+/// the paper is a typo — transfers must follow edges of G, and the
+/// bottleneck property guarantees saturation on the edge-restricted
+/// network).
+void allocate_pair(const Graph& g, const BottleneckPair& pair,
+                   BalancePolicy policy, Allocation& allocation) {
+  if (pair.alpha.is_zero())
+    throw std::domain_error(
+        "bd_allocation: pair with alpha = 0 (positive-weight set with "
+        "zero-weight neighborhood) has no feasible exchange");
+
+  const std::size_t nb = pair.b.size();
+  const std::size_t nc = pair.c.size();
+  // Nodes: 0..nb-1 = B side, nb..nb+nc-1 = C side, then s, t.
+  flow::MaxFlow<Rational> network(nb + nc + 2);
+  const std::size_t s = nb + nc;
+  const std::size_t t = nb + nc + 1;
+
+  std::vector<std::size_t> c_slot(g.vertex_count(), SIZE_MAX);
+  for (std::size_t j = 0; j < nc; ++j) c_slot[pair.c[j]] = j;
+
+  std::vector<std::vector<std::pair<Vertex, flow::ArcId>>> arc_of(nb);
+  for (std::size_t i = 0; i < nb; ++i) {
+    const Vertex u = pair.b[i];
+    network.add_arc(s, i, g.weight(u));
+    for (const Vertex v : g.neighbors(u)) {
+      if (c_slot[v] != SIZE_MAX) {
+        arc_of[i].emplace_back(v, network.add_infinite_arc(i, nb + c_slot[v]));
+      }
+    }
+  }
+  for (std::size_t j = 0; j < nc; ++j) {
+    network.add_arc(nb + j, t, g.weight(pair.c[j]) / pair.alpha);
+  }
+
+  const Rational flow_value = network.run(s, t);
+  if (flow_value != g.set_weight(pair.b)) {
+    throw std::logic_error(
+        "bd_allocation: pair flow failed to saturate (bottleneck property "
+        "violated — solver bug)");
+  }
+
+  // Canonicalize: move to the minimum-norm flow (see balance.hpp — an
+  // extreme-point flow can break Lemma 9's honest-split anchor).
+  std::vector<FlowEdge> flow_edges;
+  std::vector<std::pair<Vertex, Vertex>> endpoints;
+  for (std::size_t i = 0; i < nb; ++i) {
+    for (const auto& [v, arc] : arc_of[i]) {
+      flow_edges.push_back(
+          FlowEdge{i, nb + c_slot[v], network.flow_on(arc)});
+      endpoints.emplace_back(pair.b[i], v);
+    }
+  }
+  if (policy == BalancePolicy::kMinNorm) balance_flow(flow_edges, nb + nc);
+
+  for (std::size_t e = 0; e < flow_edges.size(); ++e) {
+    const Rational& f = flow_edges[e].flow;
+    if (f.is_zero()) continue;
+    const auto [u, v] = endpoints[e];
+    allocation.set_sent(u, v, f);                 // x_uv = f_uv
+    allocation.set_sent(v, u, pair.alpha * f);    // x_vu = α_i f_uv
+  }
+}
+
+/// Allocate the last pair when α_k = 1 via the bipartite double cover of
+/// G[B_k].
+void allocate_unit_pair(const Graph& g, const BottleneckPair& pair,
+                        BalancePolicy policy, Allocation& allocation) {
+  const std::size_t n = pair.b.size();
+  if (g.set_weight(pair.b).is_zero()) return;  // degenerate all-zero closure
+
+  flow::MaxFlow<Rational> network(2 * n + 2);
+  const std::size_t s = 2 * n;
+  const std::size_t t = 2 * n + 1;
+
+  std::vector<std::size_t> slot(g.vertex_count(), SIZE_MAX);
+  for (std::size_t i = 0; i < n; ++i) slot[pair.b[i]] = i;
+
+  std::vector<std::vector<std::pair<Vertex, flow::ArcId>>> arc_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vertex u = pair.b[i];
+    network.add_arc(s, i, g.weight(u));
+    network.add_arc(n + i, t, g.weight(u));
+    for (const Vertex v : g.neighbors(u)) {
+      if (slot[v] != SIZE_MAX) {
+        arc_of[i].emplace_back(v, network.add_infinite_arc(i, n + slot[v]));
+      }
+    }
+  }
+
+  const Rational flow_value = network.run(s, t);
+  if (flow_value != g.set_weight(pair.b)) {
+    throw std::logic_error(
+        "bd_allocation: unit pair flow failed to saturate");
+  }
+
+  // Canonicalize on the double cover (left copies send, right receive).
+  std::vector<FlowEdge> flow_edges;
+  std::vector<std::pair<Vertex, Vertex>> endpoints;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [v, arc] : arc_of[i]) {
+      flow_edges.push_back(FlowEdge{i, n + slot[v], network.flow_on(arc)});
+      endpoints.emplace_back(pair.b[i], v);
+    }
+  }
+  if (policy == BalancePolicy::kMinNorm) {
+    balance_flow(flow_edges, 2 * n);
+    // The proportional-response fixed point on an α = 1 pair requires a
+    // SYMMETRIC exchange (x_uv = x_vu, since U_v = w_v there). Averaging
+    // the two directions preserves both marginals (each vertex both ships
+    // and receives exactly w_v) and only lowers the flow norm.
+    std::map<std::pair<Vertex, Vertex>, Rational> directed;
+    for (std::size_t e = 0; e < flow_edges.size(); ++e)
+      directed[endpoints[e]] = flow_edges[e].flow;
+    for (std::size_t e = 0; e < flow_edges.size(); ++e) {
+      const auto [u, v] = endpoints[e];
+      const auto reverse = directed.find({v, u});
+      if (reverse != directed.end()) {
+        flow_edges[e].flow =
+            Rational::midpoint(directed[{u, v}], reverse->second);
+      }
+    }
+  }
+
+  for (std::size_t e = 0; e < flow_edges.size(); ++e) {
+    const Rational& f = flow_edges[e].flow;
+    if (f.is_zero()) continue;
+    const auto [u, v] = endpoints[e];
+    allocation.set_sent(u, v, f);  // x_uv = f_uv'
+  }
+}
+
+}  // namespace
+
+Allocation bd_allocation(const Decomposition& decomposition,
+                         BalancePolicy policy) {
+  const Graph& g = decomposition.graph();
+  Allocation allocation(g.vertex_count());
+  for (const BottleneckPair& pair : decomposition.pairs()) {
+    if (pair.alpha == Rational(1) && pair.b == pair.c) {
+      allocate_unit_pair(g, pair, policy, allocation);
+    } else {
+      allocate_pair(g, pair, policy, allocation);
+    }
+  }
+  return allocation;
+}
+
+std::vector<std::string> fixed_point_violations(
+    const Decomposition& decomposition, const Allocation& allocation) {
+  std::vector<std::string> violations;
+  const Graph& g = decomposition.graph();
+  std::vector<Rational> utilities(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    utilities[v] = allocation.utility(v);
+  for (const auto& [u, v] : g.edges()) {
+    // Definition 1's update fixes x_vu·U_v = x_uv·w_v (and symmetrically);
+    // skip agents with zero intake, where the update is undefined.
+    auto check = [&](Vertex from, Vertex to) {
+      if (utilities[from].is_zero()) return;
+      if (allocation.sent(from, to) * utilities[from] !=
+          allocation.sent(to, from) * g.weight(from)) {
+        violations.push_back("edge v" + std::to_string(from) + "-v" +
+                             std::to_string(to) +
+                             ": x_vu * U_v != x_uv * w_v");
+      }
+    };
+    check(u, v);
+    check(v, u);
+  }
+  return violations;
+}
+
+std::vector<std::string> allocation_violations(
+    const Decomposition& decomposition, const Allocation& allocation) {
+  std::vector<std::string> violations;
+  const Graph& g = decomposition.graph();
+
+  for (const auto& [u, v, amount] : allocation.transfers()) {
+    if (!g.has_edge(u, v))
+      violations.push_back("transfer along non-edge v" + std::to_string(u) +
+                           " -> v" + std::to_string(v));
+    if (amount.is_negative())
+      violations.push_back("negative transfer on v" + std::to_string(u) +
+                           " -> v" + std::to_string(v));
+  }
+
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    // Budget balance: every agent ships exactly its endowment (vacuous for
+    // zero-weight agents).
+    if (allocation.sent_total(v) != g.weight(v))
+      violations.push_back("agent v" + std::to_string(v) +
+                           " does not ship exactly w_v");
+    // Prop. 6: U_v = w_v·α_i (B class) or w_v/α_i (C class).
+    if (allocation.utility(v) != decomposition.utility(v))
+      violations.push_back("agent v" + std::to_string(v) +
+                           " utility differs from Prop. 6 value");
+  }
+  return violations;
+}
+
+}  // namespace ringshare::bd

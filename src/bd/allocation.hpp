@@ -1,0 +1,82 @@
+// allocation.hpp — the BD Allocation Mechanism (Def. 5).
+//
+// Given the bottleneck decomposition, resource moves only inside each pair:
+// for (B_i, C_i) with α_i < 1, a bipartite max-flow with source capacities
+// w_u (u ∈ B_i) and sink capacities w_v/α_i (v ∈ C_i) fixes x_uv = f_uv and
+// x_vu = α_i·f_uv; for the last pair with α_k = 1, a flow on the bipartite
+// double cover of G[B_k] fixes x_uv = f_uv'. All other edges carry zero.
+// The minimality of α_i guarantees (Hall-type condition) that the flow
+// saturates both sides; the mechanism verifies this exactly and throws
+// otherwise.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "graph/graph.hpp"
+
+namespace ringshare::bd {
+
+/// Directed allocation x_{uv}: how much u sends to v across edge {u,v}.
+class Allocation {
+ public:
+  Allocation() = default;
+  explicit Allocation(std::size_t vertex_count);
+
+  /// x_{uv} (zero if unset).
+  [[nodiscard]] Rational sent(Vertex u, Vertex v) const;
+  void set_sent(Vertex u, Vertex v, Rational amount);
+
+  /// U_v = Σ_u x_{uv}: total resource received by v.
+  [[nodiscard]] Rational utility(Vertex v) const;
+
+  /// Σ_u x_{vu}: total resource v gives away (should equal w_v for every
+  /// vertex with a positive-weight pair).
+  [[nodiscard]] Rational sent_total(Vertex v) const;
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return outgoing_.size();
+  }
+
+  /// All non-zero transfers as (u, v, x_uv).
+  [[nodiscard]] std::vector<std::tuple<Vertex, Vertex, Rational>> transfers()
+      const;
+
+ private:
+  // Sparse per-vertex outgoing map (graphs are small; clarity over speed).
+  std::vector<std::map<Vertex, Rational>> outgoing_;
+};
+
+/// Flow canonicalization policy for bd_allocation.
+enum class BalancePolicy {
+  /// Keep the raw extreme-point max-flow Dinic returns. Still a valid
+  /// Def.-5 allocation, but NOT a proportional-response fixed point in
+  /// general and Lemma 9 can fail (see balance.hpp) — exposed for the
+  /// ablation bench and tests.
+  kExtremePoint,
+  /// Canonical minimum-norm flow (default): symmetric under instance
+  /// automorphisms, a PR fixed point, and the allocation Lemma 9 needs.
+  kMinNorm,
+};
+
+/// Run the BD Allocation Mechanism for `decomposition` on its graph.
+/// Throws std::logic_error if a pair's flow fails to saturate (would
+/// contradict the bottleneck property — indicates a solver bug).
+[[nodiscard]] Allocation bd_allocation(
+    const Decomposition& decomposition,
+    BalancePolicy policy = BalancePolicy::kMinNorm);
+
+/// Violations of the proportional-response fixed-point property
+/// (Definition 1's update maps the allocation to itself):
+///     x_vu · U_v = x_uv · w_v   for every edge {u, v} with U_v > 0.
+/// The min-norm allocation satisfies it; extreme-point flows need not.
+[[nodiscard]] std::vector<std::string> fixed_point_violations(
+    const Decomposition& decomposition, const Allocation& allocation);
+
+/// Violations of the allocation axioms (budget balance w.r.t. weights,
+/// transfers only along edges, Prop. 6 utilities). Empty when valid.
+[[nodiscard]] std::vector<std::string> allocation_violations(
+    const Decomposition& decomposition, const Allocation& allocation);
+
+}  // namespace ringshare::bd

@@ -1,0 +1,137 @@
+#include "bd/approx.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "bd/decomposition.hpp"
+#include "flow/dinic.hpp"
+
+namespace ringshare::bd {
+
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+double weight_of(const Graph& g, Vertex v) { return g.weight(v).to_double(); }
+
+double set_weight(const Graph& g, const std::vector<Vertex>& set) {
+  double total = 0;
+  for (const Vertex v : set) total += weight_of(g, v);
+  return total;
+}
+
+std::vector<Vertex> maximal_minimizer(const Graph& g, double lambda) {
+  const std::size_t n = g.vertex_count();
+  flow::MaxFlow<double> network(2 * n + 2);
+  const std::size_t s = 2 * n;
+  const std::size_t t = 2 * n + 1;
+  for (Vertex u = 0; u < n; ++u) {
+    network.add_arc(s, u, lambda * weight_of(g, u));
+    network.add_arc(n + u, t, weight_of(g, u));
+    for (const Vertex v : g.neighbors(u)) network.add_infinite_arc(u, n + v);
+  }
+  network.run(s, t);
+  const std::vector<char> reaches_sink = network.residual_reaching_sink();
+  std::vector<Vertex> out;
+  for (Vertex u = 0; u < n; ++u) {
+    if (!reaches_sink[u]) out.push_back(u);
+  }
+  return out;
+}
+
+/// Approximate maximal bottleneck of one (sub)graph.
+ApproxPair approx_bottleneck(const Graph& g, const ApproxOptions& options) {
+  const std::size_t n = g.vertex_count();
+  double lambda = 0.0;
+  bool found = false;
+  for (Vertex v = 0; v < n; ++v) {
+    const double w = weight_of(g, v);
+    if (w <= 0) continue;
+    double nbhd = 0;
+    for (const Vertex u : g.neighbors(v)) nbhd += weight_of(g, u);
+    const double candidate = nbhd / w;
+    if (!found || candidate < lambda) {
+      lambda = candidate;
+      found = true;
+    }
+  }
+  if (!found) throw std::invalid_argument("approx_bottleneck: all zero");
+
+  ApproxPair pair;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    std::vector<Vertex> candidate = maximal_minimizer(g, lambda);
+    if (candidate.empty()) break;  // numerically below α*: keep previous
+    const double denom = set_weight(g, candidate);
+    const double numer = set_weight(g, g.neighborhood(candidate));
+    if (denom <= 0) break;
+    const double value = numer - lambda * denom;
+    if (value >= -options.epsilon) {
+      pair.b = std::move(candidate);
+      pair.alpha = lambda;
+      break;
+    }
+    lambda = numer / denom;
+    pair.b = std::move(candidate);  // best so far
+    pair.alpha = lambda;
+  }
+  if (pair.b.empty()) {
+    // Degenerate fall-back: single best vertex.
+    pair.b = maximal_minimizer(g, lambda * (1 + options.epsilon));
+    pair.alpha = lambda;
+  }
+  return pair;
+}
+
+}  // namespace
+
+std::vector<ApproxPair> approximate_decomposition(const Graph& g,
+                                                  const ApproxOptions& options) {
+  std::vector<ApproxPair> pairs;
+  std::vector<Vertex> remaining(g.vertex_count());
+  std::iota(remaining.begin(), remaining.end(), Vertex{0});
+
+  while (!remaining.empty()) {
+    const graph::InducedSubgraph sub = graph::induced_subgraph(g, remaining);
+    if (sub.graph.total_weight().is_zero()) {
+      ApproxPair pair;
+      pair.b = remaining;
+      pair.c = remaining;
+      pair.alpha = 1.0;
+      pairs.push_back(std::move(pair));
+      break;
+    }
+    ApproxPair local = approx_bottleneck(sub.graph, options);
+    ApproxPair pair;
+    for (const Vertex u : local.b) pair.b.push_back(sub.to_parent[u]);
+    for (const Vertex u : sub.graph.neighborhood(local.b))
+      pair.c.push_back(sub.to_parent[u]);
+    pair.alpha = local.alpha;
+
+    std::vector<char> removed(g.vertex_count(), 0);
+    for (const Vertex v : pair.b) removed[v] = 1;
+    for (const Vertex v : pair.c) removed[v] = 1;
+    std::vector<Vertex> next;
+    for (const Vertex v : remaining) {
+      if (!removed[v]) next.push_back(v);
+    }
+    if (next.size() == remaining.size())
+      throw std::logic_error("approximate_decomposition: no progress");
+    pairs.push_back(std::move(pair));
+    remaining = std::move(next);
+  }
+  return pairs;
+}
+
+bool approx_matches_exact(const graph::Graph& g,
+                          const std::vector<ApproxPair>& approx) {
+  const Decomposition exact(g);
+  if (exact.pair_count() != approx.size()) return false;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    if (exact.pairs()[i].b != approx[i].b) return false;
+    if (exact.pairs()[i].c != approx[i].c) return false;
+  }
+  return true;
+}
+
+}  // namespace ringshare::bd

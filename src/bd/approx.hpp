@@ -1,0 +1,40 @@
+// approx.hpp — double-precision bottleneck decomposition (ablation).
+//
+// The same Dinkelbach/min-cut algorithm as parametric.hpp but in floating
+// point. It is fast — and WRONG near structure breakpoints, where α
+// comparisons fall inside rounding error; the game analysis lives exactly
+// on those breakpoints, which is why the production pipeline is exact.
+// This module exists to quantify that trade-off (E12) and to demonstrate
+// concrete misclassifications (tests).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ringshare::bd {
+
+/// One approximate bottleneck pair.
+struct ApproxPair {
+  std::vector<graph::Vertex> b;
+  std::vector<graph::Vertex> c;
+  double alpha = 0.0;
+};
+
+struct ApproxOptions {
+  /// Cut-improvement threshold for the Dinkelbach loop.
+  double epsilon = 1e-9;
+  /// Iteration cap per peel (the exact solver needs a handful).
+  int max_iterations = 64;
+};
+
+/// Full decomposition in doubles. Same peeling loop as the exact solver.
+[[nodiscard]] std::vector<ApproxPair> approximate_decomposition(
+    const graph::Graph& g, const ApproxOptions& options = {});
+
+/// Compare an approximate decomposition to the exact one: true iff the
+/// pair structure (vertex sets, in order) is identical.
+[[nodiscard]] bool approx_matches_exact(const graph::Graph& g,
+                                        const std::vector<ApproxPair>& approx);
+
+}  // namespace ringshare::bd

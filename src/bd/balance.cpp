@@ -1,0 +1,133 @@
+#include "bd/balance.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ringshare::bd {
+
+namespace {
+
+using num::Rational;
+
+struct Adjacency {
+  std::size_t neighbor;
+  std::size_t edge;
+};
+
+}  // namespace
+
+void balance_flow(std::vector<FlowEdge>& edges, std::size_t node_count,
+                  int sweeps) {
+  if (edges.empty()) return;
+
+  std::vector<std::vector<Adjacency>> adjacency(node_count);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].from >= node_count || edges[e].to >= node_count)
+      throw std::out_of_range("balance_flow: node out of range");
+    adjacency[edges[e].from].push_back(Adjacency{edges[e].to, e});
+    adjacency[edges[e].to].push_back(Adjacency{edges[e].from, e});
+  }
+
+  // BFS spanning forest.
+  std::vector<std::size_t> parent_node(node_count, SIZE_MAX);
+  std::vector<std::size_t> parent_edge(node_count, SIZE_MAX);
+  std::vector<std::size_t> depth(node_count, 0);
+  std::vector<char> visited(node_count, 0);
+  std::vector<char> edge_in_tree(edges.size(), 0);
+  std::vector<std::size_t> queue;
+  for (std::size_t root = 0; root < node_count; ++root) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    queue.assign(1, root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t node = queue[head];
+      for (const Adjacency& adj : adjacency[node]) {
+        if (visited[adj.neighbor]) continue;
+        visited[adj.neighbor] = 1;
+        parent_node[adj.neighbor] = node;
+        parent_edge[adj.neighbor] = adj.edge;
+        depth[adj.neighbor] = depth[node] + 1;
+        edge_in_tree[adj.edge] = 1;
+        queue.push_back(adj.neighbor);
+      }
+    }
+  }
+
+  // Fundamental cycles, one per non-tree edge: edge sequence around the
+  // cycle in traversal order.
+  std::vector<std::vector<std::size_t>> cycles;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (edge_in_tree[e]) continue;
+    std::size_t u = edges[e].from;
+    std::size_t v = edges[e].to;
+    std::vector<std::size_t> up_from_u;    // edges u -> lca
+    std::vector<std::size_t> up_from_v;    // edges v -> lca
+    while (depth[u] > depth[v]) {
+      up_from_u.push_back(parent_edge[u]);
+      u = parent_node[u];
+    }
+    while (depth[v] > depth[u]) {
+      up_from_v.push_back(parent_edge[v]);
+      v = parent_node[v];
+    }
+    while (u != v) {
+      up_from_u.push_back(parent_edge[u]);
+      u = parent_node[u];
+      up_from_v.push_back(parent_edge[v]);
+      v = parent_node[v];
+    }
+    // Cycle: non-tree edge, then v-side path reversed up, then u-side down.
+    std::vector<std::size_t> cycle;
+    cycle.push_back(e);
+    cycle.insert(cycle.end(), up_from_v.begin(), up_from_v.end());
+    for (auto it = up_from_u.rbegin(); it != up_from_u.rend(); ++it)
+      cycle.push_back(*it);
+    if (cycle.size() % 2 != 0)
+      throw std::logic_error("balance_flow: odd cycle in bipartite support");
+    cycles.push_back(std::move(cycle));
+  }
+  if (cycles.empty()) return;
+
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    bool moved = false;
+    for (const std::vector<std::size_t>& cycle : cycles) {
+      // Alternating signs around the cycle keep every node's incident sum
+      // fixed (cycles in a bipartite support graph have even length).
+      const auto length = static_cast<std::int64_t>(cycle.size());
+      Rational weighted_sum(0);
+      bool has_lower = false;
+      bool has_upper = false;
+      Rational lower, upper;  // feasible t interval
+      for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const Rational& f = edges[cycle[i]].flow;
+        const bool plus = i % 2 == 0;
+        weighted_sum += plus ? f : -f;
+        if (plus) {
+          // f + t >= 0 → t >= −f.
+          if (!has_lower || lower < -f) lower = -f;
+          has_lower = true;
+        } else {
+          // f − t >= 0 → t <= f.
+          if (!has_upper || f < upper) upper = f;
+          has_upper = true;
+        }
+      }
+      // Unconstrained minimizer of Σ (f_i ± t)²: t* = −(Σ s_i f_i)/L.
+      Rational t = -weighted_sum / Rational(length);
+      if (has_lower && t < lower) t = lower;
+      if (has_upper && upper < t) t = upper;
+      if (t.is_zero()) continue;
+      moved = true;
+      for (std::size_t i = 0; i < cycle.size(); ++i) {
+        if (i % 2 == 0) {
+          edges[cycle[i]].flow += t;
+        } else {
+          edges[cycle[i]].flow -= t;
+        }
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace ringshare::bd

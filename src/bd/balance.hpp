@@ -1,0 +1,43 @@
+// balance.hpp — canonicalizing the BD allocation flow.
+//
+// Definition 5 pins each pair's flow only up to the cycle space of the
+// pair's bipartite exchange graph: any circulation added along an
+// alternating cycle preserves both marginals. The paper's Lemma 9 (and the
+// stage analysis built on it) implicitly uses the fixed point that the
+// proportional response dynamics reach from the uniform start — a
+// *balanced* flow. An extreme-point max-flow (what Dinic returns) can break
+// Lemma 9: on the uniform triangle the directed-3-cycle flow gives the
+// honest split (w₁⁰, w₂⁰) = (w_v, 0), whose split path has utility w_v/2,
+// not w_v.
+//
+// We canonicalize to the minimum-norm flow (min Σ f² subject to the
+// marginals and f ≥ 0) by exact coordinate descent over a fundamental cycle
+// basis. On rings and paths every pair's exchange graph has at most one
+// cycle per component, so a single sweep is exact; on general graphs the
+// sweeps converge and we run a fixed number. The minimum-norm point is
+// invariant under instance automorphisms — the property Lemma 9 needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/rational.hpp"
+
+namespace ringshare::bd {
+
+/// One undirected exchange edge with a current flow value.
+struct FlowEdge {
+  std::size_t from;  ///< sender node (local index)
+  std::size_t to;    ///< receiver node (local index)
+  num::Rational flow;
+};
+
+/// Redistribute flow toward the minimum-norm point while preserving every
+/// node's incident flow totals (separately as sender and receiver) and
+/// non-negativity. `node_count` covers both sides of the bipartite graph.
+/// `sweeps` bounds the coordinate-descent passes (1 is exact when the
+/// support graph has at most one independent cycle per component).
+void balance_flow(std::vector<FlowEdge>& edges, std::size_t node_count,
+                  int sweeps = 8);
+
+}  // namespace ringshare::bd

@@ -1,0 +1,113 @@
+#include "bd/brute.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ringshare::bd {
+
+BottleneckResult brute_force_bottleneck(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) throw std::invalid_argument("brute_force_bottleneck: empty");
+  if (n > 24) throw std::invalid_argument("brute_force_bottleneck: n > 24");
+
+  bool found = false;
+  Rational best_alpha;
+  std::uint32_t best_mask = 0;
+
+  for (std::uint32_t mask = 1; mask < (1U << n); ++mask) {
+    Rational set_w(0);
+    std::vector<Vertex> set;
+    for (Vertex v = 0; v < n; ++v) {
+      if (mask & (1U << v)) {
+        set.push_back(v);
+        set_w += g.weight(v);
+      }
+    }
+    if (set_w.is_zero()) continue;
+    const Rational alpha = g.set_weight(g.neighborhood(set)) / set_w;
+    // Prefer strictly smaller α; at equal α prefer the larger set, and among
+    // equal-size candidates the union is also optimal, so keep unioning.
+    if (!found || alpha < best_alpha) {
+      found = true;
+      best_alpha = alpha;
+      best_mask = mask;
+    } else if (alpha == best_alpha) {
+      // Union of two bottlenecks is a bottleneck: grow toward the maximal one.
+      const std::uint32_t unioned = best_mask | mask;
+      if (unioned != best_mask) {
+        std::vector<Vertex> union_set;
+        Rational union_w(0);
+        for (Vertex v = 0; v < n; ++v) {
+          if (unioned & (1U << v)) {
+            union_set.push_back(v);
+            union_w += g.weight(v);
+          }
+        }
+        const Rational union_alpha =
+            g.set_weight(g.neighborhood(union_set)) / union_w;
+        if (union_alpha == best_alpha) best_mask = unioned;
+      }
+    }
+  }
+  if (!found) throw std::invalid_argument("brute_force_bottleneck: all zero");
+
+  BottleneckResult result;
+  result.alpha = best_alpha;
+  for (Vertex v = 0; v < n; ++v) {
+    if (best_mask & (1U << v)) result.bottleneck.push_back(v);
+  }
+  // Absorb zero-weight vertices whose neighborhoods are already covered
+  // (they belong to the maximal bottleneck at no cost).
+  for (Vertex v = 0; v < n; ++v) {
+    if ((best_mask & (1U << v)) || !g.weight(v).is_zero()) continue;
+    std::vector<Vertex> candidate = result.bottleneck;
+    candidate.push_back(v);
+    std::sort(candidate.begin(), candidate.end());
+    const Rational alpha =
+        g.set_weight(g.neighborhood(candidate)) / g.set_weight(candidate);
+    if (alpha == best_alpha) {
+      result.bottleneck = std::move(candidate);
+      best_mask |= 1U << v;
+    }
+  }
+  return result;
+}
+
+std::vector<BottleneckPair> brute_force_decomposition(const Graph& g) {
+  std::vector<BottleneckPair> pairs;
+  std::vector<Vertex> remaining(g.vertex_count());
+  std::iota(remaining.begin(), remaining.end(), Vertex{0});
+
+  while (!remaining.empty()) {
+    const graph::InducedSubgraph sub = graph::induced_subgraph(g, remaining);
+    if (sub.graph.total_weight().is_zero()) {
+      BottleneckPair pair;
+      pair.b = remaining;
+      pair.c = remaining;
+      pair.alpha = Rational(1);
+      pairs.push_back(std::move(pair));
+      break;
+    }
+    const BottleneckResult result = brute_force_bottleneck(sub.graph);
+    BottleneckPair pair;
+    for (const Vertex local : result.bottleneck)
+      pair.b.push_back(sub.to_parent[local]);
+    for (const Vertex local : sub.graph.neighborhood(result.bottleneck))
+      pair.c.push_back(sub.to_parent[local]);
+    pair.alpha = result.alpha;
+
+    std::vector<char> removed(g.vertex_count(), 0);
+    for (const Vertex v : pair.b) removed[v] = 1;
+    for (const Vertex v : pair.c) removed[v] = 1;
+    std::vector<Vertex> next;
+    for (const Vertex v : remaining) {
+      if (!removed[v]) next.push_back(v);
+    }
+    pairs.push_back(std::move(pair));
+    remaining = std::move(next);
+  }
+  return pairs;
+}
+
+}  // namespace ringshare::bd

@@ -1,0 +1,21 @@
+// brute.hpp — exponential-time reference implementations.
+//
+// Independent oracles for testing the parametric solver: enumerate all 2^n−1
+// subsets to find the minimum α-ratio and the maximal bottleneck. Only
+// usable for n ≲ 20; the test suites cross-validate the Dinkelbach solver
+// against these on exhaustive small instances and random mid-size ones.
+#pragma once
+
+#include "bd/decomposition.hpp"
+#include "bd/parametric.hpp"
+
+namespace ringshare::bd {
+
+/// Maximal bottleneck by exhaustive subset enumeration (n <= 24 enforced).
+[[nodiscard]] BottleneckResult brute_force_bottleneck(const Graph& g);
+
+/// Full decomposition using the brute-force bottleneck at each peel.
+[[nodiscard]] std::vector<BottleneckPair> brute_force_decomposition(
+    const Graph& g);
+
+}  // namespace ringshare::bd

@@ -1,0 +1,207 @@
+#include "bd/decomposition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace ringshare::bd {
+
+std::string to_string(VertexClass cls) {
+  switch (cls) {
+    case VertexClass::kB: return "B";
+    case VertexClass::kC: return "C";
+    case VertexClass::kBoth: return "B=C";
+  }
+  return "?";
+}
+
+Decomposition::Decomposition(const Graph& g) : graph_(g) {
+  pair_index_.assign(g.vertex_count(), 0);
+
+  // Current residual vertex set (original ids).
+  std::vector<Vertex> remaining(g.vertex_count());
+  std::iota(remaining.begin(), remaining.end(), Vertex{0});
+
+  while (!remaining.empty()) {
+    const graph::InducedSubgraph sub = graph::induced_subgraph(g, remaining);
+
+    if (sub.graph.total_weight().is_zero()) {
+      // Degenerate all-zero remainder: close with a single zero pair so the
+      // partition stays total. No resource moves here (utilities are zero).
+      BottleneckPair pair;
+      pair.b = remaining;
+      pair.c = remaining;
+      pair.alpha = Rational(1);
+      for (const Vertex v : remaining) pair_index_[v] = pairs_.size();
+      pairs_.push_back(std::move(pair));
+      break;
+    }
+
+    const BottleneckResult result = maximal_bottleneck(sub.graph);
+    dinkelbach_iterations_ += result.dinkelbach_iterations;
+
+    BottleneckPair pair;
+    pair.b.reserve(result.bottleneck.size());
+    for (const Vertex local : result.bottleneck)
+      pair.b.push_back(sub.to_parent[local]);
+    const std::vector<Vertex> local_c =
+        sub.graph.neighborhood(result.bottleneck);
+    pair.c.reserve(local_c.size());
+    for (const Vertex local : local_c) pair.c.push_back(sub.to_parent[local]);
+    pair.alpha = result.alpha;
+
+    std::vector<char> removed(g.vertex_count(), 0);
+    for (const Vertex v : pair.b) {
+      pair_index_[v] = pairs_.size();
+      removed[v] = 1;
+    }
+    for (const Vertex v : pair.c) {
+      pair_index_[v] = pairs_.size();
+      removed[v] = 1;
+    }
+
+    std::vector<Vertex> next;
+    next.reserve(remaining.size());
+    for (const Vertex v : remaining) {
+      if (!removed[v]) next.push_back(v);
+    }
+    pairs_.push_back(std::move(pair));
+    remaining = std::move(next);
+  }
+}
+
+std::size_t Decomposition::pair_index(Vertex v) const {
+  if (v >= pair_index_.size())
+    throw std::out_of_range("Decomposition: vertex out of range");
+  return pair_index_[v];
+}
+
+VertexClass Decomposition::vertex_class(Vertex v) const {
+  const BottleneckPair& pair = pair_of(v);
+  const bool in_b = std::binary_search(pair.b.begin(), pair.b.end(), v);
+  const bool in_c = std::binary_search(pair.c.begin(), pair.c.end(), v);
+  if (in_b && in_c) return VertexClass::kBoth;
+  return in_b ? VertexClass::kB : VertexClass::kC;
+}
+
+Rational Decomposition::utility(Vertex v) const {
+  const BottleneckPair& pair = pair_of(v);
+  // Zero-endowment agents receive nothing under the BD allocation (they can
+  // also sit in a degenerate α = 0 pair where w_v/α would be ill-formed).
+  if (graph_.weight(v).is_zero()) return Rational(0);
+  switch (vertex_class(v)) {
+    case VertexClass::kB:
+      return graph_.weight(v) * pair.alpha;
+    case VertexClass::kC:
+      return graph_.weight(v) / pair.alpha;
+    case VertexClass::kBoth:
+      return graph_.weight(v);  // α = 1
+  }
+  throw std::logic_error("Decomposition: bad vertex class");
+}
+
+std::vector<std::pair<std::vector<Vertex>, std::vector<Vertex>>>
+Decomposition::signature() const {
+  std::vector<std::pair<std::vector<Vertex>, std::vector<Vertex>>> out;
+  out.reserve(pairs_.size());
+  for (const BottleneckPair& pair : pairs_) out.emplace_back(pair.b, pair.c);
+  return out;
+}
+
+std::string Decomposition::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    const BottleneckPair& pair = pairs_[i];
+    os << "(B" << i + 1 << ", C" << i + 1 << "): B = {";
+    for (std::size_t j = 0; j < pair.b.size(); ++j)
+      os << (j ? "," : "") << "v" << pair.b[j];
+    os << "}, C = {";
+    for (std::size_t j = 0; j < pair.c.size(); ++j)
+      os << (j ? "," : "") << "v" << pair.c[j];
+    os << "}, alpha = " << pair.alpha.to_string() << " ("
+       << pair.alpha.to_double() << ")\n";
+  }
+  return os.str();
+}
+
+std::vector<std::string> proposition3_violations(
+    const Graph& g, const Decomposition& decomposition) {
+  std::vector<std::string> violations;
+  const auto& pairs = decomposition.pairs();
+
+  // (1) strictly increasing α, all ≤ 1 and > 0 (0 only in degenerate graphs
+  // with isolated positive-weight vertices, which callers flag themselves).
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (Rational(1) < pairs[i].alpha)
+      violations.push_back("alpha > 1 at pair " + std::to_string(i + 1));
+    if (i > 0 && !(pairs[i - 1].alpha < pairs[i].alpha))
+      violations.push_back("alpha not strictly increasing at pair " +
+                           std::to_string(i + 1));
+  }
+
+  // (2) α_i = 1 only at the last pair with B = C; otherwise B independent
+  // and disjoint from C.
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const bool is_one = pairs[i].alpha == Rational(1);
+    if (is_one) {
+      if (i + 1 != pairs.size())
+        violations.push_back("alpha = 1 before the last pair");
+      if (pairs[i].b != pairs[i].c)
+        violations.push_back("alpha = 1 but B_k != C_k");
+    } else {
+      if (!g.is_independent(pairs[i].b))
+        violations.push_back("B_" + std::to_string(i + 1) +
+                             " is not independent");
+      std::vector<Vertex> intersection;
+      std::set_intersection(pairs[i].b.begin(), pairs[i].b.end(),
+                            pairs[i].c.begin(), pairs[i].c.end(),
+                            std::back_inserter(intersection));
+      if (!intersection.empty())
+        violations.push_back("B_" + std::to_string(i + 1) +
+                             " intersects C_" + std::to_string(i + 1));
+    }
+  }
+
+  // (3) no edge between B_i and B_j (i != j);
+  // (4) edges between B_i and C_j only when j <= i.
+  std::vector<int> b_pair(g.vertex_count(), -1);
+  std::vector<int> c_pair(g.vertex_count(), -1);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (const Vertex v : pairs[i].b) b_pair[v] = static_cast<int>(i);
+    for (const Vertex v : pairs[i].c) c_pair[v] = static_cast<int>(i);
+  }
+  for (const auto& [u, v] : g.edges()) {
+    if (b_pair[u] >= 0 && b_pair[v] >= 0 && b_pair[u] != b_pair[v] &&
+        c_pair[u] != b_pair[u] && c_pair[v] != b_pair[v]) {
+      // Exclude α=1 vertices (class Both) — they are B and C at once.
+      violations.push_back("edge between B_" + std::to_string(b_pair[u] + 1) +
+                           " and B_" + std::to_string(b_pair[v] + 1));
+    }
+    auto check_b_to_c = [&](Vertex b_end, Vertex c_end) {
+      if (b_pair[b_end] >= 0 && c_pair[c_end] >= 0 &&
+          c_pair[c_end] > b_pair[b_end]) {
+        violations.push_back("edge between B_" +
+                             std::to_string(b_pair[b_end] + 1) + " and C_" +
+                             std::to_string(c_pair[c_end] + 1) +
+                             " with j > i");
+      }
+    };
+    check_b_to_c(u, v);
+    check_b_to_c(v, u);
+  }
+
+  // Partition totality: every vertex in exactly one pair.
+  std::vector<int> seen(g.vertex_count(), 0);
+  for (const auto& pair : pairs) {
+    for (const Vertex v : pair.b) seen[v] |= 1;
+    for (const Vertex v : pair.c) seen[v] |= 2;
+  }
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    if (!seen[v])
+      violations.push_back("vertex v" + std::to_string(v) + " unassigned");
+  }
+  return violations;
+}
+
+}  // namespace ringshare::bd

@@ -1,0 +1,111 @@
+// decomposition.hpp — the bottleneck decomposition (Def. 2) and the B/C
+// class structure (Def. 4) of a weighted graph.
+//
+// Start from G₁ = G; repeatedly peel the maximal bottleneck B_i and its
+// neighborhood C_i = Γ(B_i) ∩ V_i, recursing on the induced remainder. The
+// result {(B_i, C_i)}_i with α_i = w(C_i)/w(B_i) is unique and satisfies
+// Proposition 3:
+//   (1) 0 < α₁ < α₂ < ... < α_k ≤ 1   (degenerate 0 allowed for isolated
+//       positive-weight vertices, which rings/paths never produce),
+//   (2) α_i = 1 ⟹ i = k and B_k = C_k; otherwise B_i independent, disjoint
+//       from C_i,
+//   (3) no edge between B_i and B_j,
+//   (4) edges between B_i and C_j only for j ≤ i.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bd/parametric.hpp"
+#include "graph/graph.hpp"
+
+namespace ringshare::bd {
+
+/// One bottleneck pair (vertex ids refer to the *original* graph).
+struct BottleneckPair {
+  std::vector<Vertex> b;  ///< maximal bottleneck B_i (sorted)
+  std::vector<Vertex> c;  ///< C_i = Γ(B_i) within G_i (sorted)
+  Rational alpha;         ///< α_i = w(C_i)/w(B_i)
+};
+
+/// Which side of its pair a vertex is on.
+enum class VertexClass {
+  kB,     ///< in B_i of a pair with α_i < 1
+  kC,     ///< in C_i of a pair with α_i < 1
+  kBoth,  ///< in the last pair with B_k = C_k (α_k = 1)
+};
+
+[[nodiscard]] std::string to_string(VertexClass cls);
+
+/// The full bottleneck decomposition of a graph.
+class Decomposition {
+ public:
+  /// Compute the decomposition of `g`. Throws std::invalid_argument when all
+  /// weights are zero (the model needs at least one positive endowment).
+  explicit Decomposition(const Graph& g);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const std::vector<BottleneckPair>& pairs() const noexcept {
+    return pairs_;
+  }
+  [[nodiscard]] std::size_t pair_count() const noexcept {
+    return pairs_.size();
+  }
+
+  /// Index i (0-based) of the pair containing v.
+  [[nodiscard]] std::size_t pair_index(Vertex v) const;
+  [[nodiscard]] const BottleneckPair& pair_of(Vertex v) const {
+    return pairs_[pair_index(v)];
+  }
+
+  /// B/C/Both class of v (Def. 4).
+  [[nodiscard]] VertexClass vertex_class(Vertex v) const;
+
+  /// True if v counts as a B-class vertex (kB or kBoth).
+  [[nodiscard]] bool in_b_class(Vertex v) const {
+    const VertexClass c = vertex_class(v);
+    return c == VertexClass::kB || c == VertexClass::kBoth;
+  }
+  /// True if v counts as a C-class vertex (kC or kBoth).
+  [[nodiscard]] bool in_c_class(Vertex v) const {
+    const VertexClass c = vertex_class(v);
+    return c == VertexClass::kC || c == VertexClass::kBoth;
+  }
+
+  /// α-ratio of the pair containing v (the paper's α_v).
+  [[nodiscard]] const Rational& alpha_of(Vertex v) const {
+    return pair_of(v).alpha;
+  }
+
+  /// Equilibrium utility of v under the BD allocation (Prop. 6):
+  /// w_v·α_i for v ∈ B_i, w_v/α_i for v ∈ C_i (equal, = w_v, when α_i = 1).
+  [[nodiscard]] Rational utility(Vertex v) const;
+
+  /// Total Dinkelbach iterations across all peeling steps (cost ablation).
+  [[nodiscard]] int total_dinkelbach_iterations() const noexcept {
+    return dinkelbach_iterations_;
+  }
+
+  /// Structural signature: the (B_i, C_i) vertex sets only (no α values).
+  /// Two decompositions with equal signatures have identical pair structure;
+  /// used for breakpoint detection in the misreporting analysis.
+  [[nodiscard]] std::vector<std::pair<std::vector<Vertex>, std::vector<Vertex>>>
+  signature() const;
+
+  /// Human-readable multi-line rendering.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Graph graph_;  // value copy: decompositions outlive sweep-local graphs
+  std::vector<BottleneckPair> pairs_;
+  std::vector<std::size_t> pair_index_;  // per vertex
+  int dinkelbach_iterations_ = 0;
+};
+
+/// Violations of Proposition 3 on a computed decomposition (empty if none).
+/// Used as a test oracle and as a paranoia check in benches.
+[[nodiscard]] std::vector<std::string> proposition3_violations(
+    const Graph& g, const Decomposition& decomposition);
+
+}  // namespace ringshare::bd

@@ -1,0 +1,95 @@
+#include "bd/parametric.hpp"
+
+#include <stdexcept>
+
+#include "flow/dinic.hpp"
+
+namespace ringshare::bd {
+
+namespace {
+
+/// One parametric min-cut evaluation: returns the maximal minimizer S of
+/// w(Γ(S)) − λ·w(S) (possibly empty).
+std::vector<Vertex> maximal_minimizer(const Graph& g, const Rational& lambda) {
+  const std::size_t n = g.vertex_count();
+  // Nodes: 0..n-1 = S-side u, n..2n-1 = neighbor side v', 2n = s, 2n+1 = t.
+  flow::MaxFlow<Rational> network(2 * n + 2);
+  const std::size_t s = 2 * n;
+  const std::size_t t = 2 * n + 1;
+  for (Vertex u = 0; u < n; ++u) {
+    network.add_arc(s, u, lambda * g.weight(u));
+    network.add_arc(n + u, t, g.weight(u));
+    for (const Vertex v : g.neighbors(u)) {
+      network.add_infinite_arc(u, n + v);
+    }
+  }
+  network.run(s, t);
+  // Maximal source side = complement of the nodes that can still reach t.
+  const std::vector<char> reaches_sink = network.residual_reaching_sink();
+  std::vector<Vertex> out;
+  for (Vertex u = 0; u < n; ++u) {
+    if (!reaches_sink[u]) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace
+
+Rational alpha_ratio(const Graph& g, std::span<const Vertex> set) {
+  const Rational denominator = g.set_weight(set);
+  if (denominator.is_zero())
+    throw std::invalid_argument("alpha_ratio: w(S) == 0");
+  return g.set_weight(g.neighborhood(set)) / denominator;
+}
+
+BottleneckResult maximal_bottleneck(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) throw std::invalid_argument("maximal_bottleneck: empty graph");
+
+  // Initial upper bound: the best single-vertex ratio.
+  bool found = false;
+  Rational lambda;
+  for (Vertex v = 0; v < n; ++v) {
+    if (g.weight(v).is_zero()) continue;
+    Rational candidate =
+        g.set_weight(g.neighbors(v)) / g.weight(v);
+    if (!found || candidate < lambda) {
+      lambda = candidate;
+      found = true;
+    }
+  }
+  if (!found)
+    throw std::invalid_argument("maximal_bottleneck: all weights zero");
+
+  BottleneckResult result;
+  result.alpha = lambda;
+  for (int iteration = 1;; ++iteration) {
+    result.dinkelbach_iterations = iteration;
+    std::vector<Vertex> candidate = maximal_minimizer(g, lambda);
+    if (candidate.empty()) {
+      // Only ∅ minimizes: λ < α*. Cannot happen because λ is always an
+      // attained ratio α(S) ≥ α*; defensively treat as converged at the
+      // previous bottleneck.
+      throw std::logic_error("maximal_bottleneck: empty maximal minimizer");
+    }
+    const Rational set_w = g.set_weight(candidate);
+    const Rational nbhd_w = g.set_weight(g.neighborhood(candidate));
+    if (set_w.is_zero()) {
+      // All-zero-weight minimizer can only happen at value 0 with λ > 0;
+      // means w(Γ(S)) = 0 too — degenerate graph handled by caller.
+      throw std::logic_error("maximal_bottleneck: zero-weight minimizer");
+    }
+    const Rational value = nbhd_w - lambda * set_w;
+    if (value.sign() >= 0) {
+      // λ ≤ α(candidate) and candidate non-empty ⇒ λ = α*, candidate is the
+      // maximal bottleneck.
+      result.alpha = lambda;
+      result.bottleneck = std::move(candidate);
+      return result;
+    }
+    lambda = nbhd_w / set_w;  // strictly smaller; iterate
+    result.alpha = lambda;
+  }
+}
+
+}  // namespace ringshare::bd

@@ -1,0 +1,45 @@
+// parametric.hpp — maximal bottleneck via parametric min-cut (exact).
+//
+// The bottleneck of G is the set minimizing the inclusive expansion ratio
+// α(S) = w(Γ(S)) / w(S). For a guess λ, the network
+//
+//     s --(λ·w_u)--> u --(∞ iff v ∈ Γ(u))--> v' --(w_v)--> t
+//
+// has min-cut value λ·w(V) + min_{S ⊆ V} [ w(Γ(S)) − λ·w(S) ]. The inner
+// minimum is 0 (attained by S = ∅) iff λ ≤ α*, and negative iff λ > α*.
+// Dinkelbach iteration (λ ← α(S_best)) therefore converges to α* in finitely
+// many exact steps, and at λ = α* the maximal minimizer of the cut — read
+// from the sink-unreachable side of the residual graph — is the union of all
+// bottlenecks, i.e. the maximal bottleneck.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ringshare::bd {
+
+using graph::Graph;
+using graph::Rational;
+using graph::Vertex;
+
+/// Result of the bottleneck search on one graph.
+struct BottleneckResult {
+  Rational alpha;                 ///< α* = min_S w(Γ(S))/w(S)
+  std::vector<Vertex> bottleneck; ///< the maximal bottleneck (sorted)
+  int dinkelbach_iterations = 0;  ///< solver effort (for the cost ablation)
+};
+
+/// Compute the maximal bottleneck of `g` exactly.
+///
+/// Requires at least one vertex of positive weight and no isolated
+/// positive-weight vertex... more precisely: if some set has w(Γ(S)) = 0 and
+/// w(S) > 0 the minimum is 0 and that degenerate bottleneck is returned.
+/// Throws std::invalid_argument if all weights are zero.
+[[nodiscard]] BottleneckResult maximal_bottleneck(const Graph& g);
+
+/// α(S) for a non-empty set with w(S) > 0. Throws on w(S) == 0.
+[[nodiscard]] Rational alpha_ratio(const Graph& g,
+                                   std::span<const Vertex> set);
+
+}  // namespace ringshare::bd

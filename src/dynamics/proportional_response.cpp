@@ -1,0 +1,195 @@
+#include "dynamics/proportional_response.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bd/decomposition.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::dynamics {
+
+namespace {
+
+/// Asynchronous variant: agents re-split their endowment one at a time
+/// against the *current* state. Each iteration is one full pass (n single
+/// updates; the randomized schedule samples n agents with replacement).
+DynamicsResult run_async(const Graph& g, const DynamicsOptions& options) {
+  const std::size_t n = g.vertex_count();
+  DynamicsResult result;
+  result.allocation.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const std::size_t degree = g.degree(v);
+    const double w = g.weight(v).to_double();
+    result.allocation[v].assign(degree, degree ? w / degree : 0.0);
+  }
+
+  util::Xoshiro256 rng(options.seed);
+
+  auto incoming = [&](Vertex v, std::size_t j) {
+    // x_uv where u = neighbors(v)[j].
+    const Vertex u = g.neighbors(v)[j];
+    const auto u_neighbors = g.neighbors(u);
+    const std::size_t pos = static_cast<std::size_t>(
+        std::lower_bound(u_neighbors.begin(), u_neighbors.end(), v) -
+        u_neighbors.begin());
+    return result.allocation[u][pos];
+  };
+
+  for (std::size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    double delta = 0.0;
+    for (std::size_t step = 0; step < n; ++step) {
+      const Vertex v =
+          options.schedule == UpdateSchedule::kRandomized
+              ? static_cast<Vertex>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))
+              : static_cast<Vertex>(step);
+      const std::size_t degree = g.degree(v);
+      if (degree == 0) continue;
+      double received = 0.0;
+      for (std::size_t j = 0; j < degree; ++j) received += incoming(v, j);
+      if (received <= 0.0) continue;  // undefined update: freeze
+      const double w = g.weight(v).to_double();
+      for (std::size_t j = 0; j < degree; ++j) {
+        const double updated = incoming(v, j) / received * w;
+        delta = std::max(delta, std::abs(updated - result.allocation[v][j]));
+        result.allocation[v][j] = updated;
+      }
+    }
+    result.iterations = iteration + 1;
+    result.final_delta = delta;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.utilities.assign(n, 0.0);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto neighbors = g.neighbors(v);
+    for (std::size_t j = 0; j < neighbors.size(); ++j)
+      result.utilities[neighbors[j]] += result.allocation[v][j];
+  }
+  return result;
+}
+
+}  // namespace
+
+DynamicsResult run_dynamics(const Graph& g, const DynamicsOptions& options) {
+  if (options.schedule != UpdateSchedule::kSynchronous)
+    return run_async(g, options);
+  const std::size_t n = g.vertex_count();
+  DynamicsResult result;
+  result.allocation.resize(n);
+
+  // x[v][j]: amount v sends to neighbors(v)[j].
+  for (Vertex v = 0; v < n; ++v) {
+    const std::size_t degree = g.degree(v);
+    const double w = g.weight(v).to_double();
+    result.allocation[v].assign(degree, degree ? w / degree : 0.0);
+  }
+
+  std::vector<std::vector<double>> next(result.allocation);
+  std::vector<double> received(n, 0.0);
+
+  for (std::size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    // Received totals under the current allocation.
+    std::fill(received.begin(), received.end(), 0.0);
+    for (Vertex v = 0; v < n; ++v) {
+      const auto neighbors = g.neighbors(v);
+      for (std::size_t j = 0; j < neighbors.size(); ++j)
+        received[neighbors[j]] += result.allocation[v][j];
+    }
+
+    double delta = 0.0;
+    for (Vertex v = 0; v < n; ++v) {
+      const auto neighbors = g.neighbors(v);
+      const double w = g.weight(v).to_double();
+      if (received[v] <= 0.0) {
+        // Undefined update: freeze previous split.
+        next[v] = result.allocation[v];
+        continue;
+      }
+      for (std::size_t j = 0; j < neighbors.size(); ++j) {
+        const Vertex u = neighbors[j];
+        // x_uv(t): locate v in u's neighbor list (sorted).
+        const auto u_neighbors = g.neighbors(u);
+        const std::size_t pos = static_cast<std::size_t>(
+            std::lower_bound(u_neighbors.begin(), u_neighbors.end(), v) -
+            u_neighbors.begin());
+        const double incoming = result.allocation[u][pos];
+        double updated = incoming / received[v] * w;
+        if (options.damped)
+          updated = 0.5 * (updated + result.allocation[v][j]);
+        delta = std::max(delta,
+                         std::abs(updated - result.allocation[v][j]));
+        next[v][j] = updated;
+      }
+    }
+
+    result.allocation.swap(next);
+    result.iterations = iteration + 1;
+    result.final_delta = delta;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.utilities.assign(n, 0.0);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto neighbors = g.neighbors(v);
+    for (std::size_t j = 0; j < neighbors.size(); ++j)
+      result.utilities[neighbors[j]] += result.allocation[v][j];
+  }
+  return result;
+}
+
+ConvergenceTrace trace_convergence(const Graph& g,
+                                   const DynamicsOptions& options,
+                                   const std::vector<std::size_t>& checkpoints) {
+  ConvergenceTrace trace;
+  for (const std::size_t budget : checkpoints) {
+    DynamicsOptions capped = options;
+    capped.max_iterations = budget;
+    capped.tolerance = 0.0;  // run the full budget
+    const DynamicsResult result = run_dynamics(g, capped);
+    trace.iterations.push_back(budget);
+    trace.gaps.push_back(utility_gap_to_bd(g, result));
+  }
+  return trace;
+}
+
+double ConvergenceTrace::log_log_slope() const {
+  double sum_x = 0;
+  double sum_y = 0;
+  double sum_xx = 0;
+  double sum_xy = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < iterations.size(); ++i) {
+    const double x = std::log(static_cast<double>(iterations[i]));
+    const double y = std::log(std::max(gaps[i], 1e-16));
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const double denominator =
+      static_cast<double>(count) * sum_xx - sum_x * sum_x;
+  if (denominator == 0.0) return 0.0;
+  return (static_cast<double>(count) * sum_xy - sum_x * sum_y) / denominator;
+}
+
+double utility_gap_to_bd(const Graph& g, const DynamicsResult& result) {
+  const bd::Decomposition decomposition(g);
+  double gap = 0.0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    gap = std::max(gap, std::abs(result.utilities[v] -
+                                 decomposition.utility(v).to_double()));
+  }
+  return gap;
+}
+
+}  // namespace ringshare::dynamics

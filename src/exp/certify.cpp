@@ -1,0 +1,61 @@
+#include "exp/certify.hpp"
+
+#include <sstream>
+
+#include "exp/families.hpp"
+#include "util/parallel.hpp"
+
+namespace ringshare::exp {
+
+std::string Certificate::summary() const {
+  std::ostringstream os;
+  os << "rings n=" << ring_size << " weights {1.." << max_weight << "}: "
+     << instances << " canonical instances, " << agents
+     << " agents optimized, " << agents_with_gain << " with strict gain; "
+     << "max ratio " << max_ratio.to_string() << " ("
+     << max_ratio.to_double() << ") -> bound 2 "
+     << (bound_respected ? "respected" : "REFUTED");
+  return os.str();
+}
+
+Certificate certify_rings(std::size_t n, std::int64_t max_weight,
+                          const game::SybilOptions& options) {
+  Certificate certificate;
+  certificate.ring_size = n;
+  certificate.max_weight = max_weight;
+
+  const std::vector<Graph> rings = exhaustive_rings(n, max_weight);
+  certificate.instances = rings.size();
+
+  struct Task {
+    std::size_t instance;
+    graph::Vertex vertex;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    for (graph::Vertex v = 0; v < n; ++v) tasks.push_back(Task{i, v});
+  }
+  certificate.agents = tasks.size();
+
+  const auto optima = util::parallel_map(tasks.size(), [&](std::size_t k) {
+    return game::optimize_sybil_split(rings[tasks[k].instance],
+                                      tasks[k].vertex, options);
+  });
+
+  bool first = true;
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    const auto& optimum = optima[k];
+    if (Rational(1) < optimum.ratio) ++certificate.agents_with_gain;
+    if (first || certificate.max_ratio < optimum.ratio) {
+      certificate.max_ratio = optimum.ratio;
+      certificate.extremal_weights = rings[tasks[k].instance].weights();
+      certificate.extremal_vertex = tasks[k].vertex;
+      certificate.extremal_split = optimum.w1_star;
+      first = false;
+    }
+  }
+  certificate.bound_respected = !(Rational(2) < certificate.max_ratio);
+  return certificate;
+}
+
+}  // namespace ringshare::exp

@@ -1,0 +1,44 @@
+// certify.hpp — systematic certification of Theorem 8 over weight grids.
+//
+// For a ring size n and weight alphabet {1..max_weight}, enumerate every
+// canonical necklace, run the exact Sybil optimizer on every vertex, and
+// assemble a certificate: the measured maximum ratio, the extremal
+// instance, and the count of exactly-evaluated splits — none of which may
+// exceed 2·U_v. A certificate is a finite, machine-checkable shadow of the
+// theorem on that grid (every evaluation is an exact rational; one bad
+// split would refute the theorem).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/sybil_ring.hpp"
+
+namespace ringshare::exp {
+
+using game::Rational;
+using graph::Graph;
+
+struct Certificate {
+  std::size_t ring_size = 0;
+  std::int64_t max_weight = 0;
+  std::size_t instances = 0;       ///< canonical necklaces enumerated
+  std::size_t agents = 0;          ///< (instance, vertex) pairs optimized
+  std::size_t agents_with_gain = 0;
+  Rational max_ratio;              ///< exact supremum found
+  std::vector<Rational> extremal_weights;  ///< the witnessing ring
+  graph::Vertex extremal_vertex = 0;
+  Rational extremal_split;         ///< w₁* of the witnessing attack
+  bool bound_respected = true;     ///< max_ratio ≤ 2 (false would refute)
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Certify all rings of size n over integer weights {1..max_weight}
+/// (canonical necklaces; vertices scanned in parallel).
+[[nodiscard]] Certificate certify_rings(std::size_t n,
+                                        std::int64_t max_weight,
+                                        const game::SybilOptions& options = {});
+
+}  // namespace ringshare::exp

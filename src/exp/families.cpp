@@ -1,0 +1,119 @@
+#include "exp/families.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ringshare::exp {
+
+Graph uniform_ring(std::size_t n) {
+  return graph::make_ring(std::vector<Rational>(n, Rational(1)));
+}
+
+Graph alternating_ring(std::size_t n, const Rational& heavy) {
+  if (n % 2 != 0)
+    throw std::invalid_argument("alternating_ring: n must be even");
+  std::vector<Rational> weights;
+  weights.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    weights.push_back(i % 2 == 0 ? Rational(1) : heavy);
+  return graph::make_ring(std::move(weights));
+}
+
+Graph single_heavy_ring(std::size_t n, const Rational& heavy) {
+  std::vector<Rational> weights(n, Rational(1));
+  weights[0] = heavy;
+  return graph::make_ring(std::move(weights));
+}
+
+Graph near_tight_ring(const Rational& heavy) {
+  if (!(Rational(1) < heavy))
+    throw std::invalid_argument("near_tight_ring: requires H > 1");
+  // w₆ = 3/(2H) makes the predecessor's weight exactly α·w₀ = U_{v₀}.
+  const Rational sliver = Rational(3) / (Rational(2) * heavy);
+  return graph::make_ring({Rational(1), Rational(1), heavy, Rational(1),
+                           heavy, Rational(1), sliver});
+}
+
+Graph near_tight_ring_s(const Rational& manipulator_weight,
+                        const Rational& heavy) {
+  if (!(Rational(0) < manipulator_weight) || !(Rational(1) < heavy))
+    throw std::invalid_argument("near_tight_ring_s: need s > 0, H > 1");
+  const Rational sliver =
+      Rational(3) * manipulator_weight / (Rational(2) * heavy);
+  return graph::make_ring({manipulator_weight, Rational(1), heavy,
+                           Rational(1), heavy, Rational(1), sliver});
+}
+
+Graph geometric_ring(std::size_t n, const Rational& ratio) {
+  if (n < 3) throw std::invalid_argument("geometric_ring: n < 3");
+  if (!(Rational(0) < ratio))
+    throw std::invalid_argument("geometric_ring: ratio <= 0");
+  std::vector<Rational> weights;
+  weights.reserve(n);
+  Rational w(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights.push_back(w);
+    w *= ratio;
+  }
+  return graph::make_ring(std::move(weights));
+}
+
+std::vector<Graph> random_rings(std::size_t count, std::size_t n,
+                                std::uint64_t seed, std::int64_t max_weight) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Graph> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(
+        graph::make_ring(graph::random_integer_weights(n, rng, max_weight)));
+  }
+  return out;
+}
+
+std::vector<Graph> exhaustive_rings(std::size_t n, std::int64_t max_weight) {
+  if (n < 3) throw std::invalid_argument("exhaustive_rings: n < 3");
+  std::vector<Graph> out;
+  std::vector<std::int64_t> weights(n, 1);
+
+  auto is_canonical = [&]() {
+    // Keep only the lexicographically smallest representative among all
+    // rotations and the reflection's rotations (dihedral canonicity).
+    const std::size_t size = weights.size();
+    for (std::size_t shift = 0; shift < size; ++shift) {
+      for (const bool reflect : {false, true}) {
+        if (shift == 0 && !reflect) continue;
+        for (std::size_t i = 0; i < size; ++i) {
+          const std::size_t index =
+              reflect ? (size - 1 - ((i + shift) % size)) : (i + shift) % size;
+          if (weights[index] != weights[i]) {
+            if (weights[index] < weights[i]) return false;
+            break;
+          }
+        }
+      }
+    }
+    return true;
+  };
+
+  for (;;) {
+    if (is_canonical()) {
+      std::vector<Rational> rational_weights;
+      rational_weights.reserve(n);
+      for (const std::int64_t w : weights) rational_weights.emplace_back(w);
+      out.push_back(graph::make_ring(std::move(rational_weights)));
+    }
+    // Odometer increment.
+    std::size_t i = n;
+    while (i-- > 0) {
+      if (weights[i] < max_weight) {
+        ++weights[i];
+        std::fill(weights.begin() + static_cast<long>(i) + 1, weights.end(),
+                  1);
+        break;
+      }
+      if (i == 0) return out;
+    }
+  }
+}
+
+}  // namespace ringshare::exp

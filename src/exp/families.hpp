@@ -1,0 +1,69 @@
+// families.hpp — instance families for the experiment harness.
+//
+// The paper proves worst-case statements; the benches probe them with
+// structured families (where the extremal behaviour is understood) and
+// randomized families (coverage). `near_tight_ring` is the family whose
+// optimizer ratio approaches the tight bound 2 (E6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builders.hpp"
+
+namespace ringshare::exp {
+
+using graph::Graph;
+using graph::Rational;
+
+/// Ring with all weights 1.
+[[nodiscard]] Graph uniform_ring(std::size_t n);
+
+/// Even ring alternating weights 1 and `heavy`.
+[[nodiscard]] Graph alternating_ring(std::size_t n, const Rational& heavy);
+
+/// Ring of ones with a single vertex of weight `heavy` at index 0.
+[[nodiscard]] Graph single_heavy_ring(std::size_t n, const Rational& heavy);
+
+/// Parametric 7-ring family whose incentive ratio approaches the tight
+/// bound 2 as H → ∞ (the E6 tightness witness):
+///
+///     weights (1, 1, H, 1, H, 1, 3/(2H)),  manipulator v₀.
+///
+/// Structure: the whole ring is a single bottleneck pair with
+/// B = {v₀, v₂, v₄} (total 1 + 2H) and C = {v₁, v₃, v₅, v₆}, so
+/// α = w(C)/w(B) ≈ 3/(2H) and v₀ is a *tiny member of a huge bottleneck*
+/// with honest utility U_v = α. Its predecessor v₆ carries exactly
+/// w₆ = α·w₀ = U_v. The optimal Sybil split leaves a sliver w₂* = α'·w₆ on
+/// the copy adjacent to v₆, which flips to C class and harvests
+/// U₂ = w₆ = U_v whole, while the other copy keeps U₁ = (1 − w₂*)·α' with
+/// α'/α = 1 − w₀/w(B) → 1. Altogether
+///
+///     ratio = 1 + (α'/α)(1 − α·α')  →  2   as H → ∞.
+///
+/// Measured (E6): H = 100 → 1.994803, H = 1000 → 1.999498,
+/// H = 10000 → 1.999950.
+[[nodiscard]] Graph near_tight_ring(const Rational& heavy);
+
+/// Generalized tightness family with an explicit manipulator weight s:
+/// ring (s, 1, H, 1, H, 1, 3s/(2H)). `near_tight_ring(H)` is s = 1.
+[[nodiscard]] Graph near_tight_ring_s(const Rational& manipulator_weight,
+                                      const Rational& heavy);
+
+/// Ring with geometrically growing weights r^0, r^1, ..., r^{n-1} (the
+/// "rich get richer" stress family).
+[[nodiscard]] Graph geometric_ring(std::size_t n, const Rational& ratio);
+
+/// Random rings with integer weights in [1, max_weight] (deterministic in
+/// seed).
+[[nodiscard]] std::vector<Graph> random_rings(std::size_t count,
+                                              std::size_t n,
+                                              std::uint64_t seed,
+                                              std::int64_t max_weight = 10);
+
+/// Exhaustive small rings: all weight vectors over {1, …, max_weight}^n up
+/// to rotation (canonical necklaces), for exact small-case sweeps.
+[[nodiscard]] std::vector<Graph> exhaustive_rings(std::size_t n,
+                                                  std::int64_t max_weight);
+
+}  // namespace ringshare::exp

@@ -1,0 +1,47 @@
+#include "exp/sweep.hpp"
+
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace ringshare::exp {
+
+SweepResult sweep_rings(const std::vector<Graph>& rings,
+                        const game::SybilOptions& options) {
+  if (rings.empty()) throw std::invalid_argument("sweep_rings: no instances");
+
+  struct Task {
+    std::size_t instance;
+    graph::Vertex vertex;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    for (graph::Vertex v = 0; v < rings[i].vertex_count(); ++v)
+      tasks.push_back(Task{i, v});
+  }
+
+  const auto optima = util::parallel_map(tasks.size(), [&](std::size_t k) {
+    return game::optimize_sybil_split(rings[tasks[k].instance],
+                                      tasks[k].vertex, options);
+  });
+
+  SweepResult out;
+  out.per_instance_max.assign(rings.size(), Rational(0));
+  bool first = true;
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    const auto& optimum = optima[k];
+    const std::size_t i = tasks[k].instance;
+    if (out.per_instance_max[i] < optimum.ratio)
+      out.per_instance_max[i] = optimum.ratio;
+    if (first || out.max_ratio < optimum.ratio) {
+      out.max_ratio = optimum.ratio;
+      out.argmax_instance = i;
+      out.argmax_vertex = tasks[k].vertex;
+      out.argmax_w1 = optimum.w1_star;
+      first = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace ringshare::exp

@@ -1,0 +1,31 @@
+// sweep.hpp — parallel incentive-ratio sweeps over instance collections.
+//
+// Flattens (instance, vertex) tasks onto the shared pool (the per-task
+// optimizer is serial, so there is no nested parallelism) and aggregates
+// exact ratios. Used by the Theorem-8 and bounds-history benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "game/sybil_ring.hpp"
+#include "util/table.hpp"
+
+namespace ringshare::exp {
+
+using game::Rational;
+using graph::Graph;
+
+struct SweepResult {
+  Rational max_ratio;                 ///< over all instances and vertices
+  std::size_t argmax_instance = 0;
+  graph::Vertex argmax_vertex = 0;
+  Rational argmax_w1;                 ///< the witnessing split
+  std::vector<Rational> per_instance_max;
+};
+
+/// Run the Sybil optimizer for every vertex of every ring, in parallel.
+[[nodiscard]] SweepResult sweep_rings(const std::vector<Graph>& rings,
+                                      const game::SybilOptions& options = {});
+
+}  // namespace ringshare::exp

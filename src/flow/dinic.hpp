@@ -1,0 +1,216 @@
+// dinic.hpp — Dinic's max-flow, templated on the capacity type.
+//
+// Two instantiations matter here:
+//   * Rational — the BD mechanism and the parametric bottleneck solver need
+//     exact flows (saturation tests drive the decomposition), and
+//   * double  — cheap approximate runs for the cost-ablation bench.
+//
+// Infinite capacities (the B_i × C_i edges of Def. 5) are modeled with an
+// explicit flag rather than a sentinel value, which keeps Rational exact.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace ringshare::flow {
+
+/// Index of a directed arc in the flow network.
+using ArcId = std::size_t;
+
+/// Max-flow network over capacity type Cap (needs 0/1 literals, +, -, <, ==).
+template <typename Cap>
+class MaxFlow {
+ public:
+  /// `node_count` nodes, ids 0..node_count-1.
+  explicit MaxFlow(std::size_t node_count) : heads_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return heads_.size();
+  }
+
+  /// Add a directed arc u -> v with the given capacity; returns its id.
+  /// The reverse arc (id ^ 1 convention via pairing) is created with zero
+  /// capacity.
+  ArcId add_arc(std::size_t u, std::size_t v, Cap capacity,
+                bool infinite = false) {
+    if (u >= node_count() || v >= node_count())
+      throw std::out_of_range("MaxFlow: node out of range");
+    const ArcId id = arcs_.size();
+    arcs_.push_back(Arc{v, std::move(capacity), Cap(0), infinite});
+    heads_[u].push_back(id);
+    arcs_.push_back(Arc{u, Cap(0), Cap(0), false});
+    heads_[v].push_back(id + 1);
+    return id;
+  }
+
+  /// Convenience: infinite-capacity arc.
+  ArcId add_infinite_arc(std::size_t u, std::size_t v) {
+    return add_arc(u, v, Cap(0), true);
+  }
+
+  /// Flow currently on arc `id` (forward arcs only meaningful).
+  [[nodiscard]] const Cap& flow_on(ArcId id) const { return arcs_.at(id).flow; }
+
+  /// Run Dinic from s to t; returns the max-flow value. May be called once.
+  Cap run(std::size_t s, std::size_t t) {
+    if (s == t) throw std::invalid_argument("MaxFlow: s == t");
+    source_ = s;
+    sink_ = t;
+    Cap total(0);
+    while (build_levels(s, t)) {
+      iter_.assign(node_count(), 0);
+      for (;;) {
+        Cap pushed = augment(s, t, Cap(0), /*unbounded=*/true);
+        if (!bounded_positive(pushed)) break;
+        total += pushed;
+      }
+    }
+    ran_ = true;
+    return total;
+  }
+
+  /// After run(): nodes reachable from the source in the residual graph
+  /// (the minimal source side over all min cuts).
+  [[nodiscard]] std::vector<char> residual_reachable_from_source() const {
+    require_ran();
+    std::vector<char> seen(node_count(), 0);
+    std::vector<std::size_t> stack = {source_};
+    seen[source_] = 1;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      for (const ArcId id : heads_[v]) {
+        const Arc& arc = arcs_[id];
+        if (!seen[arc.to] && residual_positive(id)) {
+          seen[arc.to] = 1;
+          stack.push_back(arc.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+  /// After run(): nodes that can reach the sink in the residual graph. The
+  /// complement is the maximal source side over all min cuts (min cuts form
+  /// a lattice).
+  [[nodiscard]] std::vector<char> residual_reaching_sink() const {
+    require_ran();
+    std::vector<char> seen(node_count(), 0);
+    std::vector<std::size_t> stack = {sink_};
+    seen[sink_] = 1;
+    // Walk reverse residual arcs: arc u->v is usable backwards iff its
+    // residual capacity is positive; we need, for each v, arcs into it.
+    // The paired-arc layout gives that: for arc id (u->v), the partner id^1
+    // is (v->u); from v we scan heads_[v] and check the partner's residual.
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      for (const ArcId id : heads_[v]) {
+        const Arc& arc = arcs_[id];          // v -> arc.to
+        const ArcId partner = id ^ 1ULL;     // arc.to -> v
+        if (!seen[arc.to] && residual_positive(partner)) {
+          seen[arc.to] = 1;
+          stack.push_back(arc.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  struct Arc {
+    std::size_t to;
+    Cap capacity;
+    Cap flow;
+    bool infinite;
+  };
+
+  void require_ran() const {
+    if (!ran_) throw std::logic_error("MaxFlow: run() not called");
+  }
+
+  [[nodiscard]] bool residual_positive(ArcId id) const {
+    const Arc& arc = arcs_[id];
+    if (arc.infinite) return true;
+    return arc.flow < arc.capacity;
+  }
+
+  /// Residual capacity of arc id; for infinite arcs returns nullopt-like
+  /// via the `unbounded` protocol in augment().
+  [[nodiscard]] Cap residual(ArcId id) const {
+    const Arc& arc = arcs_[id];
+    return arc.capacity - arc.flow;
+  }
+
+  bool build_levels(std::size_t s, std::size_t t) {
+    levels_.assign(node_count(), -1);
+    std::queue<std::size_t> queue;
+    levels_[s] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const std::size_t v = queue.front();
+      queue.pop();
+      for (const ArcId id : heads_[v]) {
+        const Arc& arc = arcs_[id];
+        if (levels_[arc.to] < 0 && residual_positive(id)) {
+          levels_[arc.to] = levels_[v] + 1;
+          queue.push(arc.to);
+        }
+      }
+    }
+    return levels_[t] >= 0;
+  }
+
+  [[nodiscard]] static bool bounded_positive(const Cap& value) {
+    return Cap(0) < value;
+  }
+
+  /// DFS blocking-flow step. `limit` is the bottleneck so far; `unbounded`
+  /// marks that no finite limit has been seen yet (source start / chain of
+  /// infinite arcs).
+  Cap augment(std::size_t v, std::size_t t, Cap limit, bool unbounded) {
+    if (v == t) {
+      if (unbounded)
+        throw std::logic_error(
+            "MaxFlow: unbounded augmenting path (s-t path of infinite arcs)");
+      return limit;
+    }
+    for (std::size_t& i = iter_[v]; i < heads_[v].size(); ++i) {
+      const ArcId id = heads_[v][i];
+      Arc& arc = arcs_[id];
+      if (levels_[arc.to] != levels_[v] + 1 || !residual_positive(id)) continue;
+      Cap next_limit = limit;
+      bool next_unbounded = unbounded;
+      if (!arc.infinite) {
+        const Cap res = residual(id);
+        if (unbounded || res < limit) {
+          next_limit = res;
+          next_unbounded = false;
+        }
+      }
+      Cap pushed = augment(arc.to, t, next_limit, next_unbounded);
+      if (bounded_positive(pushed)) {
+        if (!arc.infinite) arc.flow += pushed;
+        else arc.flow += pushed;  // track flow on infinite arcs too
+        arcs_[id ^ 1ULL].flow -= pushed;
+        return pushed;
+      }
+    }
+    levels_[v] = -1;
+    return Cap(0);
+  }
+
+  std::vector<std::vector<ArcId>> heads_;
+  std::vector<Arc> arcs_;
+  std::vector<int> levels_;
+  std::vector<std::size_t> iter_;
+  std::size_t source_ = 0;
+  std::size_t sink_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ringshare::flow

@@ -1,0 +1,273 @@
+#include "game/breakpoints.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "numeric/bigint.hpp"
+
+namespace ringshare::game {
+
+using num::BigInt;
+
+ParametrizedGraph::ParametrizedGraph(Graph base, Rational t_lo, Rational t_hi)
+    : base_(std::move(base)),
+      varying_(base_.vertex_count()),
+      t_lo_(std::move(t_lo)),
+      t_hi_(std::move(t_hi)) {
+  if (t_hi_ < t_lo_)
+    throw std::invalid_argument("ParametrizedGraph: empty range");
+}
+
+void ParametrizedGraph::set_affine(Vertex v, AffineWeight weight) {
+  if (v >= base_.vertex_count())
+    throw std::out_of_range("ParametrizedGraph: vertex out of range");
+  varying_.at(v) = std::move(weight);
+}
+
+Graph ParametrizedGraph::at(const Rational& t) const {
+  if (t < t_lo_ || t_hi_ < t)
+    throw std::out_of_range("ParametrizedGraph: t outside range");
+  Graph g = base_;
+  for (Vertex v = 0; v < base_.vertex_count(); ++v) {
+    if (varying_[v]) {
+      Rational w = varying_[v]->at(t);
+      if (w.is_negative())
+        throw std::domain_error("ParametrizedGraph: negative weight at t");
+      g.set_weight(v, std::move(w));
+    }
+  }
+  return g;
+}
+
+Decomposition ParametrizedGraph::decompose(const Rational& t) const {
+  return Decomposition(at(t));
+}
+
+Signature ParametrizedGraph::signature(const Rational& t) const {
+  return decompose(t).signature();
+}
+
+AffineWeight ParametrizedGraph::weight_function(Vertex v) const {
+  if (varying_.at(v)) return *varying_[v];
+  return AffineWeight{base_.weight(v), Rational(0)};
+}
+
+Rational AlphaFunction::at(const Rational& t) const {
+  return (num_c + num_s * t) / (den_c + den_s * t);
+}
+
+AlphaFunction alpha_function(const ParametrizedGraph& pg,
+                             const std::vector<Vertex>& b,
+                             const std::vector<Vertex>& c) {
+  AlphaFunction f;
+  for (const Vertex v : c) {
+    const AffineWeight w = pg.weight_function(v);
+    f.num_c += w.constant;
+    f.num_s += w.slope;
+  }
+  for (const Vertex v : b) {
+    const AffineWeight w = pg.weight_function(v);
+    f.den_c += w.constant;
+    f.den_s += w.slope;
+  }
+  return f;
+}
+
+std::vector<Rational> alpha_crossings(const AlphaFunction& f1,
+                                      const AlphaFunction& f2,
+                                      const Rational& lo, const Rational& hi) {
+  // (num1)(den2) = (num2)(den1): quadratic q2·t² + q1·t + q0 = 0.
+  const Rational q2 = f1.num_s * f2.den_s - f2.num_s * f1.den_s;
+  const Rational q1 = f1.num_c * f2.den_s + f1.num_s * f2.den_c -
+                      f2.num_c * f1.den_s - f2.num_s * f1.den_c;
+  const Rational q0 = f1.num_c * f2.den_c - f2.num_c * f1.den_c;
+
+  std::vector<Rational> roots;
+  auto keep = [&](Rational root) {
+    if (!(root < lo) && !(hi < root)) roots.push_back(std::move(root));
+  };
+
+  if (q2.is_zero()) {
+    if (!q1.is_zero()) keep(-q0 / q1);
+    return roots;  // q1 == q2 == 0: identical or parallel — no isolated root
+  }
+
+  const Rational discriminant = q1 * q1 - Rational(4) * q2 * q0;
+  if (discriminant.is_negative()) return roots;
+  if (discriminant.is_zero()) {
+    keep(-q1 / (Rational(2) * q2));
+    return roots;
+  }
+  // √(p/q) rational iff p and q are perfect squares (p/q in lowest terms).
+  const BigInt& p = discriminant.numerator();
+  const BigInt& q = discriminant.denominator();
+  if (!BigInt::is_perfect_square(p) || !BigInt::is_perfect_square(q))
+    return roots;  // irrational crossing — caller keeps the bisected bracket
+  const Rational sqrt_d(BigInt::isqrt(p), BigInt::isqrt(q));
+  keep((-q1 + sqrt_d) / (Rational(2) * q2));
+  keep((-q1 - sqrt_d) / (Rational(2) * q2));
+  return roots;
+}
+
+namespace {
+
+/// All exact crossing candidates implied by one signature's symbolic αs:
+/// pairwise crossings plus α = 1 transitions.
+void collect_candidates(const ParametrizedGraph& pg, const Signature& sig,
+                        const Rational& lo, const Rational& hi,
+                        std::vector<Rational>& out) {
+  std::vector<AlphaFunction> alphas;
+  alphas.reserve(sig.size());
+  for (const auto& [b, c] : sig) alphas.push_back(alpha_function(pg, b, c));
+
+  const AlphaFunction one{Rational(1), Rational(0), Rational(1), Rational(0)};
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    for (std::size_t j = i + 1; j < alphas.size(); ++j) {
+      for (Rational& root : alpha_crossings(alphas[i], alphas[j], lo, hi))
+        out.push_back(std::move(root));
+    }
+    for (Rational& root : alpha_crossings(alphas[i], one, lo, hi))
+      out.push_back(std::move(root));
+  }
+}
+
+struct PartitionBuilder {
+  const ParametrizedGraph& pg;
+  Rational min_width;
+  std::vector<Breakpoint> breakpoints;
+
+  void isolate(const Rational& lo, const Rational& hi, const Signature& sig_lo,
+               const Signature& sig_hi) {
+    // Interval is narrower than min_width and the structure changes inside:
+    // try to snap to an exact root.
+    std::vector<Rational> candidates;
+    collect_candidates(pg, sig_lo, lo, hi, candidates);
+    collect_candidates(pg, sig_hi, lo, hi, candidates);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    for (const Rational& candidate : candidates) {
+      // Validate: structure equals sig_lo just below and sig_hi just above.
+      const bool below_ok =
+          candidate == lo ||
+          pg.signature(Rational::midpoint(lo, candidate)) == sig_lo;
+      const bool above_ok =
+          candidate == hi ||
+          pg.signature(Rational::midpoint(candidate, hi)) == sig_hi;
+      if (below_ok && above_ok) {
+        breakpoints.push_back(
+            Breakpoint{candidate, true, pg.signature(candidate)});
+        return;
+      }
+    }
+    // No exact root found (irrational crossing or multiple roots packed in
+    // the bracket): record the midpoint approximately.
+    const Rational mid = Rational::midpoint(lo, hi);
+    breakpoints.push_back(Breakpoint{mid, false, pg.signature(mid)});
+  }
+
+  void refine(const Rational& lo, const Rational& hi, const Signature& sig_lo,
+              const Signature& sig_hi, int depth) {
+    const Rational width = hi - lo;
+    if (sig_lo == sig_hi) {
+      if (depth <= 0) return;
+      // Sample two interior points to reduce the chance of missing a
+      // change-and-revert inside a visually uniform interval.
+      const Rational mid = Rational::midpoint(lo, hi);
+      const Signature sig_mid = pg.signature(mid);
+      if (sig_mid == sig_lo) {
+        const Rational third = lo + width * Rational(5, 13);
+        const Signature sig_third = pg.signature(third);
+        if (sig_third == sig_lo) return;  // accept as uniform
+        refine(lo, third, sig_lo, sig_third, depth - 1);
+        refine(third, hi, sig_third, sig_hi, depth - 1);
+        return;
+      }
+      refine(lo, mid, sig_lo, sig_mid, depth - 1);
+      refine(mid, hi, sig_mid, sig_hi, depth - 1);
+      return;
+    }
+    if (width < min_width || depth <= 0) {
+      isolate(lo, hi, sig_lo, sig_hi);
+      return;
+    }
+    const Rational mid = Rational::midpoint(lo, hi);
+    const Signature sig_mid = pg.signature(mid);
+    refine(lo, mid, sig_lo, sig_mid, depth - 1);
+    refine(mid, hi, sig_mid, sig_hi, depth - 1);
+  }
+};
+
+}  // namespace
+
+Rational StructurePartition::piece_midpoint(std::size_t i) const {
+  const auto [lo, hi] = piece_bounds(i);
+  return Rational::midpoint(lo, hi);
+}
+
+std::pair<Rational, Rational> StructurePartition::piece_bounds(
+    std::size_t i) const {
+  if (i >= piece_signatures.size())
+    throw std::out_of_range("StructurePartition: piece index");
+  const Rational lo = i == 0 ? t_lo : breakpoints[i - 1].value;
+  const Rational hi = i == breakpoints.size() ? t_hi : breakpoints[i].value;
+  return {lo, hi};
+}
+
+StructurePartition find_structure_partition(const ParametrizedGraph& pg,
+                                            const PartitionOptions& options) {
+  StructurePartition out;
+  out.t_lo = pg.t_lo();
+  out.t_hi = pg.t_hi();
+
+  if (pg.t_lo() == pg.t_hi()) {
+    out.piece_signatures.push_back(pg.signature(pg.t_lo()));
+    return out;
+  }
+
+  PartitionBuilder builder{
+      pg, (pg.t_hi() - pg.t_lo()) /
+              Rational(BigInt(1).shifted_left(
+                           static_cast<std::size_t>(options.resolution_bits)),
+                       BigInt(1)),
+      {}};
+  const Signature sig_lo = pg.signature(pg.t_lo());
+  const Signature sig_hi = pg.signature(pg.t_hi());
+  builder.refine(pg.t_lo(), pg.t_hi(), sig_lo, sig_hi,
+                 options.resolution_bits + 16);
+
+  std::sort(builder.breakpoints.begin(), builder.breakpoints.end(),
+            [](const Breakpoint& a, const Breakpoint& b) {
+              return a.value < b.value;
+            });
+  // Deduplicate breakpoints closer than min_width (a breakpoint that fell
+  // exactly on a bisection grid point can be reported by both sides), and
+  // drop breakpoints at the range ends: the paper's ⟨a_i, b_i⟩ intervals
+  // are interior objects, and a structure that is special exactly AT t_lo
+  // or t_hi (e.g. the zero-weight corner of a misreport range) stays
+  // accessible via signature(t_lo)/signature(t_hi).
+  std::vector<Breakpoint> deduped;
+  for (Breakpoint& bp : builder.breakpoints) {
+    if (bp.value == pg.t_lo() || bp.value == pg.t_hi()) continue;
+    if (!deduped.empty() &&
+        bp.value - deduped.back().value < builder.min_width) {
+      if (bp.exact && !deduped.back().exact) deduped.back() = std::move(bp);
+      continue;
+    }
+    deduped.push_back(std::move(bp));
+  }
+  out.breakpoints = std::move(deduped);
+
+  // Sample each piece's interior for its signature.
+  for (std::size_t i = 0; i <= out.breakpoints.size(); ++i) {
+    const Rational lo =
+        i == 0 ? out.t_lo : out.breakpoints[i - 1].value;
+    const Rational hi =
+        i == out.breakpoints.size() ? out.t_hi : out.breakpoints[i].value;
+    out.piece_signatures.push_back(pg.signature(Rational::midpoint(lo, hi)));
+  }
+  return out;
+}
+
+}  // namespace ringshare::game

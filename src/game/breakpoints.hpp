@@ -1,0 +1,141 @@
+// breakpoints.hpp — piecewise structure of the bottleneck decomposition
+// along a one-parameter family of weight profiles.
+//
+// Both manipulations studied by the paper are one-parameter families:
+//   * misreporting (Section III-B): agent v reports x ∈ [0, w_v], all other
+//     weights fixed — w_v(t) = t;
+//   * the Sybil diagonal (Adjusting Technique): w_{v¹}(t) = w₁⁰ + t and
+//     w_{v²}(t) = w₂⁰ − t move simultaneously.
+//
+// Along such a family the decomposition B(t) is piecewise constant: the
+// interval splits into finitely many sub-intervals ⟨a_i, b_i⟩ on whose
+// interiors the pair structure is fixed (the paper's {B^i} sequence).
+// Breakpoints are values where adjacent pairs merge/split (their α curves
+// cross) or where v's pair crosses α = 1. Each pair's α is a linear
+// fractional function of t, so crossings solve a quadratic with rational
+// coefficients; this module isolates breakpoints by exact rational
+// bisection on the structure signature and snaps them to closed-form roots
+// whenever those are rational (always, for single-vertex misreporting).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "graph/graph.hpp"
+
+namespace ringshare::game {
+
+using bd::Decomposition;
+using graph::Graph;
+using graph::Rational;
+using graph::Vertex;
+
+/// Pair-structure signature: the (B_i, C_i) vertex sets in order, without
+/// α values (those vary continuously inside a piece).
+using Signature =
+    std::vector<std::pair<std::vector<Vertex>, std::vector<Vertex>>>;
+
+/// Per-vertex affine weight w_v(t) = constant + slope·t.
+struct AffineWeight {
+  Rational constant;
+  Rational slope;
+
+  [[nodiscard]] Rational at(const Rational& t) const {
+    return constant + slope * t;
+  }
+};
+
+/// A graph whose weights vary affinely with a scalar parameter t ∈ [lo, hi].
+class ParametrizedGraph {
+ public:
+  /// Fixed weights from `base`; `varying` overrides selected vertices.
+  ParametrizedGraph(Graph base, Rational t_lo, Rational t_hi);
+
+  /// Make w_v(t) = constant + slope·t.
+  void set_affine(Vertex v, AffineWeight weight);
+
+  [[nodiscard]] const Graph& base() const noexcept { return base_; }
+  [[nodiscard]] const Rational& t_lo() const noexcept { return t_lo_; }
+  [[nodiscard]] const Rational& t_hi() const noexcept { return t_hi_; }
+
+  /// Concrete graph at parameter t (weights clamped non-negative is NOT
+  /// done: throws if any weight would be negative — ranges must be valid).
+  [[nodiscard]] Graph at(const Rational& t) const;
+
+  /// Decomposition at t.
+  [[nodiscard]] Decomposition decompose(const Rational& t) const;
+
+  /// Signature at t.
+  [[nodiscard]] Signature signature(const Rational& t) const;
+
+  /// Affine weight function of v (slope 0 for fixed vertices).
+  [[nodiscard]] AffineWeight weight_function(Vertex v) const;
+
+ private:
+  Graph base_;
+  std::vector<std::optional<AffineWeight>> varying_;
+  Rational t_lo_;
+  Rational t_hi_;
+};
+
+/// One structural breakpoint.
+struct Breakpoint {
+  Rational value;          ///< exact root, or bisection midpoint if !exact
+  bool exact = false;      ///< true when snapped to a closed-form root
+  Signature signature;     ///< decomposition signature AT the breakpoint
+};
+
+/// The piecewise-constant structure of B(t) over [t_lo, t_hi].
+struct StructurePartition {
+  std::vector<Breakpoint> breakpoints;   ///< sorted, interior of [lo, hi]
+  std::vector<Signature> piece_signatures;  ///< size = breakpoints.size() + 1
+  Rational t_lo;
+  Rational t_hi;
+
+  /// Midpoint of piece i (for sampling its interior).
+  [[nodiscard]] Rational piece_midpoint(std::size_t i) const;
+  /// [lo, hi] bounds of piece i.
+  [[nodiscard]] std::pair<Rational, Rational> piece_bounds(std::size_t i) const;
+  [[nodiscard]] std::size_t piece_count() const noexcept {
+    return piece_signatures.size();
+  }
+};
+
+struct PartitionOptions {
+  /// Bisection stops once an interval is narrower than
+  /// (t_hi − t_lo) / 2^resolution_bits.
+  int resolution_bits = 48;
+};
+
+/// Compute the structure partition of `pg` over its parameter range.
+[[nodiscard]] StructurePartition find_structure_partition(
+    const ParametrizedGraph& pg, const PartitionOptions& options = {});
+
+/// Symbolic α of a pair under parametrized weights: α(t) =
+/// (num_c + num_s·t) / (den_c + den_s·t).
+struct AlphaFunction {
+  Rational num_c, num_s;  ///< numerator  = w(C_i)(t)
+  Rational den_c, den_s;  ///< denominator = w(B_i)(t)
+
+  [[nodiscard]] Rational at(const Rational& t) const;
+  /// True if α is constant in t.
+  [[nodiscard]] bool is_constant() const {
+    return num_s.is_zero() && den_s.is_zero();
+  }
+};
+
+/// Build the symbolic α of pair (b, c) under pg's weight functions.
+[[nodiscard]] AlphaFunction alpha_function(const ParametrizedGraph& pg,
+                                           const std::vector<Vertex>& b,
+                                           const std::vector<Vertex>& c);
+
+/// Rational roots of α₁(t) = α₂(t) within (lo, hi), exactly (quadratic with
+/// rational-perfect-square discriminant, or linear). Irrational roots are
+/// omitted.
+[[nodiscard]] std::vector<Rational> alpha_crossings(const AlphaFunction& f1,
+                                                    const AlphaFunction& f2,
+                                                    const Rational& lo,
+                                                    const Rational& hi);
+
+}  // namespace ringshare::game

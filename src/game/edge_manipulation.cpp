@@ -1,0 +1,59 @@
+#include "game/edge_manipulation.hpp"
+
+#include <stdexcept>
+
+namespace ringshare::game {
+
+Graph hide_edges(const Graph& g, Vertex v,
+                 const std::vector<Vertex>& hidden_neighbors) {
+  std::vector<char> hidden(g.vertex_count(), 0);
+  for (const Vertex u : hidden_neighbors) {
+    if (!g.has_edge(v, u))
+      throw std::invalid_argument("hide_edges: not an incident edge");
+    hidden[u] = 1;
+  }
+  Graph out(g.weights());
+  for (const auto& [a, b] : g.edges()) {
+    const bool is_hidden =
+        (a == v && hidden[b]) || (b == v && hidden[a]);
+    if (!is_hidden) out.add_edge(a, b);
+  }
+  return out;
+}
+
+Rational utility_with_hidden_edges(
+    const Graph& g, Vertex v, const std::vector<Vertex>& hidden_neighbors) {
+  const Graph manipulated = hide_edges(g, v, hidden_neighbors);
+  if (manipulated.degree(v) == 0) return Rational(0);  // fully isolated
+  return Decomposition(manipulated).utility(v);
+}
+
+EdgeManipulationResult optimize_edge_hiding(const Graph& g, Vertex v) {
+  const auto neighbors = g.neighbors(v);
+  const std::size_t degree = neighbors.size();
+  if (degree > 20)
+    throw std::invalid_argument("optimize_edge_hiding: degree > 20");
+
+  EdgeManipulationResult out;
+  out.honest_utility = Decomposition(g).utility(v);
+  out.best_utility = out.honest_utility;
+
+  for (std::uint32_t mask = 1; mask < (1U << degree); ++mask) {
+    std::vector<Vertex> hidden;
+    for (std::size_t i = 0; i < degree; ++i) {
+      if (mask & (1U << i)) hidden.push_back(neighbors[i]);
+    }
+    const Rational utility = utility_with_hidden_edges(g, v, hidden);
+    ++out.subsets_tried;
+    if (out.best_utility < utility) {
+      out.best_utility = utility;
+      out.best_hidden = std::move(hidden);
+    }
+  }
+  out.ratio = out.honest_utility.is_zero()
+                  ? Rational(1)
+                  : out.best_utility / out.honest_utility;
+  return out;
+}
+
+}  // namespace ringshare::game

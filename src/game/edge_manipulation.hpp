@@ -1,0 +1,48 @@
+// edge_manipulation.hpp — the other manipulation dimension of the paper's
+// related work ([6]/[7]): an agent severing connections with its peers.
+//
+// Cheng et al. proved the BD mechanism truthful against this move: hiding
+// incident edges never increases the agent's utility. This module
+// enumerates every subset of incident edges an agent can hide (degree is
+// small on the graphs studied), evaluates the resulting utility exactly,
+// and reports the best deviation — the E13 bench and the property tests
+// confirm no gain, mirroring the truthfulness baseline the paper builds
+// on before attacking the Sybil dimension.
+#pragma once
+
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "graph/graph.hpp"
+
+namespace ringshare::game {
+
+using bd::Decomposition;
+using graph::Graph;
+using graph::Rational;
+using graph::Vertex;
+
+/// Graph with a subset of v's incident edges removed.
+[[nodiscard]] Graph hide_edges(const Graph& g, Vertex v,
+                               const std::vector<Vertex>& hidden_neighbors);
+
+/// v's exact utility after hiding the given incident edges. A fully
+/// isolated positive-weight vertex earns 0.
+[[nodiscard]] Rational utility_with_hidden_edges(
+    const Graph& g, Vertex v, const std::vector<Vertex>& hidden_neighbors);
+
+/// Result of the exhaustive edge-hiding search for one agent.
+struct EdgeManipulationResult {
+  std::vector<Vertex> best_hidden;  ///< empty = honesty is optimal
+  Rational best_utility;            ///< max over all subsets
+  Rational honest_utility;
+  Rational ratio;                   ///< best/honest (1 when truthful)
+  std::size_t subsets_tried = 0;
+};
+
+/// Try every subset of v's incident edges (2^degree − 1 deviations;
+/// requires degree ≤ 20). Truthfulness ([7]) predicts ratio == 1.
+[[nodiscard]] EdgeManipulationResult optimize_edge_hiding(const Graph& g,
+                                                          Vertex v);
+
+}  // namespace ringshare::game

@@ -1,0 +1,52 @@
+#include "game/incentive_ratio.hpp"
+
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace ringshare::game {
+
+RingRatioResult ring_incentive_ratio(const Graph& ring,
+                                     const SybilOptions& options) {
+  const std::size_t n = ring.vertex_count();
+  RingRatioResult out;
+  out.per_vertex = util::parallel_map(n, [&](std::size_t i) {
+    return VertexRatio{static_cast<Vertex>(i),
+                       optimize_sybil_split(ring, static_cast<Vertex>(i),
+                                            options)};
+  });
+  bool first = true;
+  for (const VertexRatio& entry : out.per_vertex) {
+    if (first || out.best_ratio < entry.optimum.ratio) {
+      out.best_ratio = entry.optimum.ratio;
+      out.best_vertex = entry.vertex;
+      first = false;
+    }
+  }
+  if (first) throw std::invalid_argument("ring_incentive_ratio: empty ring");
+  return out;
+}
+
+CollectionRatioResult collection_incentive_ratio(
+    const std::vector<Graph>& rings, const SybilOptions& options) {
+  CollectionRatioResult out;
+  // Parallelism lives inside each ring scan; iterate instances serially to
+  // keep peak memory flat and progress deterministic.
+  out.per_instance.reserve(rings.size());
+  bool first = true;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    const RingRatioResult result = ring_incentive_ratio(rings[i], options);
+    out.per_instance.push_back(result.best_ratio);
+    if (first || out.best_ratio < result.best_ratio) {
+      out.best_ratio = result.best_ratio;
+      out.best_instance = i;
+      out.best_vertex = result.best_vertex;
+      first = false;
+    }
+  }
+  if (first)
+    throw std::invalid_argument("collection_incentive_ratio: no instances");
+  return out;
+}
+
+}  // namespace ringshare::game

@@ -1,0 +1,43 @@
+// incentive_ratio.hpp — incentive ratios (Definition 7) of the BD
+// Allocation Mechanism against Sybil attacks.
+//
+// ζ_v = sup over splits of U'_v / U_v; ζ(G) = max_v ζ_v; Theorem 8 states
+// ζ = 2 on rings. This module aggregates the per-vertex optimizer over a
+// graph and over instance collections (in parallel).
+#pragma once
+
+#include "game/sybil_ring.hpp"
+
+namespace ringshare::game {
+
+/// Per-vertex outcome inside a ring ratio scan.
+struct VertexRatio {
+  Vertex vertex;
+  SybilOptimum optimum;
+};
+
+/// Ratio scan over all vertices of one ring.
+struct RingRatioResult {
+  std::vector<VertexRatio> per_vertex;  ///< one entry per ring vertex
+  Vertex best_vertex = 0;
+  Rational best_ratio;                  ///< ζ(G) as found by the optimizer
+};
+
+/// Compute ζ_v for every vertex of the ring and the graph maximum.
+/// Vertices are processed in parallel on the shared pool.
+[[nodiscard]] RingRatioResult ring_incentive_ratio(
+    const Graph& ring, const SybilOptions& options = {});
+
+/// Maximum ratio over a collection of rings (each scanned fully); returns
+/// the overall best and its instance index.
+struct CollectionRatioResult {
+  Rational best_ratio;
+  std::size_t best_instance = 0;
+  Vertex best_vertex = 0;
+  std::vector<Rational> per_instance;  ///< ζ per instance
+};
+
+[[nodiscard]] CollectionRatioResult collection_incentive_ratio(
+    const std::vector<Graph>& rings, const SybilOptions& options = {});
+
+}  // namespace ringshare::game

@@ -1,0 +1,66 @@
+#include "game/misreport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ringshare::game {
+
+namespace {
+
+ParametrizedGraph make_misreport_pg(Graph g, Vertex v, Rational lo,
+                                    Rational hi) {
+  ParametrizedGraph pg(std::move(g), std::move(lo), std::move(hi));
+  pg.set_affine(v, AffineWeight{Rational(0), Rational(1)});  // w_v(x) = x
+  return pg;
+}
+
+}  // namespace
+
+MisreportAnalysis::MisreportAnalysis(Graph g, Vertex v)
+    : MisreportAnalysis(g, v, Rational(0), g.weight(v)) {}
+
+MisreportAnalysis::MisreportAnalysis(Graph g, Vertex v, Rational lo,
+                                     Rational hi)
+    : vertex_(v),
+      pg_(make_misreport_pg(std::move(g), v, std::move(lo), std::move(hi))) {}
+
+Rational MisreportAnalysis::utility_at(const Rational& x) const {
+  return pg_.decompose(x).utility(vertex_);
+}
+
+Rational MisreportAnalysis::alpha_at(const Rational& x) const {
+  return pg_.decompose(x).alpha_of(vertex_);
+}
+
+bd::VertexClass MisreportAnalysis::class_at(const Rational& x) const {
+  return pg_.decompose(x).vertex_class(vertex_);
+}
+
+const StructurePartition& MisreportAnalysis::partition() const {
+  if (!partition_) partition_ = find_structure_partition(pg_);
+  return *partition_;
+}
+
+std::vector<AlphaFunction> MisreportAnalysis::piecewise_alpha() const {
+  std::vector<AlphaFunction> out;
+  const StructurePartition& pieces = partition();
+  out.reserve(pieces.piece_count());
+  for (const Signature& sig : pieces.piece_signatures) {
+    bool found = false;
+    for (const auto& [b, c] : sig) {
+      const bool in_b = std::binary_search(b.begin(), b.end(), vertex_);
+      const bool in_c = std::binary_search(c.begin(), c.end(), vertex_);
+      if (in_b || in_c) {
+        out.push_back(alpha_function(pg_, b, c));
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw std::logic_error(
+          "piecewise_alpha: vertex missing from a piece signature");
+  }
+  return out;
+}
+
+}  // namespace ringshare::game

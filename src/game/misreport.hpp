@@ -1,0 +1,54 @@
+// misreport.hpp — the single-parameter misreporting strategy of Section
+// III-B: agent v reports x ∈ [0, w_v] while all other weights stay fixed.
+// U_v(x), α_v(x) and B(x) then vary with x; Theorem 10 (U_v continuous and
+// monotonically non-decreasing) and Proposition 11 (the three α_v(x)
+// shapes) describe that variation, and the Sybil stage analysis runs this
+// machinery on the split path with one endpoint's weight as x.
+#pragma once
+
+#include "game/breakpoints.hpp"
+
+namespace ringshare::game {
+
+/// Misreporting view of one agent on a fixed graph.
+class MisreportAnalysis {
+ public:
+  /// Analyze v's reports over [0, hi]; hi defaults to w_v.
+  MisreportAnalysis(Graph g, Vertex v);
+  MisreportAnalysis(Graph g, Vertex v, Rational lo, Rational hi);
+
+  [[nodiscard]] Vertex vertex() const noexcept { return vertex_; }
+  [[nodiscard]] const ParametrizedGraph& parametrized() const noexcept {
+    return pg_;
+  }
+
+  /// Exact utility of v when reporting x.
+  [[nodiscard]] Rational utility_at(const Rational& x) const;
+
+  /// Exact α_v(x) (α-ratio of the pair containing v).
+  [[nodiscard]] Rational alpha_at(const Rational& x) const;
+
+  /// v's class when reporting x.
+  [[nodiscard]] bd::VertexClass class_at(const Rational& x) const;
+
+  /// Full decomposition at x.
+  [[nodiscard]] Decomposition decompose_at(const Rational& x) const {
+    return pg_.decompose(x);
+  }
+
+  /// Structure partition of B(x) over the report range (cached).
+  [[nodiscard]] const StructurePartition& partition() const;
+
+  /// Closed-form α_v(x) inside each structure piece: the piece signature
+  /// fixes the pair sets, so α is the linear-fractional function
+  /// (w(C_i ∖ {v}) + [v∈C_i]·x) / (w(B_i ∖ {v}) + [v∈B_i]·x).
+  /// One entry per piece, aligned with partition().piece_signatures.
+  [[nodiscard]] std::vector<AlphaFunction> piecewise_alpha() const;
+
+ private:
+  Vertex vertex_;
+  ParametrizedGraph pg_;
+  mutable std::optional<StructurePartition> partition_;
+};
+
+}  // namespace ringshare::game

@@ -1,0 +1,234 @@
+#include "game/sybil_general.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ringshare::game {
+
+AttackedGraph apply_attack(const Graph& g, Vertex v,
+                           const GeneralAttack& attack) {
+  if (attack.blocks.empty() || attack.blocks.size() != attack.weights.size())
+    throw std::invalid_argument("apply_attack: malformed attack");
+  Rational total(0);
+  for (const Rational& w : attack.weights) {
+    if (w.is_negative())
+      throw std::invalid_argument("apply_attack: negative copy weight");
+    total += w;
+  }
+  if (total != g.weight(v))
+    throw std::invalid_argument("apply_attack: weights must sum to w_v");
+
+  AttackedGraph out;
+  out.graph = Graph(g.vertex_count());
+  for (Vertex u = 0; u < g.vertex_count(); ++u)
+    out.graph.set_weight(u, g.weight(u));
+  for (const auto& [a, b] : g.edges()) {
+    if (a != v && b != v) out.graph.add_edge(a, b);
+  }
+  // Copy 0 reuses v's slot; further copies are appended.
+  out.copies.push_back(v);
+  out.graph.set_weight(v, attack.weights[0]);
+  for (std::size_t i = 1; i < attack.blocks.size(); ++i)
+    out.copies.push_back(out.graph.add_vertex(attack.weights[i]));
+  for (std::size_t i = 0; i < attack.blocks.size(); ++i) {
+    for (const Vertex u : attack.blocks[i]) {
+      if (!g.has_edge(v, u))
+        throw std::invalid_argument("apply_attack: block member not neighbor");
+      out.graph.add_edge(out.copies[i], u);
+    }
+  }
+  return out;
+}
+
+Rational attack_utility(const Graph& g, Vertex v,
+                        const GeneralAttack& attack) {
+  const AttackedGraph attacked = apply_attack(g, v, attack);
+  const Decomposition decomposition(attacked.graph);
+  Rational total(0);
+  for (const Vertex copy : attacked.copies) total += decomposition.utility(copy);
+  return total;
+}
+
+std::vector<std::vector<std::vector<Vertex>>> neighbor_partitions(
+    const Graph& g, Vertex v) {
+  const auto neighbors = g.neighbors(v);
+  const std::size_t d = neighbors.size();
+  std::vector<std::vector<std::vector<Vertex>>> out;
+  if (d < 2) return out;
+
+  // Restricted growth strings enumerate set partitions.
+  std::vector<std::size_t> assignment(d, 0);
+  for (;;) {
+    std::size_t block_count =
+        *std::max_element(assignment.begin(), assignment.end()) + 1;
+    if (block_count >= 2) {
+      std::vector<std::vector<Vertex>> blocks(block_count);
+      for (std::size_t i = 0; i < d; ++i)
+        blocks[assignment[i]].push_back(neighbors[i]);
+      out.push_back(std::move(blocks));
+    }
+    // Next restricted growth string.
+    std::size_t i = d;
+    while (i-- > 1) {
+      const std::size_t prefix_max =
+          *std::max_element(assignment.begin(),
+                            assignment.begin() + static_cast<long>(i));
+      if (assignment[i] <= prefix_max) {
+        ++assignment[i];
+        std::fill(assignment.begin() + static_cast<long>(i) + 1,
+                  assignment.end(), 0);
+        break;
+      }
+      assignment[i] = 0;
+      if (i == 1) return out;
+    }
+    if (d == 1) return out;
+  }
+}
+
+namespace {
+
+/// m = 2: sweep t = weight of copy 0 over [0, w_v] with the exact structure
+/// partition, mirroring the ring optimizer.
+GeneralSybilOptimum optimize_two_blocks(
+    const Graph& g, Vertex v, const std::vector<std::vector<Vertex>>& blocks,
+    const Rational& honest_utility, const GeneralSybilOptions& options) {
+  const Rational w_v = g.weight(v);
+  GeneralAttack probe{blocks, {Rational(0), w_v}};
+  const AttackedGraph attacked = apply_attack(g, v, probe);
+
+  ParametrizedGraph family(attacked.graph, Rational(0), w_v);
+  family.set_affine(attacked.copies[0], AffineWeight{Rational(0), Rational(1)});
+  family.set_affine(attacked.copies[1], AffineWeight{w_v, Rational(-1)});
+
+  const StructurePartition partition =
+      find_structure_partition(family, options.one_dimensional.partition);
+
+  std::vector<Rational> candidates = {Rational(0), w_v};
+  for (const Breakpoint& bp : partition.breakpoints)
+    candidates.push_back(bp.value);
+  for (std::size_t piece = 0; piece < partition.piece_count(); ++piece)
+    candidates.push_back(partition.piece_midpoint(piece));
+  // Uniform grid for the interiors (the piece utilities are smooth; a
+  // moderate grid plus the structural points finds the optimum in practice).
+  const int grid = std::max(4, options.one_dimensional.samples_per_piece);
+  for (int i = 1; i < grid; ++i)
+    candidates.push_back(w_v * Rational(i, grid));
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  GeneralSybilOptimum out;
+  out.honest_utility = honest_utility;
+  bool first = true;
+  for (const Rational& t : candidates) {
+    GeneralAttack attack{blocks, {t, w_v - t}};
+    const Rational value = attack_utility(g, v, attack);
+    if (first || out.utility < value) {
+      out.utility = value;
+      out.attack = std::move(attack);
+      first = false;
+    }
+  }
+  out.ratio = out.utility / out.honest_utility;
+  return out;
+}
+
+/// m ≥ 3: grid over the simplex, then coordinate-pair refinement.
+GeneralSybilOptimum optimize_many_blocks(
+    const Graph& g, Vertex v, const std::vector<std::vector<Vertex>>& blocks,
+    const Rational& honest_utility, const GeneralSybilOptions& options) {
+  const Rational w_v = g.weight(v);
+  const std::size_t m = blocks.size();
+  const int grid = std::max(2, options.grid);
+
+  GeneralSybilOptimum out;
+  out.honest_utility = honest_utility;
+  bool first = true;
+  auto consider = [&](std::vector<Rational> weights) {
+    GeneralAttack attack{blocks, std::move(weights)};
+    const Rational value = attack_utility(g, v, attack);
+    if (first || out.utility < value) {
+      out.utility = value;
+      out.attack = std::move(attack);
+      first = false;
+    }
+  };
+
+  // Compositions of `grid` into m parts (allowing zeros).
+  std::vector<int> parts(m, 0);
+  parts[0] = grid;
+  for (;;) {
+    std::vector<Rational> weights;
+    weights.reserve(m);
+    for (const int p : parts) weights.push_back(w_v * Rational(p, grid));
+    consider(std::move(weights));
+    // Next composition in colex order.
+    std::size_t i = 0;
+    while (i + 1 < m && parts[i] == 0) ++i;
+    if (i + 1 == m) break;
+    const int head = parts[i];
+    parts[i] = 0;
+    parts[0] = head - 1;
+    ++parts[i + 1];
+  }
+
+  // Coordinate-pair refinement: move mass between two blocks on a shrinking
+  // grid around the best point.
+  Rational step = w_v * Rational(1, grid);
+  for (int round = 0; round < options.refinement_rounds; ++round) {
+    step = step * Rational(1, 2);
+    bool improved = false;
+    for (std::size_t a = 0; a < m; ++a) {
+      for (std::size_t b = 0; b < m; ++b) {
+        if (a == b) continue;
+        std::vector<Rational> weights = out.attack.weights;
+        if (weights[a] < step) continue;
+        weights[a] -= step;
+        weights[b] += step;
+        GeneralAttack attack{blocks, weights};
+        const Rational value = attack_utility(g, v, attack);
+        if (out.utility < value) {
+          out.utility = value;
+          out.attack = std::move(attack);
+          improved = true;
+        }
+      }
+    }
+    if (!improved && step.to_double() < 1e-9) break;
+  }
+  out.ratio = out.utility / out.honest_utility;
+  return out;
+}
+
+}  // namespace
+
+GeneralSybilOptimum optimize_general_sybil(const Graph& g, Vertex v,
+                                           const GeneralSybilOptions& options) {
+  if (g.weight(v).is_zero())
+    throw std::invalid_argument("optimize_general_sybil: w_v == 0");
+  const Rational honest_utility = Decomposition(g).utility(v);
+  if (honest_utility.is_zero())
+    throw std::domain_error("optimize_general_sybil: honest utility is zero");
+
+  const auto partitions = neighbor_partitions(g, v);
+  if (partitions.empty())
+    throw std::invalid_argument(
+        "optimize_general_sybil: degree < 2, no Sybil attack possible");
+  GeneralSybilOptimum best;
+  bool first = true;
+  for (const auto& blocks : partitions) {
+    GeneralSybilOptimum candidate =
+        blocks.size() == 2
+            ? optimize_two_blocks(g, v, blocks, honest_utility, options)
+            : optimize_many_blocks(g, v, blocks, honest_utility, options);
+    if (first || best.utility < candidate.utility) {
+      best = std::move(candidate);
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace ringshare::game

@@ -1,0 +1,65 @@
+// sybil_general.hpp — Sybil attacks on arbitrary networks.
+//
+// The paper closes conjecturing that the incentive ratio of the BD
+// mechanism is 2 on general networks too. For a vertex of degree d the
+// attack space is: a partition of Γ(v) into m ≤ d non-empty blocks (each
+// block's members are wired to one copy) and a weight split over the
+// m-simplex. This module enumerates all neighbor partitions exactly and
+// searches the weight simplex (exact 1-D machinery for m = 2, grid +
+// coordinate refinement for m ≥ 3, every evaluated point exact). The
+// result is a certified lower bound on ζ_v used by the E11 bench.
+#pragma once
+
+#include "game/sybil_ring.hpp"
+
+namespace ringshare::game {
+
+/// A concrete Sybil attack: copy i gets neighbor block `blocks[i]` and
+/// weight `weights[i]`.
+struct GeneralAttack {
+  std::vector<std::vector<Vertex>> blocks;
+  std::vector<Rational> weights;
+};
+
+/// Graph after applying the attack: v is replaced by copies appended at the
+/// end (copy i = original vertex_count() − 1 + ... re-indexed; see mapping).
+struct AttackedGraph {
+  Graph graph;
+  std::vector<Vertex> copies;  ///< vertex ids of v's copies
+};
+
+/// Build the attacked graph (v keeps its slot for copy 0; further copies
+/// are appended).
+[[nodiscard]] AttackedGraph apply_attack(const Graph& g, Vertex v,
+                                         const GeneralAttack& attack);
+
+/// Exact total utility of all copies under the attack.
+[[nodiscard]] Rational attack_utility(const Graph& g, Vertex v,
+                                      const GeneralAttack& attack);
+
+/// All partitions of Γ(v) into 2..d non-empty blocks.
+[[nodiscard]] std::vector<std::vector<std::vector<Vertex>>>
+neighbor_partitions(const Graph& g, Vertex v);
+
+struct GeneralSybilOptions {
+  /// Simplex grid granularity for m ≥ 3 (weights in multiples of w_v/grid).
+  int grid = 16;
+  /// Coordinate-refinement rounds for m ≥ 3.
+  int refinement_rounds = 12;
+  /// 1-D options for m = 2 (reuses the ring optimizer internals).
+  SybilOptions one_dimensional;
+};
+
+struct GeneralSybilOptimum {
+  GeneralAttack attack;     ///< best attack found
+  Rational utility;         ///< exact utility of that attack
+  Rational honest_utility;  ///< U_v on the original graph
+  Rational ratio;
+};
+
+/// Best Sybil attack found for v on a general graph (exact evaluations;
+/// heuristic search over the weight simplex for m ≥ 3).
+[[nodiscard]] GeneralSybilOptimum optimize_general_sybil(
+    const Graph& g, Vertex v, const GeneralSybilOptions& options = {});
+
+}  // namespace ringshare::game

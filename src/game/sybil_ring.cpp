@@ -1,0 +1,226 @@
+#include "game/sybil_ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builders.hpp"
+
+namespace ringshare::game {
+
+namespace {
+
+/// Ring order starting after v: v's successor, ..., v's predecessor.
+/// Deterministic: the successor is v's smaller-id neighbor.
+std::vector<Vertex> ring_order_from(const Graph& ring, Vertex v) {
+  if (!ring.is_connected())
+    throw std::invalid_argument("split_ring: graph not connected");
+  for (Vertex u = 0; u < ring.vertex_count(); ++u) {
+    if (ring.degree(u) != 2)
+      throw std::invalid_argument("split_ring: graph is not a ring");
+  }
+  std::vector<Vertex> order;
+  order.reserve(ring.vertex_count() - 1);
+  Vertex previous = v;
+  Vertex current = ring.neighbors(v)[0];
+  while (current != v) {
+    order.push_back(current);
+    const auto neighbors = ring.neighbors(current);
+    const Vertex next = neighbors[0] == previous ? neighbors[1] : neighbors[0];
+    previous = current;
+    current = next;
+  }
+  if (order.size() + 1 != ring.vertex_count())
+    throw std::invalid_argument("split_ring: graph is not a single cycle");
+  return order;
+}
+
+}  // namespace
+
+SybilSplit split_ring(const Graph& ring, Vertex v, const Rational& w1,
+                      const Rational& w2) {
+  const std::vector<Vertex> order = ring_order_from(ring, v);
+  SybilSplit out;
+  out.ring_to_path.assign(ring.vertex_count(), 0);
+
+  std::vector<Rational> weights;
+  weights.reserve(order.size() + 2);
+  weights.push_back(w1);  // v1 at index 0
+  for (const Vertex u : order) weights.push_back(ring.weight(u));
+  weights.push_back(w2);  // v2 at index n
+
+  out.path = graph::make_path(std::move(weights));
+  out.v1 = 0;
+  out.v2 = static_cast<Vertex>(order.size() + 1);
+  out.ring_to_path[v] = out.v1;
+  for (std::size_t i = 0; i < order.size(); ++i)
+    out.ring_to_path[order[i]] = static_cast<Vertex>(i + 1);
+  return out;
+}
+
+ParametrizedGraph sybil_family(const Graph& ring, Vertex v) {
+  const Rational w_v = ring.weight(v);
+  SybilSplit split = split_ring(ring, v, Rational(0), w_v);
+  ParametrizedGraph pg(std::move(split.path), Rational(0), w_v);
+  pg.set_affine(split.v1, AffineWeight{Rational(0), Rational(1)});   // t
+  pg.set_affine(split.v2, AffineWeight{w_v, Rational(-1)});          // w_v − t
+  return pg;
+}
+
+Rational sybil_utility(const Graph& ring, Vertex v, const Rational& w1) {
+  const Rational w2 = ring.weight(v) - w1;
+  if (w1.is_negative() || w2.is_negative())
+    throw std::invalid_argument("sybil_utility: split outside [0, w_v]");
+  const SybilSplit split = split_ring(ring, v, w1, w2);
+  const Decomposition decomposition(split.path);
+  return decomposition.utility(split.v1) + decomposition.utility(split.v2);
+}
+
+std::pair<Rational, Rational> honest_split_weights(const Graph& ring,
+                                                   Vertex v) {
+  const Decomposition decomposition(ring);
+  const bd::Allocation allocation = bd_allocation(decomposition);
+  const std::vector<Vertex> order = ring_order_from(ring, v);
+  const Vertex successor = order.front();
+  const Vertex predecessor = order.back();
+  return {allocation.sent(v, successor), allocation.sent(v, predecessor)};
+}
+
+namespace {
+
+/// Closed-form utility of one split copy inside a structure piece: the
+/// signature fixes the pair sets, so U_copy(t) = w(t)·α(t) (B class),
+/// w(t)/α(t) (C class) or w(t) (B = C), with α linear-fractional.
+struct CopyUtility {
+  AffineWeight weight;
+  AlphaFunction alpha;
+  bd::VertexClass cls;
+
+  [[nodiscard]] Rational at(const Rational& t) const {
+    const Rational w = weight.at(t);
+    if (w.is_zero()) return Rational(0);
+    switch (cls) {
+      case bd::VertexClass::kB:
+        return w * alpha.at(t);
+      case bd::VertexClass::kC:
+        return w / alpha.at(t);
+      case bd::VertexClass::kBoth:
+        return w;
+    }
+    throw std::logic_error("CopyUtility: bad class");
+  }
+};
+
+CopyUtility copy_utility(const ParametrizedGraph& pg, const Signature& sig,
+                         Vertex copy) {
+  for (const auto& [b, c] : sig) {
+    const bool in_b = std::binary_search(b.begin(), b.end(), copy);
+    const bool in_c = std::binary_search(c.begin(), c.end(), copy);
+    if (!in_b && !in_c) continue;
+    CopyUtility out;
+    out.weight = pg.weight_function(copy);
+    out.alpha = alpha_function(pg, b, c);
+    out.cls = in_b && in_c ? bd::VertexClass::kBoth
+              : in_b       ? bd::VertexClass::kB
+                           : bd::VertexClass::kC;
+    return out;
+  }
+  throw std::logic_error("copy_utility: copy not found in signature");
+}
+
+}  // namespace
+
+SybilOptimum optimize_sybil_split(const Graph& ring, Vertex v,
+                                  const SybilOptions& options) {
+  const Rational w_v = ring.weight(v);
+  if (w_v.is_zero())
+    throw std::invalid_argument("optimize_sybil_split: w_v == 0");
+
+  const ParametrizedGraph family = sybil_family(ring, v);
+  const Vertex v1 = 0;
+  const Vertex v2 = static_cast<Vertex>(family.base().vertex_count() - 1);
+  const StructurePartition partition =
+      find_structure_partition(family, options.partition);
+
+  // Candidate splits: range ends, breakpoints, and per-piece continuous
+  // optima found on the closed-form piece utility.
+  std::vector<Rational> candidates = {family.t_lo(), family.t_hi()};
+  for (const Breakpoint& bp : partition.breakpoints)
+    candidates.push_back(bp.value);
+
+  for (std::size_t piece = 0; piece < partition.piece_count(); ++piece) {
+    const auto [lo, hi] = partition.piece_bounds(piece);
+    if (!(lo < hi)) continue;
+    const Signature& sig = partition.piece_signatures[piece];
+
+    CopyUtility u1 = copy_utility(family, sig, v1);
+    CopyUtility u2 = copy_utility(family, sig, v2);
+    const double lo_d = lo.to_double();
+    const double hi_d = hi.to_double();
+    auto eval_double = [&](double t) -> double {
+      const Rational rt = Rational::from_double(t);
+      try {
+        return (u1.at(rt) + u2.at(rt)).to_double();
+      } catch (const std::domain_error&) {
+        return -1.0;  // degenerate α at this t; never optimal
+      }
+    };
+
+    // Dense scan then bracket shrink around the best sample.
+    double best_t = lo_d;
+    double best_u = eval_double(lo_d);
+    const int samples = std::max(2, options.samples_per_piece);
+    for (int i = 0; i <= samples; ++i) {
+      const double t =
+          lo_d + (hi_d - lo_d) * static_cast<double>(i) / samples;
+      const double value = eval_double(t);
+      if (value > best_u) {
+        best_u = value;
+        best_t = t;
+      }
+    }
+    double radius = (hi_d - lo_d) / samples;
+    for (int round = 0; round < options.refinement_rounds && radius > 0;
+         ++round) {
+      const double left = std::max(lo_d, best_t - radius);
+      const double right = std::min(hi_d, best_t + radius);
+      for (int i = 0; i <= 8; ++i) {
+        const double t = left + (right - left) * static_cast<double>(i) / 8;
+        const double value = eval_double(t);
+        if (value > best_u) {
+          best_u = value;
+          best_t = t;
+        }
+      }
+      radius /= 4;
+    }
+    Rational best_rational = Rational::from_double(best_t);
+    if (best_rational < lo) best_rational = lo;
+    if (hi < best_rational) best_rational = hi;
+    candidates.push_back(std::move(best_rational));
+    candidates.push_back(partition.piece_midpoint(piece));
+  }
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Ground truth for every candidate: full exact decomposition of the path.
+  SybilOptimum out;
+  out.honest_utility = Decomposition(ring).utility(v);
+  bool first = true;
+  for (const Rational& t : candidates) {
+    const Rational value = sybil_utility(ring, v, t);
+    if (first || out.utility < value) {
+      out.utility = value;
+      out.w1_star = t;
+      first = false;
+    }
+  }
+  if (out.honest_utility.is_zero())
+    throw std::domain_error("optimize_sybil_split: honest utility is zero");
+  out.ratio = out.utility / out.honest_utility;
+  return out;
+}
+
+}  // namespace ringshare::game

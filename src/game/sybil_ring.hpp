@@ -1,0 +1,72 @@
+// sybil_ring.hpp — the Sybil attack on ring networks (Section II-D).
+//
+// On a ring, the manipulative agent v has degree 2, so the only non-trivial
+// attack splits v into v¹ and v² (m = 2), turning the ring into the path
+//
+//     v¹ — u₁ — u₂ — ... — u_{n−1} — v²
+//
+// where u₁, …, u_{n−1} are the other agents in ring order. v assigns
+// weights w₁ + w₂ = w_v to its copies and collects U_{v¹} + U_{v²}. The
+// incentive ratio ζ_v is the best such total divided by v's honest utility.
+#pragma once
+
+#include <optional>
+
+#include "bd/allocation.hpp"
+#include "game/breakpoints.hpp"
+
+namespace ringshare::game {
+
+/// The split path P_v(w₁, w₂) with bookkeeping back to the ring.
+struct SybilSplit {
+  Graph path;                         ///< n+1 vertices
+  Vertex v1;                          ///< path vertex of copy v¹ (= 0)
+  Vertex v2;                          ///< path vertex of copy v² (= n)
+  std::vector<Vertex> ring_to_path;   ///< ring vertex -> path vertex (v -> v1)
+};
+
+/// Build P_v(w₁, w₂). v¹ is adjacent to v's ring successor and v² to v's
+/// ring predecessor. Requires a ring (every vertex degree 2, connected).
+[[nodiscard]] SybilSplit split_ring(const Graph& ring, Vertex v,
+                                    const Rational& w1, const Rational& w2);
+
+/// Parametrized family P_v(t, w_v − t) over t ∈ [0, w_v]: the diagonal
+/// sweep used by the optimizer and the Adjusting Technique.
+[[nodiscard]] ParametrizedGraph sybil_family(const Graph& ring, Vertex v);
+
+/// v's total Sybil utility U_{v¹} + U_{v²} on P_v(w₁, w_v − w₁), exact.
+[[nodiscard]] Rational sybil_utility(const Graph& ring, Vertex v,
+                                     const Rational& w1);
+
+/// The honest split (w₁⁰, w₂⁰): the amounts v sends to its ring successor
+/// and predecessor under the BD allocation on the original ring (Lemma 9
+/// gives U_v(w₁⁰, w₂⁰) = U_v).
+[[nodiscard]] std::pair<Rational, Rational> honest_split_weights(
+    const Graph& ring, Vertex v);
+
+struct SybilOptions {
+  /// Samples per structure piece in the per-piece continuous search.
+  int samples_per_piece = 64;
+  /// Local refinement rounds (each shrinks the bracket 4x around the best).
+  int refinement_rounds = 40;
+  /// Structure partition resolution.
+  PartitionOptions partition;
+};
+
+/// Result of the split optimization for one vertex.
+struct SybilOptimum {
+  Rational w1_star;         ///< best split found (w₂* = w_v − w₁*)
+  Rational utility;         ///< exact U_v(w₁*, w₂*)
+  Rational honest_utility;  ///< exact U_v on the original ring
+  Rational ratio;           ///< utility / honest_utility
+};
+
+/// Maximize U_{v¹} + U_{v²} over w₁ ∈ [0, w_v]: exact structure partition,
+/// continuous search inside each piece (utilities are smooth low-degree
+/// rational functions there), exact re-evaluation of every candidate. The
+/// returned ratio is therefore an exact value attained by a concrete split —
+/// a certified lower bound on ζ_v that empirically meets the optimum.
+[[nodiscard]] SybilOptimum optimize_sybil_split(
+    const Graph& ring, Vertex v, const SybilOptions& options = {});
+
+}  // namespace ringshare::game

@@ -1,0 +1,83 @@
+#include "graph/builders.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ringshare::graph {
+
+Graph make_ring(std::vector<Rational> weights) {
+  if (weights.size() < 3) throw std::invalid_argument("make_ring: n < 3");
+  const std::size_t n = weights.size();
+  Graph g(std::move(weights));
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  g.add_edge(static_cast<Vertex>(n - 1), 0);
+  return g;
+}
+
+Graph make_path(std::vector<Rational> weights) {
+  if (weights.empty()) throw std::invalid_argument("make_path: empty");
+  const std::size_t n = weights.size();
+  Graph g(std::move(weights));
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph make_complete(std::vector<Rational> weights) {
+  const std::size_t n = weights.size();
+  Graph g(std::move(weights));
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph make_star(std::vector<Rational> weights) {
+  if (weights.size() < 2) throw std::invalid_argument("make_star: n < 2");
+  const std::size_t n = weights.size();
+  Graph g(std::move(weights));
+  for (Vertex v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph make_random_connected(std::size_t n, double edge_probability,
+                            util::Xoshiro256& rng, std::int64_t max_weight) {
+  if (n == 0) throw std::invalid_argument("make_random_connected: n == 0");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Graph g(random_integer_weights(n, rng, max_weight));
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        if (rng.uniform01() < edge_probability) g.add_edge(u, v);
+      }
+    }
+    if (g.is_connected() && g.edge_count() > 0) return g;
+  }
+  throw std::runtime_error(
+      "make_random_connected: failed to sample a connected graph");
+}
+
+std::vector<Rational> random_integer_weights(std::size_t n,
+                                             util::Xoshiro256& rng,
+                                             std::int64_t max_weight) {
+  std::vector<Rational> weights;
+  weights.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights.emplace_back(rng.uniform_int(1, max_weight));
+  }
+  return weights;
+}
+
+Graph make_fig1_example() {
+  // Weights chosen so that α({v1,v2}) = w(v3)/(w(v1)+w(v2)) = 1/3 as in the
+  // paper's figure: w = (1, 2, 1, 1, 1, 1).
+  Graph g({Rational(1), Rational(2), Rational(1), Rational(1), Rational(1),
+           Rational(1)});
+  g.add_edge(0, 2);  // v1 - v3
+  g.add_edge(1, 2);  // v2 - v3
+  g.add_edge(2, 3);  // v3 - v4
+  g.add_edge(3, 4);  // v4 - v5
+  g.add_edge(4, 5);  // v5 - v6
+  g.add_edge(5, 3);  // v6 - v4
+  return g;
+}
+
+}  // namespace ringshare::graph

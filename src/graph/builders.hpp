@@ -1,0 +1,44 @@
+// builders.hpp — constructors for the graph families used throughout the
+// paper and the experiments: rings (the paper's network class), paths (the
+// result of a Sybil split on a ring), plus complete/star/random graphs for
+// the general-network conjecture and cross-validation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::graph {
+
+/// Ring v_0 - v_1 - ... - v_{n-1} - v_0 (n >= 3).
+[[nodiscard]] Graph make_ring(std::vector<Rational> weights);
+
+/// Path v_0 - v_1 - ... - v_{n-1} (n >= 1).
+[[nodiscard]] Graph make_path(std::vector<Rational> weights);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph make_complete(std::vector<Rational> weights);
+
+/// Star with vertex 0 as the hub.
+[[nodiscard]] Graph make_star(std::vector<Rational> weights);
+
+/// Erdős–Rényi G(n, p) conditioned on connectivity (re-samples until
+/// connected; p should be comfortably above the connectivity threshold).
+[[nodiscard]] Graph make_random_connected(std::size_t n, double edge_probability,
+                                          util::Xoshiro256& rng,
+                                          std::int64_t max_weight = 10);
+
+/// Random integer weights in [1, max_weight].
+[[nodiscard]] std::vector<Rational> random_integer_weights(
+    std::size_t n, util::Xoshiro256& rng, std::int64_t max_weight = 10);
+
+/// The 6-vertex example of Fig. 1 in the paper:
+/// vertices v1..v6 (indices 0..5), unit weights,
+/// edges: v1-v3, v2-v3, v3-v4, v4-v5, v5-v6, v6-v4.
+/// Its bottleneck decomposition is (B1,C1)=({v1,v2},{v3}) with α=1/3 and
+/// (B2,C2)=({v4,v5,v6},{v4,v5,v6}) with α=1.
+[[nodiscard]] Graph make_fig1_example();
+
+}  // namespace ringshare::graph

@@ -1,0 +1,22 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace ringshare::graph {
+
+std::string to_dot(const Graph& g, const std::vector<std::string>& labels) {
+  std::ostringstream os;
+  os << "graph G {\n";
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    os << "  n" << v << " [label=\"v" << v << " w=" << g.weight(v).to_string();
+    if (v < labels.size() && !labels[v].empty()) os << "\\n" << labels[v];
+    os << "\"];\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    os << "  n" << u << " -- n" << v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ringshare::graph

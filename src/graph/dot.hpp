@@ -1,0 +1,16 @@
+// dot.hpp — Graphviz export for debugging and figure regeneration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ringshare::graph {
+
+/// Render the graph in DOT format. `labels` (optional, per-vertex) annotate
+/// nodes, e.g. with the bottleneck pair / class they belong to.
+[[nodiscard]] std::string to_dot(const Graph& g,
+                                 const std::vector<std::string>& labels = {});
+
+}  // namespace ringshare::graph

@@ -1,0 +1,139 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ringshare::graph {
+
+Graph::Graph(std::size_t vertex_count)
+    : weights_(vertex_count, Rational(0)), adjacency_(vertex_count) {}
+
+Graph::Graph(std::vector<Rational> weights)
+    : weights_(std::move(weights)), adjacency_(weights_.size()) {
+  for (const Rational& w : weights_) {
+    if (w.is_negative()) throw std::invalid_argument("Graph: negative weight");
+  }
+}
+
+Vertex Graph::add_vertex(Rational weight) {
+  if (weight.is_negative())
+    throw std::invalid_argument("Graph: negative weight");
+  weights_.push_back(std::move(weight));
+  adjacency_.emplace_back();
+  return static_cast<Vertex>(weights_.size() - 1);
+}
+
+void Graph::add_edge(Vertex u, Vertex v) {
+  if (u == v) throw std::invalid_argument("Graph: self loop");
+  if (u >= vertex_count() || v >= vertex_count())
+    throw std::out_of_range("Graph: vertex out of range");
+  if (has_edge(u, v)) return;
+  auto insert_sorted = [](std::vector<Vertex>& list, Vertex x) {
+    list.insert(std::lower_bound(list.begin(), list.end(), x), x);
+  };
+  insert_sorted(adjacency_[u], v);
+  insert_sorted(adjacency_[v], u);
+  ++edge_count_;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  const auto& list = adjacency_.at(u);
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+void Graph::set_weight(Vertex v, Rational weight) {
+  if (weight.is_negative())
+    throw std::invalid_argument("Graph: negative weight");
+  weights_.at(v) = std::move(weight);
+}
+
+Rational Graph::total_weight() const {
+  Rational total;
+  for (const Rational& w : weights_) total += w;
+  return total;
+}
+
+Rational Graph::set_weight(std::span<const Vertex> set) const {
+  Rational total;
+  for (const Vertex v : set) total += weight(v);
+  return total;
+}
+
+std::vector<Vertex> Graph::neighborhood(std::span<const Vertex> set) const {
+  std::vector<char> in_result(vertex_count(), 0);
+  for (const Vertex v : set) {
+    for (const Vertex u : neighbors(v)) in_result[u] = 1;
+  }
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < vertex_count(); ++v) {
+    if (in_result[v]) out.push_back(v);
+  }
+  return out;
+}
+
+bool Graph::is_independent(std::span<const Vertex> set) const {
+  std::vector<char> in_set(vertex_count(), 0);
+  for (const Vertex v : set) in_set[v] = 1;
+  for (const Vertex v : set) {
+    for (const Vertex u : neighbors(v)) {
+      if (in_set[u]) return false;
+    }
+  }
+  return true;
+}
+
+bool Graph::is_connected() const {
+  if (vertex_count() <= 1) return true;
+  std::vector<char> visited(vertex_count(), 0);
+  std::vector<Vertex> stack = {0};
+  visited[0] = 1;
+  std::size_t seen = 1;
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    for (const Vertex u : neighbors(v)) {
+      if (!visited[u]) {
+        visited[u] = 1;
+        ++seen;
+        stack.push_back(u);
+      }
+    }
+  }
+  return seen == vertex_count();
+}
+
+std::vector<std::pair<Vertex, Vertex>> Graph::edges() const {
+  std::vector<std::pair<Vertex, Vertex>> out;
+  out.reserve(edge_count_);
+  for (Vertex v = 0; v < vertex_count(); ++v) {
+    for (const Vertex u : neighbors(v)) {
+      if (v < u) out.emplace_back(v, u);
+    }
+  }
+  return out;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const Vertex> vertices) {
+  InducedSubgraph out;
+  out.from_parent.assign(g.vertex_count(), std::nullopt);
+  std::vector<Vertex> sorted(vertices.begin(), vertices.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const Vertex v : sorted) {
+    out.from_parent.at(v) = static_cast<Vertex>(out.to_parent.size());
+    out.to_parent.push_back(v);
+    out.graph.add_vertex(g.weight(v));
+  }
+  for (const Vertex v : sorted) {
+    for (const Vertex u : g.neighbors(v)) {
+      if (v < u && out.from_parent[u].has_value()) {
+        out.graph.add_edge(*out.from_parent[v], *out.from_parent[u]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ringshare::graph

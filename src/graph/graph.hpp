@@ -1,0 +1,106 @@
+// graph.hpp — undirected weighted graphs for the resource sharing model.
+//
+// G = (V, E; w): each vertex is an agent with a non-negative resource
+// endowment w_v (exact rational). The bottleneck decomposition and the BD
+// allocation mechanism operate on these graphs and on induced subgraphs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "numeric/rational.hpp"
+
+namespace ringshare::graph {
+
+using num::Rational;
+
+/// Vertex index (0-based, dense).
+using Vertex = std::uint32_t;
+
+/// Undirected simple graph with rational vertex weights.
+///
+/// Invariants: no self loops, no parallel edges, adjacency lists sorted,
+/// weights non-negative.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// n isolated vertices with the given weights (all zero if omitted).
+  explicit Graph(std::size_t vertex_count);
+  explicit Graph(std::vector<Rational> weights);
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Append a vertex; returns its index.
+  Vertex add_vertex(Rational weight);
+
+  /// Add undirected edge {u, v}. Throws on self loop / out of range;
+  /// duplicate edges are ignored.
+  void add_edge(Vertex u, Vertex v);
+
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  [[nodiscard]] const Rational& weight(Vertex v) const {
+    return weights_.at(v);
+  }
+  void set_weight(Vertex v, Rational weight);
+
+  /// Sorted neighbor list of v.
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    return adjacency_.at(v);
+  }
+
+  [[nodiscard]] std::size_t degree(Vertex v) const {
+    return adjacency_.at(v).size();
+  }
+
+  /// Sum of all vertex weights.
+  [[nodiscard]] Rational total_weight() const;
+
+  /// w(S) = Σ_{v∈S} w_v.
+  [[nodiscard]] Rational set_weight(std::span<const Vertex> set) const;
+
+  /// Γ(S) = ∪_{v∈S} Γ(v), sorted (may intersect S).
+  [[nodiscard]] std::vector<Vertex> neighborhood(
+      std::span<const Vertex> set) const;
+
+  /// True if no edge joins two vertices of `set`.
+  [[nodiscard]] bool is_independent(std::span<const Vertex> set) const;
+
+  /// True if the graph is connected (vacuously true for n <= 1).
+  [[nodiscard]] bool is_connected() const;
+
+  /// All edges as (u, v) with u < v, lexicographically sorted.
+  [[nodiscard]] std::vector<std::pair<Vertex, Vertex>> edges() const;
+
+  /// All weights (by vertex index).
+  [[nodiscard]] const std::vector<Rational>& weights() const noexcept {
+    return weights_;
+  }
+
+  friend bool operator==(const Graph& a, const Graph& b) = default;
+
+ private:
+  std::vector<Rational> weights_;
+  std::vector<std::vector<Vertex>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Induced subgraph of `g` on `vertices` plus the mapping back to `g`.
+struct InducedSubgraph {
+  Graph graph;                        ///< re-indexed 0..k-1
+  std::vector<Vertex> to_parent;      ///< new index -> parent vertex
+  std::vector<std::optional<Vertex>> from_parent;  ///< parent -> new index
+};
+
+/// Build the induced subgraph on the given (deduplicated) vertex set.
+[[nodiscard]] InducedSubgraph induced_subgraph(const Graph& g,
+                                               std::span<const Vertex> vertices);
+
+}  // namespace ringshare::graph

@@ -1,0 +1,92 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ringshare::graph {
+
+std::string to_text_format(const Graph& g) {
+  std::ostringstream os;
+  os << "ringshare-graph v1\n";
+  os << "vertices " << g.vertex_count() << "\n";
+  os << "weights";
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    os << " " << g.weight(v).to_string();
+  os << "\n";
+  for (const auto& [u, v] : g.edges()) os << "edge " << u << " " << v << "\n";
+  return os.str();
+}
+
+Graph from_text_format(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+
+  auto next_meaningful = [&](std::string& out) -> bool {
+    while (std::getline(is, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::size_t begin = line.find_first_not_of(" \t\r");
+      if (begin == std::string::npos) continue;
+      out = line.substr(begin);
+      return true;
+    }
+    return false;
+  };
+
+  std::string header;
+  if (!next_meaningful(header) || header.rfind("ringshare-graph v1", 0) != 0)
+    throw std::invalid_argument("from_text_format: bad header");
+
+  std::string vertices_line;
+  if (!next_meaningful(vertices_line))
+    throw std::invalid_argument("from_text_format: missing vertices line");
+  std::istringstream vs(vertices_line);
+  std::string keyword;
+  std::size_t n = 0;
+  if (!(vs >> keyword >> n) || keyword != "vertices")
+    throw std::invalid_argument("from_text_format: bad vertices line");
+
+  std::string weights_line;
+  if (!next_meaningful(weights_line))
+    throw std::invalid_argument("from_text_format: missing weights line");
+  std::istringstream ws(weights_line);
+  if (!(ws >> keyword) || keyword != "weights")
+    throw std::invalid_argument("from_text_format: bad weights line");
+  std::vector<Rational> weights;
+  std::string token;
+  while (ws >> token) weights.push_back(num::Rational::from_string(token));
+  if (weights.size() != n)
+    throw std::invalid_argument("from_text_format: weight count mismatch");
+
+  Graph g(std::move(weights));
+  std::string edge_line;
+  while (next_meaningful(edge_line)) {
+    std::istringstream es(edge_line);
+    std::size_t u = 0;
+    std::size_t v = 0;
+    if (!(es >> keyword >> u >> v) || keyword != "edge")
+      throw std::invalid_argument("from_text_format: bad edge line");
+    if (u >= n || v >= n)
+      throw std::invalid_argument("from_text_format: edge out of range");
+    g.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return g;
+}
+
+void save_graph(const Graph& g, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("save_graph: cannot open " + path);
+  file << to_text_format(g);
+  if (!file) throw std::runtime_error("save_graph: write failed " + path);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_graph: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return from_text_format(buffer.str());
+}
+
+}  // namespace ringshare::graph

@@ -1,0 +1,33 @@
+// io.hpp — plain-text serialization of weighted graphs.
+//
+// A tiny line-oriented format so worst-case instances found by searches can
+// be saved, shipped in bug reports, and replayed by the benches:
+//
+//     ringshare-graph v1
+//     vertices 5
+//     weights 4 1 3 2 5        # rationals, "a" or "a/b"
+//     edge 0 1
+//     edge 1 2
+//     ...
+//
+// Comments (# …) and blank lines are ignored. Exact rationals round-trip.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ringshare::graph {
+
+/// Serialize to the text format above.
+[[nodiscard]] std::string to_text_format(const Graph& g);
+
+/// Parse the text format. Throws std::invalid_argument on malformed input.
+[[nodiscard]] Graph from_text_format(const std::string& text);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_graph(const Graph& g, const std::string& path);
+[[nodiscard]] Graph load_graph(const std::string& path);
+
+}  // namespace ringshare::graph

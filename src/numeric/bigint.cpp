@@ -1,0 +1,450 @@
+#include "numeric/bigint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace ringshare::num {
+
+namespace {
+
+constexpr std::uint64_t kLimbBase = 1ULL << 32;
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  if (value == 0) return;
+  negative_ = value < 0;
+  // Avoid UB negating INT64_MIN: go through uint64.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  limbs_.push_back(static_cast<Limb>(magnitude & 0xFFFFFFFFULL));
+  if (magnitude >> 32) limbs_.push_back(static_cast<Limb>(magnitude >> 32));
+}
+
+BigInt BigInt::from_uint64(std::uint64_t value) {
+  BigInt out;
+  if (value == 0) return out;
+  out.limbs_.push_back(static_cast<Limb>(value & 0xFFFFFFFFULL));
+  if (value >> 32) out.limbs_.push_back(static_cast<Limb>(value >> 32));
+  return out;
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt: empty string");
+  bool negative = false;
+  std::size_t pos = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  if (pos == text.size())
+    throw std::invalid_argument("BigInt: sign without digits");
+  BigInt out;
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      throw std::invalid_argument("BigInt: non-digit character");
+    out *= BigInt(10);
+    out += BigInt(c - '0');
+  }
+  out.negative_ = negative && !out.is_zero();
+  return out;
+}
+
+std::size_t BigInt::bit_count() const noexcept {
+  if (limbs_.empty()) return 0;
+  const Limb top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * kLimbBits;
+  // top is non-zero by the no-leading-zero invariant.
+  bits += static_cast<std::size_t>(32 - __builtin_clz(top));
+  return bits;
+}
+
+bool BigInt::fits_int64() const noexcept {
+  const std::size_t bits = bit_count();
+  if (bits < 64) return true;
+  if (bits > 64) return false;
+  // Exactly 64 bits: only -2^63 fits, which has bit 63 set and nothing else.
+  if (!negative_) return false;
+  if (limbs_[1] != 0x80000000u || limbs_[0] != 0) return false;
+  return true;
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (!fits_int64()) throw std::overflow_error("BigInt: does not fit int64");
+  std::uint64_t magnitude = 0;
+  if (!limbs_.empty()) magnitude = limbs_[0];
+  if (limbs_.size() > 1)
+    magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (negative_) return static_cast<std::int64_t>(~magnitude + 1);
+  return static_cast<std::int64_t>(magnitude);
+}
+
+double BigInt::to_double() const noexcept {
+  double result = 0.0;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it)
+    result = result * static_cast<double>(kLimbBase) + static_cast<double>(*it);
+  return negative_ ? -result : result;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^9 over a scratch copy of the magnitude.
+  std::vector<Limb> scratch = limbs_;
+  std::string digits;
+  constexpr std::uint64_t kChunk = 1000000000ULL;
+  while (!scratch.empty()) {
+    std::uint64_t remainder = 0;
+    for (std::size_t i = scratch.size(); i-- > 0;) {
+      const std::uint64_t cur = (remainder << 32) | scratch[i];
+      scratch[i] = static_cast<Limb>(cur / kChunk);
+      remainder = cur % kChunk;
+    }
+    while (!scratch.empty() && scratch.back() == 0) scratch.pop_back();
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt BigInt::negated() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_add(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<Limb> out;
+  out.reserve(longer.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    std::uint64_t sum = carry + longer[i];
+    if (i < shorter.size()) sum += shorter[i];
+    out.push_back(static_cast<Limb>(sum & 0xFFFFFFFFULL));
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<Limb>(carry));
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_sub(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  std::vector<Limb> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Limb>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_mul(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<Limb>(cur & 0xFFFFFFFFULL);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      const std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<Limb>(cur & 0xFFFFFFFFULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+int BigInt::mag_compare(const std::vector<Limb>& a,
+                        const std::vector<Limb>& b) noexcept {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::pair<std::vector<BigInt::Limb>, std::vector<BigInt::Limb>>
+BigInt::mag_div_mod(const std::vector<Limb>& a, const std::vector<Limb>& b) {
+  if (b.empty()) throw std::domain_error("BigInt: division by zero");
+  if (mag_compare(a, b) < 0) return {{}, a};
+
+  if (b.size() == 1) {
+    // Fast path: single-limb divisor.
+    std::vector<Limb> quotient(a.size(), 0);
+    std::uint64_t remainder = 0;
+    const std::uint64_t divisor = b[0];
+    for (std::size_t i = a.size(); i-- > 0;) {
+      const std::uint64_t cur = (remainder << 32) | a[i];
+      quotient[i] = static_cast<Limb>(cur / divisor);
+      remainder = cur % divisor;
+    }
+    while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
+    std::vector<Limb> rem;
+    if (remainder) rem.push_back(static_cast<Limb>(remainder));
+    return {std::move(quotient), std::move(rem)};
+  }
+
+  // Knuth algorithm D with normalization so the divisor's top bit is set.
+  const int shift = __builtin_clz(b.back());
+  auto shift_left = [](const std::vector<Limb>& src, int bits) {
+    std::vector<Limb> out(src.size() + 1, 0);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      out[i] |= static_cast<Limb>(static_cast<std::uint64_t>(src[i]) << bits);
+      if (bits)
+        out[i + 1] |=
+            static_cast<Limb>(static_cast<std::uint64_t>(src[i]) >> (32 - bits));
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  };
+  auto shift_right = [](const std::vector<Limb>& src, int bits) {
+    std::vector<Limb> out(src.size(), 0);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      out[i] = src[i] >> bits;
+      if (bits && i + 1 < src.size())
+        out[i] |=
+            static_cast<Limb>(static_cast<std::uint64_t>(src[i + 1]) << (32 - bits));
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  };
+
+  std::vector<Limb> u = shift_left(a, shift);
+  const std::vector<Limb> v = shift_left(b, shift);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() >= n ? u.size() - n : 0;
+  u.resize(u.size() + 1, 0);  // extra high limb for the algorithm
+
+  std::vector<Limb> quotient(m + 1, 0);
+  const std::uint64_t v_top = v[n - 1];
+  const std::uint64_t v_second = n >= 2 ? v[n - 2] : 0;
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t q_hat = numerator / v_top;
+    std::uint64_t r_hat = numerator % v_top;
+    while (q_hat >= kLimbBase ||
+           q_hat * v_second > ((r_hat << 32) | (j + n >= 2 ? u[j + n - 2] : 0))) {
+      --q_hat;
+      r_hat += v_top;
+      if (r_hat >= kLimbBase) break;
+    }
+    // Multiply-subtract q_hat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(product & 0xFFFFFFFFULL) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(diff);
+    }
+    std::int64_t top_diff = static_cast<std::int64_t>(u[j + n]) -
+                            static_cast<std::int64_t>(carry) - borrow;
+    if (top_diff < 0) {
+      // q_hat was one too large: add back v.
+      top_diff += static_cast<std::int64_t>(kLimbBase);
+      --q_hat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<Limb>(sum & 0xFFFFFFFFULL);
+        add_carry = sum >> 32;
+      }
+      top_diff += static_cast<std::int64_t>(add_carry);
+      top_diff &= 0xFFFFFFFFLL;
+    }
+    u[j + n] = static_cast<Limb>(top_diff);
+    quotient[j] = static_cast<Limb>(q_hat);
+  }
+
+  while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
+  u.resize(n);
+  while (!u.empty() && u.back() == 0) u.pop_back();
+  return {std::move(quotient), shift_right(u, shift)};
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    limbs_ = mag_add(limbs_, rhs.limbs_);
+  } else {
+    const int cmp = mag_compare(limbs_, rhs.limbs_);
+    if (cmp == 0) {
+      limbs_.clear();
+      negative_ = false;
+    } else if (cmp > 0) {
+      limbs_ = mag_sub(limbs_, rhs.limbs_);
+    } else {
+      limbs_ = mag_sub(rhs.limbs_, limbs_);
+      negative_ = rhs.negative_;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  negative_ = negative_ != rhs.negative_;
+  limbs_ = mag_mul(limbs_, rhs.limbs_);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  *this = div_mod(*this, rhs).first;
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  *this = div_mod(*this, rhs).second;
+  return *this;
+}
+
+std::pair<BigInt, BigInt> BigInt::div_mod(const BigInt& a, const BigInt& b) {
+  auto [q_mag, r_mag] = mag_div_mod(a.limbs_, b.limbs_);
+  BigInt quotient;
+  quotient.limbs_ = std::move(q_mag);
+  quotient.negative_ = a.negative_ != b.negative_;
+  quotient.trim();
+  BigInt remainder;
+  remainder.limbs_ = std::move(r_mag);
+  remainder.negative_ = a.negative_;
+  remainder.trim();
+  return {std::move(quotient), std::move(remainder)};
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::isqrt(const BigInt& value) {
+  if (value.is_negative())
+    throw std::domain_error("BigInt::isqrt: negative input");
+  if (value.is_zero()) return BigInt(0);
+  // Newton iteration x <- (x + value/x) / 2 from an over-estimate.
+  BigInt x = BigInt(1).shifted_left(value.bit_count() / 2 + 1);
+  for (;;) {
+    BigInt next = (x + value / x) / BigInt(2);
+    if (!(next < x)) break;
+    x = std::move(next);
+  }
+  // x is now floor(sqrt(value)) (Newton from above converges monotonically).
+  return x;
+}
+
+bool BigInt::is_perfect_square(const BigInt& value) {
+  if (value.is_negative()) return false;
+  const BigInt root = isqrt(value);
+  return root * root == value;
+}
+
+BigInt BigInt::shifted_left(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / kLimbBits;
+  const int bit_shift = static_cast<int>(bits % kLimbBits);
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limb_shift, 0);
+  if (bit_shift == 0) {
+    out.limbs_.insert(out.limbs_.end(), limbs_.begin(), limbs_.end());
+  } else {
+    Limb carry = 0;
+    for (const Limb limb : limbs_) {
+      out.limbs_.push_back(static_cast<Limb>(
+          (static_cast<std::uint64_t>(limb) << bit_shift) | carry));
+      carry = static_cast<Limb>(static_cast<std::uint64_t>(limb) >>
+                                (kLimbBits - bit_shift));
+    }
+    if (carry) out.limbs_.push_back(carry);
+  }
+  out.trim();
+  return out;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) noexcept {
+  if (a.negative_ != b.negative_)
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  const int cmp = BigInt::mag_compare(a.limbs_, b.limbs_);
+  const int signed_cmp = a.negative_ ? -cmp : cmp;
+  if (signed_cmp < 0) return std::strong_ordering::less;
+  if (signed_cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.to_string();
+}
+
+std::size_t BigInt::hash() const noexcept {
+  std::size_t h = negative_ ? 0x9E3779B97F4A7C15ULL : 0x517CC1B727220A95ULL;
+  for (const Limb limb : limbs_) {
+    h ^= limb + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace ringshare::num

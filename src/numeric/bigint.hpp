@@ -1,0 +1,146 @@
+// bigint.hpp — arbitrary-precision signed integers.
+//
+// The bottleneck decomposition compares α-ratios (ratios of subset sums of
+// agent weights) exactly; repeated Dinkelbach iterations and breakpoint
+// solving compound rational arithmetic, so magnitudes can exceed any fixed
+// word size. BigInt is a sign-magnitude integer over base-2^32 limbs with
+// value semantics and strong exception safety.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ringshare::num {
+
+/// Arbitrary-precision signed integer (sign + little-endian 2^32 limbs).
+///
+/// Invariants: no leading zero limbs; zero is represented by an empty limb
+/// vector with non-negative sign. All operations preserve these invariants.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a built-in signed integer.
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// From an unsigned 64-bit integer.
+  static BigInt from_uint64(std::uint64_t value);
+
+  /// Parse a base-10 string with optional leading '-' or '+'.
+  /// Throws std::invalid_argument on malformed input.
+  static BigInt from_string(std::string_view text);
+
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const noexcept { return negative_; }
+  /// -1, 0 or +1.
+  [[nodiscard]] int sign() const noexcept {
+    return is_zero() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  /// Number of limbs in the magnitude (0 for zero).
+  [[nodiscard]] std::size_t limb_count() const noexcept {
+    return limbs_.size();
+  }
+
+  /// Number of significant bits in the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_count() const noexcept;
+
+  /// True if the value fits in int64_t.
+  [[nodiscard]] bool fits_int64() const noexcept;
+
+  /// Convert to int64_t. Throws std::overflow_error if it does not fit.
+  [[nodiscard]] std::int64_t to_int64() const;
+
+  /// Best-effort conversion to double (may lose precision / overflow to inf).
+  [[nodiscard]] double to_double() const noexcept;
+
+  /// Base-10 representation.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] BigInt abs() const;
+  [[nodiscard]] BigInt negated() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  /// Throws std::domain_error on division by zero.
+  BigInt& operator/=(const BigInt& rhs);
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt& operator%=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+
+  BigInt operator-() const { return negated(); }
+
+  /// Quotient and remainder in one pass (remainder has dividend's sign).
+  [[nodiscard]] static std::pair<BigInt, BigInt> div_mod(const BigInt& a,
+                                                         const BigInt& b);
+
+  /// Greatest common divisor (always non-negative).
+  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);
+
+  /// Floor of the square root of a non-negative value.
+  /// Throws std::domain_error for negative input.
+  [[nodiscard]] static BigInt isqrt(const BigInt& value);
+
+  /// True iff value is a perfect square (value >= 0 and isqrt(value)^2 ==
+  /// value).
+  [[nodiscard]] static bool is_perfect_square(const BigInt& value);
+
+  /// Shift left by `bits` (multiply by 2^bits).
+  [[nodiscard]] BigInt shifted_left(std::size_t bits) const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a,
+                                          const BigInt& b) noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+  /// FNV-style hash of the canonical representation.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+ private:
+  using Limb = std::uint32_t;
+  using WideLimb = std::uint64_t;
+  static constexpr int kLimbBits = 32;
+
+  void trim() noexcept;
+
+  // Magnitude helpers (ignore signs).
+  static std::vector<Limb> mag_add(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<Limb> mag_sub(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static std::vector<Limb> mag_mul(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static int mag_compare(const std::vector<Limb>& a,
+                         const std::vector<Limb>& b) noexcept;
+  /// Long division of magnitudes; returns {quotient, remainder}.
+  static std::pair<std::vector<Limb>, std::vector<Limb>> mag_div_mod(
+      const std::vector<Limb>& a, const std::vector<Limb>& b);
+
+  bool negative_ = false;
+  std::vector<Limb> limbs_;  // little-endian, no leading zeros
+};
+
+}  // namespace ringshare::num
+
+template <>
+struct std::hash<ringshare::num::BigInt> {
+  std::size_t operator()(const ringshare::num::BigInt& v) const noexcept {
+    return v.hash();
+  }
+};

@@ -1,0 +1,137 @@
+#include "numeric/rational.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace ringshare::num {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  if (denominator_.is_zero())
+    throw std::domain_error("Rational: zero denominator");
+  normalize();
+}
+
+Rational Rational::from_string(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos)
+    return Rational(BigInt::from_string(text), BigInt(1));
+  return Rational(BigInt::from_string(text.substr(0, slash)),
+                  BigInt::from_string(text.substr(slash + 1)));
+}
+
+Rational Rational::from_double(double value) {
+  if (!std::isfinite(value))
+    throw std::domain_error("Rational::from_double: non-finite value");
+  if (value == 0.0) return Rational(0);
+  int exponent = 0;
+  // mantissa in [0.5, 1); scale to a 53-bit integer.
+  const double mantissa = std::frexp(value, &exponent);
+  const auto scaled =
+      static_cast<std::int64_t>(std::ldexp(mantissa, 53));  // exact
+  exponent -= 53;
+  BigInt numerator(scaled);
+  BigInt denominator(1);
+  if (exponent >= 0) {
+    numerator = numerator.shifted_left(static_cast<std::size_t>(exponent));
+  } else {
+    denominator = denominator.shifted_left(static_cast<std::size_t>(-exponent));
+  }
+  return Rational(std::move(numerator), std::move(denominator));
+}
+
+void Rational::normalize() {
+  if (denominator_.is_negative()) {
+    numerator_ = numerator_.negated();
+    denominator_ = denominator_.negated();
+  }
+  if (numerator_.is_zero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  const BigInt divisor = BigInt::gcd(numerator_, denominator_);
+  if (divisor != BigInt(1)) {
+    numerator_ /= divisor;
+    denominator_ /= divisor;
+  }
+}
+
+double Rational::to_double() const noexcept {
+  // Scale so that the division happens on comparable magnitudes; good enough
+  // for reporting (exact values are kept as fractions everywhere that
+  // matters).
+  return numerator_.to_double() / denominator_.to_double();
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return numerator_.to_string();
+  return numerator_.to_string() + "/" + denominator_.to_string();
+}
+
+Rational Rational::abs() const {
+  Rational out = *this;
+  out.numerator_ = out.numerator_.abs();
+  return out;
+}
+
+Rational Rational::inverse() const {
+  if (is_zero()) throw std::domain_error("Rational: inverse of zero");
+  return Rational(denominator_, numerator_);
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  numerator_ = numerator_ * rhs.denominator_ + rhs.numerator_ * denominator_;
+  denominator_ *= rhs.denominator_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  numerator_ = numerator_ * rhs.denominator_ - rhs.numerator_ * denominator_;
+  denominator_ *= rhs.denominator_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  numerator_ *= rhs.numerator_;
+  denominator_ *= rhs.denominator_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.is_zero()) throw std::domain_error("Rational: division by zero");
+  numerator_ *= rhs.denominator_;
+  denominator_ *= rhs.numerator_;
+  normalize();
+  return *this;
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.numerator_ = out.numerator_.negated();
+  return out;
+}
+
+std::strong_ordering operator<=>(const Rational& a,
+                                 const Rational& b) noexcept {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return a.numerator_ * b.denominator_ <=> b.numerator_ * a.denominator_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.to_string();
+}
+
+Rational Rational::midpoint(const Rational& a, const Rational& b) {
+  return (a + b) * Rational(1, 2);
+}
+
+std::size_t Rational::hash() const noexcept {
+  return numerator_.hash() ^ (denominator_.hash() * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace ringshare::num

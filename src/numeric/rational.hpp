@@ -1,0 +1,128 @@
+// rational.hpp — exact rational arithmetic over BigInt.
+//
+// α-ratios, allocations and utilities in the BD mechanism are ratios of
+// subset sums; comparing them in floating point misclassifies decomposition
+// breakpoints. Rational keeps every mechanism quantity exact.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "numeric/bigint.hpp"
+
+namespace ringshare::num {
+
+/// Exact rational number, always stored in lowest terms with a positive
+/// denominator. Value semantics; all arithmetic is exact.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : numerator_(0), denominator_(1) {}
+
+  /// From an integer.
+  Rational(std::int64_t value)  // NOLINT(google-explicit-constructor)
+      : numerator_(value), denominator_(1) {}
+
+  /// From a BigInt.
+  Rational(BigInt value)  // NOLINT(google-explicit-constructor)
+      : numerator_(std::move(value)), denominator_(1) {}
+
+  /// numerator / denominator. Throws std::domain_error if denominator == 0.
+  Rational(BigInt numerator, BigInt denominator);
+
+  /// Convenience int64 fraction.
+  Rational(std::int64_t numerator, std::int64_t denominator)
+      : Rational(BigInt(numerator), BigInt(denominator)) {}
+
+  /// Parse "a/b" or "a" (base 10, optional sign).
+  static Rational from_string(std::string_view text);
+
+  /// Exact dyadic rational equal to the given double.
+  /// Throws std::domain_error for NaN/inf.
+  static Rational from_double(double value);
+
+  [[nodiscard]] const BigInt& numerator() const noexcept { return numerator_; }
+  [[nodiscard]] const BigInt& denominator() const noexcept {
+    return denominator_;
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept { return numerator_.is_zero(); }
+  [[nodiscard]] bool is_negative() const noexcept {
+    return numerator_.is_negative();
+  }
+  [[nodiscard]] bool is_integer() const noexcept {
+    return denominator_ == BigInt(1);
+  }
+  /// -1, 0 or +1.
+  [[nodiscard]] int sign() const noexcept { return numerator_.sign(); }
+
+  [[nodiscard]] double to_double() const noexcept;
+  /// "a/b", or just "a" when the denominator is 1.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] Rational abs() const;
+  /// Multiplicative inverse. Throws std::domain_error on zero.
+  [[nodiscard]] Rational inverse() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// Throws std::domain_error on division by zero.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) {
+    return lhs += rhs;
+  }
+  friend Rational operator-(Rational lhs, const Rational& rhs) {
+    return lhs -= rhs;
+  }
+  friend Rational operator*(Rational lhs, const Rational& rhs) {
+    return lhs *= rhs;
+  }
+  friend Rational operator/(Rational lhs, const Rational& rhs) {
+    return lhs /= rhs;
+  }
+
+  Rational operator-() const;
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.numerator_ == b.numerator_ && a.denominator_ == b.denominator_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b) noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+  /// Midpoint of two rationals (exact).
+  [[nodiscard]] static Rational midpoint(const Rational& a, const Rational& b);
+
+  /// min/max by exact comparison.
+  [[nodiscard]] static const Rational& min(const Rational& a,
+                                           const Rational& b) noexcept {
+    return b < a ? b : a;
+  }
+  [[nodiscard]] static const Rational& max(const Rational& a,
+                                           const Rational& b) noexcept {
+    return a < b ? b : a;
+  }
+
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+ private:
+  void normalize();
+
+  BigInt numerator_;
+  BigInt denominator_;  // always > 0
+};
+
+}  // namespace ringshare::num
+
+template <>
+struct std::hash<ringshare::num::Rational> {
+  std::size_t operator()(const ringshare::num::Rational& v) const noexcept {
+    return v.hash();
+  }
+};

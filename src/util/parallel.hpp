@@ -1,0 +1,66 @@
+// parallel.hpp — data-parallel loops over index ranges on the shared pool.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "util/threadpool.hpp"
+
+namespace ringshare::util {
+
+/// Apply `body(i)` for every i in [begin, end), distributing contiguous
+/// chunks over the shared thread pool. Blocks until all iterations finish;
+/// the first exception (if any) is rethrown in the caller.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t min_chunk = 1) {
+  if (begin >= end) return;
+  if (ThreadPool::on_worker_thread()) {
+    // Nested parallelism would block a worker on futures served by the same
+    // pool; degrade to serial execution instead.
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t total = end - begin;
+  ThreadPool& pool = global_pool();
+  const std::size_t max_chunks = pool.thread_count() * 4;
+  const std::size_t chunk =
+      std::max(min_chunk, (total + max_chunks - 1) / max_chunks);
+  if (total <= chunk) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve((total + chunk - 1) / chunk);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Map `body(i)` over [0, n) into a vector of results (parallel).
+template <typename Body>
+auto parallel_map(std::size_t n, Body&& body) {
+  using Result = std::invoke_result_t<Body, std::size_t>;
+  std::vector<Result> results(n);
+  parallel_for(0, n, [&](std::size_t i) { results[i] = body(i); });
+  return results;
+}
+
+}  // namespace ringshare::util

@@ -1,0 +1,98 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ringshare::util {
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != headers_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c], '-') << (c + 1 == headers_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  os << "|";
+  for (const auto& header : headers_) os << " " << header << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << "\n";
+  for (const auto& row : rows_) {
+    os << "|";
+    for (const auto& cell : row) os << " " << cell << " |";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << csv_escape(headers_[c]) << (c + 1 == headers_.size() ? "\n" : ",");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << csv_escape(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+  }
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("Table: cannot open " + path);
+  file << to_csv();
+  if (!file) throw std::runtime_error("Table: write failed for " + path);
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace ringshare::util

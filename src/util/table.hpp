@@ -1,0 +1,43 @@
+// table.hpp — result tables for the experiment harness.
+//
+// Benches print the same rows/series the paper reports; Table renders
+// aligned plain text (for terminals), Markdown (for EXPERIMENTS.md) and CSV
+// (for downstream plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ringshare::util {
+
+/// Column-oriented table with string cells. Values are formatted by the
+/// caller (exact rationals are printed as fractions + decimal).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header count (throws otherwise).
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return headers_.size();
+  }
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_markdown() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write CSV to a file path; throws std::runtime_error on failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 6 digits).
+[[nodiscard]] std::string format_double(double value, int precision = 6);
+
+}  // namespace ringshare::util

@@ -1,0 +1,70 @@
+// threadpool.hpp — fixed-size worker pool for the sweep-heavy experiment
+// harness. Parameter sweeps over weight profiles / split points are
+// embarrassingly parallel; a shared pool avoids per-sweep thread churn.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ringshare::util {
+
+/// Fixed-size thread pool. Tasks are arbitrary void() callables; submit()
+/// returns a future for completion/exception propagation. Destruction joins
+/// all workers after draining the queue.
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (defaults to hardware concurrency, at
+  /// least 1).
+  explicit ThreadPool(std::size_t thread_count = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// True when the calling thread is one of this process's pool workers.
+  /// parallel_for uses it to degrade to serial execution instead of
+  /// deadlocking on nested waits.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+  /// Enqueue a task; the returned future observes its result or exception.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& task) {
+    using Result = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
+    std::future<Result> future = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_)
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      tasks_.push([packaged]() { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide shared pool (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace ringshare::util

@@ -1,0 +1,147 @@
+// Tests for the BD Allocation Mechanism (Def. 5 / Prop. 6).
+#include "bd/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::bd {
+namespace {
+
+using graph::Graph;
+using graph::make_path;
+using graph::make_ring;
+using graph::make_star;
+
+TEST(Allocation, AccessorsAndTransfers) {
+  Allocation allocation(3);
+  EXPECT_EQ(allocation.sent(0, 1), Rational(0));
+  allocation.set_sent(0, 1, Rational(1, 2));
+  allocation.set_sent(1, 0, Rational(1, 4));
+  EXPECT_EQ(allocation.sent(0, 1), Rational(1, 2));
+  EXPECT_EQ(allocation.utility(1), Rational(1, 2));
+  EXPECT_EQ(allocation.utility(0), Rational(1, 4));
+  EXPECT_EQ(allocation.sent_total(0), Rational(1, 2));
+  EXPECT_EQ(allocation.transfers().size(), 2u);
+  allocation.set_sent(0, 1, Rational(0));  // clearing removes the entry
+  EXPECT_EQ(allocation.transfers().size(), 1u);
+}
+
+TEST(BdAllocation, SingleEdgeExchangesEverything) {
+  const Decomposition decomposition(make_path({Rational(2), Rational(3)}));
+  const Allocation allocation = bd_allocation(decomposition);
+  // B = {1}, C = {0}, α = 2/3: agent 1 ships all of w₁ = 3; agent 0 returns
+  // α·3 = 2 = w₀.
+  EXPECT_EQ(allocation.sent(1, 0), Rational(3));
+  EXPECT_EQ(allocation.sent(0, 1), Rational(2));
+  EXPECT_TRUE(allocation_violations(decomposition, allocation).empty());
+}
+
+TEST(BdAllocation, Fig1ExampleSatisfiesProp6) {
+  const Decomposition decomposition(graph::make_fig1_example());
+  const Allocation allocation = bd_allocation(decomposition);
+  const auto violations = allocation_violations(decomposition, allocation);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  // Cross-pair edges carry nothing (third bullet of Def. 5): v3-v4 is
+  // between C_1 and B_2's unit pair.
+  EXPECT_EQ(allocation.sent(2, 3), Rational(0));
+  EXPECT_EQ(allocation.sent(3, 2), Rational(0));
+}
+
+TEST(BdAllocation, UnitAlphaPairDoubleCover) {
+  // Uniform odd ring: single α = 1 pair; everyone ships and receives w_v.
+  const Decomposition decomposition(
+      make_ring(std::vector<Rational>(5, Rational(1))));
+  const Allocation allocation = bd_allocation(decomposition);
+  const auto violations = allocation_violations(decomposition, allocation);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  for (graph::Vertex v = 0; v < 5; ++v) {
+    EXPECT_EQ(allocation.utility(v), Rational(1));
+    EXPECT_EQ(allocation.sent_total(v), Rational(1));
+  }
+}
+
+TEST(BdAllocation, StarAllocation) {
+  const Graph g = make_star({Rational(1), Rational(2), Rational(3)});
+  const Decomposition decomposition(g);
+  const Allocation allocation = bd_allocation(decomposition);
+  const auto violations = allocation_violations(decomposition, allocation);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  // Leaves form the bottleneck: B = {1,2}, C = {0}, α = 1/5.
+  EXPECT_EQ(decomposition.alpha_of(0), Rational(1, 5));
+  EXPECT_EQ(allocation.utility(0), Rational(5));
+  EXPECT_EQ(allocation.utility(1), Rational(2, 5));
+  EXPECT_EQ(allocation.utility(2), Rational(3, 5));
+}
+
+TEST(BdAllocation, TransfersOnlyWithinPairs) {
+  util::Xoshiro256 rng(211);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = graph::make_random_connected(
+        4 + static_cast<std::size_t>(rng.uniform_int(0, 5)), 0.4, rng, 6);
+    const Decomposition decomposition(g);
+    const Allocation allocation = bd_allocation(decomposition);
+    for (const auto& [u, v, amount] : allocation.transfers()) {
+      EXPECT_EQ(decomposition.pair_index(u), decomposition.pair_index(v))
+          << "transfer crosses pairs in trial " << trial;
+      EXPECT_GT(amount, Rational(0));
+    }
+  }
+}
+
+TEST(BdAllocation, RandomGraphsSatisfyAllAxioms) {
+  util::Xoshiro256 rng(223);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Graph g = graph::make_random_connected(
+        3 + static_cast<std::size_t>(rng.uniform_int(0, 7)), 0.4, rng, 9);
+    const Decomposition decomposition(g);
+    const Allocation allocation = bd_allocation(decomposition);
+    const auto violations = allocation_violations(decomposition, allocation);
+    EXPECT_TRUE(violations.empty())
+        << "trial " << trial << ": " << violations.front();
+  }
+}
+
+TEST(BdAllocation, RandomRingsSatisfyAllAxioms) {
+  util::Xoshiro256 rng(227);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+    const Graph g = make_ring(graph::random_integer_weights(n, rng, 7));
+    const Decomposition decomposition(g);
+    const Allocation allocation = bd_allocation(decomposition);
+    const auto violations = allocation_violations(decomposition, allocation);
+    EXPECT_TRUE(violations.empty())
+        << "trial " << trial << ": " << violations.front();
+  }
+}
+
+TEST(BdAllocation, UtilityConservation) {
+  // Total received equals total shipped equals total weight (exchange
+  // economy: resources are redistributed, never created).
+  util::Xoshiro256 rng(229);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = graph::make_random_connected(6, 0.5, rng, 5);
+    const Decomposition decomposition(g);
+    const Allocation allocation = bd_allocation(decomposition);
+    Rational received(0);
+    for (graph::Vertex v = 0; v < g.vertex_count(); ++v)
+      received += allocation.utility(v);
+    EXPECT_EQ(received, g.total_weight());
+  }
+}
+
+TEST(BdAllocation, PathWithZeroLeaf) {
+  // The Case C-2 shape: a zero-weight leaf exchanges nothing but the rest
+  // of the path still clears.
+  const Graph g = make_path({Rational(0), Rational(2), Rational(3)});
+  const Decomposition decomposition(g);
+  const Allocation allocation = bd_allocation(decomposition);
+  const auto violations = allocation_violations(decomposition, allocation);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  EXPECT_EQ(allocation.utility(0), Rational(0));
+  EXPECT_EQ(allocation.sent_total(0), Rational(0));
+}
+
+}  // namespace
+}  // namespace ringshare::bd

@@ -1,0 +1,87 @@
+// Tests for the double-precision decomposition ablation: it matches the
+// exact solver away from breakpoints and demonstrably exists to fail near
+// them.
+#include "bd/approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bd/decomposition.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::bd {
+namespace {
+
+using graph::make_path;
+using graph::make_ring;
+using num::Rational;
+
+TEST(Approx, MatchesExactOnGenericInstances) {
+  util::Xoshiro256 rng(701);
+  int matches = 0;
+  int total = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const graph::Graph g = make_ring(graph::random_integer_weights(
+        3 + static_cast<std::size_t>(rng.uniform_int(0, 6)), rng, 9));
+    const auto approx = approximate_decomposition(g);
+    ++total;
+    if (approx_matches_exact(g, approx)) ++matches;
+  }
+  // Random integer weights rarely sit on a breakpoint: expect near-perfect
+  // agreement (not bitwise α equality — structural identity).
+  EXPECT_GE(matches, total - 2) << matches << "/" << total;
+}
+
+TEST(Approx, AlphaCloseToExactWhenStructureMatches) {
+  util::Xoshiro256 rng(709);
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::Graph g = make_ring(graph::random_integer_weights(
+        4 + static_cast<std::size_t>(rng.uniform_int(0, 4)), rng, 9));
+    const auto approx = approximate_decomposition(g);
+    if (!approx_matches_exact(g, approx)) continue;
+    const Decomposition exact(g);
+    for (std::size_t i = 0; i < approx.size(); ++i) {
+      EXPECT_NEAR(approx[i].alpha, exact.pairs()[i].alpha.to_double(), 1e-9);
+    }
+  }
+}
+
+TEST(Approx, Fig1Example) {
+  const graph::Graph g = graph::make_fig1_example();
+  const auto approx = approximate_decomposition(g);
+  ASSERT_TRUE(approx_matches_exact(g, approx));
+  EXPECT_NEAR(approx[0].alpha, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(approx[1].alpha, 1.0, 1e-12);
+}
+
+TEST(Approx, BreaksAtBreakpointScaleWhereExactDoesNot) {
+  // Two agents whose weights differ by less than double's resolution at
+  // that magnitude: the exact solver still separates them, floating point
+  // cannot. w0 = 10^17, w1 = 10^17 + 1: as doubles both are 1e17.
+  const Rational huge(num::BigInt::from_string("100000000000000000"),
+                      num::BigInt(1));
+  const graph::Graph g = make_path({huge, huge + Rational(1)});
+  // Exact: α* = w0/w1 < 1, bottleneck is the (slightly) heavier vertex 1.
+  const Decomposition exact(g);
+  ASSERT_EQ(exact.pair_count(), 1u);
+  EXPECT_EQ(exact.pairs()[0].b, (std::vector<graph::Vertex>{1}));
+  EXPECT_LT(exact.pairs()[0].alpha, Rational(1));
+  // Approximate: the two weights collide to the same double, so the
+  // decomposition unifies into an α = 1 pair — a structural
+  // misclassification the exact pipeline is immune to.
+  const auto approx = approximate_decomposition(g);
+  EXPECT_FALSE(approx_matches_exact(g, approx));
+}
+
+TEST(Approx, AllZeroClosesDegenerately) {
+  // Mirrors the exact solver: an all-zero remainder becomes one closing
+  // pair so the partition stays total.
+  const graph::Graph g = make_path({Rational(0), Rational(0)});
+  const auto approx = approximate_decomposition(g);
+  ASSERT_EQ(approx.size(), 1u);
+  EXPECT_EQ(approx[0].b, approx[0].c);
+  EXPECT_TRUE(approx_matches_exact(g, approx));
+}
+
+}  // namespace
+}  // namespace ringshare::bd

@@ -1,0 +1,106 @@
+// The attacked network is itself a resource sharing system: every core
+// invariant must hold on post-attack graphs too (split paths, multi-copy
+// rewirings), and multi-copy attacks must be internally consistent.
+#include <gtest/gtest.h>
+
+#include "analysis/verify_all.hpp"
+#include "bd/allocation.hpp"
+#include "game/sybil_general.hpp"
+#include "game/sybil_ring.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare {
+namespace {
+
+using game::Rational;
+using graph::Graph;
+using graph::make_complete;
+using graph::make_ring;
+
+TEST(AttackedGraphs, SplitPathsPassCoreVerification) {
+  util::Xoshiro256 rng(2718);
+  analysis::FullVerificationOptions options;
+  options.misreport_checks = false;  // keep the sweep fast
+  options.game_checks = false;       // paths are not rings
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const Graph ring = make_ring(graph::random_integer_weights(n, rng, 7));
+    const Rational w1 =
+        ring.weight(0) * Rational(rng.uniform_int(0, 8), 8);
+    const game::SybilSplit split =
+        game::split_ring(ring, 0, w1, ring.weight(0) - w1);
+    const analysis::FullReport report =
+        analysis::full_verification(split.path, options);
+    EXPECT_TRUE(report.ok())
+        << "trial " << trial << ": " << report.violations.front();
+  }
+}
+
+TEST(AttackedGraphs, MultiCopyRewiringsPassCoreVerification) {
+  const Graph k4 = make_complete({Rational(2), Rational(3), Rational(1),
+                                  Rational(4)});
+  analysis::FullVerificationOptions options;
+  options.misreport_checks = false;
+  options.game_checks = false;
+  for (const auto& blocks : game::neighbor_partitions(k4, 0)) {
+    // Spread the weight evenly over the copies.
+    const auto m = static_cast<std::int64_t>(blocks.size());
+    game::GeneralAttack attack;
+    attack.blocks = blocks;
+    for (std::int64_t i = 0; i < m; ++i)
+      attack.weights.push_back(k4.weight(0) / Rational(m));
+    const game::AttackedGraph attacked = game::apply_attack(k4, 0, attack);
+    const analysis::FullReport report =
+        analysis::full_verification(attacked.graph, options);
+    EXPECT_TRUE(report.ok()) << report.violations.front();
+  }
+}
+
+TEST(AttackedGraphs, ThreeWaySplitUtilityIsSumOfCopyUtilities) {
+  const Graph k4 = make_complete({Rational(6), Rational(3), Rational(1),
+                                  Rational(4)});
+  game::GeneralAttack attack;
+  attack.blocks = {{1}, {2}, {3}};
+  attack.weights = {Rational(1), Rational(2), Rational(3)};
+  const game::AttackedGraph attacked = game::apply_attack(k4, 0, attack);
+  const bd::Decomposition decomposition(attacked.graph);
+  Rational manual(0);
+  for (const graph::Vertex copy : attacked.copies)
+    manual += decomposition.utility(copy);
+  EXPECT_EQ(game::attack_utility(k4, 0, attack), manual);
+}
+
+TEST(AttackedGraphs, CopyCountMatchesPartitionBlocks) {
+  const Graph k4 = make_complete(std::vector<Rational>(4, Rational(2)));
+  for (const auto& blocks : game::neighbor_partitions(k4, 0)) {
+    game::GeneralAttack attack;
+    attack.blocks = blocks;
+    const auto m = static_cast<std::int64_t>(blocks.size());
+    for (std::int64_t i = 0; i < m; ++i)
+      attack.weights.push_back(Rational(2) / Rational(m));
+    const game::AttackedGraph attacked = game::apply_attack(k4, 0, attack);
+    EXPECT_EQ(attacked.copies.size(), blocks.size());
+    // Every copy has exactly its block's edges.
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      EXPECT_EQ(attacked.graph.degree(attacked.copies[i]), blocks[i].size());
+    }
+  }
+}
+
+TEST(AttackedGraphs, ZeroWeightCopiesAreHarmless) {
+  // Degenerate splits (one copy carries everything) still decompose and
+  // allocate cleanly — the Case C-2 shape generalized.
+  const Graph ring = make_ring({Rational(4), Rational(1), Rational(3),
+                                Rational(2), Rational(5)});
+  const game::SybilSplit split =
+      game::split_ring(ring, 2, Rational(0), ring.weight(2));
+  const bd::Decomposition decomposition(split.path);
+  const bd::Allocation allocation = bd::bd_allocation(decomposition);
+  EXPECT_TRUE(
+      bd::allocation_violations(decomposition, allocation).empty());
+  EXPECT_EQ(decomposition.utility(split.v1), Rational(0));
+}
+
+}  // namespace
+}  // namespace ringshare

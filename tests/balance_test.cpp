@@ -1,0 +1,169 @@
+// Tests for the minimum-norm flow canonicalization and the
+// proportional-response fixed-point property it buys.
+#include "bd/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bd/allocation.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::bd {
+namespace {
+
+using graph::make_complete;
+using graph::make_ring;
+using num::Rational;
+
+TEST(BalanceFlow, NoopOnForests) {
+  // Bipartite path support: unique feasible flow, nothing to move.
+  std::vector<FlowEdge> edges = {{0, 2, Rational(3)}, {1, 2, Rational(1)}};
+  const auto before = edges;
+  balance_flow(edges, 3);
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    EXPECT_EQ(edges[i].flow, before[i].flow);
+}
+
+TEST(BalanceFlow, EqualizesAroundACycle) {
+  // 4-cycle 0-2, 2-1, 1-3, 3-0 with a skewed circulation: min-norm makes
+  // the alternating values equal.
+  std::vector<FlowEdge> edges = {{0, 2, Rational(5)},
+                                 {1, 2, Rational(0)},
+                                 {1, 3, Rational(5)},
+                                 {0, 3, Rational(0)}};
+  balance_flow(edges, 4);
+  for (const FlowEdge& edge : edges) {
+    EXPECT_EQ(edge.flow, Rational(5, 2));
+  }
+}
+
+TEST(BalanceFlow, PreservesNodeTotals) {
+  util::Xoshiro256 rng(641);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random bipartite flow with left {0..2}, right {3..5}.
+    std::vector<FlowEdge> edges;
+    for (std::size_t u = 0; u < 3; ++u) {
+      for (std::size_t v = 3; v < 6; ++v) {
+        if (rng.uniform01() < 0.7) {
+          edges.push_back(FlowEdge{u, v, Rational(rng.uniform_int(0, 9))});
+        }
+      }
+    }
+    std::vector<Rational> before(6, Rational(0));
+    for (const auto& edge : edges) {
+      before[edge.from] += edge.flow;
+      before[edge.to] += edge.flow;
+    }
+    balance_flow(edges, 6);
+    std::vector<Rational> after(6, Rational(0));
+    for (const auto& edge : edges) {
+      EXPECT_GE(edge.flow, Rational(0)) << "trial " << trial;
+      after[edge.from] += edge.flow;
+      after[edge.to] += edge.flow;
+    }
+    EXPECT_EQ(before, after) << "trial " << trial;
+  }
+}
+
+TEST(BalanceFlow, NeverIncreasesNorm) {
+  util::Xoshiro256 rng(643);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<FlowEdge> edges;
+    for (std::size_t u = 0; u < 4; ++u) {
+      for (std::size_t v = 4; v < 8; ++v) {
+        if (rng.uniform01() < 0.6) {
+          edges.push_back(FlowEdge{u, v, Rational(rng.uniform_int(0, 9))});
+        }
+      }
+    }
+    Rational norm_before(0);
+    for (const auto& edge : edges) norm_before += edge.flow * edge.flow;
+    balance_flow(edges, 8);
+    Rational norm_after(0);
+    for (const auto& edge : edges) norm_after += edge.flow * edge.flow;
+    EXPECT_LE(norm_after, norm_before) << "trial " << trial;
+  }
+}
+
+TEST(BalanceFlow, Idempotent) {
+  std::vector<FlowEdge> edges = {{0, 2, Rational(5)},
+                                 {1, 2, Rational(0)},
+                                 {1, 3, Rational(5)},
+                                 {0, 3, Rational(0)}};
+  balance_flow(edges, 4);
+  const auto once = edges;
+  balance_flow(edges, 4);
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    EXPECT_EQ(edges[i].flow, once[i].flow);
+}
+
+TEST(BalanceFlow, RespectsNonNegativity) {
+  // Cycle where the unconstrained optimum would drive an edge negative:
+  // flows (4, 1, 0, 3): alternating sum 4 − 1 + 0 − 3 = 0 → already
+  // balanced... use (4, 0, 4, 0) instead: optimum shift −2 hits the bound
+  // exactly. Try a case clamping strictly: (6, 1, 0, 1): sum s = 6−1+0−1=4
+  // → t* = −1; edge 3 (flow 1, minus sign) allows t ≤ 1; plus-edges need
+  // t ≥ −0 → t clamped to 0? No: plus edges are indices 0,2 (flows 6,0):
+  // t ≥ 0 − ... t ≥ −0 → t ∈ [0 − min(6,0) ... ] lower = −0, upper = 1.
+  // t* = −1 clamps to lower = 0 → nothing moves (edge 2 already at 0).
+  std::vector<FlowEdge> edges = {{0, 2, Rational(6)},
+                                 {1, 2, Rational(1)},
+                                 {1, 3, Rational(0)},
+                                 {0, 3, Rational(1)}};
+  balance_flow(edges, 4);
+  for (const auto& edge : edges) EXPECT_GE(edge.flow, Rational(0));
+  // Node totals preserved, and the zero edge pinned the redistribution.
+  EXPECT_EQ(edges[0].flow + edges[3].flow, Rational(7));
+}
+
+TEST(FixedPoint, BalancedAllocationIsPrFixedPoint) {
+  util::Xoshiro256 rng(647);
+  for (int trial = 0; trial < 40; ++trial) {
+    const graph::Graph g =
+        trial % 2 == 0
+            ? make_ring(graph::random_integer_weights(
+                  3 + static_cast<std::size_t>(rng.uniform_int(0, 6)), rng, 7))
+            : graph::make_random_connected(
+                  4 + static_cast<std::size_t>(rng.uniform_int(0, 4)), 0.45,
+                  rng, 7);
+    const Decomposition decomposition(g);
+    const Allocation allocation = bd_allocation(decomposition);
+    const auto violations = fixed_point_violations(decomposition, allocation);
+    EXPECT_TRUE(violations.empty())
+        << "trial " << trial << ": " << violations.front();
+  }
+}
+
+TEST(FixedPoint, ExtremePointFlowCanViolate) {
+  // The uniform triangle: Dinic's raw flow is a directed 3-cycle, which is
+  // NOT a proportional-response fixed point; the balanced flow is.
+  const graph::Graph g = make_ring(std::vector<Rational>(3, Rational(1)));
+  const Decomposition decomposition(g);
+  const Allocation raw =
+      bd_allocation(decomposition, BalancePolicy::kExtremePoint);
+  const Allocation balanced = bd_allocation(decomposition);
+  EXPECT_FALSE(fixed_point_violations(decomposition, raw).empty());
+  EXPECT_TRUE(fixed_point_violations(decomposition, balanced).empty());
+  // Balanced = symmetric half-half exchange.
+  EXPECT_EQ(balanced.sent(0, 1), Rational(1, 2));
+  EXPECT_EQ(balanced.sent(1, 0), Rational(1, 2));
+}
+
+TEST(FixedPoint, ExtremePointStillSatisfiesDef5Axioms) {
+  // Both policies produce valid Def-5 allocations; only the fixed-point /
+  // Lemma-9 layer distinguishes them.
+  util::Xoshiro256 rng(653);
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::Graph g = make_ring(graph::random_integer_weights(
+        3 + static_cast<std::size_t>(rng.uniform_int(0, 5)), rng, 6));
+    const Decomposition decomposition(g);
+    const Allocation raw =
+        bd_allocation(decomposition, BalancePolicy::kExtremePoint);
+    const auto violations = allocation_violations(decomposition, raw);
+    EXPECT_TRUE(violations.empty())
+        << "trial " << trial << ": " << violations.front();
+  }
+}
+
+}  // namespace
+}  // namespace ringshare::bd

@@ -1,0 +1,259 @@
+// Tests for the bottleneck decomposition: the parametric solver against the
+// brute-force oracle, the Fig. 1 example, and Proposition 3 invariants.
+#include "bd/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bd/brute.hpp"
+#include "bd/parametric.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::bd {
+namespace {
+
+using graph::Graph;
+using graph::make_complete;
+using graph::make_path;
+using graph::make_ring;
+using graph::make_star;
+
+std::vector<Rational> ones(std::size_t n) {
+  return std::vector<Rational>(n, Rational(1));
+}
+
+TEST(MaximalBottleneck, SingleEdge) {
+  Graph g = make_path({Rational(1), Rational(3)});
+  const BottleneckResult result = maximal_bottleneck(g);
+  // α({0}) = 3, α({1}) = 1/3, α({0,1}) = 1: minimum is {1}.
+  EXPECT_EQ(result.alpha, Rational(1, 3));
+  EXPECT_EQ(result.bottleneck, (std::vector<Vertex>{1}));
+}
+
+TEST(MaximalBottleneck, UniformRingIsWholeGraph) {
+  Graph g = make_ring(ones(5));
+  const BottleneckResult result = maximal_bottleneck(g);
+  EXPECT_EQ(result.alpha, Rational(1));
+  EXPECT_EQ(result.bottleneck.size(), 5u);
+}
+
+TEST(MaximalBottleneck, StarCenterDominates) {
+  // Star with heavy leaves: leaves form the bottleneck.
+  Graph g = make_star({Rational(1), Rational(5), Rational(5), Rational(5)});
+  const BottleneckResult result = maximal_bottleneck(g);
+  EXPECT_EQ(result.alpha, Rational(1, 15));
+  EXPECT_EQ(result.bottleneck, (std::vector<Vertex>{1, 2, 3}));
+}
+
+TEST(MaximalBottleneck, AllZeroThrows) {
+  Graph g = make_path({Rational(0), Rational(0)});
+  EXPECT_THROW((void)maximal_bottleneck(g), std::invalid_argument);
+}
+
+TEST(MaximalBottleneck, MatchesBruteForceOnRandomGraphs) {
+  util::Xoshiro256 rng(101);
+  for (int trial = 0; trial < 120; ++trial) {
+    Graph g = graph::make_random_connected(
+        3 + static_cast<std::size_t>(rng.uniform_int(0, 6)), 0.45, rng, 6);
+    const BottleneckResult fast = maximal_bottleneck(g);
+    const BottleneckResult slow = brute_force_bottleneck(g);
+    EXPECT_EQ(fast.alpha, slow.alpha) << "trial " << trial;
+    EXPECT_EQ(fast.bottleneck, slow.bottleneck) << "trial " << trial;
+  }
+}
+
+TEST(MaximalBottleneck, MatchesBruteForceOnRandomRings) {
+  util::Xoshiro256 rng(103);
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    Graph g = make_ring(graph::random_integer_weights(n, rng, 5));
+    const BottleneckResult fast = maximal_bottleneck(g);
+    const BottleneckResult slow = brute_force_bottleneck(g);
+    EXPECT_EQ(fast.alpha, slow.alpha) << "trial " << trial;
+    EXPECT_EQ(fast.bottleneck, slow.bottleneck) << "trial " << trial;
+  }
+}
+
+TEST(Decomposition, Fig1ExampleMatchesPaper) {
+  const Graph g = graph::make_fig1_example();
+  const Decomposition decomposition(g);
+  ASSERT_EQ(decomposition.pair_count(), 2u);
+  // (B1, C1) = ({v1, v2}, {v3}) with α = 1/3.
+  EXPECT_EQ(decomposition.pairs()[0].b, (std::vector<Vertex>{0, 1}));
+  EXPECT_EQ(decomposition.pairs()[0].c, (std::vector<Vertex>{2}));
+  EXPECT_EQ(decomposition.pairs()[0].alpha, Rational(1, 3));
+  // (B2, C2) = ({v4, v5, v6}, {v4, v5, v6}) with α = 1.
+  EXPECT_EQ(decomposition.pairs()[1].b, (std::vector<Vertex>{3, 4, 5}));
+  EXPECT_EQ(decomposition.pairs()[1].c, (std::vector<Vertex>{3, 4, 5}));
+  EXPECT_EQ(decomposition.pairs()[1].alpha, Rational(1));
+  EXPECT_TRUE(proposition3_violations(g, decomposition).empty());
+}
+
+TEST(Decomposition, ClassesOnFig1) {
+  const Decomposition decomposition(graph::make_fig1_example());
+  EXPECT_EQ(decomposition.vertex_class(0), VertexClass::kB);
+  EXPECT_EQ(decomposition.vertex_class(1), VertexClass::kB);
+  EXPECT_EQ(decomposition.vertex_class(2), VertexClass::kC);
+  EXPECT_EQ(decomposition.vertex_class(3), VertexClass::kBoth);
+  EXPECT_TRUE(decomposition.in_b_class(3));
+  EXPECT_TRUE(decomposition.in_c_class(3));
+  EXPECT_FALSE(decomposition.in_c_class(0));
+}
+
+TEST(Decomposition, Prop6UtilitiesOnFig1) {
+  const Decomposition decomposition(graph::make_fig1_example());
+  // v1: B class, w=1, α=1/3 -> U = 1/3; v2: w=2 -> 2/3; v3: C, w=1 -> 3.
+  EXPECT_EQ(decomposition.utility(0), Rational(1, 3));
+  EXPECT_EQ(decomposition.utility(1), Rational(2, 3));
+  EXPECT_EQ(decomposition.utility(2), Rational(3));
+  // α = 1 vertices keep their weight.
+  EXPECT_EQ(decomposition.utility(3), Rational(1));
+}
+
+TEST(Decomposition, AlphaStrictlyIncreasing) {
+  util::Xoshiro256 rng(107);
+  for (int trial = 0; trial < 60; ++trial) {
+    Graph g = graph::make_random_connected(
+        4 + static_cast<std::size_t>(rng.uniform_int(0, 6)), 0.35, rng, 8);
+    const Decomposition decomposition(g);
+    const auto violations = proposition3_violations(g, decomposition);
+    EXPECT_TRUE(violations.empty())
+        << "trial " << trial << ": " << violations.front();
+  }
+}
+
+TEST(Decomposition, MatchesBruteForceDecomposition) {
+  util::Xoshiro256 rng(109);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    Graph g = make_ring(graph::random_integer_weights(n, rng, 4));
+    const Decomposition fast(g);
+    const auto slow = brute_force_decomposition(g);
+    ASSERT_EQ(fast.pair_count(), slow.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < slow.size(); ++i) {
+      EXPECT_EQ(fast.pairs()[i].b, slow[i].b) << "trial " << trial;
+      EXPECT_EQ(fast.pairs()[i].c, slow[i].c) << "trial " << trial;
+      EXPECT_EQ(fast.pairs()[i].alpha, slow[i].alpha) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Decomposition, PartitionIsTotal) {
+  util::Xoshiro256 rng(113);
+  for (int trial = 0; trial < 40; ++trial) {
+    Graph g = graph::make_random_connected(7, 0.4, rng, 5);
+    const Decomposition decomposition(g);
+    std::vector<int> seen(g.vertex_count(), 0);
+    for (const auto& pair : decomposition.pairs()) {
+      for (const Vertex v : pair.b) seen[v] |= 1;
+      for (const Vertex v : pair.c) seen[v] |= 2;
+    }
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_NE(seen[v], 0) << "vertex " << v;
+      EXPECT_EQ(decomposition.pair_index(v),
+                decomposition.pair_index(v));  // no throw
+    }
+  }
+}
+
+TEST(Decomposition, ZeroWeightVertexHandled) {
+  // A path with a zero-weight leaf (the Sybil Case C-2 shape).
+  Graph g = make_path({Rational(0), Rational(2), Rational(3), Rational(1)});
+  const Decomposition decomposition(g);
+  EXPECT_EQ(decomposition.utility(0), Rational(0));
+  // Everyone still ends up in a pair.
+  for (Vertex v = 0; v < 4; ++v) {
+    EXPECT_NO_THROW((void)decomposition.pair_of(v));
+  }
+}
+
+TEST(Decomposition, CompleteGraphUniform) {
+  const Decomposition decomposition(make_complete(ones(4)));
+  ASSERT_EQ(decomposition.pair_count(), 1u);
+  EXPECT_EQ(decomposition.pairs()[0].alpha, Rational(1));
+  EXPECT_EQ(decomposition.pairs()[0].b, decomposition.pairs()[0].c);
+}
+
+TEST(Decomposition, EvenRingAlternatingWeights) {
+  // Ring (1, 5, 1, 5): light vertices form the bottleneck with α = 1/5...
+  // α({0,2}) = w({1,3})/w({0,2}) = 10/2 = 5; α({1,3}) = 2/10 = 1/5.
+  const Decomposition decomposition(
+      make_ring({Rational(1), Rational(5), Rational(1), Rational(5)}));
+  ASSERT_EQ(decomposition.pair_count(), 1u);
+  EXPECT_EQ(decomposition.pairs()[0].alpha, Rational(1, 5));
+  EXPECT_EQ(decomposition.pairs()[0].b, (std::vector<Vertex>{1, 3}));
+  EXPECT_EQ(decomposition.pairs()[0].c, (std::vector<Vertex>{0, 2}));
+}
+
+TEST(Decomposition, SignatureEqualityDetectsStructure) {
+  const Decomposition a(make_ring({Rational(1), Rational(5), Rational(1),
+                                   Rational(5)}));
+  const Decomposition b(make_ring({Rational(1), Rational(6), Rational(1),
+                                   Rational(6)}));
+  const Decomposition c(make_ring({Rational(5), Rational(1), Rational(5),
+                                   Rational(1)}));
+  EXPECT_EQ(a.signature(), b.signature());  // same sets, different α
+  EXPECT_NE(a.signature(), c.signature());  // roles swapped
+}
+
+TEST(Decomposition, DinkelbachIterationCountIsSmall) {
+  util::Xoshiro256 rng(127);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = make_ring(graph::random_integer_weights(10, rng, 20));
+    const Decomposition decomposition(g);
+    EXPECT_GT(decomposition.total_dinkelbach_iterations(), 0);
+    EXPECT_LT(decomposition.total_dinkelbach_iterations(), 60);
+  }
+}
+
+TEST(Decomposition, SingleVertexGraph) {
+  // One isolated agent: nobody to exchange with; degenerate α = 0 pair,
+  // utility 0, no crash.
+  Graph g(1);
+  g.set_weight(0, Rational(5));
+  const Decomposition decomposition(g);
+  ASSERT_EQ(decomposition.pair_count(), 1u);
+  EXPECT_EQ(decomposition.utility(0), Rational(0));
+}
+
+TEST(Decomposition, DisconnectedComponentsDecomposeIndependently) {
+  // Two disjoint edges with different ratios.
+  Graph g({Rational(1), Rational(4), Rational(2), Rational(2)});
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const Decomposition decomposition(g);
+  // Bottleneck of the whole graph: {1} with α = 1/4.
+  EXPECT_EQ(decomposition.alpha_of(1), Rational(1, 4));
+  EXPECT_EQ(decomposition.utility(1), Rational(1));   // 4 · 1/4
+  EXPECT_EQ(decomposition.utility(0), Rational(4));   // 1 / (1/4)
+  // The even pair exchanges at α = 1.
+  EXPECT_EQ(decomposition.utility(2), Rational(2));
+  EXPECT_EQ(decomposition.utility(3), Rational(2));
+  EXPECT_TRUE(proposition3_violations(g, decomposition).empty());
+}
+
+TEST(Decomposition, ToStringListsAllPairs) {
+  const Decomposition decomposition(graph::make_fig1_example());
+  const std::string text = decomposition.to_string();
+  EXPECT_NE(text.find("(B1, C1)"), std::string::npos);
+  EXPECT_NE(text.find("(B2, C2)"), std::string::npos);
+  EXPECT_NE(text.find("1/3"), std::string::npos);
+}
+
+TEST(AlphaRatio, ThrowsOnZeroWeightSet) {
+  Graph g = make_path({Rational(0), Rational(1)});
+  const std::vector<Vertex> zero_set = {0};
+  EXPECT_THROW((void)alpha_ratio(g, zero_set), std::invalid_argument);
+}
+
+TEST(AlphaRatio, ComputesInclusiveExpansion) {
+  Graph g = make_path({Rational(2), Rational(4), Rational(6)});
+  const std::vector<Vertex> mid = {1};
+  EXPECT_EQ(alpha_ratio(g, mid), Rational(2));  // (2+6)/4
+  // Γ({0,1}) = {0,1,2} (S is not independent, so Γ(S) meets S).
+  const std::vector<Vertex> pair = {0, 1};
+  EXPECT_EQ(alpha_ratio(g, pair), Rational(2));  // 12/6
+}
+
+}  // namespace
+}  // namespace ringshare::bd

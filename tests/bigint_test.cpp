@@ -1,0 +1,301 @@
+// Unit tests for the arbitrary-precision integer substrate.
+#include "numeric/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace ringshare::num {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  const BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero.to_int64(), 0);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (const std::int64_t value :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1}, std::int64_t{42},
+        std::int64_t{-987654321}, std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()}) {
+    const BigInt big(value);
+    EXPECT_TRUE(big.fits_int64()) << value;
+    EXPECT_EQ(big.to_int64(), value);
+    EXPECT_EQ(big.to_string(), std::to_string(value));
+  }
+}
+
+TEST(BigInt, FromStringParsesSignsAndZeros) {
+  EXPECT_EQ(BigInt::from_string("0"), BigInt(0));
+  EXPECT_EQ(BigInt::from_string("-0"), BigInt(0));
+  EXPECT_EQ(BigInt::from_string("+17"), BigInt(17));
+  EXPECT_EQ(BigInt::from_string("-00012"), BigInt(-12));
+  EXPECT_EQ(BigInt::from_string("123456789012345678901234567890").to_string(),
+            "123456789012345678901234567890");
+}
+
+TEST(BigInt, FromStringRejectsGarbage) {
+  EXPECT_THROW((void)BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string("-"), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string("12a3"), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string(" 1"), std::invalid_argument);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  const BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  const BigInt b = BigInt::from_string("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + b).to_string(), "36893488147419103230");
+}
+
+TEST(BigInt, SubtractionSignHandling) {
+  EXPECT_EQ(BigInt(5) - BigInt(7), BigInt(-2));
+  EXPECT_EQ(BigInt(-5) - BigInt(-7), BigInt(2));
+  EXPECT_EQ(BigInt(5) - BigInt(5), BigInt(0));
+  const BigInt big = BigInt::from_string("100000000000000000000");
+  EXPECT_EQ((big - (big - BigInt(1))).to_string(), "1");
+}
+
+TEST(BigInt, MultiplicationMatchesKnownProducts) {
+  EXPECT_EQ((BigInt(0) * BigInt(12345)).to_string(), "0");
+  EXPECT_EQ((BigInt(-3) * BigInt(4)).to_string(), "-12");
+  EXPECT_EQ((BigInt(-3) * BigInt(-4)).to_string(), "12");
+  const BigInt a = BigInt::from_string("12345678901234567890");
+  const BigInt b = BigInt::from_string("98765432109876543210");
+  EXPECT_EQ((a * b).to_string(),
+            "1219326311370217952237463801111263526900");
+}
+
+TEST(BigInt, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_int64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).to_int64(), 1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(BigInt(1) / BigInt(0)), std::domain_error);
+  EXPECT_THROW((void)(BigInt(1) % BigInt(0)), std::domain_error);
+}
+
+TEST(BigInt, MultiLimbLongDivision) {
+  const BigInt a = BigInt::from_string("340282366920938463463374607431768211456");  // 2^128
+  const BigInt b = BigInt::from_string("18446744073709551616");  // 2^64
+  EXPECT_EQ((a / b).to_string(), "18446744073709551616");
+  EXPECT_EQ((a % b).to_string(), "0");
+  const BigInt c = a + BigInt(12345);
+  EXPECT_EQ((c % b).to_string(), "12345");
+}
+
+TEST(BigInt, DifferentialDivModAgainstInt128) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = rng.uniform_int(-1000000000000LL, 1000000000000LL);
+    std::int64_t y = rng.uniform_int(-1000000, 1000000);
+    if (y == 0) y = 1;
+    const auto [q, r] = BigInt::div_mod(BigInt(x), BigInt(y));
+    EXPECT_EQ(q.to_int64(), x / y) << x << " / " << y;
+    EXPECT_EQ(r.to_int64(), x % y) << x << " % " << y;
+  }
+}
+
+TEST(BigInt, DifferentialArithmeticAgainstInt128) {
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = rng.uniform_int(-2000000000LL, 2000000000LL);
+    const std::int64_t y = rng.uniform_int(-2000000000LL, 2000000000LL);
+    EXPECT_EQ((BigInt(x) + BigInt(y)).to_int64(), x + y);
+    EXPECT_EQ((BigInt(x) - BigInt(y)).to_int64(), x - y);
+    const __int128 product = static_cast<__int128>(x) * y;
+    const BigInt big_product = BigInt(x) * BigInt(y);
+    EXPECT_EQ(big_product.to_string(),
+              (BigInt(x) * BigInt(y)).to_string());
+    // Verify against int128 via string of the low/high decomposition.
+    const bool negative = product < 0;
+    unsigned __int128 magnitude =
+        negative ? static_cast<unsigned __int128>(-product)
+                 : static_cast<unsigned __int128>(product);
+    std::string digits;
+    if (magnitude == 0) digits = "0";
+    while (magnitude > 0) {
+      digits.insert(digits.begin(),
+                    static_cast<char>('0' + static_cast<int>(magnitude % 10)));
+      magnitude /= 10;
+    }
+    if (negative && digits != "0") digits.insert(digits.begin(), '-');
+    EXPECT_EQ(big_product.to_string(), digits);
+  }
+}
+
+TEST(BigInt, MultiLimbDivModInvariant) {
+  // Stress Knuth algorithm D (including the rare add-back correction):
+  // random wide operands must satisfy a = q·b + r with 0 <= |r| < |b|.
+  util::Xoshiro256 rng(47);
+  for (int trial = 0; trial < 400; ++trial) {
+    BigInt a(1);
+    const int a_limbs = static_cast<int>(rng.uniform_int(2, 8));
+    for (int i = 0; i < a_limbs; ++i) {
+      a = a * BigInt::from_uint64(rng());
+      a += BigInt::from_uint64(rng());
+    }
+    BigInt b(1);
+    const int b_limbs = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < b_limbs; ++i) {
+      b = b * BigInt::from_uint64(rng() | 1);
+    }
+    if (rng() % 2) a = -a;
+    if (rng() % 2) b = -b;
+    const auto [q, r] = BigInt::div_mod(a, b);
+    EXPECT_EQ(q * b + r, a) << "trial " << trial;
+    EXPECT_LT(r.abs(), b.abs()) << "trial " << trial;
+    if (!r.is_zero()) EXPECT_EQ(r.sign(), a.sign()) << "trial " << trial;
+  }
+}
+
+TEST(BigInt, KnuthDBoundaryQuotientDigits) {
+  // Deterministic boundary sweep for algorithm D: divisors with the top
+  // limb's high bit set and near-maximal quotient digits are exactly the
+  // regime where the trial digit q̂ overestimates and the rare add-back
+  // correction fires. Construct a = q·v + r with known (q, r) and verify
+  // the division recovers them.
+  const BigInt beta = BigInt(1).shifted_left(32);
+  for (const std::uint64_t v_hi : {0x80000000ULL, 0x80000001ULL,
+                                   0xFFFFFFFFULL}) {
+    for (const std::uint64_t v_lo : {0ULL, 1ULL, 0xFFFFFFFFULL}) {
+      const BigInt v = BigInt::from_uint64(v_hi) * beta +
+                       BigInt::from_uint64(v_lo);
+      for (const std::uint64_t q_digit : {0xFFFFFFFFULL, 0xFFFFFFFEULL,
+                                          0x80000000ULL}) {
+        // Multi-digit quotient with the stressing digit in both positions.
+        const BigInt q = BigInt::from_uint64(q_digit) * beta +
+                         BigInt::from_uint64(q_digit);
+        for (const BigInt& r :
+             {BigInt(0), BigInt(1), v - BigInt(1)}) {
+          const BigInt a = q * v + r;
+          const auto [quotient, remainder] = BigInt::div_mod(a, v);
+          EXPECT_EQ(quotient, q)
+              << "v_hi=" << v_hi << " v_lo=" << v_lo << " q=" << q_digit;
+          EXPECT_EQ(remainder, r);
+        }
+      }
+    }
+  }
+}
+
+TEST(BigInt, DivisorWithSmallTopLimbExercisesNormalization) {
+  // Divisors whose top limb is 1 maximize the normalization shift in
+  // algorithm D.
+  const BigInt b = BigInt(1).shifted_left(64) + BigInt(5);  // top limb 1
+  const BigInt a = b * BigInt::from_string("987654321987654321") + BigInt(17);
+  const auto [q, r] = BigInt::div_mod(a, b);
+  EXPECT_EQ(q.to_string(), "987654321987654321");
+  EXPECT_EQ(r.to_int64(), 17);
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-2), BigInt(-1));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(1), BigInt::from_string("10000000000000000000"));
+  EXPECT_LT(BigInt::from_string("-10000000000000000000"), BigInt(-1));
+  EXPECT_EQ(BigInt(3) <=> BigInt(3), std::strong_ordering::equal);
+}
+
+TEST(BigInt, GcdMatchesEuclid) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(7), BigInt(0)).to_int64(), 7);
+  EXPECT_EQ(BigInt::gcd(BigInt(1000000007), BigInt(998244353)).to_int64(), 1);
+}
+
+TEST(BigInt, ShiftLeftMultipliesByPowersOfTwo) {
+  EXPECT_EQ(BigInt(1).shifted_left(0).to_int64(), 1);
+  EXPECT_EQ(BigInt(1).shifted_left(10).to_int64(), 1024);
+  EXPECT_EQ(BigInt(3).shifted_left(33).to_string(), "25769803776");
+  EXPECT_EQ(BigInt(-1).shifted_left(64).to_string(), "-18446744073709551616");
+}
+
+TEST(BigInt, BitCount) {
+  EXPECT_EQ(BigInt(0).bit_count(), 0u);
+  EXPECT_EQ(BigInt(1).bit_count(), 1u);
+  EXPECT_EQ(BigInt(255).bit_count(), 8u);
+  EXPECT_EQ(BigInt(256).bit_count(), 9u);
+  EXPECT_EQ(BigInt(1).shifted_left(100).bit_count(), 101u);
+}
+
+TEST(BigInt, FitsInt64Boundaries) {
+  EXPECT_TRUE(BigInt(std::numeric_limits<std::int64_t>::max()).fits_int64());
+  EXPECT_TRUE(BigInt(std::numeric_limits<std::int64_t>::min()).fits_int64());
+  const BigInt max64(std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE((max64 + BigInt(1)).fits_int64());
+  const BigInt min64(std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE((min64 - BigInt(1)).fits_int64());
+  EXPECT_THROW((void)(max64 + BigInt(1)).to_int64(), std::overflow_error);
+}
+
+TEST(BigInt, IsqrtExactAndFloor) {
+  EXPECT_EQ(BigInt::isqrt(BigInt(0)).to_int64(), 0);
+  EXPECT_EQ(BigInt::isqrt(BigInt(1)).to_int64(), 1);
+  EXPECT_EQ(BigInt::isqrt(BigInt(15)).to_int64(), 3);
+  EXPECT_EQ(BigInt::isqrt(BigInt(16)).to_int64(), 4);
+  EXPECT_EQ(BigInt::isqrt(BigInt(17)).to_int64(), 4);
+  const BigInt big = BigInt::from_string("123456789123456789");
+  EXPECT_EQ(BigInt::isqrt(big * big), big);
+  EXPECT_EQ(BigInt::isqrt(big * big + BigInt(1)), big);
+  EXPECT_EQ(BigInt::isqrt(big * big - BigInt(1)), big - BigInt(1));
+  EXPECT_THROW((void)BigInt::isqrt(BigInt(-1)), std::domain_error);
+}
+
+TEST(BigInt, PerfectSquareDetection) {
+  EXPECT_TRUE(BigInt::is_perfect_square(BigInt(0)));
+  EXPECT_TRUE(BigInt::is_perfect_square(BigInt(1)));
+  EXPECT_TRUE(BigInt::is_perfect_square(BigInt(144)));
+  EXPECT_FALSE(BigInt::is_perfect_square(BigInt(2)));
+  EXPECT_FALSE(BigInt::is_perfect_square(BigInt(-4)));
+  const BigInt big = BigInt::from_string("987654321987654321");
+  EXPECT_TRUE(BigInt::is_perfect_square(big * big));
+  EXPECT_FALSE(BigInt::is_perfect_square(big * big + BigInt(1)));
+}
+
+TEST(BigInt, IsqrtRandomizedFloorProperty) {
+  util::Xoshiro256 rng(23);
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t x = rng.uniform_int(0, 4000000000LL);
+    const BigInt root = BigInt::isqrt(BigInt(x));
+    EXPECT_LE((root * root).to_int64(), x);
+    EXPECT_GT(((root + BigInt(1)) * (root + BigInt(1))).to_int64(), x);
+  }
+}
+
+TEST(BigInt, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(BigInt(0).to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(BigInt(-5).to_double(), -5.0);
+  EXPECT_DOUBLE_EQ(BigInt::from_string("1000000000000").to_double(), 1e12);
+}
+
+TEST(BigInt, HashDistinguishesSignAndValue) {
+  EXPECT_NE(BigInt(1).hash(), BigInt(-1).hash());
+  EXPECT_NE(BigInt(1).hash(), BigInt(2).hash());
+  EXPECT_EQ(BigInt(42).hash(), (BigInt(40) + BigInt(2)).hash());
+}
+
+TEST(BigInt, NegationAndAbs) {
+  EXPECT_EQ((-BigInt(5)).to_int64(), -5);
+  EXPECT_EQ((-BigInt(0)).to_int64(), 0);
+  EXPECT_FALSE((-BigInt(0)).is_negative());
+  EXPECT_EQ(BigInt(-5).abs().to_int64(), 5);
+  EXPECT_EQ(BigInt(5).abs().to_int64(), 5);
+}
+
+}  // namespace
+}  // namespace ringshare::num

@@ -1,0 +1,163 @@
+// Tests for the parametrized-weight structure partition machinery.
+#include "game/breakpoints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+
+namespace ringshare::game {
+namespace {
+
+using graph::make_path;
+using graph::make_ring;
+
+TEST(ParametrizedGraph, EvaluatesAffineWeights) {
+  ParametrizedGraph pg(make_path({Rational(1), Rational(2), Rational(3)}),
+                       Rational(0), Rational(10));
+  pg.set_affine(1, AffineWeight{Rational(1), Rational(2)});  // 1 + 2t
+  const Graph at3 = pg.at(Rational(3));
+  EXPECT_EQ(at3.weight(0), Rational(1));
+  EXPECT_EQ(at3.weight(1), Rational(7));
+  EXPECT_EQ(at3.weight(2), Rational(3));
+  EXPECT_THROW((void)pg.at(Rational(11)), std::out_of_range);
+  EXPECT_THROW((void)pg.at(Rational(-1)), std::out_of_range);
+}
+
+TEST(ParametrizedGraph, NegativeWeightRejected) {
+  ParametrizedGraph pg(make_path({Rational(1), Rational(2)}), Rational(0),
+                       Rational(5));
+  pg.set_affine(0, AffineWeight{Rational(1), Rational(-1)});  // 1 − t
+  EXPECT_NO_THROW((void)pg.at(Rational(1)));
+  EXPECT_THROW((void)pg.at(Rational(2)), std::domain_error);
+}
+
+TEST(AlphaFunction, EvaluatesLinearFractional) {
+  // α(t) = (1 + 2t) / (3 + t).
+  const AlphaFunction f{Rational(1), Rational(2), Rational(3), Rational(1)};
+  EXPECT_EQ(f.at(Rational(0)), Rational(1, 3));
+  EXPECT_EQ(f.at(Rational(1)), Rational(3, 4));
+  EXPECT_FALSE(f.is_constant());
+  const AlphaFunction constant{Rational(1), Rational(0), Rational(2),
+                               Rational(0)};
+  EXPECT_TRUE(constant.is_constant());
+}
+
+TEST(AlphaCrossings, LinearCrossing) {
+  // (t)/(1) = (1)/(1) at t = 1.
+  const AlphaFunction f1{Rational(0), Rational(1), Rational(1), Rational(0)};
+  const AlphaFunction f2{Rational(1), Rational(0), Rational(1), Rational(0)};
+  const auto roots = alpha_crossings(f1, f2, Rational(0), Rational(2));
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], Rational(1));
+}
+
+TEST(AlphaCrossings, QuadraticWithRationalRoots) {
+  // (t)/(1) = (2)/(t): t² = 2·1 → irrational, no rational roots.
+  const AlphaFunction f1{Rational(0), Rational(1), Rational(1), Rational(0)};
+  const AlphaFunction f2{Rational(2), Rational(0), Rational(0), Rational(1)};
+  EXPECT_TRUE(alpha_crossings(f1, f2, Rational(0), Rational(10)).empty());
+  // (t)/(1) = (4)/(t): t² = 4 → t = 2 inside [0, 10].
+  const AlphaFunction f3{Rational(4), Rational(0), Rational(0), Rational(1)};
+  const auto roots = alpha_crossings(f1, f3, Rational(0), Rational(10));
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], Rational(2));
+}
+
+TEST(AlphaCrossings, RangeFilter) {
+  const AlphaFunction f1{Rational(0), Rational(1), Rational(1), Rational(0)};
+  const AlphaFunction f2{Rational(5), Rational(0), Rational(1), Rational(0)};
+  EXPECT_TRUE(alpha_crossings(f1, f2, Rational(0), Rational(4)).empty());
+  EXPECT_EQ(alpha_crossings(f1, f2, Rational(0), Rational(6)).size(), 1u);
+}
+
+TEST(AlphaFunctionBuilder, SumsAffineWeights) {
+  ParametrizedGraph pg(make_path({Rational(1), Rational(2), Rational(3)}),
+                       Rational(0), Rational(1));
+  pg.set_affine(0, AffineWeight{Rational(0), Rational(1)});  // t
+  const AlphaFunction f = alpha_function(pg, {1}, {0, 2});
+  // numerator = w_0(t) + w_2 = t + 3; denominator = 2.
+  EXPECT_EQ(f.num_c, Rational(3));
+  EXPECT_EQ(f.num_s, Rational(1));
+  EXPECT_EQ(f.den_c, Rational(2));
+  EXPECT_EQ(f.den_s, Rational(0));
+}
+
+TEST(StructurePartition, ConstantStructureHasNoBreakpoints) {
+  // Path (t, 10, 1): for t ∈ [0, 1] the bottleneck stays {2} ... verify no
+  // spurious breakpoints on a stable family.
+  ParametrizedGraph pg(make_path({Rational(1), Rational(10), Rational(1)}),
+                       Rational(2), Rational(3));
+  pg.set_affine(1, AffineWeight{Rational(10), Rational(1)});
+  const StructurePartition partition = find_structure_partition(pg);
+  EXPECT_TRUE(partition.breakpoints.empty());
+  EXPECT_EQ(partition.piece_count(), 1u);
+}
+
+TEST(StructurePartition, DetectsSingleEdgeNoBreakpoints) {
+  ParametrizedGraph pg(make_path({Rational(1), Rational(2)}), Rational(1),
+                       Rational(3));
+  pg.set_affine(0, AffineWeight{Rational(0), Rational(1)});
+  const StructurePartition partition = find_structure_partition(pg);
+  // Two vertices: structure flips when t crosses w = 2 (B/C swap) — the
+  // bottleneck moves from {0} (t < 2) through B=C at t=2 to {1} (t > 2).
+  EXPECT_GE(partition.breakpoints.size(), 1u);
+  bool found_exact_at_two = false;
+  for (const auto& bp : partition.breakpoints) {
+    if (bp.exact && bp.value == Rational(2)) found_exact_at_two = true;
+  }
+  EXPECT_TRUE(found_exact_at_two);
+}
+
+TEST(StructurePartition, PieceBoundsAndMidpoints) {
+  ParametrizedGraph pg(make_path({Rational(1), Rational(2)}), Rational(1),
+                       Rational(3));
+  pg.set_affine(0, AffineWeight{Rational(0), Rational(1)});
+  const StructurePartition partition = find_structure_partition(pg);
+  ASSERT_GE(partition.piece_count(), 2u);
+  const auto [lo0, hi0] = partition.piece_bounds(0);
+  EXPECT_EQ(lo0, Rational(1));
+  EXPECT_EQ(hi0, partition.breakpoints[0].value);
+  EXPECT_EQ(partition.piece_midpoint(0), Rational::midpoint(lo0, hi0));
+  EXPECT_THROW((void)partition.piece_bounds(99), std::out_of_range);
+}
+
+TEST(StructurePartition, DegenerateRange) {
+  ParametrizedGraph pg(make_path({Rational(1), Rational(2)}), Rational(1),
+                       Rational(1));
+  const StructurePartition partition = find_structure_partition(pg);
+  EXPECT_TRUE(partition.breakpoints.empty());
+  EXPECT_EQ(partition.piece_count(), 1u);
+}
+
+TEST(StructurePartition, MisreportOnStarFindsExactBreakpoint) {
+  // Star hub 0 with weight x, two leaves of weight 1: for x < 2 the leaves
+  // are the bottleneck (α = x/2); at x = 2 everything unifies (α = 1);
+  // above, the hub becomes the bottleneck... the hub cannot exceed w; use
+  // range [0, 4] to see the crossover at exactly x = 2.
+  ParametrizedGraph pg(
+      graph::make_star({Rational(1), Rational(1), Rational(1)}), Rational(0),
+      Rational(4));
+  pg.set_affine(0, AffineWeight{Rational(0), Rational(1)});
+  const StructurePartition partition = find_structure_partition(pg);
+  ASSERT_GE(partition.breakpoints.size(), 1u);
+  bool found = false;
+  for (const auto& bp : partition.breakpoints) {
+    if (bp.value == Rational(2) && bp.exact) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StructurePartition, SignaturesDifferAcrossBreakpoints) {
+  ParametrizedGraph pg(
+      graph::make_star({Rational(1), Rational(1), Rational(1)}), Rational(0),
+      Rational(4));
+  pg.set_affine(0, AffineWeight{Rational(0), Rational(1)});
+  const StructurePartition partition = find_structure_partition(pg);
+  for (std::size_t i = 0; i + 1 < partition.piece_count(); ++i) {
+    EXPECT_NE(partition.piece_signatures[i], partition.piece_signatures[i + 1])
+        << "adjacent pieces share a signature at breakpoint " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ringshare::game

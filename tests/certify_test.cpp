@@ -1,0 +1,91 @@
+// Tests for the grid-certification module and the dynamics convergence
+// tracer.
+#include "exp/certify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamics/proportional_response.hpp"
+#include "exp/families.hpp"
+#include "graph/builders.hpp"
+
+namespace ringshare::exp {
+namespace {
+
+game::SybilOptions quick_options() {
+  game::SybilOptions options;
+  options.samples_per_piece = 12;
+  options.refinement_rounds = 12;
+  return options;
+}
+
+TEST(Certify, TriangleGridRespectsBound) {
+  const Certificate certificate = certify_rings(3, 3, quick_options());
+  EXPECT_EQ(certificate.ring_size, 3u);
+  EXPECT_EQ(certificate.instances, 10u);  // ternary bracelets of length 3
+  EXPECT_EQ(certificate.agents, 30u);
+  EXPECT_TRUE(certificate.bound_respected);
+  EXPECT_LE(certificate.max_ratio, game::Rational(2));
+  EXPECT_GE(certificate.max_ratio, game::Rational(1));
+  EXPECT_EQ(certificate.extremal_weights.size(), 3u);
+  EXPECT_FALSE(certificate.summary().empty());
+}
+
+TEST(Certify, UniformGridHasNoGain) {
+  // Weight alphabet {1}: only the uniform ring — no agent can gain.
+  const Certificate certificate = certify_rings(4, 1, quick_options());
+  EXPECT_EQ(certificate.instances, 1u);
+  EXPECT_EQ(certificate.agents_with_gain, 0u);
+  EXPECT_EQ(certificate.max_ratio, game::Rational(1));
+}
+
+TEST(Certify, OddRingsShowGainEvenRingsDoNot) {
+  const Certificate odd = certify_rings(5, 2, quick_options());
+  const Certificate even = certify_rings(4, 2, quick_options());
+  EXPECT_GT(odd.agents_with_gain, 0u);
+  EXPECT_GT(odd.max_ratio, game::Rational(1));
+  EXPECT_EQ(even.max_ratio, game::Rational(1));
+  EXPECT_TRUE(odd.bound_respected);
+  EXPECT_TRUE(even.bound_respected);
+}
+
+TEST(ConvergenceTrace, GapDecreasesAlongCheckpoints) {
+  const graph::Graph g = graph::make_ring(
+      {Rational(4), Rational(1), Rational(3), Rational(2), Rational(5)});
+  dynamics::DynamicsOptions options;
+  options.damped = true;
+  const auto trace =
+      dynamics::trace_convergence(g, options, {10, 100, 1000, 10000});
+  ASSERT_EQ(trace.gaps.size(), 4u);
+  for (std::size_t i = 1; i < trace.gaps.size(); ++i) {
+    EXPECT_LE(trace.gaps[i], trace.gaps[i - 1] + 1e-12) << "checkpoint " << i;
+  }
+  // Convergence: slope of log(gap) vs log(t) is negative.
+  EXPECT_LT(trace.log_log_slope(), -0.5);
+}
+
+TEST(ConvergenceTrace, SlowInstanceHasSublinearSlope) {
+  // The known slow regime decays roughly like 1/t; the fitted slope must
+  // be clearly negative but finite (not a geometric cliff).
+  util::Xoshiro256 rng(909);
+  const graph::Graph g =
+      graph::make_ring(graph::random_integer_weights(7, rng, 9));
+  dynamics::DynamicsOptions options;
+  options.damped = true;
+  const auto trace =
+      dynamics::trace_convergence(g, options, {100, 1000, 10000, 100000});
+  EXPECT_LT(trace.log_log_slope(), -0.3);
+}
+
+TEST(ConvergenceTrace, EmptyAndSingleCheckpoints) {
+  const graph::Graph g = graph::make_ring(
+      {Rational(1), Rational(1), Rational(1)});
+  dynamics::DynamicsOptions options;
+  const auto empty = dynamics::trace_convergence(g, options, {});
+  EXPECT_EQ(empty.log_log_slope(), 0.0);
+  const auto single = dynamics::trace_convergence(g, options, {10});
+  EXPECT_EQ(single.log_log_slope(), 0.0);
+  EXPECT_EQ(single.gaps.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ringshare::exp

@@ -1,0 +1,139 @@
+// Failure-injection tests: the invariant checkers are load-bearing test
+// oracles, so each must actually FLAG corrupted inputs — a checker that
+// passes everything would silently hollow out half the suite.
+#include <gtest/gtest.h>
+
+#include "bd/allocation.hpp"
+#include "bd/brute.hpp"
+#include "bd/decomposition.hpp"
+#include "graph/builders.hpp"
+
+namespace ringshare::bd {
+namespace {
+
+using graph::make_ring;
+
+/// A corruptible stand-in: rebuild a Decomposition-like pair list and run
+/// proposition3_violations against hand-broken variants. The checker takes
+/// the real Decomposition, so corruption is staged through a copy of its
+/// pairs re-examined by a fresh checker entry point — here we corrupt the
+/// graph side instead (same weights, edges that invalidate the claims).
+TEST(Prop3Checker, FlagsNonIndependentBottleneck) {
+  // Path (10, 1, 10): decomposition B = {0, 2} (α = 1/20), C = {1}.
+  // Present the same decomposition against a graph where B is NOT
+  // independent (extra edge 0-2): Prop 3(2) must fire.
+  const graph::Graph honest =
+      graph::make_path({Rational(10), Rational(1), Rational(10)});
+  const Decomposition decomposition(honest);
+  ASSERT_TRUE(proposition3_violations(honest, decomposition).empty());
+
+  graph::Graph corrupted = honest;
+  corrupted.add_edge(0, 2);
+  const auto violations = proposition3_violations(corrupted, decomposition);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("not independent"), std::string::npos);
+}
+
+TEST(Prop3Checker, FlagsEdgeBetweenBottlenecks) {
+  // Two far-apart pairs on a 6-ring with a corrupting chord between their
+  // B sides.
+  const graph::Graph ring = make_ring({Rational(1), Rational(8), Rational(1),
+                                       Rational(1), Rational(8), Rational(1)});
+  const Decomposition decomposition(ring);
+  ASSERT_TRUE(proposition3_violations(ring, decomposition).empty());
+  // Find two B vertices in different pairs (if the decomposition has one
+  // pair only, skip — the instance above splits into >= 2 pairs).
+  if (decomposition.pair_count() >= 2) {
+    graph::Graph corrupted = ring;
+    const graph::Vertex b1 = decomposition.pairs()[0].b.front();
+    const graph::Vertex b2 = decomposition.pairs()[1].b.front();
+    if (!corrupted.has_edge(b1, b2)) {
+      corrupted.add_edge(b1, b2);
+      EXPECT_FALSE(proposition3_violations(corrupted, decomposition).empty());
+    }
+  }
+}
+
+TEST(AllocationChecker, FlagsBudgetImbalance) {
+  const graph::Graph ring = make_ring({Rational(2), Rational(3), Rational(1),
+                                       Rational(4)});
+  const Decomposition decomposition(ring);
+  Allocation allocation = bd_allocation(decomposition);
+  ASSERT_TRUE(allocation_violations(decomposition, allocation).empty());
+
+  // Steal half of some transfer: the sender no longer ships w_v.
+  for (const auto& [u, v, amount] : allocation.transfers()) {
+    allocation.set_sent(u, v, amount * Rational(1, 2));
+    break;
+  }
+  const auto violations = allocation_violations(decomposition, allocation);
+  ASSERT_FALSE(violations.empty());
+  bool found_budget = false;
+  for (const auto& violation : violations) {
+    if (violation.find("ship exactly") != std::string::npos)
+      found_budget = true;
+  }
+  EXPECT_TRUE(found_budget);
+}
+
+TEST(AllocationChecker, FlagsNonEdgeTransfer) {
+  const graph::Graph ring = make_ring({Rational(2), Rational(3), Rational(1),
+                                       Rational(4)});
+  const Decomposition decomposition(ring);
+  Allocation allocation = bd_allocation(decomposition);
+  allocation.set_sent(0, 2, Rational(1, 7));  // 0-2 is not a ring edge
+  const auto violations = allocation_violations(decomposition, allocation);
+  bool found = false;
+  for (const auto& violation : violations) {
+    if (violation.find("non-edge") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AllocationChecker, FlagsUtilityMismatch) {
+  const graph::Graph ring = make_ring({Rational(2), Rational(3), Rational(1),
+                                       Rational(4)});
+  const Decomposition decomposition(ring);
+  Allocation allocation = bd_allocation(decomposition);
+  // Reroute: move a transfer to the other neighbor (keeps the sender's
+  // budget but changes the receivers' utilities).
+  const auto transfers = allocation.transfers();
+  const auto& [u, v, amount] = transfers.front();
+  const auto neighbors = ring.neighbors(u);
+  const graph::Vertex other = neighbors[0] == v ? neighbors[1] : neighbors[0];
+  allocation.set_sent(u, v, Rational(0));
+  allocation.set_sent(u, other, allocation.sent(u, other) + amount);
+  const auto violations = allocation_violations(decomposition, allocation);
+  bool found = false;
+  for (const auto& violation : violations) {
+    if (violation.find("Prop. 6") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FixedPointChecker, FlagsSkewedExchange) {
+  // Uniform triangle, symmetric allocation, then skew one direction.
+  const graph::Graph ring = make_ring(std::vector<Rational>(3, Rational(1)));
+  const Decomposition decomposition(ring);
+  Allocation allocation = bd_allocation(decomposition);
+  ASSERT_TRUE(fixed_point_violations(decomposition, allocation).empty());
+  allocation.set_sent(0, 1, Rational(3, 4));
+  allocation.set_sent(0, 2, Rational(1, 4));
+  EXPECT_FALSE(fixed_point_violations(decomposition, allocation).empty());
+}
+
+TEST(BruteForceOracle, AgreesWithItselfUnderRelabeling) {
+  // Consistency of the oracle itself: relabeling the ring rotates the
+  // bottleneck with it.
+  const graph::Graph ring = make_ring({Rational(1), Rational(8), Rational(1),
+                                       Rational(8)});
+  const auto base = brute_force_bottleneck(ring);
+  const graph::Graph rotated = make_ring({Rational(8), Rational(1),
+                                          Rational(8), Rational(1)});
+  const auto shifted = brute_force_bottleneck(rotated);
+  EXPECT_EQ(base.alpha, shifted.alpha);
+  EXPECT_EQ(base.bottleneck.size(), shifted.bottleneck.size());
+}
+
+}  // namespace
+}  // namespace ringshare::bd

@@ -1,0 +1,88 @@
+// Tests for the edge-hiding manipulation: the BD mechanism is truthful
+// against severed connections ([6]/[7]) — the baseline the paper's Sybil
+// analysis builds on.
+#include "game/edge_manipulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::game {
+namespace {
+
+using graph::make_complete;
+using graph::make_ring;
+using graph::make_star;
+
+TEST(HideEdges, RemovesOnlyRequestedEdges) {
+  const Graph ring = make_ring({Rational(1), Rational(2), Rational(3),
+                                Rational(4)});
+  const Graph hidden = hide_edges(ring, 0, {1});
+  EXPECT_FALSE(hidden.has_edge(0, 1));
+  EXPECT_TRUE(hidden.has_edge(0, 3));
+  EXPECT_TRUE(hidden.has_edge(1, 2));
+  EXPECT_EQ(hidden.edge_count(), 3u);
+  EXPECT_EQ(hidden.weight(0), Rational(1));
+}
+
+TEST(HideEdges, RejectsNonIncidentEdges) {
+  const Graph ring = make_ring({Rational(1), Rational(2), Rational(3),
+                                Rational(4)});
+  EXPECT_THROW((void)hide_edges(ring, 0, {2}), std::invalid_argument);
+}
+
+TEST(HideEdges, FullIsolationEarnsZero) {
+  const Graph ring = make_ring({Rational(1), Rational(2), Rational(3),
+                                Rational(4)});
+  EXPECT_EQ(utility_with_hidden_edges(ring, 0, {1, 3}), Rational(0));
+}
+
+TEST(EdgeHiding, TruthfulOnRandomRings) {
+  util::Xoshiro256 rng(661);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const Graph ring = make_ring(graph::random_integer_weights(n, rng, 7));
+    for (graph::Vertex v = 0; v < n; ++v) {
+      const EdgeManipulationResult result = optimize_edge_hiding(ring, v);
+      EXPECT_EQ(result.ratio, Rational(1))
+          << "trial " << trial << " v" << v << " gained by hiding";
+      EXPECT_TRUE(result.best_hidden.empty());
+      EXPECT_EQ(result.subsets_tried, 3u);  // 2^2 − 1
+    }
+  }
+}
+
+TEST(EdgeHiding, TruthfulOnRandomGraphs) {
+  util::Xoshiro256 rng(673);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = graph::make_random_connected(
+        4 + static_cast<std::size_t>(rng.uniform_int(0, 3)), 0.5, rng, 6);
+    for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (g.degree(v) == 0) continue;
+      const EdgeManipulationResult result = optimize_edge_hiding(g, v);
+      EXPECT_LE(result.best_utility, result.honest_utility)
+          << "trial " << trial << " v" << v;
+    }
+  }
+}
+
+TEST(EdgeHiding, TruthfulOnStarsAndCompletes) {
+  const Graph star = make_star({Rational(2), Rational(1), Rational(4),
+                                Rational(3)});
+  EXPECT_EQ(optimize_edge_hiding(star, 0).ratio, Rational(1));
+  const Graph k4 = make_complete({Rational(1), Rational(3), Rational(2),
+                                  Rational(5)});
+  for (graph::Vertex v = 0; v < 4; ++v) {
+    EXPECT_EQ(optimize_edge_hiding(k4, v).ratio, Rational(1)) << "v" << v;
+  }
+}
+
+TEST(EdgeHiding, CountsAllSubsets) {
+  const Graph k4 = make_complete(std::vector<Rational>(4, Rational(1)));
+  const EdgeManipulationResult result = optimize_edge_hiding(k4, 0);
+  EXPECT_EQ(result.subsets_tried, 7u);  // 2^3 − 1
+}
+
+}  // namespace
+}  // namespace ringshare::game

@@ -1,0 +1,110 @@
+// Tests for the experiment harness: instance families and the sweep driver.
+#include "exp/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/sweep.hpp"
+
+namespace ringshare::exp {
+namespace {
+
+TEST(Families, UniformRing) {
+  const Graph g = uniform_ring(6);
+  EXPECT_EQ(g.vertex_count(), 6u);
+  for (graph::Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.weight(v), Rational(1));
+}
+
+TEST(Families, AlternatingRing) {
+  const Graph g = alternating_ring(6, Rational(7));
+  EXPECT_EQ(g.weight(0), Rational(1));
+  EXPECT_EQ(g.weight(1), Rational(7));
+  EXPECT_EQ(g.weight(5), Rational(7));
+  EXPECT_THROW((void)alternating_ring(5, Rational(2)), std::invalid_argument);
+}
+
+TEST(Families, SingleHeavyRing) {
+  const Graph g = single_heavy_ring(5, Rational(100));
+  EXPECT_EQ(g.weight(0), Rational(100));
+  EXPECT_EQ(g.weight(1), Rational(1));
+}
+
+TEST(Families, NearTightRingStructure) {
+  const Graph g = near_tight_ring(Rational(10));
+  ASSERT_EQ(g.vertex_count(), 7u);
+  EXPECT_EQ(g.weight(0), Rational(1));
+  EXPECT_EQ(g.weight(2), Rational(10));
+  EXPECT_EQ(g.weight(6), Rational(3, 20));  // 3/(2H)
+  EXPECT_THROW((void)near_tight_ring(Rational(1)), std::invalid_argument);
+}
+
+TEST(Families, NearTightRingSGeneralizes) {
+  const Graph g = near_tight_ring_s(Rational(7), Rational(100));
+  EXPECT_EQ(g.weight(0), Rational(7));
+  EXPECT_EQ(g.weight(6), Rational(21, 200));  // 3s/(2H)
+  // s = 1 coincides with the base family.
+  EXPECT_EQ(near_tight_ring_s(Rational(1), Rational(50)).weights(),
+            near_tight_ring(Rational(50)).weights());
+  EXPECT_THROW((void)near_tight_ring_s(Rational(0), Rational(10)),
+               std::invalid_argument);
+}
+
+TEST(Families, GeometricRing) {
+  const Graph g = geometric_ring(4, Rational(3, 2));
+  EXPECT_EQ(g.weight(0), Rational(1));
+  EXPECT_EQ(g.weight(1), Rational(3, 2));
+  EXPECT_EQ(g.weight(3), Rational(27, 8));
+  EXPECT_THROW((void)geometric_ring(2, Rational(2)), std::invalid_argument);
+  EXPECT_THROW((void)geometric_ring(4, Rational(0)), std::invalid_argument);
+}
+
+TEST(Families, RandomRingsDeterministicInSeed) {
+  const auto a = random_rings(5, 6, 42);
+  const auto b = random_rings(5, 6, 42);
+  const auto c = random_rings(5, 6, 43);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i].weights(), b[i].weights());
+  }
+  bool any_different = false;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (a[i].weights() != c[i].weights()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Families, ExhaustiveRingsAreCanonicalAndComplete) {
+  // n = 3, weights in {1, 2}: necklaces under rotation+reflection of a
+  // 2-ary 3-string: 4 of them (111, 112, 122, 222).
+  const auto rings = exhaustive_rings(3, 2);
+  EXPECT_EQ(rings.size(), 4u);
+  // n = 4, weights in {1, 2}: 6 binary bracelets of length 4.
+  EXPECT_EQ(exhaustive_rings(4, 2).size(), 6u);
+  for (const Graph& g : rings) {
+    EXPECT_EQ(g.vertex_count(), 3u);
+    EXPECT_EQ(g.edge_count(), 3u);
+  }
+}
+
+TEST(Sweep, FindsGainOnOddRingCollection) {
+  // A 5-ring with strongly uneven weights gains; the uniform one does not.
+  std::vector<Graph> rings;
+  rings.push_back(uniform_ring(5));
+  rings.push_back(graph::make_ring({Rational(4), Rational(10), Rational(1),
+                                    Rational(2), Rational(5)}));
+  game::SybilOptions options;
+  options.samples_per_piece = 24;
+  options.refinement_rounds = 20;
+  const SweepResult result = sweep_rings(rings, options);
+  EXPECT_EQ(result.per_instance_max.size(), 2u);
+  EXPECT_EQ(result.per_instance_max[0], Rational(1));
+  EXPECT_GT(result.per_instance_max[1], Rational(1));
+  EXPECT_LE(result.max_ratio, Rational(2));
+  EXPECT_EQ(result.argmax_instance, 1u);
+}
+
+TEST(Sweep, RejectsEmptyCollection) {
+  EXPECT_THROW((void)sweep_rings({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ringshare::exp

@@ -1,0 +1,219 @@
+// Unit tests for the Dinic max-flow substrate, including an independent
+// Edmonds–Karp oracle for differential testing.
+#include "flow/dinic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "numeric/rational.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::flow {
+namespace {
+
+using num::Rational;
+
+/// Independent oracle: Edmonds–Karp on integer capacities.
+class EdmondsKarp {
+ public:
+  explicit EdmondsKarp(std::size_t n) : capacity_(n, std::vector<long>(n, 0)) {}
+
+  void add(std::size_t u, std::size_t v, long c) { capacity_[u][v] += c; }
+
+  long run(std::size_t s, std::size_t t) {
+    long total = 0;
+    const std::size_t n = capacity_.size();
+    for (;;) {
+      std::vector<long> parent(n, -1);
+      parent[s] = static_cast<long>(s);
+      std::queue<std::size_t> queue;
+      queue.push(s);
+      while (!queue.empty() && parent[t] < 0) {
+        const std::size_t v = queue.front();
+        queue.pop();
+        for (std::size_t u = 0; u < n; ++u) {
+          if (parent[u] < 0 && capacity_[v][u] > 0) {
+            parent[u] = static_cast<long>(v);
+            queue.push(u);
+          }
+        }
+      }
+      if (parent[t] < 0) return total;
+      long bottleneck = std::numeric_limits<long>::max();
+      for (std::size_t v = t; v != s;
+           v = static_cast<std::size_t>(parent[v])) {
+        bottleneck = std::min(
+            bottleneck, capacity_[static_cast<std::size_t>(parent[v])][v]);
+      }
+      for (std::size_t v = t; v != s;
+           v = static_cast<std::size_t>(parent[v])) {
+        const auto p = static_cast<std::size_t>(parent[v]);
+        capacity_[p][v] -= bottleneck;
+        capacity_[v][p] += bottleneck;
+      }
+      total += bottleneck;
+    }
+  }
+
+ private:
+  std::vector<std::vector<long>> capacity_;
+};
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow<Rational> net(2);
+  net.add_arc(0, 1, Rational(5));
+  EXPECT_EQ(net.run(0, 1), Rational(5));
+}
+
+TEST(MaxFlow, DiamondNetwork) {
+  // s=0, t=3; two disjoint paths of capacity 3 and 4.
+  MaxFlow<Rational> net(4);
+  net.add_arc(0, 1, Rational(3));
+  net.add_arc(1, 3, Rational(3));
+  net.add_arc(0, 2, Rational(4));
+  net.add_arc(2, 3, Rational(4));
+  EXPECT_EQ(net.run(0, 3), Rational(7));
+}
+
+TEST(MaxFlow, RationalCapacitiesExact) {
+  MaxFlow<Rational> net(3);
+  net.add_arc(0, 1, Rational(1, 3));
+  net.add_arc(0, 1, Rational(1, 6));
+  net.add_arc(1, 2, Rational(2, 5));
+  EXPECT_EQ(net.run(0, 2), Rational(2, 5));
+}
+
+TEST(MaxFlow, BottleneckInMiddle) {
+  MaxFlow<Rational> net(4);
+  net.add_arc(0, 1, Rational(10));
+  net.add_arc(1, 2, Rational(1, 7));
+  net.add_arc(2, 3, Rational(10));
+  EXPECT_EQ(net.run(0, 3), Rational(1, 7));
+}
+
+TEST(MaxFlow, InfiniteArcsCarryFlow) {
+  MaxFlow<Rational> net(4);
+  net.add_arc(0, 1, Rational(3, 2));
+  const ArcId middle = net.add_infinite_arc(1, 2);
+  net.add_arc(2, 3, Rational(1));
+  EXPECT_EQ(net.run(0, 3), Rational(1));
+  EXPECT_EQ(net.flow_on(middle), Rational(1));
+}
+
+TEST(MaxFlow, UnboundedPathThrows) {
+  MaxFlow<Rational> net(3);
+  net.add_infinite_arc(0, 1);
+  net.add_infinite_arc(1, 2);
+  EXPECT_THROW((void)net.run(0, 2), std::logic_error);
+}
+
+TEST(MaxFlow, SourceEqualsSinkThrows) {
+  MaxFlow<Rational> net(2);
+  EXPECT_THROW((void)net.run(0, 0), std::invalid_argument);
+}
+
+TEST(MaxFlow, ResidualSidesBeforeRunThrow) {
+  MaxFlow<Rational> net(2);
+  net.add_arc(0, 1, Rational(1));
+  EXPECT_THROW((void)net.residual_reachable_from_source(), std::logic_error);
+  EXPECT_THROW((void)net.residual_reaching_sink(), std::logic_error);
+}
+
+TEST(MaxFlow, MinCutSidesOnChain) {
+  // 0 -(2)-> 1 -(1)-> 2 -(2)-> 3: unique min cut is the middle arc.
+  MaxFlow<Rational> net(4);
+  net.add_arc(0, 1, Rational(2));
+  net.add_arc(1, 2, Rational(1));
+  net.add_arc(2, 3, Rational(2));
+  EXPECT_EQ(net.run(0, 3), Rational(1));
+  const auto source_side = net.residual_reachable_from_source();
+  EXPECT_TRUE(source_side[0]);
+  EXPECT_TRUE(source_side[1]);
+  EXPECT_FALSE(source_side[2]);
+  EXPECT_FALSE(source_side[3]);
+  const auto sink_side = net.residual_reaching_sink();
+  EXPECT_FALSE(sink_side[0]);
+  EXPECT_FALSE(sink_side[1]);
+  EXPECT_TRUE(sink_side[2]);
+  EXPECT_TRUE(sink_side[3]);
+}
+
+TEST(MaxFlow, MinCutLatticeMinimalVsMaximal) {
+  // Two parallel bottlenecks of equal value: 0 -(1)-> 1 -(1)-> 2; min cuts
+  // are {0|12} and {01|2}. Minimal source side is {0}; maximal is {0,1}.
+  MaxFlow<Rational> net(3);
+  net.add_arc(0, 1, Rational(1));
+  net.add_arc(1, 2, Rational(1));
+  EXPECT_EQ(net.run(0, 2), Rational(1));
+  const auto minimal = net.residual_reachable_from_source();
+  EXPECT_TRUE(minimal[0]);
+  EXPECT_FALSE(minimal[1]);
+  const auto reaches_sink = net.residual_reaching_sink();
+  // Maximal source side = complement of reaches-sink: {0, 1}.
+  EXPECT_FALSE(reaches_sink[0]);
+  EXPECT_FALSE(reaches_sink[1]);
+  EXPECT_TRUE(reaches_sink[2]);
+}
+
+TEST(MaxFlow, DifferentialAgainstEdmondsKarp) {
+  util::Xoshiro256 rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(2, 7));
+    MaxFlow<Rational> dinic(n);
+    EdmondsKarp oracle(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (u == v) continue;
+        if (rng.uniform01() < 0.35) {
+          const long c = rng.uniform_int(1, 20);
+          dinic.add_arc(u, v, Rational(c));
+          oracle.add(u, v, c);
+        }
+      }
+    }
+    const Rational flow = dinic.run(0, n - 1);
+    EXPECT_TRUE(flow.is_integer());
+    EXPECT_EQ(flow.numerator().to_int64(), oracle.run(0, n - 1))
+        << "trial " << trial;
+  }
+}
+
+TEST(MaxFlow, DoubleInstantiationWorks) {
+  MaxFlow<double> net(3);
+  net.add_arc(0, 1, 0.5);
+  net.add_arc(1, 2, 0.25);
+  EXPECT_DOUBLE_EQ(net.run(0, 2), 0.25);
+}
+
+TEST(MaxFlow, FlowConservation) {
+  util::Xoshiro256 rng(41);
+  MaxFlow<Rational> net(6);
+  struct ArcRef {
+    std::size_t u, v;
+    ArcId id;
+  };
+  std::vector<ArcRef> arcs;
+  for (std::size_t u = 0; u < 6; ++u) {
+    for (std::size_t v = 0; v < 6; ++v) {
+      if (u != v && rng.uniform01() < 0.5) {
+        arcs.push_back(ArcRef{u, v, net.add_arc(u, v, Rational(
+            rng.uniform_int(1, 9)))});
+      }
+    }
+  }
+  const Rational total = net.run(0, 5);
+  std::vector<Rational> balance(6, Rational(0));
+  for (const ArcRef& arc : arcs) {
+    const Rational f = net.flow_on(arc.id);
+    EXPECT_GE(f, Rational(0));
+    balance[arc.u] -= f;
+    balance[arc.v] += f;
+  }
+  for (std::size_t v = 1; v + 1 < 6; ++v) EXPECT_EQ(balance[v], Rational(0));
+  EXPECT_EQ(balance[5], total);
+  EXPECT_EQ(balance[0], -total);
+}
+
+}  // namespace
+}  // namespace ringshare::flow

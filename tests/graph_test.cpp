@@ -1,0 +1,174 @@
+// Unit tests for the graph substrate.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/dot.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::graph {
+namespace {
+
+TEST(Graph, AddVerticesAndEdges) {
+  Graph g;
+  EXPECT_EQ(g.vertex_count(), 0u);
+  const Vertex a = g.add_vertex(Rational(1));
+  const Vertex b = g.add_vertex(Rational(2));
+  EXPECT_EQ(g.vertex_count(), 2u);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_TRUE(g.has_edge(b, a));
+  EXPECT_EQ(g.degree(a), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadIndices) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_vertex(Rational(-1)), std::invalid_argument);
+  EXPECT_THROW(Graph({Rational(-1)}), std::invalid_argument);
+}
+
+TEST(Graph, DuplicateEdgesIgnored) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto neighbors = g.neighbors(2);
+  EXPECT_EQ(std::vector<Vertex>(neighbors.begin(), neighbors.end()),
+            (std::vector<Vertex>{0, 3, 4}));
+}
+
+TEST(Graph, WeightsAndTotals) {
+  Graph g({Rational(1), Rational(1, 2), Rational(3)});
+  EXPECT_EQ(g.total_weight(), Rational(9, 2));
+  g.set_weight(0, Rational(2));
+  EXPECT_EQ(g.weight(0), Rational(2));
+  const std::vector<Vertex> set = {0, 2};
+  EXPECT_EQ(g.set_weight(set), Rational(5));
+  EXPECT_THROW(g.set_weight(0, Rational(-1)), std::invalid_argument);
+}
+
+TEST(Graph, NeighborhoodOfSet) {
+  // Path 0-1-2-3.
+  Graph g = make_path({Rational(1), Rational(1), Rational(1), Rational(1)});
+  const std::vector<Vertex> set = {1};
+  EXPECT_EQ(g.neighborhood(set), (std::vector<Vertex>{0, 2}));
+  const std::vector<Vertex> ends = {0, 3};
+  EXPECT_EQ(g.neighborhood(ends), (std::vector<Vertex>{1, 2}));
+  const std::vector<Vertex> adjacent = {1, 2};
+  // Γ(S) may intersect S when S is not independent.
+  EXPECT_EQ(g.neighborhood(adjacent), (std::vector<Vertex>{0, 1, 2, 3}));
+}
+
+TEST(Graph, IndependenceCheck) {
+  Graph g = make_path({Rational(1), Rational(1), Rational(1), Rational(1)});
+  const std::vector<Vertex> independent = {0, 2};
+  const std::vector<Vertex> dependent = {1, 2};
+  EXPECT_TRUE(g.is_independent(independent));
+  EXPECT_FALSE(g.is_independent(dependent));
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(Graph(1).is_connected());
+  EXPECT_TRUE(Graph(0).is_connected());
+}
+
+TEST(Graph, EdgesListSorted) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  const auto edges = g.edges();
+  EXPECT_EQ(edges, (std::vector<std::pair<Vertex, Vertex>>{
+                       {0, 1}, {0, 2}, {1, 3}}));
+}
+
+TEST(InducedSubgraph, RemapsVerticesAndEdges) {
+  Graph g = make_ring({Rational(1), Rational(2), Rational(3), Rational(4),
+                       Rational(5)});
+  const std::vector<Vertex> keep = {1, 2, 4};
+  const InducedSubgraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.vertex_count(), 3u);
+  EXPECT_EQ(sub.to_parent, (std::vector<Vertex>{1, 2, 4}));
+  EXPECT_EQ(sub.graph.weight(0), Rational(2));
+  EXPECT_EQ(sub.graph.weight(2), Rational(5));
+  // Only edge 1-2 survives (4 is adjacent to 3 and 0 in the ring).
+  EXPECT_EQ(sub.graph.edge_count(), 1u);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_EQ(*sub.from_parent[4], 2u);
+  EXPECT_FALSE(sub.from_parent[0].has_value());
+}
+
+TEST(Builders, RingHasCycleStructure) {
+  Graph g = make_ring(std::vector<Rational>(6, Rational(1)));
+  EXPECT_EQ(g.vertex_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_THROW(make_ring({Rational(1), Rational(1)}), std::invalid_argument);
+}
+
+TEST(Builders, PathHasEndpoints) {
+  Graph g = make_path({Rational(1), Rational(1), Rational(1)});
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(Builders, CompleteAndStar) {
+  Graph k4 = make_complete(std::vector<Rational>(4, Rational(1)));
+  EXPECT_EQ(k4.edge_count(), 6u);
+  Graph s5 = make_star(std::vector<Rational>(5, Rational(1)));
+  EXPECT_EQ(s5.edge_count(), 4u);
+  EXPECT_EQ(s5.degree(0), 4u);
+}
+
+TEST(Builders, RandomConnectedIsConnected) {
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 20; ++i) {
+    Graph g = make_random_connected(8, 0.4, rng);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_EQ(g.vertex_count(), 8u);
+    for (Vertex v = 0; v < 8; ++v) {
+      EXPECT_GE(g.weight(v), Rational(1));
+    }
+  }
+}
+
+TEST(Builders, Fig1ExampleShape) {
+  Graph g = make_fig1_example();
+  EXPECT_EQ(g.vertex_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(3, 5));
+}
+
+TEST(Dot, ExportsNodesAndEdges) {
+  Graph g = make_path({Rational(1), Rational(2)});
+  const std::string dot = to_dot(g, {"B1", "C1"});
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("B1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringshare::graph

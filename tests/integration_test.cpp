@@ -1,0 +1,123 @@
+// Cross-module integration tests: the full pipeline from graph through
+// decomposition, allocation, dynamics and game on shared instances, plus
+// exhaustive small-ring certification of Theorem 8.
+#include <gtest/gtest.h>
+
+#include "analysis/stages.hpp"
+#include "bd/allocation.hpp"
+#include "bd/brute.hpp"
+#include "dynamics/proportional_response.hpp"
+#include "exp/families.hpp"
+#include "exp/sweep.hpp"
+#include "game/incentive_ratio.hpp"
+#include "game/misreport.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare {
+namespace {
+
+using game::Rational;
+using graph::Graph;
+using graph::make_ring;
+
+TEST(Integration, FullPipelineOnOneRing) {
+  // One instance through every layer; all layers must agree.
+  const Graph g = make_ring({Rational(4), Rational(1), Rational(3),
+                             Rational(2), Rational(5)});
+
+  const bd::Decomposition decomposition(g);
+  EXPECT_TRUE(bd::proposition3_violations(g, decomposition).empty());
+
+  const bd::Allocation allocation = bd::bd_allocation(decomposition);
+  EXPECT_TRUE(bd::allocation_violations(decomposition, allocation).empty());
+
+  dynamics::DynamicsOptions dynamics_options;
+  dynamics_options.damped = true;
+  const auto dynamics_result = dynamics::run_dynamics(g, dynamics_options);
+  EXPECT_LT(dynamics::utility_gap_to_bd(g, dynamics_result), 1e-3);
+
+  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+    // Misreporting the true weight returns the Prop-6 utility.
+    const game::MisreportAnalysis misreport(g, v);
+    EXPECT_EQ(misreport.utility_at(g.weight(v)), decomposition.utility(v));
+    // The honest Sybil split anchors at the same value (Lemma 9).
+    const auto [w1, w2] = game::honest_split_weights(g, v);
+    EXPECT_EQ(game::sybil_utility(g, v, w1), decomposition.utility(v));
+  }
+
+  const game::RingRatioResult ratio = game::ring_incentive_ratio(g);
+  EXPECT_GE(ratio.best_ratio, Rational(1));
+  EXPECT_LE(ratio.best_ratio, Rational(2));
+}
+
+TEST(Integration, ExhaustiveSmallRingsCertifyTheorem8) {
+  // Every 3-ring and 4-ring over weights {1,2,3} (canonical necklaces):
+  // the exact optimizer never beats 2, and the stage decomposition's lemma
+  // inequalities hold everywhere.
+  game::SybilOptions options;
+  options.samples_per_piece = 16;
+  options.refinement_rounds = 16;
+  for (const std::size_t n : {3u, 4u}) {
+    for (const Graph& g : exp::exhaustive_rings(n, 3)) {
+      const game::RingRatioResult result =
+          game::ring_incentive_ratio(g, options);
+      EXPECT_LE(result.best_ratio, Rational(2));
+      EXPECT_GE(result.best_ratio, Rational(1));
+    }
+  }
+}
+
+TEST(Integration, StageAccountingMatchesOptimizer) {
+  util::Xoshiro256 rng(901);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = make_ring(graph::random_integer_weights(5, rng, 8));
+    game::SybilOptions options;
+    options.samples_per_piece = 24;
+    options.refinement_rounds = 24;
+    const graph::Vertex v =
+        static_cast<graph::Vertex>(rng.uniform_int(0, 4));
+    const game::SybilOptimum optimum =
+        game::optimize_sybil_split(g, v, options);
+    const analysis::StageReport report =
+        analysis::analyze_stages_to(g, v, optimum.w1_star);
+    EXPECT_EQ(report.optimal.total(), optimum.utility) << "trial " << trial;
+    EXPECT_TRUE(report.violations.empty())
+        << "trial " << trial << ": " << report.violations.front();
+  }
+}
+
+TEST(Integration, DynamicsAgreesWithGameOnAttackedGraph) {
+  // Run the dynamics on a split path and compare to the exact decomposition
+  // utilities of the same path: the attacked network is still a resource
+  // sharing system.
+  const Graph g = make_ring({Rational(4), Rational(10), Rational(1),
+                             Rational(2), Rational(5)});
+  const game::SybilSplit split =
+      game::split_ring(g, 4, Rational(2), Rational(3));
+  dynamics::DynamicsOptions options;
+  options.damped = true;
+  const auto result = dynamics::run_dynamics(split.path, options);
+  EXPECT_LT(dynamics::utility_gap_to_bd(split.path, result), 1e-3);
+}
+
+TEST(Integration, BruteForceAgreesOnAttackedPaths) {
+  // Decomposition correctness on the *path* family the game explores.
+  util::Xoshiro256 rng(907);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = make_ring(graph::random_integer_weights(5, rng, 5));
+    const Rational w1 = g.weight(0) * Rational(rng.uniform_int(0, 4), 4);
+    const game::SybilSplit split =
+        game::split_ring(g, 0, w1, g.weight(0) - w1);
+    const bd::Decomposition fast(split.path);
+    const auto slow = bd::brute_force_decomposition(split.path);
+    ASSERT_EQ(fast.pair_count(), slow.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < slow.size(); ++i) {
+      EXPECT_EQ(fast.pairs()[i].b, slow[i].b);
+      EXPECT_EQ(fast.pairs()[i].c, slow[i].c);
+      EXPECT_EQ(fast.pairs()[i].alpha, slow[i].alpha);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ringshare

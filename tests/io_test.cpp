@@ -1,0 +1,94 @@
+// Tests for the plain-text instance serialization.
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::graph {
+namespace {
+
+TEST(GraphIo, RoundTripsRings) {
+  const Graph g = make_ring({Rational(4), Rational(1, 3), Rational(3),
+                             Rational(2), Rational(5)});
+  const Graph parsed = from_text_format(to_text_format(g));
+  EXPECT_EQ(parsed, g);
+}
+
+TEST(GraphIo, RoundTripsExactRationals) {
+  // Near-tight instances carry tiny fractions; they must round-trip
+  // losslessly.
+  const Graph g = make_ring({Rational(1), Rational(1), Rational(10000),
+                             Rational(1), Rational(10000), Rational(1),
+                             Rational(3, 20000)});
+  const Graph parsed = from_text_format(to_text_format(g));
+  EXPECT_EQ(parsed, g);
+  EXPECT_EQ(parsed.weight(6), Rational(3, 20000));
+}
+
+TEST(GraphIo, RoundTripsRandomGraphs) {
+  util::Xoshiro256 rng(881);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = make_random_connected(
+        3 + static_cast<std::size_t>(rng.uniform_int(0, 6)), 0.4, rng, 9);
+    EXPECT_EQ(from_text_format(to_text_format(g)), g) << "trial " << trial;
+  }
+}
+
+TEST(GraphIo, ToleratesCommentsAndBlankLines) {
+  const std::string text =
+      "# saved by worst_case_search\n"
+      "ringshare-graph v1\n"
+      "\n"
+      "vertices 3   # a triangle\n"
+      "weights 1 2/3 3\n"
+      "edge 0 1\n"
+      "  edge 1 2  \n"
+      "edge 2 0\n";
+  const Graph g = from_text_format(text);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.weight(1), Rational(2, 3));
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)from_text_format(""), std::invalid_argument);
+  EXPECT_THROW((void)from_text_format("not-a-graph\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_text_format("ringshare-graph v1\nvertices 2\n"
+                                      "weights 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_text_format("ringshare-graph v1\nvertices 2\n"
+                                      "weights 1 2\nedge 0 5\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_text_format("ringshare-graph v1\nvertices 2\n"
+                                      "weights 1 2\nfoo 0 1\n"),
+               std::invalid_argument);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = make_fig1_example();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ringshare_io_test.graph")
+          .string();
+  save_graph(g, path);
+  const Graph loaded = load_graph(path);
+  EXPECT_EQ(loaded, g);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_graph(path + ".missing"), std::runtime_error);
+}
+
+TEST(GraphIo, IsolatedVerticesSurvive) {
+  Graph g(3);
+  g.set_weight(0, Rational(1));
+  g.add_edge(0, 1);
+  const Graph parsed = from_text_format(to_text_format(g));
+  EXPECT_EQ(parsed, g);
+  EXPECT_EQ(parsed.degree(2), 0u);
+}
+
+}  // namespace
+}  // namespace ringshare::graph

@@ -1,0 +1,169 @@
+// Metamorphic properties: transformations of an instance with a known
+// effect on the output. These catch whole classes of bugs (unit errors,
+// index mix-ups) that fixed oracles cannot.
+//
+//   * uniform weight scaling: B(c·w) = B(w), α invariant, utilities scale
+//     by c, incentive ratios invariant;
+//   * ring rotation: everything commutes with the relabeling;
+//   * ring reflection: likewise.
+#include <gtest/gtest.h>
+
+#include "bd/allocation.hpp"
+#include "bd/decomposition.hpp"
+#include "game/sybil_ring.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare {
+namespace {
+
+using game::Rational;
+using graph::Graph;
+using graph::make_ring;
+using graph::Vertex;
+
+std::vector<Rational> scaled(const std::vector<Rational>& weights,
+                             const Rational& factor) {
+  std::vector<Rational> out;
+  out.reserve(weights.size());
+  for (const Rational& w : weights) out.push_back(w * factor);
+  return out;
+}
+
+std::vector<Rational> rotated(const std::vector<Rational>& weights,
+                              std::size_t shift) {
+  std::vector<Rational> out;
+  const std::size_t n = weights.size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(weights[(i + shift) % n]);
+  return out;
+}
+
+std::vector<Rational> reflected(const std::vector<Rational>& weights) {
+  return {weights.rbegin(), weights.rend()};
+}
+
+TEST(Metamorphic, ScalingLeavesStructureFixesUtilitiesLinearly) {
+  util::Xoshiro256 rng(1201);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    const auto weights = graph::random_integer_weights(n, rng, 9);
+    const Rational factor(rng.uniform_int(2, 9), rng.uniform_int(1, 5));
+
+    const bd::Decomposition base(make_ring(weights));
+    const bd::Decomposition scaled_up(make_ring(scaled(weights, factor)));
+
+    ASSERT_EQ(base.pair_count(), scaled_up.pair_count()) << "trial " << trial;
+    EXPECT_EQ(base.signature(), scaled_up.signature());
+    for (std::size_t i = 0; i < base.pair_count(); ++i) {
+      EXPECT_EQ(base.pairs()[i].alpha, scaled_up.pairs()[i].alpha);
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      EXPECT_EQ(scaled_up.utility(v), base.utility(v) * factor)
+          << "trial " << trial << " v" << v;
+    }
+  }
+}
+
+TEST(Metamorphic, ScalingLeavesSybilRatioInvariant) {
+  util::Xoshiro256 rng(1203);
+  game::SybilOptions options;
+  options.samples_per_piece = 12;
+  options.refinement_rounds = 12;
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto weights = graph::random_integer_weights(5, rng, 8);
+    const Rational factor(7, 3);
+    const Vertex v = static_cast<Vertex>(rng.uniform_int(0, 4));
+    const auto base =
+        game::optimize_sybil_split(make_ring(weights), v, options);
+    const auto scaled_up = game::optimize_sybil_split(
+        make_ring(scaled(weights, factor)), v, options);
+    // The optimizer's continuous search lands on slightly different (both
+    // near-optimal, exactly-evaluated) splits, so the ratios agree only up
+    // to search resolution; the honest utility scales exactly.
+    EXPECT_NEAR(base.ratio.to_double(), scaled_up.ratio.to_double(), 1e-9)
+        << "trial " << trial;
+    EXPECT_EQ(scaled_up.honest_utility, base.honest_utility * factor);
+    // Cross-check at matched splits: scaling the SAME split scales the
+    // utility exactly, hence identical ratio pointwise.
+    EXPECT_EQ(game::sybil_utility(make_ring(scaled(weights, factor)), v,
+                                  base.w1_star * factor),
+              game::sybil_utility(make_ring(weights), v, base.w1_star) *
+                  factor)
+        << "trial " << trial;
+  }
+}
+
+TEST(Metamorphic, RotationCommutesWithDecomposition) {
+  util::Xoshiro256 rng(1207);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    const auto weights = graph::random_integer_weights(n, rng, 9);
+    const std::size_t shift =
+        1 + static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+
+    const bd::Decomposition base(make_ring(weights));
+    const bd::Decomposition shifted(make_ring(rotated(weights, shift)));
+
+    for (Vertex v = 0; v < n; ++v) {
+      const auto rotated_vertex =
+          static_cast<Vertex>((v + n - shift) % n);
+      EXPECT_EQ(shifted.utility(rotated_vertex), base.utility(v))
+          << "trial " << trial << " v" << v;
+      EXPECT_EQ(shifted.alpha_of(rotated_vertex), base.alpha_of(v));
+    }
+  }
+}
+
+TEST(Metamorphic, ReflectionPreservesUtilities) {
+  util::Xoshiro256 rng(1213);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    const auto weights = graph::random_integer_weights(n, rng, 9);
+    const bd::Decomposition base(make_ring(weights));
+    const bd::Decomposition mirror(make_ring(reflected(weights)));
+    for (Vertex v = 0; v < n; ++v) {
+      const auto mirrored = static_cast<Vertex>(n - 1 - v);
+      EXPECT_EQ(mirror.utility(mirrored), base.utility(v))
+          << "trial " << trial << " v" << v;
+    }
+  }
+}
+
+TEST(Metamorphic, RotationPreservesRingIncentiveRatio) {
+  game::SybilOptions options;
+  options.samples_per_piece = 12;
+  options.refinement_rounds = 12;
+  const std::vector<Rational> weights = {Rational(4), Rational(10),
+                                         Rational(1), Rational(2),
+                                         Rational(5)};
+  const auto base = game::optimize_sybil_split(make_ring(weights), 1, options);
+  // Rotate so that the manipulator sits at index 0.
+  const auto shifted =
+      game::optimize_sybil_split(make_ring(rotated(weights, 1)), 0, options);
+  EXPECT_EQ(base.ratio, shifted.ratio);
+  EXPECT_EQ(base.honest_utility, shifted.honest_utility);
+}
+
+TEST(Metamorphic, SybilUtilityMirrorsUnderReflection) {
+  // Reflecting the ring swaps the roles of the two copies: the utility of
+  // split (t, w−t) on the original equals that of (w−t, t) on the mirror.
+  const std::vector<Rational> weights = {Rational(4), Rational(10),
+                                         Rational(1), Rational(2),
+                                         Rational(5)};
+  const Graph ring = make_ring(weights);
+  // Reflection fixing vertex 0: index i -> (n − i) mod n.
+  std::vector<Rational> mirror_weights(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    mirror_weights[(weights.size() - i) % weights.size()] = weights[i];
+  const Graph mirror = make_ring(mirror_weights);
+  for (int i = 0; i <= 8; ++i) {
+    const Rational t = ring.weight(0) * Rational(i, 8);
+    EXPECT_EQ(game::sybil_utility(ring, 0, t),
+              game::sybil_utility(mirror, 0, ring.weight(0) - t))
+        << "t = " << t.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ringshare

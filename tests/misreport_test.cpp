@@ -1,0 +1,175 @@
+// Tests for the misreporting model (Section III-B): Theorem 10 monotone
+// utility, α_v(x) behaviour, and the structure partition on concrete
+// instances.
+#include "game/misreport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::game {
+namespace {
+
+using graph::make_path;
+using graph::make_ring;
+using graph::make_star;
+
+TEST(Misreport, UtilityAtTruthEqualsBdUtility) {
+  const Graph g = make_ring({Rational(2), Rational(3), Rational(5),
+                             Rational(1)});
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    const MisreportAnalysis analysis(g, v);
+    EXPECT_EQ(analysis.utility_at(g.weight(v)), Decomposition(g).utility(v));
+  }
+}
+
+TEST(Misreport, ZeroReportZeroUtility) {
+  const Graph g = make_ring({Rational(2), Rational(3), Rational(5),
+                             Rational(1)});
+  const MisreportAnalysis analysis(g, 1);
+  EXPECT_EQ(analysis.utility_at(Rational(0)), Rational(0));
+}
+
+TEST(Misreport, UtilityMonotoneOnGrid) {
+  // Theorem 10 on a dense exact grid, several instances.
+  util::Xoshiro256 rng(401);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const Graph g = make_ring(graph::random_integer_weights(n, rng, 6));
+    const Vertex v = static_cast<Vertex>(rng.uniform_int(0, n - 1));
+    const MisreportAnalysis analysis(g, v);
+    Rational previous(-1);
+    for (int i = 0; i <= 24; ++i) {
+      const Rational x = g.weight(v) * Rational(i, 24);
+      const Rational utility = analysis.utility_at(x);
+      EXPECT_LE(previous, utility)
+          << "trial " << trial << " x=" << x.to_string();
+      previous = utility;
+    }
+  }
+}
+
+TEST(Misreport, TruthIsDominantUnderMisreporting) {
+  // [6]/[7]: the mechanism is truthful for weight misreporting — reporting
+  // the full endowment maximizes utility over all x in [0, w_v].
+  util::Xoshiro256 rng(409);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const Graph g = make_ring(graph::random_integer_weights(n, rng, 6));
+    const Vertex v = static_cast<Vertex>(rng.uniform_int(0, n - 1));
+    const MisreportAnalysis analysis(g, v);
+    const Rational truthful = analysis.utility_at(g.weight(v));
+    for (int i = 0; i <= 16; ++i) {
+      const Rational x = g.weight(v) * Rational(i, 16);
+      EXPECT_LE(analysis.utility_at(x), truthful) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Misreport, AlphaAndClassOnStar) {
+  // Star hub with heavy leaves: hub is C class for its whole report range.
+  const Graph g = make_star({Rational(2), Rational(5), Rational(5)});
+  const MisreportAnalysis analysis(g, 0);
+  for (int i = 1; i <= 8; ++i) {
+    const Rational x = Rational(2) * Rational(i, 8);
+    EXPECT_EQ(analysis.class_at(x), bd::VertexClass::kC) << i;
+    // α_v(x) = x / 10 — non-decreasing in x.
+    EXPECT_EQ(analysis.alpha_at(x), x / Rational(10));
+  }
+}
+
+TEST(Misreport, PartitionCoversRange) {
+  const Graph g = make_ring({Rational(4), Rational(1), Rational(3),
+                             Rational(2), Rational(5)});
+  const MisreportAnalysis analysis(g, 0);
+  const StructurePartition& partition = analysis.partition();
+  EXPECT_EQ(partition.t_lo, Rational(0));
+  EXPECT_EQ(partition.t_hi, Rational(4));
+  EXPECT_EQ(partition.piece_count(), partition.breakpoints.size() + 1);
+  // Breakpoints sorted and interior.
+  for (std::size_t i = 0; i < partition.breakpoints.size(); ++i) {
+    EXPECT_GT(partition.breakpoints[i].value, Rational(0));
+    EXPECT_LT(partition.breakpoints[i].value, Rational(4));
+    if (i > 0) {
+      EXPECT_LT(partition.breakpoints[i - 1].value,
+                partition.breakpoints[i].value);
+    }
+  }
+}
+
+TEST(Misreport, BreakpointsAreExactOnMisreportFamilies) {
+  // Single-vertex misreporting only produces linear crossings: every
+  // breakpoint must be snapped exactly.
+  util::Xoshiro256 rng(419);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const Graph g = make_ring(graph::random_integer_weights(n, rng, 5));
+    const Vertex v = static_cast<Vertex>(rng.uniform_int(0, n - 1));
+    const MisreportAnalysis analysis(g, v);
+    for (const auto& bp : analysis.partition().breakpoints) {
+      EXPECT_TRUE(bp.exact)
+          << "trial " << trial << " inexact breakpoint at "
+          << bp.value.to_double();
+    }
+  }
+}
+
+TEST(Misreport, PiecewiseAlphaMatchesDecomposition) {
+  // The closed-form per-piece α must agree with a fresh decomposition at
+  // interior points of every piece.
+  util::Xoshiro256 rng(421);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const Graph g = make_ring(graph::random_integer_weights(n, rng, 6));
+    const Vertex v = static_cast<Vertex>(rng.uniform_int(0, n - 1));
+    const MisreportAnalysis analysis(g, v);
+    const auto alphas = analysis.piecewise_alpha();
+    const auto& partition = analysis.partition();
+    ASSERT_EQ(alphas.size(), partition.piece_count());
+    for (std::size_t piece = 0; piece < alphas.size(); ++piece) {
+      const Rational mid = partition.piece_midpoint(piece);
+      if (mid.is_zero()) continue;  // degenerate zero-report corner
+      EXPECT_EQ(alphas[piece].at(mid), analysis.alpha_at(mid))
+          << "trial " << trial << " piece " << piece;
+    }
+  }
+}
+
+TEST(Misreport, PiecewiseAlphaIsLinearFractionalInOneSideOnly) {
+  // Under single-vertex misreporting, x appears in the numerator (C class)
+  // or denominator (B class) of v's pair — never both.
+  const Graph g = make_ring({Rational(4), Rational(1), Rational(3),
+                             Rational(2), Rational(5)});
+  const MisreportAnalysis analysis(g, 0);
+  for (const auto& alpha : analysis.piecewise_alpha()) {
+    EXPECT_TRUE(alpha.num_s.is_zero() || alpha.den_s.is_zero());
+    EXPECT_FALSE(!alpha.num_s.is_zero() && !alpha.den_s.is_zero());
+  }
+}
+
+TEST(Misreport, UtilityContinuousAtBreakpoints) {
+  // Theorem 10 continuity: left/right limits at each exact breakpoint match
+  // the value at the breakpoint (evaluated via tiny exact offsets).
+  const Graph g = make_ring({Rational(6), Rational(1), Rational(2),
+                             Rational(3), Rational(1)});
+  const MisreportAnalysis analysis(g, 0);
+  const Rational epsilon(1, 1000000000);
+  for (const auto& bp : analysis.partition().breakpoints) {
+    if (!bp.exact) continue;
+    const Rational at = analysis.utility_at(bp.value);
+    if (bp.value - epsilon > Rational(0)) {
+      const Rational below = analysis.utility_at(bp.value - epsilon);
+      EXPECT_LT((at - below).abs(), Rational(1, 1000))
+          << "jump below breakpoint " << bp.value.to_double();
+    }
+    if (bp.value + epsilon < Rational(6)) {
+      const Rational above = analysis.utility_at(bp.value + epsilon);
+      EXPECT_LT((above - at).abs(), Rational(1, 1000))
+          << "jump above breakpoint " << bp.value.to_double();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ringshare::game

@@ -1,0 +1,164 @@
+// Parameterized property sweeps: every paper-level invariant, instantiated
+// across a grid of instance families (TEST_P / INSTANTIATE_TEST_SUITE_P).
+//
+// Families × properties:
+//   * Proposition 3 invariants of the decomposition,
+//   * BD allocation axioms + Prop. 6 utilities,
+//   * proportional-response fixed-point property of the balanced flow,
+//   * truthfulness under weight misreporting (Thm 10 corollary),
+//   * truthfulness under edge hiding,
+//   * Lemma 9 honest-split anchor (rings only),
+//   * Theorem 8 ratio ≤ 2 (rings only, exact).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bd/allocation.hpp"
+#include "exp/families.hpp"
+#include "game/edge_manipulation.hpp"
+#include "game/misreport.hpp"
+#include "game/sybil_ring.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare {
+namespace {
+
+using game::Rational;
+using graph::Graph;
+
+struct FamilyCase {
+  std::string name;
+  Graph graph;
+  bool is_ring;
+};
+
+std::vector<FamilyCase> family_grid() {
+  std::vector<FamilyCase> cases;
+  cases.push_back({"uniform_ring_5", exp::uniform_ring(5), true});
+  cases.push_back({"uniform_ring_6", exp::uniform_ring(6), true});
+  cases.push_back({"alternating_ring_6",
+                   exp::alternating_ring(6, Rational(7)), true});
+  cases.push_back({"single_heavy_ring_5",
+                   exp::single_heavy_ring(5, Rational(40)), true});
+  cases.push_back({"near_tight_H20", exp::near_tight_ring(Rational(20)),
+                   true});
+  cases.push_back({"adversarial_7ring",
+                   graph::make_ring({Rational(7), Rational(6), Rational(22),
+                                     Rational(5), Rational(48), Rational(9),
+                                     Rational(2)}),
+                   true});
+  cases.push_back({"fractional_ring",
+                   graph::make_ring({Rational(1, 3), Rational(5, 2),
+                                     Rational(7, 4), Rational(2),
+                                     Rational(9, 5)}),
+                   true});
+  cases.push_back({"fig1", graph::make_fig1_example(), false});
+  cases.push_back({"k4",
+                   graph::make_complete({Rational(1), Rational(3),
+                                         Rational(2), Rational(5)}),
+                   false});
+  cases.push_back({"star5",
+                   graph::make_star({Rational(3), Rational(1), Rational(4),
+                                     Rational(1), Rational(5)}),
+                   false});
+  util::Xoshiro256 rng(4242);
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    cases.push_back({"random_ring_" + std::to_string(i),
+                     graph::make_ring(graph::random_integer_weights(n, rng, 9)),
+                     true});
+  }
+  for (int i = 0; i < 3; ++i) {
+    cases.push_back({"random_graph_" + std::to_string(i),
+                     graph::make_random_connected(6, 0.45, rng, 8), false});
+  }
+  return cases;
+}
+
+class PaperProperty : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(PaperProperty, Proposition3Invariants) {
+  const FamilyCase& family = GetParam();
+  const bd::Decomposition decomposition(family.graph);
+  const auto violations =
+      bd::proposition3_violations(family.graph, decomposition);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST_P(PaperProperty, AllocationAxiomsAndProp6) {
+  const FamilyCase& family = GetParam();
+  const bd::Decomposition decomposition(family.graph);
+  const bd::Allocation allocation = bd::bd_allocation(decomposition);
+  const auto violations = bd::allocation_violations(decomposition, allocation);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST_P(PaperProperty, ProportionalResponseFixedPoint) {
+  const FamilyCase& family = GetParam();
+  const bd::Decomposition decomposition(family.graph);
+  const bd::Allocation allocation = bd::bd_allocation(decomposition);
+  const auto violations =
+      bd::fixed_point_violations(decomposition, allocation);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST_P(PaperProperty, MisreportingIsTruthful) {
+  const FamilyCase& family = GetParam();
+  const bd::Decomposition decomposition(family.graph);
+  for (graph::Vertex v = 0; v < family.graph.vertex_count(); ++v) {
+    if (family.graph.weight(v).is_zero()) continue;
+    const game::MisreportAnalysis analysis(family.graph, v);
+    const Rational truthful = decomposition.utility(v);
+    for (int i = 0; i <= 8; ++i) {
+      const Rational x = family.graph.weight(v) * Rational(i, 8);
+      EXPECT_LE(analysis.utility_at(x), truthful)
+          << "v" << v << " x=" << x.to_string();
+    }
+  }
+}
+
+TEST_P(PaperProperty, EdgeHidingIsTruthful) {
+  const FamilyCase& family = GetParam();
+  for (graph::Vertex v = 0; v < family.graph.vertex_count(); ++v) {
+    if (family.graph.degree(v) == 0) continue;
+    const game::EdgeManipulationResult result =
+        game::optimize_edge_hiding(family.graph, v);
+    EXPECT_LE(result.best_utility, result.honest_utility) << "v" << v;
+  }
+}
+
+TEST_P(PaperProperty, Lemma9HonestSplitAnchor) {
+  const FamilyCase& family = GetParam();
+  if (!family.is_ring) GTEST_SKIP() << "ring-only property";
+  const bd::Decomposition decomposition(family.graph);
+  for (graph::Vertex v = 0; v < family.graph.vertex_count(); ++v) {
+    const auto [w1, w2] = game::honest_split_weights(family.graph, v);
+    EXPECT_EQ(game::sybil_utility(family.graph, v, w1),
+              decomposition.utility(v))
+        << "v" << v;
+  }
+}
+
+TEST_P(PaperProperty, Theorem8RatioAtMostTwo) {
+  const FamilyCase& family = GetParam();
+  if (!family.is_ring) GTEST_SKIP() << "ring-only property";
+  game::SybilOptions options;
+  options.samples_per_piece = 16;
+  options.refinement_rounds = 16;
+  for (graph::Vertex v = 0; v < family.graph.vertex_count(); ++v) {
+    const game::SybilOptimum optimum =
+        game::optimize_sybil_split(family.graph, v, options);
+    EXPECT_LE(optimum.ratio, Rational(2)) << "v" << v;
+    EXPECT_GE(optimum.ratio, Rational(1)) << "v" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PaperProperty, ::testing::ValuesIn(family_grid()),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ringshare

@@ -1,0 +1,140 @@
+// Unit tests for exact rational arithmetic.
+#include "numeric/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ringshare::num {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_TRUE(zero.is_integer());
+}
+
+TEST(Rational, NormalizesToLowestTermsPositiveDenominator) {
+  EXPECT_EQ(Rational(2, 4).to_string(), "1/2");
+  EXPECT_EQ(Rational(-2, 4).to_string(), "-1/2");
+  EXPECT_EQ(Rational(2, -4).to_string(), "-1/2");
+  EXPECT_EQ(Rational(-2, -4).to_string(), "1/2");
+  EXPECT_EQ(Rational(0, -7).to_string(), "0");
+  EXPECT_EQ(Rational(6, 3).to_string(), "2");
+  EXPECT_FALSE(Rational(2, -4).denominator().is_negative());
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, FromStringFractionsAndIntegers) {
+  EXPECT_EQ(Rational::from_string("3/9"), Rational(1, 3));
+  EXPECT_EQ(Rational::from_string("-3/9"), Rational(-1, 3));
+  EXPECT_EQ(Rational::from_string("42"), Rational(42));
+}
+
+TEST(Rational, ArithmeticExactness) {
+  EXPECT_EQ(Rational(1, 3) + Rational(1, 6), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 3) - Rational(1, 2), Rational(-1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(9, 4), Rational(3, 2));
+  EXPECT_EQ(Rational(2, 3) / Rational(4, 9), Rational(3, 2));
+  // The classic floating-point trap: 1/10 + 2/10 == 3/10 exactly.
+  EXPECT_EQ(Rational(1, 10) + Rational(2, 10), Rational(3, 10));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(Rational(1) / Rational(0)), std::domain_error);
+  EXPECT_THROW((void)Rational(0).inverse(), std::domain_error);
+}
+
+TEST(Rational, ComparisonCrossMultiplies) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-1, 2), Rational(1, 1000000));
+  EXPECT_EQ(Rational(2, 6) <=> Rational(1, 3), std::strong_ordering::equal);
+  EXPECT_GT(Rational(355, 113), Rational(314159, 100000));  // π approximants
+}
+
+TEST(Rational, InverseAndNegation) {
+  EXPECT_EQ(Rational(3, 7).inverse(), Rational(7, 3));
+  EXPECT_EQ(Rational(-3, 7).inverse(), Rational(-7, 3));
+  EXPECT_EQ(-Rational(3, 7), Rational(-3, 7));
+  EXPECT_EQ(Rational(3, 7).abs(), Rational(3, 7));
+  EXPECT_EQ(Rational(-3, 7).abs(), Rational(3, 7));
+}
+
+TEST(Rational, MidpointMinMax) {
+  EXPECT_EQ(Rational::midpoint(Rational(0), Rational(1)), Rational(1, 2));
+  EXPECT_EQ(Rational::midpoint(Rational(1, 3), Rational(1, 2)),
+            Rational(5, 12));
+  EXPECT_EQ(Rational::min(Rational(1, 3), Rational(1, 2)), Rational(1, 3));
+  EXPECT_EQ(Rational::max(Rational(1, 3), Rational(1, 2)), Rational(1, 2));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-7, 4).to_double(), -1.75);
+  EXPECT_NEAR(Rational(1, 3).to_double(), 1.0 / 3.0, 1e-15);
+}
+
+TEST(Rational, FromDoubleIsExactDyadic) {
+  EXPECT_EQ(Rational::from_double(0.0), Rational(0));
+  EXPECT_EQ(Rational::from_double(0.5), Rational(1, 2));
+  EXPECT_EQ(Rational::from_double(-0.75), Rational(-3, 4));
+  EXPECT_EQ(Rational::from_double(3.0), Rational(3));
+  // 0.1 is NOT 1/10 in binary; the conversion must reproduce the exact
+  // dyadic value of the double.
+  const Rational tenth = Rational::from_double(0.1);
+  EXPECT_NE(tenth, Rational(1, 10));
+  EXPECT_DOUBLE_EQ(tenth.to_double(), 0.1);
+  EXPECT_THROW((void)Rational::from_double(
+                   std::numeric_limits<double>::infinity()),
+               std::domain_error);
+  EXPECT_THROW((void)Rational::from_double(
+                   std::numeric_limits<double>::quiet_NaN()),
+               std::domain_error);
+}
+
+TEST(Rational, FromDoubleRoundTripRandomized) {
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double x = (rng.uniform01() - 0.5) * 1e6;
+    EXPECT_DOUBLE_EQ(Rational::from_double(x).to_double(), x);
+  }
+}
+
+TEST(Rational, FieldAxiomsRandomized) {
+  util::Xoshiro256 rng(13);
+  auto random_rational = [&]() {
+    return Rational(rng.uniform_int(-50, 50), rng.uniform_int(1, 50));
+  };
+  for (int i = 0; i < 500; ++i) {
+    const Rational a = random_rational();
+    const Rational b = random_rational();
+    const Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Rational(1));
+  }
+}
+
+TEST(Rational, HashConsistentWithEquality) {
+  EXPECT_EQ(Rational(1, 2).hash(), Rational(2, 4).hash());
+  EXPECT_NE(Rational(1, 2).hash(), Rational(1, 3).hash());
+}
+
+TEST(Rational, SignQueries) {
+  EXPECT_EQ(Rational(3, 4).sign(), 1);
+  EXPECT_EQ(Rational(-3, 4).sign(), -1);
+  EXPECT_EQ(Rational(0).sign(), 0);
+  EXPECT_TRUE(Rational(-1, 5).is_negative());
+  EXPECT_FALSE(Rational(1, 5).is_negative());
+}
+
+}  // namespace
+}  // namespace ringshare::num

@@ -1,0 +1,101 @@
+// Tests for the stage decomposition (Lemmas 16/18/19/22/24 and Theorem 8's
+// per-stage accounting) on concrete and random rings.
+#include "analysis/stages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::analysis {
+namespace {
+
+using graph::make_ring;
+
+game::SybilOptions fast_options() {
+  game::SybilOptions options;
+  options.samples_per_piece = 24;
+  options.refinement_rounds = 20;
+  return options;
+}
+
+TEST(Stages, HonestAnchorsAtRingUtility) {
+  const graph::Graph g = make_ring({Rational(4), Rational(1), Rational(3),
+                                    Rational(2), Rational(5)});
+  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+    const StageReport report = analyze_stages(g, v, fast_options());
+    EXPECT_EQ(report.honest.total(), report.honest_ring_utility)
+        << "vertex " << v;
+  }
+}
+
+TEST(Stages, DeltasSumToTotalGain) {
+  util::Xoshiro256 rng(801);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const graph::Graph g =
+        make_ring(graph::random_integer_weights(n, rng, 6));
+    const graph::Vertex v =
+        static_cast<graph::Vertex>(rng.uniform_int(0, n - 1));
+    const StageReport report = analyze_stages(g, v, fast_options());
+    const Rational gain = report.optimal.total() - report.honest.total();
+    EXPECT_EQ(report.delta1_stage1 + report.delta2_stage1 +
+                  report.delta1_stage2 + report.delta2_stage2,
+              gain)
+        << "trial " << trial;
+  }
+}
+
+TEST(Stages, LemmaInequalitiesOnRandomRings) {
+  util::Xoshiro256 rng(809);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const graph::Graph g =
+        make_ring(graph::random_integer_weights(n, rng, 6));
+    const graph::Vertex v =
+        static_cast<graph::Vertex>(rng.uniform_int(0, n - 1));
+    const StageReport report = analyze_stages(g, v, fast_options());
+    EXPECT_TRUE(report.violations.empty())
+        << "trial " << trial << " v" << v << ": "
+        << report.violations.front();
+  }
+}
+
+TEST(Stages, Theorem8BoundHoldsOnOddRings) {
+  // Odd rings are where gains happen; verify the exact 2-bound per stage
+  // decomposition there.
+  util::Xoshiro256 rng(811);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = trial % 2 == 0 ? 5 : 7;
+    const graph::Graph g =
+        make_ring(graph::random_integer_weights(n, rng, 10));
+    const graph::Vertex v =
+        static_cast<graph::Vertex>(rng.uniform_int(0, n - 1));
+    const StageReport report = analyze_stages(g, v, fast_options());
+    EXPECT_LE(report.optimal.total(),
+              Rational(2) * report.honest_ring_utility)
+        << "trial " << trial;
+    EXPECT_TRUE(report.violations.empty())
+        << "trial " << trial << ": " << report.violations.front();
+  }
+}
+
+TEST(Stages, ExplicitTargetSplit) {
+  const graph::Graph g = make_ring({Rational(6), Rational(1), Rational(2),
+                                    Rational(3), Rational(1)});
+  // Push everything to one copy.
+  const StageReport report = analyze_stages_to(g, 0, Rational(6));
+  EXPECT_EQ(report.optimal.w1 + report.optimal.w2, Rational(6));
+  EXPECT_LE(report.optimal.total(), Rational(2) * report.honest_ring_utility);
+  EXPECT_TRUE(report.violations.empty()) << report.violations.front();
+}
+
+TEST(Stages, UniformRingNoGain) {
+  const graph::Graph g = make_ring(std::vector<Rational>(5, Rational(1)));
+  const StageReport report = analyze_stages(g, 0, fast_options());
+  EXPECT_EQ(report.optimal.total(), report.honest_ring_utility);
+  EXPECT_TRUE(report.violations.empty()) << report.violations.front();
+}
+
+}  // namespace
+}  // namespace ringshare::analysis

@@ -1,0 +1,176 @@
+// Tests for the Sybil attack on rings: the split construction, Lemma 9, the
+// optimizer, and — the headline — Theorem 8's bound of 2, exactly.
+#include "game/sybil_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/families.hpp"
+#include "game/incentive_ratio.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::game {
+namespace {
+
+using graph::make_ring;
+
+TEST(SplitRing, BuildsPathWithCorrectWeights) {
+  const Graph ring = make_ring({Rational(5), Rational(1), Rational(2),
+                                Rational(3)});
+  const SybilSplit split = split_ring(ring, 0, Rational(2), Rational(3));
+  EXPECT_EQ(split.path.vertex_count(), 5u);
+  EXPECT_EQ(split.path.weight(split.v1), Rational(2));
+  EXPECT_EQ(split.path.weight(split.v2), Rational(3));
+  EXPECT_EQ(split.path.degree(split.v1), 1u);
+  EXPECT_EQ(split.path.degree(split.v2), 1u);
+  // Interior weights preserved in ring order (successor of 0 is 1).
+  EXPECT_EQ(split.path.weight(1), Rational(1));
+  EXPECT_EQ(split.path.weight(2), Rational(2));
+  EXPECT_EQ(split.path.weight(3), Rational(3));
+  EXPECT_EQ(split.ring_to_path[2], 2u);
+}
+
+TEST(SplitRing, RejectsNonRings) {
+  const Graph path = graph::make_path({Rational(1), Rational(1), Rational(1)});
+  EXPECT_THROW((void)split_ring(path, 0, Rational(0), Rational(1)),
+               std::invalid_argument);
+  Graph two_triangles(6);
+  for (graph::Vertex v : {0u, 1u, 2u}) {
+    two_triangles.set_weight(v, Rational(1));
+    two_triangles.set_weight(v + 3, Rational(1));
+  }
+  two_triangles.add_edge(0, 1);
+  two_triangles.add_edge(1, 2);
+  two_triangles.add_edge(2, 0);
+  two_triangles.add_edge(3, 4);
+  two_triangles.add_edge(4, 5);
+  two_triangles.add_edge(5, 3);
+  EXPECT_THROW((void)split_ring(two_triangles, 0, Rational(0), Rational(1)),
+               std::invalid_argument);
+}
+
+TEST(HonestSplit, WeightsSumToEndowment) {
+  util::Xoshiro256 rng(501);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const Graph ring = make_ring(graph::random_integer_weights(n, rng, 6));
+    for (graph::Vertex v = 0; v < n; ++v) {
+      const auto [w1, w2] = honest_split_weights(ring, v);
+      EXPECT_EQ(w1 + w2, ring.weight(v)) << "trial " << trial;
+      EXPECT_GE(w1, Rational(0));
+      EXPECT_GE(w2, Rational(0));
+    }
+  }
+}
+
+TEST(Lemma9, HonestSplitPreservesUtility) {
+  // Splitting at the honest allocation amounts changes nothing: the copies
+  // together collect exactly U_v.
+  util::Xoshiro256 rng(503);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const Graph ring = make_ring(graph::random_integer_weights(n, rng, 6));
+    const bd::Decomposition decomposition(ring);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      const auto [w1, w2] = honest_split_weights(ring, v);
+      EXPECT_EQ(sybil_utility(ring, v, w1), decomposition.utility(v))
+          << "trial " << trial << " vertex " << v;
+    }
+  }
+}
+
+TEST(SybilFamily, EndpointsMatchManualSplits) {
+  const Graph ring = make_ring({Rational(4), Rational(1), Rational(2),
+                                Rational(3)});
+  const ParametrizedGraph family = sybil_family(ring, 0);
+  const Graph at_zero = family.at(Rational(0));
+  EXPECT_EQ(at_zero.weight(0), Rational(0));
+  EXPECT_EQ(at_zero.weight(at_zero.vertex_count() - 1), Rational(4));
+  const Graph at_two = family.at(Rational(2));
+  EXPECT_EQ(at_two.weight(0), Rational(2));
+  EXPECT_EQ(at_two.weight(at_two.vertex_count() - 1), Rational(2));
+}
+
+TEST(Optimizer, NeverWorseThanHonestSplit) {
+  util::Xoshiro256 rng(509);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const Graph ring = make_ring(graph::random_integer_weights(n, rng, 5));
+    const graph::Vertex v = static_cast<graph::Vertex>(rng.uniform_int(0, n - 1));
+    const SybilOptimum optimum = optimize_sybil_split(ring, v);
+    EXPECT_GE(optimum.ratio, Rational(1)) << "trial " << trial;
+    EXPECT_EQ(optimum.utility, sybil_utility(ring, v, optimum.w1_star));
+  }
+}
+
+TEST(Theorem8, RatioNeverExceedsTwoOnRandomRings) {
+  // The headline result, verified exactly: no split the optimizer evaluates
+  // may beat 2·U_v. (Every evaluation is exact rational arithmetic, so a
+  // single counterexample would refute the theorem.)
+  util::Xoshiro256 rng(521);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    const Graph ring = make_ring(graph::random_integer_weights(n, rng, 8));
+    const RingRatioResult result = ring_incentive_ratio(ring);
+    EXPECT_LE(result.best_ratio, Rational(2))
+        << "trial " << trial << " vertex " << result.best_vertex;
+  }
+}
+
+TEST(Theorem8, RatioNeverExceedsTwoOnExtremeWeights) {
+  // Adversarial weight scales (the near-tight family lives here).
+  for (const std::int64_t heavy : {10, 100, 10000, 1000000}) {
+    const Graph ring = make_ring(
+        {Rational(heavy), Rational(1), Rational(1), Rational(1)});
+    const RingRatioResult result = ring_incentive_ratio(ring);
+    EXPECT_LE(result.best_ratio, Rational(2)) << "heavy = " << heavy;
+  }
+}
+
+TEST(Theorem8, NearTightFamilyApproachesTwo) {
+  // Regression for the E6 tightness witness: the measured ratio must fall
+  // inside (2 − 2·(3/(2H+1)), 2] — i.e. genuinely close to 2 — and never
+  // exceed 2.
+  game::SybilOptions options;
+  options.samples_per_piece = 32;
+  options.refinement_rounds = 32;
+  for (const std::int64_t h : {20, 100}) {
+    const Graph ring = exp::near_tight_ring(Rational(h));
+    const SybilOptimum optimum = optimize_sybil_split(ring, 0, options);
+    EXPECT_LE(optimum.ratio, Rational(2)) << "H = " << h;
+    const Rational slack = Rational(2) - optimum.ratio;
+    EXPECT_LT(slack, Rational(6, 2 * h + 1)) << "H = " << h;
+  }
+}
+
+TEST(Theorem8, GainRequiresNontrivialSplit) {
+  // On the uniform ring nobody gains: ratio exactly 1.
+  const Graph ring = make_ring(std::vector<Rational>(6, Rational(1)));
+  const RingRatioResult result = ring_incentive_ratio(ring);
+  EXPECT_EQ(result.best_ratio, Rational(1));
+}
+
+TEST(IncentiveRatio, CollectionAggregation) {
+  std::vector<Graph> rings;
+  rings.push_back(make_ring(std::vector<Rational>(4, Rational(1))));
+  // An uneven odd ring: gains exist there (even rings with alternating
+  // B/C structure are stable).
+  rings.push_back(make_ring({Rational(4), Rational(10), Rational(1),
+                             Rational(2), Rational(5)}));
+  const CollectionRatioResult result = collection_incentive_ratio(rings);
+  EXPECT_EQ(result.per_instance.size(), 2u);
+  EXPECT_EQ(result.best_instance, 1u);
+  EXPECT_GT(result.best_ratio, Rational(1));
+  EXPECT_LE(result.best_ratio, Rational(2));
+}
+
+TEST(SybilUtility, RejectsOutOfRangeSplits) {
+  const Graph ring = make_ring({Rational(2), Rational(1), Rational(1)});
+  EXPECT_THROW((void)sybil_utility(ring, 0, Rational(3)),
+               std::invalid_argument);
+  EXPECT_THROW((void)sybil_utility(ring, 0, Rational(-1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ringshare::game

@@ -1,0 +1,190 @@
+// Unit tests for the concurrency and utility kit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <set>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace ringshare::util {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool touched = false;
+  parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  parallel_for(7, 3, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, RethrowsFirstException) {
+  EXPECT_THROW(parallel_for(0, 100,
+                            [](std::size_t i) {
+                              if (i == 50) throw std::logic_error("x");
+                            }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, NestedCallsDegradeToSerial) {
+  std::atomic<int> counter{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    // Inner loop must not deadlock even though it runs on pool workers.
+    parallel_for(0, 10, [&](std::size_t) { ++counter; });
+  });
+  EXPECT_EQ(counter.load(), 80);
+}
+
+TEST(ParallelMap, ProducesOrderedResults) {
+  const auto squares =
+      parallel_map(100, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro, UniformIntStaysInRange) {
+  Xoshiro256 rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = rng.uniform_int(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Xoshiro, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Xoshiro, SplitProducesIndependentStream) {
+  Xoshiro256 parent(3);
+  Xoshiro256 child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Table, RendersTextMarkdownCsv) {
+  Table table({"n", "ratio"});
+  table.add_row({"4", "2"});
+  table.add_row({"6", "3/2"});
+  EXPECT_EQ(table.row_count(), 2u);
+
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("ratio"), std::string::npos);
+  EXPECT_NE(text.find("3/2"), std::string::npos);
+
+  const std::string markdown = table.to_markdown();
+  EXPECT_NE(markdown.find("| n | ratio |"), std::string::npos);
+
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("n,ratio\n"), std::string::npos);
+  EXPECT_NE(csv.find("6,3/2\n"), std::string::npos);
+}
+
+TEST(Table, EscapesCsvSpecials) {
+  Table table({"a"});
+  table.add_row({"x,y"});
+  table.add_row({"he said \"hi\""});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundTripsThroughFile) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2/3"});
+  const std::string path = "/tmp/ringshare_table_test.csv";
+  table.write_csv(path);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(file, line);
+  EXPECT_EQ(line, "1,2/3");
+  std::remove(path.c_str());
+  EXPECT_THROW(table.write_csv("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(0.123456789, 4), "0.1235");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  EXPECT_GE(timer.elapsed_seconds(), 0.0);
+  timer.reset();
+  EXPECT_LT(timer.elapsed_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace ringshare::util

@@ -1,0 +1,76 @@
+// Fuzz-style sweep through the one-call verifier: random instances must
+// satisfy EVERY machine-checked paper property at once.
+#include "analysis/verify_all.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/families.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::analysis {
+namespace {
+
+TEST(VerifyAll, CleanOnCanonicalInstances) {
+  for (const graph::Graph& g :
+       {graph::make_fig1_example(), exp::uniform_ring(5),
+        exp::alternating_ring(6, graph::Rational(5)),
+        exp::near_tight_ring(graph::Rational(20))}) {
+    const FullReport report = full_verification(g);
+    EXPECT_TRUE(report.ok()) << report.violations.front();
+    EXPECT_GT(report.checks_run, 2);
+  }
+}
+
+TEST(VerifyAll, FuzzRandomRings) {
+  util::Xoshiro256 rng(31337);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const graph::Graph g =
+        graph::make_ring(graph::random_integer_weights(n, rng, 9));
+    const FullReport report = full_verification(g);
+    EXPECT_TRUE(report.ok())
+        << "trial " << trial << ": " << report.violations.front();
+  }
+}
+
+TEST(VerifyAll, FuzzRandomRingsSecondSeed) {
+  // A different stream: this suite historically surfaced real corner
+  // cases (swap/coalescence events, zero-weight honest splits), so keep
+  // two independent streams in CI.
+  util::Xoshiro256 rng(271828);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 5 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const graph::Graph g =
+        graph::make_ring(graph::random_integer_weights(n, rng, 12));
+    const FullReport report = full_verification(g);
+    EXPECT_TRUE(report.ok())
+        << "trial " << trial << ": " << report.violations.front();
+  }
+}
+
+TEST(VerifyAll, FuzzRandomGraphs) {
+  util::Xoshiro256 rng(31339);
+  FullVerificationOptions options;
+  options.game_checks = true;  // auto-skipped on non-rings
+  for (int trial = 0; trial < 4; ++trial) {
+    const graph::Graph g = graph::make_random_connected(6, 0.45, rng, 8);
+    const FullReport report = full_verification(g, options);
+    EXPECT_TRUE(report.ok())
+        << "trial " << trial << ": " << report.violations.front();
+  }
+}
+
+TEST(VerifyAll, LayerTogglesReduceWork) {
+  const graph::Graph g = exp::uniform_ring(5);
+  FullVerificationOptions lean;
+  lean.misreport_checks = false;
+  lean.game_checks = false;
+  const FullReport lean_report = full_verification(g, lean);
+  const FullReport full_report = full_verification(g);
+  EXPECT_LT(lean_report.checks_run, full_report.checks_run);
+  EXPECT_TRUE(lean_report.ok());
+}
+
+}  // namespace
+}  // namespace ringshare::analysis

@@ -1,0 +1,43 @@
+// Scratch probe: inspect one ring instance's decomposition and best attack.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/forms.hpp"
+#include "bd/decomposition.hpp"
+#include "game/sybil_ring.hpp"
+#include "graph/builders.hpp"
+
+using namespace ringshare;
+using game::Rational;
+
+int main(int argc, char** argv) {
+  std::vector<Rational> weights;
+  for (int i = 2; i < argc; ++i)
+    weights.push_back(Rational::from_string(argv[i]));
+  const graph::Vertex v = static_cast<graph::Vertex>(std::atoi(argv[1]));
+  const graph::Graph ring = graph::make_ring(weights);
+
+  const bd::Decomposition d(ring);
+  std::printf("ring decomposition:\n%s", d.to_string().c_str());
+  std::printf("U_v%u = %s (%.4f), class %s\n", v,
+              d.utility(v).to_string().c_str(), d.utility(v).to_double(),
+              bd::to_string(d.vertex_class(v)).c_str());
+
+  const auto optimum = game::optimize_sybil_split(ring, v);
+  std::printf("best w1* = %s (%.6f), U' = %.6f, ratio = %.6f\n",
+              optimum.w1_star.to_string().c_str(),
+              optimum.w1_star.to_double(), optimum.utility.to_double(),
+              optimum.ratio.to_double());
+
+  const auto split =
+      game::split_ring(ring, v, optimum.w1_star,
+                       ring.weight(v) - optimum.w1_star);
+  const bd::Decomposition pd(split.path);
+  std::printf("optimal path decomposition:\n%s", pd.to_string().c_str());
+  std::printf("U_v1 = %.4f (%s), U_v2 = %.4f (%s)\n",
+              pd.utility(split.v1).to_double(),
+              bd::to_string(pd.vertex_class(split.v1)).c_str(),
+              pd.utility(split.v2).to_double(),
+              bd::to_string(pd.vertex_class(split.v2)).c_str());
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Scratch probe: scan ring families for high incentive ratios.
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/families.hpp"
+#include "exp/sweep.hpp"
+#include "game/incentive_ratio.hpp"
+
+using namespace ringshare;
+
+int main(int argc, char** argv) {
+  const std::size_t count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200;
+  const std::size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 5;
+  const std::int64_t maxw = argc > 3 ? std::strtol(argv[3], nullptr, 10) : 10;
+
+  const auto rings = exp::random_rings(count, n, 12345, maxw);
+  const exp::SweepResult result = exp::sweep_rings(rings);
+  std::printf("max ratio = %s (%.6f)\n", result.max_ratio.to_string().c_str(),
+              result.max_ratio.to_double());
+  const auto& best = rings[result.argmax_instance];
+  std::printf("instance %zu vertex %u w1*=%.4f weights:", result.argmax_instance,
+              result.argmax_vertex, result.argmax_w1.to_double());
+  for (graph::Vertex v = 0; v < best.vertex_count(); ++v)
+    std::printf(" %s", best.weight(v).to_string().c_str());
+  std::printf("\n");
+  // Top ratios histogram.
+  int above_1 = 0, above_15 = 0, above_19 = 0;
+  for (const auto& r : result.per_instance_max) {
+    if (r > game::Rational(1)) ++above_1;
+    if (r > game::Rational(3, 2)) ++above_15;
+    if (r > game::Rational(19, 10)) ++above_19;
+  }
+  std::printf("instances with gain: %d / %zu ; >1.5: %d ; >1.9: %d\n", above_1,
+              rings.size(), above_15, above_19);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Scratch probe: hill-climb ring weights to maximize one vertex's Sybil
+// incentive ratio.
+#include <cstdio>
+#include <cstdlib>
+
+#include "game/sybil_ring.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+using namespace ringshare;
+using game::Rational;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 7;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 150;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  util::Xoshiro256 rng(seed);
+  // Weights as integers (scaled rationals); manipulator is vertex 0.
+  std::vector<std::int64_t> weights(n);
+  for (auto& w : weights) w = rng.uniform_int(1, 20);
+
+  auto evaluate = [&](const std::vector<std::int64_t>& ws) {
+    std::vector<Rational> rational;
+    for (const auto w : ws) rational.emplace_back(w);
+    const graph::Graph ring = graph::make_ring(rational);
+    game::SybilOptions options;
+    options.samples_per_piece = 24;
+    options.refinement_rounds = 24;
+    return game::optimize_sybil_split(ring, 0, options).ratio;
+  };
+
+  Rational best = evaluate(weights);
+  for (int it = 0; it < iterations; ++it) {
+    auto candidate = weights;
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0: candidate[k] = std::max<std::int64_t>(1, candidate[k] * 2); break;
+      case 1: candidate[k] = std::max<std::int64_t>(1, candidate[k] / 2); break;
+      case 2: candidate[k] = std::max<std::int64_t>(1, candidate[k] + rng.uniform_int(1, 5)); break;
+      default: candidate[k] = std::max<std::int64_t>(1, candidate[k] - rng.uniform_int(1, 5)); break;
+    }
+    if (candidate[k] > 100000) candidate[k] = 100000;
+    const Rational ratio = evaluate(candidate);
+    if (best < ratio) {
+      best = ratio;
+      weights = candidate;
+      std::printf("it %3d ratio %.6f weights:", it, ratio.to_double());
+      for (const auto w : weights) std::printf(" %lld", static_cast<long long>(w));
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("final %.6f\n", best.to_double());
+  return 0;
+}
