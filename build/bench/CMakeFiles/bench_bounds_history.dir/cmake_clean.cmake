@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounds_history.dir/bench_bounds_history.cpp.o"
+  "CMakeFiles/bench_bounds_history.dir/bench_bounds_history.cpp.o.d"
+  "bench_bounds_history"
+  "bench_bounds_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounds_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_initial_forms.dir/bench_fig4_initial_forms.cpp.o"
+  "CMakeFiles/bench_fig4_initial_forms.dir/bench_fig4_initial_forms.cpp.o.d"
+  "bench_fig4_initial_forms"
+  "bench_fig4_initial_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_initial_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

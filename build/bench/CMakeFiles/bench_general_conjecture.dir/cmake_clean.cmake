@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_general_conjecture.dir/bench_general_conjecture.cpp.o"
+  "CMakeFiles/bench_general_conjecture.dir/bench_general_conjecture.cpp.o.d"
+  "bench_general_conjecture"
+  "bench_general_conjecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_general_conjecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lower_bound_family.dir/bench_lower_bound_family.cpp.o"
+  "CMakeFiles/bench_lower_bound_family.dir/bench_lower_bound_family.cpp.o.d"
+  "bench_lower_bound_family"
+  "bench_lower_bound_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lower_bound_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

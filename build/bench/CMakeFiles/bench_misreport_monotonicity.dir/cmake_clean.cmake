@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_misreport_monotonicity.dir/bench_misreport_monotonicity.cpp.o"
+  "CMakeFiles/bench_misreport_monotonicity.dir/bench_misreport_monotonicity.cpp.o.d"
+  "bench_misreport_monotonicity"
+  "bench_misreport_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misreport_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stage_deltas.dir/bench_stage_deltas.cpp.o"
+  "CMakeFiles/bench_stage_deltas.dir/bench_stage_deltas.cpp.o.d"
+  "bench_stage_deltas"
+  "bench_stage_deltas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stage_deltas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

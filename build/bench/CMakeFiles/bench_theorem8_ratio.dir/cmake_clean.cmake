@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem8_ratio.dir/bench_theorem8_ratio.cpp.o"
+  "CMakeFiles/bench_theorem8_ratio.dir/bench_theorem8_ratio.cpp.o.d"
+  "bench_theorem8_ratio"
+  "bench_theorem8_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem8_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

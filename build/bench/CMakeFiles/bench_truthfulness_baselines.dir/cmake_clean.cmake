@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_truthfulness_baselines.dir/bench_truthfulness_baselines.cpp.o"
+  "CMakeFiles/bench_truthfulness_baselines.dir/bench_truthfulness_baselines.cpp.o.d"
+  "bench_truthfulness_baselines"
+  "bench_truthfulness_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_truthfulness_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamics_convergence.dir/dynamics_convergence.cpp.o"
+  "CMakeFiles/dynamics_convergence.dir/dynamics_convergence.cpp.o.d"
+  "dynamics_convergence"
+  "dynamics_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamics_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

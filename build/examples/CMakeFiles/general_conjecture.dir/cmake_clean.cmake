@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_conjecture.dir/general_conjecture.cpp.o"
+  "CMakeFiles/general_conjecture.dir/general_conjecture.cpp.o.d"
+  "general_conjecture"
+  "general_conjecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_conjecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

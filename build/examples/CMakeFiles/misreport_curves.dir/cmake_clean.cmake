@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misreport_curves.dir/misreport_curves.cpp.o"
+  "CMakeFiles/misreport_curves.dir/misreport_curves.cpp.o.d"
+  "misreport_curves"
+  "misreport_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misreport_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

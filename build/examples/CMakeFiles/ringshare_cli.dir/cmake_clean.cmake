@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringshare_cli.dir/ringshare_cli.cpp.o"
+  "CMakeFiles/ringshare_cli.dir/ringshare_cli.cpp.o.d"
+  "ringshare_cli"
+  "ringshare_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringshare_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worst_case_search.dir/worst_case_search.cpp.o"
+  "CMakeFiles/worst_case_search.dir/worst_case_search.cpp.o.d"
+  "worst_case_search"
+  "worst_case_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worst_case_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

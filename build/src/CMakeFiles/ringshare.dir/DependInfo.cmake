@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/adjusting.cpp" "src/CMakeFiles/ringshare.dir/analysis/adjusting.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/analysis/adjusting.cpp.o.d"
+  "/root/repo/src/analysis/forms.cpp" "src/CMakeFiles/ringshare.dir/analysis/forms.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/analysis/forms.cpp.o.d"
+  "/root/repo/src/analysis/lemma13.cpp" "src/CMakeFiles/ringshare.dir/analysis/lemma13.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/analysis/lemma13.cpp.o.d"
+  "/root/repo/src/analysis/prop11.cpp" "src/CMakeFiles/ringshare.dir/analysis/prop11.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/analysis/prop11.cpp.o.d"
+  "/root/repo/src/analysis/prop12.cpp" "src/CMakeFiles/ringshare.dir/analysis/prop12.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/analysis/prop12.cpp.o.d"
+  "/root/repo/src/analysis/stages.cpp" "src/CMakeFiles/ringshare.dir/analysis/stages.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/analysis/stages.cpp.o.d"
+  "/root/repo/src/analysis/verify_all.cpp" "src/CMakeFiles/ringshare.dir/analysis/verify_all.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/analysis/verify_all.cpp.o.d"
+  "/root/repo/src/bd/allocation.cpp" "src/CMakeFiles/ringshare.dir/bd/allocation.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/bd/allocation.cpp.o.d"
+  "/root/repo/src/bd/approx.cpp" "src/CMakeFiles/ringshare.dir/bd/approx.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/bd/approx.cpp.o.d"
+  "/root/repo/src/bd/balance.cpp" "src/CMakeFiles/ringshare.dir/bd/balance.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/bd/balance.cpp.o.d"
+  "/root/repo/src/bd/brute.cpp" "src/CMakeFiles/ringshare.dir/bd/brute.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/bd/brute.cpp.o.d"
+  "/root/repo/src/bd/decomposition.cpp" "src/CMakeFiles/ringshare.dir/bd/decomposition.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/bd/decomposition.cpp.o.d"
+  "/root/repo/src/bd/parametric.cpp" "src/CMakeFiles/ringshare.dir/bd/parametric.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/bd/parametric.cpp.o.d"
+  "/root/repo/src/dynamics/proportional_response.cpp" "src/CMakeFiles/ringshare.dir/dynamics/proportional_response.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/dynamics/proportional_response.cpp.o.d"
+  "/root/repo/src/exp/certify.cpp" "src/CMakeFiles/ringshare.dir/exp/certify.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/exp/certify.cpp.o.d"
+  "/root/repo/src/exp/families.cpp" "src/CMakeFiles/ringshare.dir/exp/families.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/exp/families.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "src/CMakeFiles/ringshare.dir/exp/sweep.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/exp/sweep.cpp.o.d"
+  "/root/repo/src/game/breakpoints.cpp" "src/CMakeFiles/ringshare.dir/game/breakpoints.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/game/breakpoints.cpp.o.d"
+  "/root/repo/src/game/edge_manipulation.cpp" "src/CMakeFiles/ringshare.dir/game/edge_manipulation.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/game/edge_manipulation.cpp.o.d"
+  "/root/repo/src/game/incentive_ratio.cpp" "src/CMakeFiles/ringshare.dir/game/incentive_ratio.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/game/incentive_ratio.cpp.o.d"
+  "/root/repo/src/game/misreport.cpp" "src/CMakeFiles/ringshare.dir/game/misreport.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/game/misreport.cpp.o.d"
+  "/root/repo/src/game/sybil_general.cpp" "src/CMakeFiles/ringshare.dir/game/sybil_general.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/game/sybil_general.cpp.o.d"
+  "/root/repo/src/game/sybil_ring.cpp" "src/CMakeFiles/ringshare.dir/game/sybil_ring.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/game/sybil_ring.cpp.o.d"
+  "/root/repo/src/graph/builders.cpp" "src/CMakeFiles/ringshare.dir/graph/builders.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/graph/builders.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/ringshare.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/ringshare.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/ringshare.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/graph/io.cpp.o.d"
+  "/root/repo/src/numeric/bigint.cpp" "src/CMakeFiles/ringshare.dir/numeric/bigint.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/numeric/bigint.cpp.o.d"
+  "/root/repo/src/numeric/rational.cpp" "src/CMakeFiles/ringshare.dir/numeric/rational.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/numeric/rational.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ringshare.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/threadpool.cpp" "src/CMakeFiles/ringshare.dir/util/threadpool.cpp.o" "gcc" "src/CMakeFiles/ringshare.dir/util/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

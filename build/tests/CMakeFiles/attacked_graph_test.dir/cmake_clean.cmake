@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacked_graph_test.dir/attacked_graph_test.cpp.o"
+  "CMakeFiles/attacked_graph_test.dir/attacked_graph_test.cpp.o.d"
+  "attacked_graph_test"
+  "attacked_graph_test.pdb"
+  "attacked_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacked_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

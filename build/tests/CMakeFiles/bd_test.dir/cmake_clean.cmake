@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_test.dir/bd_test.cpp.o"
+  "CMakeFiles/bd_test.dir/bd_test.cpp.o.d"
+  "bd_test"
+  "bd_test.pdb"
+  "bd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

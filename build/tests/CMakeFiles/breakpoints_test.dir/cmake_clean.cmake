@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakpoints_test.dir/breakpoints_test.cpp.o"
+  "CMakeFiles/breakpoints_test.dir/breakpoints_test.cpp.o.d"
+  "breakpoints_test"
+  "breakpoints_test.pdb"
+  "breakpoints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakpoints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

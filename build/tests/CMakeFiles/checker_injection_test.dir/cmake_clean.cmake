@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_injection_test.dir/checker_injection_test.cpp.o"
+  "CMakeFiles/checker_injection_test.dir/checker_injection_test.cpp.o.d"
+  "checker_injection_test"
+  "checker_injection_test.pdb"
+  "checker_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_manipulation_test.dir/edge_manipulation_test.cpp.o"
+  "CMakeFiles/edge_manipulation_test.dir/edge_manipulation_test.cpp.o.d"
+  "edge_manipulation_test"
+  "edge_manipulation_test.pdb"
+  "edge_manipulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_manipulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misreport_test.dir/misreport_test.cpp.o"
+  "CMakeFiles/misreport_test.dir/misreport_test.cpp.o.d"
+  "misreport_test"
+  "misreport_test.pdb"
+  "misreport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misreport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

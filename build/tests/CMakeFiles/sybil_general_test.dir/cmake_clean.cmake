@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_general_test.dir/sybil_general_test.cpp.o"
+  "CMakeFiles/sybil_general_test.dir/sybil_general_test.cpp.o.d"
+  "sybil_general_test"
+  "sybil_general_test.pdb"
+  "sybil_general_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_general_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_ring_test.dir/sybil_ring_test.cpp.o"
+  "CMakeFiles/sybil_ring_test.dir/sybil_ring_test.cpp.o.d"
+  "sybil_ring_test"
+  "sybil_ring_test.pdb"
+  "sybil_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/rational_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/bd_test[1]_include.cmake")
+include("/root/repo/build/tests/allocation_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamics_test[1]_include.cmake")
+include("/root/repo/build/tests/breakpoints_test[1]_include.cmake")
+include("/root/repo/build/tests/misreport_test[1]_include.cmake")
+include("/root/repo/build/tests/sybil_ring_test[1]_include.cmake")
+include("/root/repo/build/tests/sybil_general_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/stages_test[1]_include.cmake")
+include("/root/repo/build/tests/families_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/balance_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_manipulation_test[1]_include.cmake")
+include("/root/repo/build/tests/approx_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/certify_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/metamorphic_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_all_test[1]_include.cmake")
+include("/root/repo/build/tests/attacked_graph_test[1]_include.cmake")
