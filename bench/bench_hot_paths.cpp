@@ -1,0 +1,218 @@
+// bench_hot_paths — before/after measurement of the hot-path engine.
+//
+// Runs each kernel twice inside one binary:
+//   * baseline  — BigInt inline fast path disabled and every HotPathConfig
+//     accelerator (memo cache, Dinkelbach warm start, flow arenas) off,
+//     which reproduces the pre-engine behavior;
+//   * optimized — everything on (the library default).
+//
+// Every kernel returns its exact mechanism outputs; the bench hard-fails if
+// baseline and optimized disagree on any of them, so the speedup numbers
+// can never come from changed results. Timings, speedups and the perf
+// counter totals of the optimized pass are written to BENCH_hotpaths.json
+// at the repository root.
+//
+// Not a google-benchmark target on purpose: the kernels are seconds-scale
+// end-to-end sweeps and the JSON contract needs one deterministic run of
+// each configuration.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "bd/memo.hpp"
+#include "game/sybil_ring.hpp"
+#include "graph/builders.hpp"
+#include "numeric/bigint.hpp"
+#include "util/perf_counters.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ringshare;
+using num::BigInt;
+using num::Rational;
+
+#ifndef RINGSHARE_REPO_ROOT
+#define RINGSHARE_REPO_ROOT "."
+#endif
+
+void configure(bool optimized) {
+  BigInt::set_fast_path_enabled(optimized);
+  bd::hot_path_config() =
+      bd::HotPathConfig{optimized, optimized, optimized};
+  bd::BottleneckCache::instance().clear();
+  util::PerfCounters::reset();
+}
+
+struct KernelRun {
+  double seconds = 0;
+  std::vector<std::string> outputs;  ///< exact results, stringified
+  util::PerfSnapshot counters;
+};
+
+template <typename Kernel>
+KernelRun run_kernel(bool optimized, Kernel&& kernel) {
+  configure(optimized);
+  KernelRun run;
+  util::Timer timer;
+  run.outputs = kernel();
+  run.seconds = timer.elapsed_seconds();
+  run.counters = util::PerfCounters::snapshot();
+  return run;
+}
+
+/// Kernel 1 — decomposition sweep: rings and random graphs decomposed
+/// repeatedly (sweeps revisit instances, so repeats are part of the load).
+std::vector<std::string> decomposition_kernel() {
+  util::Xoshiro256 rng(8086);
+  std::vector<graph::Graph> instances;
+  for (int i = 0; i < 12; ++i)
+    instances.push_back(
+        graph::make_ring(graph::random_integer_weights(12, rng, 40)));
+  for (int i = 0; i < 6; ++i)
+    instances.push_back(graph::make_random_connected(10, 0.35, rng));
+
+  std::vector<std::string> outputs;
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    for (const graph::Graph& g : instances) {
+      const bd::Decomposition decomposition(g);
+      std::ostringstream line;
+      for (const auto& pair : decomposition.pairs())
+        line << pair.alpha.to_string() << ";";
+      outputs.push_back(line.str());
+    }
+  }
+  return outputs;
+}
+
+/// Kernel 2 — misreport-style family sweep: dense decomposition sampling
+/// along one parametrized family (the breakpoint bisection's access
+/// pattern, where warm starts and the cache shine).
+std::vector<std::string> family_kernel() {
+  util::Xoshiro256 rng(6502);
+  const graph::Graph ring =
+      graph::make_ring(graph::random_integer_weights(11, rng, 30));
+  const game::ParametrizedGraph family = game::sybil_family(ring, 3);
+  const Rational w_v = ring.weight(3);
+
+  std::vector<std::string> outputs;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i <= 160; ++i) {
+      const Rational t = w_v * Rational(i, 160);
+      const bd::Decomposition decomposition = family.decompose(t);
+      std::ostringstream line;
+      line << decomposition.pair_count() << ":"
+           << (decomposition.utility(0) +
+               decomposition.utility(ring.vertex_count()))
+                  .to_string();
+      outputs.push_back(line.str());
+    }
+  }
+  return outputs;
+}
+
+/// Kernel 3 — the acceptance kernel: full Sybil sweep of an n = 10 ring
+/// with default SybilOptions (every vertex optimized, exact ratios).
+std::vector<std::string> sybil_sweep_kernel() {
+  util::Xoshiro256 rng(4004);
+  const graph::Graph ring =
+      graph::make_ring(graph::random_integer_weights(10, rng, 25));
+
+  std::vector<std::string> outputs;
+  for (graph::Vertex v = 0; v < ring.vertex_count(); ++v) {
+    const game::SybilOptimum optimum =
+        game::optimize_sybil_split(ring, v, game::SybilOptions{});
+    std::ostringstream line;
+    line << "v" << v << " ratio=" << optimum.ratio.to_string()
+         << " w1*=" << optimum.w1_star.to_string()
+         << " U=" << optimum.utility.to_string();
+    outputs.push_back(line.str());
+  }
+  return outputs;
+}
+
+struct KernelReport {
+  std::string name;
+  KernelRun baseline;
+  KernelRun optimized;
+  bool identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return optimized.seconds > 0 ? baseline.seconds / optimized.seconds : 0;
+  }
+};
+
+template <typename Kernel>
+KernelReport benchmark_kernel(const std::string& name, Kernel&& kernel) {
+  std::printf("[%s] baseline pass...\n", name.c_str());
+  KernelReport report;
+  report.name = name;
+  report.baseline = run_kernel(/*optimized=*/false, kernel);
+  std::printf("[%s] optimized pass...\n", name.c_str());
+  report.optimized = run_kernel(/*optimized=*/true, kernel);
+  report.identical = report.baseline.outputs == report.optimized.outputs;
+  std::printf("[%s] baseline %.3fs, optimized %.3fs, speedup %.2fx, %s\n",
+              name.c_str(), report.baseline.seconds, report.optimized.seconds,
+              report.speedup(),
+              report.identical ? "results identical" : "RESULTS DIFFER");
+  return report;
+}
+
+void write_json(const std::vector<KernelReport>& reports,
+                const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"hot_paths\",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const KernelReport& r = reports[i];
+    out << "    {\n"
+        << "      \"name\": \"" << r.name << "\",\n"
+        << "      \"baseline_seconds\": " << r.baseline.seconds << ",\n"
+        << "      \"optimized_seconds\": " << r.optimized.seconds << ",\n"
+        << "      \"speedup\": " << r.speedup() << ",\n"
+        << "      \"results_identical\": "
+        << (r.identical ? "true" : "false") << ",\n"
+        << "      \"outputs\": " << r.baseline.outputs.size() << ",\n"
+        << "      \"baseline_counters\": " << r.baseline.counters.to_json(6)
+        << ",\n"
+        << "      \"optimized_counters\": " << r.optimized.counters.to_json(6)
+        << "\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  std::vector<KernelReport> reports;
+  reports.push_back(benchmark_kernel("decomposition_sweep",
+                                     decomposition_kernel));
+  reports.push_back(benchmark_kernel("family_sweep", family_kernel));
+  reports.push_back(benchmark_kernel("sybil_sweep_n10", sybil_sweep_kernel));
+
+  const std::string json_path =
+      std::string(RINGSHARE_REPO_ROOT) + "/BENCH_hotpaths.json";
+  write_json(reports, json_path);
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  int exit_code = 0;
+  for (const KernelReport& r : reports) {
+    if (!r.identical) {
+      std::printf("FAIL: %s results differ between configurations\n",
+                  r.name.c_str());
+      exit_code = 1;
+    }
+  }
+  // Acceptance bar: the Sybil sweep must gain at least 3x.
+  const KernelReport& sybil = reports.back();
+  if (sybil.identical && sybil.speedup() < 3.0) {
+    std::printf("FAIL: sybil_sweep_n10 speedup %.2fx < 3x\n", sybil.speedup());
+    exit_code = 1;
+  }
+  // Leave the process in the default (optimized) configuration.
+  configure(/*optimized=*/true);
+  return exit_code;
+}

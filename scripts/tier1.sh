@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# tier1.sh — the repo's verification gate.
+#
+#   1. Tier-1: configure, build, full ctest (ROADMAP.md contract).
+#   2. Sanitizers: rebuild the library + unit tests under ASan/UBSan in a
+#      separate tree (build-asan/) and run the suites most likely to catch
+#      memory/UB regressions in the numeric fast path and the sharded
+#      bottleneck cache.
+#
+# Usage: scripts/tier1.sh [--skip-asan]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "=== tier-1: configure + build ==="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+
+echo "=== tier-1: ctest ==="
+(cd build && ctest --output-on-failure -j "$jobs")
+
+if [ "${1:-}" = "--skip-asan" ]; then
+  echo "=== sanitizer pass skipped (--skip-asan) ==="
+  exit 0
+fi
+
+echo "=== ASan/UBSan: configure + build (build-asan/) ==="
+san_flags="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$san_flags" \
+  -DCMAKE_EXE_LINKER_FLAGS="$san_flags"
+# Unit-test targets only: the sanitized bench/example binaries add build
+# time without adding coverage.
+for target in numeric_fastpath_test memo_cache_test bigint_test \
+              rational_test util_test flow_test bd_test; do
+  cmake --build build-asan -j "$jobs" --target "$target"
+done
+
+echo "=== ASan/UBSan: run ==="
+for target in numeric_fastpath_test memo_cache_test bigint_test \
+              rational_test util_test flow_test bd_test; do
+  echo "--- $target ---"
+  "./build-asan/tests/$target"
+done
+
+echo "=== tier1.sh: all green ==="

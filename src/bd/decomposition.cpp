@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "bd/memo.hpp"
+#include "util/perf_counters.hpp"
+
 namespace ringshare::bd {
 
 std::string to_string(VertexClass cls) {
@@ -16,13 +19,18 @@ std::string to_string(VertexClass cls) {
   return "?";
 }
 
-Decomposition::Decomposition(const Graph& g) : graph_(g) {
+Decomposition::Decomposition(const Graph& g, DecomposeHints* hints)
+    : graph_(g) {
+  util::ScopedPhase phase(util::Phase::kDecompose);
+  const HotPathConfig& config = hot_path_config();
   pair_index_.assign(g.vertex_count(), 0);
 
   // Current residual vertex set (original ids).
   std::vector<Vertex> remaining(g.vertex_count());
   std::iota(remaining.begin(), remaining.end(), Vertex{0});
 
+  std::size_t step = 0;
+  std::vector<Rational> run_alphas;
   while (!remaining.empty()) {
     const graph::InducedSubgraph sub = graph::induced_subgraph(g, remaining);
 
@@ -38,8 +46,21 @@ Decomposition::Decomposition(const Graph& g) : graph_(g) {
       break;
     }
 
-    const BottleneckResult result = maximal_bottleneck(sub.graph);
+    BottleneckOptions options;
+    if (hints != nullptr) {
+      if (config.warm_start && step < hints->warm_alphas.size())
+        options.warm_lambda = &hints->warm_alphas[step];
+      if (config.flow_arena) {
+        while (hints->arenas.size() <= step)
+          hints->arenas.push_back(std::make_unique<FlowArena>());
+        options.arena = hints->arenas[step].get();
+      }
+    }
+    const BottleneckResult result =
+        cached_maximal_bottleneck(sub.graph, options);
     dinkelbach_iterations_ += result.dinkelbach_iterations;
+    run_alphas.push_back(result.alpha);
+    ++step;
 
     BottleneckPair pair;
     pair.b.reserve(result.bottleneck.size());
@@ -69,6 +90,8 @@ Decomposition::Decomposition(const Graph& g) : graph_(g) {
     pairs_.push_back(std::move(pair));
     remaining = std::move(next);
   }
+
+  if (hints != nullptr) hints->warm_alphas = std::move(run_alphas);
 }
 
 std::size_t Decomposition::pair_index(Vertex v) const {

@@ -13,6 +13,7 @@
 //   (4) edges between B_i and C_j only for j ≤ i.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,18 @@
 #include "graph/graph.hpp"
 
 namespace ringshare::bd {
+
+/// Cross-sample warm-start state for decomposing a family of structurally
+/// adjacent graphs (e.g. the weight-parametrized graphs of the misreporting
+/// bisection). Step i of the peel loop records its α_i and keeps its flow
+/// arena; the next decomposition seeds step i's Dinkelbach from that α and
+/// reuses the network when the peeled structure is unchanged. Hints are pure
+/// accelerators — a stale hint costs iterations, never correctness. Not
+/// thread-safe: one DecomposeHints per concurrent decomposition.
+struct DecomposeHints {
+  std::vector<Rational> warm_alphas;               ///< α_i of the last run
+  std::vector<std::unique_ptr<FlowArena>> arenas;  ///< per peel step
+};
 
 /// One bottleneck pair (vertex ids refer to the *original* graph).
 struct BottleneckPair {
@@ -43,7 +56,9 @@ class Decomposition {
  public:
   /// Compute the decomposition of `g`. Throws std::invalid_argument when all
   /// weights are zero (the model needs at least one positive endowment).
-  explicit Decomposition(const Graph& g);
+  /// `hints`, when given, is consulted for warm starts and updated with this
+  /// run's state; the decomposition itself is identical with or without it.
+  explicit Decomposition(const Graph& g, DecomposeHints* hints = nullptr);
 
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] const std::vector<BottleneckPair>& pairs() const noexcept {

@@ -1,0 +1,141 @@
+#include "bd/memo.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/perf_counters.hpp"
+
+namespace ringshare::bd {
+
+namespace {
+
+void count_hit() noexcept {
+  util::PerfCounters::local().bottleneck_cache_hits.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void count_miss() noexcept {
+  util::PerfCounters::local().bottleneck_cache_misses.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+// Word tags keep the encoding self-delimiting: a small integer is two words
+// (tag, payload), a big one is a length-tagged word followed by its decimal
+// digits packed eight bytes per word. No two distinct values share an
+// encoding, so key equality is graph equality.
+constexpr std::uint64_t kSmallTag = 1;
+constexpr std::uint64_t kBigTag = 2;
+
+void encode_bigint(const num::BigInt& value, std::vector<std::uint64_t>& out) {
+  if (value.fits_int64()) {
+    out.push_back(kSmallTag);
+    out.push_back(static_cast<std::uint64_t>(value.to_int64()));
+    return;
+  }
+  const std::string digits = value.to_string();
+  out.push_back((kBigTag << 32) | static_cast<std::uint64_t>(digits.size()));
+  for (std::size_t i = 0; i < digits.size(); i += 8) {
+    std::uint64_t word = 0;
+    const std::size_t chunk = std::min<std::size_t>(8, digits.size() - i);
+    std::memcpy(&word, digits.data() + i, chunk);
+    out.push_back(word);
+  }
+}
+
+std::size_t fnv1a(const std::vector<std::uint64_t>& words) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint64_t word : words) {
+    h ^= word;
+    h *= 0x100000001B3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+HotPathConfig& hot_path_config() noexcept {
+  static HotPathConfig config;
+  return config;
+}
+
+GraphKey graph_fingerprint(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  GraphKey key;
+  key.words.reserve(4 * n + 8);
+  key.words.push_back(n);
+  for (Vertex u = 0; u < n; ++u) {
+    const Rational& w = g.weight(u);
+    encode_bigint(w.numerator(), key.words);
+    encode_bigint(w.denominator(), key.words);
+  }
+  for (Vertex u = 0; u < n; ++u) {
+    const auto neighbors = g.neighbors(u);
+    key.words.push_back(neighbors.size());
+    for (const Vertex v : neighbors) key.words.push_back(v);
+  }
+  key.hash_value = fnv1a(key.words);
+  return key;
+}
+
+BottleneckCache& BottleneckCache::instance() {
+  static BottleneckCache* cache = new BottleneckCache();  // leaked: outlives
+                                                          // worker threads
+  return *cache;
+}
+
+std::optional<BottleneckResult> BottleneckCache::lookup(
+    const GraphKey& key) const {
+  Shard& shard = shard_for(key);
+  std::shared_lock lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+void BottleneckCache::insert(GraphKey key, BottleneckResult result) {
+  Shard& shard = shard_for(key);
+  std::unique_lock lock(shard.mutex);
+  if (shard.map.size() >= kMaxEntriesPerShard) shard.map.clear();
+  shard.map.emplace(std::move(key), std::move(result));
+}
+
+void BottleneckCache::clear() {
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mutex);
+    shard.map.clear();
+  }
+}
+
+std::size_t BottleneckCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+BottleneckResult cached_maximal_bottleneck(const Graph& g,
+                                           const BottleneckOptions& options) {
+  const HotPathConfig& config = hot_path_config();
+  BottleneckOptions effective = options;
+  if (!config.warm_start) effective.warm_lambda = nullptr;
+  if (!config.flow_arena) effective.arena = nullptr;
+  if (!config.memo_cache) return maximal_bottleneck(g, effective);
+
+  GraphKey key = graph_fingerprint(g);
+  BottleneckCache& cache = BottleneckCache::instance();
+  if (auto hit = cache.lookup(key)) {
+    count_hit();
+    return *std::move(hit);
+  }
+  count_miss();
+  BottleneckResult result = maximal_bottleneck(g, effective);
+  cache.insert(std::move(key), result);
+  return result;
+}
+
+}  // namespace ringshare::bd

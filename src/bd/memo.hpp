@@ -1,0 +1,103 @@
+// memo.hpp — hot-path engine switches and the bottleneck memo cache.
+//
+// Sweeps and Sybil searches decompose thousands of graphs that repeat: the
+// bisection over a ParametrizedGraph re-evaluates the same endpoint samples,
+// peeling identical subgraphs every time, and per-vertex Sybil scans share
+// the honest ring. cached_maximal_bottleneck() memoizes maximal_bottleneck()
+// behind a sharded, thread-safe cache keyed by a canonical fingerprint of
+// the *exact* graph (adjacency plus exact rational weights), so a hit is
+// guaranteed to return the bit-identical BottleneckResult the solver would
+// have produced (the mechanism result is a pure function of the graph; only
+// the recorded iteration count depends on which caller populated the entry).
+//
+// Every accelerator is switchable at runtime through hot_path_config() so
+// benches can measure the seed behavior and metamorphic tests can compare
+// cached vs uncached outputs inside one binary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "bd/parametric.hpp"
+
+namespace ringshare::bd {
+
+/// Process-global switches for the hot-path engine. Reads are plain loads on
+/// the hot path; flip them only around quiesced work (bench setup, test
+/// arrange phases) — not concurrently with running solvers.
+struct HotPathConfig {
+  bool memo_cache = true;  ///< memoize maximal_bottleneck results
+  bool warm_start = true;  ///< seed Dinkelbach from an adjacent λ*
+  bool flow_arena = true;  ///< reuse parametric networks across calls
+};
+
+/// The live configuration (mutable singleton).
+[[nodiscard]] HotPathConfig& hot_path_config() noexcept;
+
+/// Canonical graph fingerprint: a length-prefixed word encoding of every
+/// vertex weight (exact numerator/denominator) followed by the adjacency
+/// lists. Equal keys ⟺ equal graphs (vertex order is part of the identity,
+/// as it is for Graph itself).
+struct GraphKey {
+  std::vector<std::uint64_t> words;
+  std::size_t hash_value = 0;
+
+  friend bool operator==(const GraphKey& a, const GraphKey& b) {
+    return a.words == b.words;
+  }
+};
+
+/// Fingerprint `g` for cache lookup.
+[[nodiscard]] GraphKey graph_fingerprint(const Graph& g);
+
+/// Sharded, thread-safe memo of maximal_bottleneck results. Shards are
+/// picked by key hash; each holds an independent map behind a shared_mutex,
+/// so concurrent sweep workers rarely contend. Shards are capped (oldest
+/// entries are dropped wholesale on overflow) to bound memory on unbounded
+/// sweeps.
+class BottleneckCache {
+ public:
+  /// The process-wide cache.
+  static BottleneckCache& instance();
+
+  [[nodiscard]] std::optional<BottleneckResult> lookup(
+      const GraphKey& key) const;
+  void insert(GraphKey key, BottleneckResult result);
+
+  /// Drop every entry (benches/tests; not for concurrent use).
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  static constexpr std::size_t kShardCount = 16;
+  static constexpr std::size_t kMaxEntriesPerShard = 1 << 15;
+
+  struct KeyHash {
+    std::size_t operator()(const GraphKey& key) const noexcept {
+      return key.hash_value;
+    }
+  };
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<GraphKey, BottleneckResult, KeyHash> map;
+  };
+
+  [[nodiscard]] Shard& shard_for(const GraphKey& key) const noexcept {
+    return shards_[key.hash_value % kShardCount];
+  }
+
+  mutable std::array<Shard, kShardCount> shards_;
+};
+
+/// maximal_bottleneck through the hot-path engine: memo cache first (when
+/// enabled), then the solver with whichever of `options`' accelerators the
+/// current hot_path_config() allows. Results are bit-identical to a plain
+/// maximal_bottleneck(g) call in every configuration.
+[[nodiscard]] BottleneckResult cached_maximal_bottleneck(
+    const Graph& g, const BottleneckOptions& options = {});
+
+}  // namespace ringshare::bd

@@ -1,36 +1,123 @@
 #include "bd/parametric.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
-#include "flow/dinic.hpp"
+#include "util/perf_counters.hpp"
 
 namespace ringshare::bd {
 
 namespace {
 
-/// One parametric min-cut evaluation: returns the maximal minimizer S of
-/// w(Γ(S)) − λ·w(S) (possibly empty).
-std::vector<Vertex> maximal_minimizer(const Graph& g, const Rational& lambda) {
+void count_build() noexcept {
+  util::PerfCounters::local().flow_network_builds.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void count_reuse() noexcept {
+  util::PerfCounters::local().flow_network_reuses.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void count_iteration() noexcept {
+  util::PerfCounters::local().dinkelbach_iterations.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void count_warm_hit() noexcept {
+  util::PerfCounters::local().dinkelbach_warm_hits.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void count_warm_restart() noexcept {
+  util::PerfCounters::local().dinkelbach_warm_restarts.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+/// True iff the arena's arc structure matches g's adjacency exactly.
+bool arena_matches(const FlowArena& arena, const Graph& g) {
   const std::size_t n = g.vertex_count();
+  if (!arena.valid || arena.adjacency.size() != n) return false;
+  for (Vertex u = 0; u < n; ++u) {
+    const auto neighbors = g.neighbors(u);
+    const std::vector<Vertex>& cached = arena.adjacency[u];
+    if (cached.size() != neighbors.size() ||
+        !std::equal(cached.begin(), cached.end(), neighbors.begin()))
+      return false;
+  }
+  return true;
+}
+
+/// Make `arena` hold the parametric network for g (sink capacities set, all
+/// flows zeroed). Rebuilds only when the adjacency changed; otherwise just
+/// rewrites the w_v sink capacities in place.
+void prepare_arena(const Graph& g, FlowArena& arena) {
+  const std::size_t n = g.vertex_count();
+  if (arena_matches(arena, g)) {
+    count_reuse();
+    for (Vertex u = 0; u < n; ++u)
+      arena.network.set_capacity(arena.sink_arcs[u], g.weight(u));
+    return;
+  }
+  count_build();
   // Nodes: 0..n-1 = S-side u, n..2n-1 = neighbor side v', 2n = s, 2n+1 = t.
-  flow::MaxFlow<Rational> network(2 * n + 2);
+  arena.network = flow::MaxFlow<Rational>(2 * n + 2);
+  arena.source_arcs.assign(n, 0);
+  arena.sink_arcs.assign(n, 0);
+  arena.adjacency.assign(n, {});
   const std::size_t s = 2 * n;
   const std::size_t t = 2 * n + 1;
   for (Vertex u = 0; u < n; ++u) {
-    network.add_arc(s, u, lambda * g.weight(u));
-    network.add_arc(n + u, t, g.weight(u));
-    for (const Vertex v : g.neighbors(u)) {
-      network.add_infinite_arc(u, n + v);
+    arena.source_arcs[u] = arena.network.add_arc(s, u, Rational(0));
+    arena.sink_arcs[u] = arena.network.add_arc(n + u, t, g.weight(u));
+    const auto neighbors = g.neighbors(u);
+    arena.adjacency[u].assign(neighbors.begin(), neighbors.end());
+    for (const Vertex v : neighbors) {
+      arena.network.add_infinite_arc(u, n + v);
     }
   }
-  network.run(s, t);
+  arena.valid = true;
+}
+
+/// One parametric min-cut evaluation on a prepared arena: returns the maximal
+/// minimizer S of w(Γ(S)) − λ·w(S) (possibly empty).
+std::vector<Vertex> maximal_minimizer(const Graph& g, const Rational& lambda,
+                                      FlowArena& arena) {
+  util::ScopedPhase phase(util::Phase::kDinic);
+  const std::size_t n = g.vertex_count();
+  const std::size_t s = 2 * n;
+  const std::size_t t = 2 * n + 1;
+  for (Vertex u = 0; u < n; ++u)
+    arena.network.set_capacity(arena.source_arcs[u], lambda * g.weight(u));
+  arena.network.reset();
+  arena.network.run(s, t);
   // Maximal source side = complement of the nodes that can still reach t.
-  const std::vector<char> reaches_sink = network.residual_reaching_sink();
+  const std::vector<char> reaches_sink = arena.network.residual_reaching_sink();
   std::vector<Vertex> out;
   for (Vertex u = 0; u < n; ++u) {
     if (!reaches_sink[u]) out.push_back(u);
   }
   return out;
+}
+
+/// Cold-start upper bound: the best single-vertex ratio (an attained α(S),
+/// hence ≥ α*, so descent from it always stays in attained-ratio territory).
+Rational cold_bound(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  bool found = false;
+  Rational lambda;
+  for (Vertex v = 0; v < n; ++v) {
+    if (g.weight(v).is_zero()) continue;
+    Rational candidate = g.set_weight(g.neighbors(v)) / g.weight(v);
+    if (!found || candidate < lambda) {
+      lambda = std::move(candidate);
+      found = true;
+    }
+  }
+  if (!found)
+    throw std::invalid_argument("maximal_bottleneck: all weights zero");
+  return lambda;
 }
 
 }  // namespace
@@ -43,50 +130,71 @@ Rational alpha_ratio(const Graph& g, std::span<const Vertex> set) {
 }
 
 BottleneckResult maximal_bottleneck(const Graph& g) {
+  return maximal_bottleneck(g, BottleneckOptions{});
+}
+
+BottleneckResult maximal_bottleneck(const Graph& g,
+                                    const BottleneckOptions& options) {
   const std::size_t n = g.vertex_count();
   if (n == 0) throw std::invalid_argument("maximal_bottleneck: empty graph");
 
-  // Initial upper bound: the best single-vertex ratio.
-  bool found = false;
+  FlowArena local_arena;
+  FlowArena& arena = options.arena != nullptr ? *options.arena : local_arena;
+  prepare_arena(g, arena);
+
+  // A warm λ is only a hint. λ = α* converges in one cut; λ > α* descends
+  // normally; λ < α* yields the empty minimizer and falls back to the cold
+  // bound. The accepted pair (λ, S) is identical in all cases because
+  // acceptance requires a non-empty minimizer of value ≥ 0, which pins
+  // λ = α* and S = the maximal bottleneck exactly.
+  bool warm = false;
   Rational lambda;
-  for (Vertex v = 0; v < n; ++v) {
-    if (g.weight(v).is_zero()) continue;
-    Rational candidate =
-        g.set_weight(g.neighbors(v)) / g.weight(v);
-    if (!found || candidate < lambda) {
-      lambda = candidate;
-      found = true;
-    }
+  if (options.warm_lambda != nullptr && !options.warm_lambda->is_negative()) {
+    lambda = *options.warm_lambda;
+    warm = true;
+  } else {
+    lambda = cold_bound(g);
   }
-  if (!found)
-    throw std::invalid_argument("maximal_bottleneck: all weights zero");
 
   BottleneckResult result;
   result.alpha = lambda;
   for (int iteration = 1;; ++iteration) {
     result.dinkelbach_iterations = iteration;
-    std::vector<Vertex> candidate = maximal_minimizer(g, lambda);
-    if (candidate.empty()) {
-      // Only ∅ minimizes: λ < α*. Cannot happen because λ is always an
-      // attained ratio α(S) ≥ α*; defensively treat as converged at the
-      // previous bottleneck.
-      throw std::logic_error("maximal_bottleneck: empty maximal minimizer");
-    }
-    const Rational set_w = g.set_weight(candidate);
-    const Rational nbhd_w = g.set_weight(g.neighborhood(candidate));
-    if (set_w.is_zero()) {
+    count_iteration();
+    std::vector<Vertex> candidate = maximal_minimizer(g, lambda, arena);
+    const Rational set_w =
+        candidate.empty() ? Rational(0) : g.set_weight(candidate);
+    if (candidate.empty() || set_w.is_zero()) {
+      if (warm) {
+        // Warm guess undershot α*: only ∅ (or zero-weight degenerate sets)
+        // minimize. Restart from the attained cold bound, which puts the
+        // solver exactly where a cold start would have begun.
+        count_warm_restart();
+        warm = false;
+        lambda = cold_bound(g);
+        result.alpha = lambda;
+        continue;
+      }
+      if (candidate.empty()) {
+        // Only ∅ minimizes: λ < α*. Cannot happen because λ is always an
+        // attained ratio α(S) ≥ α*; defensively treat as a logic error.
+        throw std::logic_error("maximal_bottleneck: empty maximal minimizer");
+      }
       // All-zero-weight minimizer can only happen at value 0 with λ > 0;
       // means w(Γ(S)) = 0 too — degenerate graph handled by caller.
       throw std::logic_error("maximal_bottleneck: zero-weight minimizer");
     }
+    const Rational nbhd_w = g.set_weight(g.neighborhood(candidate));
     const Rational value = nbhd_w - lambda * set_w;
     if (value.sign() >= 0) {
       // λ ≤ α(candidate) and candidate non-empty ⇒ λ = α*, candidate is the
       // maximal bottleneck.
+      if (warm && iteration == 1) count_warm_hit();
       result.alpha = lambda;
       result.bottleneck = std::move(candidate);
       return result;
     }
+    warm = false;
     lambda = nbhd_w / set_w;  // strictly smaller; iterate
     result.alpha = lambda;
   }

@@ -11,10 +11,20 @@
 // many exact steps, and at λ = α* the maximal minimizer of the cut — read
 // from the sink-unreachable side of the residual graph — is the union of all
 // bottlenecks, i.e. the maximal bottleneck.
+//
+// Hot path: the solver accepts a warm-start λ (the α* of a structurally
+// adjacent instance). If the guess equals α* the solver converges after a
+// single min-cut; if it overshoots, ordinary Dinkelbach descent takes over;
+// if it undershoots (only ∅ minimizes), the solver restarts from the cold
+// bound, so a warm start can never change the result — only the iteration
+// count. A FlowArena carries the s/t network across iterations and across
+// calls with identical adjacency, so repeated evaluations only rewrite arc
+// capacities instead of rebuilding the network.
 #pragma once
 
 #include <vector>
 
+#include "flow/dinic.hpp"
 #include "graph/graph.hpp"
 
 namespace ringshare::bd {
@@ -30,6 +40,26 @@ struct BottleneckResult {
   int dinkelbach_iterations = 0;  ///< solver effort (for the cost ablation)
 };
 
+/// Reusable parametric-network arena. The arc structure depends only on the
+/// adjacency, so one arena serves every λ of one graph and every sample of a
+/// weight family on a fixed structure piece; capacities are rewritten in
+/// place. Value state is owned by the caller (one arena per concurrent
+/// solver; arenas are not thread-safe).
+struct FlowArena {
+  std::vector<std::vector<Vertex>> adjacency;  ///< structure the net matches
+  flow::MaxFlow<Rational> network{0};
+  std::vector<flow::ArcId> source_arcs;  ///< per u: s → u with cap λ·w_u
+  std::vector<flow::ArcId> sink_arcs;    ///< per u: u' → t with cap w_u
+  bool valid = false;
+};
+
+/// Optional accelerators for maximal_bottleneck. Both are pure speed hints:
+/// results are bit-identical with or without them.
+struct BottleneckOptions {
+  const Rational* warm_lambda = nullptr;  ///< λ* of an adjacent instance
+  FlowArena* arena = nullptr;             ///< reusable network storage
+};
+
 /// Compute the maximal bottleneck of `g` exactly.
 ///
 /// Requires at least one vertex of positive weight and no isolated
@@ -37,6 +67,10 @@ struct BottleneckResult {
 /// w(S) > 0 the minimum is 0 and that degenerate bottleneck is returned.
 /// Throws std::invalid_argument if all weights are zero.
 [[nodiscard]] BottleneckResult maximal_bottleneck(const Graph& g);
+
+/// As above, with warm start and arena reuse.
+[[nodiscard]] BottleneckResult maximal_bottleneck(
+    const Graph& g, const BottleneckOptions& options);
 
 /// α(S) for a non-empty set with w(S) > 0. Throws on w(S) == 0.
 [[nodiscard]] Rational alpha_ratio(const Graph& g,

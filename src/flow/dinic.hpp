@@ -7,6 +7,12 @@
 //
 // Infinite capacities (the B_i × C_i edges of Def. 5) are modeled with an
 // explicit flag rather than a sentinel value, which keeps Rational exact.
+//
+// A network is reusable: set_capacity() rewrites a finite arc's capacity and
+// reset() zeroes all flows, so solvers that evaluate a family of closely
+// related networks (parametric min-cut across Dinkelbach iterations and
+// across adjacent samples of a weight family) build the arc structure once
+// and only touch the capacities that changed.
 #pragma once
 
 #include <cassert>
@@ -55,8 +61,26 @@ class MaxFlow {
   /// Flow currently on arc `id` (forward arcs only meaningful).
   [[nodiscard]] const Cap& flow_on(ArcId id) const { return arcs_.at(id).flow; }
 
-  /// Run Dinic from s to t; returns the max-flow value. May be called once.
+  /// Rewrite the capacity of a finite forward arc (keeps the arc structure).
+  /// Call reset() before the next run(); throws if the arc is infinite.
+  void set_capacity(ArcId id, Cap capacity) {
+    Arc& arc = arcs_.at(id);
+    if (arc.infinite)
+      throw std::invalid_argument("MaxFlow: set_capacity on infinite arc");
+    arc.capacity = std::move(capacity);
+  }
+
+  /// Zero every arc's flow so run() can be called again on the same
+  /// structure (typically after set_capacity updates).
+  void reset() {
+    for (Arc& arc : arcs_) arc.flow = Cap(0);
+    ran_ = false;
+  }
+
+  /// Run Dinic from s to t; returns the max-flow value. Call reset() before
+  /// re-running on updated capacities.
   Cap run(std::size_t s, std::size_t t) {
+    if (ran_) throw std::logic_error("MaxFlow: run() without reset()");
     if (s == t) throw std::invalid_argument("MaxFlow: s == t");
     source_ = s;
     sink_ = t;

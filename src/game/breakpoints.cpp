@@ -18,6 +18,39 @@ ParametrizedGraph::ParametrizedGraph(Graph base, Rational t_lo, Rational t_hi)
     throw std::invalid_argument("ParametrizedGraph: empty range");
 }
 
+ParametrizedGraph::ParametrizedGraph(const ParametrizedGraph& other)
+    : base_(other.base_),
+      varying_(other.varying_),
+      t_lo_(other.t_lo_),
+      t_hi_(other.t_hi_) {}
+
+ParametrizedGraph& ParametrizedGraph::operator=(
+    const ParametrizedGraph& other) {
+  if (this == &other) return *this;
+  base_ = other.base_;
+  varying_ = other.varying_;
+  t_lo_ = other.t_lo_;
+  t_hi_ = other.t_hi_;
+  hints_ = {};  // hints describe the old family
+  return *this;
+}
+
+ParametrizedGraph::ParametrizedGraph(ParametrizedGraph&& other) noexcept
+    : base_(std::move(other.base_)),
+      varying_(std::move(other.varying_)),
+      t_lo_(std::move(other.t_lo_)),
+      t_hi_(std::move(other.t_hi_)) {}
+
+ParametrizedGraph& ParametrizedGraph::operator=(
+    ParametrizedGraph&& other) noexcept {
+  base_ = std::move(other.base_);
+  varying_ = std::move(other.varying_);
+  t_lo_ = std::move(other.t_lo_);
+  t_hi_ = std::move(other.t_hi_);
+  hints_ = {};
+  return *this;
+}
+
 void ParametrizedGraph::set_affine(Vertex v, AffineWeight weight) {
   if (v >= base_.vertex_count())
     throw std::out_of_range("ParametrizedGraph: vertex out of range");
@@ -40,7 +73,11 @@ Graph ParametrizedGraph::at(const Rational& t) const {
 }
 
 Decomposition ParametrizedGraph::decompose(const Rational& t) const {
-  return Decomposition(at(t));
+  Graph g = at(t);
+  // Reuse the instance's warm-start hints when uncontended; a concurrent
+  // caller just decomposes hint-free rather than blocking.
+  std::unique_lock lock(hints_mutex_, std::try_to_lock);
+  return Decomposition(g, lock.owns_lock() ? &hints_ : nullptr);
 }
 
 Signature ParametrizedGraph::signature(const Rational& t) const {

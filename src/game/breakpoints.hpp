@@ -18,6 +18,7 @@
 // whenever those are rational (always, for single-vertex misreporting).
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -47,10 +48,24 @@ struct AffineWeight {
 };
 
 /// A graph whose weights vary affinely with a scalar parameter t ∈ [lo, hi].
+///
+/// decompose() calls on one instance warm-start each other: consecutive
+/// samples of a family share pair structure almost everywhere, so the
+/// previous run's α_i sequence and flow arenas (kept as internal mutable
+/// hints) typically collapse each peel step to a single min-cut. The hints
+/// are guarded by a try-lock — concurrent callers simply skip them — and
+/// never change results, only iteration counts.
 class ParametrizedGraph {
  public:
   /// Fixed weights from `base`; `varying` overrides selected vertices.
   ParametrizedGraph(Graph base, Rational t_lo, Rational t_hi);
+
+  // Copies share no hint state; hints are per-instance caches.
+  ParametrizedGraph(const ParametrizedGraph& other);
+  ParametrizedGraph& operator=(const ParametrizedGraph& other);
+  ParametrizedGraph(ParametrizedGraph&& other) noexcept;
+  ParametrizedGraph& operator=(ParametrizedGraph&& other) noexcept;
+  ~ParametrizedGraph() = default;
 
   /// Make w_v(t) = constant + slope·t.
   void set_affine(Vertex v, AffineWeight weight);
@@ -77,6 +92,8 @@ class ParametrizedGraph {
   std::vector<std::optional<AffineWeight>> varying_;
   Rational t_lo_;
   Rational t_hi_;
+  mutable std::mutex hints_mutex_;
+  mutable bd::DecomposeHints hints_;
 };
 
 /// One structural breakpoint.

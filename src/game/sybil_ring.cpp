@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/builders.hpp"
+#include "util/perf_counters.hpp"
 
 namespace ringshare::game {
 
@@ -139,8 +140,11 @@ SybilOptimum optimize_sybil_split(const Graph& ring, Vertex v,
   const ParametrizedGraph family = sybil_family(ring, v);
   const Vertex v1 = 0;
   const Vertex v2 = static_cast<Vertex>(family.base().vertex_count() - 1);
-  const StructurePartition partition =
-      find_structure_partition(family, options.partition);
+  StructurePartition partition;
+  {
+    util::ScopedPhase phase(util::Phase::kPartition);
+    partition = find_structure_partition(family, options.partition);
+  }
 
   // Candidate splits: range ends, breakpoints, and per-piece continuous
   // optima found on the closed-form piece utility.
@@ -206,11 +210,16 @@ SybilOptimum optimize_sybil_split(const Graph& ring, Vertex v,
                    candidates.end());
 
   // Ground truth for every candidate: full exact decomposition of the path.
+  // family.decompose(t) builds the same path graph split_ring would (v¹
+  // carries t, v² carries w_v − t) and warm-starts consecutive candidates
+  // off each other.
+  util::ScopedPhase eval_phase(util::Phase::kCandidateEval);
   SybilOptimum out;
   out.honest_utility = Decomposition(ring).utility(v);
   bool first = true;
   for (const Rational& t : candidates) {
-    const Rational value = sybil_utility(ring, v, t);
+    const Decomposition decomposition = family.decompose(t);
+    const Rational value = decomposition.utility(v1) + decomposition.utility(v2);
     if (first || out.utility < value) {
       out.utility = value;
       out.w1_star = t;

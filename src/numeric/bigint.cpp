@@ -1,6 +1,7 @@
 #include "numeric/bigint.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <limits>
@@ -8,30 +9,53 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/perf_counters.hpp"
+
 namespace ringshare::num {
 
 namespace {
 
 constexpr std::uint64_t kLimbBase = 1ULL << 32;
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+
+std::atomic<bool> g_fast_path{true};
+
+bool fast_enabled() noexcept {
+  return g_fast_path.load(std::memory_order_relaxed);
+}
+
+void count_fast() noexcept {
+  util::PerfCounters::local().bigint_fast_ops.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void count_slow() noexcept {
+  util::PerfCounters::local().bigint_slow_ops.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+/// |value| as an unsigned word (two's-complement safe for INT64_MIN).
+std::uint64_t small_magnitude(std::int64_t value) noexcept {
+  return value < 0 ? ~static_cast<std::uint64_t>(value) + 1
+                   : static_cast<std::uint64_t>(value);
+}
 
 }  // namespace
 
-BigInt::BigInt(std::int64_t value) {
-  if (value == 0) return;
-  negative_ = value < 0;
-  // Avoid UB negating INT64_MIN: go through uint64.
-  std::uint64_t magnitude =
-      negative_ ? ~static_cast<std::uint64_t>(value) + 1
-                : static_cast<std::uint64_t>(value);
-  limbs_.push_back(static_cast<Limb>(magnitude & 0xFFFFFFFFULL));
-  if (magnitude >> 32) limbs_.push_back(static_cast<Limb>(magnitude >> 32));
+void BigInt::set_fast_path_enabled(bool enabled) noexcept {
+  g_fast_path.store(enabled, std::memory_order_relaxed);
 }
 
+bool BigInt::fast_path_enabled() noexcept { return fast_enabled(); }
+
 BigInt BigInt::from_uint64(std::uint64_t value) {
+  if (value <= static_cast<std::uint64_t>(
+                   std::numeric_limits<std::int64_t>::max()))
+    return BigInt(static_cast<std::int64_t>(value));
   BigInt out;
-  if (value == 0) return out;
+  out.small_ = false;
   out.limbs_.push_back(static_cast<Limb>(value & 0xFFFFFFFFULL));
-  if (value >> 32) out.limbs_.push_back(static_cast<Limb>(value >> 32));
+  out.limbs_.push_back(static_cast<Limb>(value >> 32));
   return out;
 }
 
@@ -53,12 +77,22 @@ BigInt BigInt::from_string(std::string_view text) {
     out *= BigInt(10);
     out += BigInt(c - '0');
   }
-  out.negative_ = negative && !out.is_zero();
-  return out;
+  return negative ? out.negated() : out;
+}
+
+std::size_t BigInt::limb_count() const noexcept {
+  if (!small_) return limbs_.size();
+  const std::uint64_t magnitude = small_magnitude(small_value_);
+  if (magnitude == 0) return 0;
+  return magnitude >> 32 ? 2 : 1;
 }
 
 std::size_t BigInt::bit_count() const noexcept {
-  if (limbs_.empty()) return 0;
+  if (small_) {
+    const std::uint64_t magnitude = small_magnitude(small_value_);
+    if (magnitude == 0) return 0;
+    return static_cast<std::size_t>(64 - __builtin_clzll(magnitude));
+  }
   const Limb top = limbs_.back();
   std::size_t bits = (limbs_.size() - 1) * kLimbBits;
   // top is non-zero by the no-leading-zero invariant.
@@ -66,27 +100,13 @@ std::size_t BigInt::bit_count() const noexcept {
   return bits;
 }
 
-bool BigInt::fits_int64() const noexcept {
-  const std::size_t bits = bit_count();
-  if (bits < 64) return true;
-  if (bits > 64) return false;
-  // Exactly 64 bits: only -2^63 fits, which has bit 63 set and nothing else.
-  if (!negative_) return false;
-  if (limbs_[1] != 0x80000000u || limbs_[0] != 0) return false;
-  return true;
-}
-
 std::int64_t BigInt::to_int64() const {
-  if (!fits_int64()) throw std::overflow_error("BigInt: does not fit int64");
-  std::uint64_t magnitude = 0;
-  if (!limbs_.empty()) magnitude = limbs_[0];
-  if (limbs_.size() > 1)
-    magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  if (negative_) return static_cast<std::int64_t>(~magnitude + 1);
-  return static_cast<std::int64_t>(magnitude);
+  if (!small_) throw std::overflow_error("BigInt: does not fit int64");
+  return small_value_;
 }
 
 double BigInt::to_double() const noexcept {
+  if (small_) return static_cast<double>(small_value_);
   double result = 0.0;
   for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it)
     result = result * static_cast<double>(kLimbBase) + static_cast<double>(*it);
@@ -94,7 +114,7 @@ double BigInt::to_double() const noexcept {
 }
 
 std::string BigInt::to_string() const {
-  if (is_zero()) return "0";
+  if (small_) return std::to_string(small_value_);
   // Repeated division by 10^9 over a scratch copy of the magnitude.
   std::vector<Limb> scratch = limbs_;
   std::string digits;
@@ -119,20 +139,58 @@ std::string BigInt::to_string() const {
 }
 
 BigInt BigInt::abs() const {
+  if (small_) {
+    if (small_value_ == kInt64Min)
+      return from_uint64(1ULL << 63);  // |INT64_MIN| overflows int64
+    return BigInt(small_value_ < 0 ? -small_value_ : small_value_);
+  }
   BigInt out = *this;
   out.negative_ = false;
-  return out;
+  return out;  // limb magnitudes never fit int64: stays canonical
 }
 
 BigInt BigInt::negated() const {
+  if (small_) {
+    if (small_value_ == kInt64Min) return from_uint64(1ULL << 63);
+    return BigInt(-small_value_);
+  }
   BigInt out = *this;
-  if (!out.is_zero()) out.negative_ = !out.negative_;
+  out.negative_ = !out.negative_;
+  out.canonicalize();  // -(2^63) re-enters the int64 range
   return out;
 }
 
-void BigInt::trim() noexcept {
+void BigInt::promote() {
+  if (!small_) return;
+  const std::uint64_t magnitude = small_magnitude(small_value_);
+  negative_ = small_value_ < 0;
+  limbs_.clear();
+  if (magnitude) {
+    limbs_.push_back(static_cast<Limb>(magnitude & 0xFFFFFFFFULL));
+    if (magnitude >> 32) limbs_.push_back(static_cast<Limb>(magnitude >> 32));
+  }
+  small_ = false;
+  small_value_ = 0;
+}
+
+void BigInt::canonicalize() noexcept {
+  if (small_) return;
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
-  if (limbs_.empty()) negative_ = false;
+  if (limbs_.size() > 2) return;
+  std::uint64_t magnitude = 0;
+  if (!limbs_.empty()) magnitude = limbs_[0];
+  if (limbs_.size() == 2)
+    magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  const std::uint64_t limit =
+      negative_ ? (1ULL << 63)
+                : static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max());
+  if (magnitude > limit) return;
+  small_ = true;
+  small_value_ = negative_ ? static_cast<std::int64_t>(~magnitude + 1)
+                           : static_cast<std::int64_t>(magnitude);
+  negative_ = false;
+  limbs_.clear();
 }
 
 std::vector<BigInt::Limb> BigInt::mag_add(const std::vector<Limb>& a,
@@ -316,30 +374,64 @@ BigInt::mag_div_mod(const std::vector<Limb>& a, const std::vector<Limb>& b) {
 }
 
 BigInt& BigInt::operator+=(const BigInt& rhs) {
-  if (negative_ == rhs.negative_) {
-    limbs_ = mag_add(limbs_, rhs.limbs_);
+  if (small_ && rhs.small_ && fast_enabled()) {
+    std::int64_t result;
+    if (!__builtin_add_overflow(small_value_, rhs.small_value_, &result)) {
+      small_value_ = result;
+      count_fast();
+      return *this;
+    }
+  }
+  count_slow();
+  BigInt other = rhs;  // private copy: promote-safe, alias-safe
+  promote();
+  other.promote();
+  if (negative_ == other.negative_) {
+    limbs_ = mag_add(limbs_, other.limbs_);
   } else {
-    const int cmp = mag_compare(limbs_, rhs.limbs_);
+    const int cmp = mag_compare(limbs_, other.limbs_);
     if (cmp == 0) {
       limbs_.clear();
       negative_ = false;
     } else if (cmp > 0) {
-      limbs_ = mag_sub(limbs_, rhs.limbs_);
+      limbs_ = mag_sub(limbs_, other.limbs_);
     } else {
-      limbs_ = mag_sub(rhs.limbs_, limbs_);
-      negative_ = rhs.negative_;
+      limbs_ = mag_sub(other.limbs_, limbs_);
+      negative_ = other.negative_;
     }
   }
-  trim();
+  canonicalize();
   return *this;
 }
 
-BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  if (small_ && rhs.small_ && fast_enabled()) {
+    std::int64_t result;
+    if (!__builtin_sub_overflow(small_value_, rhs.small_value_, &result)) {
+      small_value_ = result;
+      count_fast();
+      return *this;
+    }
+  }
+  return *this += rhs.negated();
+}
 
 BigInt& BigInt::operator*=(const BigInt& rhs) {
-  negative_ = negative_ != rhs.negative_;
-  limbs_ = mag_mul(limbs_, rhs.limbs_);
-  trim();
+  if (small_ && rhs.small_ && fast_enabled()) {
+    std::int64_t result;
+    if (!__builtin_mul_overflow(small_value_, rhs.small_value_, &result)) {
+      small_value_ = result;
+      count_fast();
+      return *this;
+    }
+  }
+  count_slow();
+  BigInt other = rhs;
+  promote();
+  other.promote();
+  negative_ = negative_ != other.negative_;
+  limbs_ = mag_mul(limbs_, other.limbs_);
+  canonicalize();
   return *this;
 }
 
@@ -354,21 +446,51 @@ BigInt& BigInt::operator%=(const BigInt& rhs) {
 }
 
 std::pair<BigInt, BigInt> BigInt::div_mod(const BigInt& a, const BigInt& b) {
-  auto [q_mag, r_mag] = mag_div_mod(a.limbs_, b.limbs_);
+  if (b.is_zero()) throw std::domain_error("BigInt: division by zero");
+  if (a.small_ && b.small_ && fast_enabled()) {
+    // The lone int64 overflow case is INT64_MIN / -1.
+    if (!(a.small_value_ == kInt64Min && b.small_value_ == -1)) {
+      count_fast();
+      return {BigInt(a.small_value_ / b.small_value_),
+              BigInt(a.small_value_ % b.small_value_)};
+    }
+  }
+  count_slow();
+  BigInt aa = a;
+  BigInt bb = b;
+  aa.promote();
+  bb.promote();
+  auto [q_mag, r_mag] = mag_div_mod(aa.limbs_, bb.limbs_);
   BigInt quotient;
+  quotient.small_ = false;
   quotient.limbs_ = std::move(q_mag);
-  quotient.negative_ = a.negative_ != b.negative_;
-  quotient.trim();
+  quotient.negative_ = aa.negative_ != bb.negative_;
+  if (quotient.limbs_.empty()) quotient.negative_ = false;
+  quotient.canonicalize();
   BigInt remainder;
+  remainder.small_ = false;
   remainder.limbs_ = std::move(r_mag);
-  remainder.negative_ = a.negative_;
-  remainder.trim();
+  remainder.negative_ = aa.negative_;
+  if (remainder.limbs_.empty()) remainder.negative_ = false;
+  remainder.canonicalize();
   return {std::move(quotient), std::move(remainder)};
 }
 
 BigInt BigInt::gcd(BigInt a, BigInt b) {
-  a.negative_ = false;
-  b.negative_ = false;
+  if (a.small_ && b.small_ && fast_enabled()) {
+    count_fast();
+    std::uint64_t x = small_magnitude(a.small_value_);
+    std::uint64_t y = small_magnitude(b.small_value_);
+    while (y != 0) {
+      const std::uint64_t r = x % y;
+      x = y;
+      y = r;
+    }
+    return from_uint64(x);
+  }
+  count_slow();
+  a = a.abs();
+  b = b.abs();
   while (!b.is_zero()) {
     BigInt r = a % b;
     a = std::move(b);
@@ -381,6 +503,16 @@ BigInt BigInt::isqrt(const BigInt& value) {
   if (value.is_negative())
     throw std::domain_error("BigInt::isqrt: negative input");
   if (value.is_zero()) return BigInt(0);
+  if (value.small_ && fast_enabled()) {
+    const std::uint64_t m = static_cast<std::uint64_t>(value.small_value_);
+    std::uint64_t root =
+        static_cast<std::uint64_t>(std::sqrt(static_cast<double>(m)));
+    // Fix double rounding in either direction. root <= ~3.04e9, so
+    // (root + 1)^2 stays below 2^64.
+    while (root > 0 && root * root > m) --root;
+    while ((root + 1) * (root + 1) <= m) ++root;
+    return BigInt(static_cast<std::int64_t>(root));
+  }
   // Newton iteration x <- (x + value/x) / 2 from an over-estimate.
   BigInt x = BigInt(1).shifted_left(value.bit_count() / 2 + 1);
   for (;;) {
@@ -394,25 +526,53 @@ BigInt BigInt::isqrt(const BigInt& value) {
 
 bool BigInt::is_perfect_square(const BigInt& value) {
   if (value.is_negative()) return false;
+  // Quadratic-residue filter: squares mod 64 take only 12 values; the low
+  // limb gives value mod 64 directly in either representation.
+  static constexpr bool kResidue[64] = {
+      true,  true,  false, false, true,  false, false, false,  // 0..7
+      false, true,  false, false, false, false, false, false,  // 8..15
+      true,  true,  false, false, false, false, false, false,  // 16..23
+      false, true,  false, false, false, false, false, false,  // 24..31
+      false, true,  false, false, true,  false, false, false,  // 32..39
+      false, true,  false, false, false, false, false, false,  // 40..47
+      false, true,  false, false, false, false, false, false,  // 48..55
+      false, true,  false, false, false, false, false, false,  // 56..63
+  };
+  const std::uint64_t low =
+      value.small_ ? static_cast<std::uint64_t>(value.small_value_)
+                   : value.limbs_.empty() ? 0 : value.limbs_[0];
+  if (!kResidue[low & 63]) return false;
   const BigInt root = isqrt(value);
   return root * root == value;
 }
 
 BigInt BigInt::shifted_left(std::size_t bits) const {
-  if (is_zero() || bits == 0) {
-    BigInt out = *this;
-    return out;
+  if (is_zero() || bits == 0) return *this;
+  if (small_ && fast_enabled() && bits < 63) {
+    const std::uint64_t magnitude = small_magnitude(small_value_);
+    if (magnitude <= (static_cast<std::uint64_t>(
+                          std::numeric_limits<std::int64_t>::max()) >>
+                      bits)) {
+      count_fast();
+      return BigInt(small_value_ < 0
+                        ? -static_cast<std::int64_t>(magnitude << bits)
+                        : static_cast<std::int64_t>(magnitude << bits));
+    }
   }
+  count_slow();
+  BigInt src = *this;
+  src.promote();
   const std::size_t limb_shift = bits / kLimbBits;
   const int bit_shift = static_cast<int>(bits % kLimbBits);
   BigInt out;
-  out.negative_ = negative_;
+  out.small_ = false;
+  out.negative_ = src.negative_;
   out.limbs_.assign(limb_shift, 0);
   if (bit_shift == 0) {
-    out.limbs_.insert(out.limbs_.end(), limbs_.begin(), limbs_.end());
+    out.limbs_.insert(out.limbs_.end(), src.limbs_.begin(), src.limbs_.end());
   } else {
     Limb carry = 0;
-    for (const Limb limb : limbs_) {
+    for (const Limb limb : src.limbs_) {
       out.limbs_.push_back(static_cast<Limb>(
           (static_cast<std::uint64_t>(limb) << bit_shift) | carry));
       carry = static_cast<Limb>(static_cast<std::uint64_t>(limb) >>
@@ -420,11 +580,20 @@ BigInt BigInt::shifted_left(std::size_t bits) const {
     }
     if (carry) out.limbs_.push_back(carry);
   }
-  out.trim();
+  out.canonicalize();
   return out;
 }
 
 std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) noexcept {
+  if (a.small_ && b.small_) return a.small_value_ <=> b.small_value_;
+  if (a.small_ != b.small_) {
+    // Canonical: the limb-form operand lies strictly outside int64 range,
+    // so its sign decides.
+    const BigInt& big = a.small_ ? b : a;
+    const bool a_is_less = a.small_ ? !big.negative_ : big.negative_;
+    return a_is_less ? std::strong_ordering::less
+                     : std::strong_ordering::greater;
+  }
   if (a.negative_ != b.negative_)
     return a.negative_ ? std::strong_ordering::less
                        : std::strong_ordering::greater;
@@ -440,9 +609,19 @@ std::ostream& operator<<(std::ostream& os, const BigInt& value) {
 }
 
 std::size_t BigInt::hash() const noexcept {
-  std::size_t h = negative_ ? 0x9E3779B97F4A7C15ULL : 0x517CC1B727220A95ULL;
-  for (const Limb limb : limbs_) {
+  std::size_t h =
+      is_negative() ? 0x9E3779B97F4A7C15ULL : 0x517CC1B727220A95ULL;
+  auto mix = [&h](Limb limb) {
     h ^= limb + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  if (small_) {
+    const std::uint64_t magnitude = small_magnitude(small_value_);
+    if (magnitude) {
+      mix(static_cast<Limb>(magnitude & 0xFFFFFFFFULL));
+      if (magnitude >> 32) mix(static_cast<Limb>(magnitude >> 32));
+    }
+  } else {
+    for (const Limb limb : limbs_) mix(limb);
   }
   return h;
 }

@@ -5,6 +5,17 @@
 // solving compound rational arithmetic, so magnitudes can exceed any fixed
 // word size. BigInt is a sign-magnitude integer over base-2^32 limbs with
 // value semantics and strong exception safety.
+//
+// Small-value fast path: nearly every quantity the mechanism touches (ring
+// weights, α numerators/denominators on small instances) fits in a machine
+// word, so values that fit int64 are stored inline with no heap allocation;
+// arithmetic uses overflow-checked int64 ops and promotes to limbs only when
+// a result leaves the 64-bit range. The representation is canonical — a
+// value is stored inline iff it fits int64 — so equality, hashing and
+// ordering never depend on the history of a value. The fast path can be
+// disabled at runtime (set_fast_path_enabled) to force every operation
+// through the limb path; the bench layer uses that as the pre-optimization
+// baseline and the differential tests use it as the oracle.
 #pragma once
 
 #include <compare>
@@ -16,17 +27,19 @@
 
 namespace ringshare::num {
 
-/// Arbitrary-precision signed integer (sign + little-endian 2^32 limbs).
+/// Arbitrary-precision signed integer (inline int64, or sign + little-endian
+/// 2^32 limbs once the value leaves the int64 range).
 ///
-/// Invariants: no leading zero limbs; zero is represented by an empty limb
-/// vector with non-negative sign. All operations preserve these invariants.
+/// Invariants: inline representation iff the value fits int64; limb form has
+/// no leading zero limbs and a magnitude strictly outside the int64 range.
 class BigInt {
  public:
   /// Zero.
   BigInt() = default;
 
-  /// From a built-in signed integer.
-  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+  /// From a built-in signed integer (always inline, never allocates).
+  constexpr BigInt(std::int64_t value)  // NOLINT(google-explicit-constructor)
+      : small_value_(value) {}
 
   /// From an unsigned 64-bit integer.
   static BigInt from_uint64(std::uint64_t value);
@@ -35,23 +48,34 @@ class BigInt {
   /// Throws std::invalid_argument on malformed input.
   static BigInt from_string(std::string_view text);
 
-  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
-  [[nodiscard]] bool is_negative() const noexcept { return negative_; }
+  /// Enable/disable the inline int64 arithmetic fast path (default on).
+  /// Disabling routes every operation through the limb path — values are
+  /// still stored canonically, only the arithmetic strategy changes — which
+  /// reproduces the allocation behavior of the pre-fast-path implementation
+  /// for benchmarking and differential testing.
+  static void set_fast_path_enabled(bool enabled) noexcept;
+  [[nodiscard]] static bool fast_path_enabled() noexcept;
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    return small_ && small_value_ == 0;
+  }
+  [[nodiscard]] bool is_negative() const noexcept {
+    return small_ ? small_value_ < 0 : negative_;
+  }
   /// -1, 0 or +1.
   [[nodiscard]] int sign() const noexcept {
-    return is_zero() ? 0 : (negative_ ? -1 : 1);
+    if (small_) return small_value_ == 0 ? 0 : (small_value_ < 0 ? -1 : 1);
+    return negative_ ? -1 : 1;
   }
 
-  /// Number of limbs in the magnitude (0 for zero).
-  [[nodiscard]] std::size_t limb_count() const noexcept {
-    return limbs_.size();
-  }
+  /// Number of 2^32 limbs a magnitude of this size occupies (0 for zero).
+  [[nodiscard]] std::size_t limb_count() const noexcept;
 
   /// Number of significant bits in the magnitude (0 for zero).
   [[nodiscard]] std::size_t bit_count() const noexcept;
 
   /// True if the value fits in int64_t.
-  [[nodiscard]] bool fits_int64() const noexcept;
+  [[nodiscard]] bool fits_int64() const noexcept { return small_; }
 
   /// Convert to int64_t. Throws std::overflow_error if it does not fit.
   [[nodiscard]] std::int64_t to_int64() const;
@@ -101,6 +125,8 @@ class BigInt {
   [[nodiscard]] BigInt shifted_left(std::size_t bits) const;
 
   friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    if (a.small_ != b.small_) return false;  // canonical: representation
+    if (a.small_) return a.small_value_ == b.small_value_;
     return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
   }
   friend std::strong_ordering operator<=>(const BigInt& a,
@@ -108,7 +134,8 @@ class BigInt {
 
   friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
 
-  /// FNV-style hash of the canonical representation.
+  /// FNV-style hash of the canonical limb representation (identical for
+  /// inline and limb forms of the same magnitude class).
   [[nodiscard]] std::size_t hash() const noexcept;
 
  private:
@@ -116,7 +143,12 @@ class BigInt {
   using WideLimb = std::uint64_t;
   static constexpr int kLimbBits = 32;
 
-  void trim() noexcept;
+  /// Switch to limb form in place (valid even when the value fits int64;
+  /// such states are internal to one operation and re-canonicalized before
+  /// returning).
+  void promote();
+  /// Trim leading zeros and demote to the inline form when the value fits.
+  void canonicalize() noexcept;
 
   // Magnitude helpers (ignore signs).
   static std::vector<Limb> mag_add(const std::vector<Limb>& a,
@@ -132,8 +164,10 @@ class BigInt {
   static std::pair<std::vector<Limb>, std::vector<Limb>> mag_div_mod(
       const std::vector<Limb>& a, const std::vector<Limb>& b);
 
-  bool negative_ = false;
-  std::vector<Limb> limbs_;  // little-endian, no leading zeros
+  bool small_ = true;      ///< inline form (iff the value fits int64)
+  bool negative_ = false;  ///< limb form only
+  std::int64_t small_value_ = 0;  ///< inline form only
+  std::vector<Limb> limbs_;  ///< limb form only: little-endian, no leading 0s
 };
 
 }  // namespace ringshare::num

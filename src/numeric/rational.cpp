@@ -1,11 +1,30 @@
 #include "numeric/rational.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
 
+#include "util/perf_counters.hpp"
+
 namespace ringshare::num {
+
+namespace {
+
+const BigInt kOne(1);
+
+void count_gcd(std::uint64_t n = 1) noexcept {
+  util::PerfCounters::local().rational_gcds.fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+void count_gcd_skipped() noexcept {
+  util::PerfCounters::local().rational_gcd_skipped.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 Rational::Rational(BigInt numerator, BigInt denominator)
     : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
@@ -51,8 +70,13 @@ void Rational::normalize() {
     denominator_ = BigInt(1);
     return;
   }
+  if (denominator_ == kOne) {
+    count_gcd_skipped();
+    return;
+  }
+  count_gcd();
   const BigInt divisor = BigInt::gcd(numerator_, denominator_);
-  if (divisor != BigInt(1)) {
+  if (divisor != kOne) {
     numerator_ /= divisor;
     denominator_ /= divisor;
   }
@@ -81,32 +105,106 @@ Rational Rational::inverse() const {
   return Rational(denominator_, numerator_);
 }
 
-Rational& Rational::operator+=(const Rational& rhs) {
-  numerator_ = numerator_ * rhs.denominator_ + rhs.numerator_ * denominator_;
-  denominator_ *= rhs.denominator_;
-  normalize();
+Rational& Rational::add_signed(const Rational& rhs, bool subtract) {
+  const BigInt rhs_num =
+      subtract ? rhs.numerator_.negated() : rhs.numerator_;
+
+  // Equal denominators: numerators add directly; one reduction when the
+  // common denominator is non-trivial (1/3 + 2/3 must collapse to 1).
+  if (denominator_ == rhs.denominator_) {
+    numerator_ += rhs_num;
+    if (numerator_.is_zero()) {
+      denominator_ = BigInt(1);
+      return *this;
+    }
+    if (denominator_ == kOne) {
+      count_gcd_skipped();
+      return *this;
+    }
+    count_gcd();
+    const BigInt g = BigInt::gcd(numerator_, denominator_);
+    if (g != kOne) {
+      numerator_ /= g;
+      denominator_ /= g;
+    }
+    return *this;
+  }
+
+  const BigInt g = BigInt::gcd(denominator_, rhs.denominator_);
+  if (g == kOne) {
+    // Coprime denominators: a/b + c/d = (ad + cb)/(bd) is already in lowest
+    // terms (any prime of b divides neither ad nor cb entirely), so the
+    // final gcd is skipped by construction.
+    count_gcd_skipped();
+    numerator_ = numerator_ * rhs.denominator_ + rhs_num * denominator_;
+    denominator_ *= rhs.denominator_;
+    if (numerator_.is_zero()) denominator_ = BigInt(1);
+    return *this;
+  }
+
+  // mpq_add shape: reduce by gcd(b, d) first so intermediate products stay
+  // near the final size; the residual gcd divides g, not the full result.
+  count_gcd(2);
+  const BigInt b_red = denominator_ / g;
+  const BigInt d_red = rhs.denominator_ / g;
+  BigInt t = numerator_ * d_red + rhs_num * b_red;
+  if (t.is_zero()) {
+    numerator_ = BigInt(0);
+    denominator_ = BigInt(1);
+    return *this;
+  }
+  const BigInt g2 = BigInt::gcd(t, g);
+  numerator_ = g2 == kOne ? std::move(t) : t / g2;
+  denominator_ = b_red * (rhs.denominator_ / g2);
   return *this;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  return add_signed(rhs, /*subtract=*/false);
 }
 
 Rational& Rational::operator-=(const Rational& rhs) {
-  numerator_ = numerator_ * rhs.denominator_ - rhs.numerator_ * denominator_;
-  denominator_ *= rhs.denominator_;
-  normalize();
-  return *this;
+  return add_signed(rhs, /*subtract=*/true);
 }
 
 Rational& Rational::operator*=(const Rational& rhs) {
-  numerator_ *= rhs.numerator_;
-  denominator_ *= rhs.denominator_;
-  normalize();
+  if (denominator_ == kOne && rhs.denominator_ == kOne) {
+    count_gcd_skipped();
+    numerator_ *= rhs.numerator_;
+    return *this;
+  }
+  // Cross-cancel: gcd(a, d) and gcd(c, b) strip every common factor before
+  // multiplying, so the products below are in lowest terms by construction.
+  count_gcd(2);
+  const BigInt g1 = BigInt::gcd(numerator_, rhs.denominator_);
+  const BigInt g2 = BigInt::gcd(rhs.numerator_, denominator_);
+  BigInt new_num = (g1 == kOne ? numerator_ : numerator_ / g1) *
+                   (g2 == kOne ? rhs.numerator_ : rhs.numerator_ / g2);
+  BigInt new_den = (g2 == kOne ? denominator_ : denominator_ / g2) *
+                   (g1 == kOne ? rhs.denominator_ : rhs.denominator_ / g1);
+  numerator_ = std::move(new_num);
+  denominator_ = std::move(new_den);
+  if (numerator_.is_zero()) denominator_ = BigInt(1);
   return *this;
 }
 
 Rational& Rational::operator/=(const Rational& rhs) {
   if (rhs.is_zero()) throw std::domain_error("Rational: division by zero");
-  numerator_ *= rhs.denominator_;
-  denominator_ *= rhs.numerator_;
-  normalize();
+  // (a/b) / (c/d) = (a·d)/(b·c) with cross gcds gcd(a, c) and gcd(b, d).
+  count_gcd(2);
+  const BigInt g1 = BigInt::gcd(numerator_, rhs.numerator_);
+  const BigInt g2 = BigInt::gcd(denominator_, rhs.denominator_);
+  BigInt new_num = (g1 == kOne ? numerator_ : numerator_ / g1) *
+                   (g2 == kOne ? rhs.denominator_ : rhs.denominator_ / g2);
+  BigInt new_den = (g2 == kOne ? denominator_ : denominator_ / g2) *
+                   (g1 == kOne ? rhs.numerator_ : rhs.numerator_ / g1);
+  if (new_den.is_negative()) {
+    new_num = new_num.negated();
+    new_den = new_den.negated();
+  }
+  numerator_ = std::move(new_num);
+  denominator_ = std::move(new_den);
+  if (numerator_.is_zero()) denominator_ = BigInt(1);
   return *this;
 }
 
@@ -118,7 +216,24 @@ Rational Rational::operator-() const {
 
 std::strong_ordering operator<=>(const Rational& a,
                                  const Rational& b) noexcept {
-  // Denominators are positive, so cross-multiplication preserves order.
+  // Denominators are positive, so signs order first, then cross products.
+  const int sign_a = a.sign();
+  const int sign_b = b.sign();
+  if (sign_a != sign_b) return sign_a <=> sign_b;
+  if (sign_a == 0) return std::strong_ordering::equal;
+  if (a.denominator_ == b.denominator_)
+    return a.numerator_ <=> b.numerator_;
+  if (a.numerator_.fits_int64() && a.denominator_.fits_int64() &&
+      b.numerator_.fits_int64() && b.denominator_.fits_int64()) {
+    // 128-bit cross products are exact for any pair of int64 factors.
+    const __int128 lhs = static_cast<__int128>(a.numerator_.to_int64()) *
+                         b.denominator_.to_int64();
+    const __int128 rhs = static_cast<__int128>(b.numerator_.to_int64()) *
+                         a.denominator_.to_int64();
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
   return a.numerator_ * b.denominator_ <=> b.numerator_ * a.denominator_;
 }
 

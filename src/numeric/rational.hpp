@@ -3,6 +3,13 @@
 // α-ratios, allocations and utilities in the BD mechanism are ratios of
 // subset sums; comparing them in floating point misclassifies decomposition
 // breakpoints. Rational keeps every mechanism quantity exact.
+//
+// Hot-path arithmetic follows the classic mpq strategy: addition reduces by
+// gcd(b, d) up front and skips the final gcd entirely when the denominators
+// are coprime (the sum is then in lowest terms by construction);
+// multiplication and division cancel cross gcds so no full-product reduction
+// is ever needed; comparisons short-circuit on sign and use 128-bit cross
+// products when both operands fit in int64.
 #pragma once
 
 #include <compare>
@@ -113,6 +120,8 @@ class Rational {
 
  private:
   void normalize();
+  /// Shared core of += and -=.
+  Rational& add_signed(const Rational& rhs, bool subtract);
 
   BigInt numerator_;
   BigInt denominator_;  // always > 0

@@ -15,6 +15,13 @@ namespace ringshare::util {
 /// Apply `body(i)` for every i in [begin, end), distributing contiguous
 /// chunks over the shared thread pool. Blocks until all iterations finish;
 /// the first exception (if any) is rethrown in the caller.
+///
+/// `min_chunk` batches iterations that are individually too cheap to justify
+/// a pool submission. It is a batching floor, not a parallelism ceiling: a
+/// range with two or more iterations is always split into at least two
+/// chunks (chunk size is capped at ceil(total/2)), so an over-large
+/// `min_chunk` can never silently serialize a sweep. The only serial cases
+/// are a single-iteration range and nested calls from a pool worker.
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, Body&& body,
                   std::size_t min_chunk = 1) {
@@ -26,14 +33,17 @@ void parallel_for(std::size_t begin, std::size_t end, Body&& body,
     return;
   }
   const std::size_t total = end - begin;
-  ThreadPool& pool = global_pool();
-  const std::size_t max_chunks = pool.thread_count() * 4;
-  const std::size_t chunk =
-      std::max(min_chunk, (total + max_chunks - 1) / max_chunks);
-  if (total <= chunk) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
+  if (total == 1) {
+    body(begin);
     return;
   }
+  ThreadPool& pool = global_pool();
+  const std::size_t max_chunks = pool.thread_count() * 4;
+  const std::size_t balanced = (total + max_chunks - 1) / max_chunks;
+  // Honor min_chunk for batching, but cap at ceil(total/2): once the range
+  // is worth running at all in parallel it must yield >= 2 chunks.
+  const std::size_t chunk =
+      std::min(std::max(min_chunk, balanced), (total + 1) / 2);
 
   std::vector<std::future<void>> futures;
   futures.reserve((total + chunk - 1) / chunk);

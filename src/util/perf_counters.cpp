@@ -1,0 +1,195 @@
+#include "util/perf_counters.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace ringshare::util {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// Registry of live per-thread tallies plus the summed tallies of threads
+/// that have exited (their storage dies with the thread).
+struct Registry {
+  std::mutex mutex;
+  std::vector<PerfTally*> live;
+  PerfTally retired;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: outlives all threads
+  return *instance;
+}
+
+/// Thread-local holder: registers on construction, folds the tally into the
+/// retired residue on thread exit.
+struct LocalTally {
+  PerfTally tally;
+
+  LocalTally() {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    reg.live.push_back(&tally);
+  }
+
+  ~LocalTally() {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    tally.add_into(reg.retired);
+    std::erase(reg.live, &tally);
+  }
+};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kDecompose: return "decompose";
+    case Phase::kDinic: return "dinic";
+    case Phase::kPartition: return "partition";
+    case Phase::kCandidateEval: return "candidate_eval";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+void PerfTally::add_into(PerfTally& sink) const noexcept {
+  sink.bigint_fast_ops.fetch_add(bigint_fast_ops.load(kRelaxed), kRelaxed);
+  sink.bigint_slow_ops.fetch_add(bigint_slow_ops.load(kRelaxed), kRelaxed);
+  sink.rational_gcds.fetch_add(rational_gcds.load(kRelaxed), kRelaxed);
+  sink.rational_gcd_skipped.fetch_add(rational_gcd_skipped.load(kRelaxed),
+                                      kRelaxed);
+  sink.bottleneck_cache_hits.fetch_add(bottleneck_cache_hits.load(kRelaxed),
+                                       kRelaxed);
+  sink.bottleneck_cache_misses.fetch_add(
+      bottleneck_cache_misses.load(kRelaxed), kRelaxed);
+  sink.dinkelbach_iterations.fetch_add(dinkelbach_iterations.load(kRelaxed),
+                                       kRelaxed);
+  sink.dinkelbach_warm_hits.fetch_add(dinkelbach_warm_hits.load(kRelaxed),
+                                      kRelaxed);
+  sink.dinkelbach_warm_restarts.fetch_add(
+      dinkelbach_warm_restarts.load(kRelaxed), kRelaxed);
+  sink.flow_network_builds.fetch_add(flow_network_builds.load(kRelaxed),
+                                     kRelaxed);
+  sink.flow_network_reuses.fetch_add(flow_network_reuses.load(kRelaxed),
+                                     kRelaxed);
+  for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)
+    sink.phase_ns[i].fetch_add(phase_ns[i].load(kRelaxed), kRelaxed);
+}
+
+void PerfTally::clear() noexcept {
+  bigint_fast_ops.store(0, kRelaxed);
+  bigint_slow_ops.store(0, kRelaxed);
+  rational_gcds.store(0, kRelaxed);
+  rational_gcd_skipped.store(0, kRelaxed);
+  bottleneck_cache_hits.store(0, kRelaxed);
+  bottleneck_cache_misses.store(0, kRelaxed);
+  dinkelbach_iterations.store(0, kRelaxed);
+  dinkelbach_warm_hits.store(0, kRelaxed);
+  dinkelbach_warm_restarts.store(0, kRelaxed);
+  flow_network_builds.store(0, kRelaxed);
+  flow_network_reuses.store(0, kRelaxed);
+  for (auto& ns : phase_ns) ns.store(0, kRelaxed);
+}
+
+double PerfSnapshot::bigint_fast_ratio() const noexcept {
+  const std::uint64_t total = bigint_fast_ops + bigint_slow_ops;
+  return total == 0 ? 0.0
+                    : static_cast<double>(bigint_fast_ops) /
+                          static_cast<double>(total);
+}
+
+double PerfSnapshot::cache_hit_ratio() const noexcept {
+  const std::uint64_t total = bottleneck_cache_hits + bottleneck_cache_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(bottleneck_cache_hits) /
+                          static_cast<double>(total);
+}
+
+std::string PerfSnapshot::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string field_pad(static_cast<std::size_t>(indent) + 2, ' ');
+  std::ostringstream os;
+  os << "{\n";
+  auto field = [&](const char* name, auto value, bool last = false) {
+    os << field_pad << '"' << name << "\": " << value << (last ? "\n" : ",\n");
+  };
+  field("bigint_fast_ops", bigint_fast_ops);
+  field("bigint_slow_ops", bigint_slow_ops);
+  field("bigint_fast_ratio", bigint_fast_ratio());
+  field("rational_gcds", rational_gcds);
+  field("rational_gcd_skipped", rational_gcd_skipped);
+  field("bottleneck_cache_hits", bottleneck_cache_hits);
+  field("bottleneck_cache_misses", bottleneck_cache_misses);
+  field("bottleneck_cache_hit_ratio", cache_hit_ratio());
+  field("dinkelbach_iterations", dinkelbach_iterations);
+  field("dinkelbach_warm_hits", dinkelbach_warm_hits);
+  field("dinkelbach_warm_restarts", dinkelbach_warm_restarts);
+  field("flow_network_builds", flow_network_builds);
+  field("flow_network_reuses", flow_network_reuses);
+  for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
+    const std::string name =
+        std::string("phase_ms_") + phase_name(static_cast<Phase>(i));
+    field(name.c_str(), static_cast<double>(phase_ns[i]) / 1e6,
+          i + 1 == static_cast<int>(Phase::kCount));
+  }
+  os << pad << "}";
+  return os.str();
+}
+
+PerfTally& PerfCounters::local() noexcept {
+  thread_local LocalTally holder;
+  return holder.tally;
+}
+
+PerfSnapshot PerfCounters::snapshot() {
+  Registry& reg = registry();
+  PerfTally sum;
+  {
+    std::lock_guard lock(reg.mutex);
+    reg.retired.add_into(sum);
+    for (const PerfTally* tally : reg.live) tally->add_into(sum);
+  }
+  PerfSnapshot out;
+  out.bigint_fast_ops = sum.bigint_fast_ops.load(kRelaxed);
+  out.bigint_slow_ops = sum.bigint_slow_ops.load(kRelaxed);
+  out.rational_gcds = sum.rational_gcds.load(kRelaxed);
+  out.rational_gcd_skipped = sum.rational_gcd_skipped.load(kRelaxed);
+  out.bottleneck_cache_hits = sum.bottleneck_cache_hits.load(kRelaxed);
+  out.bottleneck_cache_misses = sum.bottleneck_cache_misses.load(kRelaxed);
+  out.dinkelbach_iterations = sum.dinkelbach_iterations.load(kRelaxed);
+  out.dinkelbach_warm_hits = sum.dinkelbach_warm_hits.load(kRelaxed);
+  out.dinkelbach_warm_restarts = sum.dinkelbach_warm_restarts.load(kRelaxed);
+  out.flow_network_builds = sum.flow_network_builds.load(kRelaxed);
+  out.flow_network_reuses = sum.flow_network_reuses.load(kRelaxed);
+  for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)
+    out.phase_ns[i] = sum.phase_ns[i].load(kRelaxed);
+  return out;
+}
+
+void PerfCounters::reset() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  reg.retired.clear();
+  for (PerfTally* tally : reg.live) tally->clear();
+}
+
+ScopedPhase::ScopedPhase(Phase phase) noexcept
+    : phase_(phase), start_ns_(now_ns()) {}
+
+ScopedPhase::~ScopedPhase() {
+  PerfCounters::local().phase_ns[static_cast<int>(phase_)].fetch_add(
+      now_ns() - start_ns_, std::memory_order_relaxed);
+}
+
+}  // namespace ringshare::util

@@ -1,0 +1,98 @@
+// perf_counters.hpp — lightweight hot-path observability.
+//
+// The hot-path engine (small-value BigInt, the bottleneck memo cache, the
+// warm-started Dinkelbach solver) needs counters cheap enough to live inside
+// per-operation arithmetic. Each thread increments its own cache line of
+// relaxed atomics; snapshot() aggregates live threads plus the retained
+// totals of exited ones. Counters are monotonic between reset() calls and
+// are observability-only: racy reads during a concurrent sweep can be off by
+// in-flight increments, never corrupt.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ringshare::util {
+
+/// Wall-time phases attributed by ScopedPhase (inclusive of nested phases).
+enum class Phase : int {
+  kDecompose = 0,   ///< Decomposition construction (peel loop)
+  kDinic,           ///< parametric min-cut evaluations
+  kPartition,       ///< structure-partition bisection
+  kCandidateEval,   ///< exact re-evaluation of sybil candidates
+  kCount,
+};
+
+[[nodiscard]] const char* phase_name(Phase phase) noexcept;
+
+/// One thread's tally. All fields are relaxed atomics so that snapshot()
+/// may read them from another thread without a data race.
+struct PerfTally {
+  std::atomic<std::uint64_t> bigint_fast_ops{0};
+  std::atomic<std::uint64_t> bigint_slow_ops{0};
+  std::atomic<std::uint64_t> rational_gcds{0};
+  std::atomic<std::uint64_t> rational_gcd_skipped{0};
+  std::atomic<std::uint64_t> bottleneck_cache_hits{0};
+  std::atomic<std::uint64_t> bottleneck_cache_misses{0};
+  std::atomic<std::uint64_t> dinkelbach_iterations{0};
+  std::atomic<std::uint64_t> dinkelbach_warm_hits{0};
+  std::atomic<std::uint64_t> dinkelbach_warm_restarts{0};
+  std::atomic<std::uint64_t> flow_network_builds{0};
+  std::atomic<std::uint64_t> flow_network_reuses{0};
+  std::atomic<std::uint64_t> phase_ns[static_cast<int>(Phase::kCount)]{};
+
+  void add_into(PerfTally& sink) const noexcept;
+  void clear() noexcept;
+};
+
+/// Plain-value aggregate of every thread's tally.
+struct PerfSnapshot {
+  std::uint64_t bigint_fast_ops = 0;
+  std::uint64_t bigint_slow_ops = 0;
+  std::uint64_t rational_gcds = 0;
+  std::uint64_t rational_gcd_skipped = 0;
+  std::uint64_t bottleneck_cache_hits = 0;
+  std::uint64_t bottleneck_cache_misses = 0;
+  std::uint64_t dinkelbach_iterations = 0;
+  std::uint64_t dinkelbach_warm_hits = 0;
+  std::uint64_t dinkelbach_warm_restarts = 0;
+  std::uint64_t flow_network_builds = 0;
+  std::uint64_t flow_network_reuses = 0;
+  std::uint64_t phase_ns[static_cast<int>(Phase::kCount)] = {};
+
+  /// Fraction of BigInt operations served by the inline int64 path.
+  [[nodiscard]] double bigint_fast_ratio() const noexcept;
+  /// Fraction of bottleneck lookups answered from the memo cache.
+  [[nodiscard]] double cache_hit_ratio() const noexcept;
+  /// Flat JSON object (used by the bench layer's machine-readable output).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+};
+
+/// Process-wide access point.
+class PerfCounters {
+ public:
+  /// The calling thread's tally (registered on first use).
+  static PerfTally& local() noexcept;
+  /// Sum over all live threads plus exited-thread residue.
+  static PerfSnapshot snapshot();
+  /// Zero every live tally and the exited-thread residue. Counts from
+  /// threads concurrently mid-increment may survive; callers quiesce first
+  /// when exactness matters (benches do).
+  static void reset();
+};
+
+/// RAII phase timer: adds the scope's wall time to the local tally.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase phase) noexcept;
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Phase phase_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace ringshare::util

@@ -48,14 +48,19 @@ class Xoshiro256 {
 
   /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
-    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Span and offset arithmetic stay in uint64: hi - lo overflows int64
+    // whenever the range covers more than half the type (e.g. the full
+    // [INT64_MIN, INT64_MAX] used by differential tests); unsigned
+    // wraparound gives the right answer for every lo <= hi.
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
     if (span == 0) return static_cast<std::int64_t>((*this)());
     // Rejection-free (bounded bias is negligible for span << 2^64, and all
     // experiment spans are tiny), but use Lemire reduction for uniformity.
-    const unsigned __int128 product =
-        static_cast<unsigned __int128>((*this)()) * span;
-    return lo + static_cast<std::int64_t>(
-                    static_cast<std::uint64_t>(product >> 64));
+    __extension__ using uint128 = unsigned __int128;
+    const uint128 product = static_cast<uint128>((*this)()) * span;
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     static_cast<std::uint64_t>(product >> 64));
   }
 
   /// Uniform double in [0, 1).

@@ -1,0 +1,275 @@
+// Metamorphic tests for the hot-path engine: the memo cache, Dinkelbach
+// warm starts and flow-arena reuse are pure accelerators, so every
+// decomposition quantity (signature, α sequence, utilities) must be
+// identical with each accelerator on or off — serially and under
+// concurrent sweeps.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "bd/memo.hpp"
+#include "game/breakpoints.hpp"
+#include "game/sybil_ring.hpp"
+#include "graph/builders.hpp"
+#include "util/parallel.hpp"
+#include "util/perf_counters.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare {
+namespace {
+
+using bd::BottleneckCache;
+using bd::Decomposition;
+using bd::GraphKey;
+using bd::HotPathConfig;
+using bd::hot_path_config;
+using graph::Graph;
+using graph::Rational;
+using graph::Vertex;
+
+/// Restores hot_path_config() on scope exit.
+class ConfigGuard {
+ public:
+  ConfigGuard() : saved_(hot_path_config()) {}
+  ~ConfigGuard() { hot_path_config() = saved_; }
+
+ private:
+  HotPathConfig saved_;
+};
+
+void disable_all() {
+  hot_path_config() = HotPathConfig{/*memo_cache=*/false,
+                                    /*warm_start=*/false,
+                                    /*flow_arena=*/false};
+}
+
+void enable_all() {
+  hot_path_config() = HotPathConfig{true, true, true};
+  BottleneckCache::instance().clear();
+}
+
+std::vector<Graph> test_graphs() {
+  util::Xoshiro256 rng(314159);
+  std::vector<Graph> graphs;
+  for (std::size_t n = 4; n <= 9; ++n) {
+    graphs.push_back(graph::make_ring(graph::random_integer_weights(n, rng, 12)));
+    graphs.push_back(graph::make_path(graph::random_integer_weights(n, rng, 12)));
+  }
+  graphs.push_back(graph::make_star(graph::random_integer_weights(6, rng, 9)));
+  graphs.push_back(
+      graph::make_complete(graph::random_integer_weights(5, rng, 9)));
+  for (int i = 0; i < 4; ++i)
+    graphs.push_back(graph::make_random_connected(8, 0.4, rng));
+  graphs.push_back(graph::make_fig1_example());
+  return graphs;
+}
+
+/// Everything a decomposition asserts about the mechanism.
+struct Observed {
+  std::vector<std::pair<std::vector<Vertex>, std::vector<Vertex>>> signature;
+  std::vector<Rational> alphas;
+  std::vector<Rational> utilities;
+};
+
+Observed observe(const Graph& g, bd::DecomposeHints* hints = nullptr) {
+  const Decomposition decomposition(g, hints);
+  Observed out;
+  out.signature = decomposition.signature();
+  for (const auto& pair : decomposition.pairs()) out.alphas.push_back(pair.alpha);
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    out.utilities.push_back(decomposition.utility(v));
+  return out;
+}
+
+void expect_equal(const Observed& a, const Observed& b, const char* label) {
+  EXPECT_EQ(a.signature, b.signature) << label;
+  EXPECT_EQ(a.alphas, b.alphas) << label;
+  EXPECT_EQ(a.utilities, b.utilities) << label;
+}
+
+TEST(MemoCache, EachAcceleratorAloneMatchesBaseline) {
+  ConfigGuard guard;
+  const std::vector<Graph> graphs = test_graphs();
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    disable_all();
+    const Observed baseline = observe(graphs[i]);
+
+    hot_path_config() = HotPathConfig{true, false, false};
+    BottleneckCache::instance().clear();
+    expect_equal(observe(graphs[i]), baseline, "cache only");
+    expect_equal(observe(graphs[i]), baseline, "cache only, warm cache");
+
+    hot_path_config() = HotPathConfig{false, true, false};
+    bd::DecomposeHints warm_hints;
+    expect_equal(observe(graphs[i], &warm_hints), baseline, "warm 1st");
+    expect_equal(observe(graphs[i], &warm_hints), baseline, "warm 2nd");
+
+    hot_path_config() = HotPathConfig{false, false, true};
+    bd::DecomposeHints arena_hints;
+    expect_equal(observe(graphs[i], &arena_hints), baseline, "arena 1st");
+    expect_equal(observe(graphs[i], &arena_hints), baseline, "arena 2nd");
+
+    enable_all();
+    bd::DecomposeHints all_hints;
+    expect_equal(observe(graphs[i], &all_hints), baseline, "all 1st");
+    expect_equal(observe(graphs[i], &all_hints), baseline, "all 2nd");
+  }
+}
+
+TEST(MemoCache, StaleHintsFromOtherGraphsAreHarmless) {
+  ConfigGuard guard;
+  hot_path_config() = HotPathConfig{false, true, true};
+  const std::vector<Graph> graphs = test_graphs();
+
+  std::vector<Observed> baselines;
+  {
+    ConfigGuard inner;
+    disable_all();
+    for (const Graph& g : graphs) baselines.push_back(observe(g));
+  }
+
+  // One hint object dragged across *different* graphs: warm α values and
+  // arenas are stale for every successor, which must cost only iterations.
+  bd::DecomposeHints hints;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    expect_equal(observe(graphs[i], &hints), baselines[i], "stale hints");
+  }
+
+  // Deliberate undershoot and overshoot hints.
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    hints.warm_alphas = {Rational(0), Rational(0)};
+    hints.arenas.clear();
+    expect_equal(observe(graphs[i], &hints), baselines[i], "undershoot");
+    hints.warm_alphas = {Rational(1000000), Rational(1000000)};
+    hints.arenas.clear();
+    expect_equal(observe(graphs[i], &hints), baselines[i], "overshoot");
+  }
+}
+
+TEST(MemoCache, ParametrizedFamilyWarmStartsMatchBaseline) {
+  ConfigGuard guard;
+  util::Xoshiro256 rng(271828);
+  const Graph ring =
+      graph::make_ring(graph::random_integer_weights(7, rng, 10));
+  const Vertex v = 2;
+  const game::ParametrizedGraph family = game::sybil_family(ring, v);
+
+  const Rational w_v = ring.weight(v);
+  std::vector<Rational> samples;
+  for (int i = 0; i <= 24; ++i)
+    samples.push_back(w_v * Rational(i, 24));
+
+  disable_all();
+  std::vector<Observed> baselines;
+  for (const Rational& t : samples) baselines.push_back(observe(family.at(t)));
+
+  enable_all();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Decomposition decomposition = family.decompose(samples[i]);
+    Observed got;
+    got.signature = decomposition.signature();
+    for (const auto& pair : decomposition.pairs())
+      got.alphas.push_back(pair.alpha);
+    for (Vertex u = 0; u < ring.vertex_count() + 1; ++u)
+      got.utilities.push_back(decomposition.utility(u));
+    expect_equal(got, baselines[i], "family sample");
+  }
+}
+
+TEST(MemoCache, ConcurrentSweepMatchesSerialBaseline) {
+  ConfigGuard guard;
+  const std::vector<Graph> graphs = test_graphs();
+
+  disable_all();
+  std::vector<Observed> baselines;
+  for (const Graph& g : graphs) baselines.push_back(observe(g));
+
+  enable_all();
+  // Hammer the shared cache from the pool: every graph decomposed many
+  // times concurrently, all racing on the same keys.
+  constexpr std::size_t kRepeats = 8;
+  const auto results =
+      util::parallel_map(graphs.size() * kRepeats, [&](std::size_t k) {
+        return observe(graphs[k % graphs.size()]);
+      });
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    expect_equal(results[k], baselines[k % graphs.size()], "concurrent");
+  }
+}
+
+TEST(MemoCache, FingerprintSeparatesWeightsStructureAndScale) {
+  const Graph ring = graph::make_ring({Rational(1), Rational(2), Rational(3),
+                                       Rational(4)});
+  const GraphKey key = bd::graph_fingerprint(ring);
+  EXPECT_EQ(key, bd::graph_fingerprint(ring));
+
+  // Different weight at one vertex.
+  Graph other = ring;
+  other.set_weight(0, Rational(5));
+  EXPECT_FALSE(key == bd::graph_fingerprint(other));
+
+  // Same weight written as a non-reduced fraction is the same rational.
+  Graph same = ring;
+  same.set_weight(0, Rational(2, 2));
+  EXPECT_EQ(key, bd::graph_fingerprint(same));
+
+  // Different structure, same weights.
+  const Graph path = graph::make_path({Rational(1), Rational(2), Rational(3),
+                                       Rational(4)});
+  EXPECT_FALSE(key == bd::graph_fingerprint(path));
+
+  // Huge weights exercise the big-value key encoding.
+  const Rational huge(num::BigInt::from_string("123456789012345678901234567890"),
+                      num::BigInt(7));
+  Graph big = ring;
+  big.set_weight(1, huge);
+  const GraphKey big_key = bd::graph_fingerprint(big);
+  EXPECT_FALSE(key == big_key);
+  EXPECT_EQ(big_key, bd::graph_fingerprint(big));
+}
+
+TEST(MemoCache, CountersRecordHitsAndMisses) {
+  ConfigGuard guard;
+  enable_all();
+  util::PerfCounters::reset();
+
+  const Graph ring = graph::make_ring({Rational(2), Rational(3), Rational(5),
+                                       Rational(7), Rational(11)});
+  const Observed first = observe(ring);
+  const util::PerfSnapshot after_first = util::PerfCounters::snapshot();
+  EXPECT_GT(after_first.bottleneck_cache_misses, 0u);
+
+  const Observed second = observe(ring);
+  expect_equal(first, second, "cached repeat");
+  const util::PerfSnapshot after_second = util::PerfCounters::snapshot();
+  EXPECT_GT(after_second.bottleneck_cache_hits, 0u);
+  // The repeat is fully served from the cache: no new misses.
+  EXPECT_EQ(after_second.bottleneck_cache_misses,
+            after_first.bottleneck_cache_misses);
+  EXPECT_GT(BottleneckCache::instance().size(), 0u);
+}
+
+TEST(MemoCache, SybilOptimizationInvariantUnderAccelerators) {
+  ConfigGuard guard;
+  util::Xoshiro256 rng(1618);
+  const Graph ring =
+      graph::make_ring(graph::random_integer_weights(6, rng, 8));
+
+  disable_all();
+  const game::SybilOptimum baseline =
+      game::optimize_sybil_split(ring, 1, game::SybilOptions{});
+
+  enable_all();
+  const game::SybilOptimum accelerated =
+      game::optimize_sybil_split(ring, 1, game::SybilOptions{});
+
+  EXPECT_EQ(baseline.utility, accelerated.utility);
+  EXPECT_EQ(baseline.honest_utility, accelerated.honest_utility);
+  EXPECT_EQ(baseline.ratio, accelerated.ratio);
+  EXPECT_EQ(baseline.w1_star, accelerated.w1_star);
+}
+
+}  // namespace
+}  // namespace ringshare

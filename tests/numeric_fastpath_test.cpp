@@ -1,0 +1,257 @@
+// Differential tests for the small-value numeric fast path: every operation
+// run twice, once with the inline-int64 fast path enabled and once forced
+// through the limb-vector slow path, must agree exactly. The slow path is
+// the oracle — it predates the fast path and is exercised by the rest of
+// the suite on big values.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "numeric/bigint.hpp"
+#include "numeric/rational.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare {
+namespace {
+
+using num::BigInt;
+using num::Rational;
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+/// Restores the fast-path switch on scope exit so a failing assertion
+/// cannot leak a disabled fast path into other tests.
+class FastPathGuard {
+ public:
+  FastPathGuard() : saved_(BigInt::fast_path_enabled()) {}
+  ~FastPathGuard() { BigInt::set_fast_path_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+/// Values at and around every representation boundary.
+std::vector<std::int64_t> boundary_values() {
+  return {0,        1,         -1,       2,        -2,
+          kMax,     kMax - 1,  kMin,     kMin + 1, kMin + 2,
+          1 << 30,  -(1 << 30), INT64_C(1) << 31, -(INT64_C(1) << 31),
+          INT64_C(1) << 32, -(INT64_C(1) << 32), (INT64_C(1) << 62),
+          -(INT64_C(1) << 62), INT64_C(3037000499) /* ~sqrt(int64 max) */};
+}
+
+/// A mixed-magnitude random operand: small counts, limb-boundary straddlers
+/// and full-range values all show up.
+std::int64_t random_operand(util::Xoshiro256& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      return rng.uniform_int(-20, 20);
+    case 1:
+      return rng.uniform_int(-(INT64_C(1) << 33), INT64_C(1) << 33);
+    case 2: {
+      // Within 16 of a power of two (promotion hot spots).
+      const int shift = static_cast<int>(rng.uniform_int(30, 62));
+      const std::int64_t base = INT64_C(1) << shift;
+      const std::int64_t jitter = rng.uniform_int(-16, 16);
+      return rng.uniform_int(0, 1) ? base + jitter : -(base + jitter);
+    }
+    default:
+      return rng.uniform_int(kMin, kMax);
+  }
+}
+
+struct BinaryCase {
+  const char* name;
+  BigInt (*apply)(const BigInt&, const BigInt&);
+};
+
+const BinaryCase kBinaryCases[] = {
+    {"add", [](const BigInt& a, const BigInt& b) { return a + b; }},
+    {"sub", [](const BigInt& a, const BigInt& b) { return a - b; }},
+    {"mul", [](const BigInt& a, const BigInt& b) { return a * b; }},
+    {"div",
+     [](const BigInt& a, const BigInt& b) {
+       return b.is_zero() ? BigInt(0) : a / b;
+     }},
+    {"mod",
+     [](const BigInt& a, const BigInt& b) {
+       return b.is_zero() ? BigInt(0) : a % b;
+     }},
+    {"gcd", [](const BigInt& a, const BigInt& b) { return BigInt::gcd(a, b); }},
+};
+
+void expect_same_both_ways(std::int64_t a, std::int64_t b) {
+  const BigInt big_a(a);
+  const BigInt big_b(b);
+  for (const BinaryCase& op : kBinaryCases) {
+    BigInt::set_fast_path_enabled(true);
+    const BigInt fast = op.apply(big_a, big_b);
+    BigInt::set_fast_path_enabled(false);
+    const BigInt slow = op.apply(big_a, big_b);
+    EXPECT_EQ(fast, slow) << op.name << "(" << a << ", " << b << ")";
+    EXPECT_EQ(fast.to_string(), slow.to_string())
+        << op.name << "(" << a << ", " << b << ")";
+    EXPECT_EQ(fast.hash(), slow.hash()) << op.name << "(" << a << ", " << b
+                                        << ")";
+    BigInt::set_fast_path_enabled(true);
+  }
+  // Comparison must agree with the built-in ordering on inline inputs.
+  EXPECT_EQ(big_a < big_b, a < b);
+  EXPECT_EQ(big_a == big_b, a == b);
+}
+
+TEST(NumericFastPath, BoundaryPairsMatchSlowPath) {
+  FastPathGuard guard;
+  const std::vector<std::int64_t> values = boundary_values();
+  for (const std::int64_t a : values) {
+    for (const std::int64_t b : values) expect_same_both_ways(a, b);
+  }
+}
+
+TEST(NumericFastPath, RandomizedPairsMatchSlowPath) {
+  FastPathGuard guard;
+  util::Xoshiro256 rng(20260806);
+  for (int trial = 0; trial < 4000; ++trial) {
+    expect_same_both_ways(random_operand(rng), random_operand(rng));
+  }
+}
+
+TEST(NumericFastPath, PromotionAndDemotionStayCanonical) {
+  FastPathGuard guard;
+  const BigInt max(kMax);
+  const BigInt min(kMin);
+
+  // Cross the boundary upward and come back: must demote to inline form.
+  BigInt up = max + BigInt(1);
+  EXPECT_FALSE(up.fits_int64());
+  EXPECT_EQ(up.to_string(), "9223372036854775808");
+  BigInt back = up - BigInt(1);
+  EXPECT_TRUE(back.fits_int64());
+  EXPECT_EQ(back, max);
+
+  // INT64_MIN is inline; its magnitude is not.
+  EXPECT_TRUE(min.fits_int64());
+  BigInt neg_min = min.negated();
+  EXPECT_FALSE(neg_min.fits_int64());
+  EXPECT_EQ(neg_min.to_string(), "9223372036854775808");
+  EXPECT_EQ(neg_min.negated(), min);
+  EXPECT_TRUE(neg_min.negated().fits_int64());
+  EXPECT_EQ(min.abs(), neg_min);
+
+  // INT64_MIN / -1 overflows int64 and must promote.
+  BigInt quotient = min / BigInt(-1);
+  EXPECT_FALSE(quotient.fits_int64());
+  EXPECT_EQ(quotient, neg_min);
+
+  // Same value reached via inline and via limb arithmetic: equal and
+  // hash-equal (the representation is canonical).
+  BigInt::set_fast_path_enabled(false);
+  BigInt slow_route = (max + BigInt(1)) - BigInt(1);
+  BigInt::set_fast_path_enabled(true);
+  EXPECT_TRUE(slow_route.fits_int64());
+  EXPECT_EQ(slow_route, max);
+  EXPECT_EQ(slow_route.hash(), max.hash());
+}
+
+TEST(NumericFastPath, IsqrtAndPerfectSquareMatchSlowPath) {
+  FastPathGuard guard;
+  util::Xoshiro256 rng(77);
+  std::vector<std::int64_t> values = {0, 1, 2, 3, 4, 8, 9, 15, 16, 17,
+                                      kMax, kMax - 1,
+                                      INT64_C(3037000499) * INT64_C(3037000499)};
+  for (int trial = 0; trial < 300; ++trial)
+    values.push_back(std::abs(random_operand(rng)) | 1);
+  for (const std::int64_t v : values) {
+    const BigInt big(v < 0 ? -v : v);
+    BigInt::set_fast_path_enabled(true);
+    const BigInt fast_root = BigInt::isqrt(big);
+    const bool fast_square = BigInt::is_perfect_square(big);
+    BigInt::set_fast_path_enabled(false);
+    const BigInt slow_root = BigInt::isqrt(big);
+    const bool slow_square = BigInt::is_perfect_square(big);
+    BigInt::set_fast_path_enabled(true);
+    EXPECT_EQ(fast_root, slow_root) << "isqrt(" << big.to_string() << ")";
+    EXPECT_EQ(fast_square, slow_square)
+        << "is_perfect_square(" << big.to_string() << ")";
+    // Root invariant: root² <= v < (root+1)².
+    EXPECT_LE(fast_root * fast_root, big);
+    EXPECT_LT(big, (fast_root + BigInt(1)) * (fast_root + BigInt(1)));
+  }
+}
+
+TEST(NumericFastPath, RationalArithmeticMatchesSlowPath) {
+  FastPathGuard guard;
+  util::Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 1500; ++trial) {
+    const std::int64_t an = rng.uniform_int(-1000000, 1000000);
+    const std::int64_t ad = rng.uniform_int(1, 1000000);
+    const std::int64_t bn = rng.uniform_int(-1000000, 1000000);
+    const std::int64_t bd = rng.uniform_int(1, 1000000);
+
+    BigInt::set_fast_path_enabled(true);
+    const Rational fa(an, ad);
+    const Rational fb(bn, bd);
+    const Rational fast_sum = fa + fb;
+    const Rational fast_diff = fa - fb;
+    const Rational fast_prod = fa * fb;
+    const Rational fast_quot = fb.is_zero() ? Rational(0) : fa / fb;
+    const auto fast_order = fa <=> fb;
+
+    BigInt::set_fast_path_enabled(false);
+    const Rational sa(an, ad);
+    const Rational sb(bn, bd);
+    const Rational slow_sum = sa + sb;
+    const Rational slow_diff = sa - sb;
+    const Rational slow_prod = sa * sb;
+    const Rational slow_quot = sb.is_zero() ? Rational(0) : sa / sb;
+    const auto slow_order = sa <=> sb;
+    BigInt::set_fast_path_enabled(true);
+
+    EXPECT_EQ(fast_sum, slow_sum) << an << "/" << ad << " + " << bn << "/"
+                                  << bd;
+    EXPECT_EQ(fast_diff, slow_diff);
+    EXPECT_EQ(fast_prod, slow_prod);
+    EXPECT_EQ(fast_quot, slow_quot);
+    EXPECT_EQ(fast_order, slow_order);
+
+    // Results must be in lowest terms with positive denominators.
+    for (const Rational& r : {fast_sum, fast_diff, fast_prod, fast_quot}) {
+      EXPECT_FALSE(r.denominator().is_negative());
+      EXPECT_EQ(BigInt::gcd(r.numerator(), r.denominator()), BigInt(1));
+    }
+  }
+}
+
+TEST(NumericFastPath, MixedMagnitudeChainsMatchSlowPath) {
+  FastPathGuard guard;
+  util::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    // A chain that repeatedly crosses the inline/limb boundary.
+    std::vector<std::int64_t> script;
+    script.reserve(12);
+    for (int i = 0; i < 12; ++i) script.push_back(random_operand(rng));
+
+    auto run_chain = [&script]() {
+      BigInt acc(1);
+      for (const std::int64_t v : script) {
+        acc *= BigInt(v);
+        acc += BigInt(v);
+        if (!(v == 0)) acc /= BigInt(v < 0 ? -v : v);
+      }
+      return acc;
+    };
+
+    BigInt::set_fast_path_enabled(true);
+    const BigInt fast = run_chain();
+    BigInt::set_fast_path_enabled(false);
+    const BigInt slow = run_chain();
+    BigInt::set_fast_path_enabled(true);
+    EXPECT_EQ(fast, slow);
+    EXPECT_EQ(fast.to_string(), slow.to_string());
+  }
+}
+
+}  // namespace
+}  // namespace ringshare

@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -67,6 +70,42 @@ TEST(ParallelFor, NestedCallsDegradeToSerial) {
     parallel_for(0, 10, [&](std::size_t) { ++counter; });
   });
   EXPECT_EQ(counter.load(), 80);
+}
+
+TEST(ParallelFor, LargeMinChunkStillSplitsTheRange) {
+  // Regression: min_chunk larger than the range used to collapse the whole
+  // sweep onto the calling thread. It must stay a batching floor — any
+  // range with >= 2 iterations is split into >= 2 chunks, every one of
+  // which is dispatched to the pool (never run inline on the caller).
+  const std::thread::id caller = std::this_thread::get_id();
+  for (const std::size_t min_chunk : {std::size_t{64}, std::size_t{100000},
+                                      std::size_t{SIZE_MAX / 2}}) {
+    std::set<std::thread::id> thread_ids;
+    std::mutex mutex;
+    std::atomic<int> covered{0};
+    parallel_for(
+        0, 64,
+        [&](std::size_t) {
+          ++covered;
+          const std::thread::id id = std::this_thread::get_id();
+          std::scoped_lock lock(mutex);
+          thread_ids.insert(id);
+        },
+        min_chunk);
+    EXPECT_EQ(covered.load(), 64) << "min_chunk = " << min_chunk;
+    EXPECT_EQ(thread_ids.count(caller), 0u)
+        << "min_chunk = " << min_chunk
+        << " serialized a 64-iteration range onto the calling thread";
+  }
+}
+
+TEST(ParallelFor, MinChunkStillBatchesSmallRanges) {
+  // A single-iteration range runs inline on the caller, chunked or not.
+  std::thread::id worker_id;
+  parallel_for(
+      0, 1, [&](std::size_t) { worker_id = std::this_thread::get_id(); },
+      1000);
+  EXPECT_EQ(worker_id, std::this_thread::get_id());
 }
 
 TEST(ParallelMap, ProducesOrderedResults) {
