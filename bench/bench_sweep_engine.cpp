@@ -1,0 +1,210 @@
+// bench_sweep_engine — before/after measurement of the sweep engine v2
+// (exact per-piece solver + work-stealing scheduler).
+//
+// Three passes over one fixed Sybil-sweep workload, all in one binary:
+//   * pr1_scan   — the PR-1 engine: dense 64-sample scan + refinement per
+//     piece, with every PR-1 accelerator (BigInt fast path, memo cache,
+//     warm starts, flow arenas) left on. This is the "accelerators off"
+//     reference for the v2 layers.
+//   * v2_exact   — the v2 engine: closed-form per-piece stationary-point
+//     solver on the stealing pool (the library default).
+//   * v2_cold    — v2_exact again with the PR-1 accelerators disabled, to
+//     pin the identity contract: the exact solver's optima must be
+//     bit-identical whether or not the numeric accelerators are on.
+//
+// Contracts enforced (nonzero exit on violation):
+//   * results_identical — v2_exact and v2_cold agree bit-for-bit;
+//   * dominance         — per task, v2_exact's ratio >= pr1_scan's (the
+//     exact solver may only improve on the scan, never lose to it);
+//   * speedup >= 3x     — pr1_scan seconds / v2_exact seconds;
+//   * cross-check       — on 1000 randomized instances the exact per-piece
+//     optimum dominates every scan sample (SybilOptions::cross_check,
+//     which throws std::logic_error on any violation).
+//
+// Timings, contract outcomes and the v2 pass's perf counters are written
+// to BENCH_sweep.json at the repository root.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "bd/memo.hpp"
+#include "exp/families.hpp"
+#include "game/sybil_ring.hpp"
+#include "numeric/bigint.hpp"
+#include "util/perf_counters.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ringshare;
+using num::BigInt;
+using num::Rational;
+
+#ifndef RINGSHARE_REPO_ROOT
+#define RINGSHARE_REPO_ROOT "."
+#endif
+
+void configure(bool accelerators) {
+  BigInt::set_fast_path_enabled(accelerators);
+  bd::hot_path_config() =
+      bd::HotPathConfig{accelerators, accelerators, accelerators};
+  bd::BottleneckCache::instance().clear();
+  util::PerfCounters::reset();
+}
+
+struct SweepRun {
+  double seconds = 0;
+  std::vector<Rational> ratios;       ///< per task, exact
+  std::vector<std::string> outputs;   ///< per task, full optimum stringified
+  util::PerfSnapshot counters;
+};
+
+/// Run the fixed workload (every vertex of every ring) under one engine
+/// configuration and record the exact optima.
+SweepRun run_sweep(const std::vector<graph::Graph>& rings,
+                   const game::SybilOptions& options, bool accelerators) {
+  configure(accelerators);
+  SweepRun run;
+  util::Timer timer;
+  for (const graph::Graph& ring : rings) {
+    for (graph::Vertex v = 0; v < ring.vertex_count(); ++v) {
+      const game::SybilOptimum optimum =
+          game::optimize_sybil_split(ring, v, options);
+      std::ostringstream line;
+      line << "ratio=" << optimum.ratio.to_string()
+           << " w1*=" << optimum.w1_star.to_string()
+           << " U=" << optimum.utility.to_string()
+           << " H=" << optimum.honest_utility.to_string();
+      run.ratios.push_back(optimum.ratio);
+      run.outputs.push_back(line.str());
+    }
+  }
+  run.seconds = timer.elapsed_seconds();
+  run.counters = util::PerfCounters::snapshot();
+  return run;
+}
+
+/// Cross-check sweep: exact solver with SybilOptions::cross_check, which
+/// throws std::logic_error if any scan sample beats the exact optimum on
+/// any piece. Returns the number of violating tasks.
+std::size_t cross_check_violations(std::size_t instances, std::size_t n,
+                                   std::uint64_t seed) {
+  const std::vector<graph::Graph> rings =
+      exp::random_rings(instances, n, seed, 12);
+  game::SybilOptions options;
+  options.cross_check = true;
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    // One vertex per instance keeps 1000 instances tractable while still
+    // varying the manipulator's position.
+    const graph::Vertex v = static_cast<graph::Vertex>(i % n);
+    try {
+      (void)game::optimize_sybil_split(rings[i], v, options);
+    } catch (const std::logic_error& error) {
+      std::printf("cross-check violation (instance %zu, vertex %u): %s\n", i,
+                  v, error.what());
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main() {
+  // Fixed workload: 12 random 7-rings, all 84 (ring, vertex) tasks.
+  const std::vector<graph::Graph> rings = exp::random_rings(12, 7, 9000, 30);
+
+  game::SybilOptions scan_options;
+  scan_options.use_exact_piece_solver = false;
+  // PR-1 found breakpoints by pure bisection to the full resolution; the
+  // algebraic partition fast path is part of the v2 engine under test.
+  scan_options.partition.algebraic_bits = 0;
+  const game::SybilOptions exact_options;  // library default: exact solver
+
+  std::printf("[sweep] pr1_scan pass (scan solver, accelerators on)...\n");
+  const SweepRun pr1_scan =
+      run_sweep(rings, scan_options, /*accelerators=*/true);
+  std::printf("[sweep] pr1_scan %.3fs\n", pr1_scan.seconds);
+
+  std::printf("[sweep] v2_exact pass (exact solver, accelerators on)...\n");
+  const SweepRun v2_exact =
+      run_sweep(rings, exact_options, /*accelerators=*/true);
+  std::printf("[sweep] v2_exact %.3fs\n", v2_exact.seconds);
+
+  std::printf("[sweep] v2_cold pass (exact solver, accelerators off)...\n");
+  const SweepRun v2_cold =
+      run_sweep(rings, exact_options, /*accelerators=*/false);
+  std::printf("[sweep] v2_cold %.3fs\n", v2_cold.seconds);
+
+  // Identity contract: the exact solver's optima may not depend on the
+  // numeric accelerators in any bit.
+  const bool results_identical = v2_exact.outputs == v2_cold.outputs;
+
+  // Dominance contract: exact >= scan on every single task.
+  std::size_t dominance_violations = 0;
+  std::size_t strict_improvements = 0;
+  for (std::size_t k = 0; k < v2_exact.ratios.size(); ++k) {
+    if (v2_exact.ratios[k] < pr1_scan.ratios[k]) ++dominance_violations;
+    if (pr1_scan.ratios[k] < v2_exact.ratios[k]) ++strict_improvements;
+  }
+
+  const double speedup =
+      v2_exact.seconds > 0 ? pr1_scan.seconds / v2_exact.seconds : 0;
+  std::printf("[sweep] speedup %.2fx, %s, %zu/%zu tasks strictly improved\n",
+              speedup, results_identical ? "results identical" : "RESULTS DIFFER",
+              strict_improvements, v2_exact.ratios.size());
+
+  std::printf("[cross-check] 1000 randomized instances...\n");
+  util::Timer cc_timer;
+  const std::size_t cc_violations = cross_check_violations(1000, 5, 424242);
+  const double cc_seconds = cc_timer.elapsed_seconds();
+  std::printf("[cross-check] %zu violations in %.3fs\n", cc_violations,
+              cc_seconds);
+
+  const std::string json_path =
+      std::string(RINGSHARE_REPO_ROOT) + "/BENCH_sweep.json";
+  {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"sweep_engine\",\n"
+        << "  \"workload\": {\"rings\": " << rings.size()
+        << ", \"n\": 7, \"tasks\": " << v2_exact.ratios.size() << "},\n"
+        << "  \"pr1_scan_seconds\": " << pr1_scan.seconds << ",\n"
+        << "  \"v2_exact_seconds\": " << v2_exact.seconds << ",\n"
+        << "  \"v2_cold_seconds\": " << v2_cold.seconds << ",\n"
+        << "  \"speedup\": " << speedup << ",\n"
+        << "  \"results_identical\": " << (results_identical ? "true" : "false")
+        << ",\n"
+        << "  \"dominance_violations\": " << dominance_violations << ",\n"
+        << "  \"strict_improvements\": " << strict_improvements << ",\n"
+        << "  \"cross_check\": {\"instances\": 1000, \"violations\": "
+        << cc_violations << ", \"seconds\": " << cc_seconds << "},\n"
+        << "  \"v2_counters\": " << v2_exact.counters.to_json(2) << "\n}\n";
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  int exit_code = 0;
+  if (!results_identical) {
+    std::printf("FAIL: exact optima differ between accelerator modes\n");
+    exit_code = 1;
+  }
+  if (dominance_violations > 0) {
+    std::printf("FAIL: scan beat the exact solver on %zu tasks\n",
+                dominance_violations);
+    exit_code = 1;
+  }
+  if (speedup < 3.0) {
+    std::printf("FAIL: sweep speedup %.2fx < 3x\n", speedup);
+    exit_code = 1;
+  }
+  if (cc_violations > 0) {
+    std::printf("FAIL: %zu cross-check violations\n", cc_violations);
+    exit_code = 1;
+  }
+  configure(/*accelerators=*/true);
+  return exit_code;
+}

@@ -6,8 +6,16 @@
 #      separate tree (build-asan/) and run the suites most likely to catch
 #      memory/UB regressions in the numeric fast path and the sharded
 #      bottleneck cache.
+#   3. TSan: rebuild under ThreadSanitizer (build-tsan/) and run the
+#      scheduler and sweep-driver suites — the work-stealing pool and the
+#      checkpointed sweep are the concurrency-heavy layers.
+#   4. Sweep bench smoke: run bench_sweep_engine and validate that
+#      BENCH_sweep.json parses with results_identical == true (the exact
+#      engine's optima must not depend on the accelerators).
 #
 # Usage: scripts/tier1.sh [--skip-asan]
+#   --skip-asan skips every sanitizer pass (ASan/UBSan and TSan) and the
+#   bench smoke — the quick edit loop.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -46,5 +54,41 @@ for target in numeric_fastpath_test memo_cache_test bigint_test \
   echo "--- $target ---"
   "./build-asan/tests/$target"
 done
+
+echo "=== TSan: configure + build (build-tsan/) ==="
+tsan_flags="-fsanitize=thread -fno-omit-frame-pointer"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$tsan_flags" \
+  -DCMAKE_EXE_LINKER_FLAGS="$tsan_flags"
+for target in util_test sweep_driver_test; do
+  cmake --build build-tsan -j "$jobs" --target "$target"
+done
+
+echo "=== TSan: run (work-stealing pool + concurrent sweep) ==="
+for target in util_test sweep_driver_test; do
+  echo "--- $target ---"
+  "./build-tsan/tests/$target"
+done
+
+echo "=== sweep bench smoke: bench_sweep_engine ==="
+cmake --build build -j "$jobs" --target bench_sweep_engine
+./build/bench/bench_sweep_engine
+# The binary already exits nonzero on any contract violation; re-validate
+# the emitted JSON independently so a silent write failure also fails CI.
+grep -q '"results_identical": true' BENCH_sweep.json || {
+  echo "tier1.sh: BENCH_sweep.json missing results_identical: true" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+with open("BENCH_sweep.json") as f:
+    report = json.load(f)
+sys.exit(0 if report["results_identical"] is True else 1)
+EOF
+else
+  echo "tier1.sh: python3 not found; JSON well-formedness check skipped"
+fi
 
 echo "=== tier1.sh: all green ==="

@@ -1,0 +1,222 @@
+#include "exp/sweep_driver.hpp"
+
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "exp/families.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace ringshare::exp {
+
+namespace {
+
+/// Extract the string value of `"name": "..."` from one JSONL line, or
+/// nullopt when absent/malformed. The driver writes flat records with no
+/// escaped quotes, so a plain scan is exact for its own output.
+std::optional<std::string> json_string_field(std::string_view line,
+                                             std::string_view name) {
+  const std::string needle = "\"" + std::string(name) + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(line.substr(begin, end - begin));
+}
+
+/// Parse "i<instance>.v<vertex>".
+std::optional<std::pair<std::size_t, graph::Vertex>> parse_task_key(
+    const std::string& key) {
+  if (key.size() < 4 || key.front() != 'i') return std::nullopt;
+  const std::size_t dot = key.find(".v");
+  if (dot == std::string::npos) return std::nullopt;
+  try {
+    const std::size_t instance = std::stoull(key.substr(1, dot - 1));
+    const graph::Vertex vertex =
+        static_cast<graph::Vertex>(std::stoull(key.substr(dot + 2)));
+    return std::make_pair(instance, vertex);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+util::PerfSnapshot snapshot_delta(const util::PerfSnapshot& after,
+                                  const util::PerfSnapshot& before) {
+  util::PerfSnapshot delta;
+  delta.bigint_fast_ops = after.bigint_fast_ops - before.bigint_fast_ops;
+  delta.bigint_slow_ops = after.bigint_slow_ops - before.bigint_slow_ops;
+  delta.rational_gcds = after.rational_gcds - before.rational_gcds;
+  delta.rational_gcd_skipped =
+      after.rational_gcd_skipped - before.rational_gcd_skipped;
+  delta.bottleneck_cache_hits =
+      after.bottleneck_cache_hits - before.bottleneck_cache_hits;
+  delta.bottleneck_cache_misses =
+      after.bottleneck_cache_misses - before.bottleneck_cache_misses;
+  delta.dinkelbach_iterations =
+      after.dinkelbach_iterations - before.dinkelbach_iterations;
+  delta.dinkelbach_warm_hits =
+      after.dinkelbach_warm_hits - before.dinkelbach_warm_hits;
+  delta.dinkelbach_warm_restarts =
+      after.dinkelbach_warm_restarts - before.dinkelbach_warm_restarts;
+  delta.flow_network_builds =
+      after.flow_network_builds - before.flow_network_builds;
+  delta.flow_network_reuses =
+      after.flow_network_reuses - before.flow_network_reuses;
+  delta.piece_solver_pieces =
+      after.piece_solver_pieces - before.piece_solver_pieces;
+  delta.piece_solver_exact_roots =
+      after.piece_solver_exact_roots - before.piece_solver_exact_roots;
+  delta.piece_solver_bracketed_roots =
+      after.piece_solver_bracketed_roots - before.piece_solver_bracketed_roots;
+  delta.pool_tasks_local = after.pool_tasks_local - before.pool_tasks_local;
+  delta.pool_tasks_stolen = after.pool_tasks_stolen - before.pool_tasks_stolen;
+  for (int i = 0; i < static_cast<int>(util::Phase::kCount); ++i)
+    delta.phase_ns[i] = after.phase_ns[i] - before.phase_ns[i];
+  return delta;
+}
+
+}  // namespace
+
+std::vector<Graph> FamilySpec::build() const {
+  if (family == "random") return random_rings(count, n, seed, max_weight);
+  if (family == "exhaustive") return exhaustive_rings(n, max_weight);
+  if (family == "uniform") return {uniform_ring(n)};
+  if (family == "alternating") return {alternating_ring(n, Rational(heavy))};
+  if (family == "single_heavy")
+    return {single_heavy_ring(n, Rational(heavy))};
+  if (family == "geometric") return {geometric_ring(n, Rational(heavy))};
+  if (family == "near_tight") return {near_tight_ring(Rational(heavy))};
+  throw std::invalid_argument("FamilySpec: unknown family '" + family + "'");
+}
+
+std::string SweepTaskRecord::key() const {
+  return "i" + std::to_string(instance) + ".v" + std::to_string(vertex);
+}
+
+std::string SweepTaskRecord::to_jsonl() const {
+  std::ostringstream os;
+  os << "{\"task\": \"" << key() << "\", \"instance\": " << instance
+     << ", \"vertex\": " << vertex << ", \"ratio\": \"" << ratio.to_string()
+     << "\", \"ratio_double\": " << ratio.to_double() << ", \"w1_star\": \""
+     << w1_star.to_string() << "\", \"utility\": \"" << utility.to_string()
+     << "\", \"honest_utility\": \"" << honest_utility.to_string() << "\"}";
+  return os.str();
+}
+
+std::vector<std::string> checkpointed_task_keys(const std::string& path) {
+  std::vector<std::string> keys;
+  std::ifstream in(path);
+  if (!in) return keys;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (std::optional<std::string> key = json_string_field(line, "task"))
+      keys.push_back(std::move(*key));
+  }
+  return keys;
+}
+
+SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
+                                   const SweepDriverOptions& options) {
+  if (rings.empty())
+    throw std::invalid_argument("run_sweep_driver: no instances");
+
+  struct Task {
+    std::size_t instance;
+    graph::Vertex vertex;
+  };
+
+  SweepDriverReport report;
+  bool have_max = false;
+  auto consider = [&](const Rational& ratio, std::size_t instance,
+                      graph::Vertex vertex) {
+    if (!have_max || report.max_ratio < ratio) {
+      report.max_ratio = ratio;
+      report.argmax_instance = instance;
+      report.argmax_vertex = vertex;
+      have_max = true;
+    }
+  };
+
+  // Resume: fold checkpointed ratios into the aggregate, skip their tasks.
+  std::unordered_set<std::string> done;
+  if (!options.output_path.empty() && options.resume) {
+    std::ifstream in(options.output_path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const std::optional<std::string> key = json_string_field(line, "task");
+      const std::optional<std::string> ratio =
+          json_string_field(line, "ratio");
+      if (!key || !ratio) continue;
+      const auto parsed = parse_task_key(*key);
+      if (!parsed) continue;
+      if (!done.insert(*key).second) continue;  // duplicate checkpoint line
+      consider(Rational::from_string(*ratio), parsed->first, parsed->second);
+    }
+  }
+
+  std::vector<Task> pending;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    for (graph::Vertex v = 0; v < rings[i].vertex_count(); ++v) {
+      ++report.tasks_total;
+      SweepTaskRecord probe;
+      probe.instance = i;
+      probe.vertex = v;
+      if (done.count(probe.key())) {
+        ++report.tasks_skipped;
+      } else {
+        pending.push_back(Task{i, v});
+      }
+    }
+  }
+  report.tasks_run = pending.size();
+
+  std::ofstream out;
+  if (!options.output_path.empty()) {
+    out.open(options.output_path, std::ios::app);
+    if (!out)
+      throw std::runtime_error("run_sweep_driver: cannot open " +
+                               options.output_path);
+  }
+
+  const util::PerfSnapshot counters_before = util::PerfCounters::snapshot();
+  util::Timer timer;
+
+  std::mutex out_mutex;
+  std::vector<std::optional<SweepTaskRecord>> run_records(pending.size());
+  util::parallel_for(0, pending.size(), [&](std::size_t k) {
+    const Task& task = pending[k];
+    const game::SybilOptimum optimum = game::optimize_sybil_split(
+        rings[task.instance], task.vertex, options.sybil);
+    SweepTaskRecord record;
+    record.instance = task.instance;
+    record.vertex = task.vertex;
+    record.ratio = optimum.ratio;
+    record.w1_star = optimum.w1_star;
+    record.utility = optimum.utility;
+    record.honest_utility = optimum.honest_utility;
+    if (out.is_open()) {
+      // One flushed line per task = the checkpoint granularity.
+      const std::string line = record.to_jsonl();
+      std::lock_guard lock(out_mutex);
+      out << line << '\n';
+      out.flush();
+    }
+    run_records[k] = std::move(record);
+  });
+
+  report.elapsed_seconds = timer.elapsed_seconds();
+  report.counters =
+      snapshot_delta(util::PerfCounters::snapshot(), counters_before);
+  for (const std::optional<SweepTaskRecord>& record : run_records)
+    consider(record->ratio, record->instance, record->vertex);
+  return report;
+}
+
+}  // namespace ringshare::exp

@@ -1,0 +1,88 @@
+// sweep_driver.hpp — checkpointed streaming sweeps over ring families.
+//
+// The batch layer behind tools/ringshare_sweep: a textual family spec is
+// expanded into instances, every (instance, vertex) Sybil-optimization task
+// is sharded across the shared work-stealing pool, and each finished task is
+// appended to a JSONL file and flushed — a killed sweep loses at most the
+// in-flight tasks. Re-running with resume skips every task whose key is
+// already checkpointed while still folding its stored ratio into the final
+// aggregate, so an interrupted-and-resumed sweep reports exactly what an
+// uninterrupted one would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/sybil_ring.hpp"
+#include "util/perf_counters.hpp"
+
+namespace ringshare::exp {
+
+using game::Rational;
+using graph::Graph;
+
+/// Textual instance-family spec (the tool's --family=... flags).
+struct FamilySpec {
+  /// random | exhaustive | uniform | alternating | single_heavy |
+  /// geometric | near_tight
+  std::string family = "random";
+  std::size_t count = 16;        ///< random: number of instances
+  std::size_t n = 7;             ///< ring size
+  std::uint64_t seed = 1;        ///< random: RNG seed
+  std::int64_t max_weight = 10;  ///< random / exhaustive weight cap
+  std::int64_t heavy = 100;      ///< heavy weight (or geometric ratio)
+
+  /// Expand into concrete instances. Throws std::invalid_argument for an
+  /// unknown family name.
+  [[nodiscard]] std::vector<Graph> build() const;
+};
+
+struct SweepDriverOptions {
+  game::SybilOptions sybil;
+  /// JSONL checkpoint path; empty streams nowhere (pure in-memory sweep).
+  std::string output_path;
+  /// Skip tasks already present in output_path (by task key).
+  bool resume = true;
+};
+
+/// One (instance, vertex) task result as streamed to JSONL.
+struct SweepTaskRecord {
+  std::size_t instance = 0;
+  graph::Vertex vertex = 0;
+  Rational ratio;
+  Rational w1_star;
+  Rational utility;
+  Rational honest_utility;
+
+  /// Stable checkpoint key: "i<instance>.v<vertex>".
+  [[nodiscard]] std::string key() const;
+  /// One JSON object, no trailing newline. Exact values are strings
+  /// ("p/q"), with a ratio_double convenience field alongside.
+  [[nodiscard]] std::string to_jsonl() const;
+};
+
+struct SweepDriverReport {
+  std::size_t tasks_total = 0;
+  std::size_t tasks_skipped = 0;  ///< resumed from the checkpoint file
+  std::size_t tasks_run = 0;
+  Rational max_ratio;             ///< over run AND resumed tasks
+  std::size_t argmax_instance = 0;
+  graph::Vertex argmax_vertex = 0;
+  double elapsed_seconds = 0.0;
+  /// Perf-counter activity attributable to this run (after − before).
+  util::PerfSnapshot counters;
+};
+
+/// Task keys already checkpointed in a JSONL file (empty when the file is
+/// absent). Malformed lines are ignored.
+[[nodiscard]] std::vector<std::string> checkpointed_task_keys(
+    const std::string& path);
+
+/// Run the sweep: shard tasks on the shared pool, stream + checkpoint,
+/// aggregate. Throws std::invalid_argument on an empty instance list and
+/// std::runtime_error when the output file cannot be opened.
+[[nodiscard]] SweepDriverReport run_sweep_driver(
+    const std::vector<Graph>& rings, const SweepDriverOptions& options = {});
+
+}  // namespace ringshare::exp

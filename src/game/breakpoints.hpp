@@ -98,9 +98,18 @@ class ParametrizedGraph {
 
 /// One structural breakpoint.
 struct Breakpoint {
-  Rational value;          ///< exact root, or bisection midpoint if !exact
+  Rational value;          ///< exact root, or a low-height bisection point
   bool exact = false;      ///< true when snapped to a closed-form root
   Signature signature;     ///< decomposition signature AT the breakpoint
+  /// Isolating bracket for the true crossing: lo == hi == value for exact
+  /// breakpoints; for irrational crossings a tight interval (width ≤
+  /// (t_hi − t_lo)/2^bracket_bits) whose endpoints carry the adjacent
+  /// pieces' structures — the closest in-piece rationals to the crossing,
+  /// which the exact piece solver uses as boundary candidates. `value`
+  /// stays low-height for cheap downstream decompositions and may sit
+  /// (within the bisection resolution) outside [lo, hi].
+  Rational lo;
+  Rational hi;
 };
 
 /// The piecewise-constant structure of B(t) over [t_lo, t_hi].
@@ -123,6 +132,21 @@ struct PartitionOptions {
   /// Bisection stops once an interval is narrower than
   /// (t_hi − t_lo) / 2^resolution_bits.
   int resolution_bits = 48;
+  /// Irrational crossings are isolated (by exact arithmetic on the crossing
+  /// quadratic — no extra decompositions) to brackets of width ≤
+  /// (t_hi − t_lo) / 2^bracket_bits.
+  int bracket_bits = 120;
+  /// Once bisection narrows a structure-changing interval below
+  /// (t_hi − t_lo) / 2^algebraic_bits, try to resolve the crossing
+  /// algebraically right away (exact roots, then isolating brackets of the
+  /// crossing quadratics, each validated by signature samples) instead of
+  /// paying a signature evaluation per bisection level all the way down to
+  /// resolution_bits. Validation failures fall back to further bisection,
+  /// and flanks of a validated crossing are re-checked for
+  /// change-and-revert, so this is a fast path, not a weaker contract.
+  /// 0 disables it (pure bisection to resolution_bits — the pre-v2
+  /// partition).
+  int algebraic_bits = 12;
 };
 
 /// Compute the structure partition of `pg` over its parameter range.

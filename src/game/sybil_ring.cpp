@@ -2,18 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "graph/builders.hpp"
+#include "numeric/poly_roots.hpp"
+#include "util/parallel.hpp"
 #include "util/perf_counters.hpp"
 
 namespace ringshare::game {
 
-namespace {
+using num::Polynomial;
+using num::RootBracket;
 
-/// Ring order starting after v: v's successor, ..., v's predecessor.
-/// Deterministic: the successor is v's smaller-id neighbor.
 std::vector<Vertex> ring_order_from(const Graph& ring, Vertex v) {
+  if (v >= ring.vertex_count())
+    throw std::invalid_argument("ring_order_from: vertex out of range");
   if (!ring.is_connected())
     throw std::invalid_argument("split_ring: graph not connected");
   for (Vertex u = 0; u < ring.vertex_count(); ++u) {
@@ -36,11 +40,12 @@ std::vector<Vertex> ring_order_from(const Graph& ring, Vertex v) {
   return order;
 }
 
-}  // namespace
+namespace {
 
-SybilSplit split_ring(const Graph& ring, Vertex v, const Rational& w1,
-                      const Rational& w2) {
-  const std::vector<Vertex> order = ring_order_from(ring, v);
+/// Shared split-path construction from a precomputed ring order.
+SybilSplit build_split(const Graph& ring, Vertex v,
+                       const std::vector<Vertex>& order, const Rational& w1,
+                       const Rational& w2) {
   SybilSplit out;
   out.ring_to_path.assign(ring.vertex_count(), 0);
 
@@ -59,6 +64,30 @@ SybilSplit split_ring(const Graph& ring, Vertex v, const Rational& w1,
   return out;
 }
 
+}  // namespace
+
+SybilEvaluator::SybilEvaluator(const Graph& ring, Vertex v)
+    : ring_(&ring), v_(v), order_(ring_order_from(ring, v)) {}
+
+SybilSplit SybilEvaluator::split(const Rational& w1,
+                                 const Rational& w2) const {
+  return build_split(*ring_, v_, order_, w1, w2);
+}
+
+Rational SybilEvaluator::utility(const Rational& w1) const {
+  const Rational w2 = ring_->weight(v_) - w1;
+  if (w1.is_negative() || w2.is_negative())
+    throw std::invalid_argument("sybil_utility: split outside [0, w_v]");
+  const SybilSplit s = split(w1, w2);
+  const Decomposition decomposition(s.path);
+  return decomposition.utility(s.v1) + decomposition.utility(s.v2);
+}
+
+SybilSplit split_ring(const Graph& ring, Vertex v, const Rational& w1,
+                      const Rational& w2) {
+  return build_split(ring, v, ring_order_from(ring, v), w1, w2);
+}
+
 ParametrizedGraph sybil_family(const Graph& ring, Vertex v) {
   const Rational w_v = ring.weight(v);
   SybilSplit split = split_ring(ring, v, Rational(0), w_v);
@@ -69,21 +98,16 @@ ParametrizedGraph sybil_family(const Graph& ring, Vertex v) {
 }
 
 Rational sybil_utility(const Graph& ring, Vertex v, const Rational& w1) {
-  const Rational w2 = ring.weight(v) - w1;
-  if (w1.is_negative() || w2.is_negative())
-    throw std::invalid_argument("sybil_utility: split outside [0, w_v]");
-  const SybilSplit split = split_ring(ring, v, w1, w2);
-  const Decomposition decomposition(split.path);
-  return decomposition.utility(split.v1) + decomposition.utility(split.v2);
+  return SybilEvaluator(ring, v).utility(w1);
 }
 
 std::pair<Rational, Rational> honest_split_weights(const Graph& ring,
                                                    Vertex v) {
   const Decomposition decomposition(ring);
   const bd::Allocation allocation = bd_allocation(decomposition);
-  const std::vector<Vertex> order = ring_order_from(ring, v);
-  const Vertex successor = order.front();
-  const Vertex predecessor = order.back();
+  const SybilEvaluator evaluator(ring, v);
+  const Vertex successor = evaluator.order().front();
+  const Vertex predecessor = evaluator.order().back();
   return {allocation.sent(v, successor), allocation.sent(v, predecessor)};
 }
 
@@ -97,16 +121,55 @@ struct CopyUtility {
   AlphaFunction alpha;
   bd::VertexClass cls;
 
-  [[nodiscard]] Rational at(const Rational& t) const {
+  /// Exact value at t, or nullopt when the class division degenerates there
+  /// (zero α denominator for B, zero α for C — possible only at piece
+  /// endpoints where a sum of weights vanishes). A *negative* value is
+  /// never legitimate and throws std::logic_error instead of hiding behind
+  /// a sentinel.
+  [[nodiscard]] std::optional<Rational> try_at(const Rational& t) const {
     const Rational w = weight.at(t);
-    if (w.is_zero()) return Rational(0);
+    std::optional<Rational> value;
+    if (w.is_zero()) {
+      value = Rational(0);
+    } else {
+      switch (cls) {
+        case bd::VertexClass::kB: {
+          const Rational den = alpha.den_c + alpha.den_s * t;
+          if (den.is_zero()) return std::nullopt;
+          value = w * (alpha.num_c + alpha.num_s * t) / den;
+          break;
+        }
+        case bd::VertexClass::kC: {
+          const Rational num = alpha.num_c + alpha.num_s * t;
+          if (num.is_zero()) return std::nullopt;
+          value = w * (alpha.den_c + alpha.den_s * t) / num;
+          break;
+        }
+        case bd::VertexClass::kBoth:
+          value = w;
+          break;
+      }
+    }
+    if (!value) throw std::logic_error("CopyUtility: bad class");
+    if (value->is_negative())
+      throw std::logic_error(
+          "CopyUtility: negative piece utility — decomposition bug");
+    return value;
+  }
+
+  /// Numerator/denominator polynomials of U_copy(t) = P(t)/Q(t):
+  /// deg P ≤ 2, deg Q ≤ 1.
+  [[nodiscard]] std::pair<Polynomial, Polynomial> as_rational_function() const {
+    const Polynomial w = Polynomial::linear(weight.constant, weight.slope);
+    const Polynomial num = Polynomial::linear(alpha.num_c, alpha.num_s);
+    const Polynomial den = Polynomial::linear(alpha.den_c, alpha.den_s);
     switch (cls) {
       case bd::VertexClass::kB:
-        return w * alpha.at(t);
+        return {w * num, den};
       case bd::VertexClass::kC:
-        return w / alpha.at(t);
+        return {w * den, num};
       case bd::VertexClass::kBoth:
-        return w;
+        return {w, Polynomial::constant(Rational(1))};
     }
     throw std::logic_error("CopyUtility: bad class");
   }
@@ -129,6 +192,136 @@ CopyUtility copy_utility(const ParametrizedGraph& pg, const Signature& sig,
   throw std::logic_error("copy_utility: copy not found in signature");
 }
 
+/// Exact total piece utility at t, degenerate α propagating as nullopt.
+std::optional<Rational> piece_value(const CopyUtility& u1,
+                                    const CopyUtility& u2, const Rational& t) {
+  const std::optional<Rational> a = u1.try_at(t);
+  if (!a) return std::nullopt;
+  const std::optional<Rational> b = u2.try_at(t);
+  if (!b) return std::nullopt;
+  return *a + *b;
+}
+
+/// Layer 4 — exact per-piece optimizer. Inside the piece
+/// U(t) = P₁/Q₁ + P₂/Q₂ with deg Pᵢ ≤ 2, deg Qᵢ ≤ 1, so U′ has exact
+/// numerator D = (P₁′Q₁ − P₁Q₁′)·Q₂² + (P₂′Q₂ − P₂Q₂′)·Q₁² of degree ≤ 4.
+/// The piece maximum sits at the piece bounds (already candidates) or at a
+/// sign-changing root of D: rational roots are emitted exactly, irrational
+/// ones as tight bracket endpoints + midpoint (all inside [lo, hi]).
+void exact_piece_candidates(const CopyUtility& u1, const CopyUtility& u2,
+                            const Rational& lo, const Rational& hi,
+                            std::vector<Rational>& out) {
+  const auto [p1, q1] = u1.as_rational_function();
+  const auto [p2, q2] = u2.as_rational_function();
+  const Polynomial n1 = p1.derivative() * q1 - p1 * q1.derivative();
+  const Polynomial n2 = p2.derivative() * q2 - p2 * q2.derivative();
+  const Polynomial d = n1 * q2 * q2 + n2 * q1 * q1;
+
+  auto& tally = util::PerfCounters::local();
+  tally.piece_solver_pieces.fetch_add(1, std::memory_order_relaxed);
+  if (d.is_zero()) return;  // U constant on the piece: bounds cover it
+
+  for (const RootBracket& root : num::isolate_roots(d, lo, hi)) {
+    if (root.exact) {
+      tally.piece_solver_exact_roots.fetch_add(1, std::memory_order_relaxed);
+      out.push_back(root.lo);
+    } else {
+      tally.piece_solver_bracketed_roots.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      out.push_back(root.lo);
+      out.push_back(root.hi);
+      out.push_back(root.value());
+    }
+  }
+}
+
+/// The legacy PR-1 dense scan: 64 double samples per piece plus bracket
+/// refinement, typed degenerate-α handling (skipped samples instead of a
+/// negative sentinel). Kept for SybilOptions::use_exact_piece_solver ==
+/// false and as the cross-check reference. When `probes` is given, every
+/// evaluated sample point is recorded (clamped into [lo, hi]) so the
+/// cross-check can assert exact dominance over each one.
+void scan_piece_candidates(const CopyUtility& u1, const CopyUtility& u2,
+                           const Rational& lo, const Rational& hi,
+                           const SybilOptions& options,
+                           std::vector<Rational>& out,
+                           std::vector<Rational>* probes = nullptr) {
+  const double lo_d = lo.to_double();
+  const double hi_d = hi.to_double();
+  auto eval_double = [&](double t) -> std::optional<double> {
+    Rational rt = Rational::from_double(t);
+    if (rt < lo) rt = lo;
+    if (hi < rt) rt = hi;
+    if (probes) probes->push_back(rt);
+    const std::optional<Rational> value = piece_value(u1, u2, rt);
+    if (!value) return std::nullopt;  // degenerate α at this t
+    return value->to_double();
+  };
+
+  // Dense scan then bracket shrink around the best sample.
+  double best_t = lo_d;
+  std::optional<double> best_u = eval_double(lo_d);
+  const int samples = std::max(2, options.samples_per_piece);
+  for (int i = 0; i <= samples; ++i) {
+    const double t = lo_d + (hi_d - lo_d) * static_cast<double>(i) / samples;
+    const std::optional<double> value = eval_double(t);
+    if (value && (!best_u || *value > *best_u)) {
+      best_u = value;
+      best_t = t;
+    }
+  }
+  double radius = (hi_d - lo_d) / samples;
+  for (int round = 0; round < options.refinement_rounds && radius > 0;
+       ++round) {
+    const double left = std::max(lo_d, best_t - radius);
+    const double right = std::min(hi_d, best_t + radius);
+    for (int i = 0; i <= 8; ++i) {
+      const double t = left + (right - left) * static_cast<double>(i) / 8;
+      const std::optional<double> value = eval_double(t);
+      if (value && (!best_u || *value > *best_u)) {
+        best_u = value;
+        best_t = t;
+      }
+    }
+    radius /= 4;
+  }
+  Rational best_rational = Rational::from_double(best_t);
+  if (best_rational < lo) best_rational = lo;
+  if (hi < best_rational) best_rational = hi;
+  out.push_back(std::move(best_rational));
+  out.push_back(Rational::midpoint(lo, hi));
+}
+
+/// Cross-check (SybilOptions::cross_check): the exact per-piece optimum —
+/// max of the piece formula over bounds + exact candidates — must dominate
+/// EVERY probe the legacy scan evaluates (dense grid and refinement rounds
+/// alike), compared exactly. Throws std::logic_error on violation.
+void cross_check_piece(const CopyUtility& u1, const CopyUtility& u2,
+                       const Rational& lo, const Rational& hi,
+                       const std::vector<Rational>& exact_candidates,
+                       const SybilOptions& options) {
+  std::optional<Rational> exact_best;
+  auto consider = [&](const Rational& t) {
+    const std::optional<Rational> value = piece_value(u1, u2, t);
+    if (value && (!exact_best || *exact_best < *value)) exact_best = *value;
+  };
+  consider(lo);
+  consider(hi);
+  for (const Rational& t : exact_candidates) consider(t);
+
+  std::vector<Rational> scan_out;
+  std::vector<Rational> probes;
+  scan_piece_candidates(u1, u2, lo, hi, options, scan_out, &probes);
+  for (const Rational& t : probes) {
+    const std::optional<Rational> value = piece_value(u1, u2, t);
+    if (!value) continue;  // degenerate α: the scan skipped it too
+    if (!exact_best || *exact_best < *value)
+      throw std::logic_error(
+          "optimize_sybil_split: scan sample exceeds the exact per-piece "
+          "optimum (exact solver missed a candidate)");
+  }
+}
+
 }  // namespace
 
 SybilOptimum optimize_sybil_split(const Graph& ring, Vertex v,
@@ -146,64 +339,45 @@ SybilOptimum optimize_sybil_split(const Graph& ring, Vertex v,
     partition = find_structure_partition(family, options.partition);
   }
 
-  // Candidate splits: range ends, breakpoints, and per-piece continuous
-  // optima found on the closed-form piece utility.
+  // Candidate splits: range ends, breakpoints, and per-piece interior
+  // candidates (exact stationary points, or the legacy scan's best).
   std::vector<Rational> candidates = {family.t_lo(), family.t_hi()};
-  for (const Breakpoint& bp : partition.breakpoints)
+  for (const Breakpoint& bp : partition.breakpoints) {
     candidates.push_back(bp.value);
-
-  for (std::size_t piece = 0; piece < partition.piece_count(); ++piece) {
-    const auto [lo, hi] = partition.piece_bounds(piece);
-    if (!(lo < hi)) continue;
-    const Signature& sig = partition.piece_signatures[piece];
-
-    CopyUtility u1 = copy_utility(family, sig, v1);
-    CopyUtility u2 = copy_utility(family, sig, v2);
-    const double lo_d = lo.to_double();
-    const double hi_d = hi.to_double();
-    auto eval_double = [&](double t) -> double {
-      const Rational rt = Rational::from_double(t);
-      try {
-        return (u1.at(rt) + u2.at(rt)).to_double();
-      } catch (const std::domain_error&) {
-        return -1.0;  // degenerate α at this t; never optimal
-      }
-    };
-
-    // Dense scan then bracket shrink around the best sample.
-    double best_t = lo_d;
-    double best_u = eval_double(lo_d);
-    const int samples = std::max(2, options.samples_per_piece);
-    for (int i = 0; i <= samples; ++i) {
-      const double t =
-          lo_d + (hi_d - lo_d) * static_cast<double>(i) / samples;
-      const double value = eval_double(t);
-      if (value > best_u) {
-        best_u = value;
-        best_t = t;
-      }
+    if (!bp.exact) {
+      // Irrational crossing: the true breakpoint lies strictly inside
+      // [bp.lo, bp.hi] and the piece utilities are monotone right up to it,
+      // so the in-piece bracket endpoints are the best attainable splits
+      // near the boundary — strictly closer than any double-precision scan
+      // sample can get.
+      candidates.push_back(bp.lo);
+      candidates.push_back(bp.hi);
     }
-    double radius = (hi_d - lo_d) / samples;
-    for (int round = 0; round < options.refinement_rounds && radius > 0;
-         ++round) {
-      const double left = std::max(lo_d, best_t - radius);
-      const double right = std::min(hi_d, best_t + radius);
-      for (int i = 0; i <= 8; ++i) {
-        const double t = left + (right - left) * static_cast<double>(i) / 8;
-        const double value = eval_double(t);
-        if (value > best_u) {
-          best_u = value;
-          best_t = t;
-        }
-      }
-      radius /= 4;
-    }
-    Rational best_rational = Rational::from_double(best_t);
-    if (best_rational < lo) best_rational = lo;
-    if (hi < best_rational) best_rational = hi;
-    candidates.push_back(std::move(best_rational));
-    candidates.push_back(partition.piece_midpoint(piece));
   }
+
+  std::vector<std::vector<Rational>> piece_candidates(partition.piece_count());
+  {
+    util::ScopedPhase phase(util::Phase::kPieceSolve);
+    // Pieces are independent; on a pool worker (instance sweeps) this
+    // participates in the work-stealing pool instead of serializing.
+    util::parallel_for(0, partition.piece_count(), [&](std::size_t piece) {
+      const auto [lo, hi] = partition.piece_bounds(piece);
+      if (!(lo < hi)) return;
+      const Signature& sig = partition.piece_signatures[piece];
+      const CopyUtility u1 = copy_utility(family, sig, v1);
+      const CopyUtility u2 = copy_utility(family, sig, v2);
+      std::vector<Rational>& out = piece_candidates[piece];
+      if (options.use_exact_piece_solver) {
+        exact_piece_candidates(u1, u2, lo, hi, out);
+        if (options.cross_check)
+          cross_check_piece(u1, u2, lo, hi, out, options);
+      } else {
+        scan_piece_candidates(u1, u2, lo, hi, options, out);
+      }
+    });
+  }
+  for (std::vector<Rational>& piece : piece_candidates)
+    for (Rational& t : piece) candidates.push_back(std::move(t));
 
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),

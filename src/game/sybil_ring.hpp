@@ -30,6 +30,38 @@ struct SybilSplit {
 [[nodiscard]] SybilSplit split_ring(const Graph& ring, Vertex v,
                                     const Rational& w1, const Rational& w2);
 
+/// Ring order starting after v (v's successor first, predecessor last),
+/// validating that `ring` is a single cycle. Deterministic: the successor is
+/// v's smaller-id neighbor.
+[[nodiscard]] std::vector<Vertex> ring_order_from(const Graph& ring, Vertex v);
+
+/// Re-usable evaluator for one (ring, v) pair: validates the ring and walks
+/// its order ONCE, then builds split paths / utilities without re-walking —
+/// the candidate-loop hot path. The referenced ring must outlive the
+/// evaluator and keep its topology (weights may not change either: the
+/// order and weight snapshot are taken at construction).
+class SybilEvaluator {
+ public:
+  SybilEvaluator(const Graph& ring, Vertex v);
+
+  [[nodiscard]] const Graph& ring() const noexcept { return *ring_; }
+  [[nodiscard]] Vertex vertex() const noexcept { return v_; }
+  /// Ring order after v (successor ... predecessor).
+  [[nodiscard]] const std::vector<Vertex>& order() const noexcept {
+    return order_;
+  }
+
+  /// P_v(w₁, w₂) without revalidating the ring.
+  [[nodiscard]] SybilSplit split(const Rational& w1, const Rational& w2) const;
+  /// U_{v¹} + U_{v²} on P_v(w₁, w_v − w₁), exact.
+  [[nodiscard]] Rational utility(const Rational& w1) const;
+
+ private:
+  const Graph* ring_;
+  Vertex v_;
+  std::vector<Vertex> order_;
+};
+
 /// Parametrized family P_v(t, w_v − t) over t ∈ [0, w_v]: the diagonal
 /// sweep used by the optimizer and the Adjusting Technique.
 [[nodiscard]] ParametrizedGraph sybil_family(const Graph& ring, Vertex v);
@@ -45,7 +77,18 @@ struct SybilSplit {
     const Graph& ring, Vertex v);
 
 struct SybilOptions {
-  /// Samples per structure piece in the per-piece continuous search.
+  /// Use the exact per-piece optimizer (Layer 4): inside a piece the
+  /// signature is fixed, so U(t) is a low-degree rational function whose
+  /// stationary points are enumerated exactly (closed-form / integer-sqrt
+  /// roots, isolating brackets for irrational ones) — endpoints + ≤ a few
+  /// stationary candidates replace the dense scan. When false, the legacy
+  /// 64-sample scan + refinement runs instead (the PR-1 engine).
+  bool use_exact_piece_solver = true;
+  /// Run BOTH the exact solver and the legacy scan, asserting (exactly)
+  /// that the per-piece exact optimum dominates every scan sample. Throws
+  /// std::logic_error on violation. Expensive — differential testing only.
+  bool cross_check = false;
+  /// Samples per structure piece in the legacy per-piece scan.
   int samples_per_piece = 64;
   /// Local refinement rounds (each shrinks the bracket 4x around the best).
   int refinement_rounds = 40;
@@ -62,10 +105,13 @@ struct SybilOptimum {
 };
 
 /// Maximize U_{v¹} + U_{v²} over w₁ ∈ [0, w_v]: exact structure partition,
-/// continuous search inside each piece (utilities are smooth low-degree
-/// rational functions there), exact re-evaluation of every candidate. The
-/// returned ratio is therefore an exact value attained by a concrete split —
-/// a certified lower bound on ζ_v that empirically meets the optimum.
+/// then per piece either the exact stationary-point solver (default) or the
+/// legacy dense scan, then exact re-evaluation of every candidate by full
+/// decomposition. The returned ratio is therefore an exact value attained
+/// by a concrete split — a certified lower bound on ζ_v that empirically
+/// meets the optimum. Piece candidate generation runs in parallel on the
+/// shared pool (it participates in, rather than serializes under, an
+/// enclosing instance sweep).
 [[nodiscard]] SybilOptimum optimize_sybil_split(
     const Graph& ring, Vertex v, const SybilOptions& options = {});
 

@@ -1,0 +1,270 @@
+#include "numeric/poly_roots.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "numeric/bigint.hpp"
+
+namespace ringshare::num {
+
+Polynomial::Polynomial(std::vector<Rational> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  trim();
+}
+
+Polynomial Polynomial::constant(Rational c) {
+  return Polynomial({std::move(c)});
+}
+
+Polynomial Polynomial::linear(Rational c0, Rational c1) {
+  return Polynomial({std::move(c0), std::move(c1)});
+}
+
+void Polynomial::trim() {
+  while (!coefficients_.empty() && coefficients_.back().is_zero())
+    coefficients_.pop_back();
+}
+
+const Rational& Polynomial::coefficient(std::size_t k) const {
+  static const Rational zero(0);
+  return k < coefficients_.size() ? coefficients_[k] : zero;
+}
+
+Rational Polynomial::at(const Rational& t) const {
+  Rational value(0);
+  for (std::size_t k = coefficients_.size(); k-- > 0;) {
+    value = value * t + coefficients_[k];
+  }
+  return value;
+}
+
+int Polynomial::sign_at(const Rational& t) const { return at(t).sign(); }
+
+Polynomial Polynomial::derivative() const {
+  if (coefficients_.size() <= 1) return {};
+  std::vector<Rational> d;
+  d.reserve(coefficients_.size() - 1);
+  for (std::size_t k = 1; k < coefficients_.size(); ++k)
+    d.push_back(coefficients_[k] * Rational(static_cast<std::int64_t>(k)));
+  return Polynomial(std::move(d));
+}
+
+Polynomial operator+(const Polynomial& a, const Polynomial& b) {
+  std::vector<Rational> sum(std::max(a.coefficients_.size(),
+                                     b.coefficients_.size()));
+  for (std::size_t k = 0; k < sum.size(); ++k)
+    sum[k] = a.coefficient(k) + b.coefficient(k);
+  return Polynomial(std::move(sum));
+}
+
+Polynomial operator-(const Polynomial& a, const Polynomial& b) {
+  std::vector<Rational> diff(std::max(a.coefficients_.size(),
+                                      b.coefficients_.size()));
+  for (std::size_t k = 0; k < diff.size(); ++k)
+    diff[k] = a.coefficient(k) - b.coefficient(k);
+  return Polynomial(std::move(diff));
+}
+
+Polynomial operator*(const Polynomial& a, const Polynomial& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  std::vector<Rational> product(a.coefficients_.size() +
+                                b.coefficients_.size() - 1);
+  for (std::size_t i = 0; i < a.coefficients_.size(); ++i) {
+    if (a.coefficients_[i].is_zero()) continue;
+    for (std::size_t j = 0; j < b.coefficients_.size(); ++j)
+      product[i + j] += a.coefficients_[i] * b.coefficients_[j];
+  }
+  return Polynomial(std::move(product));
+}
+
+namespace {
+
+using num::BigInt;
+
+/// √r for rational r ≥ 0, when it is itself rational (numerator and
+/// denominator both perfect squares — r is stored reduced, so that test is
+/// exact).
+std::optional<Rational> rational_sqrt(const Rational& r) {
+  if (r.is_negative()) return std::nullopt;
+  const BigInt& p = r.numerator();
+  const BigInt& q = r.denominator();
+  if (!BigInt::is_perfect_square(p) || !BigInt::is_perfect_square(q))
+    return std::nullopt;
+  return Rational(BigInt::isqrt(p), BigInt::isqrt(q));
+}
+
+/// ⌊r⌋ as a BigInt (truncating division corrected for negatives).
+BigInt rational_floor(const Rational& r) {
+  BigInt quotient = r.numerator() / r.denominator();
+  if (r.is_negative() && !(quotient * r.denominator() == r.numerator()))
+    quotient -= BigInt(1);
+  return quotient;
+}
+
+}  // namespace
+
+// A tight isolating bracket around a rational root r of moderate height
+// *contains r as its simplest element*, which lets the isolator snap
+// bisection brackets to exact roots.
+Rational simplest_between(const Rational& lo, const Rational& hi) {
+  if (hi < lo) throw std::logic_error("simplest_between: empty interval");
+  if (lo.is_negative() && !hi.is_negative()) return Rational(0);
+  if (hi.is_negative()) return -simplest_between(-hi, -lo);
+  // 0 ≤ lo ≤ hi: continued-fraction descent.
+  const BigInt floor_lo = rational_floor(lo);
+  const Rational floor_lo_r{floor_lo};
+  if (floor_lo_r == lo) return lo;  // lo is an integer
+  const Rational ceil_lo = Rational(floor_lo + BigInt(1));
+  if (!(hi < ceil_lo)) return ceil_lo;  // an integer lies in (lo, hi]
+  // Both endpoints share the integer part; recurse on the fractional tails
+  // (reciprocals swap the interval orientation).
+  return floor_lo_r +
+         simplest_between((hi - floor_lo_r).inverse(),
+                          (lo - floor_lo_r).inverse())
+             .inverse();
+}
+
+namespace {
+
+struct Isolator {
+  Rational min_width;
+
+  void keep_exact(const Rational& root, const Rational& lo, const Rational& hi,
+                  std::vector<RootBracket>& out) const {
+    if (root < lo || hi < root) return;
+    out.push_back(RootBracket{root, root, true});
+  }
+
+  /// Bisect a strict sign change of `p` on [a, b] down to min_width,
+  /// snapping to an exact root whenever a probe lands on one.
+  void bisect(const Polynomial& p, Rational a, Rational b, int sign_a,
+              std::vector<RootBracket>& out) const {
+    while (min_width < b - a) {
+      Rational mid = Rational::midpoint(a, b);
+      const int sign_mid = p.sign_at(mid);
+      if (sign_mid == 0) {
+        out.push_back(RootBracket{mid, mid, true});
+        return;
+      }
+      if (sign_mid == sign_a) {
+        a = std::move(mid);
+      } else {
+        b = std::move(mid);
+      }
+    }
+    // The bracket is tight; if it contains a rational of moderate height it
+    // contains exactly one, the Stern–Brocot simplest — test it for an
+    // exact snap before settling for the bracket.
+    Rational candidate = simplest_between(a, b);
+    if (p.sign_at(candidate) == 0) {
+      out.push_back(RootBracket{candidate, std::move(candidate), true});
+      return;
+    }
+    out.push_back(RootBracket{std::move(a), std::move(b), false});
+  }
+
+  /// Roots on a segment [a, b] whose interior is free of derivative roots
+  /// (p monotone there). Endpoint roots are emitted by the caller.
+  void monotone_segment(const Polynomial& p, const Rational& a,
+                        const Rational& b, int sign_a, int sign_b,
+                        std::vector<RootBracket>& out) const {
+    if (sign_a == 0 || sign_b == 0 || sign_a == sign_b) return;
+    bisect(p, a, b, sign_a, out);
+  }
+
+  std::vector<RootBracket> isolate(const Polynomial& p, const Rational& lo,
+                                   const Rational& hi) const {
+    std::vector<RootBracket> out;
+    const int degree = p.degree();
+    if (degree <= 0) return out;
+
+    if (degree == 1) {
+      keep_exact(-p.coefficient(0) / p.coefficient(1), lo, hi, out);
+      return out;
+    }
+
+    if (degree == 2) {
+      // a·t² + b·t + c: closed form when the discriminant is a rational
+      // square, else the vertex −b/2a splits [lo, hi] into two monotone
+      // halves and each sign change bisects to an isolating bracket.
+      const Rational& a = p.coefficient(2);
+      const Rational& b = p.coefficient(1);
+      const Rational& c = p.coefficient(0);
+      const Rational discriminant = b * b - Rational(4) * a * c;
+      if (discriminant.is_negative()) return out;
+      if (const auto sqrt_d = rational_sqrt(discriminant)) {
+        const Rational two_a = Rational(2) * a;
+        Rational r1 = (-b - *sqrt_d) / two_a;
+        Rational r2 = (-b + *sqrt_d) / two_a;
+        if (r2 < r1) std::swap(r1, r2);
+        keep_exact(r1, lo, hi, out);
+        if (r2 != r1) keep_exact(r2, lo, hi, out);
+        return out;
+      }
+      // Irrational pair: fall through to the generic monotone-segment walk
+      // (the derivative root −b/2a is rational, so both segments are exact).
+    }
+
+    // Generic: split [lo, hi] at the (isolated) roots of p' and walk the
+    // resulting monotone segments. An even-multiplicity root of p strictly
+    // inside an inexact derivative bracket produces no sign change and is
+    // deliberately not reported (see header contract).
+    const std::vector<RootBracket> critical = isolate(p.derivative(), lo, hi);
+    std::vector<Rational> boundaries;
+    boundaries.push_back(lo);
+    for (const RootBracket& bracket : critical) {
+      boundaries.push_back(bracket.lo);
+      if (!bracket.exact) boundaries.push_back(bracket.hi);
+    }
+    boundaries.push_back(hi);
+    std::sort(boundaries.begin(), boundaries.end());
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+
+    std::vector<int> signs;
+    signs.reserve(boundaries.size());
+    for (const Rational& point : boundaries) signs.push_back(p.sign_at(point));
+
+    for (std::size_t i = 0; i < boundaries.size(); ++i) {
+      if (signs[i] == 0)
+        out.push_back(RootBracket{boundaries[i], boundaries[i], true});
+      if (i + 1 < boundaries.size())
+        monotone_segment(p, boundaries[i], boundaries[i + 1], signs[i],
+                         signs[i + 1], out);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RootBracket& x, const RootBracket& y) {
+                return x.lo < y.lo;
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const RootBracket& x, const RootBracket& y) {
+                            return x.exact && y.exact && x.lo == y.lo;
+                          }),
+              out.end());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::vector<RootBracket> isolate_roots(const Polynomial& poly,
+                                       const Rational& lo, const Rational& hi,
+                                       const RootIsolationOptions& options) {
+  if (poly.is_zero())
+    throw std::invalid_argument("isolate_roots: zero polynomial");
+  if (hi < lo) throw std::invalid_argument("isolate_roots: empty interval");
+  if (lo == hi) {
+    std::vector<RootBracket> out;
+    if (poly.sign_at(lo) == 0) out.push_back(RootBracket{lo, lo, true});
+    return out;
+  }
+  Isolator isolator{
+      (hi - lo) / Rational(BigInt(1).shifted_left(static_cast<std::size_t>(
+                               std::max(1, options.precision_bits))),
+                           BigInt(1))};
+  return isolator.isolate(poly, lo, hi);
+}
+
+}  // namespace ringshare::num

@@ -1,0 +1,102 @@
+// poly_roots.hpp — exact univariate polynomials over Rational and root
+// isolation on an interval.
+//
+// The exact piece solver for the Sybil split (Layer 4 of the hot-path
+// engine) reduces "maximize U(t) inside a structure piece" to the roots of
+// the derivative numerator of a low-degree rational function: with α
+// linear-fractional (Lemma 13 / the Adjusting Technique), each split copy
+// contributes P(t)/Q(t) with deg P ≤ 2 and deg Q ≤ 1, so the stationary
+// points of U₁ + U₂ are roots of a polynomial of degree ≤ 4 with exact
+// rational coefficients. This module enumerates those roots exactly:
+// closed forms for degree ≤ 2 (integer-sqrt test decides rationality of
+// the quadratic roots), and for higher degrees a recursion through
+// derivatives that splits the interval into monotone segments and bisects
+// each sign change with exact rational arithmetic. Irrational roots come
+// back as isolating brackets of dyadic width ≤ (hi − lo)/2^precision_bits.
+#pragma once
+
+#include <vector>
+
+#include "numeric/rational.hpp"
+
+namespace ringshare::num {
+
+/// Dense univariate polynomial with exact rational coefficients;
+/// coefficients_[k] multiplies t^k. Trailing zeros are trimmed, so the
+/// representation is canonical and degree() is exact.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<Rational> coefficients);
+
+  /// c (degree 0) and c0 + c1·t (degree ≤ 1) conveniences.
+  static Polynomial constant(Rational c);
+  static Polynomial linear(Rational c0, Rational c1);
+
+  [[nodiscard]] bool is_zero() const noexcept { return coefficients_.empty(); }
+  /// Degree of a nonzero polynomial; -1 for the zero polynomial.
+  [[nodiscard]] int degree() const noexcept {
+    return static_cast<int>(coefficients_.size()) - 1;
+  }
+  [[nodiscard]] const std::vector<Rational>& coefficients() const noexcept {
+    return coefficients_;
+  }
+  /// coefficients()[k], or 0 beyond the degree.
+  [[nodiscard]] const Rational& coefficient(std::size_t k) const;
+
+  /// Exact evaluation (Horner).
+  [[nodiscard]] Rational at(const Rational& t) const;
+  /// -1, 0 or +1 of at(t) without materializing the value's full reduction.
+  [[nodiscard]] int sign_at(const Rational& t) const;
+
+  [[nodiscard]] Polynomial derivative() const;
+
+  friend Polynomial operator+(const Polynomial& a, const Polynomial& b);
+  friend Polynomial operator-(const Polynomial& a, const Polynomial& b);
+  friend Polynomial operator*(const Polynomial& a, const Polynomial& b);
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) = default;
+
+ private:
+  void trim();
+  std::vector<Rational> coefficients_;
+};
+
+/// One isolated real root. `exact` roots have lo == hi == the root value;
+/// irrational roots are bracketed with sign(p(lo)) ≠ sign(p(hi)) and
+/// hi − lo ≤ the requested resolution.
+struct RootBracket {
+  Rational lo;
+  Rational hi;
+  bool exact = false;
+
+  /// The root's representative value (the exact root, or the bracket
+  /// midpoint for irrational roots).
+  [[nodiscard]] Rational value() const {
+    return exact ? lo : Rational::midpoint(lo, hi);
+  }
+};
+
+struct RootIsolationOptions {
+  /// Irrational roots are bracketed to width ≤ (hi − lo)/2^precision_bits.
+  int precision_bits = 96;
+};
+
+/// The unique minimal-height rational in [lo, hi] (Stern–Brocot descent).
+/// Besides snapping isolation brackets to exact roots, callers use it to
+/// pick cheap (low-bit) sample points inside intervals whose endpoints
+/// carry high-precision tails. Throws std::logic_error when hi < lo.
+[[nodiscard]] Rational simplest_between(const Rational& lo,
+                                        const Rational& hi);
+
+/// All *odd-multiplicity* (sign-changing) real roots of `poly` in
+/// [lo, hi], in increasing order. Roots of even multiplicity that fall
+/// strictly inside an isolating bracket of the derivative may be omitted —
+/// they are tangencies, never sign changes, so optimizers that look for
+/// extrema of the antiderivative lose nothing. Throws std::invalid_argument
+/// for the zero polynomial (every point is a root) and for hi < lo.
+[[nodiscard]] std::vector<RootBracket> isolate_roots(
+    const Polynomial& poly, const Rational& lo, const Rational& hi,
+    const RootIsolationOptions& options = {});
+
+}  // namespace ringshare::num

@@ -2,10 +2,13 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "util/threadpool.hpp"
@@ -16,28 +19,32 @@ namespace ringshare::util {
 /// chunks over the shared thread pool. Blocks until all iterations finish;
 /// the first exception (if any) is rethrown in the caller.
 ///
+/// External callers never run chunks inline — every chunk is dispatched to
+/// the pool and the caller blocks. A call from a pool worker *participates*
+/// instead: it posts its chunks to its own work-stealing deque and keeps
+/// executing runnable tasks (its own chunks, or stolen ones) until the loop
+/// completes, so nested parallel_for scales rather than serializing.
+///
 /// `min_chunk` batches iterations that are individually too cheap to justify
 /// a pool submission. It is a batching floor, not a parallelism ceiling: a
 /// range with two or more iterations is always split into at least two
 /// chunks (chunk size is capped at ceil(total/2)), so an over-large
-/// `min_chunk` can never silently serialize a sweep. The only serial cases
-/// are a single-iteration range and nested calls from a pool worker.
+/// `min_chunk` can never silently serialize a sweep. The only serial case is
+/// a single-iteration range.
+///
+/// `explicit_pool` overrides the shared pool (sweep drivers honoring a
+/// --threads flag, scheduler tests); nullptr targets global_pool().
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, Body&& body,
-                  std::size_t min_chunk = 1) {
+                  std::size_t min_chunk = 1,
+                  ThreadPool* explicit_pool = nullptr) {
   if (begin >= end) return;
-  if (ThreadPool::on_worker_thread()) {
-    // Nested parallelism would block a worker on futures served by the same
-    // pool; degrade to serial execution instead.
-    for (std::size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
   const std::size_t total = end - begin;
   if (total == 1) {
     body(begin);
     return;
   }
-  ThreadPool& pool = global_pool();
+  ThreadPool& pool = explicit_pool ? *explicit_pool : global_pool();
   const std::size_t max_chunks = pool.thread_count() * 4;
   const std::size_t balanced = (total + max_chunks - 1) / max_chunks;
   // Honor min_chunk for batching, but cap at ceil(total/2): once the range
@@ -45,31 +52,63 @@ void parallel_for(std::size_t begin, std::size_t end, Body&& body,
   const std::size_t chunk =
       std::min(std::max(min_chunk, balanced), (total + 1) / 2);
 
-  std::vector<std::future<void>> futures;
-  futures.reserve((total + chunk - 1) / chunk);
+  // Shared by all chunk tasks. shared_ptr because the final notify_all
+  // touches the state after the caller's wait predicate may already hold.
+  struct ForState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
+  state->remaining = (total + chunk - 1) / chunk;
+
   for (std::size_t lo = begin; lo < end; lo += chunk) {
     const std::size_t hi = std::min(end, lo + chunk);
-    futures.push_back(pool.submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
+    // `body` is captured by reference: the caller outlives every chunk
+    // because it blocks below until remaining == 0.
+    pool.post([state, lo, hi, &body] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(state->mutex);
+        --state->remaining;
+      }
+      state->cv.notify_all();
+    });
   }
-  std::exception_ptr first_error;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+
+  const std::function<bool()> done = [&state_ref = *state] {
+    return state_ref.remaining == 0;
+  };
+  if (pool.is_worker_thread()) {
+    pool.help_wait(state->mutex, state->cv, done);
+  } else {
+    std::unique_lock lock(state->mutex);
+    state->cv.wait(lock, done);
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (state->error) std::rethrow_exception(state->error);
 }
 
-/// Map `body(i)` over [0, n) into a vector of results (parallel).
+/// Map `body(i)` over [0, n) into a vector of results (parallel). The
+/// result type only needs to be movable — slots are built through
+/// std::optional, not default-constructed.
 template <typename Body>
-auto parallel_map(std::size_t n, Body&& body) {
+auto parallel_map(std::size_t n, Body&& body,
+                  ThreadPool* explicit_pool = nullptr) {
   using Result = std::invoke_result_t<Body, std::size_t>;
-  std::vector<Result> results(n);
-  parallel_for(0, n, [&](std::size_t i) { results[i] = body(i); });
+  std::vector<std::optional<Result>> slots(n);
+  parallel_for(
+      0, n, [&](std::size_t i) { slots[i].emplace(body(i)); },
+      /*min_chunk=*/1, explicit_pool);
+  std::vector<Result> results;
+  results.reserve(n);
+  for (std::optional<Result>& slot : slots)
+    results.push_back(std::move(*slot));
   return results;
 }
 

@@ -57,6 +57,7 @@ const char* phase_name(Phase phase) noexcept {
     case Phase::kDecompose: return "decompose";
     case Phase::kDinic: return "dinic";
     case Phase::kPartition: return "partition";
+    case Phase::kPieceSolve: return "piece_solve";
     case Phase::kCandidateEval: return "candidate_eval";
     case Phase::kCount: break;
   }
@@ -83,6 +84,14 @@ void PerfTally::add_into(PerfTally& sink) const noexcept {
                                      kRelaxed);
   sink.flow_network_reuses.fetch_add(flow_network_reuses.load(kRelaxed),
                                      kRelaxed);
+  sink.piece_solver_pieces.fetch_add(piece_solver_pieces.load(kRelaxed),
+                                     kRelaxed);
+  sink.piece_solver_exact_roots.fetch_add(
+      piece_solver_exact_roots.load(kRelaxed), kRelaxed);
+  sink.piece_solver_bracketed_roots.fetch_add(
+      piece_solver_bracketed_roots.load(kRelaxed), kRelaxed);
+  sink.pool_tasks_local.fetch_add(pool_tasks_local.load(kRelaxed), kRelaxed);
+  sink.pool_tasks_stolen.fetch_add(pool_tasks_stolen.load(kRelaxed), kRelaxed);
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)
     sink.phase_ns[i].fetch_add(phase_ns[i].load(kRelaxed), kRelaxed);
 }
@@ -99,6 +108,11 @@ void PerfTally::clear() noexcept {
   dinkelbach_warm_restarts.store(0, kRelaxed);
   flow_network_builds.store(0, kRelaxed);
   flow_network_reuses.store(0, kRelaxed);
+  piece_solver_pieces.store(0, kRelaxed);
+  piece_solver_exact_roots.store(0, kRelaxed);
+  piece_solver_bracketed_roots.store(0, kRelaxed);
+  pool_tasks_local.store(0, kRelaxed);
+  pool_tasks_stolen.store(0, kRelaxed);
   for (auto& ns : phase_ns) ns.store(0, kRelaxed);
 }
 
@@ -137,6 +151,11 @@ std::string PerfSnapshot::to_json(int indent) const {
   field("dinkelbach_warm_restarts", dinkelbach_warm_restarts);
   field("flow_network_builds", flow_network_builds);
   field("flow_network_reuses", flow_network_reuses);
+  field("piece_solver_pieces", piece_solver_pieces);
+  field("piece_solver_exact_roots", piece_solver_exact_roots);
+  field("piece_solver_bracketed_roots", piece_solver_bracketed_roots);
+  field("pool_tasks_local", pool_tasks_local);
+  field("pool_tasks_stolen", pool_tasks_stolen);
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
     const std::string name =
         std::string("phase_ms_") + phase_name(static_cast<Phase>(i));
@@ -172,6 +191,12 @@ PerfSnapshot PerfCounters::snapshot() {
   out.dinkelbach_warm_restarts = sum.dinkelbach_warm_restarts.load(kRelaxed);
   out.flow_network_builds = sum.flow_network_builds.load(kRelaxed);
   out.flow_network_reuses = sum.flow_network_reuses.load(kRelaxed);
+  out.piece_solver_pieces = sum.piece_solver_pieces.load(kRelaxed);
+  out.piece_solver_exact_roots = sum.piece_solver_exact_roots.load(kRelaxed);
+  out.piece_solver_bracketed_roots =
+      sum.piece_solver_bracketed_roots.load(kRelaxed);
+  out.pool_tasks_local = sum.pool_tasks_local.load(kRelaxed);
+  out.pool_tasks_stolen = sum.pool_tasks_stolen.load(kRelaxed);
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)
     out.phase_ns[i] = sum.phase_ns[i].load(kRelaxed);
   return out;

@@ -20,6 +20,7 @@ enum class Phase : int {
   kDecompose = 0,   ///< Decomposition construction (peel loop)
   kDinic,           ///< parametric min-cut evaluations
   kPartition,       ///< structure-partition bisection
+  kPieceSolve,      ///< per-piece candidate generation (exact solver / scan)
   kCandidateEval,   ///< exact re-evaluation of sybil candidates
   kCount,
 };
@@ -40,6 +41,11 @@ struct PerfTally {
   std::atomic<std::uint64_t> dinkelbach_warm_restarts{0};
   std::atomic<std::uint64_t> flow_network_builds{0};
   std::atomic<std::uint64_t> flow_network_reuses{0};
+  std::atomic<std::uint64_t> piece_solver_pieces{0};
+  std::atomic<std::uint64_t> piece_solver_exact_roots{0};
+  std::atomic<std::uint64_t> piece_solver_bracketed_roots{0};
+  std::atomic<std::uint64_t> pool_tasks_local{0};
+  std::atomic<std::uint64_t> pool_tasks_stolen{0};
   std::atomic<std::uint64_t> phase_ns[static_cast<int>(Phase::kCount)]{};
 
   void add_into(PerfTally& sink) const noexcept;
@@ -59,6 +65,11 @@ struct PerfSnapshot {
   std::uint64_t dinkelbach_warm_restarts = 0;
   std::uint64_t flow_network_builds = 0;
   std::uint64_t flow_network_reuses = 0;
+  std::uint64_t piece_solver_pieces = 0;
+  std::uint64_t piece_solver_exact_roots = 0;
+  std::uint64_t piece_solver_bracketed_roots = 0;
+  std::uint64_t pool_tasks_local = 0;
+  std::uint64_t pool_tasks_stolen = 0;
   std::uint64_t phase_ns[static_cast<int>(Phase::kCount)] = {};
 
   /// Fraction of BigInt operations served by the inline int64 path.

@@ -1,51 +1,157 @@
 #include "util/threadpool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/perf_counters.hpp"
 
 namespace ringshare::util {
 
-ThreadPool::ThreadPool(std::size_t thread_count) {
-  if (thread_count == 0) {
-    thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(thread_count);
-  for (std::size_t i = 0; i < thread_count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-}
-
 namespace {
-thread_local bool t_on_worker_thread = false;
+thread_local ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_worker_index = 0;
 }  // namespace
 
-bool ThreadPool::on_worker_thread() noexcept { return t_on_worker_thread; }
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  deques_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i)
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
 
-void ThreadPool::worker_loop() {
-  t_on_worker_thread = true;
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping_ and drained
-      task = std::move(tasks_.front());
-      tasks_.pop();
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  stopping_.store(true);
+  notify_sleepers(/*all=*/true);
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_pool != nullptr; }
+
+bool ThreadPool::is_worker_thread() const noexcept { return t_pool == this; }
+
+void ThreadPool::post(Task task) {
+  // Publish intent before checking stopping_: workers only exit once
+  // stopping_ is set AND queued_ is zero, so a post that loses the race
+  // against shutdown() either throws here or gets drained.
+  queued_.fetch_add(1);
+  if (stopping_.load()) {
+    queued_.fetch_sub(1);
+    throw std::runtime_error("ThreadPool: submit after shutdown");
+  }
+  const std::size_t target =
+      is_worker_thread() ? t_worker_index
+                         : next_deque_.fetch_add(1) % deques_.size();
+  {
+    std::lock_guard lock(deques_[target]->mutex);
+    deques_[target]->tasks.push_back(std::move(task));
+  }
+  notify_sleepers(/*all=*/false);
+}
+
+void ThreadPool::notify_sleepers(bool all) {
+  // The (empty) critical section pairs with worker_loop's wait: a worker
+  // that observed queued_ == 0 is either already blocked (and gets the
+  // notify) or has not locked sleep_mutex_ yet (and will re-check the
+  // predicate). Without it the notify could fall between check and block.
+  { std::lock_guard lock(sleep_mutex_); }
+  if (all) {
+    sleep_cv_.notify_all();
+  } else {
+    sleep_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  PerfTally& tally = PerfCounters::local();
+  {
+    WorkerDeque& own = *deques_[self];
+    std::lock_guard lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      queued_.fetch_sub(1);
+      tally.pool_tasks_local.fetch_add(1, kRelaxed);
+      return true;
     }
-    task();
+  }
+  for (std::size_t k = 1; k < deques_.size(); ++k) {
+    WorkerDeque& victim = *deques_[(self + k) % deques_.size()];
+    std::lock_guard lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1);
+      tally.pool_tasks_stolen.fetch_add(1, kRelaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  t_pool = this;
+  t_worker_index = index;
+  for (;;) {
+    Task task;
+    if (try_pop(index, task)) {
+      task();
+      task = nullptr;  // release captures before sleeping
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return stopping_.load() || queued_.load() > 0;
+    });
+    if (stopping_.load() && queued_.load() == 0) return;
+    // queued_ > 0 with an empty pop means a publish is mid-flight (or a
+    // sibling drained it); loop and re-try.
+  }
+}
+
+void ThreadPool::help_wait(std::mutex& mutex, std::condition_variable& cv,
+                           const std::function<bool()>& done) {
+  const std::size_t self = t_worker_index;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex);
+      if (done()) return;
+    }
+    Task task;
+    if (try_pop(self, task)) {
+      task();
+      continue;
+    }
+    // Nothing runnable: our outstanding chunks are executing on thieves.
+    // Nap on the caller's completion signal, briefly, so a task posted to
+    // another deque in the meantime still gets stolen promptly.
+    std::unique_lock lock(mutex);
+    if (cv.wait_for(lock, std::chrono::microseconds(100), done)) return;
   }
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    // Batch drivers (tools/ringshare_sweep --threads) size the shared pool
+    // through the environment before first use.
+    if (const char* env = std::getenv("RINGSHARE_THREADS")) {
+      char* end = nullptr;
+      const long n = std::strtol(env, &end, 10);
+      if (end != env && n > 0) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{0};
+  }());
   return pool;
 }
 

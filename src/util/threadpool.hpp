@@ -1,24 +1,38 @@
-// threadpool.hpp — fixed-size worker pool for the sweep-heavy experiment
+// threadpool.hpp — work-stealing worker pool for the sweep-heavy experiment
 // harness. Parameter sweeps over weight profiles / split points are
 // embarrassingly parallel; a shared pool avoids per-sweep thread churn.
+//
+// Each worker owns a mutex-guarded deque. Owners push and pop at the back
+// (LIFO — the hot end, cache-friendly for nested fork/join), idle workers
+// steal from the front (FIFO — the oldest, largest-granularity work). A
+// nested parallel_for on a worker thread therefore *participates*: it posts
+// its chunks to its own deque and keeps executing them (or any other
+// runnable task) until its loop completes, while idle workers steal the
+// rest — instead of degrading to serial execution as the old single-queue
+// pool did.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace ringshare::util {
 
-/// Fixed-size thread pool. Tasks are arbitrary void() callables; submit()
-/// returns a future for completion/exception propagation. Destruction joins
-/// all workers after draining the queue.
+/// Fixed-size work-stealing thread pool. Tasks are arbitrary void()
+/// callables; submit() returns a future for completion/exception
+/// propagation, post() is the future-free fast path. Destruction drains
+/// every deque and joins all workers.
 class ThreadPool {
  public:
+  using Task = std::function<void()>;
+
   /// Spawns `thread_count` workers (defaults to hardware concurrency, at
   /// least 1).
   explicit ThreadPool(std::size_t thread_count = 0);
@@ -32,10 +46,23 @@ class ThreadPool {
     return workers_.size();
   }
 
-  /// True when the calling thread is one of this process's pool workers.
-  /// parallel_for uses it to degrade to serial execution instead of
-  /// deadlocking on nested waits.
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool's).
   [[nodiscard]] static bool on_worker_thread() noexcept;
+
+  /// True when the calling thread is a worker of THIS pool. parallel_for
+  /// uses it to decide between participating (worker) and blocking
+  /// (external caller).
+  [[nodiscard]] bool is_worker_thread() const noexcept;
+
+  /// Stop accepting tasks, drain every deque, and join the workers.
+  /// Idempotent. Must not be called from a worker of this pool.
+  void shutdown();
+
+  /// Enqueue a plain task with no completion handle. Workers push onto
+  /// their own deque's hot end; external threads distribute round-robin.
+  /// Throws std::runtime_error after shutdown().
+  void post(Task task);
 
   /// Enqueue a task; the returned future observes its result or exception.
   template <typename F>
@@ -44,27 +71,46 @@ class ThreadPool {
     auto packaged =
         std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
     std::future<Result> future = packaged->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      if (stopping_)
-        throw std::runtime_error("ThreadPool: submit after shutdown");
-      tasks_.push([packaged]() { (*packaged)(); });
-    }
-    cv_.notify_one();
+    post([packaged]() { (*packaged)(); });
     return future;
   }
 
- private:
-  void worker_loop();
+  /// Worker-side cooperative wait: keep executing pool tasks (own deque
+  /// first, then stealing) until `done()` holds, napping briefly on
+  /// `cv`/`mutex` when nothing is runnable. `done` is evaluated with
+  /// `mutex` held. Must be called from a worker of this pool.
+  void help_wait(std::mutex& mutex, std::condition_variable& cv,
+                 const std::function<bool()>& done);
 
+ private:
+  /// One worker's deque. A plain mutex per deque is plenty at this task
+  /// granularity (each task is a chunk of exact-arithmetic work).
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  /// Pop from own deque's back, else steal from another's front. Tallies
+  /// pool_tasks_local / pool_tasks_stolen perf counters.
+  bool try_pop(std::size_t self, Task& out);
+  void notify_sleepers(bool all);
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  /// Number of enqueued-but-not-yet-popped tasks; incremented BEFORE the
+  /// push so workers never exit while a publish is in flight.
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> next_deque_{0};
+  std::atomic<bool> stopping_{false};
 };
 
-/// Process-wide shared pool (lazily constructed).
+/// Process-wide shared pool (lazily constructed). Its size defaults to
+/// hardware concurrency; the RINGSHARE_THREADS environment variable, when
+/// set to a positive integer before first use, overrides it (how the sweep
+/// tool's --threads flag is honored).
 ThreadPool& global_pool();
 
 }  // namespace ringshare::util

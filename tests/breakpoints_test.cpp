@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/families.hpp"
+#include "game/sybil_ring.hpp"
 #include "graph/builders.hpp"
+#include "numeric/bigint.hpp"
 
 namespace ringshare::game {
 namespace {
@@ -145,6 +148,62 @@ TEST(StructurePartition, MisreportOnStarFindsExactBreakpoint) {
     if (bp.value == Rational(2) && bp.exact) found = true;
   }
   EXPECT_TRUE(found);
+}
+
+TEST(StructurePartition, ExactBreakpointsHaveDegenerateBrackets) {
+  ParametrizedGraph pg(make_path({Rational(1), Rational(2)}), Rational(1),
+                       Rational(3));
+  pg.set_affine(0, AffineWeight{Rational(0), Rational(1)});
+  const StructurePartition partition = find_structure_partition(pg);
+  ASSERT_GE(partition.breakpoints.size(), 1u);
+  for (const Breakpoint& bp : partition.breakpoints) {
+    ASSERT_TRUE(bp.exact);
+    EXPECT_EQ(bp.lo, bp.value);
+    EXPECT_EQ(bp.hi, bp.value);
+  }
+}
+
+TEST(StructurePartition, InexactBreakpointsCarryTightBrackets) {
+  // Irrational α-crossings cannot be snapped to rational roots; the
+  // partition must instead isolate them — by exact arithmetic on the
+  // crossing quadratics — to a bracket far tighter than the bisection
+  // resolution, whose endpoints still lie inside the adjacent pieces.
+  // Random Sybil families reliably produce such crossings.
+  const auto rings = exp::random_rings(8, 7, 777, 12);
+  const Rational tight_width_bound =
+      Rational(num::BigInt(1),
+               num::BigInt(1).shifted_left(100));  // · range, below
+  int inexact_seen = 0;
+  for (const Graph& ring : rings) {
+    for (Vertex v = 0; v < ring.vertex_count(); ++v) {
+      const ParametrizedGraph family = sybil_family(ring, v);
+      const StructurePartition partition = find_structure_partition(family);
+      const Rational range = partition.t_hi - partition.t_lo;
+      for (std::size_t i = 0; i < partition.breakpoints.size(); ++i) {
+        const Breakpoint& bp = partition.breakpoints[i];
+        if (bp.exact) {
+          EXPECT_EQ(bp.lo, bp.value);
+          EXPECT_EQ(bp.hi, bp.value);
+          continue;
+        }
+        ++inexact_seen;
+        EXPECT_LT(bp.lo, bp.hi);
+        // The recorded value stays a low-height bisection point near the
+        // bracket (it seeds downstream decompositions, so it must stay
+        // cheap); only lo/hi carry the high-precision isolation.
+        const Rational drift = bp.value < bp.lo ? bp.lo - bp.value
+                                                : bp.value - bp.hi;
+        EXPECT_LE(drift, range * Rational(num::BigInt(1),
+                                          num::BigInt(1).shifted_left(40)));
+        EXPECT_LE(bp.hi - bp.lo, range * tight_width_bound);
+        EXPECT_EQ(family.signature(bp.lo), partition.piece_signatures[i]);
+        EXPECT_EQ(family.signature(bp.hi), partition.piece_signatures[i + 1]);
+      }
+      if (inexact_seen >= 3) return;  // enough evidence; keep the test fast
+    }
+  }
+  EXPECT_GE(inexact_seen, 1)
+      << "family set produced no irrational breakpoints";
 }
 
 TEST(StructurePartition, SignaturesDifferAcrossBreakpoints) {

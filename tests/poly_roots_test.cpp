@@ -1,0 +1,151 @@
+// Unit tests for the exact polynomial root isolator (Layer 4 substrate).
+#include "numeric/poly_roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ringshare::num {
+namespace {
+
+Polynomial poly(std::vector<Rational> coefficients) {
+  return Polynomial(std::move(coefficients));
+}
+
+TEST(Polynomial, ArithmeticAndEvaluation) {
+  const Polynomial p = poly({Rational(1), Rational(2), Rational(3)});  // 1+2t+3t²
+  const Polynomial q = Polynomial::linear(Rational(-1), Rational(1));  // t−1
+  EXPECT_EQ(p.at(Rational(2)), Rational(17));
+  EXPECT_EQ((p + q).at(Rational(2)), Rational(18));
+  EXPECT_EQ((p - q).at(Rational(2)), Rational(16));
+  EXPECT_EQ((p * q).at(Rational(2)), Rational(17));
+  EXPECT_EQ((p * q).degree(), 3);
+  EXPECT_EQ(p.derivative(), poly({Rational(2), Rational(6)}));
+  EXPECT_TRUE((p - p).is_zero());
+  EXPECT_EQ((p - p).degree(), -1);
+}
+
+TEST(Polynomial, TrimsTrailingZeros) {
+  const Polynomial p = poly({Rational(5), Rational(0), Rational(0)});
+  EXPECT_EQ(p.degree(), 0);
+  EXPECT_EQ(p.coefficient(2), Rational(0));
+}
+
+TEST(IsolateRoots, LinearExact) {
+  const auto roots =
+      isolate_roots(Polynomial::linear(Rational(-3), Rational(2)),  // 2t−3
+                    Rational(0), Rational(10));
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_TRUE(roots[0].exact);
+  EXPECT_EQ(roots[0].value(), Rational(3, 2));
+}
+
+TEST(IsolateRoots, LinearOutsideRangeDropped) {
+  const auto roots = isolate_roots(
+      Polynomial::linear(Rational(-3), Rational(2)), Rational(2), Rational(10));
+  EXPECT_TRUE(roots.empty());
+}
+
+TEST(IsolateRoots, QuadraticRationalRoots) {
+  // (2t−1)(3t+4) = 6t² + 5t − 4: roots 1/2 and −4/3.
+  const auto roots = isolate_roots(
+      poly({Rational(-4), Rational(5), Rational(6)}), Rational(-2), Rational(2));
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_TRUE(roots[0].exact);
+  EXPECT_EQ(roots[0].value(), Rational(-4, 3));
+  EXPECT_TRUE(roots[1].exact);
+  EXPECT_EQ(roots[1].value(), Rational(1, 2));
+}
+
+TEST(IsolateRoots, QuadraticDoubleRoot) {
+  // (t−2)²
+  const auto roots = isolate_roots(
+      poly({Rational(4), Rational(-4), Rational(1)}), Rational(0), Rational(5));
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_TRUE(roots[0].exact);
+  EXPECT_EQ(roots[0].value(), Rational(2));
+}
+
+TEST(IsolateRoots, QuadraticNoRealRoots) {
+  const auto roots = isolate_roots(
+      poly({Rational(1), Rational(0), Rational(1)}), Rational(-5), Rational(5));
+  EXPECT_TRUE(roots.empty());
+}
+
+TEST(IsolateRoots, QuadraticIrrationalRootsBracketed) {
+  // t² − 2: roots ±√2.
+  const Polynomial p = poly({Rational(-2), Rational(0), Rational(1)});
+  const auto roots = isolate_roots(p, Rational(0), Rational(2));
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_FALSE(roots[0].exact);
+  EXPECT_LT(p.sign_at(roots[0].lo) * p.sign_at(roots[0].hi), 0);
+  // Bracket is tight: width ≤ 2/2^96 and contains √2.
+  EXPECT_LT(roots[0].hi - roots[0].lo,
+            Rational(1, std::int64_t{1} << 62) * Rational(1, 1 << 30));
+  const double mid = roots[0].value().to_double();
+  EXPECT_NEAR(mid, 1.41421356237309515, 1e-12);
+}
+
+TEST(IsolateRoots, CubicMixedRoots) {
+  // (t−1)(t²−3) : rational root 1, irrational ±√3.
+  const Polynomial p = poly({Rational(3), Rational(-3), Rational(-1),
+                             Rational(1)});
+  const auto roots = isolate_roots(p, Rational(-3), Rational(3));
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_FALSE(roots[0].exact);
+  EXPECT_NEAR(roots[0].value().to_double(), -1.7320508, 1e-6);
+  EXPECT_TRUE(roots[1].exact);
+  EXPECT_EQ(roots[1].value(), Rational(1));
+  EXPECT_FALSE(roots[2].exact);
+  EXPECT_NEAR(roots[2].value().to_double(), 1.7320508, 1e-6);
+}
+
+TEST(IsolateRoots, QuarticAllRationalRoots) {
+  // (t−1)(t−2)(t−3)(t−4) = t⁴ −10t³ +35t² −50t +24.
+  const Polynomial p = poly({Rational(24), Rational(-50), Rational(35),
+                             Rational(-10), Rational(1)});
+  const auto roots = isolate_roots(p, Rational(0), Rational(5));
+  ASSERT_EQ(roots.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(roots[i].exact);
+    EXPECT_EQ(roots[i].value(), Rational(i + 1));
+  }
+}
+
+TEST(IsolateRoots, QuarticIrrationalPairs) {
+  // (t²−2)(t²−5): roots ±√2, ±√5.
+  const Polynomial p =
+      poly({Rational(10), Rational(0), Rational(-7), Rational(0), Rational(1)});
+  const auto roots = isolate_roots(p, Rational(-3), Rational(3));
+  ASSERT_EQ(roots.size(), 4u);
+  EXPECT_NEAR(roots[0].value().to_double(), -2.2360679, 1e-6);
+  EXPECT_NEAR(roots[1].value().to_double(), -1.4142135, 1e-6);
+  EXPECT_NEAR(roots[2].value().to_double(), 1.4142135, 1e-6);
+  EXPECT_NEAR(roots[3].value().to_double(), 2.2360679, 1e-6);
+}
+
+TEST(IsolateRoots, EndpointRootsReportedOnce) {
+  // (t)(t−1): roots at both interval ends.
+  const Polynomial p = poly({Rational(0), Rational(-1), Rational(1)});
+  const auto roots = isolate_roots(p, Rational(0), Rational(1));
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0].value(), Rational(0));
+  EXPECT_EQ(roots[1].value(), Rational(1));
+}
+
+TEST(IsolateRoots, RejectsZeroPolynomialAndEmptyInterval) {
+  EXPECT_THROW((void)isolate_roots(Polynomial(), Rational(0), Rational(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)isolate_roots(Polynomial::constant(Rational(1)),
+                                   Rational(1), Rational(0)),
+               std::invalid_argument);
+}
+
+TEST(IsolateRoots, DegenerateIntervalChecksThePoint) {
+  const Polynomial p = Polynomial::linear(Rational(-1), Rational(1));
+  EXPECT_EQ(isolate_roots(p, Rational(1), Rational(1)).size(), 1u);
+  EXPECT_TRUE(isolate_roots(p, Rational(2), Rational(2)).empty());
+}
+
+}  // namespace
+}  // namespace ringshare::num

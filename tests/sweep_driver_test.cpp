@@ -1,0 +1,163 @@
+#include "exp/sweep_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "exp/families.hpp"
+#include "exp/sweep.hpp"
+
+namespace ringshare::exp {
+namespace {
+
+/// Self-deleting temp path so resume tests start from a clean file.
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_(::testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(FamilySpec, BuildsEveryNamedFamily) {
+  FamilySpec spec;
+  spec.count = 3;
+  spec.n = 5;
+
+  spec.family = "random";
+  EXPECT_EQ(spec.build().size(), 3u);
+
+  spec.family = "uniform";
+  ASSERT_EQ(spec.build().size(), 1u);
+  EXPECT_EQ(spec.build()[0].vertex_count(), 5u);
+
+  spec.family = "alternating";
+  spec.n = 6;
+  EXPECT_EQ(spec.build()[0].vertex_count(), 6u);
+
+  spec.family = "single_heavy";
+  EXPECT_EQ(spec.build()[0].vertex_count(), 6u);
+
+  spec.family = "geometric";
+  EXPECT_EQ(spec.build()[0].vertex_count(), 6u);
+
+  spec.family = "near_tight";
+  EXPECT_EQ(spec.build()[0].vertex_count(), 7u);
+
+  spec.family = "exhaustive";
+  spec.n = 3;
+  spec.max_weight = 2;
+  EXPECT_FALSE(spec.build().empty());
+}
+
+TEST(FamilySpec, UnknownFamilyThrows) {
+  FamilySpec spec;
+  spec.family = "no_such_family";
+  EXPECT_THROW(spec.build(), std::invalid_argument);
+}
+
+TEST(SweepTaskRecord, JsonlRoundTripsThroughCheckpointKeys) {
+  SweepTaskRecord record;
+  record.instance = 12;
+  record.vertex = 3;
+  record.ratio = Rational(7, 5);
+  record.w1_star = Rational(1, 2);
+  record.utility = Rational(14, 5);
+  record.honest_utility = Rational(2);
+  EXPECT_EQ(record.key(), "i12.v3");
+
+  TempPath path("sweep_record_roundtrip.jsonl");
+  {
+    std::ofstream out(path.str());
+    out << record.to_jsonl() << '\n';
+  }
+  const std::vector<std::string> keys = checkpointed_task_keys(path.str());
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "i12.v3");
+}
+
+TEST(CheckpointedTaskKeys, MissingFileYieldsEmpty) {
+  EXPECT_TRUE(
+      checkpointed_task_keys("/no/such/dir/sweep_driver_test.jsonl").empty());
+}
+
+TEST(SweepDriver, EmptyInstanceListThrows) {
+  EXPECT_THROW((void)run_sweep_driver({}), std::invalid_argument);
+}
+
+TEST(SweepDriver, MatchesExistingSweepAggregator) {
+  const std::vector<Graph> rings = random_rings(4, 5, 2024, 8);
+  const SweepDriverReport report = run_sweep_driver(rings);
+  EXPECT_EQ(report.tasks_total, 20u);
+  EXPECT_EQ(report.tasks_skipped, 0u);
+  EXPECT_EQ(report.tasks_run, 20u);
+
+  const SweepResult expected = sweep_rings(rings);
+  EXPECT_EQ(report.max_ratio, expected.max_ratio);
+}
+
+TEST(SweepDriver, ResumeSkipsCheckpointedTasksAndKeepsAggregate) {
+  const std::vector<Graph> rings = random_rings(3, 5, 77, 9);
+  TempPath path("sweep_driver_resume.jsonl");
+
+  SweepDriverOptions options;
+  options.output_path = path.str();
+  const SweepDriverReport first = run_sweep_driver(rings, options);
+  EXPECT_EQ(first.tasks_total, 15u);
+  EXPECT_EQ(first.tasks_run, 15u);
+  EXPECT_EQ(checkpointed_task_keys(path.str()).size(), 15u);
+
+  // Truncate the checkpoint to simulate a sweep killed mid-run.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path.str());
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  {
+    std::ofstream out(path.str(), std::ios::trunc);
+    for (std::size_t i = 0; i + 6 < lines.size(); ++i) out << lines[i] << '\n';
+  }
+
+  const SweepDriverReport resumed = run_sweep_driver(rings, options);
+  EXPECT_EQ(resumed.tasks_total, 15u);
+  EXPECT_EQ(resumed.tasks_skipped, 9u);
+  EXPECT_EQ(resumed.tasks_run, 6u);
+  EXPECT_EQ(resumed.max_ratio, first.max_ratio);
+  EXPECT_EQ(resumed.argmax_instance, first.argmax_instance);
+  EXPECT_EQ(resumed.argmax_vertex, first.argmax_vertex);
+  EXPECT_EQ(checkpointed_task_keys(path.str()).size(), 15u);
+
+  // A fully-checkpointed file resumes to a pure no-op with the same answer.
+  const SweepDriverReport noop = run_sweep_driver(rings, options);
+  EXPECT_EQ(noop.tasks_skipped, 15u);
+  EXPECT_EQ(noop.tasks_run, 0u);
+  EXPECT_EQ(noop.max_ratio, first.max_ratio);
+}
+
+TEST(SweepDriver, NoResumeRerunsEveryTask) {
+  const std::vector<Graph> rings = random_rings(2, 5, 5, 6);
+  TempPath path("sweep_driver_no_resume.jsonl");
+
+  SweepDriverOptions options;
+  options.output_path = path.str();
+  (void)run_sweep_driver(rings, options);
+
+  options.resume = false;
+  const SweepDriverReport again = run_sweep_driver(rings, options);
+  EXPECT_EQ(again.tasks_skipped, 0u);
+  EXPECT_EQ(again.tasks_run, 10u);
+  // Appended, not rewritten: both runs' checkpoints are present.
+  EXPECT_EQ(checkpointed_task_keys(path.str()).size(), 20u);
+}
+
+}  // namespace
+}  // namespace ringshare::exp

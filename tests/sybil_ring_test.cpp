@@ -164,6 +164,61 @@ TEST(IncentiveRatio, CollectionAggregation) {
   EXPECT_LE(result.best_ratio, Rational(2));
 }
 
+TEST(SybilEvaluator, MatchesFreeFunctions) {
+  const Graph ring =
+      make_ring({Rational(4), Rational(1), Rational(2), Rational(3)});
+  const SybilEvaluator eval(ring, 0);
+  EXPECT_EQ(eval.order().size(), 3u);
+  const SybilSplit direct = split_ring(ring, 0, Rational(1), Rational(3));
+  const SybilSplit via = eval.split(Rational(1), Rational(3));
+  ASSERT_EQ(via.path.vertex_count(), direct.path.vertex_count());
+  for (graph::Vertex v = 0; v < via.path.vertex_count(); ++v)
+    EXPECT_EQ(via.path.weight(v), direct.path.weight(v));
+  EXPECT_EQ(eval.utility(Rational(1)), sybil_utility(ring, 0, Rational(1)));
+  EXPECT_THROW(
+      SybilEvaluator(graph::make_path({Rational(1), Rational(1), Rational(1)}),
+                     0),
+      std::invalid_argument);
+}
+
+TEST(ExactSolver, DominatesLegacyScanEverywhere) {
+  // The exact per-piece solver's candidate set provably contains a split at
+  // least as good as every legacy scan sample — including near irrational
+  // breakpoints, where the isolating-bracket endpoints out-resolve any
+  // double-precision sample. Verified end to end: both engines' certified
+  // optima compared exactly.
+  const auto rings = exp::random_rings(6, 6, 1234, 10);
+  const SybilOptions exact_opt;
+  SybilOptions scan_opt;
+  scan_opt.use_exact_piece_solver = false;
+  int improvements = 0;
+  for (const Graph& ring : rings) {
+    for (graph::Vertex v = 0; v < ring.vertex_count(); ++v) {
+      const SybilOptimum e = optimize_sybil_split(ring, v, exact_opt);
+      const SybilOptimum s = optimize_sybil_split(ring, v, scan_opt);
+      EXPECT_GE(e.utility, s.utility) << "vertex " << v;
+      if (s.utility < e.utility) ++improvements;
+    }
+  }
+  // The exact solver is not merely equal: on generic instances it lands
+  // exactly on stationary points the scan only approximates.
+  EXPECT_GT(improvements, 0);
+}
+
+TEST(ExactSolver, CrossCheckConfirmsPieceDominance) {
+  // cross_check runs the legacy scan alongside the exact solver and throws
+  // std::logic_error if any scan sample beats the exact per-piece optimum.
+  SybilOptions options;
+  options.cross_check = true;
+  for (const Graph& ring : exp::random_rings(4, 6, 99, 9)) {
+    for (graph::Vertex v = 0; v < ring.vertex_count(); ++v)
+      EXPECT_NO_THROW((void)optimize_sybil_split(ring, v, options));
+  }
+  // Include the near-tight witness family, whose optimum hugs a breakpoint.
+  const Graph tight = exp::near_tight_ring(Rational(25));
+  EXPECT_NO_THROW((void)optimize_sybil_split(tight, 0, options));
+}
+
 TEST(SybilUtility, RejectsOutOfRangeSplits) {
   const Graph ring = make_ring({Rational(2), Rational(1), Rational(1)});
   EXPECT_THROW((void)sybil_utility(ring, 0, Rational(3)),

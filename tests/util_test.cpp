@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "util/parallel.hpp"
+#include "util/perf_counters.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
@@ -18,6 +19,14 @@
 
 namespace ringshare::util {
 namespace {
+
+/// Busy-wait so an iteration is long enough for thieves to engage.
+void spin_for_microseconds(int us) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
 
 TEST(ThreadPool, ExecutesSubmittedTasks) {
   ThreadPool pool(4);
@@ -63,13 +72,113 @@ TEST(ParallelFor, RethrowsFirstException) {
                std::logic_error);
 }
 
-TEST(ParallelFor, NestedCallsDegradeToSerial) {
+TEST(ParallelFor, NestedCallsParticipateWithoutDeadlock) {
   std::atomic<int> counter{0};
   parallel_for(0, 8, [&](std::size_t) {
-    // Inner loop must not deadlock even though it runs on pool workers.
+    // Inner loop runs on pool workers: the worker posts its chunks to its
+    // own deque and keeps executing — no deadlock, no serial fallback.
     parallel_for(0, 10, [&](std::size_t) { ++counter; });
   });
   EXPECT_EQ(counter.load(), 80);
+}
+
+TEST(ParallelFor, NestedChunksAreStolenNotSerialized) {
+  // A nested parallel_for posts chunks to the calling worker's deque; idle
+  // workers must steal them, so with enough inner work the inner
+  // iterations land on more than one thread. Driven on an explicit
+  // 4-worker pool so the behavior is testable on any host.
+  ThreadPool pool(4);
+  const std::uint64_t stolen_before =
+      PerfCounters::snapshot().pool_tasks_stolen;
+  std::mutex mutex;
+  std::set<std::thread::id> inner_threads;
+  std::atomic<int> covered{0};
+  parallel_for(
+      0, 2,
+      [&](std::size_t) {
+        parallel_for(
+            0, 64,
+            [&](std::size_t) {
+              ++covered;
+              spin_for_microseconds(200);
+              const std::thread::id id = std::this_thread::get_id();
+              std::scoped_lock lock(mutex);
+              inner_threads.insert(id);
+            },
+            /*min_chunk=*/1, &pool);
+      },
+      /*min_chunk=*/1, &pool);
+  EXPECT_EQ(covered.load(), 128);
+  // Two busy outer workers plus two idle thieves: at least one nested
+  // chunk must have been stolen off a busy worker's deque.
+  EXPECT_GE(inner_threads.size(), 2u);
+  EXPECT_GT(PerfCounters::snapshot().pool_tasks_stolen, stolen_before);
+}
+
+TEST(ParallelFor, ExceptionPropagatesThroughStolenChunks) {
+  // Half the inner chunks throw; some of them execute on thieves. The first
+  // error must surface in the (nested) caller and then in the outer one.
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(
+                   0, 2,
+                   [&](std::size_t) {
+                     parallel_for(
+                         0, 64,
+                         [](std::size_t i) {
+                           if (i % 2 == 0)
+                             throw std::logic_error("stolen boom");
+                           spin_for_microseconds(100);
+                         },
+                         /*min_chunk=*/1, &pool);
+                   },
+                   /*min_chunk=*/1, &pool),
+               std::logic_error);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; }).get();
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+  EXPECT_THROW(pool.post([] {}), std::runtime_error);
+  EXPECT_EQ(ran.load(), 1);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) pool.post([&counter] { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ConcurrentSweepIsRaceFree) {
+  // Hammer the stealing paths from several external submitters with nested
+  // loops at once; scripts/tier1.sh re-runs this under ThreadSanitizer.
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < 4; ++d) {
+    drivers.emplace_back([&sum, &pool] {
+      parallel_for(
+          0, 32,
+          [&sum, &pool](std::size_t i) {
+            parallel_for(
+                0, 8,
+                [&sum, i](std::size_t j) {
+                  sum.fetch_add(static_cast<long>(i + j));
+                },
+                /*min_chunk=*/1, &pool);
+          },
+          /*min_chunk=*/1, &pool);
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  // Per driver: sum_{i<32} sum_{j<8} (i+j) = 8·496 + 32·28 = 4864.
+  EXPECT_EQ(sum.load(), 4 * 4864);
 }
 
 TEST(ParallelFor, LargeMinChunkStillSplitsTheRange) {
@@ -106,6 +215,20 @@ TEST(ParallelFor, MinChunkStillBatchesSmallRanges) {
       0, 1, [&](std::size_t) { worker_id = std::this_thread::get_id(); },
       1000);
   EXPECT_EQ(worker_id, std::this_thread::get_id());
+}
+
+struct NoDefault {
+  explicit NoDefault(int v) : value(v) {}
+  int value;
+};
+
+TEST(ParallelMap, SupportsNonDefaultConstructibleResults) {
+  static_assert(!std::is_default_constructible_v<NoDefault>);
+  const auto results = parallel_map(
+      100, [](std::size_t i) { return NoDefault(static_cast<int>(i) * 3); });
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i].value, static_cast<int>(i) * 3);
 }
 
 TEST(ParallelMap, ProducesOrderedResults) {
