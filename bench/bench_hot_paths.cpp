@@ -42,8 +42,17 @@ using num::Rational;
 
 void configure(bool optimized) {
   BigInt::set_fast_path_enabled(optimized);
-  bd::hot_path_config() =
-      bd::HotPathConfig{optimized, optimized, optimized};
+  // This bench measures the PR-1 accelerators in isolation: pin the later
+  // engine layers off in both passes (their fields default to on).
+  bd::HotPathConfig config;
+  config.memo_cache = optimized;
+  config.warm_start = optimized;
+  config.flow_arena = optimized;
+  config.canonical_cache = false;
+  config.incremental_flow = false;
+  config.ring_kernel = false;
+  config.cross_check_kernel = false;
+  bd::hot_path_config() = config;
   bd::BottleneckCache::instance().clear();
   util::PerfCounters::reset();
 }

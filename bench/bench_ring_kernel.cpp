@@ -1,0 +1,231 @@
+// bench_ring_kernel — before/after measurement of the ring-aware bottleneck
+// kernel (PR 3): canonical-form memoization, incremental residual-reusing
+// max-flow, and the combinatorial O(n) path/cycle cut kernel.
+//
+// Passes over the fixed PR-2 sweep workload (12 random 7-rings, all 84
+// (ring, vertex) Sybil tasks), all in one binary:
+//   * pr2 — the PR-2 engine: memo cache, warm starts and flow arenas on,
+//     every PR-3 layer off. This is the reference both for timing and for
+//     the bit-identity contract.
+//   * v3  — the PR-3 engine (library default): canonical cache keys,
+//     incremental flow reruns, and the ring kernel all on.
+//
+// Contracts enforced (nonzero exit on violation):
+//   * results_identical   — pr2 and v3 optima agree bit-for-bit;
+//   * speedup >= 2x       — pr2 seconds / v3 seconds on the fixed workload;
+//   * cross-check         — >= 1000 random ring/path instances decomposed
+//     with HotPathConfig::cross_check_kernel, which runs the Dinic oracle in
+//     lockstep with the kernel and throws on any disagreement: zero allowed;
+//   * canonical hit ratio — a rotation-heavy workload (every rotation and
+//     reflection of a few base rings) must be served >= 50% from the
+//     canonical cache.
+//
+// Timings, contract outcomes and the v3 pass's perf counters are written to
+// BENCH_ringkernel.json at the repository root.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "bd/memo.hpp"
+#include "exp/families.hpp"
+#include "game/sybil_ring.hpp"
+#include "numeric/bigint.hpp"
+#include "util/perf_counters.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ringshare;
+using num::BigInt;
+using num::Rational;
+
+#ifndef RINGSHARE_REPO_ROOT
+#define RINGSHARE_REPO_ROOT "."
+#endif
+
+/// Select an engine generation and start from a clean cache and counters.
+void configure(bool pr3_layers) {
+  BigInt::set_fast_path_enabled(true);
+  if (pr3_layers) {
+    bd::hot_path_config() = bd::HotPathConfig{};  // library default: all on
+  } else {
+    // PR-2 engine: the first three accelerators only. The PR-3 fields carry
+    // default member initializers (= on), so they must be switched off
+    // explicitly — a 3-value brace-init would leave them enabled.
+    bd::HotPathConfig config;
+    config.canonical_cache = false;
+    config.incremental_flow = false;
+    config.ring_kernel = false;
+    config.cross_check_kernel = false;
+    bd::hot_path_config() = config;
+  }
+  bd::BottleneckCache::instance().clear();
+  util::PerfCounters::reset();
+}
+
+struct SweepRun {
+  double seconds = 0;
+  std::vector<std::string> outputs;  ///< per task, full optimum stringified
+  util::PerfSnapshot counters;
+};
+
+/// The fixed 84-task Sybil sweep under one engine generation.
+SweepRun run_sweep(const std::vector<graph::Graph>& rings, bool pr3_layers) {
+  configure(pr3_layers);
+  const game::SybilOptions options;  // exact per-piece solver (v2 default)
+  SweepRun run;
+  util::Timer timer;
+  for (const graph::Graph& ring : rings) {
+    for (graph::Vertex v = 0; v < ring.vertex_count(); ++v) {
+      const game::SybilOptimum optimum =
+          game::optimize_sybil_split(ring, v, options);
+      std::ostringstream line;
+      line << "ratio=" << optimum.ratio.to_string()
+           << " w1*=" << optimum.w1_star.to_string()
+           << " U=" << optimum.utility.to_string()
+           << " H=" << optimum.honest_utility.to_string();
+      run.outputs.push_back(line.str());
+    }
+  }
+  run.seconds = timer.elapsed_seconds();
+  run.counters = util::PerfCounters::snapshot();
+  return run;
+}
+
+/// Decompose >= `instances` random ring instances with the kernel and the
+/// Dinic oracle in lockstep (cross_check_kernel throws std::logic_error on
+/// the first differing maximal minimizer). Returns the disagreement count.
+std::size_t cross_check_disagreements(std::size_t instances,
+                                      std::uint64_t seed) {
+  configure(/*pr3_layers=*/true);
+  bd::hot_path_config().memo_cache = false;  // force every solve to evaluate
+  bd::hot_path_config().cross_check_kernel = true;
+  const std::vector<graph::Graph> rings =
+      exp::random_rings(instances, 6, seed, 18);
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    try {
+      const bd::Decomposition decomposition(rings[i]);
+      if (!bd::proposition3_violations(rings[i], decomposition).empty())
+        ++disagreements;
+    } catch (const std::logic_error& error) {
+      std::printf("cross-check disagreement (instance %zu): %s\n", i,
+                  error.what());
+      ++disagreements;
+    }
+  }
+  return disagreements;
+}
+
+/// Rotation-heavy workload: all rotations and reflections of a few base
+/// rings. With canonical keys every variant of a base instance (and of its
+/// peel subgraphs) shares one cache entry, so the hit ratio approaches 1;
+/// verbatim keys would miss on every variant.
+double canonical_hit_ratio(std::size_t base_rings, std::size_t n,
+                           std::uint64_t seed, std::size_t* decompositions) {
+  configure(/*pr3_layers=*/true);
+  const std::vector<graph::Graph> bases =
+      exp::random_rings(base_rings, n, seed, 25);
+  *decompositions = 0;
+  for (const graph::Graph& base : bases) {
+    const std::vector<Rational>& weights = base.weights();
+    for (int reflect = 0; reflect < 2; ++reflect) {
+      for (std::size_t shift = 0; shift < n; ++shift) {
+        std::vector<Rational> variant = weights;
+        if (reflect) std::reverse(variant.begin(), variant.end());
+        std::rotate(variant.begin(),
+                    variant.begin() + static_cast<std::ptrdiff_t>(shift),
+                    variant.end());
+        const bd::Decomposition decomposition(graph::make_ring(variant));
+        (void)decomposition;
+        ++*decompositions;
+      }
+    }
+  }
+  return util::PerfCounters::snapshot().cache_hit_ratio();
+}
+
+}  // namespace
+
+int main() {
+  // The fixed PR-2 workload: 12 random 7-rings, all 84 (ring, vertex) tasks.
+  const std::vector<graph::Graph> rings = exp::random_rings(12, 7, 9000, 30);
+
+  std::printf("[ringkernel] pr2 pass (PR-3 layers off)...\n");
+  const SweepRun pr2 = run_sweep(rings, /*pr3_layers=*/false);
+  std::printf("[ringkernel] pr2 %.3fs\n", pr2.seconds);
+
+  std::printf("[ringkernel] v3 pass (canonical cache + incremental flow + "
+              "kernel)...\n");
+  const SweepRun v3 = run_sweep(rings, /*pr3_layers=*/true);
+  std::printf("[ringkernel] v3 %.3fs\n", v3.seconds);
+
+  const bool results_identical = pr2.outputs == v3.outputs;
+  const double speedup = v3.seconds > 0 ? pr2.seconds / v3.seconds : 0;
+  std::printf("[ringkernel] speedup %.2fx, %s\n", speedup,
+              results_identical ? "results identical" : "RESULTS DIFFER");
+
+  std::printf("[cross-check] 1000 random instances, kernel vs Dinic...\n");
+  util::Timer cc_timer;
+  const std::size_t cc_disagreements = cross_check_disagreements(1000, 31337);
+  const double cc_seconds = cc_timer.elapsed_seconds();
+  const std::uint64_t cc_evals =
+      util::PerfCounters::snapshot().ring_kernel_cross_checks;
+  std::printf("[cross-check] %zu disagreements over %llu lockstep evals "
+              "in %.3fs\n",
+              cc_disagreements,
+              static_cast<unsigned long long>(cc_evals), cc_seconds);
+
+  std::printf("[canonical] rotation-heavy workload...\n");
+  std::size_t canonical_tasks = 0;
+  const double hit_ratio = canonical_hit_ratio(6, 8, 2024, &canonical_tasks);
+  std::printf("[canonical] %zu decompositions, hit ratio %.3f\n",
+              canonical_tasks, hit_ratio);
+
+  const std::string json_path =
+      std::string(RINGSHARE_REPO_ROOT) + "/BENCH_ringkernel.json";
+  {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"ring_kernel\",\n"
+        << "  \"workload\": {\"rings\": " << rings.size()
+        << ", \"n\": 7, \"tasks\": " << v3.outputs.size() << "},\n"
+        << "  \"pr2_seconds\": " << pr2.seconds << ",\n"
+        << "  \"v3_seconds\": " << v3.seconds << ",\n"
+        << "  \"speedup\": " << speedup << ",\n"
+        << "  \"results_identical\": " << (results_identical ? "true" : "false")
+        << ",\n"
+        << "  \"cross_check\": {\"instances\": 1000, \"lockstep_evals\": "
+        << cc_evals << ", \"disagreements\": " << cc_disagreements
+        << ", \"seconds\": " << cc_seconds << "},\n"
+        << "  \"canonical\": {\"decompositions\": " << canonical_tasks
+        << ", \"hit_ratio\": " << hit_ratio << "},\n"
+        << "  \"pr2_counters\": " << pr2.counters.to_json(2) << ",\n"
+        << "  \"v3_counters\": " << v3.counters.to_json(2) << "\n}\n";
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  int exit_code = 0;
+  if (!results_identical) {
+    std::printf("FAIL: optima differ between the pr2 and v3 engines\n");
+    exit_code = 1;
+  }
+  if (speedup < 2.0) {
+    std::printf("FAIL: speedup %.2fx < 2x\n", speedup);
+    exit_code = 1;
+  }
+  if (cc_disagreements > 0) {
+    std::printf("FAIL: %zu kernel/Dinic disagreements\n", cc_disagreements);
+    exit_code = 1;
+  }
+  if (hit_ratio < 0.5) {
+    std::printf("FAIL: canonical hit ratio %.3f < 0.5\n", hit_ratio);
+    exit_code = 1;
+  }
+  configure(/*pr3_layers=*/true);
+  return exit_code;
+}

@@ -50,8 +50,18 @@ using num::Rational;
 
 void configure(bool accelerators) {
   BigInt::set_fast_path_enabled(accelerators);
-  bd::hot_path_config() =
-      bd::HotPathConfig{accelerators, accelerators, accelerators};
+  // This bench contrasts the v1 scan engine with the v2 sweep engine under
+  // the PR-1/PR-2 accelerators: pin the later engine layers off in both
+  // passes (their fields default to on).
+  bd::HotPathConfig config;
+  config.memo_cache = accelerators;
+  config.warm_start = accelerators;
+  config.flow_arena = accelerators;
+  config.canonical_cache = false;
+  config.incremental_flow = false;
+  config.ring_kernel = false;
+  config.cross_check_kernel = false;
+  bd::hot_path_config() = config;
   bd::BottleneckCache::instance().clear();
   util::PerfCounters::reset();
 }

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Merge the BENCH_*.json artifacts into one engine-trajectory table.
+
+Each PR's before/after bench leaves a JSON report at the repository root
+(BENCH_hotpaths.json, BENCH_sweep.json, BENCH_ringkernel.json, ...). This
+script flattens them into one table of rows
+
+    bench / pass            baseline_s   current_s   speedup   identical
+
+so the cumulative trajectory of the engine is readable at a glance, and
+optionally emits the merged table as JSON for downstream tooling.
+
+Usage:
+    scripts/bench_trajectory.py [--json OUT.json] [ROOT]
+
+ROOT defaults to the repository root (the parent of this script's
+directory). Missing artifacts are reported and skipped — the script only
+fails (exit 1) when a present artifact is malformed or reports
+results_identical == false.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path):
+    with path.open() as f:
+        return json.load(f)
+
+
+def rows_hotpaths(report) -> list[dict]:
+    rows = []
+    for kernel in report["kernels"]:
+        rows.append(
+            {
+                "bench": "hot_paths",
+                "pass": kernel["name"],
+                "baseline_seconds": kernel["baseline_seconds"],
+                "current_seconds": kernel["optimized_seconds"],
+                "speedup": kernel["speedup"],
+                "results_identical": kernel["results_identical"],
+            }
+        )
+    return rows
+
+
+def rows_sweep(report) -> list[dict]:
+    return [
+        {
+            "bench": "sweep_engine",
+            "pass": "pr1_scan -> v2_exact",
+            "baseline_seconds": report["pr1_scan_seconds"],
+            "current_seconds": report["v2_exact_seconds"],
+            "speedup": report["speedup"],
+            "results_identical": report["results_identical"],
+        }
+    ]
+
+
+def rows_ringkernel(report) -> list[dict]:
+    return [
+        {
+            "bench": "ring_kernel",
+            "pass": "pr2 -> v3",
+            "baseline_seconds": report["pr2_seconds"],
+            "current_seconds": report["v3_seconds"],
+            "speedup": report["speedup"],
+            "results_identical": report["results_identical"],
+        }
+    ]
+
+
+PARSERS = {
+    "BENCH_hotpaths.json": rows_hotpaths,
+    "BENCH_sweep.json": rows_sweep,
+    "BENCH_ringkernel.json": rows_ringkernel,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", nargs="?", default=None,
+                        help="repository root holding the BENCH_*.json files")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="also write the merged rows to this JSON file")
+    args = parser.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+
+    rows: list[dict] = []
+    broken = 0
+    for name, to_rows in PARSERS.items():
+        path = root / name
+        if not path.exists():
+            print(f"[trajectory] {name}: missing, skipped", file=sys.stderr)
+            continue
+        try:
+            rows.extend(to_rows(load(path)))
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            print(f"[trajectory] {name}: malformed ({error})", file=sys.stderr)
+            broken += 1
+
+    if not rows and broken == 0:
+        print("[trajectory] no BENCH_*.json artifacts found; run the benches "
+              "first (scripts/tier1.sh builds and runs them)", file=sys.stderr)
+        return 1
+
+    header = f"{'bench / pass':<38} {'base_s':>8} {'cur_s':>8} {'speedup':>8}  identical"
+    print(header)
+    print("-" * len(header))
+    mismatches = 0
+    for row in rows:
+        label = f"{row['bench']} / {row['pass']}"
+        identical = row["results_identical"]
+        mismatches += 0 if identical else 1
+        print(f"{label:<38} {row['baseline_seconds']:>8.3f} "
+              f"{row['current_seconds']:>8.3f} {row['speedup']:>7.2f}x  "
+              f"{'yes' if identical else 'NO'}")
+
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump({"trajectory": rows}, f, indent=2)
+            f.write("\n")
+        print(f"\nwrote {args.json_out}")
+
+    if mismatches:
+        print(f"\n{mismatches} row(s) report results_identical == false",
+              file=sys.stderr)
+    return 1 if (mismatches or broken) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@
 #   4. Sweep bench smoke: run bench_sweep_engine and validate that
 #      BENCH_sweep.json parses with results_identical == true (the exact
 #      engine's optima must not depend on the accelerators).
+#   5. Ring-kernel bench smoke: run bench_ring_kernel and validate that
+#      BENCH_ringkernel.json parses with results_identical == true and zero
+#      kernel-vs-Dinic cross-check disagreements (the combinatorial kernel
+#      must be bit-identical to the flow).
 #
 # Usage: scripts/tier1.sh [--skip-asan]
 #   --skip-asan skips every sanitizer pass (ASan/UBSan and TSan) and the
@@ -86,6 +90,33 @@ import json, sys
 with open("BENCH_sweep.json") as f:
     report = json.load(f)
 sys.exit(0 if report["results_identical"] is True else 1)
+EOF
+else
+  echo "tier1.sh: python3 not found; JSON well-formedness check skipped"
+fi
+
+echo "=== ring-kernel bench smoke: bench_ring_kernel ==="
+cmake --build build -j "$jobs" --target bench_ring_kernel
+./build/bench/bench_ring_kernel
+# The binary exits nonzero on any contract violation (speedup, identity,
+# cross-check, canonical hit ratio); re-validate the JSON independently.
+grep -q '"results_identical": true' BENCH_ringkernel.json || {
+  echo "tier1.sh: BENCH_ringkernel.json missing results_identical: true" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+with open("BENCH_ringkernel.json") as f:
+    report = json.load(f)
+ok = (
+    report["results_identical"] is True
+    and report["cross_check"]["disagreements"] == 0
+    and report["cross_check"]["lockstep_evals"] > 0
+    and report["v3_counters"]["ring_kernel_cross_checks"] == 0
+    and report["v3_counters"]["ring_kernel_evals"] > 0
+)
+sys.exit(0 if ok else 1)
 EOF
 else
   echo "tier1.sh: python3 not found; JSON well-formedness check skipped"

@@ -22,12 +22,21 @@ void count_miss() noexcept {
       1, std::memory_order_relaxed);
 }
 
+void count_eviction() noexcept {
+  util::PerfCounters::local().bottleneck_cache_evictions.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
 // Word tags keep the encoding self-delimiting: a small integer is two words
 // (tag, payload), a big one is a length-tagged word followed by its decimal
 // digits packed eight bytes per word. No two distinct values share an
 // encoding, so key equality is graph equality.
 constexpr std::uint64_t kSmallTag = 1;
 constexpr std::uint64_t kBigTag = 2;
+
+// First word of a canonical-scheme key. Verbatim keys start with the vertex
+// count, which is far below 2^32, so the schemes can never collide.
+constexpr std::uint64_t kCanonicalMagic = 0x52494E4743414E4FULL;  // "RINGCANO"
 
 void encode_bigint(const num::BigInt& value, std::vector<std::uint64_t>& out) {
   if (value.fits_int64()) {
@@ -52,6 +61,32 @@ std::size_t fnv1a(const std::vector<std::uint64_t>& words) noexcept {
     h *= 0x100000001B3ULL;
   }
   return static_cast<std::size_t>(h);
+}
+
+/// Map a bottleneck given in canonical positions to original vertex ids.
+std::vector<Vertex> translate_to_original(
+    const std::vector<Vertex>& canonical_set,
+    const graph::CanonicalStructure& canonical) {
+  std::vector<Vertex> out;
+  out.reserve(canonical_set.size());
+  for (const Vertex position : canonical_set)
+    out.push_back(canonical.to_original[position]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Map a bottleneck given in original vertex ids to canonical positions.
+std::vector<Vertex> translate_to_canonical(
+    const std::vector<Vertex>& original_set, std::size_t vertex_count,
+    const graph::CanonicalStructure& canonical) {
+  std::vector<Vertex> position_of(vertex_count, 0);
+  for (std::size_t p = 0; p < canonical.to_original.size(); ++p)
+    position_of[canonical.to_original[p]] = static_cast<Vertex>(p);
+  std::vector<Vertex> out;
+  out.reserve(original_set.size());
+  for (const Vertex v : original_set) out.push_back(position_of[v]);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace
@@ -80,6 +115,24 @@ GraphKey graph_fingerprint(const Graph& g) {
   return key;
 }
 
+GraphKey canonical_fingerprint(const Graph& g,
+                               const graph::CanonicalStructure& canonical) {
+  GraphKey key;
+  key.words.reserve(4 * canonical.to_original.size() + 8);
+  key.words.push_back(kCanonicalMagic);
+  key.words.push_back(canonical.components.size());
+  for (const auto& [length, cycle] : canonical.components)
+    key.words.push_back((static_cast<std::uint64_t>(length) << 1) |
+                        (cycle ? 1 : 0));
+  for (const Vertex v : canonical.to_original) {
+    const Rational& w = g.weight(v);
+    encode_bigint(w.numerator(), key.words);
+    encode_bigint(w.denominator(), key.words);
+  }
+  key.hash_value = fnv1a(key.words);
+  return key;
+}
+
 BottleneckCache& BottleneckCache::instance() {
   static BottleneckCache* cache = new BottleneckCache();  // leaked: outlives
                                                           // worker threads
@@ -92,20 +145,43 @@ std::optional<BottleneckResult> BottleneckCache::lookup(
   std::shared_lock lock(shard.mutex);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) return std::nullopt;
-  return it->second;
+  it->second.referenced.store(true, std::memory_order_relaxed);
+  return it->second.result;
 }
 
 void BottleneckCache::insert(GraphKey key, BottleneckResult result) {
   Shard& shard = shard_for(key);
   std::unique_lock lock(shard.mutex);
-  if (shard.map.size() >= kMaxEntriesPerShard) shard.map.clear();
-  shard.map.emplace(std::move(key), std::move(result));
+  if (shard.map.size() >= kMaxEntriesPerShard) {
+    // Second-chance: recently hit entries get their bit cleared and move to
+    // the back; the first cold entry goes. Terminates within one full lap —
+    // after that every bit has been cleared.
+    for (std::size_t scanned = 0; !shard.clock.empty(); ++scanned) {
+      const GraphKey* candidate = shard.clock.front();
+      shard.clock.pop_front();
+      const auto it = shard.map.find(*candidate);
+      Entry& entry = it->second;
+      if (entry.referenced.load(std::memory_order_relaxed) &&
+          scanned < shard.clock.size() + 1) {
+        entry.referenced.store(false, std::memory_order_relaxed);
+        shard.clock.push_back(candidate);
+        continue;
+      }
+      shard.map.erase(it);
+      count_eviction();
+      break;
+    }
+  }
+  const auto [it, inserted] =
+      shard.map.try_emplace(std::move(key), std::move(result));
+  if (inserted) shard.clock.push_back(&it->first);
 }
 
 void BottleneckCache::clear() {
   for (Shard& shard : shards_) {
     std::unique_lock lock(shard.mutex);
     shard.map.clear();
+    shard.clock.clear();
   }
 }
 
@@ -126,15 +202,33 @@ BottleneckResult cached_maximal_bottleneck(const Graph& g,
   if (!config.flow_arena) effective.arena = nullptr;
   if (!config.memo_cache) return maximal_bottleneck(g, effective);
 
-  GraphKey key = graph_fingerprint(g);
+  // Prefer the canonical key: one entry then serves every rotation and
+  // reflection of the instance. The stored bottleneck is in canonical
+  // positions; translation through to_original is sound because the maximal
+  // bottleneck (unique maximum of the minimizer lattice) is carried onto
+  // itself by every isomorphism.
+  std::optional<graph::CanonicalStructure> canonical;
+  if (config.canonical_cache) canonical = graph::canonicalize_ring_graph(g);
+
+  GraphKey key =
+      canonical ? canonical_fingerprint(g, *canonical) : graph_fingerprint(g);
   BottleneckCache& cache = BottleneckCache::instance();
   if (auto hit = cache.lookup(key)) {
     count_hit();
+    if (canonical)
+      hit->bottleneck = translate_to_original(hit->bottleneck, *canonical);
     return *std::move(hit);
   }
   count_miss();
   BottleneckResult result = maximal_bottleneck(g, effective);
-  cache.insert(std::move(key), result);
+  if (canonical) {
+    BottleneckResult stored = result;
+    stored.bottleneck = translate_to_canonical(result.bottleneck,
+                                               g.vertex_count(), *canonical);
+    cache.insert(std::move(key), std::move(stored));
+  } else {
+    cache.insert(std::move(key), result);
+  }
   return result;
 }
 

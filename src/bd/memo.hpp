@@ -5,10 +5,19 @@
 // peeling identical subgraphs every time, and per-vertex Sybil scans share
 // the honest ring. cached_maximal_bottleneck() memoizes maximal_bottleneck()
 // behind a sharded, thread-safe cache keyed by a canonical fingerprint of
-// the *exact* graph (adjacency plus exact rational weights), so a hit is
-// guaranteed to return the bit-identical BottleneckResult the solver would
-// have produced (the mechanism result is a pure function of the graph; only
-// the recorded iteration count depends on which caller populated the entry).
+// the graph, so a hit is guaranteed to return the bit-identical
+// BottleneckResult the solver would have produced (the mechanism result is a
+// pure function of the graph up to isomorphism; only the recorded iteration
+// count depends on which caller populated the entry).
+//
+// Two key schemes coexist:
+//   * verbatim keys — adjacency plus exact weights in vertex order; equal
+//     keys ⟺ equal labeled graphs; and
+//   * canonical keys (HotPathConfig::canonical_cache) — for rings and
+//     unions of paths the key is the dihedral canonical form
+//     (graph/canonical.hpp), so every rotation/reflection-equivalent
+//     instance shares one entry; cached results are stored in canonical
+//     labels and translated back through the stored permutation.
 //
 // Every accelerator is switchable at runtime through hot_path_config() so
 // benches can measure the seed behavior and metamorphic tests can compare
@@ -16,13 +25,16 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "bd/parametric.hpp"
+#include "graph/canonical.hpp"
 
 namespace ringshare::bd {
 
@@ -33,15 +45,28 @@ struct HotPathConfig {
   bool memo_cache = true;  ///< memoize maximal_bottleneck results
   bool warm_start = true;  ///< seed Dinkelbach from an adjacent λ*
   bool flow_arena = true;  ///< reuse parametric networks across calls
+  /// Key ring-shaped graphs (cycles / unions of paths) by their dihedral
+  /// canonical form instead of the verbatim labeling, sharing one cache
+  /// entry across all rotations/reflections.
+  bool canonical_cache = true;
+  /// Reuse the previous Dinkelbach iteration's flow (drain + augment)
+  /// instead of re-running Dinic from zero.
+  bool incremental_flow = true;
+  /// Solve the parametric min-cut combinatorially (O(n) DP) on path/cycle
+  /// unions, skipping flow entirely.
+  bool ring_kernel = true;
+  /// Run BOTH the ring kernel and the Dinic oracle on every evaluation and
+  /// throw std::logic_error on any disagreement (differential testing /
+  /// bench certification; expensive).
+  bool cross_check_kernel = false;
 };
 
 /// The live configuration (mutable singleton).
 [[nodiscard]] HotPathConfig& hot_path_config() noexcept;
 
-/// Canonical graph fingerprint: a length-prefixed word encoding of every
-/// vertex weight (exact numerator/denominator) followed by the adjacency
-/// lists. Equal keys ⟺ equal graphs (vertex order is part of the identity,
-/// as it is for Graph itself).
+/// Cache fingerprint: a length-prefixed word encoding of a graph (verbatim
+/// or canonical scheme; the schemes cannot collide). Equal keys ⟺ equal
+/// graphs under the scheme's notion of identity.
 struct GraphKey {
   std::vector<std::uint64_t> words;
   std::size_t hash_value = 0;
@@ -51,14 +76,22 @@ struct GraphKey {
   }
 };
 
-/// Fingerprint `g` for cache lookup.
+/// Verbatim fingerprint of `g` (vertex order is part of the identity, as it
+/// is for Graph itself).
 [[nodiscard]] GraphKey graph_fingerprint(const Graph& g);
+
+/// Canonical fingerprint of a union-of-paths/cycles graph from its
+/// canonical structure: component shapes plus weights in canonical order.
+/// Equal keys ⟺ isomorphic weighted graphs.
+[[nodiscard]] GraphKey canonical_fingerprint(
+    const Graph& g, const graph::CanonicalStructure& canonical);
 
 /// Sharded, thread-safe memo of maximal_bottleneck results. Shards are
 /// picked by key hash; each holds an independent map behind a shared_mutex,
-/// so concurrent sweep workers rarely contend. Shards are capped (oldest
-/// entries are dropped wholesale on overflow) to bound memory on unbounded
-/// sweeps.
+/// so concurrent sweep workers rarely contend. Shards are capped; overflow
+/// evicts one entry by a second-chance (clock) scan — recently hit entries
+/// survive, cold ones go, and the bottleneck_cache_evictions perf counter
+/// records the churn.
 class BottleneckCache {
  public:
   /// The process-wide cache.
@@ -72,18 +105,31 @@ class BottleneckCache {
   void clear();
   [[nodiscard]] std::size_t size() const;
 
+  /// Entry cap per shard (exposed so the eviction test can fill a shard).
+  static constexpr std::size_t kMaxEntriesPerShard = 1 << 15;
+
  private:
   static constexpr std::size_t kShardCount = 16;
-  static constexpr std::size_t kMaxEntriesPerShard = 1 << 15;
 
   struct KeyHash {
     std::size_t operator()(const GraphKey& key) const noexcept {
       return key.hash_value;
     }
   };
+  /// Cached result plus its second-chance bit. `referenced` is atomic so
+  /// lookups may set it under the shard's *shared* lock.
+  struct Entry {
+    BottleneckResult result;
+    std::atomic<bool> referenced{false};
+
+    explicit Entry(BottleneckResult r) : result(std::move(r)) {}
+  };
   struct Shard {
     mutable std::shared_mutex mutex;
-    std::unordered_map<GraphKey, BottleneckResult, KeyHash> map;
+    std::unordered_map<GraphKey, Entry, KeyHash> map;
+    /// Clock order over the map's keys (pointers into the node-based map,
+    /// stable until erase). Front = next eviction candidate.
+    std::deque<const GraphKey*> clock;
   };
 
   [[nodiscard]] Shard& shard_for(const GraphKey& key) const noexcept {
@@ -94,9 +140,10 @@ class BottleneckCache {
 };
 
 /// maximal_bottleneck through the hot-path engine: memo cache first (when
-/// enabled), then the solver with whichever of `options`' accelerators the
-/// current hot_path_config() allows. Results are bit-identical to a plain
-/// maximal_bottleneck(g) call in every configuration.
+/// enabled, keyed canonically for ring-shaped graphs), then the solver with
+/// whichever of `options`' accelerators the current hot_path_config()
+/// allows. Results are bit-identical to a plain maximal_bottleneck(g) call
+/// in every configuration.
 [[nodiscard]] BottleneckResult cached_maximal_bottleneck(
     const Graph& g, const BottleneckOptions& options = {});
 

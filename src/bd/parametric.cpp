@@ -1,9 +1,13 @@
 #include "bd/parametric.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "bd/memo.hpp"
+#include "bd/ring_kernel.hpp"
 #include "util/perf_counters.hpp"
 
 namespace ringshare::bd {
@@ -32,6 +36,21 @@ void count_warm_hit() noexcept {
 
 void count_warm_restart() noexcept {
   util::PerfCounters::local().dinkelbach_warm_restarts.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void count_incremental_rerun() noexcept {
+  util::PerfCounters::local().flow_incremental_reruns.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void count_kernel_eval() noexcept {
+  util::PerfCounters::local().ring_kernel_evals.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void count_kernel_cross_check() noexcept {
+  util::PerfCounters::local().ring_kernel_cross_checks.fetch_add(
       1, std::memory_order_relaxed);
 }
 
@@ -81,17 +100,26 @@ void prepare_arena(const Graph& g, FlowArena& arena) {
 }
 
 /// One parametric min-cut evaluation on a prepared arena: returns the maximal
-/// minimizer S of w(Γ(S)) − λ·w(S) (possibly empty).
+/// minimizer S of w(Γ(S)) − λ·w(S) (possibly empty). With `incremental` set
+/// and a previous run in the arena's network, only the capacity deltas are
+/// repaired (drain + augment from the residual) instead of re-solving from a
+/// zero flow; the min-cut structure of a max flow is flow-independent, so
+/// the result is bit-identical either way.
 std::vector<Vertex> maximal_minimizer(const Graph& g, const Rational& lambda,
-                                      FlowArena& arena) {
+                                      FlowArena& arena, bool incremental) {
   util::ScopedPhase phase(util::Phase::kDinic);
   const std::size_t n = g.vertex_count();
   const std::size_t s = 2 * n;
   const std::size_t t = 2 * n + 1;
   for (Vertex u = 0; u < n; ++u)
     arena.network.set_capacity(arena.source_arcs[u], lambda * g.weight(u));
-  arena.network.reset();
-  arena.network.run(s, t);
+  if (incremental && arena.network.has_run()) {
+    count_incremental_rerun();
+    arena.network.rerun(s, t);
+  } else {
+    arena.network.reset();
+    arena.network.run(s, t);
+  }
   // Maximal source side = complement of the nodes that can still reach t.
   const std::vector<char> reaches_sink = arena.network.residual_reaching_sink();
   std::vector<Vertex> out;
@@ -133,14 +161,61 @@ BottleneckResult maximal_bottleneck(const Graph& g) {
   return maximal_bottleneck(g, BottleneckOptions{});
 }
 
+namespace {
+
+/// Cross-check helper: format a vertex set for the disagreement diagnostic.
+std::string format_set(const std::vector<Vertex>& set) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < set.size(); ++i)
+    os << (i == 0 ? "" : ",") << set[i];
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
 BottleneckResult maximal_bottleneck(const Graph& g,
                                     const BottleneckOptions& options) {
   const std::size_t n = g.vertex_count();
   if (n == 0) throw std::invalid_argument("maximal_bottleneck: empty graph");
 
+  const HotPathConfig& config = hot_path_config();
+  std::optional<RingStructure> structure;
+  if (config.ring_kernel) structure = analyze_ring_structure(g);
+  const bool use_kernel = structure.has_value();
+  const bool cross_check = use_kernel && config.cross_check_kernel;
+
   FlowArena local_arena;
   FlowArena& arena = options.arena != nullptr ? *options.arena : local_arena;
-  prepare_arena(g, arena);
+  // The flow network is only needed when the kernel doesn't apply (or when
+  // it is being cross-checked against the Dinic oracle).
+  if (!use_kernel || cross_check) prepare_arena(g, arena);
+
+  // One evaluation of the maximal minimizer at λ, through whichever engines
+  // the configuration selects. All paths produce the same set.
+  auto evaluate = [&](const Rational& lambda) -> std::vector<Vertex> {
+    std::vector<Vertex> kernel_set;
+    if (use_kernel) {
+      util::ScopedPhase kernel_phase(util::Phase::kRingKernel);
+      count_kernel_eval();
+      kernel_set = kernel_maximal_minimizer(g, *structure, lambda);
+      if (!cross_check) return kernel_set;
+    }
+    std::vector<Vertex> flow_set =
+        maximal_minimizer(g, lambda, arena, config.incremental_flow);
+    if (cross_check) {
+      count_kernel_cross_check();
+      if (kernel_set != flow_set) {
+        throw std::logic_error(
+            "ring kernel disagrees with Dinic oracle at lambda = " +
+            lambda.to_string() + ": kernel " + format_set(kernel_set) +
+            " vs flow " + format_set(flow_set));
+      }
+      return kernel_set;
+    }
+    return flow_set;
+  };
 
   // A warm λ is only a hint. λ = α* converges in one cut; λ > α* descends
   // normally; λ < α* yields the empty minimizer and falls back to the cold
@@ -161,7 +236,7 @@ BottleneckResult maximal_bottleneck(const Graph& g,
   for (int iteration = 1;; ++iteration) {
     result.dinkelbach_iterations = iteration;
     count_iteration();
-    std::vector<Vertex> candidate = maximal_minimizer(g, lambda, arena);
+    std::vector<Vertex> candidate = evaluate(lambda);
     const Rational set_w =
         candidate.empty() ? Rational(0) : g.set_weight(candidate);
     if (candidate.empty() || set_w.is_zero()) {

@@ -1,0 +1,360 @@
+#include "bd/ring_kernel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace ringshare::bd {
+
+namespace {
+
+using num::BigInt;
+
+/// State index for the pair (s_{j−1}, s_j).
+constexpr int state(int x, int y) noexcept { return x * 2 + y; }
+
+/// Scaled integer DP value. Inputs are capped at 2^55 (scaled weight) times
+/// 2^55 (λ numerator/denominator) with component size capped at 2^15, so
+/// any sum the DP can form stays below 2^126.
+using Int = __int128;
+
+/// Magnitude cap for int64-staged weights and for λ's numerator/denominator.
+constexpr std::int64_t kMaxMagnitude = std::int64_t{1} << 55;
+
+/// Component size cap for the __int128 path (keeps DP sums in range).
+constexpr std::size_t kMaxScaledLength = std::size_t{1} << 15;
+
+/// Flat DP scratch reused across evaluations. The kernel runs once per
+/// Dinkelbach iteration on tiny graphs, so per-call vector churn would
+/// dominate the arithmetic; rows live here and only grow. Each value array
+/// exists twice: __int128 for the staged fast path, BigInt for components
+/// whose scaled weights outgrow int64.
+///
+/// F/G are row-major (4 states per position); f_mask/g_mask hold one
+/// validity bit per state (bit `state(x,y)`), so infeasible states cost no
+/// arithmetic. `best` / `with_one` accumulate across the cycle combos.
+struct Workspace {
+  std::vector<Int> wi, lwi, Fi, Gi, with_one_i;
+  std::vector<BigInt> wb, lwb, Fb, Gb, with_one_b;
+  std::vector<std::uint8_t> f_mask, g_mask, has_with_one;
+  Int best_i = 0;
+  BigInt best_b;
+  bool has_best = false;
+
+  void prepare(std::size_t k, bool integral) {
+    if (integral) {
+      wi.resize(k);
+      lwi.resize(k);
+      Fi.resize(4 * k);
+      Gi.resize(4 * k);
+      with_one_i.resize(k);
+    } else {
+      wb.resize(k);
+      lwb.resize(k);
+      Fb.resize(4 * k);
+      Gb.resize(4 * k);
+      with_one_b.resize(k);
+    }
+    f_mask.resize(k);
+    g_mask.resize(k);
+    has_with_one.assign(k, 0);
+    has_best = false;
+  }
+};
+
+Workspace& workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+template <typename V>
+void take_min(V& slot, bool& has, V value) {
+  if (!has || value < slot) {
+    slot = std::move(value);
+    has = true;
+  }
+}
+
+/// One constrained chain: positions 0..k−1 with weights `w`, precomputed
+/// λ·w in `lw`, fictitious outside neighbors `left_virtual` (of position 0)
+/// and `right_virtual` (of position k−1), and optional forced values for
+/// s_0 / s_{k−1} (−1 = free). Minimizes
+///   Σ_i w_i·[s_{i−1} ∨ s_{i+1}]  −  λ Σ_i w_i·s_i
+/// and folds the chain minimum into `best` and the per-position
+/// pinned-to-1 minima into `with_one`.
+///
+/// F[j][(x,y)] = min over s_0..s_j with (s_{j−1}, s_j) = (x, y) of the
+///   −λ-terms for i ≤ j plus the Γ-terms for i ≤ j−1;
+/// G[j][(x,y)] = min over s_{j+1}..s_{k−1} given (s_{j−1}, s_j) = (x, y) of
+///   the Γ-terms for i ≥ j plus the −λ-terms for i > j.
+/// The partition is exact, so F[j] + G[j] is the full objective with the
+/// pair (s_{j−1}, s_j) pinned, minimized over everything else.
+template <typename V>
+void solve_chain(const V* w, const V* lw, V* F, V* G, std::uint8_t* f_mask,
+                 std::uint8_t* g_mask, std::size_t k, int left_virtual,
+                 int right_virtual, int force_first, int force_last, V& best,
+                 bool& has_best, V* with_one, std::uint8_t* has_with_one) {
+  f_mask[0] = 0;
+  for (int y = 0; y < 2; ++y) {
+    if (force_first >= 0 && y != force_first) continue;
+    if (k == 1 && force_last >= 0 && y != force_last) continue;
+    const int s = state(left_virtual, y);
+    F[s] = y ? -lw[0] : V(0);
+    f_mask[0] = static_cast<std::uint8_t>(f_mask[0] | (1u << s));
+  }
+  for (std::size_t j = 1; j < k; ++j) {
+    V* row = F + 4 * j;
+    const V* prev = row - 4;
+    const std::uint8_t pm = f_mask[j - 1];
+    const bool z0_ok = !(j == k - 1 && force_last == 1);
+    const bool z1_ok = !(j == k - 1 && force_last == 0);
+    // Shared across y when s_j = 1: the Γ-term at i = j−1 plus the −λ-term.
+    const V gain = w[j - 1] - lw[j];
+    std::uint8_t m = 0;
+    for (int y = 0; y < 2; ++y) {
+      const bool v0 = (pm >> state(0, y)) & 1u;
+      const bool v1 = (pm >> state(1, y)) & 1u;
+      if (!v0 && !v1) continue;
+      const V& a0 = prev[state(0, y)];
+      const V& a1 = prev[state(1, y)];
+      if (z0_ok) {
+        // s_j = 0: the Γ-term at i = j−1 fires only when s_{j−2} = 1.
+        V r = v1 ? a1 + w[j - 1] : a0;
+        if (v0 && v1 && a0 < r) r = a0;
+        row[state(y, 0)] = std::move(r);
+        m = static_cast<std::uint8_t>(m | (1u << state(y, 0)));
+      }
+      if (z1_ok) {
+        // s_j = 1: the Γ-term fires regardless, so take the cheaper x.
+        const V& base = (!v1 || (v0 && a0 < a1)) ? a0 : a1;
+        row[state(y, 1)] = base + gain;
+        m = static_cast<std::uint8_t>(m | (1u << state(y, 1)));
+      }
+    }
+    f_mask[j] = m;
+  }
+
+  g_mask[k - 1] = 0;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      if (force_last >= 0 && y != force_last) continue;
+      const int s = state(x, y);
+      G[4 * (k - 1) + s] = (x | right_virtual) != 0 ? w[k - 1] : V(0);
+      g_mask[k - 1] = static_cast<std::uint8_t>(g_mask[k - 1] | (1u << s));
+    }
+  }
+  for (std::size_t j = k - 1; j-- > 0;) {
+    V* row = G + 4 * j;
+    const V* next = row + 4;
+    const std::uint8_t nm = g_mask[j + 1];
+    std::uint8_t m = 0;
+    for (int y = 0; y < 2; ++y) {
+      const bool v0 = (nm >> state(y, 0)) & 1u;
+      const bool v1 = (nm >> state(y, 1)) & 1u;
+      if (!v0 && !v1) continue;
+      const V& b0 = next[state(y, 0)];
+      // s_{j+1} = 1 makes the Γ-term at i = j fire for either x, and adds
+      // its own −λ-term.
+      V u(0);
+      if (v1) u = next[state(y, 1)] - lw[j + 1];
+      // x = 0: the Γ-term at i = j fires only via s_{j+1}.
+      {
+        V r = v1 ? u + w[j] : b0;
+        if (v0 && v1 && b0 < r) r = b0;
+        row[state(0, y)] = std::move(r);
+      }
+      // x = 1: the Γ-term at i = j always fires.
+      {
+        const V& base = (!v1 || (v0 && b0 < u)) ? b0 : u;
+        row[state(1, y)] = base + w[j];
+      }
+      m = static_cast<std::uint8_t>(m | (1u << state(0, y)) |
+                                    (1u << state(1, y)));
+    }
+    g_mask[j] = m;
+  }
+
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::uint8_t m = static_cast<std::uint8_t>(f_mask[j] & g_mask[j]);
+    const V* f = F + 4 * j;
+    const V* g = G + 4 * j;
+    for (int x = 0; x < 2; ++x) {
+      for (int y = 0; y < 2; ++y) {
+        const int s = state(x, y);
+        if (((m >> s) & 1u) == 0) continue;
+        if (j > 0 && y == 0) continue;  // contributes to neither aggregate
+        V total = f[s] + g[s];
+        if (j == 0) take_min(best, has_best, total);
+        if (y == 1) {
+          bool has = has_with_one[j] != 0;
+          take_min(with_one[j], has, std::move(total));
+          has_with_one[j] = has ? 1 : 0;
+        }
+      }
+    }
+  }
+}
+
+/// Stage a component's weights as integers w·D for the shared denominator
+/// D = lcm of the weight denominators: int64 `scaled_w` when D and every
+/// scaled value stay below 2^55 in magnitude, arbitrary-precision `big_w`
+/// otherwise. Runs once per analyze, so Dinkelbach evaluations pay no
+/// per-λ rational normalization on any component.
+void scale_component(const Graph& g, RingComponent& component) {
+  const std::size_t k = component.order.size();
+  component.scaled = k <= kMaxScaledLength;
+  std::int64_t common = 1;
+  if (component.scaled) {
+    for (const Vertex v : component.order) {
+      const Rational& value = g.weight(v);
+      if (!value.denominator().fits_int64() ||
+          !value.numerator().fits_int64()) {
+        component.scaled = false;
+        break;
+      }
+      common = std::lcm(common, value.denominator().to_int64());
+      if (common >= kMaxMagnitude) {
+        component.scaled = false;
+        break;
+      }
+    }
+  }
+  if (component.scaled) {
+    component.scaled_w.reserve(k);
+    for (const Vertex v : component.order) {
+      const Rational& value = g.weight(v);
+      const Int scaled = Int(value.numerator().to_int64()) *
+                         (common / value.denominator().to_int64());
+      if (scaled >= kMaxMagnitude || scaled <= -kMaxMagnitude) {
+        component.scaled = false;
+        component.scaled_w.clear();
+        break;
+      }
+      component.scaled_w.push_back(static_cast<std::int64_t>(scaled));
+    }
+  }
+  if (!component.scaled) {
+    BigInt big_common(1);
+    for (const Vertex v : component.order) {
+      const BigInt& den = g.weight(v).denominator();
+      big_common = big_common / BigInt::gcd(big_common, den) * den;
+    }
+    component.big_w.reserve(k);
+    for (const Vertex v : component.order) {
+      const Rational& value = g.weight(v);
+      component.big_w.push_back(value.numerator() *
+                                (big_common / value.denominator()));
+    }
+  }
+}
+
+/// Run the chain solves for the component: one free chain for a path; for a
+/// cycle, condition on (a, b) = (s_0, s_{k−1}) — each combo is a chain whose
+/// virtual left neighbor of position 0 is b and virtual right neighbor of
+/// position k−1 is a. best / with_one accumulate the min over the combos.
+template <typename V>
+void run_component(const RingComponent& component, Workspace& ws, const V* w,
+                   const V* lw, V* F, V* G, V& best, V* with_one) {
+  const std::size_t k = component.order.size();
+  if (!component.cycle) {
+    solve_chain(w, lw, F, G, ws.f_mask.data(), ws.g_mask.data(), k,
+                /*left_virtual=*/0, /*right_virtual=*/0, -1, -1, best,
+                ws.has_best, with_one, ws.has_with_one.data());
+    return;
+  }
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b)
+      solve_chain(w, lw, F, G, ws.f_mask.data(), ws.g_mask.data(), k,
+                  /*left_virtual=*/b, /*right_virtual=*/a,
+                  /*force_first=*/a, /*force_last=*/b, best, ws.has_best,
+                  with_one, ws.has_with_one.data());
+}
+
+/// Append the component's share of the maximal minimizer (original vertex
+/// ids) to `out`. Separability makes per-component minima additive, so the
+/// global maximal minimizer is the union of per-component ones.
+///
+/// `lambda_ok` carries λ = p/q pre-validated for the __int128 path; both
+/// representations are exact integer arithmetic on the objective scaled by
+/// the positive constant D·q, so minimizer membership is identical no
+/// matter which one ran.
+void solve_component(const RingComponent& component, const Rational& lambda,
+                     bool lambda_ok, std::int64_t p, std::int64_t q,
+                     std::vector<Vertex>& out) {
+  const std::size_t k = component.order.size();
+  Workspace& ws = workspace();
+  const bool use_int = component.scaled && lambda_ok;
+  ws.prepare(k, use_int);
+
+  if (use_int) {
+    // Everything scaled by D·q: w → (w·D)·q, λ·w → p·(w·D).
+    for (std::size_t i = 0; i < k; ++i) {
+      ws.wi[i] = Int(component.scaled_w[i]) * q;
+      ws.lwi[i] = Int(component.scaled_w[i]) * p;
+    }
+    run_component(component, ws, ws.wi.data(), ws.lwi.data(), ws.Fi.data(),
+                  ws.Gi.data(), ws.best_i, ws.with_one_i.data());
+  } else {
+    // Same scaling, in arbitrary precision. Pure integer adds/compares —
+    // unlike a rational-valued DP there is no per-operation normalization.
+    const BigInt& big_p = lambda.numerator();
+    const BigInt& big_q = lambda.denominator();
+    for (std::size_t i = 0; i < k; ++i) {
+      const BigInt big = component.scaled ? BigInt(component.scaled_w[i])
+                                          : component.big_w[i];
+      ws.wb[i] = big * big_q;
+      ws.lwb[i] = big * big_p;
+    }
+    run_component(component, ws, ws.wb.data(), ws.lwb.data(), ws.Fb.data(),
+                  ws.Gb.data(), ws.best_b, ws.with_one_b.data());
+  }
+
+  // A vertex belongs to SOME minimizer iff its pinned-to-1 marginal attains
+  // the minimum; the union of those vertices is the (lattice-)maximal
+  // minimizer.
+  if (!ws.has_best) return;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (!ws.has_with_one[j]) continue;
+    const bool attained = use_int ? ws.with_one_i[j] == ws.best_i
+                                  : ws.with_one_b[j] == ws.best_b;
+    if (attained) out.push_back(component.order[j]);
+  }
+}
+
+}  // namespace
+
+std::optional<RingStructure> analyze_ring_structure(const Graph& g) {
+  std::optional<std::vector<graph::PathComponent>> components =
+      graph::path_cycle_components(g);
+  if (!components) return std::nullopt;
+  RingStructure structure;
+  structure.components.reserve(components->size());
+  for (graph::PathComponent& walked : *components) {
+    RingComponent component;
+    component.order = std::move(walked.order);
+    component.cycle = walked.cycle;
+    scale_component(g, component);
+    structure.components.push_back(std::move(component));
+  }
+  return structure;
+}
+
+std::vector<Vertex> kernel_maximal_minimizer(const Graph& g,
+                                             const RingStructure& structure,
+                                             const Rational& lambda) {
+  (void)g;
+  bool lambda_ok = false;
+  std::int64_t p = 0, q = 1;
+  if (lambda.numerator().fits_int64() && lambda.denominator().fits_int64()) {
+    p = lambda.numerator().to_int64();
+    q = lambda.denominator().to_int64();
+    lambda_ok = p < kMaxMagnitude && p > -kMaxMagnitude && q < kMaxMagnitude;
+  }
+  std::vector<Vertex> out;
+  for (const RingComponent& component : structure.components)
+    solve_component(component, lambda, lambda_ok, p, q, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ringshare::bd

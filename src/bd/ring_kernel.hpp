@@ -1,0 +1,71 @@
+// ring_kernel.hpp — combinatorial parametric-cut kernel for ring graphs.
+//
+// On a disjoint union of paths and cycles the parametric min-cut of the
+// bottleneck solver (Def. 5's network) collapses to a one-dimensional
+// problem: minimizing f(S) = w(Γ(S)) − λ·w(S) is separable over components,
+// and inside a component every term of f touches a window of three
+// consecutive vertices (v is charged w_v exactly when a cyclic neighbor is
+// in S). A forward/backward DP over the edge state (s_{i−1}, s_i) therefore
+// computes, in O(k) exact-rational operations per component, both the
+// minimum of f and — via the F+G marginal at each position — the set of
+// vertices contained in SOME minimizer. Minimizers of a submodular function
+// form a lattice, so that union is itself a minimizer: the maximal
+// minimizer, which is exactly what the Dinic oracle reads off the
+// sink-unreachable residual side. The kernel is therefore bit-identical to
+// the flow on every input it accepts, and HotPathConfig::cross_check_kernel
+// makes the solver run both and throw on any disagreement.
+//
+// Cycles are handled by conditioning on the boundary pair
+// (a, b) = (s_0, s_{k−1}): each of the four combinations is a constrained
+// chain whose virtual outer neighbors are b (left of position 0) and a
+// (right of position k−1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/canonical.hpp"
+#include "graph/graph.hpp"
+
+namespace ringshare::bd {
+
+using graph::Graph;
+using graph::Rational;
+using graph::Vertex;
+
+/// One path/cycle component with its weights pre-staged for the DP.
+/// Multiplying every weight by the same positive constant scales the
+/// objective f(S) = w(Γ(S)) − λ·w(S) without moving its minimizers, so the
+/// weights are staged as integers w·D for the per-component common
+/// denominator D: in `scaled_w` when every value fits int64 comfortably
+/// (then an evaluation at λ = p/q runs on __int128 scaled by D·q), in
+/// `big_w` otherwise (arbitrary-precision integers — still gcd-free, which
+/// is what makes the fallback cheap).
+struct RingComponent {
+  std::vector<Vertex> order;
+  bool cycle = false;
+  bool scaled = false;
+  std::vector<std::int64_t> scaled_w;
+  std::vector<num::BigInt> big_w;
+};
+
+/// Path/cycle component list of a kernel-eligible graph. Analyzed once per
+/// graph and reused across every λ of a Dinkelbach descent, so the per-λ
+/// work is just the DP itself.
+struct RingStructure {
+  std::vector<RingComponent> components;
+};
+
+/// Analyze `g` for kernel eligibility: returns its component traversals when
+/// every vertex has degree <= 2, nullopt otherwise.
+[[nodiscard]] std::optional<RingStructure> analyze_ring_structure(
+    const Graph& g);
+
+/// The maximal minimizer of f(S) = w(Γ(S)) − λ·w(S) over S ⊆ V(g), as a
+/// sorted vertex list — the combinatorial equivalent of one parametric
+/// min-cut evaluation. `structure` must come from analyze_ring_structure(g).
+[[nodiscard]] std::vector<Vertex> kernel_maximal_minimizer(
+    const Graph& g, const RingStructure& structure, const Rational& lambda);
+
+}  // namespace ringshare::bd

@@ -8,13 +8,25 @@
 // Infinite capacities (the B_i × C_i edges of Def. 5) are modeled with an
 // explicit flag rather than a sentinel value, which keeps Rational exact.
 //
-// A network is reusable: set_capacity() rewrites a finite arc's capacity and
-// reset() zeroes all flows, so solvers that evaluate a family of closely
-// related networks (parametric min-cut across Dinkelbach iterations and
-// across adjacent samples of a weight family) build the arc structure once
-// and only touch the capacities that changed.
+// A network is reusable in two ways:
+//   * set_capacity() + reset() + run(): zero all flows and re-solve from
+//     scratch (the cold path), and
+//   * set_capacity() + rerun(): keep the feasible portion of the previous
+//     flow, drain only the arcs whose new capacity dropped below their
+//     carried flow, and augment from the residual. Across Dinkelbach
+//     iterations of the parametric bottleneck solver only the source-side
+//     capacities λ·w_u change (λ descends), so almost all of the previous
+//     flow stays feasible and the re-solve touches a fraction of the
+//     network. Any max flow yields the same residual-cut structure, so the
+//     incremental path is bit-identical to the cold one for every caller
+//     that reads cuts rather than flow decompositions.
+//
+// The blocking-flow search walks an explicit arc stack (no recursion):
+// level graphs on deep path-shaped networks would otherwise recurse O(n)
+// frames deep and can overflow the thread stack on big sweeps.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <limits>
@@ -62,7 +74,8 @@ class MaxFlow {
   [[nodiscard]] const Cap& flow_on(ArcId id) const { return arcs_.at(id).flow; }
 
   /// Rewrite the capacity of a finite forward arc (keeps the arc structure).
-  /// Call reset() before the next run(); throws if the arc is infinite.
+  /// Follow with reset() + run() for a cold solve or rerun() for an
+  /// incremental one; throws if the arc is infinite.
   void set_capacity(ArcId id, Cap capacity) {
     Arc& arc = arcs_.at(id);
     if (arc.infinite)
@@ -77,24 +90,47 @@ class MaxFlow {
     ran_ = false;
   }
 
+  /// True once run()/rerun() completed (residual queries are valid and the
+  /// held flow is maximal for the current capacities).
+  [[nodiscard]] bool has_run() const noexcept { return ran_; }
+
   /// Run Dinic from s to t; returns the max-flow value. Call reset() before
-  /// re-running on updated capacities.
+  /// re-running on updated capacities, or rerun() to reuse the held flow.
   Cap run(std::size_t s, std::size_t t) {
     if (ran_) throw std::logic_error("MaxFlow: run() without reset()");
     if (s == t) throw std::invalid_argument("MaxFlow: s == t");
     source_ = s;
     sink_ = t;
-    Cap total(0);
-    while (build_levels(s, t)) {
-      iter_.assign(node_count(), 0);
-      for (;;) {
-        Cap pushed = augment(s, t, Cap(0), /*unbounded=*/true);
-        if (!bounded_positive(pushed)) break;
-        total += pushed;
-      }
-    }
+    Cap total = augment_to_max(s, t);
     ran_ = true;
     return total;
+  }
+
+  /// Incremental re-solve after set_capacity() updates: restores feasibility
+  /// by draining the excess of every over-capacity arc (back toward the
+  /// source and forward toward the sink along flow-carrying paths), then
+  /// augments the residual to a new max flow. Returns the net flow pushed
+  /// by the augmentation stage (not the total flow value). Requires a prior
+  /// completed run()/rerun().
+  Cap rerun(std::size_t s, std::size_t t) {
+    if (!ran_) throw std::logic_error("MaxFlow: rerun() before run()");
+    if (s == t) throw std::invalid_argument("MaxFlow: s == t");
+    source_ = s;
+    sink_ = t;
+    for (ArcId id = 0; id < arcs_.size(); id += 2) {
+      Arc& arc = arcs_[id];
+      if (arc.infinite || !(arc.capacity < arc.flow)) continue;
+      Cap excess = arc.flow - arc.capacity;
+      arc.flow = arc.capacity;
+      arcs_[id ^ 1ULL].flow = Cap(0) - arc.capacity;
+      const std::size_t tail = arcs_[id ^ 1ULL].to;
+      const std::size_t head = arc.to;
+      // tail lost outflow (surplus inflow): cancel back toward the source;
+      // head lost inflow (surplus outflow): cancel forward toward the sink.
+      if (tail != s) drain(tail, s, excess, /*forward=*/false);
+      if (head != t) drain(head, t, excess, /*forward=*/true);
+    }
+    return augment_to_max(s, t);
   }
 
   /// After run(): nodes reachable from the source in the residual graph
@@ -163,11 +199,13 @@ class MaxFlow {
     return arc.flow < arc.capacity;
   }
 
-  /// Residual capacity of arc id; for infinite arcs returns nullopt-like
-  /// via the `unbounded` protocol in augment().
   [[nodiscard]] Cap residual(ArcId id) const {
     const Arc& arc = arcs_[id];
     return arc.capacity - arc.flow;
+  }
+
+  [[nodiscard]] std::size_t tail_of(ArcId id) const {
+    return arcs_[id ^ 1ULL].to;
   }
 
   bool build_levels(std::size_t s, std::size_t t) {
@@ -193,45 +231,163 @@ class MaxFlow {
     return Cap(0) < value;
   }
 
-  /// DFS blocking-flow step. `limit` is the bottleneck so far; `unbounded`
-  /// marks that no finite limit has been seen yet (source start / chain of
-  /// infinite arcs).
-  Cap augment(std::size_t v, std::size_t t, Cap limit, bool unbounded) {
-    if (v == t) {
-      if (unbounded)
-        throw std::logic_error(
-            "MaxFlow: unbounded augmenting path (s-t path of infinite arcs)");
-      return limit;
+  /// Phase loop shared by run() and rerun(): repeat (BFS levels, blocking
+  /// flow) until the sink is unreachable. Returns the flow pushed by this
+  /// call (equals the max-flow value when starting from zero flow).
+  Cap augment_to_max(std::size_t s, std::size_t t) {
+    Cap total(0);
+    while (build_levels(s, t)) {
+      iter_.assign(node_count(), 0);
+      for (;;) {
+        Cap pushed = find_augmenting_path(s, t);
+        if (!bounded_positive(pushed)) break;
+        total += pushed;
+      }
     }
-    for (std::size_t& i = iter_[v]; i < heads_[v].size(); ++i) {
-      const ArcId id = heads_[v][i];
-      Arc& arc = arcs_[id];
-      if (levels_[arc.to] != levels_[v] + 1 || !residual_positive(id)) continue;
-      Cap next_limit = limit;
-      bool next_unbounded = unbounded;
-      if (!arc.infinite) {
-        const Cap res = residual(id);
-        if (unbounded || res < limit) {
-          next_limit = res;
-          next_unbounded = false;
+    ran_ = true;
+    return total;
+  }
+
+  /// One augmenting path in the current level graph, walked with an
+  /// explicit arc stack (deep path-shaped level graphs must not recurse).
+  /// Returns the amount pushed, or 0 when the level graph is exhausted.
+  Cap find_augmenting_path(std::size_t s, std::size_t t) {
+    path_.clear();
+    std::size_t v = s;
+    for (;;) {
+      if (v == t) {
+        // Bottleneck = min residual over the finite arcs of the path. A
+        // path of only infinite arcs has no finite bottleneck and means
+        // the instance itself is unbounded.
+        bool bounded = false;
+        Cap limit(0);
+        for (const ArcId id : path_) {
+          if (arcs_[id].infinite) continue;
+          Cap res = residual(id);
+          if (!bounded || res < limit) {
+            limit = std::move(res);
+            bounded = true;
+          }
+        }
+        if (!bounded)
+          throw std::logic_error(
+              "MaxFlow: unbounded augmenting path (s-t path of infinite "
+              "arcs)");
+        for (const ArcId id : path_) {
+          arcs_[id].flow += limit;
+          arcs_[id ^ 1ULL].flow -= limit;
+        }
+        return limit;
+      }
+      bool advanced = false;
+      for (std::size_t& i = iter_[v]; i < heads_[v].size(); ++i) {
+        const ArcId id = heads_[v][i];
+        if (levels_[arcs_[id].to] == levels_[v] + 1 && residual_positive(id)) {
+          path_.push_back(id);
+          v = arcs_[id].to;
+          advanced = true;
+          break;
         }
       }
-      Cap pushed = augment(arc.to, t, next_limit, next_unbounded);
-      if (bounded_positive(pushed)) {
-        if (!arc.infinite) arc.flow += pushed;
-        else arc.flow += pushed;  // track flow on infinite arcs too
-        arcs_[id ^ 1ULL].flow -= pushed;
-        return pushed;
-      }
+      if (advanced) continue;
+      // Dead end: remove v from the level graph and retreat one arc.
+      levels_[v] = -1;
+      if (path_.empty()) return Cap(0);
+      const ArcId last = path_.back();
+      path_.pop_back();
+      v = tail_of(last);
+      ++iter_[v];  // skip the arc that led into the dead end
     }
-    levels_[v] = -1;
-    return Cap(0);
   }
+
+  /// Cancel `excess` units of flow between `from` and `endpoint` along
+  /// flow-carrying arcs — forward (from → … → sink) or backward
+  /// (source → … → from, walked from `from` toward the source). Feasible
+  /// flows decompose into s→t paths plus cycles; any cycle met on the walk
+  /// is cancelled outright (it contributes nothing to the flow value), so
+  /// the walk always terminates with the surplus fully drained.
+  void drain(std::size_t from, std::size_t endpoint, const Cap& excess,
+             bool forward) {
+    Cap remaining = excess;
+    std::vector<ArcId> walk;        // forward arcs carrying the drained flow
+    std::vector<char> on_walk(node_count(), 0);
+    while (bounded_positive(remaining)) {
+      walk.clear();
+      std::fill(on_walk.begin(), on_walk.end(), 0);
+      std::size_t v = from;
+      on_walk[v] = 1;
+      while (v != endpoint) {
+        ArcId found = kNoArc;
+        for (const ArcId id : heads_[v]) {
+          // Forward drain follows arcs out of v with positive flow;
+          // backward drain follows arcs into v (the partners of v's
+          // outgoing stubs) with positive flow.
+          const ArcId carrier = forward ? id : (id ^ 1ULL);
+          if (bounded_positive(arcs_[carrier].flow)) {
+            found = carrier;
+            break;
+          }
+        }
+        if (found == kNoArc)
+          throw std::logic_error("MaxFlow: drain lost flow conservation");
+        walk.push_back(found);
+        const std::size_t next = forward ? arcs_[found].to : tail_of(found);
+        if (on_walk[next]) {
+          // Flow cycle: cancel it, then restart the traversal from scratch
+          // (the surviving prefix must not stay in `walk`, or its arcs would
+          // be reduced twice when the final path reduction runs).
+          cancel_cycle(walk, next, forward);
+          walk.clear();
+          std::fill(on_walk.begin(), on_walk.end(), 0);
+          v = from;
+          on_walk[v] = 1;
+          continue;
+        }
+        on_walk[next] = 1;
+        v = next;
+      }
+      // Reduce the walked path by min(remaining, path bottleneck).
+      Cap step = remaining;
+      for (const ArcId id : walk) {
+        if (arcs_[id].flow < step) step = arcs_[id].flow;
+      }
+      for (const ArcId id : walk) {
+        arcs_[id].flow -= step;
+        arcs_[id ^ 1ULL].flow += step;
+      }
+      remaining -= step;
+    }
+  }
+
+  /// Remove the flow cycle closed by reaching `meet` again: pop the walk
+  /// back to `meet`, cancelling the popped arcs by the cycle's bottleneck.
+  /// Zeroes at least one arc's flow, so repeated cancellations terminate.
+  void cancel_cycle(std::vector<ArcId>& walk, std::size_t meet, bool forward) {
+    std::vector<ArcId> cycle;
+    while (!walk.empty()) {
+      const ArcId id = walk.back();
+      const std::size_t arc_tail = forward ? tail_of(id) : arcs_[id].to;
+      cycle.push_back(id);
+      walk.pop_back();
+      if (arc_tail == meet) break;
+    }
+    Cap step = arcs_[cycle.front()].flow;
+    for (const ArcId id : cycle) {
+      if (arcs_[id].flow < step) step = arcs_[id].flow;
+    }
+    for (const ArcId id : cycle) {
+      arcs_[id].flow -= step;
+      arcs_[id ^ 1ULL].flow += step;
+    }
+  }
+
+  static constexpr ArcId kNoArc = static_cast<ArcId>(-1);
 
   std::vector<std::vector<ArcId>> heads_;
   std::vector<Arc> arcs_;
   std::vector<int> levels_;
   std::vector<std::size_t> iter_;
+  std::vector<ArcId> path_;
   std::size_t source_ = 0;
   std::size_t sink_ = 0;
   bool ran_ = false;

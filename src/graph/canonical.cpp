@@ -1,0 +1,204 @@
+#include "graph/canonical.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ringshare::graph {
+
+namespace {
+
+/// Lexicographic three-way compare of two weight sequences.
+int compare_sequences(const std::vector<Rational>& a,
+                      const std::vector<Rational>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return -1;
+    if (b[i] < a[i]) return 1;
+  }
+  if (a.size() < b.size()) return -1;
+  if (b.size() < a.size()) return 1;
+  return 0;
+}
+
+/// A component's canonical labeling candidate: traversal + weight sequence.
+struct Candidate {
+  std::vector<Vertex> order;
+  std::vector<Rational> weights;
+};
+
+std::vector<Rational> weights_along(const Graph& g,
+                                    const std::vector<Vertex>& order) {
+  std::vector<Rational> out;
+  out.reserve(order.size());
+  for (const Vertex v : order) out.push_back(g.weight(v));
+  return out;
+}
+
+/// Rotate `order` so it starts at index `k`.
+std::vector<Vertex> rotated(const std::vector<Vertex>& order, std::size_t k) {
+  std::vector<Vertex> out;
+  out.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    out.push_back(order[(k + i) % order.size()]);
+  return out;
+}
+
+/// Canonical orientation of a path: the traversal whose weight sequence is
+/// lexicographically smaller of (forward, reversed); palindromes keep the
+/// forward orientation (any choice is an automorphism).
+Candidate canonicalize_path(const Graph& g, std::vector<Vertex> order) {
+  std::vector<Rational> forward = weights_along(g, order);
+  std::vector<Rational> backward(forward.rbegin(), forward.rend());
+  if (compare_sequences(backward, forward) < 0) {
+    std::reverse(order.begin(), order.end());
+    return Candidate{std::move(order), std::move(backward)};
+  }
+  return Candidate{std::move(order), std::move(forward)};
+}
+
+/// Canonical labeling of a cycle: minimal rotation of the weight sequence
+/// over both traversal directions.
+Candidate canonicalize_cycle(const Graph& g, const std::vector<Vertex>& order) {
+  const std::size_t k = order.size();
+  // Reverse traversal of the same cycle starting at the same vertex.
+  std::vector<Vertex> reversed;
+  reversed.reserve(k);
+  reversed.push_back(order[0]);
+  for (std::size_t i = 1; i < k; ++i) reversed.push_back(order[k - i]);
+
+  const std::vector<Rational> fw = weights_along(g, order);
+  const std::vector<Rational> bw = weights_along(g, reversed);
+  const std::size_t kf = least_rotation_index(fw);
+  const std::size_t kb = least_rotation_index(bw);
+
+  Candidate forward{rotated(order, kf), {}};
+  forward.weights = weights_along(g, forward.order);
+  Candidate backward{rotated(reversed, kb), {}};
+  backward.weights = weights_along(g, backward.order);
+  if (compare_sequences(backward.weights, forward.weights) < 0)
+    return backward;
+  return forward;
+}
+
+}  // namespace
+
+std::size_t least_rotation_index(const std::vector<Rational>& weights) {
+  const std::size_t n = weights.size();
+  if (n <= 1) return 0;
+  // Booth's algorithm over the doubled sequence, with index-mod access
+  // instead of materializing the concatenation.
+  auto at = [&](std::size_t i) -> const Rational& { return weights[i % n]; };
+  std::vector<std::ptrdiff_t> failure(2 * n, -1);
+  std::size_t k = 0;
+  for (std::size_t j = 1; j < 2 * n; ++j) {
+    const Rational& sj = at(j);
+    std::ptrdiff_t i = failure[j - k - 1];
+    while (i != -1 && !(sj == at(k + static_cast<std::size_t>(i) + 1))) {
+      if (sj < at(k + static_cast<std::size_t>(i) + 1))
+        k = j - static_cast<std::size_t>(i) - 1;
+      i = failure[static_cast<std::size_t>(i)];
+    }
+    if (i == -1 && !(sj == at(k))) {
+      if (sj < at(k)) k = j;
+      failure[j - k] = -1;
+    } else {
+      failure[j - k] = i + 1;
+    }
+  }
+  return k % n;
+}
+
+std::optional<std::vector<PathComponent>> path_cycle_components(
+    const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  for (Vertex v = 0; v < n; ++v) {
+    if (g.degree(v) > 2) return std::nullopt;
+  }
+  std::vector<char> visited(n, 0);
+  std::vector<PathComponent> components;
+  for (Vertex seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    // Walk to an endpoint (or detect a cycle when the walk returns to the
+    // seed): follow unvisited-direction neighbors.
+    Vertex start = seed;
+    {
+      Vertex previous = seed;
+      Vertex current = seed;
+      while (g.degree(current) == 2) {
+        const auto nb = g.neighbors(current);
+        const Vertex next = nb[0] == previous ? nb[1] : nb[0];
+        if (next == seed) break;  // closed the cycle
+        previous = current;
+        current = next;
+        if (g.degree(current) < 2) break;
+      }
+      start = g.degree(current) < 2 ? current : seed;
+    }
+
+    PathComponent component;
+    component.cycle = g.degree(start) == 2;
+    Vertex previous = start;
+    Vertex current = start;
+    for (;;) {
+      component.order.push_back(current);
+      visited[current] = 1;
+      const auto nb = g.neighbors(current);
+      Vertex next = current;  // sentinel: no continuation
+      if (current == start && component.order.size() == 1) {
+        if (!nb.empty()) next = nb[0];
+      } else if (nb.size() == 2) {
+        next = nb[0] == previous ? nb[1] : nb[0];
+      }
+      if (next == current) break;                      // path endpoint
+      if (next == start) break;                        // cycle closed
+      previous = current;
+      current = next;
+    }
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+std::optional<CanonicalStructure> canonicalize_ring_graph(const Graph& g) {
+  std::optional<std::vector<PathComponent>> components =
+      path_cycle_components(g);
+  if (!components) return std::nullopt;
+
+  struct Labeled {
+    Candidate candidate;
+    bool cycle;
+  };
+  std::vector<Labeled> labeled;
+  labeled.reserve(components->size());
+  for (PathComponent& component : *components) {
+    Labeled entry;
+    entry.cycle = component.cycle;
+    entry.candidate = component.cycle
+                          ? canonicalize_cycle(g, component.order)
+                          : canonicalize_path(g, std::move(component.order));
+    labeled.push_back(std::move(entry));
+  }
+  // Deterministic component order: paths before cycles, short before long,
+  // then lexicographically by canonical weight sequence. Equal keys sort
+  // equal in every graph, which is all the cache needs.
+  std::stable_sort(labeled.begin(), labeled.end(),
+                   [](const Labeled& a, const Labeled& b) {
+                     if (a.cycle != b.cycle) return !a.cycle;
+                     if (a.candidate.order.size() != b.candidate.order.size())
+                       return a.candidate.order.size() <
+                              b.candidate.order.size();
+                     return compare_sequences(a.candidate.weights,
+                                              b.candidate.weights) < 0;
+                   });
+
+  CanonicalStructure out;
+  out.components.reserve(labeled.size());
+  for (Labeled& entry : labeled) {
+    out.components.emplace_back(
+        static_cast<std::uint32_t>(entry.candidate.order.size()), entry.cycle);
+    for (const Vertex v : entry.candidate.order) out.to_original.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ringshare::graph

@@ -1,0 +1,70 @@
+// canonical.hpp — dihedral canonical forms for ring-shaped graphs.
+//
+// Everything the paper touches lives on rings and their induced subgraphs
+// (disjoint unions of paths): the honest instance is a cycle, a Sybil split
+// is a path, and every peel step of the bottleneck decomposition leaves a
+// union of paths. Such graphs are determined up to isomorphism by the
+// multiset of their components' weight sequences modulo rotation (cycles)
+// and reflection (both), so a canonical relabeling is computable in linear
+// time: per component a Booth-style lexicographically-minimal rotation over
+// both orientations, then a deterministic component order. The bottleneck
+// memo cache keys on this canonical form, which makes every
+// rotation/reflection-equivalent instance of a sweep share one cache entry.
+//
+// Soundness: the maximal bottleneck is the unique maximal minimizer of the
+// expansion ratio, so EVERY isomorphism maps it onto the target graph's
+// maximal bottleneck — which isomorphism the canonicalization happened to
+// pick (ties between equal-weight rotations, palindromic paths) never
+// changes the translated result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ringshare::graph {
+
+/// One connected component of a max-degree-2 graph, as an ordered traversal:
+/// consecutive vertices are adjacent; for a cycle the last is also adjacent
+/// to the first.
+struct PathComponent {
+  std::vector<Vertex> order;
+  bool cycle = false;
+};
+
+/// Decompose `g` into path/cycle components. Returns nullopt unless every
+/// vertex has degree <= 2 (i.e. g is a disjoint union of simple paths and
+/// cycles). Deterministic: components are discovered in order of their
+/// smallest vertex id; paths are walked from an endpoint, cycles from their
+/// smallest vertex toward its smaller-id neighbor.
+[[nodiscard]] std::optional<std::vector<PathComponent>> path_cycle_components(
+    const Graph& g);
+
+/// Canonical dihedral relabeling of a union-of-paths/cycles graph.
+struct CanonicalStructure {
+  /// Canonical position -> original vertex. Positions are grouped per
+  /// component (in canonical component order); inside a component they
+  /// follow the canonical traversal.
+  std::vector<Vertex> to_original;
+  /// Per component in canonical order: (length, is_cycle). Together with
+  /// the weight sequence along `to_original` this determines the graph up
+  /// to isomorphism.
+  std::vector<std::pair<std::uint32_t, bool>> components;
+};
+
+/// Canonicalize `g` under rotation/reflection of each component plus
+/// component reordering. Returns nullopt when `g` is not a union of paths
+/// and cycles. Two graphs receive equal (components, canonical weight
+/// sequence) exactly when they are isomorphic as weighted graphs.
+[[nodiscard]] std::optional<CanonicalStructure> canonicalize_ring_graph(
+    const Graph& g);
+
+/// Index of the lexicographically minimal rotation of `weights` (Booth's
+/// algorithm, O(n) comparisons). Exposed for differential testing against
+/// the naive quadratic scan.
+[[nodiscard]] std::size_t least_rotation_index(
+    const std::vector<Rational>& weights);
+
+}  // namespace ringshare::graph

@@ -59,6 +59,7 @@ const char* phase_name(Phase phase) noexcept {
     case Phase::kPartition: return "partition";
     case Phase::kPieceSolve: return "piece_solve";
     case Phase::kCandidateEval: return "candidate_eval";
+    case Phase::kRingKernel: return "ring_kernel";
     case Phase::kCount: break;
   }
   return "?";
@@ -74,6 +75,8 @@ void PerfTally::add_into(PerfTally& sink) const noexcept {
                                        kRelaxed);
   sink.bottleneck_cache_misses.fetch_add(
       bottleneck_cache_misses.load(kRelaxed), kRelaxed);
+  sink.bottleneck_cache_evictions.fetch_add(
+      bottleneck_cache_evictions.load(kRelaxed), kRelaxed);
   sink.dinkelbach_iterations.fetch_add(dinkelbach_iterations.load(kRelaxed),
                                        kRelaxed);
   sink.dinkelbach_warm_hits.fetch_add(dinkelbach_warm_hits.load(kRelaxed),
@@ -84,6 +87,11 @@ void PerfTally::add_into(PerfTally& sink) const noexcept {
                                      kRelaxed);
   sink.flow_network_reuses.fetch_add(flow_network_reuses.load(kRelaxed),
                                      kRelaxed);
+  sink.flow_incremental_reruns.fetch_add(
+      flow_incremental_reruns.load(kRelaxed), kRelaxed);
+  sink.ring_kernel_evals.fetch_add(ring_kernel_evals.load(kRelaxed), kRelaxed);
+  sink.ring_kernel_cross_checks.fetch_add(
+      ring_kernel_cross_checks.load(kRelaxed), kRelaxed);
   sink.piece_solver_pieces.fetch_add(piece_solver_pieces.load(kRelaxed),
                                      kRelaxed);
   sink.piece_solver_exact_roots.fetch_add(
@@ -103,11 +111,15 @@ void PerfTally::clear() noexcept {
   rational_gcd_skipped.store(0, kRelaxed);
   bottleneck_cache_hits.store(0, kRelaxed);
   bottleneck_cache_misses.store(0, kRelaxed);
+  bottleneck_cache_evictions.store(0, kRelaxed);
   dinkelbach_iterations.store(0, kRelaxed);
   dinkelbach_warm_hits.store(0, kRelaxed);
   dinkelbach_warm_restarts.store(0, kRelaxed);
   flow_network_builds.store(0, kRelaxed);
   flow_network_reuses.store(0, kRelaxed);
+  flow_incremental_reruns.store(0, kRelaxed);
+  ring_kernel_evals.store(0, kRelaxed);
+  ring_kernel_cross_checks.store(0, kRelaxed);
   piece_solver_pieces.store(0, kRelaxed);
   piece_solver_exact_roots.store(0, kRelaxed);
   piece_solver_bracketed_roots.store(0, kRelaxed);
@@ -146,11 +158,15 @@ std::string PerfSnapshot::to_json(int indent) const {
   field("bottleneck_cache_hits", bottleneck_cache_hits);
   field("bottleneck_cache_misses", bottleneck_cache_misses);
   field("bottleneck_cache_hit_ratio", cache_hit_ratio());
+  field("bottleneck_cache_evictions", bottleneck_cache_evictions);
   field("dinkelbach_iterations", dinkelbach_iterations);
   field("dinkelbach_warm_hits", dinkelbach_warm_hits);
   field("dinkelbach_warm_restarts", dinkelbach_warm_restarts);
   field("flow_network_builds", flow_network_builds);
   field("flow_network_reuses", flow_network_reuses);
+  field("flow_incremental_reruns", flow_incremental_reruns);
+  field("ring_kernel_evals", ring_kernel_evals);
+  field("ring_kernel_cross_checks", ring_kernel_cross_checks);
   field("piece_solver_pieces", piece_solver_pieces);
   field("piece_solver_exact_roots", piece_solver_exact_roots);
   field("piece_solver_bracketed_roots", piece_solver_bracketed_roots);
@@ -186,11 +202,16 @@ PerfSnapshot PerfCounters::snapshot() {
   out.rational_gcd_skipped = sum.rational_gcd_skipped.load(kRelaxed);
   out.bottleneck_cache_hits = sum.bottleneck_cache_hits.load(kRelaxed);
   out.bottleneck_cache_misses = sum.bottleneck_cache_misses.load(kRelaxed);
+  out.bottleneck_cache_evictions =
+      sum.bottleneck_cache_evictions.load(kRelaxed);
   out.dinkelbach_iterations = sum.dinkelbach_iterations.load(kRelaxed);
   out.dinkelbach_warm_hits = sum.dinkelbach_warm_hits.load(kRelaxed);
   out.dinkelbach_warm_restarts = sum.dinkelbach_warm_restarts.load(kRelaxed);
   out.flow_network_builds = sum.flow_network_builds.load(kRelaxed);
   out.flow_network_reuses = sum.flow_network_reuses.load(kRelaxed);
+  out.flow_incremental_reruns = sum.flow_incremental_reruns.load(kRelaxed);
+  out.ring_kernel_evals = sum.ring_kernel_evals.load(kRelaxed);
+  out.ring_kernel_cross_checks = sum.ring_kernel_cross_checks.load(kRelaxed);
   out.piece_solver_pieces = sum.piece_solver_pieces.load(kRelaxed);
   out.piece_solver_exact_roots = sum.piece_solver_exact_roots.load(kRelaxed);
   out.piece_solver_bracketed_roots =

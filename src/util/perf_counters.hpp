@@ -22,6 +22,7 @@ enum class Phase : int {
   kPartition,       ///< structure-partition bisection
   kPieceSolve,      ///< per-piece candidate generation (exact solver / scan)
   kCandidateEval,   ///< exact re-evaluation of sybil candidates
+  kRingKernel,      ///< combinatorial path/cycle cut kernel evaluations
   kCount,
 };
 
@@ -36,11 +37,15 @@ struct PerfTally {
   std::atomic<std::uint64_t> rational_gcd_skipped{0};
   std::atomic<std::uint64_t> bottleneck_cache_hits{0};
   std::atomic<std::uint64_t> bottleneck_cache_misses{0};
+  std::atomic<std::uint64_t> bottleneck_cache_evictions{0};
   std::atomic<std::uint64_t> dinkelbach_iterations{0};
   std::atomic<std::uint64_t> dinkelbach_warm_hits{0};
   std::atomic<std::uint64_t> dinkelbach_warm_restarts{0};
   std::atomic<std::uint64_t> flow_network_builds{0};
   std::atomic<std::uint64_t> flow_network_reuses{0};
+  std::atomic<std::uint64_t> flow_incremental_reruns{0};
+  std::atomic<std::uint64_t> ring_kernel_evals{0};
+  std::atomic<std::uint64_t> ring_kernel_cross_checks{0};
   std::atomic<std::uint64_t> piece_solver_pieces{0};
   std::atomic<std::uint64_t> piece_solver_exact_roots{0};
   std::atomic<std::uint64_t> piece_solver_bracketed_roots{0};
@@ -60,11 +65,15 @@ struct PerfSnapshot {
   std::uint64_t rational_gcd_skipped = 0;
   std::uint64_t bottleneck_cache_hits = 0;
   std::uint64_t bottleneck_cache_misses = 0;
+  std::uint64_t bottleneck_cache_evictions = 0;
   std::uint64_t dinkelbach_iterations = 0;
   std::uint64_t dinkelbach_warm_hits = 0;
   std::uint64_t dinkelbach_warm_restarts = 0;
   std::uint64_t flow_network_builds = 0;
   std::uint64_t flow_network_reuses = 0;
+  std::uint64_t flow_incremental_reruns = 0;
+  std::uint64_t ring_kernel_evals = 0;
+  std::uint64_t ring_kernel_cross_checks = 0;
   std::uint64_t piece_solver_pieces = 0;
   std::uint64_t piece_solver_exact_roots = 0;
   std::uint64_t piece_solver_bracketed_roots = 0;

@@ -1,0 +1,247 @@
+// Tests for the dihedral canonicalization layer: Booth's least rotation
+// against a naive oracle, component discovery, invariance of the canonical
+// form under rotation/reflection, and the metamorphic guarantee that the
+// canonical memo cache never changes a decomposition.
+#include "graph/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bd/allocation.hpp"
+#include "bd/decomposition.hpp"
+#include "bd/memo.hpp"
+#include "graph/builders.hpp"
+#include "util/perf_counters.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::graph {
+namespace {
+
+/// O(n²) oracle: the lexicographically minimal rotation of `w`.
+std::vector<Rational> naive_min_rotation(const std::vector<Rational>& w) {
+  const std::size_t n = w.size();
+  std::vector<Rational> best;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<Rational> candidate;
+    candidate.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) candidate.push_back(w[(k + i) % n]);
+    if (k == 0 || std::lexicographical_compare(candidate.begin(),
+                                               candidate.end(), best.begin(),
+                                               best.end()))
+      best = std::move(candidate);
+  }
+  return best;
+}
+
+std::vector<Rational> rotation_at(const std::vector<Rational>& w,
+                                  std::size_t k) {
+  std::vector<Rational> out;
+  out.reserve(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    out.push_back(w[(k + i) % w.size()]);
+  return out;
+}
+
+TEST(LeastRotation, MatchesNaiveOracle) {
+  util::Xoshiro256 rng(171);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    std::vector<Rational> w;
+    w.reserve(n);
+    // A tiny alphabet forces heavy tie-handling inside Booth's algorithm.
+    for (std::size_t i = 0; i < n; ++i)
+      w.emplace_back(rng.uniform_int(1, 3));
+    const std::size_t k = least_rotation_index(w);
+    ASSERT_LT(k, n);
+    EXPECT_EQ(rotation_at(w, k), naive_min_rotation(w)) << "trial " << trial;
+  }
+}
+
+TEST(PathCycleComponents, RejectsBranchingGraphs) {
+  util::Xoshiro256 rng(88);
+  const Graph star = make_star(random_integer_weights(5, rng, 9));
+  EXPECT_FALSE(path_cycle_components(star).has_value());
+  EXPECT_FALSE(canonicalize_ring_graph(star).has_value());
+}
+
+TEST(PathCycleComponents, WalksUnionOfPathAndCycle) {
+  // Vertices 0..2: path; 3..6: 4-cycle; 7: isolated.
+  Graph g(8);
+  for (Vertex v = 0; v < 8; ++v) g.set_weight(v, Rational(v + 1));
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  g.add_edge(6, 3);
+  const auto components = path_cycle_components(g);
+  ASSERT_TRUE(components.has_value());
+  ASSERT_EQ(components->size(), 3u);
+  for (const PathComponent& component : *components) {
+    // Traversal validity: consecutive vertices adjacent; cycles also wrap.
+    for (std::size_t i = 0; i + 1 < component.order.size(); ++i)
+      EXPECT_TRUE(g.has_edge(component.order[i], component.order[i + 1]));
+    if (component.cycle) {
+      EXPECT_GE(component.order.size(), 3u);
+      EXPECT_TRUE(g.has_edge(component.order.back(), component.order.front()));
+    }
+  }
+  EXPECT_EQ((*components)[0].order.size(), 3u);
+  EXPECT_FALSE((*components)[0].cycle);
+  EXPECT_EQ((*components)[1].order.size(), 4u);
+  EXPECT_TRUE((*components)[1].cycle);
+  EXPECT_EQ((*components)[2].order.size(), 1u);
+  EXPECT_FALSE((*components)[2].cycle);
+}
+
+/// Weight sequence along the canonical positions.
+std::vector<Rational> canonical_weights(const Graph& g,
+                                        const CanonicalStructure& canonical) {
+  std::vector<Rational> out;
+  out.reserve(canonical.to_original.size());
+  for (const Vertex v : canonical.to_original) out.push_back(g.weight(v));
+  return out;
+}
+
+TEST(CanonicalizeRingGraph, InvariantUnderRotationAndReflection) {
+  util::Xoshiro256 rng(303);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    std::vector<Rational> weights;
+    for (std::size_t i = 0; i < n; ++i)
+      weights.emplace_back(rng.uniform_int(1, 6));
+
+    const Graph base = make_ring(weights);
+    const auto base_canonical = canonicalize_ring_graph(base);
+    ASSERT_TRUE(base_canonical.has_value());
+    const auto base_sequence = canonical_weights(base, *base_canonical);
+
+    for (int reflect = 0; reflect < 2; ++reflect) {
+      for (std::size_t shift = 0; shift < n; ++shift) {
+        std::vector<Rational> variant = weights;
+        if (reflect) std::reverse(variant.begin(), variant.end());
+        std::rotate(variant.begin(),
+                    variant.begin() + static_cast<std::ptrdiff_t>(shift),
+                    variant.end());
+        const Graph g = make_ring(variant);
+        const auto canonical = canonicalize_ring_graph(g);
+        ASSERT_TRUE(canonical.has_value());
+        EXPECT_EQ(canonical->components, base_canonical->components);
+        EXPECT_EQ(canonical_weights(g, *canonical), base_sequence)
+            << "trial " << trial << " shift " << shift << " reflect "
+            << reflect;
+        // Keys must collide exactly.
+        EXPECT_EQ(bd::canonical_fingerprint(g, *canonical).words,
+                  bd::canonical_fingerprint(base, *base_canonical).words);
+      }
+    }
+  }
+}
+
+/// Restore the ambient config after each mutation-heavy test.
+class ConfigGuard {
+ public:
+  ConfigGuard() : saved_(bd::hot_path_config()) {}
+  ~ConfigGuard() { bd::hot_path_config() = saved_; }
+
+ private:
+  bd::HotPathConfig saved_;
+};
+
+/// Decompose `g` and project the observable mechanism outputs.
+struct Observed {
+  std::vector<Rational> alphas;
+  std::vector<std::vector<Vertex>> bottlenecks;
+  std::vector<Rational> utilities;
+};
+
+Observed observe(const Graph& g) {
+  const bd::Decomposition decomposition(g);
+  EXPECT_TRUE(bd::proposition3_violations(g, decomposition).empty());
+  Observed out;
+  for (const bd::BottleneckPair& pair : decomposition.pairs()) {
+    out.alphas.push_back(pair.alpha);
+    out.bottlenecks.push_back(pair.b);
+  }
+  const bd::Allocation allocation = bd::bd_allocation(decomposition);
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    out.utilities.push_back(allocation.utility(v));
+  return out;
+}
+
+// The satellite differential test: decomposing every rotation/reflection of
+// random ring instances with the canonical cache ON must give bit-identical
+// alphas, bottlenecks, and utilities to the cache-OFF engine — even though
+// the ON engine answers most of them from translated cache entries.
+TEST(CanonicalCache, RotatedDecompositionsBitIdentical) {
+  ConfigGuard guard;
+  util::Xoshiro256 rng(555);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    std::vector<Rational> weights;
+    for (std::size_t i = 0; i < n; ++i)
+      weights.emplace_back(rng.uniform_int(1, 9));
+
+    for (int reflect = 0; reflect < 2; ++reflect) {
+      for (std::size_t shift = 0; shift < n; ++shift) {
+        std::vector<Rational> variant = weights;
+        if (reflect) std::reverse(variant.begin(), variant.end());
+        std::rotate(variant.begin(),
+                    variant.begin() + static_cast<std::ptrdiff_t>(shift),
+                    variant.end());
+        const Graph g = make_ring(variant);
+
+        bd::hot_path_config() = bd::HotPathConfig{};  // everything on
+        bd::BottleneckCache::instance().clear();
+        const Observed cold = observe(g);      // populates the cache
+        const Observed cached = observe(g);    // served from the cache
+
+        bd::hot_path_config().memo_cache = false;
+        bd::hot_path_config().canonical_cache = false;
+        const Observed reference = observe(g);
+
+        EXPECT_EQ(cold.alphas, reference.alphas);
+        EXPECT_EQ(cold.bottlenecks, reference.bottlenecks);
+        EXPECT_EQ(cold.utilities, reference.utilities);
+        EXPECT_EQ(cached.alphas, reference.alphas);
+        EXPECT_EQ(cached.bottlenecks, reference.bottlenecks);
+        EXPECT_EQ(cached.utilities, reference.utilities);
+      }
+    }
+  }
+}
+
+// Rotations of one ring must share cache entries: decompose a ring once,
+// then decompose every rotation/reflection and require zero additional
+// top-level misses (the peel subgraphs also hit, transposed).
+TEST(CanonicalCache, RotationsHitTheSameEntries) {
+  ConfigGuard guard;
+  bd::hot_path_config() = bd::HotPathConfig{};
+  bd::BottleneckCache::instance().clear();
+
+  std::vector<Rational> weights = {Rational(3), Rational(1), Rational(4),
+                                   Rational(1), Rational(5), Rational(9),
+                                   Rational(2)};
+  (void)observe(make_ring(weights));
+
+  util::PerfCounters::reset();
+  const std::size_t n = weights.size();
+  for (int reflect = 0; reflect < 2; ++reflect) {
+    for (std::size_t shift = 0; shift < n; ++shift) {
+      std::vector<Rational> variant = weights;
+      if (reflect) std::reverse(variant.begin(), variant.end());
+      std::rotate(variant.begin(),
+                  variant.begin() + static_cast<std::ptrdiff_t>(shift),
+                  variant.end());
+      (void)observe(make_ring(variant));
+    }
+  }
+  const util::PerfSnapshot snapshot = util::PerfCounters::snapshot();
+  EXPECT_EQ(snapshot.bottleneck_cache_misses, 0u);
+  EXPECT_GT(snapshot.bottleneck_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace ringshare::graph

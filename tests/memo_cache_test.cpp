@@ -39,14 +39,27 @@ class ConfigGuard {
   HotPathConfig saved_;
 };
 
-void disable_all() {
-  hot_path_config() = HotPathConfig{/*memo_cache=*/false,
-                                    /*warm_start=*/false,
-                                    /*flow_arena=*/false};
+/// A config with only the three PR-1 accelerators as given; the later
+/// engine layers (canonical cache, incremental flow, ring kernel) are
+/// pinned off so these tests keep isolating the flow-based hot paths. Note
+/// a bare HotPathConfig{a, b, c} would leave the later fields at their
+/// default member initializers (= on), not off.
+HotPathConfig pr1_config(bool memo_cache, bool warm_start, bool flow_arena) {
+  HotPathConfig config;
+  config.memo_cache = memo_cache;
+  config.warm_start = warm_start;
+  config.flow_arena = flow_arena;
+  config.canonical_cache = false;
+  config.incremental_flow = false;
+  config.ring_kernel = false;
+  config.cross_check_kernel = false;
+  return config;
 }
 
+void disable_all() { hot_path_config() = pr1_config(false, false, false); }
+
 void enable_all() {
-  hot_path_config() = HotPathConfig{true, true, true};
+  hot_path_config() = pr1_config(true, true, true);
   BottleneckCache::instance().clear();
 }
 
@@ -96,17 +109,17 @@ TEST(MemoCache, EachAcceleratorAloneMatchesBaseline) {
     disable_all();
     const Observed baseline = observe(graphs[i]);
 
-    hot_path_config() = HotPathConfig{true, false, false};
+    hot_path_config() = pr1_config(true, false, false);
     BottleneckCache::instance().clear();
     expect_equal(observe(graphs[i]), baseline, "cache only");
     expect_equal(observe(graphs[i]), baseline, "cache only, warm cache");
 
-    hot_path_config() = HotPathConfig{false, true, false};
+    hot_path_config() = pr1_config(false, true, false);
     bd::DecomposeHints warm_hints;
     expect_equal(observe(graphs[i], &warm_hints), baseline, "warm 1st");
     expect_equal(observe(graphs[i], &warm_hints), baseline, "warm 2nd");
 
-    hot_path_config() = HotPathConfig{false, false, true};
+    hot_path_config() = pr1_config(false, false, true);
     bd::DecomposeHints arena_hints;
     expect_equal(observe(graphs[i], &arena_hints), baseline, "arena 1st");
     expect_equal(observe(graphs[i], &arena_hints), baseline, "arena 2nd");
@@ -120,7 +133,7 @@ TEST(MemoCache, EachAcceleratorAloneMatchesBaseline) {
 
 TEST(MemoCache, StaleHintsFromOtherGraphsAreHarmless) {
   ConfigGuard guard;
-  hot_path_config() = HotPathConfig{false, true, true};
+  hot_path_config() = pr1_config(false, true, true);
   const std::vector<Graph> graphs = test_graphs();
 
   std::vector<Observed> baselines;
@@ -249,6 +262,62 @@ TEST(MemoCache, CountersRecordHitsAndMisses) {
   EXPECT_EQ(after_second.bottleneck_cache_misses,
             after_first.bottleneck_cache_misses);
   EXPECT_GT(BottleneckCache::instance().size(), 0u);
+}
+
+/// Synthetic key pinned to shard 0 (shards are picked by hash % 16).
+GraphKey shard0_key(std::uint64_t i) {
+  GraphKey key;
+  key.words = {i};
+  key.hash_value = static_cast<std::size_t>(i * 16);
+  return key;
+}
+
+TEST(MemoCache, OverflowEvictsOneEntryNotTheWholeShard) {
+  BottleneckCache& cache = BottleneckCache::instance();
+  cache.clear();
+  util::PerfCounters::reset();
+
+  bd::BottleneckResult result;
+  result.alpha = Rational(1, 2);
+  result.bottleneck = {0};
+
+  constexpr std::size_t kCap = BottleneckCache::kMaxEntriesPerShard;
+  for (std::uint64_t i = 0; i < kCap; ++i) cache.insert(shard0_key(i), result);
+  EXPECT_EQ(cache.size(), kCap);
+  EXPECT_EQ(util::PerfCounters::snapshot().bottleneck_cache_evictions, 0u);
+
+  // Overflow by a handful: each insert displaces exactly one cold entry
+  // (the old behavior dropped all 32768).
+  for (std::uint64_t i = 0; i < 5; ++i)
+    cache.insert(shard0_key(kCap + i), result);
+  EXPECT_EQ(cache.size(), kCap);
+  EXPECT_EQ(util::PerfCounters::snapshot().bottleneck_cache_evictions, 5u);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    EXPECT_TRUE(cache.lookup(shard0_key(kCap + i)).has_value());
+
+  cache.clear();
+}
+
+TEST(MemoCache, SecondChanceKeepsRecentlyHitEntries) {
+  BottleneckCache& cache = BottleneckCache::instance();
+  cache.clear();
+
+  bd::BottleneckResult result;
+  result.alpha = Rational(1, 3);
+  result.bottleneck = {1};
+
+  constexpr std::size_t kCap = BottleneckCache::kMaxEntriesPerShard;
+  for (std::uint64_t i = 0; i < kCap; ++i) cache.insert(shard0_key(i), result);
+  // Touch the oldest entries: the clock hand reaches them first, but the
+  // referenced bit must grant a second chance and evict colder ones instead.
+  for (std::uint64_t i = 0; i < 8; ++i)
+    ASSERT_TRUE(cache.lookup(shard0_key(i)).has_value());
+  for (std::uint64_t i = 0; i < 8; ++i)
+    cache.insert(shard0_key(kCap + i), result);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_TRUE(cache.lookup(shard0_key(i)).has_value()) << "entry " << i;
+
+  cache.clear();
 }
 
 TEST(MemoCache, SybilOptimizationInvariantUnderAccelerators) {

@@ -1,0 +1,187 @@
+// Tests for the combinatorial path/cycle cut kernel: differential against a
+// brute-force subset oracle, bit-identity of full bottleneck solves with the
+// kernel on vs off, and the cross_check_kernel harness that runs the Dinic
+// oracle in lockstep.
+#include "bd/ring_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "bd/memo.hpp"
+#include "graph/builders.hpp"
+#include "util/perf_counters.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::bd {
+namespace {
+
+using graph::make_path;
+using graph::make_ring;
+using graph::make_star;
+
+class ConfigGuard {
+ public:
+  ConfigGuard() : saved_(hot_path_config()) {}
+  ~ConfigGuard() { hot_path_config() = saved_; }
+
+ private:
+  HotPathConfig saved_;
+};
+
+/// Brute-force oracle over all subsets: the union of every minimizer of
+/// f(S) = w(Γ(S)) − λ·w(S), i.e. the lattice-maximal minimizer.
+std::vector<Vertex> brute_maximal_minimizer(const Graph& g,
+                                            const Rational& lambda) {
+  const std::size_t n = g.vertex_count();
+  Rational best;
+  std::vector<char> in_union(n, 0);
+  bool have_best = false;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<Vertex> set;
+    for (std::size_t v = 0; v < n; ++v)
+      if ((mask >> v) & 1u) set.push_back(static_cast<Vertex>(v));
+    const Rational value =
+        g.set_weight(g.neighborhood(set)) - lambda * g.set_weight(set);
+    if (!have_best || value < best) {
+      best = value;
+      have_best = true;
+      std::fill(in_union.begin(), in_union.end(), 0);
+      for (const Vertex v : set) in_union[v] = 1;
+    } else if (value == best) {
+      for (const Vertex v : set) in_union[v] = 1;
+    }
+  }
+  std::vector<Vertex> out;
+  for (std::size_t v = 0; v < n; ++v)
+    if (in_union[v]) out.push_back(static_cast<Vertex>(v));
+  return out;
+}
+
+/// A random union of paths, cycles, and isolated vertices on <= 10 vertices.
+Graph random_ring_union(util::Xoshiro256& rng) {
+  Graph g(static_cast<std::size_t>(rng.uniform_int(1, 10)));
+  const std::size_t n = g.vertex_count();
+  for (Vertex v = 0; v < n; ++v)
+    g.set_weight(v, Rational(rng.uniform_int(1, 5)));
+  std::size_t next = 0;
+  while (next < n) {
+    const std::size_t remaining = n - next;
+    const std::size_t len = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(remaining)));
+    for (std::size_t i = 1; i < len; ++i)
+      g.add_edge(static_cast<Vertex>(next + i - 1),
+                 static_cast<Vertex>(next + i));
+    if (len >= 3 && rng.uniform01() < 0.5)
+      g.add_edge(static_cast<Vertex>(next + len - 1),
+                 static_cast<Vertex>(next));
+    next += len;
+  }
+  return g;
+}
+
+TEST(RingKernel, AnalyzeRejectsBranching) {
+  util::Xoshiro256 rng(88);
+  const Graph star = make_star(graph::random_integer_weights(5, rng, 9));
+  EXPECT_FALSE(analyze_ring_structure(star).has_value());
+}
+
+TEST(RingKernel, MatchesBruteForceOracle) {
+  util::Xoshiro256 rng(717);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Graph g = random_ring_union(rng);
+    const auto structure = analyze_ring_structure(g);
+    ASSERT_TRUE(structure.has_value());
+    // λ = 0, a random fraction, and an attained single-vertex ratio — the
+    // last lands on tie boundaries where minimizers are non-unique.
+    std::vector<Rational> lambdas = {
+        Rational(0), Rational(rng.uniform_int(1, 12), rng.uniform_int(1, 5))};
+    const Vertex pick = static_cast<Vertex>(
+        rng.uniform_int(0, static_cast<std::int64_t>(g.vertex_count()) - 1));
+    lambdas.push_back(g.set_weight(g.neighbors(pick)) / g.weight(pick));
+    for (const Rational& lambda : lambdas) {
+      EXPECT_EQ(kernel_maximal_minimizer(g, *structure, lambda),
+                brute_maximal_minimizer(g, lambda))
+          << "trial " << trial << " lambda " << lambda.to_string();
+    }
+  }
+}
+
+TEST(RingKernel, SingleVertexAndTinyPaths) {
+  Graph isolated(1);
+  isolated.set_weight(0, Rational(4));
+  const auto structure = analyze_ring_structure(isolated);
+  ASSERT_TRUE(structure.has_value());
+  // λ > 0 includes the vertex (−λw < 0); at λ = 0 the vertex still joins
+  // the maximal minimizer because Γ({v}) = ∅ ties the empty set's value.
+  EXPECT_EQ(kernel_maximal_minimizer(isolated, *structure, Rational(1)),
+            (std::vector<Vertex>{0}));
+  EXPECT_EQ(kernel_maximal_minimizer(isolated, *structure, Rational(0)),
+            brute_maximal_minimizer(isolated, Rational(0)));
+
+  const Graph pair = make_path({Rational(2), Rational(3)});
+  const auto pair_structure = analyze_ring_structure(pair);
+  ASSERT_TRUE(pair_structure.has_value());
+  for (const Rational& lambda :
+       {Rational(0), Rational(1, 2), Rational(1), Rational(3, 2)}) {
+    EXPECT_EQ(kernel_maximal_minimizer(pair, *pair_structure, lambda),
+              brute_maximal_minimizer(pair, lambda));
+  }
+}
+
+TEST(RingKernel, BottleneckBitIdenticalKernelOnVsOff) {
+  ConfigGuard guard;
+  util::Xoshiro256 rng(929);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Graph g = random_ring_union(rng);
+
+    hot_path_config() = HotPathConfig{};
+    hot_path_config().memo_cache = false;
+    hot_path_config().ring_kernel = true;
+    const BottleneckResult with_kernel = maximal_bottleneck(g);
+
+    hot_path_config().ring_kernel = false;
+    const BottleneckResult with_flow = maximal_bottleneck(g);
+
+    EXPECT_EQ(with_kernel.alpha, with_flow.alpha) << "trial " << trial;
+    EXPECT_EQ(with_kernel.bottleneck, with_flow.bottleneck);
+    EXPECT_EQ(with_kernel.dinkelbach_iterations,
+              with_flow.dinkelbach_iterations);
+  }
+}
+
+TEST(RingKernel, CrossCheckHarnessAgreesOnRandomInstances) {
+  ConfigGuard guard;
+  hot_path_config() = HotPathConfig{};
+  hot_path_config().memo_cache = false;
+  hot_path_config().cross_check_kernel = true;
+
+  util::PerfCounters::reset();
+  util::Xoshiro256 rng(1041);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Graph g = random_ring_union(rng);
+    EXPECT_NO_THROW((void)maximal_bottleneck(g)) << "trial " << trial;
+  }
+  const util::PerfSnapshot snapshot = util::PerfCounters::snapshot();
+  EXPECT_GT(snapshot.ring_kernel_cross_checks, 0u);
+  EXPECT_EQ(snapshot.ring_kernel_cross_checks, snapshot.ring_kernel_evals);
+}
+
+TEST(RingKernel, DecompositionUsesKernelOnRings) {
+  ConfigGuard guard;
+  hot_path_config() = HotPathConfig{};
+  BottleneckCache::instance().clear();
+  util::PerfCounters::reset();
+  util::Xoshiro256 rng(77);
+  const Graph g = make_ring(graph::random_integer_weights(9, rng, 30));
+  const Decomposition decomposition(g);
+  EXPECT_TRUE(proposition3_violations(g, decomposition).empty());
+  const util::PerfSnapshot snapshot = util::PerfCounters::snapshot();
+  EXPECT_GT(snapshot.ring_kernel_evals, 0u);
+  EXPECT_EQ(snapshot.ring_kernel_cross_checks, 0u);
+}
+
+}  // namespace
+}  // namespace ringshare::bd

@@ -115,6 +115,38 @@ TEST(ParallelFor, NestedChunksAreStolenNotSerialized) {
   EXPECT_GT(PerfCounters::snapshot().pool_tasks_stolen, stolen_before);
 }
 
+TEST(ParallelFor, ImbalancedTaskCostsAreRebalancedByStealing) {
+  // External posts are dealt round-robin, so with min_chunk=1 the slow
+  // iterations (every fourth index) all land on one worker's deque. That
+  // worker can only run them one at a time; the other three finish their
+  // cheap iterations immediately and must steal the queued slow ones —
+  // work-stealing is what turns this from 4 serialized slow tasks into
+  // parallel execution.
+  ThreadPool pool(4);
+  const std::uint64_t stolen_before =
+      PerfCounters::snapshot().pool_tasks_stolen;
+  std::mutex mutex;
+  std::set<std::thread::id> slow_threads;
+  std::atomic<int> covered{0};
+  parallel_for(
+      0, 16,
+      [&](std::size_t i) {
+        ++covered;
+        if (i % 4 == 0) {
+          spin_for_microseconds(20'000);
+          const std::thread::id id = std::this_thread::get_id();
+          std::scoped_lock lock(mutex);
+          slow_threads.insert(id);
+        }
+      },
+      /*min_chunk=*/1, &pool);
+  EXPECT_EQ(covered.load(), 16);
+  // At least one of the four queued slow tasks must have been stolen (and
+  // in practice they spread over several threads).
+  EXPECT_GT(PerfCounters::snapshot().pool_tasks_stolen, stolen_before);
+  EXPECT_GE(slow_threads.size(), 2u);
+}
+
 TEST(ParallelFor, ExceptionPropagatesThroughStolenChunks) {
   // Half the inner chunks throw; some of them execute on thieves. The first
   // error must surface in the (nested) caller and then in the outer one.
