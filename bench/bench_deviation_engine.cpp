@@ -1,0 +1,358 @@
+// bench_deviation_engine — certification bench for the unified deviation
+// engine (game/deviation.hpp): Sybil splits, misreports and collusions all
+// running the shared exact piece-solver pipeline.
+//
+// Sections:
+//   * sweep      — a fixed all-kinds workload (every deviation task of
+//     every instance) run twice: accelerators on (library default) and
+//     everything off (cold reference). The exact optima must be
+//     bit-identical between the two.
+//   * bounds     — per-kind worst-case incentive ratios from the sweep,
+//     checked exactly against the paper's Theorem 8 bound (<= 2) and
+//     reported next to the prior-work baselines 3 and 4 the theorem
+//     tightens. Misreport is additionally pinned to exactly 1 (Theorem 10:
+//     the truthful report is optimal).
+//   * cross_check — >= 1000 randomized instances, deviation kinds rotating
+//     per instance, solved with PieceSolveOptions::cross_check armed: the
+//     exact per-piece optimum must dominate every legacy-scan sample
+//     (std::logic_error otherwise). Zero violations required.
+//   * incremental_flow — isolation of HotPathConfig::incremental_flow on
+//     degree->=3 graphs (stars, complete graphs, random connected — the
+//     ring kernel cannot serve these): decompositions with the layer on
+//     must match the cold-Dinic engine bit for bit and the
+//     flow_incremental_reruns counter must fire.
+//
+// Timings, contract outcomes and the accelerated pass's perf counters are
+// written to BENCH_deviation.json at the repository root; any violated
+// contract exits nonzero.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "bd/memo.hpp"
+#include "exp/families.hpp"
+#include "game/deviation.hpp"
+#include "numeric/bigint.hpp"
+#include "util/perf_counters.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ringshare;
+using num::BigInt;
+using num::Rational;
+
+#ifndef RINGSHARE_REPO_ROOT
+#define RINGSHARE_REPO_ROOT "."
+#endif
+
+void configure(bool accelerators) {
+  BigInt::set_fast_path_enabled(accelerators);
+  bd::HotPathConfig config;
+  config.memo_cache = accelerators;
+  config.warm_start = accelerators;
+  config.flow_arena = accelerators;
+  config.canonical_cache = accelerators;
+  config.incremental_flow = accelerators;
+  config.ring_kernel = accelerators;
+  config.cross_check_kernel = false;
+  bd::hot_path_config() = config;
+  bd::BottleneckCache::instance().clear();
+  util::PerfCounters::reset();
+}
+
+struct KindStats {
+  std::size_t tasks = 0;
+  bool any = false;
+  Rational worst_ratio;
+};
+
+struct DeviationRun {
+  double seconds = 0;
+  std::vector<std::string> outputs;  ///< per task, full optimum stringified
+  KindStats by_kind[game::kDeviationKindCount];
+  util::PerfSnapshot counters;
+};
+
+/// Run every deviation task of every instance under one configuration.
+DeviationRun run_all_kinds(const std::vector<graph::Graph>& rings,
+                           bool accelerators) {
+  configure(accelerators);
+  game::DeviationSweep sweep;
+  sweep.kinds = {game::DeviationKind::kSybil, game::DeviationKind::kMisreport,
+                 game::DeviationKind::kCollusion};
+  DeviationRun run;
+  util::Timer timer;
+  for (const graph::Graph& ring : rings) {
+    for (const game::DeviationTask& task : sweep.tasks(ring)) {
+      const game::DeviationOptimum optimum = sweep.run(ring, task);
+      std::ostringstream line;
+      line << game::to_string(task.kind) << " v=" << task.vertex
+           << " p=" << task.partner << " ratio=" << optimum.ratio.to_string()
+           << " t*=" << optimum.t_star.to_string()
+           << " U=" << optimum.utility.to_string()
+           << " H=" << optimum.honest_utility.to_string();
+      run.outputs.push_back(line.str());
+      KindStats& stats = run.by_kind[static_cast<int>(task.kind)];
+      ++stats.tasks;
+      if (!stats.any || stats.worst_ratio < optimum.ratio) {
+        stats.worst_ratio = optimum.ratio;
+        stats.any = true;
+      }
+    }
+  }
+  run.seconds = timer.elapsed_seconds();
+  run.counters = util::PerfCounters::snapshot();
+  return run;
+}
+
+/// Cross-check sweep: exact solver with cross_check armed, which throws
+/// std::logic_error if any scan sample beats the exact optimum on any
+/// piece. Kinds rotate per instance. Returns the number of violating tasks.
+std::size_t cross_check_violations(std::size_t instances, std::size_t n,
+                                   std::uint64_t seed) {
+  const std::vector<graph::Graph> rings =
+      exp::random_rings(instances, n, seed, 12);
+  game::DeviationOptions options;
+  options.cross_check = true;
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    game::DeviationTask task;
+    task.kind = static_cast<game::DeviationKind>(i % game::kDeviationKindCount);
+    // One task per instance keeps 1000 instances tractable while still
+    // varying the deviator's position (and the coalition edge).
+    task.vertex = static_cast<graph::Vertex>(i % n);
+    task.partner = static_cast<graph::Vertex>((task.vertex + 1) % n);
+    try {
+      (void)game::optimize_deviation(rings[i], task, options);
+    } catch (const std::logic_error& error) {
+      std::printf("cross-check violation (instance %zu, %s, vertex %u): %s\n",
+                  i, game::to_string(task.kind), task.vertex, error.what());
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+/// Isolation of the incremental-flow layer on degree->=3 graphs.
+struct IncrementalSection {
+  double cold_seconds = 0;
+  double incremental_seconds = 0;
+  std::uint64_t reruns = 0;
+  bool results_identical = false;
+  bool kernel_stayed_out = false;
+};
+
+std::string observe_decomposition(const graph::Graph& g) {
+  const bd::Decomposition decomposition(g);
+  std::ostringstream os;
+  for (const auto& pair : decomposition.pairs()) {
+    os << '[';
+    for (graph::Vertex v : pair.b) os << v << ' ';
+    os << "| a=" << pair.alpha.to_string() << "] ";
+  }
+  for (graph::Vertex v = 0; v < g.vertex_count(); ++v)
+    os << decomposition.utility(v).to_string() << ' ';
+  return os.str();
+}
+
+IncrementalSection bench_incremental_flow() {
+  util::Xoshiro256 rng(775577);
+  std::vector<graph::Graph> graphs;
+  graphs.push_back(graph::make_fig1_example());
+  for (std::size_t n = 6; n <= 10; ++n) {
+    graphs.push_back(
+        graph::make_star(graph::random_integer_weights(n, rng, 13)));
+    graphs.push_back(
+        graph::make_complete(graph::random_integer_weights(n, rng, 13)));
+    graphs.push_back(graph::make_random_connected(n + 2, 0.45, rng, 11));
+  }
+
+  // Flow-only configuration: no memo/warm start so every decomposition
+  // actually descends, giving the incremental layer iterations to repair.
+  auto flow_only = [](bool incremental) {
+    BigInt::set_fast_path_enabled(true);
+    bd::HotPathConfig config;
+    config.memo_cache = false;
+    config.warm_start = false;
+    config.flow_arena = true;
+    config.canonical_cache = false;
+    config.incremental_flow = incremental;
+    config.ring_kernel = false;
+    config.cross_check_kernel = false;
+    bd::hot_path_config() = config;
+    bd::BottleneckCache::instance().clear();
+    util::PerfCounters::reset();
+  };
+  constexpr int kRepeats = 20;
+
+  IncrementalSection out;
+  std::vector<std::string> cold_outputs;
+  flow_only(false);
+  {
+    util::Timer timer;
+    for (int r = 0; r < kRepeats; ++r)
+      for (const graph::Graph& g : graphs) cold_outputs.push_back(observe_decomposition(g));
+    out.cold_seconds = timer.elapsed_seconds();
+  }
+
+  std::vector<std::string> incremental_outputs;
+  flow_only(true);
+  {
+    util::Timer timer;
+    for (int r = 0; r < kRepeats; ++r)
+      for (const graph::Graph& g : graphs)
+        incremental_outputs.push_back(observe_decomposition(g));
+    out.incremental_seconds = timer.elapsed_seconds();
+  }
+  const util::PerfSnapshot snapshot = util::PerfCounters::snapshot();
+  out.reruns = snapshot.flow_incremental_reruns;
+  out.kernel_stayed_out = snapshot.ring_kernel_evals == 0;
+  out.results_identical = cold_outputs == incremental_outputs;
+  return out;
+}
+
+const char* bool_json(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+int main() {
+  // Fixed workload: 10 random 6-rings; per ring 6 sybil + 6 misreport + 6
+  // collusion tasks = 180 tasks total.
+  const std::vector<graph::Graph> rings = exp::random_rings(10, 6, 7100, 24);
+
+  std::printf("[deviation] accelerated pass (all kinds)...\n");
+  const DeviationRun accelerated = run_all_kinds(rings, /*accelerators=*/true);
+  std::printf("[deviation] accelerated %.3fs over %zu tasks\n",
+              accelerated.seconds, accelerated.outputs.size());
+
+  std::printf("[deviation] cold pass (accelerators off)...\n");
+  const DeviationRun cold = run_all_kinds(rings, /*accelerators=*/false);
+  std::printf("[deviation] cold %.3fs\n", cold.seconds);
+
+  const bool results_identical = accelerated.outputs == cold.outputs;
+  const double speedup =
+      accelerated.seconds > 0 ? cold.seconds / accelerated.seconds : 0;
+  std::printf("[deviation] %s, accel speedup %.2fx\n",
+              results_identical ? "results identical" : "RESULTS DIFFER",
+              speedup);
+
+  // Per-kind worst ratios vs Theorem 8 (<= 2) and the prior bounds 3 / 4.
+  const Rational bound(2);
+  bool bounds_ok = true;
+  for (int k = 0; k < game::kDeviationKindCount; ++k) {
+    const KindStats& stats = accelerated.by_kind[k];
+    if (!stats.any) {
+      bounds_ok = false;
+      continue;
+    }
+    const bool within = !(bound < stats.worst_ratio);
+    bounds_ok = bounds_ok && within;
+    std::printf("[bounds] %-9s worst ratio %s (%.6f) %s 2\n",
+                game::to_string(static_cast<game::DeviationKind>(k)),
+                stats.worst_ratio.to_string().c_str(),
+                stats.worst_ratio.to_double(), within ? "<=" : ">");
+  }
+  const KindStats& misreport_stats =
+      accelerated.by_kind[static_cast<int>(game::DeviationKind::kMisreport)];
+  const bool misreport_exactly_one =
+      misreport_stats.any && misreport_stats.worst_ratio == Rational(1);
+  if (!misreport_exactly_one)
+    std::printf("[bounds] misreport worst ratio != 1 (Theorem 10 violated)\n");
+
+  std::printf("[cross-check] 1002 randomized instances, kinds rotating...\n");
+  util::Timer cc_timer;
+  const std::size_t cc_violations = cross_check_violations(1002, 5, 515151);
+  const double cc_seconds = cc_timer.elapsed_seconds();
+  std::printf("[cross-check] %zu violations in %.3fs\n", cc_violations,
+              cc_seconds);
+
+  std::printf("[incremental] degree->=3 isolation...\n");
+  const IncrementalSection incremental = bench_incremental_flow();
+  std::printf(
+      "[incremental] cold %.3fs vs incremental %.3fs, %llu reruns, %s\n",
+      incremental.cold_seconds, incremental.incremental_seconds,
+      static_cast<unsigned long long>(incremental.reruns),
+      incremental.results_identical ? "results identical" : "RESULTS DIFFER");
+
+  const std::string json_path =
+      std::string(RINGSHARE_REPO_ROOT) + "/BENCH_deviation.json";
+  {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"deviation_engine\",\n"
+        << "  \"workload\": {\"rings\": " << rings.size()
+        << ", \"n\": 6, \"tasks\": " << accelerated.outputs.size() << "},\n"
+        << "  \"accelerated_seconds\": " << accelerated.seconds << ",\n"
+        << "  \"cold_seconds\": " << cold.seconds << ",\n"
+        << "  \"speedup\": " << speedup << ",\n"
+        << "  \"results_identical\": " << bool_json(results_identical)
+        << ",\n"
+        << "  \"theorem8_bound\": 2,\n"
+        << "  \"prior_bounds\": [3, 4],\n"
+        << "  \"by_kind\": {\n";
+    for (int k = 0; k < game::kDeviationKindCount; ++k) {
+      const KindStats& stats = accelerated.by_kind[k];
+      out << "    \"" << game::to_string(static_cast<game::DeviationKind>(k))
+          << "\": {\"tasks\": " << stats.tasks << ", \"worst_ratio\": \""
+          << (stats.any ? stats.worst_ratio.to_string() : "none")
+          << "\", \"worst_ratio_double\": "
+          << (stats.any ? stats.worst_ratio.to_double() : 0.0)
+          << ", \"within_bound_2\": "
+          << bool_json(stats.any && !(bound < stats.worst_ratio)) << "}"
+          << (k + 1 < game::kDeviationKindCount ? "," : "") << "\n";
+    }
+    out << "  },\n"
+        << "  \"misreport_ratio_exactly_one\": "
+        << bool_json(misreport_exactly_one) << ",\n"
+        << "  \"cross_check\": {\"instances\": 1002, \"violations\": "
+        << cc_violations << ", \"seconds\": " << cc_seconds << "},\n"
+        << "  \"incremental_flow\": {\"cold_seconds\": "
+        << incremental.cold_seconds
+        << ", \"incremental_seconds\": " << incremental.incremental_seconds
+        << ", \"reruns\": " << incremental.reruns
+        << ", \"results_identical\": "
+        << bool_json(incremental.results_identical)
+        << ", \"kernel_stayed_out\": "
+        << bool_json(incremental.kernel_stayed_out) << "},\n"
+        << "  \"accelerated_counters\": " << accelerated.counters.to_json(2)
+        << "\n}\n";
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  int exit_code = 0;
+  if (!results_identical) {
+    std::printf("FAIL: optima differ between accelerator modes\n");
+    exit_code = 1;
+  }
+  if (!bounds_ok) {
+    std::printf("FAIL: a deviation kind exceeded the Theorem 8 bound 2\n");
+    exit_code = 1;
+  }
+  if (!misreport_exactly_one) {
+    std::printf("FAIL: misreport worst ratio is not exactly 1\n");
+    exit_code = 1;
+  }
+  if (cc_violations > 0) {
+    std::printf("FAIL: %zu cross-check violations\n", cc_violations);
+    exit_code = 1;
+  }
+  if (incremental.reruns == 0) {
+    std::printf("FAIL: incremental-flow layer never engaged\n");
+    exit_code = 1;
+  }
+  if (!incremental.results_identical) {
+    std::printf("FAIL: incremental flow changed a decomposition\n");
+    exit_code = 1;
+  }
+  if (!incremental.kernel_stayed_out) {
+    std::printf("FAIL: ring kernel engaged on a degree->=3 graph\n");
+    exit_code = 1;
+  }
+  configure(/*accelerators=*/true);
+  return exit_code;
+}

@@ -74,10 +74,48 @@ def rows_ringkernel(report) -> list[dict]:
     ]
 
 
+def rows_deviation(report) -> list[dict]:
+    # Beyond the identity contract, the deviation bench certifies the
+    # paper's bounds — re-check them here so a stale artifact with a
+    # ratio above 2 (or a misreport ratio != 1) fails the trajectory too.
+    bounds_ok = (
+        all(kind["within_bound_2"] is True
+            for kind in report["by_kind"].values())
+        and report["misreport_ratio_exactly_one"] is True
+        and report["cross_check"]["violations"] == 0
+    )
+    return [
+        {
+            "bench": "deviation_engine",
+            "pass": "cold -> accelerated",
+            "baseline_seconds": report["cold_seconds"],
+            "current_seconds": report["accelerated_seconds"],
+            "speedup": report["speedup"],
+            "results_identical": report["results_identical"] and bounds_ok,
+        },
+        {
+            "bench": "deviation_engine",
+            "pass": "incremental flow (deg>=3)",
+            "baseline_seconds": report["incremental_flow"]["cold_seconds"],
+            "current_seconds":
+                report["incremental_flow"]["incremental_seconds"],
+            "speedup": (
+                report["incremental_flow"]["cold_seconds"]
+                / report["incremental_flow"]["incremental_seconds"]
+                if report["incremental_flow"]["incremental_seconds"] > 0
+                else 0.0
+            ),
+            "results_identical":
+                report["incremental_flow"]["results_identical"],
+        },
+    ]
+
+
 PARSERS = {
     "BENCH_hotpaths.json": rows_hotpaths,
     "BENCH_sweep.json": rows_sweep,
     "BENCH_ringkernel.json": rows_ringkernel,
+    "BENCH_deviation.json": rows_deviation,
 }
 
 

@@ -16,6 +16,11 @@
 #      BENCH_ringkernel.json parses with results_identical == true and zero
 #      kernel-vs-Dinic cross-check disagreements (the combinatorial kernel
 #      must be bit-identical to the flow).
+#   6. Deviation bench smoke: run bench_deviation_engine and validate that
+#      BENCH_deviation.json parses with results_identical == true, every
+#      kind's worst exact ratio <= 2 (misreport exactly 1), zero
+#      cross-check violations, and an engaged incremental-flow layer —
+#      tier-1 fails if any sweep ratio exceeds the Theorem 8 bound.
 #
 # Usage: scripts/tier1.sh [--skip-asan]
 #   --skip-asan skips every sanitizer pass (ASan/UBSan and TSan) and the
@@ -48,13 +53,17 @@ cmake -B build-asan -S . \
 # Unit-test targets only: the sanitized bench/example binaries add build
 # time without adding coverage.
 for target in numeric_fastpath_test memo_cache_test bigint_test \
-              rational_test util_test flow_test bd_test; do
+              rational_test util_test flow_test bd_test \
+              deviation_differential_test deviation_metamorphic_test \
+              incremental_flow_test; do
   cmake --build build-asan -j "$jobs" --target "$target"
 done
 
 echo "=== ASan/UBSan: run ==="
 for target in numeric_fastpath_test memo_cache_test bigint_test \
-              rational_test util_test flow_test bd_test; do
+              rational_test util_test flow_test bd_test \
+              deviation_differential_test deviation_metamorphic_test \
+              incremental_flow_test; do
   echo "--- $target ---"
   "./build-asan/tests/$target"
 done
@@ -65,12 +74,12 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="$tsan_flags" \
   -DCMAKE_EXE_LINKER_FLAGS="$tsan_flags"
-for target in util_test sweep_driver_test; do
+for target in util_test sweep_driver_test deviation_metamorphic_test; do
   cmake --build build-tsan -j "$jobs" --target "$target"
 done
 
 echo "=== TSan: run (work-stealing pool + concurrent sweep) ==="
-for target in util_test sweep_driver_test; do
+for target in util_test sweep_driver_test deviation_metamorphic_test; do
   echo "--- $target ---"
   "./build-tsan/tests/$target"
 done
@@ -115,6 +124,43 @@ ok = (
     and report["cross_check"]["lockstep_evals"] > 0
     and report["v3_counters"]["ring_kernel_cross_checks"] == 0
     and report["v3_counters"]["ring_kernel_evals"] > 0
+)
+sys.exit(0 if ok else 1)
+EOF
+else
+  echo "tier1.sh: python3 not found; JSON well-formedness check skipped"
+fi
+
+echo "=== deviation bench smoke: bench_deviation_engine ==="
+cmake --build build -j "$jobs" --target bench_deviation_engine
+./build/bench/bench_deviation_engine
+# The binary exits nonzero on any contract violation (identity, bounds,
+# misreport ratio, cross-check, incremental flow); re-validate the JSON
+# independently so a stale or corrupted artifact also fails CI.
+grep -q '"results_identical": true' BENCH_deviation.json || {
+  echo "tier1.sh: BENCH_deviation.json missing results_identical: true" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+from fractions import Fraction
+with open("BENCH_deviation.json") as f:
+    report = json.load(f)
+kinds = report["by_kind"]
+ok = (
+    report["results_identical"] is True
+    and set(kinds) == {"sybil", "misreport", "collusion"}
+    # Re-derive the bound check from the exact rationals: tier-1 fails
+    # if any sweep ratio exceeds the Theorem 8 bound of 2.
+    and all(Fraction(kind["worst_ratio"]) <= 2 for kind in kinds.values())
+    and all(kind["within_bound_2"] is True for kind in kinds.values())
+    and Fraction(kinds["misreport"]["worst_ratio"]) == 1
+    and report["misreport_ratio_exactly_one"] is True
+    and report["cross_check"]["instances"] >= 1000
+    and report["cross_check"]["violations"] == 0
+    and report["incremental_flow"]["reruns"] > 0
+    and report["incremental_flow"]["results_identical"] is True
 )
 sys.exit(0 if ok else 1)
 EOF

@@ -124,8 +124,19 @@ GraphKey canonical_fingerprint(const Graph& g,
   for (const auto& [length, cycle] : canonical.components)
     key.words.push_back((static_cast<std::uint64_t>(length) << 1) |
                         (cycle ? 1 : 0));
+  // Weights are normalized by the total before encoding: the bottleneck set
+  // and α = w(Γ(S))/w(S) are invariant under uniform positive scaling, and
+  // so is the canonical relabeling (scaling preserves the lexicographic
+  // comparisons Booth's rotation and the component order are built from) —
+  // so scaled copies of an instance share one cache entry, result reusable
+  // as-is. An all-zero graph has no scale to divide out; its raw weights
+  // are encoded verbatim.
+  Rational total(0);
+  for (const Vertex v : canonical.to_original) total = total + g.weight(v);
+  const bool normalize = !total.is_zero();
   for (const Vertex v : canonical.to_original) {
-    const Rational& w = g.weight(v);
+    const Rational w =
+        normalize ? g.weight(v) / total : g.weight(v);
     encode_bigint(w.numerator(), key.words);
     encode_bigint(w.denominator(), key.words);
   }

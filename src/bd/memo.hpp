@@ -81,8 +81,10 @@ struct GraphKey {
 [[nodiscard]] GraphKey graph_fingerprint(const Graph& g);
 
 /// Canonical fingerprint of a union-of-paths/cycles graph from its
-/// canonical structure: component shapes plus weights in canonical order.
-/// Equal keys ⟺ isomorphic weighted graphs.
+/// canonical structure: component shapes plus total-weight-normalized
+/// weights in canonical order. Equal keys ⟺ isomorphic weighted graphs up
+/// to uniform positive weight scaling (the bottleneck result is
+/// scale-invariant, so scaled copies soundly share one cache entry).
 [[nodiscard]] GraphKey canonical_fingerprint(
     const Graph& g, const graph::CanonicalStructure& canonical);
 

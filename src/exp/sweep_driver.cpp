@@ -31,17 +31,40 @@ std::optional<std::string> json_string_field(std::string_view line,
   return std::string(line.substr(begin, end - begin));
 }
 
-/// Parse "i<instance>.v<vertex>".
-std::optional<std::pair<std::size_t, graph::Vertex>> parse_task_key(
-    const std::string& key) {
+struct ParsedTaskKey {
+  std::size_t instance = 0;
+  game::DeviationKind kind = game::DeviationKind::kSybil;
+  graph::Vertex vertex = 0;
+  graph::Vertex partner = 0;
+};
+
+/// Parse "i<instance>.v<vertex>" (sybil), "i<instance>.m<vertex>"
+/// (misreport) or "i<instance>.c<vertex>-<partner>" (collusion).
+std::optional<ParsedTaskKey> parse_task_key(const std::string& key) {
   if (key.size() < 4 || key.front() != 'i') return std::nullopt;
-  const std::size_t dot = key.find(".v");
-  if (dot == std::string::npos) return std::nullopt;
+  const std::size_t dot = key.find('.');
+  if (dot == std::string::npos || dot + 2 > key.size()) return std::nullopt;
+  ParsedTaskKey out;
+  const char tag = key[dot + 1];
+  switch (tag) {
+    case 'v': out.kind = game::DeviationKind::kSybil; break;
+    case 'm': out.kind = game::DeviationKind::kMisreport; break;
+    case 'c': out.kind = game::DeviationKind::kCollusion; break;
+    default: return std::nullopt;
+  }
   try {
-    const std::size_t instance = std::stoull(key.substr(1, dot - 1));
-    const graph::Vertex vertex =
-        static_cast<graph::Vertex>(std::stoull(key.substr(dot + 2)));
-    return std::make_pair(instance, vertex);
+    out.instance = std::stoull(key.substr(1, dot - 1));
+    const std::string rest = key.substr(dot + 2);
+    if (out.kind == game::DeviationKind::kCollusion) {
+      const std::size_t dash = rest.find('-');
+      if (dash == std::string::npos) return std::nullopt;
+      out.vertex = static_cast<graph::Vertex>(std::stoull(rest.substr(0, dash)));
+      out.partner =
+          static_cast<graph::Vertex>(std::stoull(rest.substr(dash + 1)));
+    } else {
+      out.vertex = static_cast<graph::Vertex>(std::stoull(rest));
+    }
+    return out;
   } catch (const std::exception&) {
     return std::nullopt;
   }
@@ -59,6 +82,8 @@ util::PerfSnapshot snapshot_delta(const util::PerfSnapshot& after,
       after.bottleneck_cache_hits - before.bottleneck_cache_hits;
   delta.bottleneck_cache_misses =
       after.bottleneck_cache_misses - before.bottleneck_cache_misses;
+  delta.bottleneck_cache_evictions =
+      after.bottleneck_cache_evictions - before.bottleneck_cache_evictions;
   delta.dinkelbach_iterations =
       after.dinkelbach_iterations - before.dinkelbach_iterations;
   delta.dinkelbach_warm_hits =
@@ -69,17 +94,43 @@ util::PerfSnapshot snapshot_delta(const util::PerfSnapshot& after,
       after.flow_network_builds - before.flow_network_builds;
   delta.flow_network_reuses =
       after.flow_network_reuses - before.flow_network_reuses;
+  delta.flow_incremental_reruns =
+      after.flow_incremental_reruns - before.flow_incremental_reruns;
+  delta.ring_kernel_evals = after.ring_kernel_evals - before.ring_kernel_evals;
+  delta.ring_kernel_cross_checks =
+      after.ring_kernel_cross_checks - before.ring_kernel_cross_checks;
   delta.piece_solver_pieces =
       after.piece_solver_pieces - before.piece_solver_pieces;
   delta.piece_solver_exact_roots =
       after.piece_solver_exact_roots - before.piece_solver_exact_roots;
   delta.piece_solver_bracketed_roots =
       after.piece_solver_bracketed_roots - before.piece_solver_bracketed_roots;
+  delta.misreport_optimizations =
+      after.misreport_optimizations - before.misreport_optimizations;
+  delta.collusion_optimizations =
+      after.collusion_optimizations - before.collusion_optimizations;
   delta.pool_tasks_local = after.pool_tasks_local - before.pool_tasks_local;
   delta.pool_tasks_stolen = after.pool_tasks_stolen - before.pool_tasks_stolen;
   for (int i = 0; i < static_cast<int>(util::Phase::kCount); ++i)
     delta.phase_ns[i] = after.phase_ns[i] - before.phase_ns[i];
   return delta;
+}
+
+std::string task_key(std::size_t instance, const game::DeviationTask& task) {
+  std::string out = "i" + std::to_string(instance);
+  switch (task.kind) {
+    case game::DeviationKind::kSybil:
+      out += ".v" + std::to_string(task.vertex);
+      break;
+    case game::DeviationKind::kMisreport:
+      out += ".m" + std::to_string(task.vertex);
+      break;
+    case game::DeviationKind::kCollusion:
+      out += ".c" + std::to_string(task.vertex) + "-" +
+             std::to_string(task.partner);
+      break;
+  }
+  return out;
 }
 
 }  // namespace
@@ -97,15 +148,25 @@ std::vector<Graph> FamilySpec::build() const {
 }
 
 std::string SweepTaskRecord::key() const {
-  return "i" + std::to_string(instance) + ".v" + std::to_string(vertex);
+  game::DeviationTask task;
+  task.kind = kind;
+  task.vertex = vertex;
+  task.partner = partner;
+  return task_key(instance, task);
 }
 
 std::string SweepTaskRecord::to_jsonl() const {
   std::ostringstream os;
-  os << "{\"task\": \"" << key() << "\", \"instance\": " << instance
-     << ", \"vertex\": " << vertex << ", \"ratio\": \"" << ratio.to_string()
-     << "\", \"ratio_double\": " << ratio.to_double() << ", \"w1_star\": \""
-     << w1_star.to_string() << "\", \"utility\": \"" << utility.to_string()
+  os << "{\"task\": \"" << key() << "\", \"kind\": \"" << game::to_string(kind)
+     << "\", \"instance\": " << instance << ", \"vertex\": " << vertex;
+  if (kind == game::DeviationKind::kCollusion)
+    os << ", \"partner\": " << partner;
+  os << ", \"ratio\": \"" << ratio.to_string()
+     << "\", \"ratio_double\": " << ratio.to_double() << ", \"t_star\": \""
+     << t_star.to_string() << "\"";
+  if (kind == game::DeviationKind::kSybil)
+    os << ", \"w1_star\": \"" << t_star.to_string() << "\"";
+  os << ", \"utility\": \"" << utility.to_string()
      << "\", \"honest_utility\": \"" << honest_utility.to_string() << "\"}";
   return os.str();
 }
@@ -126,21 +187,34 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
                                    const SweepDriverOptions& options) {
   if (rings.empty())
     throw std::invalid_argument("run_sweep_driver: no instances");
+  if (options.kinds.empty())
+    throw std::invalid_argument("run_sweep_driver: no deviation kinds");
 
   struct Task {
     std::size_t instance;
-    graph::Vertex vertex;
+    game::DeviationTask deviation;
   };
 
   SweepDriverReport report;
   bool have_max = false;
   auto consider = [&](const Rational& ratio, std::size_t instance,
-                      graph::Vertex vertex) {
+                      game::DeviationKind kind, graph::Vertex vertex,
+                      graph::Vertex partner) {
     if (!have_max || report.max_ratio < ratio) {
       report.max_ratio = ratio;
+      report.argmax_kind = kind;
       report.argmax_instance = instance;
       report.argmax_vertex = vertex;
+      report.argmax_partner = partner;
       have_max = true;
+    }
+    KindAggregate& agg = report.by_kind[static_cast<int>(kind)];
+    if (!agg.any || agg.max_ratio < ratio) {
+      agg.max_ratio = ratio;
+      agg.argmax_instance = instance;
+      agg.argmax_vertex = vertex;
+      agg.argmax_partner = partner;
+      agg.any = true;
     }
   };
 
@@ -154,24 +228,26 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
       const std::optional<std::string> ratio =
           json_string_field(line, "ratio");
       if (!key || !ratio) continue;
-      const auto parsed = parse_task_key(*key);
+      const std::optional<ParsedTaskKey> parsed = parse_task_key(*key);
       if (!parsed) continue;
       if (!done.insert(*key).second) continue;  // duplicate checkpoint line
-      consider(Rational::from_string(*ratio), parsed->first, parsed->second);
+      consider(Rational::from_string(*ratio), parsed->instance, parsed->kind,
+               parsed->vertex, parsed->partner);
     }
   }
 
   std::vector<Task> pending;
   for (std::size_t i = 0; i < rings.size(); ++i) {
-    for (graph::Vertex v = 0; v < rings[i].vertex_count(); ++v) {
-      ++report.tasks_total;
-      SweepTaskRecord probe;
-      probe.instance = i;
-      probe.vertex = v;
-      if (done.count(probe.key())) {
-        ++report.tasks_skipped;
-      } else {
-        pending.push_back(Task{i, v});
+    for (const game::DeviationKind kind : options.kinds) {
+      for (const game::DeviationTask& dev :
+           game::deviation_tasks(rings[i], kind)) {
+        ++report.tasks_total;
+        ++report.by_kind[static_cast<int>(kind)].tasks;
+        if (done.count(task_key(i, dev))) {
+          ++report.tasks_skipped;
+        } else {
+          pending.push_back(Task{i, dev});
+        }
       }
     }
   }
@@ -192,13 +268,15 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
   std::vector<std::optional<SweepTaskRecord>> run_records(pending.size());
   util::parallel_for(0, pending.size(), [&](std::size_t k) {
     const Task& task = pending[k];
-    const game::SybilOptimum optimum = game::optimize_sybil_split(
-        rings[task.instance], task.vertex, options.sybil);
+    const game::DeviationOptimum optimum = game::optimize_deviation(
+        rings[task.instance], task.deviation, options.solver);
     SweepTaskRecord record;
     record.instance = task.instance;
-    record.vertex = task.vertex;
+    record.kind = optimum.kind;
+    record.vertex = optimum.vertex;
+    record.partner = optimum.partner;
     record.ratio = optimum.ratio;
-    record.w1_star = optimum.w1_star;
+    record.t_star = optimum.t_star;
     record.utility = optimum.utility;
     record.honest_utility = optimum.honest_utility;
     if (out.is_open()) {
@@ -215,7 +293,8 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
   report.counters =
       snapshot_delta(util::PerfCounters::snapshot(), counters_before);
   for (const std::optional<SweepTaskRecord>& record : run_records)
-    consider(record->ratio, record->instance, record->vertex);
+    consider(record->ratio, record->instance, record->kind, record->vertex,
+             record->partner);
   return report;
 }
 

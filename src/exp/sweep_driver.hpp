@@ -1,20 +1,22 @@
 // sweep_driver.hpp — checkpointed streaming sweeps over ring families.
 //
 // The batch layer behind tools/ringshare_sweep: a textual family spec is
-// expanded into instances, every (instance, vertex) Sybil-optimization task
-// is sharded across the shared work-stealing pool, and each finished task is
-// appended to a JSONL file and flushed — a killed sweep loses at most the
-// in-flight tasks. Re-running with resume skips every task whose key is
-// already checkpointed while still folding its stored ratio into the final
-// aggregate, so an interrupted-and-resumed sweep reports exactly what an
-// uninterrupted one would.
+// expanded into instances, every deviation task (Sybil split, misreport or
+// collusion, per game/deviation.hpp) is sharded across the shared
+// work-stealing pool, and each finished task is appended to a JSONL file
+// and flushed — a killed sweep loses at most the in-flight tasks.
+// Re-running with resume skips every task whose key is already checkpointed
+// while still folding its stored ratio into the final aggregate, so an
+// interrupted-and-resumed sweep reports exactly what an uninterrupted one
+// would.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "game/sybil_ring.hpp"
+#include "game/deviation.hpp"
 #include "util/perf_counters.hpp"
 
 namespace ringshare::exp {
@@ -39,36 +41,58 @@ struct FamilySpec {
 };
 
 struct SweepDriverOptions {
-  game::SybilOptions sybil;
+  /// Deviation kinds to sweep, in enumeration order per instance.
+  std::vector<game::DeviationKind> kinds = {game::DeviationKind::kSybil};
+  /// Shared piece-solver switches (all kinds run the same pipeline).
+  game::DeviationOptions solver;
   /// JSONL checkpoint path; empty streams nowhere (pure in-memory sweep).
   std::string output_path;
   /// Skip tasks already present in output_path (by task key).
   bool resume = true;
 };
 
-/// One (instance, vertex) task result as streamed to JSONL.
+/// One deviation-task result as streamed to JSONL.
 struct SweepTaskRecord {
   std::size_t instance = 0;
+  game::DeviationKind kind = game::DeviationKind::kSybil;
   graph::Vertex vertex = 0;
+  graph::Vertex partner = 0;  ///< collusion only
   Rational ratio;
-  Rational w1_star;
+  Rational t_star;  ///< sybil: w₁*; misreport / collusion: x*
   Rational utility;
   Rational honest_utility;
 
-  /// Stable checkpoint key: "i<instance>.v<vertex>".
+  /// Stable checkpoint key: "i<instance>.v<vertex>" (sybil, the historical
+  /// scheme — old checkpoints resume unchanged), "i<instance>.m<vertex>"
+  /// (misreport), "i<instance>.c<vertex>-<partner>" (collusion).
   [[nodiscard]] std::string key() const;
   /// One JSON object, no trailing newline. Exact values are strings
-  /// ("p/q"), with a ratio_double convenience field alongside.
+  /// ("p/q"), with a ratio_double convenience field alongside. Sybil
+  /// records also carry the legacy "w1_star" field (= t_star).
   [[nodiscard]] std::string to_jsonl() const;
+};
+
+/// Per-deviation-kind slice of the aggregate.
+struct KindAggregate {
+  std::size_t tasks = 0;  ///< enumerated tasks of this kind (run + skipped)
+  bool any = false;       ///< true once a ratio was folded in
+  Rational max_ratio;     ///< meaningful only when `any`
+  std::size_t argmax_instance = 0;
+  graph::Vertex argmax_vertex = 0;
+  graph::Vertex argmax_partner = 0;  ///< collusion only
 };
 
 struct SweepDriverReport {
   std::size_t tasks_total = 0;
   std::size_t tasks_skipped = 0;  ///< resumed from the checkpoint file
   std::size_t tasks_run = 0;
-  Rational max_ratio;             ///< over run AND resumed tasks
+  Rational max_ratio;             ///< over run AND resumed tasks, all kinds
+  game::DeviationKind argmax_kind = game::DeviationKind::kSybil;
   std::size_t argmax_instance = 0;
   graph::Vertex argmax_vertex = 0;
+  graph::Vertex argmax_partner = 0;
+  /// Indexed by static_cast<int>(DeviationKind).
+  std::array<KindAggregate, game::kDeviationKindCount> by_kind;
   double elapsed_seconds = 0.0;
   /// Perf-counter activity attributable to this run (after − before).
   util::PerfSnapshot counters;
@@ -80,8 +104,9 @@ struct SweepDriverReport {
     const std::string& path);
 
 /// Run the sweep: shard tasks on the shared pool, stream + checkpoint,
-/// aggregate. Throws std::invalid_argument on an empty instance list and
-/// std::runtime_error when the output file cannot be opened.
+/// aggregate (overall and per kind). Throws std::invalid_argument on an
+/// empty instance list and std::runtime_error when the output file cannot
+/// be opened.
 [[nodiscard]] SweepDriverReport run_sweep_driver(
     const std::vector<Graph>& rings, const SweepDriverOptions& options = {});
 

@@ -1,0 +1,240 @@
+#include "game/deviation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "graph/builders.hpp"
+#include "util/perf_counters.hpp"
+
+namespace ringshare::game {
+
+const char* to_string(DeviationKind kind) noexcept {
+  switch (kind) {
+    case DeviationKind::kSybil:
+      return "sybil";
+    case DeviationKind::kMisreport:
+      return "misreport";
+    case DeviationKind::kCollusion:
+      return "collusion";
+  }
+  return "unknown";
+}
+
+std::optional<DeviationKind> deviation_kind_from_string(std::string_view name) {
+  if (name == "sybil") return DeviationKind::kSybil;
+  if (name == "misreport") return DeviationKind::kMisreport;
+  if (name == "collusion") return DeviationKind::kCollusion;
+  return std::nullopt;
+}
+
+namespace {
+
+// Precondition checks usable from a constructor init list (members are
+// initialized before the constructor body runs).
+
+const Graph& require_misreport_args(const Graph& g, Vertex v) {
+  if (v >= g.vertex_count())
+    throw std::invalid_argument("MisreportOptimizer: vertex out of range");
+  if (g.weight(v).is_zero())
+    throw std::invalid_argument("MisreportOptimizer: w_v == 0");
+  return g;
+}
+
+const Graph& require_collusion_args(const Graph& ring, Vertex v,
+                                    Vertex partner) {
+  if (v >= ring.vertex_count() || partner >= ring.vertex_count())
+    throw std::invalid_argument("CollusionOptimizer: vertex out of range");
+  if ((ring.weight(v) + ring.weight(partner)).is_zero())
+    throw std::invalid_argument("CollusionOptimizer: w_v + w_partner == 0");
+  return ring;
+}
+
+}  // namespace
+
+ParametrizedGraph misreport_family(const Graph& g, Vertex v) {
+  if (v >= g.vertex_count())
+    throw std::invalid_argument("misreport_family: vertex out of range");
+  const Rational w_v = g.weight(v);
+  ParametrizedGraph pg(g, Rational(0), w_v);
+  pg.set_affine(v, AffineWeight{Rational(0), Rational(1)});  // report = t
+  return pg;
+}
+
+MisreportOptimizer::MisreportOptimizer(const Graph& g, Vertex v)
+    : vertex_(v),
+      honest_utility_(0),
+      family_(misreport_family(require_misreport_args(g, v), v)) {
+  honest_utility_ = Decomposition(g).utility(v);
+}
+
+Rational MisreportOptimizer::utility_at(const Rational& x) const {
+  return family_.decompose(x).utility(vertex_);
+}
+
+MisreportOptimum MisreportOptimizer::optimize(
+    const DeviationOptions& options) const {
+  util::PerfCounters::local().misreport_optimizations.fetch_add(
+      1, std::memory_order_relaxed);
+  const Vertex tracked[] = {vertex_};
+  const TrackedOptimum best =
+      optimize_tracked_utility(family_, tracked, options);
+
+  MisreportOptimum out;
+  out.x_star = best.t_star;
+  out.utility = best.utility;
+  out.honest_utility = honest_utility_;
+  if (out.honest_utility.is_zero())
+    throw std::domain_error("MisreportOptimizer: honest utility is zero");
+  out.ratio = out.utility / out.honest_utility;
+  return out;
+}
+
+CollusionMerge merge_adjacent(const Graph& ring, Vertex v, Vertex partner) {
+  if (ring.vertex_count() < 4)
+    throw std::invalid_argument(
+        "merge_adjacent: need n >= 4 (the contraction must leave a ring)");
+  // ring_order_from validates that `ring` is a single cycle.
+  const std::vector<Vertex> order = ring_order_from(ring, v);
+  if (partner != order.front() && partner != order.back())
+    throw std::invalid_argument("merge_adjacent: partner not adjacent to v");
+
+  // Contract {v, partner}: the merged agent replaces both, keeping the rest
+  // of the cycle order intact.
+  CollusionMerge out;
+  out.merged = 0;
+  out.to_original.reserve(ring.vertex_count() - 1);
+  out.to_original.push_back(v);
+  std::vector<Rational> weights;
+  weights.reserve(ring.vertex_count() - 1);
+  weights.push_back(ring.weight(v) + ring.weight(partner));
+  const std::size_t begin = partner == order.front() ? 1 : 0;
+  const std::size_t end =
+      partner == order.front() ? order.size() : order.size() - 1;
+  for (std::size_t i = begin; i < end; ++i) {
+    out.to_original.push_back(order[i]);
+    weights.push_back(ring.weight(order[i]));
+  }
+  out.ring = graph::make_ring(std::move(weights));
+  return out;
+}
+
+ParametrizedGraph collusion_family(const Graph& ring, Vertex v,
+                                   Vertex partner) {
+  CollusionMerge merge = merge_adjacent(ring, v, partner);
+  const Rational cap = ring.weight(v) + ring.weight(partner);
+  ParametrizedGraph pg(std::move(merge.ring), Rational(0), cap);
+  pg.set_affine(merge.merged, AffineWeight{Rational(0), Rational(1)});
+  return pg;
+}
+
+CollusionOptimizer::CollusionOptimizer(const Graph& ring, Vertex v,
+                                       Vertex partner)
+    : vertex_(v),
+      partner_(partner),
+      honest_utility_(0),
+      family_(
+          collusion_family(require_collusion_args(ring, v, partner), v,
+                           partner)) {
+  const Decomposition honest(ring);
+  honest_utility_ = honest.utility(v) + honest.utility(partner);
+}
+
+Rational CollusionOptimizer::utility_at(const Rational& x) const {
+  return family_.decompose(x).utility(0);
+}
+
+CollusionOptimum CollusionOptimizer::optimize(
+    const DeviationOptions& options) const {
+  util::PerfCounters::local().collusion_optimizations.fetch_add(
+      1, std::memory_order_relaxed);
+  const Vertex tracked[] = {0};
+  const TrackedOptimum best =
+      optimize_tracked_utility(family_, tracked, options);
+
+  CollusionOptimum out;
+  out.partner = partner_;
+  out.x_star = best.t_star;
+  out.utility = best.utility;
+  out.honest_utility = honest_utility_;
+  if (out.honest_utility.is_zero())
+    throw std::domain_error("CollusionOptimizer: honest utility is zero");
+  out.ratio = out.utility / out.honest_utility;
+  return out;
+}
+
+std::vector<DeviationTask> deviation_tasks(const Graph& ring,
+                                           DeviationKind kind) {
+  std::vector<DeviationTask> out;
+  switch (kind) {
+    case DeviationKind::kSybil:
+    case DeviationKind::kMisreport:
+      for (Vertex v = 0; v < ring.vertex_count(); ++v) {
+        if (ring.weight(v).is_zero()) continue;  // no weight to deviate with
+        out.push_back(DeviationTask{kind, v, 0});
+      }
+      break;
+    case DeviationKind::kCollusion:
+      if (ring.vertex_count() < 4) break;  // contraction would not be a ring
+      for (const auto& [u, v] : ring.edges()) {
+        if ((ring.weight(u) + ring.weight(v)).is_zero()) continue;
+        out.push_back(DeviationTask{kind, u, v});
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<DeviationTask> DeviationSweep::tasks(const Graph& ring) const {
+  std::vector<DeviationTask> out;
+  for (const DeviationKind kind : kinds) {
+    std::vector<DeviationTask> slice = deviation_tasks(ring, kind);
+    out.insert(out.end(), slice.begin(), slice.end());
+  }
+  return out;
+}
+
+DeviationOptimum DeviationSweep::run(const Graph& ring,
+                                     const DeviationTask& task) const {
+  return optimize_deviation(ring, task, options);
+}
+
+DeviationOptimum optimize_deviation(const Graph& ring,
+                                    const DeviationTask& task,
+                                    const DeviationOptions& options) {
+  DeviationOptimum out;
+  out.kind = task.kind;
+  out.vertex = task.vertex;
+  out.partner = task.partner;
+  switch (task.kind) {
+    case DeviationKind::kSybil: {
+      const SybilOptimum r = optimize_sybil_split(ring, task.vertex, options);
+      out.t_star = r.w1_star;
+      out.utility = r.utility;
+      out.honest_utility = r.honest_utility;
+      out.ratio = r.ratio;
+      break;
+    }
+    case DeviationKind::kMisreport: {
+      const MisreportOptimum r =
+          MisreportOptimizer(ring, task.vertex).optimize(options);
+      out.partner = 0;
+      out.t_star = r.x_star;
+      out.utility = r.utility;
+      out.honest_utility = r.honest_utility;
+      out.ratio = r.ratio;
+      break;
+    }
+    case DeviationKind::kCollusion: {
+      const CollusionOptimum r =
+          CollusionOptimizer(ring, task.vertex, task.partner).optimize(options);
+      out.t_star = r.x_star;
+      out.utility = r.utility;
+      out.honest_utility = r.honest_utility;
+      out.ratio = r.ratio;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ringshare::game

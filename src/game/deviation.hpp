@@ -1,0 +1,190 @@
+// deviation.hpp — the unified deviation engine: misreport and collusion
+// optimizers at full parity with the Sybil split solver, plus the
+// DeviationSweep front-end that enumerates and dispatches every deviation
+// kind over an instance.
+//
+// The incentive-ratio-2 theorem is proved against the full deviation
+// space — unilateral misreports (Section III-B) and coalition strategies,
+// not only Sybil splits. Each deviation here is a one-parameter weight
+// family, so all three share the exact piece-solver pipeline
+// (game/piece_solver.hpp):
+//
+//   * misreport — agent v reports x ∈ [0, w_v] on the unchanged graph;
+//     Theorem 10 (U_v continuous, monotone non-decreasing) predicts the
+//     optimum at x = w_v, i.e. ratio exactly 1 — the optimizer certifies it.
+//   * collusion — adjacent agents v and its partner merge into one
+//     false-name-free coalition identity (the inverse of a Sybil split):
+//     the ring edge {v, partner} is contracted and the merged agent
+//     reports x ∈ [0, w_v + w_partner]. The coalition's transferable
+//     utility U_m(x) is compared against U_v + U_partner on the honest
+//     ring.
+//   * sybil — the split of game/sybil_ring.hpp, dispatched through the
+//     same front-end.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "game/sybil_ring.hpp"
+
+namespace ringshare::game {
+
+/// The deviation families of the incentive-ratio analysis.
+enum class DeviationKind {
+  kSybil = 0,      ///< split one ring agent into two path endpoints
+  kMisreport = 1,  ///< one agent under-reports its weight
+  kCollusion = 2,  ///< two adjacent agents merge and report jointly
+};
+inline constexpr int kDeviationKindCount = 3;
+
+[[nodiscard]] const char* to_string(DeviationKind kind) noexcept;
+/// Parse "sybil" / "misreport" / "collusion"; nullopt otherwise.
+[[nodiscard]] std::optional<DeviationKind> deviation_kind_from_string(
+    std::string_view name);
+
+/// Shared solver options (the Sybil option set drives every kind).
+using DeviationOptions = PieceSolveOptions;
+
+/// The misreport family of v on g: w_v(x) = x over [0, w_v], every other
+/// weight fixed (the ParametrizedGraph behind MisreportAnalysis).
+[[nodiscard]] ParametrizedGraph misreport_family(const Graph& g, Vertex v);
+
+/// Result of the exact misreport optimization for one vertex.
+struct MisreportOptimum {
+  Rational x_star;          ///< best report found
+  Rational utility;         ///< exact U_v(x_star)
+  Rational honest_utility;  ///< exact U_v(w_v) (truthful report)
+  Rational ratio;           ///< utility / honest_utility
+};
+
+/// Exact misreport optimizer for one (graph, vertex) pair: builds the
+/// misreport family once, then runs the shared piece-solver pipeline.
+class MisreportOptimizer {
+ public:
+  /// Requires w_v > 0 (throws std::invalid_argument otherwise).
+  MisreportOptimizer(const Graph& g, Vertex v);
+
+  [[nodiscard]] Vertex vertex() const noexcept { return vertex_; }
+  [[nodiscard]] const ParametrizedGraph& family() const noexcept {
+    return family_;
+  }
+
+  /// Exact U_v(x) — for differential tests.
+  [[nodiscard]] Rational utility_at(const Rational& x) const;
+
+  /// Maximize U_v(x) over x ∈ [0, w_v]. Theorem 10 makes the truthful
+  /// report optimal, so the certified ratio is exactly 1 on correct
+  /// decompositions — any ratio ≠ 1 is a monotonicity counterexample.
+  [[nodiscard]] MisreportOptimum optimize(
+      const DeviationOptions& options = {}) const;
+
+ private:
+  Vertex vertex_;
+  Rational honest_utility_;
+  ParametrizedGraph family_;
+};
+
+/// The contracted ring of a two-agent coalition, with bookkeeping back to
+/// the original ring. The merged agent sits at vertex 0.
+struct CollusionMerge {
+  Graph ring;                        ///< n−1 vertices, merged agent first
+  Vertex merged;                     ///< = 0
+  std::vector<Vertex> to_original;   ///< merged-ring vertex -> ring vertex
+                                     ///< (merged -> v; partner is absorbed)
+};
+
+/// Contract the ring edge {v, partner} into one coalition agent of weight
+/// w_v + w_partner. Requires a ring of n ≥ 4 (the contraction must leave a
+/// ring) and partner adjacent to v.
+[[nodiscard]] CollusionMerge merge_adjacent(const Graph& ring, Vertex v,
+                                            Vertex partner);
+
+/// The collusion family: the merged ring with the coalition's report as the
+/// parameter, w_m(x) = x over [0, w_v + w_partner].
+[[nodiscard]] ParametrizedGraph collusion_family(const Graph& ring, Vertex v,
+                                                 Vertex partner);
+
+/// Result of the exact collusion optimization for one adjacent pair.
+struct CollusionOptimum {
+  Vertex partner;           ///< the absorbed neighbor
+  Rational x_star;          ///< best coalition report found
+  Rational utility;         ///< exact U_m(x_star) on the merged ring
+  Rational honest_utility;  ///< exact U_v + U_partner on the honest ring
+  Rational ratio;           ///< utility / honest_utility (may be < 1: the
+                            ///< merge itself can hurt the coalition)
+};
+
+/// Exact collusion optimizer for one (ring, v, partner) coalition.
+class CollusionOptimizer {
+ public:
+  /// Requires n ≥ 4, partner adjacent to v, and w_v + w_partner > 0.
+  CollusionOptimizer(const Graph& ring, Vertex v, Vertex partner);
+
+  [[nodiscard]] Vertex vertex() const noexcept { return vertex_; }
+  [[nodiscard]] Vertex partner() const noexcept { return partner_; }
+  [[nodiscard]] const ParametrizedGraph& family() const noexcept {
+    return family_;
+  }
+
+  /// Exact U_m(x) on the merged ring — for differential tests.
+  [[nodiscard]] Rational utility_at(const Rational& x) const;
+
+  /// Maximize the coalition utility over its reports.
+  [[nodiscard]] CollusionOptimum optimize(
+      const DeviationOptions& options = {}) const;
+
+ private:
+  Vertex vertex_;
+  Vertex partner_;
+  Rational honest_utility_;
+  ParametrizedGraph family_;
+};
+
+/// One deviation task: a kind plus its actors. `partner` is meaningful for
+/// collusion only (the absorbed neighbor).
+struct DeviationTask {
+  DeviationKind kind = DeviationKind::kSybil;
+  Vertex vertex = 0;
+  Vertex partner = 0;
+};
+
+/// Unified per-task outcome across all kinds. For sybil, t_star is w₁*;
+/// for misreport/collusion it is the optimal report x*.
+struct DeviationOptimum {
+  DeviationKind kind = DeviationKind::kSybil;
+  Vertex vertex = 0;
+  Vertex partner = 0;  ///< collusion only
+  Rational t_star;
+  Rational utility;
+  Rational honest_utility;
+  Rational ratio;
+};
+
+/// Unified front-end: enumerate and dispatch deviation tasks of any kind,
+/// so sweep drivers and benches treat the three families uniformly.
+struct DeviationSweep {
+  std::vector<DeviationKind> kinds = {DeviationKind::kSybil};
+  DeviationOptions options;
+
+  /// All tasks of the configured kinds on one ring: sybil and misreport
+  /// contribute one task per vertex; collusion one per ring edge (each
+  /// coalition counted once, vertex < partner).
+  [[nodiscard]] std::vector<DeviationTask> tasks(const Graph& ring) const;
+
+  /// Solve one task exactly.
+  [[nodiscard]] DeviationOptimum run(const Graph& ring,
+                                     const DeviationTask& task) const;
+};
+
+/// Tasks of a single kind (the per-kind slice of DeviationSweep::tasks).
+[[nodiscard]] std::vector<DeviationTask> deviation_tasks(const Graph& ring,
+                                                         DeviationKind kind);
+
+/// Solve one deviation task exactly (free-function form).
+[[nodiscard]] DeviationOptimum optimize_deviation(
+    const Graph& ring, const DeviationTask& task,
+    const DeviationOptions& options = {});
+
+}  // namespace ringshare::game

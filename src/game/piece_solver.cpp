@@ -1,0 +1,279 @@
+#include "game/piece_solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+#include "util/perf_counters.hpp"
+
+namespace ringshare::game {
+
+using num::Polynomial;
+using num::RootBracket;
+
+std::optional<Rational> PieceUtility::try_at(const Rational& t) const {
+  const Rational w = weight.at(t);
+  std::optional<Rational> value;
+  if (w.is_zero()) {
+    value = Rational(0);
+  } else {
+    switch (cls) {
+      case bd::VertexClass::kB: {
+        const Rational den = alpha.den_c + alpha.den_s * t;
+        if (den.is_zero()) return std::nullopt;
+        value = w * (alpha.num_c + alpha.num_s * t) / den;
+        break;
+      }
+      case bd::VertexClass::kC: {
+        const Rational num = alpha.num_c + alpha.num_s * t;
+        if (num.is_zero()) return std::nullopt;
+        value = w * (alpha.den_c + alpha.den_s * t) / num;
+        break;
+      }
+      case bd::VertexClass::kBoth:
+        value = w;
+        break;
+    }
+  }
+  if (!value) throw std::logic_error("PieceUtility: bad class");
+  if (value->is_negative())
+    throw std::logic_error(
+        "PieceUtility: negative piece utility — decomposition bug");
+  return value;
+}
+
+std::pair<Polynomial, Polynomial> PieceUtility::as_rational_function() const {
+  const Polynomial w = Polynomial::linear(weight.constant, weight.slope);
+  const Polynomial num = Polynomial::linear(alpha.num_c, alpha.num_s);
+  const Polynomial den = Polynomial::linear(alpha.den_c, alpha.den_s);
+  switch (cls) {
+    case bd::VertexClass::kB:
+      return {w * num, den};
+    case bd::VertexClass::kC:
+      return {w * den, num};
+    case bd::VertexClass::kBoth:
+      return {w, Polynomial::constant(Rational(1))};
+  }
+  throw std::logic_error("PieceUtility: bad class");
+}
+
+PieceUtility piece_utility(const ParametrizedGraph& pg, const Signature& sig,
+                           Vertex v) {
+  for (const auto& [b, c] : sig) {
+    const bool in_b = std::binary_search(b.begin(), b.end(), v);
+    const bool in_c = std::binary_search(c.begin(), c.end(), v);
+    if (!in_b && !in_c) continue;
+    PieceUtility out;
+    out.weight = pg.weight_function(v);
+    out.alpha = alpha_function(pg, b, c);
+    out.cls = in_b && in_c ? bd::VertexClass::kBoth
+              : in_b       ? bd::VertexClass::kB
+                           : bd::VertexClass::kC;
+    return out;
+  }
+  throw std::logic_error("piece_utility: vertex not found in signature");
+}
+
+std::optional<Rational> piece_value(std::span<const PieceUtility> terms,
+                                    const Rational& t) {
+  Rational total(0);
+  for (const PieceUtility& term : terms) {
+    const std::optional<Rational> value = term.try_at(t);
+    if (!value) return std::nullopt;
+    total = total + *value;
+  }
+  return total;
+}
+
+void exact_piece_candidates(std::span<const PieceUtility> terms,
+                            const Rational& lo, const Rational& hi,
+                            std::vector<Rational>& out) {
+  // D = Σᵢ (Pᵢ′Qᵢ − PᵢQᵢ′)·Πⱼ≠ᵢ Qⱼ², assembled exactly. For the two-term
+  // Sybil split this is the historical n₁q₂² + n₂q₁².
+  std::vector<std::pair<Polynomial, Polynomial>> fractions;
+  fractions.reserve(terms.size());
+  for (const PieceUtility& term : terms)
+    fractions.push_back(term.as_rational_function());
+  Polynomial d;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const auto& [p, q] = fractions[i];
+    Polynomial numerator = p.derivative() * q - p * q.derivative();
+    for (std::size_t j = 0; j < fractions.size(); ++j) {
+      if (j == i) continue;
+      numerator = numerator * fractions[j].second * fractions[j].second;
+    }
+    d = d + numerator;
+  }
+
+  auto& tally = util::PerfCounters::local();
+  tally.piece_solver_pieces.fetch_add(1, std::memory_order_relaxed);
+  if (d.is_zero()) return;  // U constant on the piece: bounds cover it
+
+  for (const RootBracket& root : num::isolate_roots(d, lo, hi)) {
+    if (root.exact) {
+      tally.piece_solver_exact_roots.fetch_add(1, std::memory_order_relaxed);
+      out.push_back(root.lo);
+    } else {
+      tally.piece_solver_bracketed_roots.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      out.push_back(root.lo);
+      out.push_back(root.hi);
+      out.push_back(root.value());
+    }
+  }
+}
+
+void scan_piece_candidates(std::span<const PieceUtility> terms,
+                           const Rational& lo, const Rational& hi,
+                           const PieceSolveOptions& options,
+                           std::vector<Rational>& out,
+                           std::vector<Rational>* probes) {
+  const double lo_d = lo.to_double();
+  const double hi_d = hi.to_double();
+  auto eval_double = [&](double t) -> std::optional<double> {
+    Rational rt = Rational::from_double(t);
+    if (rt < lo) rt = lo;
+    if (hi < rt) rt = hi;
+    if (probes) probes->push_back(rt);
+    const std::optional<Rational> value = piece_value(terms, rt);
+    if (!value) return std::nullopt;  // degenerate α at this t
+    return value->to_double();
+  };
+
+  // Dense scan then bracket shrink around the best sample.
+  double best_t = lo_d;
+  std::optional<double> best_u = eval_double(lo_d);
+  const int samples = std::max(2, options.samples_per_piece);
+  for (int i = 0; i <= samples; ++i) {
+    const double t = lo_d + (hi_d - lo_d) * static_cast<double>(i) / samples;
+    const std::optional<double> value = eval_double(t);
+    if (value && (!best_u || *value > *best_u)) {
+      best_u = value;
+      best_t = t;
+    }
+  }
+  double radius = (hi_d - lo_d) / samples;
+  for (int round = 0; round < options.refinement_rounds && radius > 0;
+       ++round) {
+    const double left = std::max(lo_d, best_t - radius);
+    const double right = std::min(hi_d, best_t + radius);
+    for (int i = 0; i <= 8; ++i) {
+      const double t = left + (right - left) * static_cast<double>(i) / 8;
+      const std::optional<double> value = eval_double(t);
+      if (value && (!best_u || *value > *best_u)) {
+        best_u = value;
+        best_t = t;
+      }
+    }
+    radius /= 4;
+  }
+  Rational best_rational = Rational::from_double(best_t);
+  if (best_rational < lo) best_rational = lo;
+  if (hi < best_rational) best_rational = hi;
+  out.push_back(std::move(best_rational));
+  out.push_back(Rational::midpoint(lo, hi));
+}
+
+void cross_check_piece(std::span<const PieceUtility> terms, const Rational& lo,
+                       const Rational& hi,
+                       const std::vector<Rational>& exact_candidates,
+                       const PieceSolveOptions& options) {
+  std::optional<Rational> exact_best;
+  auto consider = [&](const Rational& t) {
+    const std::optional<Rational> value = piece_value(terms, t);
+    if (value && (!exact_best || *exact_best < *value)) exact_best = *value;
+  };
+  consider(lo);
+  consider(hi);
+  for (const Rational& t : exact_candidates) consider(t);
+
+  std::vector<Rational> scan_out;
+  std::vector<Rational> probes;
+  scan_piece_candidates(terms, lo, hi, options, scan_out, &probes);
+  for (const Rational& t : probes) {
+    const std::optional<Rational> value = piece_value(terms, t);
+    if (!value) continue;  // degenerate α: the scan skipped it too
+    if (!exact_best || *exact_best < *value)
+      throw std::logic_error(
+          "optimize_tracked_utility: scan sample exceeds the exact per-piece "
+          "optimum (exact solver missed a candidate)");
+  }
+}
+
+TrackedOptimum optimize_tracked_utility(const ParametrizedGraph& family,
+                                        std::span<const Vertex> tracked,
+                                        const PieceSolveOptions& options) {
+  if (tracked.empty())
+    throw std::invalid_argument("optimize_tracked_utility: no tracked vertex");
+  StructurePartition partition;
+  {
+    util::ScopedPhase phase(util::Phase::kPartition);
+    partition = find_structure_partition(family, options.partition);
+  }
+
+  // Candidate parameters: range ends, breakpoints, and per-piece interior
+  // candidates (exact stationary points, or the legacy scan's best).
+  std::vector<Rational> candidates = {family.t_lo(), family.t_hi()};
+  for (const Breakpoint& bp : partition.breakpoints) {
+    candidates.push_back(bp.value);
+    if (!bp.exact) {
+      // Irrational crossing: the true breakpoint lies strictly inside
+      // [bp.lo, bp.hi] and the piece utilities are monotone right up to it,
+      // so the in-piece bracket endpoints are the best attainable parameters
+      // near the boundary — strictly closer than any double-precision scan
+      // sample can get.
+      candidates.push_back(bp.lo);
+      candidates.push_back(bp.hi);
+    }
+  }
+
+  std::vector<std::vector<Rational>> piece_candidates(partition.piece_count());
+  {
+    util::ScopedPhase phase(util::Phase::kPieceSolve);
+    // Pieces are independent; on a pool worker (instance sweeps) this
+    // participates in the work-stealing pool instead of serializing.
+    util::parallel_for(0, partition.piece_count(), [&](std::size_t piece) {
+      const auto [lo, hi] = partition.piece_bounds(piece);
+      if (!(lo < hi)) return;
+      const Signature& sig = partition.piece_signatures[piece];
+      std::vector<PieceUtility> terms;
+      terms.reserve(tracked.size());
+      for (const Vertex v : tracked)
+        terms.push_back(piece_utility(family, sig, v));
+      std::vector<Rational>& out = piece_candidates[piece];
+      if (options.use_exact_piece_solver) {
+        exact_piece_candidates(terms, lo, hi, out);
+        if (options.cross_check)
+          cross_check_piece(terms, lo, hi, out, options);
+      } else {
+        scan_piece_candidates(terms, lo, hi, options, out);
+      }
+    });
+  }
+  for (std::vector<Rational>& piece : piece_candidates)
+    for (Rational& t : piece) candidates.push_back(std::move(t));
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Ground truth for every candidate: full exact decomposition of the
+  // deviated graph. family.decompose(t) warm-starts consecutive candidates
+  // off each other.
+  util::ScopedPhase eval_phase(util::Phase::kCandidateEval);
+  TrackedOptimum out;
+  bool first = true;
+  for (const Rational& t : candidates) {
+    const Decomposition decomposition = family.decompose(t);
+    Rational value(0);
+    for (const Vertex v : tracked) value = value + decomposition.utility(v);
+    if (first || out.utility < value) {
+      out.utility = value;
+      out.t_star = t;
+      first = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace ringshare::game

@@ -1,0 +1,134 @@
+// piece_solver.hpp — the reusable exact piece-optimization layer.
+//
+// Every deviation the paper analyzes (misreport, Sybil split, coalition
+// merge) is a one-parameter weight family: inside a structure piece the
+// pair sets are fixed, so each tracked vertex's utility is a rational
+// function P(t)/Q(t) with deg P ≤ 2 and deg Q ≤ 1 (weight affine, α
+// linear-fractional). Maximizing the tracked total over the piece therefore
+// reduces to the sign-changing roots of an exact low-degree polynomial —
+// the derivative numerator of Σᵢ Pᵢ/Qᵢ. This module holds that machinery,
+// extracted from the Sybil-only solver of PR 2 so the misreport and
+// collusion optimizers (game/deviation.*) share one exactly-solved core:
+//
+//   * PieceUtility        — one tracked vertex's closed-form piece utility;
+//   * exact_piece_candidates — stationary-point enumeration (Layer 4);
+//   * scan_piece_candidates  — the legacy dense scan (reference engine);
+//   * cross_check_piece      — exact-dominates-every-scan-sample assertion;
+//   * optimize_tracked_utility — the full candidate pipeline (partition →
+//     per-piece candidates → exact re-evaluation by decomposition).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "game/breakpoints.hpp"
+#include "numeric/poly_roots.hpp"
+
+namespace ringshare::game {
+
+/// Solver switches shared by every deviation optimizer (the Sybil solver's
+/// historical option set; game/sybil_ring.hpp aliases it as SybilOptions).
+struct PieceSolveOptions {
+  /// Use the exact per-piece optimizer (Layer 4): inside a piece the
+  /// signature is fixed, so U(t) is a low-degree rational function whose
+  /// stationary points are enumerated exactly (closed-form / integer-sqrt
+  /// roots, isolating brackets for irrational ones) — endpoints + ≤ a few
+  /// stationary candidates replace the dense scan. When false, the legacy
+  /// 64-sample scan + refinement runs instead (the PR-1 engine).
+  bool use_exact_piece_solver = true;
+  /// Run BOTH the exact solver and the legacy scan, asserting (exactly)
+  /// that the per-piece exact optimum dominates every scan sample. Throws
+  /// std::logic_error on violation. Expensive — differential testing only.
+  bool cross_check = false;
+  /// Samples per structure piece in the legacy per-piece scan.
+  int samples_per_piece = 64;
+  /// Local refinement rounds (each shrinks the bracket 4x around the best).
+  int refinement_rounds = 40;
+  /// Structure partition resolution.
+  PartitionOptions partition;
+};
+
+/// Closed-form utility of one tracked vertex inside a structure piece: the
+/// signature fixes the pair sets, so U(t) = w(t)·α(t) (B class),
+/// w(t)/α(t) (C class) or w(t) (B = C), with α linear-fractional.
+struct PieceUtility {
+  AffineWeight weight;
+  AlphaFunction alpha;
+  bd::VertexClass cls;
+
+  /// Exact value at t, or nullopt when the class division degenerates there
+  /// (zero α denominator for B, zero α for C — possible only at piece
+  /// endpoints where a sum of weights vanishes). A *negative* value is
+  /// never legitimate and throws std::logic_error instead of hiding behind
+  /// a sentinel.
+  [[nodiscard]] std::optional<Rational> try_at(const Rational& t) const;
+
+  /// Numerator/denominator polynomials of U(t) = P(t)/Q(t):
+  /// deg P ≤ 2, deg Q ≤ 1.
+  [[nodiscard]] std::pair<num::Polynomial, num::Polynomial>
+  as_rational_function() const;
+};
+
+/// Build the piece utility of `v` from a piece signature. Throws
+/// std::logic_error when v appears in no pair of the signature.
+[[nodiscard]] PieceUtility piece_utility(const ParametrizedGraph& pg,
+                                         const Signature& sig, Vertex v);
+
+/// Exact Σᵢ terms[i](t), degenerate α propagating as nullopt.
+[[nodiscard]] std::optional<Rational> piece_value(
+    std::span<const PieceUtility> terms, const Rational& t);
+
+/// Layer 4 — exact per-piece optimizer. Inside the piece
+/// U(t) = Σᵢ Pᵢ/Qᵢ with deg Pᵢ ≤ 2, deg Qᵢ ≤ 1, so U′ has exact numerator
+/// D = Σᵢ (Pᵢ′Qᵢ − PᵢQᵢ′)·Πⱼ≠ᵢ Qⱼ² of degree ≤ 2 + 2·terms (4 for the
+/// two-copy Sybil split, 2 for a single-vertex misreport). The piece
+/// maximum sits at the piece bounds (already candidates) or at a
+/// sign-changing root of D: rational roots are emitted exactly, irrational
+/// ones as tight bracket endpoints + midpoint (all inside [lo, hi]).
+void exact_piece_candidates(std::span<const PieceUtility> terms,
+                            const Rational& lo, const Rational& hi,
+                            std::vector<Rational>& out);
+
+/// The legacy PR-1 dense scan: 64 double samples per piece plus bracket
+/// refinement, typed degenerate-α handling (skipped samples instead of a
+/// negative sentinel). Kept for PieceSolveOptions::use_exact_piece_solver
+/// == false and as the cross-check reference. When `probes` is given, every
+/// evaluated sample point is recorded (clamped into [lo, hi]) so the
+/// cross-check can assert exact dominance over each one.
+void scan_piece_candidates(std::span<const PieceUtility> terms,
+                           const Rational& lo, const Rational& hi,
+                           const PieceSolveOptions& options,
+                           std::vector<Rational>& out,
+                           std::vector<Rational>* probes = nullptr);
+
+/// Cross-check (PieceSolveOptions::cross_check): the exact per-piece
+/// optimum — max of the piece formula over bounds + exact candidates — must
+/// dominate EVERY probe the legacy scan evaluates (dense grid and
+/// refinement rounds alike), compared exactly. Throws std::logic_error on
+/// violation.
+void cross_check_piece(std::span<const PieceUtility> terms, const Rational& lo,
+                       const Rational& hi,
+                       const std::vector<Rational>& exact_candidates,
+                       const PieceSolveOptions& options);
+
+/// Result of the generic one-parameter maximization.
+struct TrackedOptimum {
+  Rational t_star;   ///< best parameter found
+  Rational utility;  ///< exact Σ_{v ∈ tracked} U_v(t_star)
+};
+
+/// Maximize Σ_{v ∈ tracked} U_v(t) over the family's parameter range: exact
+/// structure partition, then per piece either the exact stationary-point
+/// solver (default) or the legacy dense scan, then exact re-evaluation of
+/// every candidate by full decomposition. The returned utility is therefore
+/// an exact value attained at a concrete t_star — a certified lower bound
+/// on the supremum that empirically meets it. Piece candidate generation
+/// runs in parallel on the shared pool (it participates in, rather than
+/// serializes under, an enclosing instance sweep).
+[[nodiscard]] TrackedOptimum optimize_tracked_utility(
+    const ParametrizedGraph& family, std::span<const Vertex> tracked,
+    const PieceSolveOptions& options = {});
+
+}  // namespace ringshare::game

@@ -1,19 +1,11 @@
 #include "game/sybil_ring.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <optional>
 #include <stdexcept>
 
 #include "graph/builders.hpp"
-#include "numeric/poly_roots.hpp"
-#include "util/parallel.hpp"
-#include "util/perf_counters.hpp"
 
 namespace ringshare::game {
-
-using num::Polynomial;
-using num::RootBracket;
 
 std::vector<Vertex> ring_order_from(const Graph& ring, Vertex v) {
   if (v >= ring.vertex_count())
@@ -111,219 +103,6 @@ std::pair<Rational, Rational> honest_split_weights(const Graph& ring,
   return {allocation.sent(v, successor), allocation.sent(v, predecessor)};
 }
 
-namespace {
-
-/// Closed-form utility of one split copy inside a structure piece: the
-/// signature fixes the pair sets, so U_copy(t) = w(t)·α(t) (B class),
-/// w(t)/α(t) (C class) or w(t) (B = C), with α linear-fractional.
-struct CopyUtility {
-  AffineWeight weight;
-  AlphaFunction alpha;
-  bd::VertexClass cls;
-
-  /// Exact value at t, or nullopt when the class division degenerates there
-  /// (zero α denominator for B, zero α for C — possible only at piece
-  /// endpoints where a sum of weights vanishes). A *negative* value is
-  /// never legitimate and throws std::logic_error instead of hiding behind
-  /// a sentinel.
-  [[nodiscard]] std::optional<Rational> try_at(const Rational& t) const {
-    const Rational w = weight.at(t);
-    std::optional<Rational> value;
-    if (w.is_zero()) {
-      value = Rational(0);
-    } else {
-      switch (cls) {
-        case bd::VertexClass::kB: {
-          const Rational den = alpha.den_c + alpha.den_s * t;
-          if (den.is_zero()) return std::nullopt;
-          value = w * (alpha.num_c + alpha.num_s * t) / den;
-          break;
-        }
-        case bd::VertexClass::kC: {
-          const Rational num = alpha.num_c + alpha.num_s * t;
-          if (num.is_zero()) return std::nullopt;
-          value = w * (alpha.den_c + alpha.den_s * t) / num;
-          break;
-        }
-        case bd::VertexClass::kBoth:
-          value = w;
-          break;
-      }
-    }
-    if (!value) throw std::logic_error("CopyUtility: bad class");
-    if (value->is_negative())
-      throw std::logic_error(
-          "CopyUtility: negative piece utility — decomposition bug");
-    return value;
-  }
-
-  /// Numerator/denominator polynomials of U_copy(t) = P(t)/Q(t):
-  /// deg P ≤ 2, deg Q ≤ 1.
-  [[nodiscard]] std::pair<Polynomial, Polynomial> as_rational_function() const {
-    const Polynomial w = Polynomial::linear(weight.constant, weight.slope);
-    const Polynomial num = Polynomial::linear(alpha.num_c, alpha.num_s);
-    const Polynomial den = Polynomial::linear(alpha.den_c, alpha.den_s);
-    switch (cls) {
-      case bd::VertexClass::kB:
-        return {w * num, den};
-      case bd::VertexClass::kC:
-        return {w * den, num};
-      case bd::VertexClass::kBoth:
-        return {w, Polynomial::constant(Rational(1))};
-    }
-    throw std::logic_error("CopyUtility: bad class");
-  }
-};
-
-CopyUtility copy_utility(const ParametrizedGraph& pg, const Signature& sig,
-                         Vertex copy) {
-  for (const auto& [b, c] : sig) {
-    const bool in_b = std::binary_search(b.begin(), b.end(), copy);
-    const bool in_c = std::binary_search(c.begin(), c.end(), copy);
-    if (!in_b && !in_c) continue;
-    CopyUtility out;
-    out.weight = pg.weight_function(copy);
-    out.alpha = alpha_function(pg, b, c);
-    out.cls = in_b && in_c ? bd::VertexClass::kBoth
-              : in_b       ? bd::VertexClass::kB
-                           : bd::VertexClass::kC;
-    return out;
-  }
-  throw std::logic_error("copy_utility: copy not found in signature");
-}
-
-/// Exact total piece utility at t, degenerate α propagating as nullopt.
-std::optional<Rational> piece_value(const CopyUtility& u1,
-                                    const CopyUtility& u2, const Rational& t) {
-  const std::optional<Rational> a = u1.try_at(t);
-  if (!a) return std::nullopt;
-  const std::optional<Rational> b = u2.try_at(t);
-  if (!b) return std::nullopt;
-  return *a + *b;
-}
-
-/// Layer 4 — exact per-piece optimizer. Inside the piece
-/// U(t) = P₁/Q₁ + P₂/Q₂ with deg Pᵢ ≤ 2, deg Qᵢ ≤ 1, so U′ has exact
-/// numerator D = (P₁′Q₁ − P₁Q₁′)·Q₂² + (P₂′Q₂ − P₂Q₂′)·Q₁² of degree ≤ 4.
-/// The piece maximum sits at the piece bounds (already candidates) or at a
-/// sign-changing root of D: rational roots are emitted exactly, irrational
-/// ones as tight bracket endpoints + midpoint (all inside [lo, hi]).
-void exact_piece_candidates(const CopyUtility& u1, const CopyUtility& u2,
-                            const Rational& lo, const Rational& hi,
-                            std::vector<Rational>& out) {
-  const auto [p1, q1] = u1.as_rational_function();
-  const auto [p2, q2] = u2.as_rational_function();
-  const Polynomial n1 = p1.derivative() * q1 - p1 * q1.derivative();
-  const Polynomial n2 = p2.derivative() * q2 - p2 * q2.derivative();
-  const Polynomial d = n1 * q2 * q2 + n2 * q1 * q1;
-
-  auto& tally = util::PerfCounters::local();
-  tally.piece_solver_pieces.fetch_add(1, std::memory_order_relaxed);
-  if (d.is_zero()) return;  // U constant on the piece: bounds cover it
-
-  for (const RootBracket& root : num::isolate_roots(d, lo, hi)) {
-    if (root.exact) {
-      tally.piece_solver_exact_roots.fetch_add(1, std::memory_order_relaxed);
-      out.push_back(root.lo);
-    } else {
-      tally.piece_solver_bracketed_roots.fetch_add(1,
-                                                   std::memory_order_relaxed);
-      out.push_back(root.lo);
-      out.push_back(root.hi);
-      out.push_back(root.value());
-    }
-  }
-}
-
-/// The legacy PR-1 dense scan: 64 double samples per piece plus bracket
-/// refinement, typed degenerate-α handling (skipped samples instead of a
-/// negative sentinel). Kept for SybilOptions::use_exact_piece_solver ==
-/// false and as the cross-check reference. When `probes` is given, every
-/// evaluated sample point is recorded (clamped into [lo, hi]) so the
-/// cross-check can assert exact dominance over each one.
-void scan_piece_candidates(const CopyUtility& u1, const CopyUtility& u2,
-                           const Rational& lo, const Rational& hi,
-                           const SybilOptions& options,
-                           std::vector<Rational>& out,
-                           std::vector<Rational>* probes = nullptr) {
-  const double lo_d = lo.to_double();
-  const double hi_d = hi.to_double();
-  auto eval_double = [&](double t) -> std::optional<double> {
-    Rational rt = Rational::from_double(t);
-    if (rt < lo) rt = lo;
-    if (hi < rt) rt = hi;
-    if (probes) probes->push_back(rt);
-    const std::optional<Rational> value = piece_value(u1, u2, rt);
-    if (!value) return std::nullopt;  // degenerate α at this t
-    return value->to_double();
-  };
-
-  // Dense scan then bracket shrink around the best sample.
-  double best_t = lo_d;
-  std::optional<double> best_u = eval_double(lo_d);
-  const int samples = std::max(2, options.samples_per_piece);
-  for (int i = 0; i <= samples; ++i) {
-    const double t = lo_d + (hi_d - lo_d) * static_cast<double>(i) / samples;
-    const std::optional<double> value = eval_double(t);
-    if (value && (!best_u || *value > *best_u)) {
-      best_u = value;
-      best_t = t;
-    }
-  }
-  double radius = (hi_d - lo_d) / samples;
-  for (int round = 0; round < options.refinement_rounds && radius > 0;
-       ++round) {
-    const double left = std::max(lo_d, best_t - radius);
-    const double right = std::min(hi_d, best_t + radius);
-    for (int i = 0; i <= 8; ++i) {
-      const double t = left + (right - left) * static_cast<double>(i) / 8;
-      const std::optional<double> value = eval_double(t);
-      if (value && (!best_u || *value > *best_u)) {
-        best_u = value;
-        best_t = t;
-      }
-    }
-    radius /= 4;
-  }
-  Rational best_rational = Rational::from_double(best_t);
-  if (best_rational < lo) best_rational = lo;
-  if (hi < best_rational) best_rational = hi;
-  out.push_back(std::move(best_rational));
-  out.push_back(Rational::midpoint(lo, hi));
-}
-
-/// Cross-check (SybilOptions::cross_check): the exact per-piece optimum —
-/// max of the piece formula over bounds + exact candidates — must dominate
-/// EVERY probe the legacy scan evaluates (dense grid and refinement rounds
-/// alike), compared exactly. Throws std::logic_error on violation.
-void cross_check_piece(const CopyUtility& u1, const CopyUtility& u2,
-                       const Rational& lo, const Rational& hi,
-                       const std::vector<Rational>& exact_candidates,
-                       const SybilOptions& options) {
-  std::optional<Rational> exact_best;
-  auto consider = [&](const Rational& t) {
-    const std::optional<Rational> value = piece_value(u1, u2, t);
-    if (value && (!exact_best || *exact_best < *value)) exact_best = *value;
-  };
-  consider(lo);
-  consider(hi);
-  for (const Rational& t : exact_candidates) consider(t);
-
-  std::vector<Rational> scan_out;
-  std::vector<Rational> probes;
-  scan_piece_candidates(u1, u2, lo, hi, options, scan_out, &probes);
-  for (const Rational& t : probes) {
-    const std::optional<Rational> value = piece_value(u1, u2, t);
-    if (!value) continue;  // degenerate α: the scan skipped it too
-    if (!exact_best || *exact_best < *value)
-      throw std::logic_error(
-          "optimize_sybil_split: scan sample exceeds the exact per-piece "
-          "optimum (exact solver missed a candidate)");
-  }
-}
-
-}  // namespace
-
 SybilOptimum optimize_sybil_split(const Graph& ring, Vertex v,
                                   const SybilOptions& options) {
   const Rational w_v = ring.weight(v);
@@ -333,73 +112,17 @@ SybilOptimum optimize_sybil_split(const Graph& ring, Vertex v,
   const ParametrizedGraph family = sybil_family(ring, v);
   const Vertex v1 = 0;
   const Vertex v2 = static_cast<Vertex>(family.base().vertex_count() - 1);
-  StructurePartition partition;
-  {
-    util::ScopedPhase phase(util::Phase::kPartition);
-    partition = find_structure_partition(family, options.partition);
-  }
+  const Vertex tracked[] = {v1, v2};
+  // The shared piece-solver pipeline (game/piece_solver.hpp): partition,
+  // per-piece exact/scan candidates, exact re-evaluation of every candidate
+  // by full decomposition of the split path.
+  const TrackedOptimum best =
+      optimize_tracked_utility(family, tracked, options);
 
-  // Candidate splits: range ends, breakpoints, and per-piece interior
-  // candidates (exact stationary points, or the legacy scan's best).
-  std::vector<Rational> candidates = {family.t_lo(), family.t_hi()};
-  for (const Breakpoint& bp : partition.breakpoints) {
-    candidates.push_back(bp.value);
-    if (!bp.exact) {
-      // Irrational crossing: the true breakpoint lies strictly inside
-      // [bp.lo, bp.hi] and the piece utilities are monotone right up to it,
-      // so the in-piece bracket endpoints are the best attainable splits
-      // near the boundary — strictly closer than any double-precision scan
-      // sample can get.
-      candidates.push_back(bp.lo);
-      candidates.push_back(bp.hi);
-    }
-  }
-
-  std::vector<std::vector<Rational>> piece_candidates(partition.piece_count());
-  {
-    util::ScopedPhase phase(util::Phase::kPieceSolve);
-    // Pieces are independent; on a pool worker (instance sweeps) this
-    // participates in the work-stealing pool instead of serializing.
-    util::parallel_for(0, partition.piece_count(), [&](std::size_t piece) {
-      const auto [lo, hi] = partition.piece_bounds(piece);
-      if (!(lo < hi)) return;
-      const Signature& sig = partition.piece_signatures[piece];
-      const CopyUtility u1 = copy_utility(family, sig, v1);
-      const CopyUtility u2 = copy_utility(family, sig, v2);
-      std::vector<Rational>& out = piece_candidates[piece];
-      if (options.use_exact_piece_solver) {
-        exact_piece_candidates(u1, u2, lo, hi, out);
-        if (options.cross_check)
-          cross_check_piece(u1, u2, lo, hi, out, options);
-      } else {
-        scan_piece_candidates(u1, u2, lo, hi, options, out);
-      }
-    });
-  }
-  for (std::vector<Rational>& piece : piece_candidates)
-    for (Rational& t : piece) candidates.push_back(std::move(t));
-
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-
-  // Ground truth for every candidate: full exact decomposition of the path.
-  // family.decompose(t) builds the same path graph split_ring would (v¹
-  // carries t, v² carries w_v − t) and warm-starts consecutive candidates
-  // off each other.
-  util::ScopedPhase eval_phase(util::Phase::kCandidateEval);
   SybilOptimum out;
+  out.w1_star = best.t_star;
+  out.utility = best.utility;
   out.honest_utility = Decomposition(ring).utility(v);
-  bool first = true;
-  for (const Rational& t : candidates) {
-    const Decomposition decomposition = family.decompose(t);
-    const Rational value = decomposition.utility(v1) + decomposition.utility(v2);
-    if (first || out.utility < value) {
-      out.utility = value;
-      out.w1_star = t;
-      first = false;
-    }
-  }
   if (out.honest_utility.is_zero())
     throw std::domain_error("optimize_sybil_split: honest utility is zero");
   out.ratio = out.utility / out.honest_utility;

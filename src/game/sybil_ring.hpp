@@ -14,6 +14,7 @@
 
 #include "bd/allocation.hpp"
 #include "game/breakpoints.hpp"
+#include "game/piece_solver.hpp"
 
 namespace ringshare::game {
 
@@ -76,25 +77,9 @@ class SybilEvaluator {
 [[nodiscard]] std::pair<Rational, Rational> honest_split_weights(
     const Graph& ring, Vertex v);
 
-struct SybilOptions {
-  /// Use the exact per-piece optimizer (Layer 4): inside a piece the
-  /// signature is fixed, so U(t) is a low-degree rational function whose
-  /// stationary points are enumerated exactly (closed-form / integer-sqrt
-  /// roots, isolating brackets for irrational ones) — endpoints + ≤ a few
-  /// stationary candidates replace the dense scan. When false, the legacy
-  /// 64-sample scan + refinement runs instead (the PR-1 engine).
-  bool use_exact_piece_solver = true;
-  /// Run BOTH the exact solver and the legacy scan, asserting (exactly)
-  /// that the per-piece exact optimum dominates every scan sample. Throws
-  /// std::logic_error on violation. Expensive — differential testing only.
-  bool cross_check = false;
-  /// Samples per structure piece in the legacy per-piece scan.
-  int samples_per_piece = 64;
-  /// Local refinement rounds (each shrinks the bracket 4x around the best).
-  int refinement_rounds = 40;
-  /// Structure partition resolution.
-  PartitionOptions partition;
-};
+/// The Sybil solver's options are the shared piece-solver options
+/// (game/piece_solver.hpp) — one switch set drives every deviation engine.
+using SybilOptions = PieceSolveOptions;
 
 /// Result of the split optimization for one vertex.
 struct SybilOptimum {

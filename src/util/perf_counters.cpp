@@ -98,6 +98,10 @@ void PerfTally::add_into(PerfTally& sink) const noexcept {
       piece_solver_exact_roots.load(kRelaxed), kRelaxed);
   sink.piece_solver_bracketed_roots.fetch_add(
       piece_solver_bracketed_roots.load(kRelaxed), kRelaxed);
+  sink.misreport_optimizations.fetch_add(misreport_optimizations.load(kRelaxed),
+                                         kRelaxed);
+  sink.collusion_optimizations.fetch_add(collusion_optimizations.load(kRelaxed),
+                                         kRelaxed);
   sink.pool_tasks_local.fetch_add(pool_tasks_local.load(kRelaxed), kRelaxed);
   sink.pool_tasks_stolen.fetch_add(pool_tasks_stolen.load(kRelaxed), kRelaxed);
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)
@@ -123,6 +127,8 @@ void PerfTally::clear() noexcept {
   piece_solver_pieces.store(0, kRelaxed);
   piece_solver_exact_roots.store(0, kRelaxed);
   piece_solver_bracketed_roots.store(0, kRelaxed);
+  misreport_optimizations.store(0, kRelaxed);
+  collusion_optimizations.store(0, kRelaxed);
   pool_tasks_local.store(0, kRelaxed);
   pool_tasks_stolen.store(0, kRelaxed);
   for (auto& ns : phase_ns) ns.store(0, kRelaxed);
@@ -170,6 +176,8 @@ std::string PerfSnapshot::to_json(int indent) const {
   field("piece_solver_pieces", piece_solver_pieces);
   field("piece_solver_exact_roots", piece_solver_exact_roots);
   field("piece_solver_bracketed_roots", piece_solver_bracketed_roots);
+  field("misreport_optimizations", misreport_optimizations);
+  field("collusion_optimizations", collusion_optimizations);
   field("pool_tasks_local", pool_tasks_local);
   field("pool_tasks_stolen", pool_tasks_stolen);
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
@@ -216,6 +224,8 @@ PerfSnapshot PerfCounters::snapshot() {
   out.piece_solver_exact_roots = sum.piece_solver_exact_roots.load(kRelaxed);
   out.piece_solver_bracketed_roots =
       sum.piece_solver_bracketed_roots.load(kRelaxed);
+  out.misreport_optimizations = sum.misreport_optimizations.load(kRelaxed);
+  out.collusion_optimizations = sum.collusion_optimizations.load(kRelaxed);
   out.pool_tasks_local = sum.pool_tasks_local.load(kRelaxed);
   out.pool_tasks_stolen = sum.pool_tasks_stolen.load(kRelaxed);
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)

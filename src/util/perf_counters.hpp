@@ -49,6 +49,8 @@ struct PerfTally {
   std::atomic<std::uint64_t> piece_solver_pieces{0};
   std::atomic<std::uint64_t> piece_solver_exact_roots{0};
   std::atomic<std::uint64_t> piece_solver_bracketed_roots{0};
+  std::atomic<std::uint64_t> misreport_optimizations{0};
+  std::atomic<std::uint64_t> collusion_optimizations{0};
   std::atomic<std::uint64_t> pool_tasks_local{0};
   std::atomic<std::uint64_t> pool_tasks_stolen{0};
   std::atomic<std::uint64_t> phase_ns[static_cast<int>(Phase::kCount)]{};
@@ -77,6 +79,8 @@ struct PerfSnapshot {
   std::uint64_t piece_solver_pieces = 0;
   std::uint64_t piece_solver_exact_roots = 0;
   std::uint64_t piece_solver_bracketed_roots = 0;
+  std::uint64_t misreport_optimizations = 0;
+  std::uint64_t collusion_optimizations = 0;
   std::uint64_t pool_tasks_local = 0;
   std::uint64_t pool_tasks_stolen = 0;
   std::uint64_t phase_ns[static_cast<int>(Phase::kCount)] = {};

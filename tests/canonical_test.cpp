@@ -243,5 +243,44 @@ TEST(CanonicalCache, RotationsHitTheSameEntries) {
   EXPECT_GT(snapshot.bottleneck_cache_hits, 0u);
 }
 
+// ROADMAP regression: the canonical fingerprint normalizes weights by the
+// total weight, so uniformly scaled copies of an instance — whose bottleneck
+// sets and α values are identical — share one cache entry instead of
+// missing. Decompose a ring once, then decompose scaled (and scaled+rotated)
+// copies and require zero additional misses, with utilities scaling exactly
+// linearly.
+TEST(CanonicalCache, WeightScaledCopiesHitTheSameEntries) {
+  ConfigGuard guard;
+  bd::hot_path_config() = bd::HotPathConfig{};
+  bd::BottleneckCache::instance().clear();
+
+  const std::vector<Rational> weights = {Rational(3), Rational(1), Rational(4),
+                                         Rational(1), Rational(5), Rational(9),
+                                         Rational(2)};
+  const Observed base = observe(make_ring(weights));
+
+  util::PerfCounters::reset();
+  const Rational factors[] = {Rational(2), Rational(7, 3), Rational(1, 5)};
+  for (const Rational& factor : factors) {
+    std::vector<Rational> scaled;
+    for (const Rational& w : weights) scaled.push_back(w * factor);
+    const Observed observed = observe(make_ring(scaled));
+    EXPECT_EQ(observed.alphas, base.alphas);         // α is scale-invariant
+    EXPECT_EQ(observed.bottlenecks, base.bottlenecks);
+    ASSERT_EQ(observed.utilities.size(), base.utilities.size());
+    for (std::size_t v = 0; v < base.utilities.size(); ++v)
+      EXPECT_EQ(observed.utilities[v], base.utilities[v] * factor);
+
+    // Scaling composes with the dihedral identification: a rotated scaled
+    // copy hits too.
+    std::vector<Rational> rotated = scaled;
+    std::rotate(rotated.begin(), rotated.begin() + 3, rotated.end());
+    (void)observe(make_ring(rotated));
+  }
+  const util::PerfSnapshot snapshot = util::PerfCounters::snapshot();
+  EXPECT_EQ(snapshot.bottleneck_cache_misses, 0u);
+  EXPECT_GT(snapshot.bottleneck_cache_hits, 0u);
+}
+
 }  // namespace
 }  // namespace ringshare::graph

@@ -1,0 +1,171 @@
+// Differential verification of the deviation engine: every deviation kind
+// (Sybil split, misreport, collusion) is cross-checked against a
+// brute-force-decomposition grid search on exhaustive small instances. The
+// optimizers must dominate every grid sample bit-exactly, reproduce the
+// brute utility at their reported optimum bit-identically, and — per
+// Theorem 8 — never exhibit a ratio above 2 (misreport exactly 1 per
+// Theorem 10).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bd/brute.hpp"
+#include "exp/families.hpp"
+#include "game/deviation.hpp"
+#include "util/perf_counters.hpp"
+
+namespace ringshare::game {
+namespace {
+
+using bd::BottleneckPair;
+
+/// Utility of v in g computed from the exponential-time reference
+/// decomposition — fully independent of the parametric solver, the memo
+/// cache and the ring kernel.
+Rational brute_utility(const Graph& g, Vertex v) {
+  const std::vector<BottleneckPair> pairs = bd::brute_force_decomposition(g);
+  for (const BottleneckPair& pair : pairs) {
+    const bool in_b = std::binary_search(pair.b.begin(), pair.b.end(), v);
+    const bool in_c = std::binary_search(pair.c.begin(), pair.c.end(), v);
+    if (!in_b && !in_c) continue;
+    if (in_b && in_c) return g.weight(v);
+    return in_b ? g.weight(v) * pair.alpha : g.weight(v) / pair.alpha;
+  }
+  ADD_FAILURE() << "brute_utility: vertex " << v << " not in decomposition";
+  return Rational(0);
+}
+
+/// The deviator's total utility at parameter t, evaluated on the deviated
+/// graph by the brute-force oracle.
+Rational brute_deviated_utility(const Graph& ring, const DeviationTask& task,
+                                const Rational& t) {
+  switch (task.kind) {
+    case DeviationKind::kSybil: {
+      const SybilSplit split = split_ring(ring, task.vertex, t,
+                                          ring.weight(task.vertex) - t);
+      return brute_utility(split.path, split.v1) +
+             brute_utility(split.path, split.v2);
+    }
+    case DeviationKind::kMisreport: {
+      Graph g = ring;
+      g.set_weight(task.vertex, t);
+      return brute_utility(g, task.vertex);
+    }
+    case DeviationKind::kCollusion: {
+      const ParametrizedGraph family =
+          collusion_family(ring, task.vertex, task.partner);
+      return brute_utility(family.at(t), 0);
+    }
+  }
+  throw std::logic_error("brute_deviated_utility: bad kind");
+}
+
+/// Parameter range of one task ([0, w_v] or [0, w_v + w_partner]).
+Rational parameter_cap(const Graph& ring, const DeviationTask& task) {
+  if (task.kind == DeviationKind::kCollusion)
+    return ring.weight(task.vertex) + ring.weight(task.partner);
+  return ring.weight(task.vertex);
+}
+
+/// Honest (pre-deviation) utility of the task's actors via the oracle.
+Rational brute_honest_utility(const Graph& ring, const DeviationTask& task) {
+  if (task.kind == DeviationKind::kCollusion)
+    return brute_utility(ring, task.vertex) +
+           brute_utility(ring, task.partner);
+  return brute_utility(ring, task.vertex);
+}
+
+/// The differential core: on `ring`, for every task of every kind, the
+/// exact optimizer must (a) reproduce the brute utility at its optimum
+/// bit-identically, (b) dominate a `grid_points + 1`-point uniform rational
+/// grid, (c) agree with the oracle on the honest utility, and (d) respect
+/// the paper's bounds.
+void check_ring(const Graph& ring, int grid_points,
+                const DeviationOptions& options) {
+  const DeviationKind kinds[] = {DeviationKind::kSybil,
+                                 DeviationKind::kMisreport,
+                                 DeviationKind::kCollusion};
+  for (const DeviationKind kind : kinds) {
+    for (const DeviationTask& task : deviation_tasks(ring, kind)) {
+      const DeviationOptimum optimum = optimize_deviation(ring, task, options);
+      const char* label = to_string(kind);
+
+      // (a) The reported utility is attained: recompute at t_star with the
+      // exponential-time oracle, bit-identical.
+      EXPECT_EQ(optimum.utility,
+                brute_deviated_utility(ring, task, optimum.t_star))
+          << label << " v=" << task.vertex;
+
+      // (c) Honest utilities agree with the oracle bit-identically.
+      EXPECT_EQ(optimum.honest_utility, brute_honest_utility(ring, task))
+          << label << " v=" << task.vertex;
+
+      // (b) Grid domination: no uniform rational sample beats the optimum.
+      const Rational cap = parameter_cap(ring, task);
+      for (int k = 0; k <= grid_points; ++k) {
+        const Rational t = cap * Rational(k, grid_points);
+        const Rational sampled = brute_deviated_utility(ring, task, t);
+        EXPECT_LE(sampled, optimum.utility)
+            << label << " v=" << task.vertex << " grid k=" << k;
+      }
+
+      // (d) Theorem 8: zero ratio-above-2 witnesses. Theorem 10: the
+      // truthful report is optimal, so the misreport ratio is exactly 1.
+      EXPECT_LE(optimum.ratio, Rational(2)) << label << " v=" << task.vertex;
+      if (kind == DeviationKind::kMisreport)
+        EXPECT_EQ(optimum.ratio, Rational(1)) << "v=" << task.vertex;
+    }
+  }
+}
+
+// Exhaustive n = 4 necklaces with weight numerators <= 3, with the
+// exact-vs-scan cross-check armed: every structure piece is solved by BOTH
+// engines and the exact optimum must dominate every scan probe.
+TEST(DeviationDifferential, ExhaustiveN4CrossChecked) {
+  DeviationOptions options;
+  options.cross_check = true;
+  for (const Graph& ring : exp::exhaustive_rings(4, 3))
+    check_ring(ring, /*grid_points=*/8, options);
+}
+
+// Exhaustive n = 5 necklaces with weight numerators <= 2.
+TEST(DeviationDifferential, ExhaustiveN5) {
+  for (const Graph& ring : exp::exhaustive_rings(5, 2))
+    check_ring(ring, /*grid_points=*/8, {});
+}
+
+// n = 6 necklaces with weight numerators <= 4, deterministically sampled
+// (every 17th necklace) to keep the brute-force grid tractable.
+TEST(DeviationDifferential, SampledN6MaxWeight4) {
+  const std::vector<Graph> rings = exp::exhaustive_rings(6, 4);
+  ASSERT_FALSE(rings.empty());
+  for (std::size_t i = 0; i < rings.size(); i += 17)
+    check_ring(rings[i], /*grid_points=*/6, {});
+}
+
+// The per-kind perf counters fire once per optimizer run.
+TEST(DeviationDifferential, PerKindCountersFire) {
+  const Graph ring = exp::uniform_ring(5);
+  util::PerfCounters::reset();
+  (void)MisreportOptimizer(ring, 0).optimize();
+  (void)CollusionOptimizer(ring, 0, 1).optimize();
+  const util::PerfSnapshot snapshot = util::PerfCounters::snapshot();
+  EXPECT_EQ(snapshot.misreport_optimizations, 1u);
+  EXPECT_EQ(snapshot.collusion_optimizations, 1u);
+}
+
+// Construction preconditions surface as typed exceptions.
+TEST(DeviationDifferential, InvalidArgumentsThrow) {
+  const Graph ring = exp::uniform_ring(4);
+  EXPECT_THROW(MisreportOptimizer(ring, 99), std::invalid_argument);
+  EXPECT_THROW(CollusionOptimizer(ring, 0, 2), std::invalid_argument);
+  EXPECT_THROW(merge_adjacent(exp::uniform_ring(3), 0, 1),
+               std::invalid_argument);
+  EXPECT_FALSE(deviation_kind_from_string("no_such_kind").has_value());
+  EXPECT_EQ(deviation_kind_from_string("collusion"),
+            DeviationKind::kCollusion);
+}
+
+}  // namespace
+}  // namespace ringshare::game

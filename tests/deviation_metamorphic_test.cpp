@@ -1,0 +1,165 @@
+// Metamorphic suite for the deviation engine: optimal misreport, collusion
+// and Sybil ratios are invariant under the ring's dihedral symmetries
+// (rotation, reflection) and under uniform positive weight scaling — the
+// incentive ratio is a property of the weighted isomorphism class, not of
+// the labeling or the weight unit. The optimizers are exact, so invariance
+// is asserted bit-identically, not approximately.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/families.hpp"
+#include "game/deviation.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::game {
+namespace {
+
+std::vector<Rational> ring_weights(std::size_t n, util::Xoshiro256& rng) {
+  std::vector<Rational> weights;
+  for (std::size_t i = 0; i < n; ++i)
+    weights.emplace_back(rng.uniform_int(1, 9));
+  return weights;
+}
+
+/// Rotated copy: rotated[i] = weights[(i + shift) % n]. Vertex v of the
+/// base ring sits at (v − shift) mod n in the copy.
+std::vector<Rational> rotated(const std::vector<Rational>& weights,
+                              std::size_t shift) {
+  const std::size_t n = weights.size();
+  std::vector<Rational> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(weights[(i + shift) % n]);
+  return out;
+}
+
+/// Reflected copy: reflected[i] = weights[(n − i) % n]. Vertex v sits at
+/// (n − v) mod n in the copy.
+std::vector<Rational> reflected(const std::vector<Rational>& weights) {
+  const std::size_t n = weights.size();
+  std::vector<Rational> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(weights[(n - i) % n]);
+  return out;
+}
+
+std::vector<Rational> scaled(const std::vector<Rational>& weights,
+                             const Rational& factor) {
+  std::vector<Rational> out;
+  for (const Rational& w : weights) out.push_back(w * factor);
+  return out;
+}
+
+TEST(DeviationMetamorphic, MisreportRatioInvariantUnderRotationReflection) {
+  util::Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const std::vector<Rational> weights = ring_weights(n, rng);
+    const Graph base = graph::make_ring(weights);
+    for (Vertex v = 0; v < n; ++v) {
+      const MisreportOptimum expected = MisreportOptimizer(base, v).optimize();
+      EXPECT_EQ(expected.ratio, Rational(1));  // Theorem 10
+
+      for (std::size_t shift = 1; shift < n; ++shift) {
+        const Graph copy = graph::make_ring(rotated(weights, shift));
+        const Vertex image = static_cast<Vertex>((v + n - shift) % n);
+        const MisreportOptimum got =
+            MisreportOptimizer(copy, image).optimize();
+        EXPECT_EQ(got.ratio, expected.ratio);
+        EXPECT_EQ(got.utility, expected.utility);
+        EXPECT_EQ(got.honest_utility, expected.honest_utility);
+      }
+      const Graph mirror = graph::make_ring(reflected(weights));
+      const Vertex image = static_cast<Vertex>((n - v) % n);
+      const MisreportOptimum got =
+          MisreportOptimizer(mirror, image).optimize();
+      EXPECT_EQ(got.ratio, expected.ratio);
+      EXPECT_EQ(got.utility, expected.utility);
+    }
+  }
+}
+
+TEST(DeviationMetamorphic, CollusionRatioInvariantUnderRotationReflection) {
+  util::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const std::vector<Rational> weights = ring_weights(n, rng);
+    const Graph base = graph::make_ring(weights);
+    for (Vertex v = 0; v < n; ++v) {
+      const Vertex partner = static_cast<Vertex>((v + 1) % n);
+      const CollusionOptimum expected =
+          CollusionOptimizer(base, v, partner).optimize();
+      EXPECT_LE(expected.ratio, Rational(2));
+
+      for (std::size_t shift = 1; shift < n; ++shift) {
+        const Graph copy = graph::make_ring(rotated(weights, shift));
+        const Vertex iv = static_cast<Vertex>((v + n - shift) % n);
+        const Vertex ip = static_cast<Vertex>((partner + n - shift) % n);
+        const CollusionOptimum got =
+            CollusionOptimizer(copy, iv, ip).optimize();
+        EXPECT_EQ(got.ratio, expected.ratio);
+        EXPECT_EQ(got.utility, expected.utility);
+        EXPECT_EQ(got.honest_utility, expected.honest_utility);
+      }
+      const Graph mirror = graph::make_ring(reflected(weights));
+      const Vertex iv = static_cast<Vertex>((n - v) % n);
+      const Vertex ip = static_cast<Vertex>((n - partner) % n);
+      const CollusionOptimum got =
+          CollusionOptimizer(mirror, iv, ip).optimize();
+      EXPECT_EQ(got.ratio, expected.ratio);
+      EXPECT_EQ(got.utility, expected.utility);
+    }
+  }
+}
+
+// The coalition is symmetric: merging {v, partner} from either endpoint
+// gives the same coalition, so the optimum is identical.
+TEST(DeviationMetamorphic, CollusionSymmetricInPair) {
+  util::Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    const Graph ring = graph::make_ring(ring_weights(n, rng));
+    const Vertex v = static_cast<Vertex>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const Vertex partner = static_cast<Vertex>((v + 1) % n);
+    const CollusionOptimum a = CollusionOptimizer(ring, v, partner).optimize();
+    const CollusionOptimum b = CollusionOptimizer(ring, partner, v).optimize();
+    EXPECT_EQ(a.ratio, b.ratio);
+    EXPECT_EQ(a.utility, b.utility);
+    EXPECT_EQ(a.honest_utility, b.honest_utility);
+    EXPECT_EQ(a.x_star, b.x_star);
+  }
+}
+
+// Uniform positive scaling: ratios are dimensionless, optimal reports and
+// utilities scale linearly — all bit-exact.
+TEST(DeviationMetamorphic, WeightScalingActsLinearlyOnEveryKind) {
+  util::Xoshiro256 rng(909);
+  const Rational factors[] = {Rational(3), Rational(5, 2), Rational(1, 7)};
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const std::vector<Rational> weights = ring_weights(n, rng);
+    const Graph base = graph::make_ring(weights);
+    for (const Rational& factor : factors) {
+      const Graph copy = graph::make_ring(scaled(weights, factor));
+      for (Vertex v = 0; v < n; ++v) {
+        const DeviationTask tasks[] = {
+            {DeviationKind::kSybil, v, 0},
+            {DeviationKind::kMisreport, v, 0},
+            {DeviationKind::kCollusion, v, static_cast<Vertex>((v + 1) % n)},
+        };
+        for (const DeviationTask& task : tasks) {
+          const DeviationOptimum expected = optimize_deviation(base, task);
+          const DeviationOptimum got = optimize_deviation(copy, task);
+          EXPECT_EQ(got.ratio, expected.ratio)
+              << to_string(task.kind) << " v=" << v;
+          EXPECT_EQ(got.utility, expected.utility * factor);
+          EXPECT_EQ(got.honest_utility, expected.honest_utility * factor);
+          EXPECT_EQ(got.t_star, expected.t_star * factor);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ringshare::game

@@ -69,7 +69,7 @@ TEST(SweepTaskRecord, JsonlRoundTripsThroughCheckpointKeys) {
   record.instance = 12;
   record.vertex = 3;
   record.ratio = Rational(7, 5);
-  record.w1_star = Rational(1, 2);
+  record.t_star = Rational(1, 2);
   record.utility = Rational(14, 5);
   record.honest_utility = Rational(2);
   EXPECT_EQ(record.key(), "i12.v3");
@@ -141,6 +141,88 @@ TEST(SweepDriver, ResumeSkipsCheckpointedTasksAndKeepsAggregate) {
   EXPECT_EQ(noop.tasks_skipped, 15u);
   EXPECT_EQ(noop.tasks_run, 0u);
   EXPECT_EQ(noop.max_ratio, first.max_ratio);
+}
+
+TEST(SweepTaskRecord, MisreportAndCollusionKeysRoundTrip) {
+  SweepTaskRecord misreport;
+  misreport.instance = 4;
+  misreport.kind = game::DeviationKind::kMisreport;
+  misreport.vertex = 2;
+  EXPECT_EQ(misreport.key(), "i4.m2");
+
+  SweepTaskRecord collusion;
+  collusion.instance = 7;
+  collusion.kind = game::DeviationKind::kCollusion;
+  collusion.vertex = 1;
+  collusion.partner = 2;
+  EXPECT_EQ(collusion.key(), "i7.c1-2");
+
+  TempPath path("sweep_record_kinds.jsonl");
+  {
+    std::ofstream out(path.str());
+    out << misreport.to_jsonl() << '\n' << collusion.to_jsonl() << '\n';
+  }
+  const std::vector<std::string> keys = checkpointed_task_keys(path.str());
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "i4.m2");
+  EXPECT_EQ(keys[1], "i7.c1-2");
+}
+
+TEST(SweepDriver, MultiKindSweepAggregatesPerKind) {
+  const std::vector<Graph> rings = random_rings(2, 5, 11, 6);
+  SweepDriverOptions options;
+  options.kinds = {game::DeviationKind::kSybil, game::DeviationKind::kMisreport,
+                   game::DeviationKind::kCollusion};
+  const SweepDriverReport report = run_sweep_driver(rings, options);
+
+  // Per n=5 ring: 5 sybil + 5 misreport tasks (one per vertex) and 5
+  // collusion tasks (one per ring edge).
+  EXPECT_EQ(report.tasks_total, 30u);
+  EXPECT_EQ(report.tasks_run, 30u);
+  for (const game::DeviationKind kind : options.kinds) {
+    const KindAggregate& agg = report.by_kind[static_cast<int>(kind)];
+    EXPECT_EQ(agg.tasks, 10u) << game::to_string(kind);
+    ASSERT_TRUE(agg.any) << game::to_string(kind);
+    EXPECT_LE(agg.max_ratio, Rational(2)) << game::to_string(kind);
+  }
+  // Theorem 10: the truthful report is optimal, so every misreport ratio —
+  // in particular the per-kind max — is exactly 1.
+  EXPECT_EQ(
+      report.by_kind[static_cast<int>(game::DeviationKind::kMisreport)]
+          .max_ratio,
+      Rational(1));
+  EXPECT_LE(report.max_ratio, Rational(2));
+}
+
+TEST(SweepDriver, MultiKindResumeSkipsAllKinds) {
+  const std::vector<Graph> rings = random_rings(2, 4, 5, 5);
+  TempPath path("sweep_driver_multikind_resume.jsonl");
+
+  SweepDriverOptions options;
+  options.kinds = {game::DeviationKind::kSybil, game::DeviationKind::kMisreport,
+                   game::DeviationKind::kCollusion};
+  options.output_path = path.str();
+  const SweepDriverReport first = run_sweep_driver(rings, options);
+  // Per n=4 ring: 4 sybil + 4 misreport + 4 collusion (edges) = 12.
+  EXPECT_EQ(first.tasks_total, 24u);
+  EXPECT_EQ(first.tasks_run, 24u);
+
+  const SweepDriverReport resumed = run_sweep_driver(rings, options);
+  EXPECT_EQ(resumed.tasks_skipped, 24u);
+  EXPECT_EQ(resumed.tasks_run, 0u);
+  EXPECT_EQ(resumed.max_ratio, first.max_ratio);
+  EXPECT_EQ(resumed.argmax_kind, first.argmax_kind);
+  for (int k = 0; k < game::kDeviationKindCount; ++k) {
+    ASSERT_TRUE(resumed.by_kind[k].any);
+    EXPECT_EQ(resumed.by_kind[k].max_ratio, first.by_kind[k].max_ratio);
+  }
+}
+
+TEST(SweepDriver, EmptyKindListThrows) {
+  const std::vector<Graph> rings = random_rings(1, 4, 1, 4);
+  SweepDriverOptions options;
+  options.kinds.clear();
+  EXPECT_THROW((void)run_sweep_driver(rings, options), std::invalid_argument);
 }
 
 TEST(SweepDriver, NoResumeRerunsEveryTask) {

@@ -1,11 +1,11 @@
 // ringshare_sweep — checkpointed batch sweep over ring families.
 //
-// Expands a family spec into instances, shards every (instance, vertex)
-// Sybil-optimization task across the shared work-stealing pool, streams
-// per-task results as JSONL (one flushed line per task) and, on re-run,
-// resumes by skipping tasks already checkpointed in the output file. The
-// final summary (exact max ratio, task counts, aggregated perf counters)
-// prints to stdout as JSON.
+// Expands a family spec into instances, shards every deviation task (Sybil
+// split, misreport, collusion — selectable with --kinds) across the shared
+// work-stealing pool, streams per-task results as JSONL (one flushed line
+// per task) and, on re-run, resumes by skipping tasks already checkpointed
+// in the output file. The final summary (exact max ratio overall and per
+// kind, task counts, aggregated perf counters) prints to stdout as JSON.
 //
 // Flags (all --key=value unless noted):
 //   --family=random|exhaustive|uniform|alternating|single_heavy|
@@ -15,6 +15,7 @@
 //   --seed=N       random: RNG seed            (default 1)
 //   --max-weight=N random/exhaustive cap       (default 10)
 //   --heavy=N      heavy weight / geometric ratio (default 100)
+//   --kinds=a,b,.. comma list of sybil|misreport|collusion (default sybil)
 //   --out=PATH     JSONL checkpoint file (no file when omitted)
 //   --no-resume    re-run every task even if checkpointed
 //   --threads=N    shared pool size (default: hardware concurrency)
@@ -26,6 +27,7 @@
 #include <cstring>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "exp/sweep_driver.hpp"
 
@@ -41,6 +43,25 @@ const char* flag_value(const char* arg, const char* name) {
 [[noreturn]] void usage_error(const char* arg) {
   std::fprintf(stderr, "ringshare_sweep: unknown argument '%s'\n", arg);
   std::exit(2);
+}
+
+/// Parse a comma-separated --kinds value; exits on an unknown name.
+std::vector<ringshare::game::DeviationKind> parse_kinds(const char* value,
+                                                        const char* arg) {
+  std::vector<ringshare::game::DeviationKind> kinds;
+  std::string list(value);
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    std::size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string name = list.substr(begin, end - begin);
+    const auto kind = ringshare::game::deviation_kind_from_string(name);
+    if (!kind) usage_error(arg);
+    kinds.push_back(*kind);
+    begin = end + 1;
+  }
+  if (kinds.empty()) usage_error(arg);
+  return kinds;
 }
 
 }  // namespace
@@ -64,6 +85,8 @@ int main(int argc, char** argv) {
       spec.max_weight = std::strtoll(v, nullptr, 10);
     } else if (const char* v = flag_value(arg, "--heavy")) {
       spec.heavy = std::strtoll(v, nullptr, 10);
+    } else if (const char* v = flag_value(arg, "--kinds")) {
+      options.kinds = parse_kinds(v, arg);
     } else if (const char* v = flag_value(arg, "--out")) {
       options.output_path = v;
     } else if (std::strcmp(arg, "--no-resume") == 0) {
@@ -73,14 +96,14 @@ int main(int argc, char** argv) {
       setenv("RINGSHARE_THREADS", v, /*overwrite=*/1);
     } else if (const char* v = flag_value(arg, "--engine")) {
       if (std::strcmp(v, "exact") == 0) {
-        options.sybil.use_exact_piece_solver = true;
+        options.solver.use_exact_piece_solver = true;
       } else if (std::strcmp(v, "scan") == 0) {
-        options.sybil.use_exact_piece_solver = false;
+        options.solver.use_exact_piece_solver = false;
       } else {
         usage_error(arg);
       }
     } else if (std::strcmp(arg, "--cross-check") == 0) {
-      options.sybil.cross_check = true;
+      options.solver.cross_check = true;
     } else if (std::strcmp(arg, "--perf") == 0) {
       print_perf = true;
     } else {
@@ -102,8 +125,27 @@ int main(int argc, char** argv) {
                 report.max_ratio.to_string().c_str());
     std::printf("  \"max_ratio_double\": %.12f,\n",
                 report.max_ratio.to_double());
+    std::printf("  \"argmax_kind\": \"%s\",\n",
+                ringshare::game::to_string(report.argmax_kind));
     std::printf("  \"argmax_instance\": %zu,\n", report.argmax_instance);
     std::printf("  \"argmax_vertex\": %u,\n", report.argmax_vertex);
+    std::printf("  \"by_kind\": {");
+    bool first = true;
+    for (int k = 0; k < ringshare::game::kDeviationKindCount; ++k) {
+      const ringshare::exp::KindAggregate& agg = report.by_kind[k];
+      if (agg.tasks == 0 && !agg.any) continue;
+      std::printf("%s\n    \"%s\": {\"tasks\": %zu", first ? "" : ",",
+                  ringshare::game::to_string(
+                      static_cast<ringshare::game::DeviationKind>(k)),
+                  agg.tasks);
+      if (agg.any)
+        std::printf(", \"max_ratio\": \"%s\", \"max_ratio_double\": %.12f",
+                    agg.max_ratio.to_string().c_str(),
+                    agg.max_ratio.to_double());
+      std::printf("}");
+      first = false;
+    }
+    std::printf("\n  },\n");
     std::printf("  \"elapsed_seconds\": %.6f%s\n", report.elapsed_seconds,
                 print_perf ? "," : "");
     if (print_perf)
