@@ -49,22 +49,28 @@ using num::Rational;
 #endif
 
 /// Select an engine generation and start from a clean cache and counters.
+/// Layers that postdate PR 3 (the whole-decomposition peel cache and the
+/// signature oracle) are held off in BOTH configurations: this bench
+/// certifies the PR-3 layers in isolation, and leaving newer caches on
+/// would accelerate the "pr2" baseline and absorb the canonical workload
+/// before the bottleneck cache ever sees a lookup.
 void configure(bool pr3_layers) {
   BigInt::set_fast_path_enabled(true);
-  if (pr3_layers) {
-    bd::hot_path_config() = bd::HotPathConfig{};  // library default: all on
-  } else {
+  bd::HotPathConfig config;
+  config.decomposition_cache = false;
+  config.signature_oracle = false;
+  if (!pr3_layers) {
     // PR-2 engine: the first three accelerators only. The PR-3 fields carry
     // default member initializers (= on), so they must be switched off
     // explicitly — a 3-value brace-init would leave them enabled.
-    bd::HotPathConfig config;
     config.canonical_cache = false;
     config.incremental_flow = false;
     config.ring_kernel = false;
     config.cross_check_kernel = false;
-    bd::hot_path_config() = config;
   }
+  bd::hot_path_config() = config;
   bd::BottleneckCache::instance().clear();
+  bd::DecompositionCache::instance().clear();
   util::PerfCounters::reset();
 }
 

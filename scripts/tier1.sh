@@ -19,8 +19,10 @@
 #   6. Deviation bench smoke: run bench_deviation_engine and validate that
 #      BENCH_deviation.json parses with results_identical == true, every
 #      kind's worst exact ratio <= 2 (misreport exactly 1), zero
-#      cross-check violations, and an engaged incremental-flow layer —
-#      tier-1 fails if any sweep ratio exceeds the Theorem 8 bound.
+#      cross-check violations, an engaged incremental-flow layer, and the
+#      shared sweep costs (partition + decompose wall time, best of five
+#      cold reps) under the 100ms budget — tier-1 fails on a Theorem 8
+#      bound breach AND on a shared-phase budget regression.
 #
 # Usage: scripts/tier1.sh [--skip-asan]
 #   --skip-asan skips every sanitizer pass (ASan/UBSan and TSan) and the
@@ -161,6 +163,9 @@ ok = (
     and report["cross_check"]["violations"] == 0
     and report["incremental_flow"]["reruns"] > 0
     and report["incremental_flow"]["results_identical"] is True
+    # Shared-cost budget: the accelerated pass's partition + decompose
+    # wall time (best of five cold reps) must stay under 100ms.
+    and report["shared_phase_ms"] < report["shared_phase_budget_ms"]
 )
 sys.exit(0 if ok else 1)
 EOF

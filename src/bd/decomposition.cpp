@@ -25,6 +25,40 @@ Decomposition::Decomposition(const Graph& g, DecomposeHints* hints)
   const HotPathConfig& config = hot_path_config();
   pair_index_.assign(g.vertex_count(), 0);
 
+  // Whole-decomposition peel cache: sweeps decompose the same (or a
+  // rotated/reflected/scaled) graph thousands of times — misreport families
+  // share the honest ring, partition probes revisit sampled weights. One
+  // canonical lookup then replaces the entire peel loop. The stored pair
+  // sequence is in canonical positions; translation through to_original is
+  // sound stage by stage because each stage's maximal bottleneck is carried
+  // onto itself by every isomorphism, and α is a weight ratio (scale-free).
+  std::optional<graph::CanonicalStructure> canonical;
+  GraphKey canonical_key;
+  const bool peel_cache =
+      config.memo_cache && config.canonical_cache && config.decomposition_cache;
+  if (peel_cache) {
+    canonical = graph::canonicalize_ring_graph(g);
+    if (canonical) {
+      canonical_key = canonical_fingerprint(g, *canonical);
+      if (auto hit = DecompositionCache::instance().lookup(canonical_key)) {
+        util::PerfCounters::local().peel_cache_hits.fetch_add(
+            1, std::memory_order_relaxed);
+        pairs_.reserve(hit->pairs.size());
+        for (CachedPair& stored : hit->pairs) {
+          BottleneckPair pair;
+          pair.b = translate_to_original(stored.b, *canonical);
+          pair.c = translate_to_original(stored.c, *canonical);
+          pair.alpha = std::move(stored.alpha);
+          for (const Vertex v : pair.b) pair_index_[v] = pairs_.size();
+          for (const Vertex v : pair.c) pair_index_[v] = pairs_.size();
+          pairs_.push_back(std::move(pair));
+        }
+        dinkelbach_iterations_ = hit->dinkelbach_iterations;
+        return;
+      }
+    }
+  }
+
   // Current residual vertex set (original ids).
   std::vector<Vertex> remaining(g.vertex_count());
   std::iota(remaining.begin(), remaining.end(), Vertex{0});
@@ -32,9 +66,14 @@ Decomposition::Decomposition(const Graph& g, DecomposeHints* hints)
   std::size_t step = 0;
   std::vector<Rational> run_alphas;
   while (!remaining.empty()) {
-    const graph::InducedSubgraph sub = graph::induced_subgraph(g, remaining);
+    // The first peel stage works on the whole graph: skip the subgraph copy
+    // (to_parent is the identity there).
+    const bool whole = remaining.size() == g.vertex_count();
+    graph::InducedSubgraph sub;
+    if (!whole) sub = graph::induced_subgraph(g, remaining);
+    const Graph& stage = whole ? g : sub.graph;
 
-    if (sub.graph.total_weight().is_zero()) {
+    if (stage.total_weight().is_zero()) {
       // Degenerate all-zero remainder: close with a single zero pair so the
       // partition stays total. No resource moves here (utilities are zero).
       BottleneckPair pair;
@@ -56,8 +95,11 @@ Decomposition::Decomposition(const Graph& g, DecomposeHints* hints)
         options.arena = hints->arenas[step].get();
       }
     }
-    const BottleneckResult result =
-        cached_maximal_bottleneck(sub.graph, options);
+    // Step 0 reuses the canonicalization already computed for the peel-cache
+    // probe instead of re-canonicalizing inside the bottleneck memo.
+    const BottleneckResult result = cached_maximal_bottleneck(
+        stage, options, whole && canonical ? &*canonical : nullptr,
+        whole && canonical ? &canonical_key : nullptr);
     dinkelbach_iterations_ += result.dinkelbach_iterations;
     run_alphas.push_back(result.alpha);
     ++step;
@@ -65,11 +107,11 @@ Decomposition::Decomposition(const Graph& g, DecomposeHints* hints)
     BottleneckPair pair;
     pair.b.reserve(result.bottleneck.size());
     for (const Vertex local : result.bottleneck)
-      pair.b.push_back(sub.to_parent[local]);
-    const std::vector<Vertex> local_c =
-        sub.graph.neighborhood(result.bottleneck);
+      pair.b.push_back(whole ? local : sub.to_parent[local]);
+    const std::vector<Vertex> local_c = stage.neighborhood(result.bottleneck);
     pair.c.reserve(local_c.size());
-    for (const Vertex local : local_c) pair.c.push_back(sub.to_parent[local]);
+    for (const Vertex local : local_c)
+      pair.c.push_back(whole ? local : sub.to_parent[local]);
     pair.alpha = result.alpha;
 
     std::vector<char> removed(g.vertex_count(), 0);
@@ -92,6 +134,21 @@ Decomposition::Decomposition(const Graph& g, DecomposeHints* hints)
   }
 
   if (hints != nullptr) hints->warm_alphas = std::move(run_alphas);
+
+  if (canonical) {
+    CachedDecomposition stored;
+    stored.pairs.reserve(pairs_.size());
+    for (const BottleneckPair& pair : pairs_) {
+      CachedPair cached;
+      cached.b = translate_to_canonical(pair.b, g.vertex_count(), *canonical);
+      cached.c = translate_to_canonical(pair.c, g.vertex_count(), *canonical);
+      cached.alpha = pair.alpha;
+      stored.pairs.push_back(std::move(cached));
+    }
+    stored.dinkelbach_iterations = dinkelbach_iterations_;
+    DecompositionCache::instance().insert(std::move(canonical_key),
+                                          std::move(stored));
+  }
 }
 
 std::size_t Decomposition::pair_index(Vertex v) const {

@@ -22,15 +22,12 @@ void count_miss() noexcept {
       1, std::memory_order_relaxed);
 }
 
-void count_eviction() noexcept {
-  util::PerfCounters::local().bottleneck_cache_evictions.fetch_add(
-      1, std::memory_order_relaxed);
-}
-
 // Word tags keep the encoding self-delimiting: a small integer is two words
-// (tag, payload), a big one is a length-tagged word followed by its decimal
-// digits packed eight bytes per word. No two distinct values share an
-// encoding, so key equality is graph equality.
+// (tag, payload), a big one is a length-tagged word followed by its 2^32
+// limbs packed two per word (BigInt::append_magnitude_words — linear, unlike
+// the decimal conversion this replaced). BigInt's representation is
+// canonical (inline iff the value fits int64), so no two distinct values
+// share an encoding and key equality is graph equality.
 constexpr std::uint64_t kSmallTag = 1;
 constexpr std::uint64_t kBigTag = 2;
 
@@ -44,14 +41,12 @@ void encode_bigint(const num::BigInt& value, std::vector<std::uint64_t>& out) {
     out.push_back(static_cast<std::uint64_t>(value.to_int64()));
     return;
   }
-  const std::string digits = value.to_string();
-  out.push_back((kBigTag << 32) | static_cast<std::uint64_t>(digits.size()));
-  for (std::size_t i = 0; i < digits.size(); i += 8) {
-    std::uint64_t word = 0;
-    const std::size_t chunk = std::min<std::size_t>(8, digits.size() - i);
-    std::memcpy(&word, digits.data() + i, chunk);
-    out.push_back(word);
-  }
+  // Length-tagged limb form. The tag word cannot collide with kSmallTag
+  // (kBigTag << 33 is far above it) and encodes the sign plus word count,
+  // keeping the whole stream self-delimiting.
+  out.push_back((kBigTag << 33) | (static_cast<std::uint64_t>(value.limb_count()) << 1) |
+                (value.is_negative() ? 1 : 0));
+  value.append_magnitude_words(out);
 }
 
 std::size_t fnv1a(const std::vector<std::uint64_t>& words) noexcept {
@@ -63,7 +58,15 @@ std::size_t fnv1a(const std::vector<std::uint64_t>& words) noexcept {
   return static_cast<std::size_t>(h);
 }
 
-/// Map a bottleneck given in canonical positions to original vertex ids.
+}  // namespace
+
+namespace detail {
+void count_cache_eviction() noexcept {
+  util::PerfCounters::local().bottleneck_cache_evictions.fetch_add(
+      1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
 std::vector<Vertex> translate_to_original(
     const std::vector<Vertex>& canonical_set,
     const graph::CanonicalStructure& canonical) {
@@ -75,7 +78,6 @@ std::vector<Vertex> translate_to_original(
   return out;
 }
 
-/// Map a bottleneck given in original vertex ids to canonical positions.
 std::vector<Vertex> translate_to_canonical(
     const std::vector<Vertex>& original_set, std::size_t vertex_count,
     const graph::CanonicalStructure& canonical) {
@@ -88,8 +90,6 @@ std::vector<Vertex> translate_to_canonical(
   std::sort(out.begin(), out.end());
   return out;
 }
-
-}  // namespace
 
 HotPathConfig& hot_path_config() noexcept {
   static HotPathConfig config;
@@ -118,28 +118,48 @@ GraphKey graph_fingerprint(const Graph& g) {
 GraphKey canonical_fingerprint(const Graph& g,
                                const graph::CanonicalStructure& canonical) {
   GraphKey key;
-  key.words.reserve(4 * canonical.to_original.size() + 8);
+  key.words.reserve(3 * canonical.to_original.size() + 8);
   key.words.push_back(kCanonicalMagic);
   key.words.push_back(canonical.components.size());
   for (const auto& [length, cycle] : canonical.components)
     key.words.push_back((static_cast<std::uint64_t>(length) << 1) |
                         (cycle ? 1 : 0));
-  // Weights are normalized by the total before encoding: the bottleneck set
-  // and α = w(Γ(S))/w(S) are invariant under uniform positive scaling, and
-  // so is the canonical relabeling (scaling preserves the lexicographic
-  // comparisons Booth's rotation and the component order are built from) —
-  // so scaled copies of an instance share one cache entry, result reusable
-  // as-is. An all-zero graph has no scale to divide out; its raw weights
-  // are encoded verbatim.
-  Rational total(0);
-  for (const Vertex v : canonical.to_original) total = total + g.weight(v);
-  const bool normalize = !total.is_zero();
+  // Weights enter as the primitive integer vector proportional to them:
+  // clear denominators by their lcm, then divide the scaled numerators by
+  // their common gcd. Equal encodings ⟺ weight vectors equal up to a
+  // uniform positive rational factor — the invariance the previous
+  // normalize-by-total scheme had (the bottleneck set and α = w(Γ(S))/w(S)
+  // are scale-free, and scaling preserves the lexicographic comparisons the
+  // canonical labeling is built from) — but reached with a handful of big
+  // gcds instead of one Rational division (two gcds plus a mul/div ladder)
+  // per vertex. An all-zero graph has no scale to divide out; it encodes as
+  // all zeros under both schemes.
+  const num::BigInt one(1);
+  num::BigInt lcm = one;
   for (const Vertex v : canonical.to_original) {
-    const Rational w =
-        normalize ? g.weight(v) / total : g.weight(v);
-    encode_bigint(w.numerator(), key.words);
-    encode_bigint(w.denominator(), key.words);
+    const num::BigInt& den = g.weight(v).denominator();
+    if (den == one) continue;
+    lcm = lcm / num::BigInt::gcd(lcm, den) * den;
   }
+  std::vector<num::BigInt> scaled;
+  scaled.reserve(canonical.to_original.size());
+  for (const Vertex v : canonical.to_original) {
+    const Rational& w = g.weight(v);
+    if (w.numerator().is_zero() || w.denominator() == lcm) {
+      scaled.push_back(w.numerator());
+    } else {
+      scaled.push_back(w.numerator() * (lcm / w.denominator()));
+    }
+  }
+  num::BigInt common(0);
+  for (const num::BigInt& s : scaled) {
+    if (s.is_zero()) continue;
+    common = common.is_zero() ? s : num::BigInt::gcd(common, s);
+    if (common == one) break;
+  }
+  if (!common.is_zero() && common != one)
+    for (num::BigInt& s : scaled) s = s / common;
+  for (const num::BigInt& s : scaled) encode_bigint(s, key.words);
   key.hash_value = fnv1a(key.words);
   return key;
 }
@@ -150,63 +170,20 @@ BottleneckCache& BottleneckCache::instance() {
   return *cache;
 }
 
-std::optional<BottleneckResult> BottleneckCache::lookup(
-    const GraphKey& key) const {
-  Shard& shard = shard_for(key);
-  std::shared_lock lock(shard.mutex);
-  const auto it = shard.map.find(key);
-  if (it == shard.map.end()) return std::nullopt;
-  it->second.referenced.store(true, std::memory_order_relaxed);
-  return it->second.result;
-}
-
-void BottleneckCache::insert(GraphKey key, BottleneckResult result) {
-  Shard& shard = shard_for(key);
-  std::unique_lock lock(shard.mutex);
-  if (shard.map.size() >= kMaxEntriesPerShard) {
-    // Second-chance: recently hit entries get their bit cleared and move to
-    // the back; the first cold entry goes. Terminates within one full lap —
-    // after that every bit has been cleared.
-    for (std::size_t scanned = 0; !shard.clock.empty(); ++scanned) {
-      const GraphKey* candidate = shard.clock.front();
-      shard.clock.pop_front();
-      const auto it = shard.map.find(*candidate);
-      Entry& entry = it->second;
-      if (entry.referenced.load(std::memory_order_relaxed) &&
-          scanned < shard.clock.size() + 1) {
-        entry.referenced.store(false, std::memory_order_relaxed);
-        shard.clock.push_back(candidate);
-        continue;
-      }
-      shard.map.erase(it);
-      count_eviction();
-      break;
-    }
-  }
-  const auto [it, inserted] =
-      shard.map.try_emplace(std::move(key), std::move(result));
-  if (inserted) shard.clock.push_back(&it->first);
-}
-
-void BottleneckCache::clear() {
-  for (Shard& shard : shards_) {
-    std::unique_lock lock(shard.mutex);
-    shard.map.clear();
-    shard.clock.clear();
-  }
-}
-
-std::size_t BottleneckCache::size() const {
-  std::size_t total = 0;
-  for (const Shard& shard : shards_) {
-    std::shared_lock lock(shard.mutex);
-    total += shard.map.size();
-  }
-  return total;
+DecompositionCache& DecompositionCache::instance() {
+  static DecompositionCache* cache = new DecompositionCache();  // leaked
+  return *cache;
 }
 
 BottleneckResult cached_maximal_bottleneck(const Graph& g,
                                            const BottleneckOptions& options) {
+  return cached_maximal_bottleneck(g, options, nullptr, nullptr);
+}
+
+BottleneckResult cached_maximal_bottleneck(
+    const Graph& g, const BottleneckOptions& options,
+    const graph::CanonicalStructure* precomputed_canonical,
+    const GraphKey* precomputed_key) {
   const HotPathConfig& config = hot_path_config();
   BottleneckOptions effective = options;
   if (!config.warm_start) effective.warm_lambda = nullptr;
@@ -218,21 +195,33 @@ BottleneckResult cached_maximal_bottleneck(const Graph& g,
   // positions; translation through to_original is sound because the maximal
   // bottleneck (unique maximum of the minimizer lattice) is carried onto
   // itself by every isomorphism.
-  std::optional<graph::CanonicalStructure> canonical;
-  if (config.canonical_cache) canonical = graph::canonicalize_ring_graph(g);
+  std::optional<graph::CanonicalStructure> canonical_storage;
+  const graph::CanonicalStructure* canonical = nullptr;
+  if (precomputed_canonical != nullptr && config.canonical_cache) {
+    canonical = precomputed_canonical;
+  } else if (config.canonical_cache) {
+    canonical_storage = graph::canonicalize_ring_graph(g);
+    if (canonical_storage) canonical = &*canonical_storage;
+  }
 
-  GraphKey key =
-      canonical ? canonical_fingerprint(g, *canonical) : graph_fingerprint(g);
+  GraphKey key;
+  if (canonical != nullptr && precomputed_key != nullptr &&
+      precomputed_canonical != nullptr) {
+    key = *precomputed_key;
+  } else {
+    key = canonical != nullptr ? canonical_fingerprint(g, *canonical)
+                               : graph_fingerprint(g);
+  }
   BottleneckCache& cache = BottleneckCache::instance();
   if (auto hit = cache.lookup(key)) {
     count_hit();
-    if (canonical)
+    if (canonical != nullptr)
       hit->bottleneck = translate_to_original(hit->bottleneck, *canonical);
     return *std::move(hit);
   }
   count_miss();
   BottleneckResult result = maximal_bottleneck(g, effective);
-  if (canonical) {
+  if (canonical != nullptr) {
     BottleneckResult stored = result;
     stored.bottleneck = translate_to_canonical(result.bottleneck,
                                                g.vertex_count(), *canonical);

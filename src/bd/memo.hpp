@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
@@ -52,6 +53,16 @@ struct HotPathConfig {
   /// Reuse the previous Dinkelbach iteration's flow (drain + augment)
   /// instead of re-running Dinic from zero.
   bool incremental_flow = true;
+  /// Smallest graph (vertex count) on which incremental_flow engages. Below
+  /// this, draining + re-augmenting the previous flow costs more than a cold
+  /// Dinic run (BENCH_deviation measured 18.2ms incremental vs 16.8ms cold
+  /// on n ≤ 12 graphs), so small instances bypass reuse and bump the
+  /// flow_incremental_bypasses counter instead.
+  std::size_t incremental_flow_min_vertices = 16;
+  /// Memoize whole decompositions (the peel loop's full pair sequence) by
+  /// the canonical fingerprint of the input graph, so repeated or
+  /// symmetric instances skip every peel stage. Requires canonical_cache.
+  bool decomposition_cache = true;
   /// Solve the parametric min-cut combinatorially (O(n) DP) on path/cycle
   /// unions, skipping flow entirely.
   bool ring_kernel = true;
@@ -59,6 +70,19 @@ struct HotPathConfig {
   /// throw std::logic_error on any disagreement (differential testing /
   /// bench certification; expensive).
   bool cross_check_kernel = false;
+  /// Serve ParametrizedGraph::signature(t) on ring-union families from the
+  /// Graph-free peel oracle (game/breakpoints.cpp): the family's path/cycle
+  /// topology is analyzed once, and each probe re-stages weights and runs
+  /// the kernel Dinkelbach per peel stage directly — no Graph materialization,
+  /// no canonicalization, no cache traffic. The accepted (α*, maximal
+  /// minimizer) of each stage is unique, so the emitted signature is
+  /// bit-identical to decompose(t).signature(). Hits/fallbacks are counted
+  /// in sig_oracle_hits / sig_oracle_fallbacks.
+  bool signature_oracle = true;
+  /// Run BOTH the signature oracle and the full decomposition on every
+  /// oracle-served signature(t) call and throw std::logic_error on any
+  /// disagreement (differential testing; expensive).
+  bool cross_check_signature_oracle = false;
 };
 
 /// The live configuration (mutable singleton).
@@ -88,24 +112,84 @@ struct GraphKey {
 [[nodiscard]] GraphKey canonical_fingerprint(
     const Graph& g, const graph::CanonicalStructure& canonical);
 
-/// Sharded, thread-safe memo of maximal_bottleneck results. Shards are
-/// picked by key hash; each holds an independent map behind a shared_mutex,
-/// so concurrent sweep workers rarely contend. Shards are capped; overflow
-/// evicts one entry by a second-chance (clock) scan — recently hit entries
-/// survive, cold ones go, and the bottleneck_cache_evictions perf counter
-/// records the churn.
-class BottleneckCache {
- public:
-  /// The process-wide cache.
-  static BottleneckCache& instance();
+/// Map a vertex set given in canonical positions to sorted original ids.
+[[nodiscard]] std::vector<Vertex> translate_to_original(
+    const std::vector<Vertex>& canonical_set,
+    const graph::CanonicalStructure& canonical);
 
-  [[nodiscard]] std::optional<BottleneckResult> lookup(
-      const GraphKey& key) const;
-  void insert(GraphKey key, BottleneckResult result);
+/// Map a vertex set given in original ids to sorted canonical positions.
+[[nodiscard]] std::vector<Vertex> translate_to_canonical(
+    const std::vector<Vertex>& original_set, std::size_t vertex_count,
+    const graph::CanonicalStructure& canonical);
+
+namespace detail {
+/// Eviction tally hook (keeps the template header free of perf includes).
+void count_cache_eviction() noexcept;
+}  // namespace detail
+
+/// Sharded, thread-safe memo from GraphKey to an arbitrary value type.
+/// Shards are picked by key hash; each holds an independent map behind a
+/// shared_mutex, so concurrent sweep workers rarely contend. Shards are
+/// capped; overflow evicts one entry by a second-chance (clock) scan —
+/// recently hit entries survive, cold ones go, and the
+/// bottleneck_cache_evictions perf counter records the churn.
+template <typename Value>
+class GraphKeyedCache {
+ public:
+  [[nodiscard]] std::optional<Value> lookup(const GraphKey& key) const {
+    Shard& shard = shard_for(key);
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) return std::nullopt;
+    it->second.referenced.store(true, std::memory_order_relaxed);
+    return it->second.value;
+  }
+
+  void insert(GraphKey key, Value value) {
+    Shard& shard = shard_for(key);
+    std::unique_lock lock(shard.mutex);
+    if (shard.map.size() >= kMaxEntriesPerShard) {
+      // Second-chance: recently hit entries get their bit cleared and move
+      // to the back; the first cold entry goes. Terminates within one full
+      // lap — after that every bit has been cleared.
+      for (std::size_t scanned = 0; !shard.clock.empty(); ++scanned) {
+        const GraphKey* candidate = shard.clock.front();
+        shard.clock.pop_front();
+        const auto it = shard.map.find(*candidate);
+        Entry& entry = it->second;
+        if (entry.referenced.load(std::memory_order_relaxed) &&
+            scanned < shard.clock.size() + 1) {
+          entry.referenced.store(false, std::memory_order_relaxed);
+          shard.clock.push_back(candidate);
+          continue;
+        }
+        shard.map.erase(it);
+        detail::count_cache_eviction();
+        break;
+      }
+    }
+    const auto [it, inserted] =
+        shard.map.try_emplace(std::move(key), std::move(value));
+    if (inserted) shard.clock.push_back(&it->first);
+  }
 
   /// Drop every entry (benches/tests; not for concurrent use).
-  void clear();
-  [[nodiscard]] std::size_t size() const;
+  void clear() {
+    for (Shard& shard : shards_) {
+      std::unique_lock lock(shard.mutex);
+      shard.map.clear();
+      shard.clock.clear();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::shared_lock lock(shard.mutex);
+      total += shard.map.size();
+    }
+    return total;
+  }
 
   /// Entry cap per shard (exposed so the eviction test can fill a shard).
   static constexpr std::size_t kMaxEntriesPerShard = 1 << 15;
@@ -118,13 +202,13 @@ class BottleneckCache {
       return key.hash_value;
     }
   };
-  /// Cached result plus its second-chance bit. `referenced` is atomic so
+  /// Cached value plus its second-chance bit. `referenced` is atomic so
   /// lookups may set it under the shard's *shared* lock.
   struct Entry {
-    BottleneckResult result;
+    Value value;
     std::atomic<bool> referenced{false};
 
-    explicit Entry(BottleneckResult r) : result(std::move(r)) {}
+    explicit Entry(Value v) : value(std::move(v)) {}
   };
   struct Shard {
     mutable std::shared_mutex mutex;
@@ -141,6 +225,38 @@ class BottleneckCache {
   mutable std::array<Shard, kShardCount> shards_;
 };
 
+/// The maximal_bottleneck memo (one peel stage per entry).
+class BottleneckCache : public GraphKeyedCache<BottleneckResult> {
+ public:
+  /// The process-wide cache.
+  static BottleneckCache& instance();
+};
+
+/// One stored peel stage of a memoized decomposition, in canonical
+/// positions.
+struct CachedPair {
+  std::vector<Vertex> b;
+  std::vector<Vertex> c;
+  num::Rational alpha;
+};
+
+/// Whole-decomposition value for the peel cache: the full pair sequence of
+/// the peel loop in canonical positions plus the recorded solver effort.
+/// Sound to share across isomorphic (and uniformly scaled) instances: each
+/// stage's maximal bottleneck is carried onto itself by every isomorphism,
+/// and α = w(C)/w(B) is a weight ratio, invariant under scaling.
+struct CachedDecomposition {
+  std::vector<CachedPair> pairs;
+  int dinkelbach_iterations = 0;
+};
+
+/// The whole-decomposition memo (HotPathConfig::decomposition_cache).
+class DecompositionCache : public GraphKeyedCache<CachedDecomposition> {
+ public:
+  /// The process-wide cache.
+  static DecompositionCache& instance();
+};
+
 /// maximal_bottleneck through the hot-path engine: memo cache first (when
 /// enabled, keyed canonically for ring-shaped graphs), then the solver with
 /// whichever of `options`' accelerators the current hot_path_config()
@@ -148,5 +264,13 @@ class BottleneckCache {
 /// in every configuration.
 [[nodiscard]] BottleneckResult cached_maximal_bottleneck(
     const Graph& g, const BottleneckOptions& options = {});
+
+/// Same, with the dihedral canonicalization and key precomputed by the
+/// caller (the decomposition peel loop shares one canonicalization between
+/// its peel-cache probe and the step-0 bottleneck lookup). `canonical` and
+/// `key` must describe `g`; pass nullptr to canonicalize internally.
+[[nodiscard]] BottleneckResult cached_maximal_bottleneck(
+    const Graph& g, const BottleneckOptions& options,
+    const graph::CanonicalStructure* canonical, const GraphKey* key);
 
 }  // namespace ringshare::bd

@@ -198,15 +198,18 @@ void solve_chain(const V* w, const V* lw, V* F, V* G, std::uint8_t* f_mask,
 /// Stage a component's weights as integers w·D for the shared denominator
 /// D = lcm of the weight denominators: int64 `scaled_w` when D and every
 /// scaled value stay below 2^55 in magnitude, arbitrary-precision `big_w`
-/// otherwise. Runs once per analyze, so Dinkelbach evaluations pay no
-/// per-λ rational normalization on any component.
-void scale_component(const Graph& g, RingComponent& component) {
+/// otherwise. Runs once per analyze (or per re-stage), so Dinkelbach
+/// evaluations pay no per-λ rational normalization on any component.
+template <typename WeightFn>
+void stage_component(WeightFn&& weight, RingComponent& component) {
   const std::size_t k = component.order.size();
+  component.scaled_w.clear();
+  component.big_w.clear();
   component.scaled = k <= kMaxScaledLength;
   std::int64_t common = 1;
   if (component.scaled) {
     for (const Vertex v : component.order) {
-      const Rational& value = g.weight(v);
+      const Rational& value = weight(v);
       if (!value.denominator().fits_int64() ||
           !value.numerator().fits_int64()) {
         component.scaled = false;
@@ -222,7 +225,7 @@ void scale_component(const Graph& g, RingComponent& component) {
   if (component.scaled) {
     component.scaled_w.reserve(k);
     for (const Vertex v : component.order) {
-      const Rational& value = g.weight(v);
+      const Rational& value = weight(v);
       const Int scaled = Int(value.numerator().to_int64()) *
                          (common / value.denominator().to_int64());
       if (scaled >= kMaxMagnitude || scaled <= -kMaxMagnitude) {
@@ -236,16 +239,21 @@ void scale_component(const Graph& g, RingComponent& component) {
   if (!component.scaled) {
     BigInt big_common(1);
     for (const Vertex v : component.order) {
-      const BigInt& den = g.weight(v).denominator();
+      const BigInt& den = weight(v).denominator();
       big_common = big_common / BigInt::gcd(big_common, den) * den;
     }
     component.big_w.reserve(k);
     for (const Vertex v : component.order) {
-      const Rational& value = g.weight(v);
+      const Rational& value = weight(v);
       component.big_w.push_back(value.numerator() *
                                 (big_common / value.denominator()));
     }
   }
+}
+
+void scale_component(const Graph& g, RingComponent& component) {
+  stage_component([&](Vertex v) -> const Rational& { return g.weight(v); },
+                  component);
 }
 
 /// Run the chain solves for the component: one free chain for a path; for a
@@ -337,6 +345,12 @@ std::optional<RingStructure> analyze_ring_structure(const Graph& g) {
     structure.components.push_back(std::move(component));
   }
   return structure;
+}
+
+void stage_component_weights(const std::vector<Rational>& weights,
+                             RingComponent& component) {
+  stage_component([&](Vertex v) -> const Rational& { return weights[v]; },
+                  component);
 }
 
 std::vector<Vertex> kernel_maximal_minimizer(const Graph& g,

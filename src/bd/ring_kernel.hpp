@@ -62,6 +62,13 @@ struct RingStructure {
 [[nodiscard]] std::optional<RingStructure> analyze_ring_structure(
     const Graph& g);
 
+/// Re-stage `component`'s weights from a dense per-vertex weight table
+/// (indexed by the vertex ids in component.order), using exactly the
+/// staging of analyze_ring_structure. For callers that evaluate a weight
+/// family along a parameter without materializing a Graph per sample.
+void stage_component_weights(const std::vector<Rational>& weights,
+                             RingComponent& component);
+
 /// The maximal minimizer of f(S) = w(Γ(S)) − λ·w(S) over S ⊆ V(g), as a
 /// sorted vertex list — the combinatorial equivalent of one parametric
 /// min-cut evaluation. `structure` must come from analyze_ring_structure(g).

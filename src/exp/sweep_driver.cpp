@@ -111,6 +111,15 @@ util::PerfSnapshot snapshot_delta(const util::PerfSnapshot& after,
       after.collusion_optimizations - before.collusion_optimizations;
   delta.pool_tasks_local = after.pool_tasks_local - before.pool_tasks_local;
   delta.pool_tasks_stolen = after.pool_tasks_stolen - before.pool_tasks_stolen;
+  delta.partition_sig_hits =
+      after.partition_sig_hits - before.partition_sig_hits;
+  delta.peel_cache_hits = after.peel_cache_hits - before.peel_cache_hits;
+  delta.prefilter_discards =
+      after.prefilter_discards - before.prefilter_discards;
+  delta.prefilter_fallthroughs =
+      after.prefilter_fallthroughs - before.prefilter_fallthroughs;
+  delta.flow_incremental_bypasses =
+      after.flow_incremental_bypasses - before.flow_incremental_bypasses;
   for (int i = 0; i < static_cast<int>(util::Phase::kCount); ++i)
     delta.phase_ns[i] = after.phase_ns[i] - before.phase_ns[i];
   return delta;
@@ -266,28 +275,35 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
 
   std::mutex out_mutex;
   std::vector<std::optional<SweepTaskRecord>> run_records(pending.size());
-  util::parallel_for(0, pending.size(), [&](std::size_t k) {
-    const Task& task = pending[k];
-    const game::DeviationOptimum optimum = game::optimize_deviation(
-        rings[task.instance], task.deviation, options.solver);
-    SweepTaskRecord record;
-    record.instance = task.instance;
-    record.kind = optimum.kind;
-    record.vertex = optimum.vertex;
-    record.partner = optimum.partner;
-    record.ratio = optimum.ratio;
-    record.t_star = optimum.t_star;
-    record.utility = optimum.utility;
-    record.honest_utility = optimum.honest_utility;
-    if (out.is_open()) {
-      // One flushed line per task = the checkpoint granularity.
-      const std::string line = record.to_jsonl();
-      std::lock_guard lock(out_mutex);
-      out << line << '\n';
-      out.flush();
-    }
-    run_records[k] = std::move(record);
-  });
+  // max_chunk = 1: each deviation solve is expensive and their costs are
+  // heavily skewed (piece counts vary per instance), so every task must be
+  // individually stealable — chunked batches leave the pool's work-stealing
+  // idle behind whichever worker drew the hard instances.
+  util::parallel_for(
+      0, pending.size(),
+      [&](std::size_t k) {
+        const Task& task = pending[k];
+        const game::DeviationOptimum optimum = game::optimize_deviation(
+            rings[task.instance], task.deviation, options.solver);
+        SweepTaskRecord record;
+        record.instance = task.instance;
+        record.kind = optimum.kind;
+        record.vertex = optimum.vertex;
+        record.partner = optimum.partner;
+        record.ratio = optimum.ratio;
+        record.t_star = optimum.t_star;
+        record.utility = optimum.utility;
+        record.honest_utility = optimum.honest_utility;
+        if (out.is_open()) {
+          // One flushed line per task = the checkpoint granularity.
+          const std::string line = record.to_jsonl();
+          std::lock_guard lock(out_mutex);
+          out << line << '\n';
+          out.flush();
+        }
+        run_records[k] = std::move(record);
+      },
+      /*min_chunk=*/1, /*explicit_pool=*/nullptr, /*max_chunk=*/1);
 
   report.elapsed_seconds = timer.elapsed_seconds();
   report.counters =

@@ -2,15 +2,320 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "bd/memo.hpp"
+#include "bd/ring_kernel.hpp"
 #include "numeric/bigint.hpp"
 #include "numeric/poly_roots.hpp"
+#include "util/perf_counters.hpp"
 
 namespace ringshare::game {
 
 using num::BigInt;
+
+// ---------------------------------------------------------------------------
+// RingOracle — Graph-free signature evaluation for ring-union families.
+//
+// signature(t) is the partition engine's innermost probe: the bisection and
+// event-sweep layers only need the (B_i, C_i) pair sets, yet the default
+// path pays a full Decomposition per probe — a Graph materialization, a
+// dihedral canonicalization, and memo-cache traffic, all of which dwarf the
+// O(n) kernel DP that actually decides the sets. On a ring-union family
+// (every base vertex of degree ≤ 2 — the only shape the deviation sweeps
+// produce) the whole peel loop can instead run directly on the family's
+// fixed adjacency: stage the weights at t, Dinkelbach on the ring kernel,
+// peel the accepted pair, repeat.
+//
+// Bit-identity with decompose(t).signature(): per peel stage the accepted
+// (α*, S) of the Dinkelbach loop is unique — acceptance requires a
+// non-empty positive-weight minimizer of value ≥ 0, which pins λ = α* and
+// S = the lattice-maximal minimizer regardless of the iteration path — and
+// induced_subgraph's relabeling is order-preserving (to_parent ascending),
+// so the original-id sets emitted here equal the Decomposition peel's
+// mapped sets verbatim, including the all-zero-remainder closing pair.
+struct ParametrizedGraph::RingOracle {
+  std::size_t n = 0;
+  /// Base adjacency, deg[v] valid entries per vertex (≤ 2 by eligibility).
+  std::vector<std::array<Vertex, 2>> nbr;
+  std::vector<std::uint8_t> deg;
+
+  /// Signature at t, or nullopt when t is out of range or a varying weight
+  /// goes negative there (the decompose() fallback then throws the
+  /// canonical exception). `warm` (optional) carries per-stage α* hints
+  /// between calls; like maximal_bottleneck's warm start it only shifts
+  /// iteration counts — an undershooting hint restarts from the cold
+  /// bound, so the accepted pair is pinned either way.
+  [[nodiscard]] std::optional<Signature> signature_at(
+      const ParametrizedGraph& pg, const Rational& t,
+      std::vector<Rational>* warm_hints) const;
+};
+
+std::optional<Signature> ParametrizedGraph::RingOracle::signature_at(
+    const ParametrizedGraph& pg, const Rational& t,
+    std::vector<Rational>* warm_hints) const {
+  if (t < pg.t_lo_ || pg.t_hi_ < t) return std::nullopt;
+  // Per-thread scratch: signature probes are the partition engine's
+  // innermost loop, so the working vectors (and the staged components'
+  // buffers) are recycled call to call instead of reallocated.
+  struct Scratch {
+    std::vector<Rational> w;
+    std::vector<char> alive;
+    std::vector<char> visited;
+    std::vector<char> in_c;
+    std::vector<Vertex> alive_list;
+    std::vector<Vertex> next_alive;
+    std::vector<Rational> run_alphas;
+    bd::RingStructure structure;
+  };
+  static thread_local Scratch scratch;
+  std::vector<Rational>& w = scratch.w;
+  w.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    if (pg.varying_[v]) {
+      w[v] = pg.varying_[v]->at(t);
+      if (w[v].is_negative()) return std::nullopt;
+    } else {
+      w[v] = pg.base_.weight(v);
+    }
+  }
+
+  const auto alive_neighbors = [&](const std::vector<char>& alive, Vertex v,
+                                   Vertex out[2]) -> int {
+    int k = 0;
+    for (int i = 0; i < deg[v]; ++i) {
+      const Vertex u = nbr[v][i];
+      if (alive[u]) out[k++] = u;
+    }
+    return k;
+  };
+
+  Signature out;
+  std::vector<char>& alive = scratch.alive;
+  std::vector<char>& visited = scratch.visited;
+  std::vector<char>& in_c = scratch.in_c;
+  std::vector<Vertex>& alive_list = scratch.alive_list;
+  alive.assign(n, 1);
+  visited.assign(n, 0);
+  in_c.assign(n, 0);
+  alive_list.resize(n);
+  for (Vertex v = 0; v < n; ++v) alive_list[v] = v;
+  std::vector<Rational>& run_alphas = scratch.run_alphas;
+  run_alphas.clear();
+  std::size_t stage_index = 0;
+
+  while (!alive_list.empty()) {
+    // Degenerate all-zero remainder: the peel loop closes with a single
+    // pair b = c = remaining.
+    bool any_positive = false;
+    for (const Vertex v : alive_list) {
+      if (!w[v].is_zero()) {
+        any_positive = true;
+        break;
+      }
+    }
+    if (!any_positive) {
+      out.emplace_back(alive_list, alive_list);
+      break;
+    }
+
+    // Path/cycle components of the alive subgraph (a subgraph of a
+    // degree ≤ 2 graph is itself one). Paths start at an endpoint; what's
+    // left unvisited afterwards is cycles. Traversal order is free: the
+    // kernel's maximal minimizer is a set, returned sorted.
+    bd::RingStructure& structure = scratch.structure;
+    std::size_t component_count = 0;
+    const auto next_component = [&]() -> bd::RingComponent& {
+      if (component_count == structure.components.size())
+        structure.components.emplace_back();
+      bd::RingComponent& comp = structure.components[component_count++];
+      comp.order.clear();
+      comp.cycle = false;
+      return comp;
+    };
+    for (const Vertex v : alive_list) visited[v] = 0;
+    for (const Vertex v : alive_list) {
+      if (visited[v]) continue;
+      Vertex buf[2];
+      if (alive_neighbors(alive, v, buf) >= 2) continue;
+      bd::RingComponent& comp = next_component();
+      Vertex prev = v;
+      Vertex cur = v;
+      visited[v] = 1;
+      comp.order.push_back(v);
+      for (;;) {
+        Vertex step[2];
+        const int m = alive_neighbors(alive, cur, step);
+        Vertex next = cur;
+        bool found = false;
+        for (int i = 0; i < m; ++i) {
+          if (step[i] != prev) {
+            next = step[i];
+            found = true;
+            break;
+          }
+        }
+        if (!found) break;
+        prev = cur;
+        cur = next;
+        visited[cur] = 1;
+        comp.order.push_back(cur);
+      }
+    }
+    for (const Vertex v : alive_list) {
+      if (visited[v]) continue;
+      bd::RingComponent& comp = next_component();
+      comp.cycle = true;
+      Vertex buf[2];
+      alive_neighbors(alive, v, buf);
+      Vertex prev = v;
+      Vertex cur = buf[0];
+      visited[v] = 1;
+      comp.order.push_back(v);
+      while (cur != v) {
+        visited[cur] = 1;
+        comp.order.push_back(cur);
+        Vertex step[2];
+        alive_neighbors(alive, cur, step);
+        const Vertex next = step[0] == prev ? step[1] : step[0];
+        prev = cur;
+        cur = next;
+      }
+    }
+    structure.components.resize(component_count);
+    for (bd::RingComponent& comp : structure.components)
+      bd::stage_component_weights(w, comp);
+
+    // Cold-start bound: the best single-vertex attained ratio, exactly as
+    // maximal_bottleneck's cold path computes it on the induced stage.
+    const auto cold_bound = [&]() {
+      bool found_bound = false;
+      Rational bound;
+      for (const Vertex v : alive_list) {
+        if (w[v].is_zero()) continue;
+        Vertex buf[2];
+        const int m = alive_neighbors(alive, v, buf);
+        Rational nb_w;
+        for (int i = 0; i < m; ++i) nb_w += w[buf[i]];
+        Rational candidate = std::move(nb_w) / w[v];
+        if (!found_bound || candidate < bound) {
+          bound = std::move(candidate);
+          found_bound = true;
+        }
+      }
+      return bound;
+    };
+
+    // Dinkelbach descent on the kernel, warm-started from the same stage's
+    // α* of the previous probe when available. Counter/phase accounting
+    // matches maximal_bottleneck's kernel path so oracle-served probes show
+    // up in the same effort metrics.
+    bool warm = false;
+    Rational lambda;
+    if (warm_hints != nullptr && stage_index < warm_hints->size() &&
+        !(*warm_hints)[stage_index].is_negative()) {
+      lambda = (*warm_hints)[stage_index];
+      warm = true;
+    } else {
+      lambda = cold_bound();
+    }
+    std::vector<Vertex> accepted_b;
+    std::vector<Vertex> accepted_c;
+    for (int iteration = 1;; ++iteration) {
+      util::PerfCounters::local().dinkelbach_iterations.fetch_add(
+          1, std::memory_order_relaxed);
+      std::vector<Vertex> candidate;
+      {
+        util::ScopedPhase kernel_phase(util::Phase::kRingKernel);
+        util::PerfCounters::local().ring_kernel_evals.fetch_add(
+            1, std::memory_order_relaxed);
+        candidate = bd::kernel_maximal_minimizer(pg.base_, structure, lambda);
+      }
+      Rational set_w;
+      for (const Vertex v : candidate) set_w += w[v];
+      if (candidate.empty() || set_w.is_zero()) {
+        if (warm) {
+          // Warm guess undershot α*: restart from the attained cold bound,
+          // exactly where a cold start would have begun.
+          util::PerfCounters::local().dinkelbach_warm_restarts.fetch_add(
+              1, std::memory_order_relaxed);
+          warm = false;
+          lambda = cold_bound();
+          continue;
+        }
+        if (candidate.empty())
+          throw std::logic_error("maximal_bottleneck: empty maximal minimizer");
+        throw std::logic_error("maximal_bottleneck: zero-weight minimizer");
+      }
+      // Γ(S) within the stage: every alive neighbor of an S member
+      // (S members included when adjacent to one another), ascending.
+      std::vector<Vertex> gamma;
+      for (const Vertex v : candidate) {
+        Vertex buf[2];
+        const int m = alive_neighbors(alive, v, buf);
+        for (int i = 0; i < m; ++i) in_c[buf[i]] = 1;
+      }
+      Rational nbhd_w;
+      for (const Vertex v : alive_list) {
+        if (!in_c[v]) continue;
+        in_c[v] = 0;
+        gamma.push_back(v);
+        nbhd_w += w[v];
+      }
+      const Rational value = nbhd_w - lambda * set_w;
+      if (value.sign() >= 0) {
+        if (warm && iteration == 1) {
+          util::PerfCounters::local().dinkelbach_warm_hits.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        run_alphas.push_back(lambda);
+        accepted_b = std::move(candidate);
+        accepted_c = std::move(gamma);
+        break;
+      }
+      warm = false;
+      lambda = std::move(nbhd_w) / set_w;
+    }
+
+    for (const Vertex v : accepted_b) alive[v] = 0;
+    for (const Vertex v : accepted_c) alive[v] = 0;
+    std::vector<Vertex>& next_alive = scratch.next_alive;
+    next_alive.clear();
+    next_alive.reserve(alive_list.size());
+    for (const Vertex v : alive_list) {
+      if (alive[v]) next_alive.push_back(v);
+    }
+    std::swap(alive_list, next_alive);
+    out.emplace_back(std::move(accepted_b), std::move(accepted_c));
+    ++stage_index;
+  }
+  if (warm_hints != nullptr) *warm_hints = run_alphas;
+  return out;
+}
+
+std::shared_ptr<const ParametrizedGraph::RingOracle> ParametrizedGraph::oracle()
+    const {
+  std::lock_guard<std::mutex> lock(hints_mutex_);
+  if (oracle_checked_) return oracle_;
+  oracle_checked_ = true;
+  const std::size_t n = base_.vertex_count();
+  if (n == 0) return oracle_;
+  auto built = std::make_shared<RingOracle>();
+  built->n = n;
+  built->deg.assign(n, 0);
+  built->nbr.assign(n, {});
+  for (Vertex v = 0; v < n; ++v) {
+    const auto nbs = base_.neighbors(v);
+    if (nbs.size() > 2) return oracle_;  // not a ring union; stays null
+    for (const Vertex u : nbs) built->nbr[v][built->deg[v]++] = u;
+  }
+  oracle_ = std::move(built);
+  return oracle_;
+}
 
 ParametrizedGraph::ParametrizedGraph(Graph base, Rational t_lo, Rational t_hi)
     : base_(std::move(base)),
@@ -35,6 +340,9 @@ ParametrizedGraph& ParametrizedGraph::operator=(
   t_lo_ = other.t_lo_;
   t_hi_ = other.t_hi_;
   hints_ = {};  // hints describe the old family
+  oracle_.reset();  // so does the oracle topology
+  oracle_checked_ = false;
+  oracle_warm_.clear();
   return *this;
 }
 
@@ -51,6 +359,9 @@ ParametrizedGraph& ParametrizedGraph::operator=(
   t_lo_ = std::move(other.t_lo_);
   t_hi_ = std::move(other.t_hi_);
   hints_ = {};
+  oracle_.reset();
+  oracle_checked_ = false;
+  oracle_warm_.clear();
   return *this;
 }
 
@@ -84,6 +395,33 @@ Decomposition ParametrizedGraph::decompose(const Rational& t) const {
 }
 
 Signature ParametrizedGraph::signature(const Rational& t) const {
+  const bd::HotPathConfig& config = bd::hot_path_config();
+  if (config.signature_oracle) {
+    if (const std::shared_ptr<const RingOracle> oracle = this->oracle()) {
+      // Warm hints follow decompose()'s try-lock discipline: a concurrent
+      // caller probes hint-free rather than blocking.
+      std::unique_lock hints_lock(hints_mutex_, std::try_to_lock);
+      std::vector<Rational>* warm =
+          config.warm_start && hints_lock.owns_lock() ? &oracle_warm_
+                                                      : nullptr;
+      if (std::optional<Signature> sig = oracle->signature_at(*this, t, warm)) {
+        hints_lock = {};
+        util::PerfCounters::local().sig_oracle_hits.fetch_add(
+            1, std::memory_order_relaxed);
+        if (config.cross_check_signature_oracle) {
+          const Signature reference = decompose(t).signature();
+          if (*sig != reference) {
+            throw std::logic_error(
+                "signature oracle disagrees with decomposition at t = " +
+                t.to_string());
+          }
+        }
+        return *std::move(sig);
+      }
+    }
+    util::PerfCounters::local().sig_oracle_fallbacks.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   return decompose(t).signature();
 }
 
@@ -123,17 +461,6 @@ std::array<Rational, 3> crossing_coefficients(const AlphaFunction& f1,
           f1.num_c * f2.den_s + f1.num_s * f2.den_c - f2.num_c * f1.den_s -
               f2.num_s * f1.den_c,
           f1.num_s * f2.den_s - f2.num_s * f1.den_s};
-}
-
-/// A low-height point strictly inside (a, b), for validation decompositions.
-/// The naive midpoint inherits the endpoints' precision tails (isolation
-/// brackets carry ~bracket_bits of fraction), which would make every
-/// validation decomposition run on huge rationals; the Stern–Brocot
-/// simplest element of the middle half costs bits proportional to the
-/// interval's width instead.
-Rational cheap_interior_point(const Rational& a, const Rational& b) {
-  const Rational quarter = (b - a) / Rational(4);
-  return num::simplest_between(a + quarter, b - quarter);
 }
 
 }  // namespace
@@ -192,6 +519,14 @@ void collect_candidates(const ParametrizedGraph& pg, const Signature& sig,
   }
 }
 
+/// One isolated crossing root together with the quadratic that produced it
+/// (the polynomial lets the caller re-test signs when snapping the bracket
+/// onto the absolute dyadic grid).
+struct CrossingRoot {
+  num::RootBracket bracket;
+  num::Polynomial poly;
+};
+
 /// Isolating brackets of ALL crossing roots (rational and irrational) in
 /// [lo, hi] implied by one signature's symbolic αs. Pure exact arithmetic
 /// on the crossing quadratics — no decompositions.
@@ -199,7 +534,7 @@ void collect_crossing_brackets(const ParametrizedGraph& pg,
                                const Signature& sig, const Rational& lo,
                                const Rational& hi,
                                const num::RootIsolationOptions& iso,
-                               std::vector<num::RootBracket>& out) {
+                               std::vector<CrossingRoot>& out) {
   std::vector<AlphaFunction> alphas;
   alphas.reserve(sig.size());
   for (const auto& [b, c] : sig) alphas.push_back(alpha_function(pg, b, c));
@@ -211,7 +546,7 @@ void collect_crossing_brackets(const ParametrizedGraph& pg,
         {std::move(q0), std::move(q1), std::move(q2)});
     if (poly.is_zero()) return;  // identical α curves — no isolated root
     for (num::RootBracket& root : num::isolate_roots(poly, lo, hi, iso))
-      out.push_back(std::move(root));
+      out.push_back(CrossingRoot{std::move(root), poly});
   };
   for (std::size_t i = 0; i < alphas.size(); ++i) {
     for (std::size_t j = i + 1; j < alphas.size(); ++j)
@@ -226,6 +561,8 @@ struct PartitionBuilder {
   Rational min_width;        ///< range / 2^resolution_bits
   Rational algebraic_width;  ///< range / 2^algebraic_bits; zero disables
   int bracket_bits;
+  Rational cell;  ///< range / 2^bracket_bits — the absolute snapping grid
+  const std::vector<Rational>* seeds;  ///< optional bisection split hints
   std::vector<Breakpoint> breakpoints;
 
   /// Smallest k with width · 2^k ≥ range, i.e. an upper bound on how many
@@ -240,6 +577,128 @@ struct PartitionBuilder {
       ++k;
     }
     return k;
+  }
+
+  /// A low-height point strictly inside (a, b), for validation and probe
+  /// decompositions. The naive midpoint inherits the endpoints' precision
+  /// tails (isolation brackets carry ~bracket_bits of fraction), which
+  /// would make every validation decomposition run on huge rationals; the
+  /// Stern–Brocot simplest element of the middle half costs bits
+  /// proportional to the interval's width instead. Chosen in NORMALIZED
+  /// coordinates u = (t − t_lo)/range so that weighted-isomorphic families
+  /// (uniform weight scaling shifts and stretches the parameter range) pick
+  /// corresponding points — sample placement, and with it every recorded
+  /// breakpoint, is covariant under scaling.
+  [[nodiscard]] Rational interior_point(const Rational& a,
+                                        const Rational& b) const {
+    const Rational& origin = pg.t_lo();
+    const Rational u_lo = (a - origin) / range;
+    const Rational u_hi = (b - origin) / range;
+    const Rational quarter = (u_hi - u_lo) / Rational(4);
+    return origin +
+           num::simplest_between(u_lo + quarter, u_hi - quarter) * range;
+  }
+
+  /// Bisection split point of [lo, hi]: the seed nearest the midpoint when
+  /// one lies strictly inside the middle half (a related family's partition
+  /// suggested a crossing there — splitting at it separates the structures
+  /// in one evaluation instead of log(width) of them), else the midpoint.
+  /// Seeds only steer WHERE the refiner samples; everything recorded is
+  /// derived from path-independent data, so they can never change output.
+  [[nodiscard]] Rational split_point(const Rational& lo,
+                                     const Rational& hi) const {
+    const Rational mid = Rational::midpoint(lo, hi);
+    if (seeds == nullptr) return mid;
+    const Rational quarter = (hi - lo) / Rational(4);
+    const Rational window_lo = lo + quarter;
+    const Rational window_hi = hi - quarter;
+    const Rational* best = nullptr;
+    Rational best_distance;
+    for (const Rational& seed : *seeds) {
+      if (!(window_lo < seed) || !(seed < window_hi)) continue;
+      Rational distance = seed < mid ? mid - seed : seed - mid;
+      if (best == nullptr || distance < best_distance) {
+        best = &seed;
+        best_distance = std::move(distance);
+      }
+    }
+    return best != nullptr ? *best : mid;
+  }
+
+  /// A bracket snapped onto the absolute grid t_lo + k·cell, or an exact
+  /// root when the deciding grid boundary lands on it.
+  struct SnappedBracket {
+    Rational lo;
+    Rational hi;
+    std::optional<Rational> exact_root;
+  };
+
+  /// Snap an isolating bracket of `poly` to the dyadic grid cell containing
+  /// its root. Isolation always brackets tighter than one cell, so the
+  /// bracket overlaps at most two cells and a single sign test at the
+  /// shared boundary decides between them. The result depends only on the
+  /// root itself — not on the bisection path that found the bracket — which
+  /// keeps partition output identical across seeded/unseeded runs.
+  [[nodiscard]] SnappedBracket snap_bracket(const Rational& b_lo,
+                                            const Rational& b_hi,
+                                            const num::Polynomial& poly) const {
+    const int s_lo = poly.sign_at(b_lo);
+    const int s_hi = poly.sign_at(b_hi);
+    if (s_lo * s_hi >= 0 || !(b_hi - b_lo < cell))
+      return {b_lo, b_hi, std::nullopt};  // defensive: keep the raw bracket
+    const Rational offset = (b_lo - pg.t_lo()) / cell;
+    // floor(offset): numerator/denominator are non-negative, so the
+    // truncated BigInt quotient is the floor.
+    Rational cell_lo =
+        pg.t_lo() + Rational(offset.numerator() / offset.denominator()) * cell;
+    Rational cell_hi = cell_lo + cell;
+    if (cell_hi < b_hi) {
+      // Bracket spans the boundary between two cells: one exact sign test
+      // at the boundary decides which cell holds the root.
+      const int s_boundary = poly.sign_at(cell_hi);
+      if (s_boundary == 0) return {cell_hi, cell_hi, cell_hi};
+      if (s_lo * s_boundary > 0) {
+        cell_lo = cell_hi;
+        cell_hi = cell_lo + cell;
+      }
+    }
+    return {std::move(cell_lo), std::move(cell_hi), std::nullopt};
+  }
+
+  /// Record a validated crossing bracket as a breakpoint inside the local
+  /// interval [lo, hi]: snap it to the absolute grid, derive a LOW-HEIGHT
+  /// value within min_width of the snapped cell (the value seeds piece
+  /// bounds and interior sample points, so a high-precision value would
+  /// drag every downstream decomposition onto huge rationals — the tight
+  /// bracket travels separately in lo/hi as exact candidate endpoints for
+  /// the optimizer), and sample the signature AT the value. Returns false
+  /// when the value degenerates onto an interval end.
+  bool record_bracket(const Rational& lo, const Rational& hi,
+                      const num::RootBracket& bracket,
+                      const num::Polynomial& poly) {
+    const SnappedBracket snapped = snap_bracket(bracket.lo, bracket.hi, poly);
+    if (snapped.exact_root) {
+      const Rational& root = *snapped.exact_root;
+      if (root == lo || root == hi) return false;
+      breakpoints.push_back(
+          Breakpoint{root, true, pg.signature(root), root, root});
+      return true;
+    }
+    Rational v_lo = snapped.lo - min_width;
+    if (v_lo < lo) v_lo = lo;
+    Rational v_hi = snapped.hi + min_width;
+    if (hi < v_hi) v_hi = hi;
+    // Low-height value chosen in normalized coordinates (like
+    // interior_point) so it is covariant under uniform weight scaling.
+    const Rational& origin = pg.t_lo();
+    const Rational value =
+        origin + num::simplest_between((v_lo - origin) / range,
+                                       (v_hi - origin) / range) *
+                     range;
+    if (value == lo || value == hi) return false;  // degenerate; keep bisecting
+    breakpoints.push_back(
+        Breakpoint{value, false, pg.signature(value), snapped.lo, snapped.hi});
+    return true;
   }
 
   /// Flank re-check after a validated crossing: the validation samples
@@ -257,15 +716,27 @@ struct PartitionBuilder {
       refine(*above, hi, sig_hi, sig_hi, guard_depth);
   }
 
+  /// Validation sample points of a successful try_isolate, reported back to
+  /// callers that guard the flanks themselves (the event sweep anchors its
+  /// outer guards at these REAL samples instead of claiming an unsampled
+  /// signature at the narrowed interval's ends).
+  struct IsolateAnchors {
+    std::optional<Rational> below;
+    std::optional<Rational> above;
+  };
+
   /// Resolve the (generic, single) structure change inside [lo, hi]
   /// algebraically: exact roots of the crossing quadratics first, then
   /// isolating brackets for irrational crossings, each validated by
   /// signature samples on both sides. Returns false when nothing validates
   /// (several crossings packed together, or a transition the adjacent
-  /// signatures' quadratics do not see) — the caller keeps bisecting.
+  /// signatures' quadratics do not see) — the caller keeps bisecting. With
+  /// `anchors` non-null the internal flank guards are skipped and the
+  /// validation samples are reported instead, for callers that run wider
+  /// guards of their own.
   bool try_isolate(const Rational& lo, const Rational& hi,
                    const Signature& sig_lo, const Signature& sig_hi,
-                   int guard_depth) {
+                   int guard_depth, IsolateAnchors* anchors = nullptr) {
     std::vector<Rational> candidates;
     collect_candidates(pg, sig_lo, lo, hi, candidates);
     collect_candidates(pg, sig_hi, lo, hi, candidates);
@@ -284,7 +755,10 @@ struct PartitionBuilder {
         breakpoints.push_back(Breakpoint{candidate, true,
                                          pg.signature(candidate), candidate,
                                          candidate});
-        guard_flanks(lo, below, above, hi, sig_lo, sig_hi, guard_depth);
+        if (anchors != nullptr)
+          *anchors = IsolateAnchors{std::move(below), std::move(above)};
+        else
+          guard_flanks(lo, below, above, hi, sig_lo, sig_hi, guard_depth);
         return true;
       }
     }
@@ -298,35 +772,27 @@ struct PartitionBuilder {
     // what lets it dominate dense scans near irrational breakpoints.
     const num::RootIsolationOptions iso{
         std::max(32, bracket_bits + 1 - width_depth(hi - lo))};
-    std::vector<num::RootBracket> brackets;
-    collect_crossing_brackets(pg, sig_lo, lo, hi, iso, brackets);
-    collect_crossing_brackets(pg, sig_hi, lo, hi, iso, brackets);
-    std::sort(brackets.begin(), brackets.end(),
-              [](const num::RootBracket& a, const num::RootBracket& b) {
-                return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+    std::vector<CrossingRoot> roots;
+    collect_crossing_brackets(pg, sig_lo, lo, hi, iso, roots);
+    collect_crossing_brackets(pg, sig_hi, lo, hi, iso, roots);
+    std::sort(roots.begin(), roots.end(),
+              [](const CrossingRoot& a, const CrossingRoot& b) {
+                return a.bracket.lo != b.bracket.lo ? a.bracket.lo < b.bracket.lo
+                                                    : a.bracket.hi < b.bracket.hi;
               });
-    for (const num::RootBracket& bracket : brackets) {
-      if (bracket.exact) continue;  // rational roots were already tried
+    for (const CrossingRoot& root : roots) {
+      if (root.bracket.exact) continue;  // rational roots were already tried
       std::optional<Rational> below, above;
-      if (lo < bracket.lo) below = cheap_interior_point(lo, bracket.lo);
-      if (bracket.hi < hi) above = cheap_interior_point(bracket.hi, hi);
+      if (lo < root.bracket.lo) below = interior_point(lo, root.bracket.lo);
+      if (root.bracket.hi < hi) above = interior_point(root.bracket.hi, hi);
       const bool below_ok = !below || pg.signature(*below) == sig_lo;
       const bool above_ok = !above || pg.signature(*above) == sig_hi;
       if (!below_ok || !above_ok) continue;
-      // Record a LOW-HEIGHT value within min_width of the bracket: the
-      // value seeds piece bounds and interior sample points, so a
-      // high-precision value would drag every downstream decomposition
-      // onto huge rationals. The tight bracket travels separately in
-      // lo/hi, purely as exact candidate endpoints for the optimizer.
-      Rational v_lo = bracket.lo - min_width;
-      if (v_lo < lo) v_lo = lo;
-      Rational v_hi = bracket.hi + min_width;
-      if (hi < v_hi) v_hi = hi;
-      const Rational value = num::simplest_between(v_lo, v_hi);
-      if (value == lo || value == hi) continue;  // degenerate; keep bisecting
-      breakpoints.push_back(Breakpoint{value, false, pg.signature(value),
-                                       bracket.lo, bracket.hi});
-      guard_flanks(lo, below, above, hi, sig_lo, sig_hi, guard_depth);
+      if (!record_bracket(lo, hi, root.bracket, root.poly)) continue;
+      if (anchors != nullptr)
+        *anchors = IsolateAnchors{std::move(below), std::move(above)};
+      else
+        guard_flanks(lo, below, above, hi, sig_lo, sig_hi, guard_depth);
       return true;
     }
     return false;
@@ -348,20 +814,25 @@ struct PartitionBuilder {
     const Rational width = hi - lo;
     if (sig_lo == sig_hi) {
       if (depth <= 0) return;
-      // Sample two interior points to reduce the chance of missing a
-      // change-and-revert inside a visually uniform interval.
-      const Rational mid = Rational::midpoint(lo, hi);
-      const Signature sig_mid = pg.signature(mid);
-      if (sig_mid == sig_lo) {
-        const Rational third = lo + width * Rational(5, 13);
-        const Signature sig_third = pg.signature(third);
-        if (sig_third == sig_lo) return;  // accept as uniform
-        refine(lo, third, sig_lo, sig_third, depth - 1);
-        refine(third, hi, sig_third, sig_hi, depth - 1);
+      // Sample one interior point per half to reduce the chance of missing
+      // a change-and-revert inside a visually uniform interval. NOT the
+      // midpoint: interval ends are low-height rationals (probes, exact
+      // events), so their midpoint can land EXACTLY on a hidden crossing,
+      // where the at-point structure may coincide with the flanks' — the
+      // off-center 5/13 and 8/13 samples cover each half with points no
+      // low-height crossing collides with.
+      const Rational left = lo + width * Rational(5, 13);
+      const Signature sig_left = pg.signature(left);
+      if (sig_left != sig_lo) {
+        refine(lo, left, sig_lo, sig_left, depth - 1);
+        refine(left, hi, sig_left, sig_hi, depth - 1);
         return;
       }
-      refine(lo, mid, sig_lo, sig_mid, depth - 1);
-      refine(mid, hi, sig_mid, sig_hi, depth - 1);
+      const Rational right = lo + width * Rational(8, 13);
+      const Signature sig_right = pg.signature(right);
+      if (sig_right == sig_lo) return;  // accept as uniform
+      refine(lo, right, sig_lo, sig_right, depth - 1);
+      refine(right, hi, sig_right, sig_hi, depth - 1);
       return;
     }
     if (width < min_width || depth <= 0) {
@@ -376,10 +847,141 @@ struct PartitionBuilder {
     if (!algebraic_width.is_zero() && width < algebraic_width &&
         try_isolate(lo, hi, sig_lo, sig_hi, /*guard_depth=*/4))
       return;
-    const Rational mid = Rational::midpoint(lo, hi);
+    const Rational mid = split_point(lo, hi);
     const Signature sig_mid = pg.signature(mid);
     refine(lo, mid, sig_lo, sig_mid, depth - 1);
     refine(mid, hi, sig_mid, sig_hi, depth - 1);
+  }
+
+  /// One event: a crossing either flank signature's α algebra can see — a
+  /// point (rational root, lo == hi) or an isolating interval (irrational
+  /// root). Only the LOCATION is kept: the crossing itself is re-derived
+  /// and validated by try_isolate on a narrow window around the event, so
+  /// a mis-attributed event can never be recorded on the strength of the
+  /// far-away probes alone.
+  struct SweepEvent {
+    Rational lo;
+    Rational hi;
+  };
+
+  static constexpr std::size_t kMaxSweepEvents = 32;
+
+  /// One-pass event sweep over the whole range: isolate every crossing the
+  /// two flank signatures' quadratics admit, place one signature probe in
+  /// each gap between consecutive events, and walk the regions in order —
+  /// probes agreeing across an event drop it (spurious α crossing), probes
+  /// disagreeing record it with the probes as validation flanks. Every
+  /// sub-interval the events do not account for (end flanks, dropped or
+  /// degenerate events, probe disagreement with nothing between) is handed
+  /// to the bisection refiner at full depth, so coverage is never weaker
+  /// than pure bisection. Returns false — caller bisects the whole range —
+  /// when the algebra sees nothing useful (no events although the flank
+  /// signatures differ, events too dense to probe between, or more events
+  /// than a generic family produces).
+  bool sweep(const Rational& lo, const Rational& hi, const Signature& sig_lo,
+             const Signature& sig_hi, int depth) {
+    if (algebraic_width.is_zero()) return false;  // pure-bisection mode
+    std::vector<SweepEvent> events;
+    std::vector<Rational> candidates;
+    collect_candidates(pg, sig_lo, lo, hi, candidates);
+    collect_candidates(pg, sig_hi, lo, hi, candidates);
+    for (Rational& candidate : candidates) {
+      // Transitions AT the range ends stay reachable via signature(t_lo) /
+      // signature(t_hi); interior breakpoints only.
+      if (!(lo < candidate) || !(candidate < hi)) continue;
+      events.push_back(SweepEvent{candidate, std::move(candidate)});
+    }
+    // Coarse isolation only: events just need to be separated from each
+    // other and from the range ends well enough to probe between them. The
+    // narrow-window try_isolate below re-isolates the recorded crossing to
+    // full bracket_bits precision; paying that here, over the FULL range
+    // and for every crossing quadratic of both flank signatures, would cost
+    // more exact arithmetic than the sweep saves in decompositions.
+    const num::RootIsolationOptions iso{32};
+    std::vector<CrossingRoot> roots;
+    collect_crossing_brackets(pg, sig_lo, lo, hi, iso, roots);
+    collect_crossing_brackets(pg, sig_hi, lo, hi, iso, roots);
+    for (CrossingRoot& root : roots) {
+      if (root.bracket.exact) continue;  // closed forms already cover these
+      if (!(lo < root.bracket.lo) || !(root.bracket.hi < hi)) continue;
+      events.push_back(
+          SweepEvent{std::move(root.bracket.lo), std::move(root.bracket.hi)});
+    }
+    if (events.empty()) return false;  // nothing visible: plain bisection
+
+    std::sort(events.begin(), events.end(),
+              [](const SweepEvent& a, const SweepEvent& b) {
+                return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+              });
+    std::vector<SweepEvent> merged;
+    for (SweepEvent& event : events) {
+      if (!merged.empty() && !(merged.back().hi < event.lo)) {
+        // Overlapping or touching events collapse into one (several
+        // quadratics sharing a root, or a rational root inside another
+        // crossing's bracket).
+        if (merged.back().hi < event.hi) merged.back().hi = std::move(event.hi);
+        continue;
+      }
+      merged.push_back(std::move(event));
+    }
+    if (merged.size() > kMaxSweepEvents) return false;
+
+    const std::size_t m = merged.size();
+    std::vector<Rational> probe_t(m + 1);
+    std::vector<Signature> probe_sig(m + 1);
+    for (std::size_t i = 0; i <= m; ++i) {
+      const Rational& gap_lo = i == 0 ? lo : merged[i - 1].hi;
+      const Rational& gap_hi = i == m ? hi : merged[i].lo;
+      if (!(gap_lo < gap_hi)) return false;  // no room to probe between events
+      probe_t[i] = interior_point(gap_lo, gap_hi);
+      probe_sig[i] = pg.signature(probe_t[i]);
+    }
+
+    // End flanks: a uniform flank costs the refiner three interior samples;
+    // a change the events cannot explain gets the full bisection treatment.
+    const Rational half_window = algebraic_width / Rational(2);
+    refine(lo, probe_t[0], sig_lo, probe_sig[0], depth);
+    for (std::size_t i = 0; i < m; ++i) {
+      const Signature& before = probe_sig[i];
+      const Signature& after = probe_sig[i + 1];
+      if (before == after) {
+        // Spurious event (α curves crossing without a structural change):
+        // drop it, but keep the change-and-revert guard over the region.
+        refine(probe_t[i], probe_t[i + 1], before, after, depth);
+        continue;
+      }
+      // Resolve the crossing on a window narrowed to the event ± half the
+      // algebraic width: try_isolate re-derives the crossing from BOTH
+      // probes' algebra and validates it with fresh signature samples right
+      // next to the event — the same protocol, with the same unchecked
+      // sliver (≤ algebraic_width), as the bisection engine's algebraic
+      // fast path. The far probes only say a transition exists somewhere.
+      const SweepEvent& event = merged[i];
+      Rational window_lo = event.lo - half_window;
+      if (window_lo < probe_t[i]) window_lo = probe_t[i];
+      Rational window_hi = event.hi + half_window;
+      if (probe_t[i + 1] < window_hi) window_hi = probe_t[i + 1];
+      IsolateAnchors anchors;
+      if (!try_isolate(window_lo, window_hi, before, after, /*guard_depth=*/0,
+                       &anchors)) {
+        // Validation rejected the event (several crossings packed together,
+        // or a transition invisible to the flank algebra): full bisection
+        // over the region.
+        refine(probe_t[i], probe_t[i + 1], before, after, depth);
+        continue;
+      }
+      // Outer guards from each probe to the nearest REAL validation sample
+      // (both sampled, both equal): a change-and-revert between them is
+      // hunted by the refiner's interior samples at full depth.
+      const Rational& left_edge = anchors.below ? *anchors.below : window_lo;
+      const Rational& right_edge = anchors.above ? *anchors.above : window_hi;
+      if (probe_t[i] < left_edge)
+        refine(probe_t[i], left_edge, before, before, depth);
+      if (right_edge < probe_t[i + 1])
+        refine(right_edge, probe_t[i + 1], after, after, depth);
+    }
+    refine(probe_t[m], hi, probe_sig[m], sig_hi, depth);
+    return true;
   }
 };
 
@@ -423,11 +1025,15 @@ StructurePartition find_structure_partition(const ParametrizedGraph& pg,
                                ? scaled(options.algebraic_bits)
                                : Rational(0),
                            options.bracket_bits,
+                           scaled(options.bracket_bits),
+                           options.seeds,
                            {}};
   const Signature sig_lo = pg.signature(pg.t_lo());
   const Signature sig_hi = pg.signature(pg.t_hi());
-  builder.refine(pg.t_lo(), pg.t_hi(), sig_lo, sig_hi,
-                 options.resolution_bits + 16);
+  const int depth = options.resolution_bits + 16;
+  if (!options.event_sweep ||
+      !builder.sweep(pg.t_lo(), pg.t_hi(), sig_lo, sig_hi, depth))
+    builder.refine(pg.t_lo(), pg.t_hi(), sig_lo, sig_hi, depth);
 
   std::sort(builder.breakpoints.begin(), builder.breakpoints.end(),
             [](const Breakpoint& a, const Breakpoint& b) {
@@ -458,6 +1064,23 @@ StructurePartition find_structure_partition(const ParametrizedGraph& pg,
     const Rational hi =
         i == out.breakpoints.size() ? out.t_hi : out.breakpoints[i].value;
     out.piece_signatures.push_back(pg.signature(Rational::midpoint(lo, hi)));
+  }
+
+  // Drop spurious breakpoints: a recorded point whose two adjacent pieces
+  // carry the SAME structure separates nothing. The event sweep can record
+  // one when the probes flanking a spurious algebraic event disagree
+  // because of a DIFFERENT crossing inside the same inter-probe region (the
+  // real crossing is recovered by the flank refiners, the spurious event
+  // stays behind). Merging the equal pieces keeps their shared signature.
+  for (std::size_t i = 0; i + 1 < out.piece_signatures.size();) {
+    if (out.piece_signatures[i] == out.piece_signatures[i + 1]) {
+      out.breakpoints.erase(out.breakpoints.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      out.piece_signatures.erase(out.piece_signatures.begin() +
+                                 static_cast<std::ptrdiff_t>(i) + 1);
+    } else {
+      ++i;
+    }
   }
   return out;
 }

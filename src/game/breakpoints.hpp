@@ -18,6 +18,7 @@
 // whenever those are rational (always, for single-vertex misreporting).
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -81,19 +82,39 @@ class ParametrizedGraph {
   /// Decomposition at t.
   [[nodiscard]] Decomposition decompose(const Rational& t) const;
 
-  /// Signature at t.
+  /// Signature at t. On ring-union families (every base vertex of degree
+  /// ≤ 2) this is served by a Graph-free peel oracle when
+  /// HotPathConfig::signature_oracle is on: the family's path/cycle
+  /// topology is analyzed once, each call re-stages the weights at t and
+  /// runs the kernel Dinkelbach stage by stage. The accepted (α*, maximal
+  /// minimizer) per stage is unique, so the result is bit-identical to
+  /// decompose(t).signature() — cross_check_signature_oracle asserts that
+  /// on every call. Other families (and negative-weight t) fall back to the
+  /// full decomposition.
   [[nodiscard]] Signature signature(const Rational& t) const;
 
   /// Affine weight function of v (slope 0 for fixed vertices).
   [[nodiscard]] AffineWeight weight_function(Vertex v) const;
 
  private:
+  /// Graph-free signature oracle state (base adjacency of a ring-union
+  /// family). Immutable once built, so copies share it.
+  struct RingOracle;
+  /// Build-once accessor; nullptr when the family is not a ring union.
+  [[nodiscard]] std::shared_ptr<const RingOracle> oracle() const;
+
   Graph base_;
   std::vector<std::optional<AffineWeight>> varying_;
   Rational t_lo_;
   Rational t_hi_;
   mutable std::mutex hints_mutex_;
   mutable bd::DecomposeHints hints_;
+  mutable std::shared_ptr<const RingOracle> oracle_;
+  mutable bool oracle_checked_ = false;
+  /// Warm-start α* per peel stage for the oracle's Dinkelbach loops — the
+  /// oracle-path analogue of hints_.warm_alphas, guarded by the same
+  /// try-lock discipline and equally correctness-neutral.
+  mutable std::vector<Rational> oracle_warm_;
 };
 
 /// One structural breakpoint.
@@ -147,6 +168,26 @@ struct PartitionOptions {
   /// 0 disables it (pure bisection to resolution_bits — the pre-v2
   /// partition).
   int algebraic_bits = 12;
+  /// Resolve the whole range with one event sweep before any bisection:
+  /// every crossing the two flank signatures' α algebra can see (exact
+  /// roots and isolating brackets of the crossing quadratics over the FULL
+  /// range) becomes an event, one signature probe lands between consecutive
+  /// events, and each event is kept or dropped according to whether the
+  /// probes flanking it disagree. Sub-intervals the events do not explain
+  /// (probe pair disagrees with no event between, end flanks, dropped
+  /// events) fall back to the bisection refiner, so coverage is never
+  /// weaker than pure bisection — the sweep only replaces the O(levels)
+  /// signature evaluations per breakpoint with O(1). false = pure
+  /// recursive bisection (the pre-v3 partition engine).
+  bool event_sweep = true;
+  /// Optional split-point seeds (absolute parameter values, typically the
+  /// breakpoints of a related family's partition — see game/piece_solver's
+  /// PartitionMemo). Consulted only by the bisection refiner to pick split
+  /// points nearer suspected crossings; never recorded, and recorded
+  /// breakpoints are derived from path-independent data (exact roots, or
+  /// brackets snapped to an absolute dyadic grid), so seeded and unseeded
+  /// partitions of the same family emit identical output.
+  const std::vector<Rational>* seeds = nullptr;
 };
 
 /// Compute the structure partition of `pg` over its parameter range.

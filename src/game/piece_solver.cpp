@@ -1,8 +1,11 @@
 #include "game/piece_solver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "graph/canonical.hpp"
 #include "util/parallel.hpp"
 #include "util/perf_counters.hpp"
 
@@ -10,6 +13,11 @@ namespace ringshare::game {
 
 using num::Polynomial;
 using num::RootBracket;
+
+PartitionMemo& PartitionMemo::instance() {
+  static PartitionMemo memo;
+  return memo;
+}
 
 std::optional<Rational> PieceUtility::try_at(const Rational& t) const {
   const Rational w = weight.at(t);
@@ -200,15 +208,181 @@ void cross_check_piece(std::span<const PieceUtility> terms, const Rational& lo,
   }
 }
 
+namespace {
+
+/// PartitionMemo key: canonical fingerprint of the base graph (verbatim for
+/// non-ring shapes) tagged with the number of varying vertices, so families
+/// of different arity (misreport vs Sybil diagonal) never share seeds.
+bd::GraphKey partition_memo_key(const ParametrizedGraph& family) {
+  const Graph& base = family.base();
+  bd::GraphKey key;
+  if (const auto canonical = graph::canonicalize_ring_graph(base)) {
+    key = bd::canonical_fingerprint(base, *canonical);
+  } else {
+    key = bd::graph_fingerprint(base);
+  }
+  std::uint64_t varying = 0;
+  for (Vertex v = 0; v < base.vertex_count(); ++v)
+    if (!family.weight_function(v).slope.is_zero()) ++varying;
+  key.words.push_back(varying);
+  key.hash_value = key.hash_value * 1099511628211ULL ^ varying;
+  return key;
+}
+
+/// Double value with a conservative absolute error bound: the exact quantity
+/// lies in [v − e, v + e] whenever ok. Every operation inflates the bound
+/// past its own rounding (each e-expression is a handful of roundings of
+/// relative size 2⁻⁵³; the 2⁻⁴⁰ multiplicative pad dominates them), so the
+/// enclosure stays sound without directed rounding.
+struct FloatBound {
+  double v = 0;
+  double e = 0;
+  bool ok = false;
+
+  static constexpr double kEps = 0x1p-52;       // 1 ulp relative
+  static constexpr double kPad = 1 + 0x1p-40;   // absorbs e-arithmetic rounding
+  static constexpr double kTiny = 0x1p-1000;    // absorbs subnormal rounding
+
+  [[nodiscard]] static FloatBound make(double value, double error) {
+    FloatBound out;
+    out.v = value;
+    out.e = error * kPad + kTiny;
+    out.ok = std::isfinite(out.v) && std::isfinite(out.e);
+    return out;
+  }
+  [[nodiscard]] static FloatBound from(const Rational& r) {
+    const double v = r.to_double();
+    return make(v, std::abs(v) * kEps);
+  }
+  [[nodiscard]] FloatBound operator+(const FloatBound& o) const {
+    if (!ok || !o.ok) return {};
+    const double s = v + o.v;
+    return make(s, e + o.e + std::abs(s) * kEps);
+  }
+  [[nodiscard]] FloatBound operator*(const FloatBound& o) const {
+    if (!ok || !o.ok) return {};
+    const double p = v * o.v;
+    return make(p, e * std::abs(o.v) + o.e * std::abs(v) + e * o.e +
+                       std::abs(p) * kEps);
+  }
+  [[nodiscard]] FloatBound operator/(const FloatBound& o) const {
+    if (!ok || !o.ok) return {};
+    const double denom_low = (std::abs(o.v) - o.e) * (1 - 0x1p-45);
+    if (!(denom_low > 0)) return {};  // denominator interval straddles zero
+    const double q = v / o.v;
+    return make(q, (e + std::abs(q) * o.e) / denom_low + std::abs(q) * kEps);
+  }
+  /// Certified lower / upper bounds, pushed outward past the subtraction's
+  /// own rounding.
+  [[nodiscard]] double lower() const {
+    const double b = v - e;
+    return b - std::abs(b) * 0x1p-50 - kTiny;
+  }
+  [[nodiscard]] double upper() const {
+    const double b = v + e;
+    return b + std::abs(b) * 0x1p-50 + kTiny;
+  }
+};
+
+/// FloatBound mirror of PieceUtility::try_at over a whole term list. Not-ok
+/// results (near-zero divisor, overflow) mean "cannot bound" — the caller
+/// falls through to exact arithmetic.
+FloatBound float_piece_value(std::span<const PieceUtility> terms,
+                             const FloatBound& t) {
+  FloatBound total = FloatBound::make(0, 0);
+  for (const PieceUtility& term : terms) {
+    const FloatBound w =
+        FloatBound::from(term.weight.constant) +
+        FloatBound::from(term.weight.slope) * t;
+    const FloatBound num = FloatBound::from(term.alpha.num_c) +
+                           FloatBound::from(term.alpha.num_s) * t;
+    const FloatBound den = FloatBound::from(term.alpha.den_c) +
+                           FloatBound::from(term.alpha.den_s) * t;
+    FloatBound value;
+    switch (term.cls) {
+      case bd::VertexClass::kB:
+        value = w * (num / den);
+        break;
+      case bd::VertexClass::kC:
+        value = w * (den / num);
+        break;
+      case bd::VertexClass::kBoth:
+        value = w;
+        break;
+    }
+    total = total + value;
+    if (!total.ok) return total;
+  }
+  return total;
+}
+
+}  // namespace
+
 TrackedOptimum optimize_tracked_utility(const ParametrizedGraph& family,
                                         std::span<const Vertex> tracked,
                                         const PieceSolveOptions& options) {
   if (tracked.empty())
     throw std::invalid_argument("optimize_tracked_utility: no tracked vertex");
+
+  // Partition memo: seed the bisection refiner with the breakpoint fractions
+  // of the last partition over the same base graph (e.g. the previous
+  // vertex's misreport family). Seeds are split-point hints only, so output
+  // is identical with or without a hit.
+  PartitionOptions partition_options = options.partition;
+  std::optional<bd::GraphKey> memo_key;
+  std::optional<PartitionSeeds> cached;
+  std::vector<Rational> seed_values;
+  const Rational range = family.t_hi() - family.t_lo();
+  if (options.partition_memo && !range.is_zero()) {
+    memo_key = partition_memo_key(family);
+    cached = PartitionMemo::instance().lookup(*memo_key);
+    if (cached) {
+      util::PerfCounters::local().partition_sig_hits.fetch_add(
+          1, std::memory_order_relaxed);
+      seed_values.reserve(cached->fractions.size());
+      for (const double fraction : cached->fractions) {
+        if (!(fraction > 0.0) || !(fraction < 1.0)) continue;
+        // Snap the stored double to a LOW-HEIGHT rational near it: seeds feed
+        // split points, and a 2⁻⁵²-denominator split point would poison every
+        // downstream probe with tall arithmetic.
+        const Rational u = num::simplest_between(
+            Rational::from_double(std::max(0.0, fraction - 1e-7)),
+            Rational::from_double(std::min(1.0, fraction + 1e-7)));
+        seed_values.push_back(family.t_lo() + u * range);
+      }
+      if (!seed_values.empty()) partition_options.seeds = &seed_values;
+    }
+  }
+
   StructurePartition partition;
   {
     util::ScopedPhase phase(util::Phase::kPartition);
-    partition = find_structure_partition(family, options.partition);
+    partition = find_structure_partition(family, partition_options);
+  }
+
+  if (memo_key) {
+    // Accumulate rather than overwrite: the entry converges to the union of
+    // every sibling family's breakpoint fractions (capped), so seeds — and
+    // with them the probe points of seeded partitions — stabilize instead of
+    // churning with whichever family partitioned last.
+    constexpr std::size_t kMaxSeeds = 64;
+    constexpr double kMergeTolerance = 1e-6;
+    PartitionSeeds merged = cached ? std::move(*cached) : PartitionSeeds{};
+    for (const Breakpoint& bp : partition.breakpoints) {
+      const double fraction =
+          ((bp.value - family.t_lo()) / range).to_double();
+      const auto at = std::lower_bound(merged.fractions.begin(),
+                                       merged.fractions.end(), fraction);
+      if (at != merged.fractions.end() &&
+          *at - fraction < kMergeTolerance)
+        continue;
+      if (at != merged.fractions.begin() &&
+          fraction - *(at - 1) < kMergeTolerance)
+        continue;
+      if (merged.fractions.size() >= kMaxSeeds) continue;
+      merged.fractions.insert(at, fraction);
+    }
+    PartitionMemo::instance().insert(std::move(*memo_key), std::move(merged));
   }
 
   // Candidate parameters: range ends, breakpoints, and per-piece interior
@@ -257,22 +431,143 @@ TrackedOptimum optimize_tracked_utility(const ParametrizedGraph& family,
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
 
-  // Ground truth for every candidate: full exact decomposition of the
-  // deviated graph. family.decompose(t) warm-starts consecutive candidates
-  // off each other.
   util::ScopedPhase eval_phase(util::Phase::kCandidateEval);
-  TrackedOptimum out;
-  bool first = true;
-  for (const Rational& t : candidates) {
+
+  auto evaluate_by_decomposition = [&](const Rational& t) {
     const Decomposition decomposition = family.decompose(t);
     Rational value(0);
     for (const Vertex v : tracked) value = value + decomposition.utility(v);
-    if (first || out.utility < value) {
-      out.utility = value;
-      out.t_star = t;
+    return value;
+  };
+  // Ground truth for every candidate: full exact decomposition of the
+  // deviated graph. family.decompose(t) warm-starts consecutive candidates
+  // off each other.
+  auto unbatched = [&] {
+    TrackedOptimum out;
+    bool first = true;
+    for (const Rational& t : candidates) {
+      const Rational value = evaluate_by_decomposition(t);
+      if (first || out.utility < value) {
+        out.utility = value;
+        out.t_star = t;
+        first = false;
+      }
+    }
+    return out;
+  };
+  const bool batched = options.batch_candidate_eval &&
+                       options.use_exact_piece_solver && !options.cross_check;
+  if (!batched) return unbatched();
+
+  // Batched evaluation (Layer 7): attribute each candidate to a certified
+  // signature and evaluate the closed-form piece utility — exactly the
+  // rational the decomposition would produce — instead of decomposing.
+  // Certification is conservative: candidates at the range ends, or inside
+  // the sliver between a non-exact breakpoint's in-piece bracket endpoints
+  // (where the true crossing hides), still decompose.
+  const std::vector<Breakpoint>& bps = partition.breakpoints;
+  auto attribute = [&](const Rational& t) -> const Signature* {
+    if (t == partition.t_lo || t == partition.t_hi) return nullptr;
+    const std::size_t i = static_cast<std::size_t>(
+        std::upper_bound(bps.begin(), bps.end(), t,
+                         [](const Rational& a, const Breakpoint& b) {
+                           return a < b.value;
+                         }) -
+        bps.begin());
+    if (i > 0 && bps[i - 1].value == t) return &bps[i - 1].signature;
+    if (i > 0 && !bps[i - 1].exact && t < bps[i - 1].hi) return nullptr;
+    if (i < bps.size() && !bps[i].exact && bps[i].lo < t) return nullptr;
+    return &partition.piece_signatures[i];
+  };
+
+  std::unordered_map<const Signature*, std::vector<PieceUtility>> terms_cache;
+  auto terms_for = [&](const Signature* sig) -> std::span<const PieceUtility> {
+    const auto [it, inserted] = terms_cache.try_emplace(sig);
+    if (inserted) {
+      it->second.reserve(tracked.size());
+      for (const Vertex v : tracked)
+        it->second.push_back(piece_utility(family, *sig, v));
+    }
+    return it->second;
+  };
+
+  const std::size_t count = candidates.size();
+  std::vector<const Signature*> sigs(count);
+  for (std::size_t i = 0; i < count; ++i) sigs[i] = attribute(candidates[i]);
+
+  // Uncertified candidates decompose up front; their exact values double as
+  // prefilter floor contributions.
+  std::vector<std::optional<Rational>> values(count);
+  for (std::size_t i = 0; i < count; ++i)
+    if (sigs[i] == nullptr) values[i] = evaluate_by_decomposition(candidates[i]);
+
+  // Two-tier float prefilter: a formula candidate whose certified upper
+  // bound sits strictly below some candidate's certified lower bound cannot
+  // attain (or tie) the maximum and skips exact evaluation entirely.
+  std::vector<char> discarded(count, 0);
+  if (options.float_prefilter) {
+    std::vector<FloatBound> bounds(count);
+    double best_floor = -HUGE_VAL;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (sigs[i] != nullptr) {
+        bounds[i] = float_piece_value(terms_for(sigs[i]),
+                                      FloatBound::from(candidates[i]));
+        if (bounds[i].ok) best_floor = std::max(best_floor, bounds[i].lower());
+      } else if (values[i]) {
+        best_floor = std::max(best_floor, FloatBound::from(*values[i]).lower());
+      }
+    }
+    std::uint64_t discards = 0;
+    std::uint64_t fallthroughs = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (sigs[i] == nullptr) continue;
+      if (bounds[i].ok && bounds[i].upper() < best_floor) {
+        discarded[i] = 1;
+        ++discards;
+      } else {
+        ++fallthroughs;
+      }
+    }
+    auto& tally = util::PerfCounters::local();
+    tally.prefilter_discards.fetch_add(discards, std::memory_order_relaxed);
+    tally.prefilter_fallthroughs.fetch_add(fallthroughs,
+                                           std::memory_order_relaxed);
+  }
+
+  std::vector<char> by_formula(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (sigs[i] == nullptr || discarded[i]) continue;
+    values[i] = piece_value(terms_for(sigs[i]), candidates[i]);
+    if (values[i]) {
+      by_formula[i] = 1;
+    } else {
+      // Degenerate α exactly at the candidate: the formula cannot see the
+      // value, the decomposition can.
+      values[i] = evaluate_by_decomposition(candidates[i]);
+    }
+  }
+
+  // First-strict-max in candidate order, as the unbatched loop. Discarded
+  // candidates are provably strictly below the maximum, so skipping them
+  // cannot move the first attainer.
+  TrackedOptimum out;
+  bool first = true;
+  bool winner_by_formula = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!values[i]) continue;
+    if (first || out.utility < *values[i]) {
+      out.utility = *values[i];
+      out.t_star = candidates[i];
+      winner_by_formula = by_formula[i] != 0;
       first = false;
     }
   }
+
+  // One verification decomposition at the winner: a formula value that the
+  // ground truth disagrees with means a mis-attributed signature — fall back
+  // to the fully decomposed loop.
+  if (winner_by_formula && evaluate_by_decomposition(out.t_star) != out.utility)
+    return unbatched();
   return out;
 }
 

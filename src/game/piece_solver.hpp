@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "bd/memo.hpp"
 #include "game/breakpoints.hpp"
 #include "numeric/poly_roots.hpp"
 
@@ -46,8 +47,53 @@ struct PieceSolveOptions {
   int samples_per_piece = 64;
   /// Local refinement rounds (each shrinks the bracket 4x around the best).
   int refinement_rounds = 40;
+  /// Batch the final candidate re-evaluation (Layer 7): candidates whose
+  /// containing structure piece is certified — strictly inside the piece's
+  /// in-piece bracket window, or exactly at a breakpoint whose signature was
+  /// sampled — are evaluated through the closed-form piece utility instead
+  /// of a full decomposition. The formula value of a certified candidate
+  /// equals the decomposition value exactly (same rational arithmetic), the
+  /// range endpoints and any uncertified sliver candidates still decompose,
+  /// and the chosen winner is re-verified by one decomposition; any mismatch
+  /// silently falls back to the unbatched loop. cross_check forces the
+  /// unbatched loop.
+  bool batch_candidate_eval = true;
+  /// Inside the batched evaluation, pre-screen formula candidates with a
+  /// double-precision value carrying a conservative propagated error bound:
+  /// a candidate whose upper bound lies strictly below some candidate's
+  /// lower bound cannot be (or tie) the maximum and skips exact evaluation
+  /// (prefilter_discards); the rest fall through to exact arithmetic
+  /// (prefilter_fallthroughs). Tie-safe by construction: discards require
+  /// strict float-interval separation.
+  bool float_prefilter = true;
+  /// Seed the structure partition from the PartitionMemo: families sharing
+  /// one base graph (every misreport vertex of one ring, both benchmark
+  /// passes over one instance) reuse the breakpoint fractions of the
+  /// previously partitioned sibling as bisection split-point hints
+  /// (PartitionOptions::seeds). Hits bump partition_sig_hits. Seeds never
+  /// change partition output — see PartitionOptions::seeds.
+  bool partition_memo = true;
   /// Structure partition resolution.
   PartitionOptions partition;
+};
+
+/// Cached partition shape for PartitionMemo: breakpoint positions of a
+/// previously computed partition, normalized to fractions of the family's
+/// parameter range. Stored as doubles — consumers convert them back to
+/// rational split-point *hints*, never to recorded breakpoints, so lossy
+/// rounding is harmless.
+struct PartitionSeeds {
+  std::vector<double> fractions;
+};
+
+/// Cross-vertex partition memo (PieceSolveOptions::partition_memo), keyed by
+/// the canonical fingerprint of the family's base graph plus the number of
+/// varying vertices. All misreport families of one ring share a key, so a
+/// vertex sweep pays full partition discovery once and seeds the rest.
+class PartitionMemo : public bd::GraphKeyedCache<PartitionSeeds> {
+ public:
+  /// The process-wide memo.
+  static PartitionMemo& instance();
 };
 
 /// Closed-form utility of one tracked vertex inside a structure piece: the

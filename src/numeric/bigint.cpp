@@ -491,12 +491,60 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
   count_slow();
   a = a.abs();
   b = b.abs();
-  while (!b.is_zero()) {
-    BigInt r = a % b;
-    a = std::move(b);
-    b = std::move(r);
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  a.promote();
+  b.promote();
+  // Stein's algorithm on the limb magnitudes: only shifts, compares and
+  // subtractions — a Euclidean step pays a full long division per round,
+  // which dominates at the few-hundred-bit operand sizes the exact
+  // partition pipeline produces (dyadic bracket endpoints, crossing
+  // coefficients).
+  const auto trailing_zero_bits = [](const std::vector<Limb>& m) {
+    std::size_t i = 0;
+    while (m[i] == 0) ++i;
+    return i * kLimbBits + static_cast<std::size_t>(__builtin_ctz(m[i]));
+  };
+  const auto shift_right = [](std::vector<Limb>& m, std::size_t bits) {
+    const std::size_t limb_shift = bits / kLimbBits;
+    const int bit_shift = static_cast<int>(bits % kLimbBits);
+    if (limb_shift != 0)
+      m.erase(m.begin(),
+              m.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+    if (bit_shift != 0) {
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        m[i] >>= bit_shift;
+        if (i + 1 < m.size()) m[i] |= m[i + 1] << (kLimbBits - bit_shift);
+      }
+    }
+    while (!m.empty() && m.back() == 0) m.pop_back();
+  };
+  const auto is_one = [](const std::vector<Limb>& m) {
+    return m.size() == 1 && m[0] == 1;
+  };
+  std::vector<Limb> x = std::move(a.limbs_);
+  std::vector<Limb> y = std::move(b.limbs_);
+  const std::size_t common =
+      std::min(trailing_zero_bits(x), trailing_zero_bits(y));
+  shift_right(x, trailing_zero_bits(x));
+  shift_right(y, trailing_zero_bits(y));
+  for (;;) {
+    if (is_one(x) || is_one(y)) {
+      x.assign(1, 1);
+      break;
+    }
+    const int cmp = mag_compare(x, y);
+    if (cmp == 0) break;
+    if (cmp < 0) x.swap(y);
+    x = mag_sub(x, y);  // both odd and x > y, so x − y is even and non-zero
+    shift_right(x, trailing_zero_bits(x));
   }
-  return a;
+  BigInt out;
+  out.small_ = false;
+  out.negative_ = false;
+  out.limbs_ = std::move(x);
+  out.canonicalize();
+  return common == 0 ? out : out.shifted_left(common);
 }
 
 BigInt BigInt::isqrt(const BigInt& value) {
@@ -624,6 +672,24 @@ std::size_t BigInt::hash() const noexcept {
     for (const Limb limb : limbs_) mix(limb);
   }
   return h;
+}
+
+std::size_t BigInt::append_magnitude_words(
+    std::vector<std::uint64_t>& out) const {
+  if (small_) {
+    const std::uint64_t magnitude = small_magnitude(small_value_);
+    if (magnitude == 0) return 0;
+    out.push_back(magnitude);
+    return 1;
+  }
+  const std::size_t words = (limbs_.size() + 1) / 2;
+  for (std::size_t i = 0; i < limbs_.size(); i += 2) {
+    std::uint64_t word = limbs_[i];
+    if (i + 1 < limbs_.size())
+      word |= static_cast<std::uint64_t>(limbs_[i + 1]) << 32;
+    out.push_back(word);
+  }
+  return words;
 }
 
 }  // namespace ringshare::num

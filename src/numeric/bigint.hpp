@@ -138,6 +138,13 @@ class BigInt {
   /// inline and limb forms of the same magnitude class).
   [[nodiscard]] std::size_t hash() const noexcept;
 
+  /// Append the magnitude little-endian as 64-bit words (two 2^32 limbs per
+  /// word, low limb in the low half; nothing for zero) and return the word
+  /// count. The encoding is identical for inline and limb forms of the same
+  /// magnitude, so it is valid canonical key material (bd/memo fingerprints)
+  /// without the quadratic cost of a decimal conversion.
+  std::size_t append_magnitude_words(std::vector<std::uint64_t>& out) const;
+
  private:
   using Limb = std::uint32_t;
   using WideLimb = std::uint64_t;

@@ -40,7 +40,31 @@ Rational Polynomial::at(const Rational& t) const {
   return value;
 }
 
-int Polynomial::sign_at(const Rational& t) const { return at(t).sign(); }
+int Polynomial::sign_at(const Rational& t) const {
+  if (coefficients_.empty()) return 0;
+  // Clear every denominator and evaluate in integers: with t = N/D and
+  // c_k = n_k/d_k (D, d_k > 0 — Rational invariant), the sign of p(t)
+  // equals the sign of Σ_k n_k·(Π_{j≠k} d_j)·N^k·D^(deg−k). A rational
+  // Horner loop at an isolation-bracket endpoint (≈ bracket_bits-tall N, D)
+  // pays a gcd per step; this pays none.
+  const std::size_t deg = coefficients_.size() - 1;
+  BigInt common(1);
+  for (const Rational& c : coefficients_) common *= c.denominator();
+  std::vector<BigInt> scaled;
+  scaled.reserve(coefficients_.size());
+  for (const Rational& c : coefficients_) {
+    scaled.push_back(c.numerator() * (common / c.denominator()));
+  }
+  const BigInt& n = t.numerator();
+  const BigInt& d = t.denominator();
+  BigInt acc = std::move(scaled[deg]);
+  BigInt dpow(1);
+  for (std::size_t k = deg; k-- > 0;) {
+    dpow *= d;
+    acc = acc * n + scaled[k] * dpow;
+  }
+  return acc.sign();
+}
 
 Polynomial Polynomial::derivative() const {
   if (coefficients_.size() <= 1) return {};
@@ -137,10 +161,103 @@ struct Isolator {
     out.push_back(RootBracket{root, root, true});
   }
 
+  /// Fast path for bisect() on an irrational quadratic. Bisection of a
+  /// strict sign change is deterministic: for an irrational root the probe
+  /// snaps never fire, so the loop returns exactly the level-L dyadic cell
+  /// of [a, b] containing the root, L minimal with (b − a)/2^L ≤ min_width.
+  /// That cell is computable directly — bracket √disc with one integer
+  /// square root (widened on the rare straddle of a grid line) and floor
+  /// the affine map of the root into grid coordinates — replacing ~L exact
+  /// sign evaluations of ever-taller rationals with O(1) BigInt sqrts.
+  /// Returns false (caller falls back to the loop) whenever any premise
+  /// fails; the output is bit-identical to the loop's whenever it succeeds.
+  bool quadratic_cell(const Polynomial& p, const Rational& a, const Rational& b,
+                      int sign_a, std::vector<RootBracket>& out) const {
+    if (p.degree() != 2) return false;
+    const Rational& qa = p.coefficient(2);
+    const Rational disc =
+        p.coefficient(1) * p.coefficient(1) -
+        Rational(4) * qa * p.coefficient(0);
+    if (disc.sign() <= 0) return false;  // no simple real roots
+    // Reduced disc = N/M: rational √disc means rational roots, which the
+    // closed form in isolate() already handles — and the loop's exact snap
+    // could fire, so the cell shortcut would not be faithful. Bail out.
+    if (BigInt::is_perfect_square(disc.numerator()) &&
+        BigInt::is_perfect_square(disc.denominator()))
+      return false;
+
+    // L = number of halvings the loop performs: the least L with
+    // (b − a)/2^L ≤ min_width, i.e. q ≤ 2^L for q = (b − a)/min_width.
+    // One rational division plus bit counts instead of L ≈ bracket_bits
+    // exact halvings of an ever-taller width.
+    const Rational q = (b - a) / min_width;
+    if (!(Rational(1) < q)) return false;  // loop is a no-op; keep the snap test
+    const BigInt& qn = q.numerator();
+    const BigInt& qd = q.denominator();
+    std::size_t levels = qn.bit_count() - qd.bit_count();
+    while (qd.shifted_left(levels) < qn) ++levels;
+    while (levels > 0 && !(qd.shifted_left(levels - 1) < qn)) --levels;
+
+    // The segment is monotone (bisect's contract), so exactly one of the
+    // two roots (−qb ± √disc)/(2qa) lies inside: the '+' branch iff the
+    // parabola is increasing across the segment disagrees with its leading
+    // sign — sign_a < 0 on the increasing branch of qa > 0, and mirrored.
+    const bool plus = qa.sign() * sign_a < 0;
+
+    // Grid coordinate of the root: x = (root − a)·2^L/(b − a)
+    //                                = C1 + E·√(N·M),
+    // with √disc = √(N·M)/M for reduced disc = N/M.
+    const Rational scale =
+        Rational(BigInt(1).shifted_left(levels)) / (b - a);
+    const Rational two_a = Rational(2) * qa;
+    const Rational c1 = (-p.coefficient(1) / two_a - a) * scale;
+    Rational e = scale / (two_a * Rational(disc.denominator()));
+    if (!plus) e = -e;
+    const BigInt nm = disc.numerator() * disc.denominator();
+
+    // Integer form of x at √(N·M) ≈ T/2^k: with c1 = P/Q and e = R/S,
+    //   x(T) = (P·S·2^k + R·Q·T) / (Q·S·2^k),
+    // so both floors are single floor-divisions — no per-k gcd
+    // normalization of ~2^k-denominator rationals.
+    const BigInt ps = c1.numerator() * e.denominator();
+    const BigInt rq = e.numerator() * c1.denominator();
+    const BigInt qs = c1.denominator() * e.denominator();  // > 0
+    const BigInt cells_total = BigInt(1).shifted_left(levels);
+    const auto floor_div = [](const BigInt& num, const BigInt& den) {
+      auto [quot, rem] = BigInt::div_mod(num, den);
+      if (rem.is_negative()) quot -= BigInt(1);
+      return quot;
+    };
+
+    // Bracket √(N·M) ∈ [T, T+1]/2^k and floor both ends of x; widen k until
+    // the x-interval stops straddling an integer (x is irrational, so this
+    // terminates — in practice on the first try).
+    for (std::size_t k = levels + 16; k <= 8 * levels + 1024; k *= 2) {
+      const BigInt t_lo = BigInt::isqrt(nm.shifted_left(2 * k));
+      const BigInt t_hi = t_lo + BigInt(1);
+      const BigInt base = ps.shifted_left(k);
+      const BigInt num_lo = base + rq * (rq.is_negative() ? t_hi : t_lo);
+      const BigInt num_hi = base + rq * (rq.is_negative() ? t_lo : t_hi);
+      const BigInt den = qs.shifted_left(k);
+      const BigInt j = floor_div(num_lo, den);
+      if (!(floor_div(num_hi, den) == j)) continue;
+      if (j.is_negative() || !(j < cells_total))
+        return false;  // root not strictly inside (a, b) — premise violated
+      const Rational cell = (b - a) / Rational(cells_total);
+      Rational cell_lo = a + Rational(j) * cell;
+      Rational cell_hi = a + Rational(j + BigInt(1)) * cell;
+      out.push_back(
+          RootBracket{std::move(cell_lo), std::move(cell_hi), false});
+      return true;
+    }
+    return false;
+  }
+
   /// Bisect a strict sign change of `p` on [a, b] down to min_width,
   /// snapping to an exact root whenever a probe lands on one.
   void bisect(const Polynomial& p, Rational a, Rational b, int sign_a,
               std::vector<RootBracket>& out) const {
+    if (quadratic_cell(p, a, b, sign_a, out)) return;
     while (min_width < b - a) {
       Rational mid = Rational::midpoint(a, b);
       const int sign_mid = p.sign_at(mid);

@@ -34,10 +34,21 @@ namespace ringshare::util {
 ///
 /// `explicit_pool` overrides the shared pool (sweep drivers honoring a
 /// --threads flag, scheduler tests); nullptr targets global_pool().
+///
+/// `max_chunk` caps the chunk size from above (0 = uncapped). The default
+/// sizing aims for ~4 chunks per worker, which balances uniform workloads
+/// but leaves the work-stealing deques nothing to steal when per-iteration
+/// cost is wildly skewed: a worker that drew the one expensive iteration
+/// also holds the rest of its oversized chunk hostage. Passing max_chunk = 1
+/// makes every iteration its own stealable task, so idle workers drain the
+/// queue behind the straggler. Use it for loops whose iterations are
+/// individually expensive (full deviation solves); leave it 0 for cheap
+/// uniform bodies where per-task overhead would dominate.
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, Body&& body,
                   std::size_t min_chunk = 1,
-                  ThreadPool* explicit_pool = nullptr) {
+                  ThreadPool* explicit_pool = nullptr,
+                  std::size_t max_chunk = 0) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
   if (total == 1) {
@@ -49,8 +60,9 @@ void parallel_for(std::size_t begin, std::size_t end, Body&& body,
   const std::size_t balanced = (total + max_chunks - 1) / max_chunks;
   // Honor min_chunk for batching, but cap at ceil(total/2): once the range
   // is worth running at all in parallel it must yield >= 2 chunks.
-  const std::size_t chunk =
+  std::size_t chunk =
       std::min(std::max(min_chunk, balanced), (total + 1) / 2);
+  if (max_chunk != 0) chunk = std::max<std::size_t>(std::min(chunk, max_chunk), 1);
 
   // Shared by all chunk tasks. shared_ptr because the final notify_all
   // touches the state after the caller's wait predicate may already hold.

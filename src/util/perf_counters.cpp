@@ -104,6 +104,18 @@ void PerfTally::add_into(PerfTally& sink) const noexcept {
                                          kRelaxed);
   sink.pool_tasks_local.fetch_add(pool_tasks_local.load(kRelaxed), kRelaxed);
   sink.pool_tasks_stolen.fetch_add(pool_tasks_stolen.load(kRelaxed), kRelaxed);
+  sink.partition_sig_hits.fetch_add(partition_sig_hits.load(kRelaxed),
+                                    kRelaxed);
+  sink.peel_cache_hits.fetch_add(peel_cache_hits.load(kRelaxed), kRelaxed);
+  sink.prefilter_discards.fetch_add(prefilter_discards.load(kRelaxed),
+                                    kRelaxed);
+  sink.prefilter_fallthroughs.fetch_add(prefilter_fallthroughs.load(kRelaxed),
+                                        kRelaxed);
+  sink.flow_incremental_bypasses.fetch_add(
+      flow_incremental_bypasses.load(kRelaxed), kRelaxed);
+  sink.sig_oracle_hits.fetch_add(sig_oracle_hits.load(kRelaxed), kRelaxed);
+  sink.sig_oracle_fallbacks.fetch_add(sig_oracle_fallbacks.load(kRelaxed),
+                                      kRelaxed);
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)
     sink.phase_ns[i].fetch_add(phase_ns[i].load(kRelaxed), kRelaxed);
 }
@@ -131,6 +143,13 @@ void PerfTally::clear() noexcept {
   collusion_optimizations.store(0, kRelaxed);
   pool_tasks_local.store(0, kRelaxed);
   pool_tasks_stolen.store(0, kRelaxed);
+  partition_sig_hits.store(0, kRelaxed);
+  peel_cache_hits.store(0, kRelaxed);
+  prefilter_discards.store(0, kRelaxed);
+  prefilter_fallthroughs.store(0, kRelaxed);
+  flow_incremental_bypasses.store(0, kRelaxed);
+  sig_oracle_hits.store(0, kRelaxed);
+  sig_oracle_fallbacks.store(0, kRelaxed);
   for (auto& ns : phase_ns) ns.store(0, kRelaxed);
 }
 
@@ -180,6 +199,13 @@ std::string PerfSnapshot::to_json(int indent) const {
   field("collusion_optimizations", collusion_optimizations);
   field("pool_tasks_local", pool_tasks_local);
   field("pool_tasks_stolen", pool_tasks_stolen);
+  field("partition_sig_hits", partition_sig_hits);
+  field("peel_cache_hits", peel_cache_hits);
+  field("prefilter_discards", prefilter_discards);
+  field("prefilter_fallthroughs", prefilter_fallthroughs);
+  field("flow_incremental_bypasses", flow_incremental_bypasses);
+  field("sig_oracle_hits", sig_oracle_hits);
+  field("sig_oracle_fallbacks", sig_oracle_fallbacks);
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
     const std::string name =
         std::string("phase_ms_") + phase_name(static_cast<Phase>(i));
@@ -228,6 +254,14 @@ PerfSnapshot PerfCounters::snapshot() {
   out.collusion_optimizations = sum.collusion_optimizations.load(kRelaxed);
   out.pool_tasks_local = sum.pool_tasks_local.load(kRelaxed);
   out.pool_tasks_stolen = sum.pool_tasks_stolen.load(kRelaxed);
+  out.partition_sig_hits = sum.partition_sig_hits.load(kRelaxed);
+  out.peel_cache_hits = sum.peel_cache_hits.load(kRelaxed);
+  out.prefilter_discards = sum.prefilter_discards.load(kRelaxed);
+  out.prefilter_fallthroughs = sum.prefilter_fallthroughs.load(kRelaxed);
+  out.flow_incremental_bypasses =
+      sum.flow_incremental_bypasses.load(kRelaxed);
+  out.sig_oracle_hits = sum.sig_oracle_hits.load(kRelaxed);
+  out.sig_oracle_fallbacks = sum.sig_oracle_fallbacks.load(kRelaxed);
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)
     out.phase_ns[i] = sum.phase_ns[i].load(kRelaxed);
   return out;

@@ -53,6 +53,13 @@ struct PerfTally {
   std::atomic<std::uint64_t> collusion_optimizations{0};
   std::atomic<std::uint64_t> pool_tasks_local{0};
   std::atomic<std::uint64_t> pool_tasks_stolen{0};
+  std::atomic<std::uint64_t> partition_sig_hits{0};
+  std::atomic<std::uint64_t> peel_cache_hits{0};
+  std::atomic<std::uint64_t> prefilter_discards{0};
+  std::atomic<std::uint64_t> prefilter_fallthroughs{0};
+  std::atomic<std::uint64_t> flow_incremental_bypasses{0};
+  std::atomic<std::uint64_t> sig_oracle_hits{0};
+  std::atomic<std::uint64_t> sig_oracle_fallbacks{0};
   std::atomic<std::uint64_t> phase_ns[static_cast<int>(Phase::kCount)]{};
 
   void add_into(PerfTally& sink) const noexcept;
@@ -83,6 +90,13 @@ struct PerfSnapshot {
   std::uint64_t collusion_optimizations = 0;
   std::uint64_t pool_tasks_local = 0;
   std::uint64_t pool_tasks_stolen = 0;
+  std::uint64_t partition_sig_hits = 0;
+  std::uint64_t peel_cache_hits = 0;
+  std::uint64_t prefilter_discards = 0;
+  std::uint64_t prefilter_fallthroughs = 0;
+  std::uint64_t flow_incremental_bypasses = 0;
+  std::uint64_t sig_oracle_hits = 0;
+  std::uint64_t sig_oracle_fallbacks = 0;
   std::uint64_t phase_ns[static_cast<int>(Phase::kCount)] = {};
 
   /// Fraction of BigInt operations served by the inline int64 path.

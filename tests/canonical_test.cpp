@@ -195,8 +195,9 @@ TEST(CanonicalCache, RotatedDecompositionsBitIdentical) {
 
         bd::hot_path_config() = bd::HotPathConfig{};  // everything on
         bd::BottleneckCache::instance().clear();
-        const Observed cold = observe(g);      // populates the cache
-        const Observed cached = observe(g);    // served from the cache
+        bd::DecompositionCache::instance().clear();
+        const Observed cold = observe(g);      // populates the caches
+        const Observed cached = observe(g);    // served from the peel cache
 
         bd::hot_path_config().memo_cache = false;
         bd::hot_path_config().canonical_cache = false;
@@ -219,6 +220,9 @@ TEST(CanonicalCache, RotatedDecompositionsBitIdentical) {
 TEST(CanonicalCache, RotationsHitTheSameEntries) {
   ConfigGuard guard;
   bd::hot_path_config() = bd::HotPathConfig{};
+  // The whole-decomposition peel cache would serve these before any
+  // bottleneck lookup happens; pin it off to observe the bottleneck memo.
+  bd::hot_path_config().decomposition_cache = false;
   bd::BottleneckCache::instance().clear();
 
   std::vector<Rational> weights = {Rational(3), Rational(1), Rational(4),
@@ -252,6 +256,7 @@ TEST(CanonicalCache, RotationsHitTheSameEntries) {
 TEST(CanonicalCache, WeightScaledCopiesHitTheSameEntries) {
   ConfigGuard guard;
   bd::hot_path_config() = bd::HotPathConfig{};
+  bd::hot_path_config().decomposition_cache = false;  // observe the memo
   bd::BottleneckCache::instance().clear();
 
   const std::vector<Rational> weights = {Rational(3), Rational(1), Rational(4),
@@ -280,6 +285,57 @@ TEST(CanonicalCache, WeightScaledCopiesHitTheSameEntries) {
   const util::PerfSnapshot snapshot = util::PerfCounters::snapshot();
   EXPECT_EQ(snapshot.bottleneck_cache_misses, 0u);
   EXPECT_GT(snapshot.bottleneck_cache_hits, 0u);
+}
+
+// The whole-decomposition peel cache (HotPathConfig::decomposition_cache):
+// after decomposing a ring once, every rotation, reflection, and uniformly
+// scaled copy must be answered by a single peel-cache hit — zero bottleneck
+// lookups of any kind — with bit-identical pair structure and α sequence,
+// and utilities drawn from the actual (scaled) weights.
+TEST(CanonicalCache, PeelCacheServesDihedralAndScaledCopies) {
+  ConfigGuard guard;
+  bd::hot_path_config() = bd::HotPathConfig{};
+  bd::BottleneckCache::instance().clear();
+  bd::DecompositionCache::instance().clear();
+
+  const std::vector<Rational> weights = {Rational(6), Rational(1), Rational(4),
+                                         Rational(1), Rational(5), Rational(8),
+                                         Rational(2)};
+  const Observed base = observe(make_ring(weights));
+  const std::size_t n = weights.size();
+
+  util::PerfCounters::reset();
+  std::size_t copies = 0;
+  const Rational factors[] = {Rational(1), Rational(3), Rational(7, 2)};
+  for (const Rational& factor : factors) {
+    for (int reflect = 0; reflect < 2; ++reflect) {
+      for (std::size_t shift = 0; shift < n; ++shift) {
+        std::vector<Rational> variant = weights;
+        if (reflect) std::reverse(variant.begin(), variant.end());
+        std::rotate(variant.begin(),
+                    variant.begin() + static_cast<std::ptrdiff_t>(shift),
+                    variant.end());
+        for (Rational& w : variant) w = w * factor;
+        const Observed observed = observe(make_ring(variant));
+        ++copies;
+        EXPECT_EQ(observed.alphas, base.alphas);
+        ASSERT_EQ(observed.utilities.size(), base.utilities.size());
+        // Utilities come from this copy's weights: rotated positions permute
+        // them, scaling multiplies them; the total scales exactly.
+        Rational total(0);
+        Rational base_total(0);
+        for (std::size_t v = 0; v < n; ++v) {
+          total = total + observed.utilities[v];
+          base_total = base_total + base.utilities[v];
+        }
+        EXPECT_EQ(total, base_total * factor);
+      }
+    }
+  }
+  const util::PerfSnapshot snapshot = util::PerfCounters::snapshot();
+  EXPECT_EQ(snapshot.peel_cache_hits, copies);
+  EXPECT_EQ(snapshot.bottleneck_cache_hits, 0u);
+  EXPECT_EQ(snapshot.bottleneck_cache_misses, 0u);
 }
 
 }  // namespace

@@ -44,6 +44,9 @@ HotPathConfig flow_only_config(bool incremental) {
   config.flow_arena = true;
   config.canonical_cache = false;
   config.incremental_flow = incremental;
+  // These unit tests isolate the repair machinery itself on small
+  // instances, so the size gate is disarmed; the gate has its own test.
+  config.incremental_flow_min_vertices = 0;
   config.ring_kernel = false;
   config.cross_check_kernel = false;
   return config;
@@ -118,6 +121,32 @@ TEST(IncrementalFlow, ResultsMatchColdDinic) {
     EXPECT_EQ(incremental.alphas, cold.alphas);
     EXPECT_EQ(incremental.utilities, cold.utilities);
   }
+}
+
+// The size gate: below incremental_flow_min_vertices a rerun costs more
+// than a cold Dinic solve (BENCH_deviation), so small graphs must bypass
+// reuse (reruns stay 0, the bypass counter proves the gate was consulted)
+// while graphs at or above the threshold still engage it.
+TEST(IncrementalFlow, SizeGateBypassesSmallGraphs) {
+  ConfigGuard guard;
+  HotPathConfig gated = flow_only_config(true);
+  gated.incremental_flow_min_vertices = 16;
+  hot_path_config() = gated;
+
+  util::PerfCounters::reset();
+  for (const Graph& g : degree3_graphs()) (void)observe(g);  // all n < 16
+  util::PerfSnapshot snapshot = util::PerfCounters::snapshot();
+  EXPECT_EQ(snapshot.flow_incremental_reruns, 0u);
+  EXPECT_GT(snapshot.flow_incremental_bypasses, 0u);
+
+  util::Xoshiro256 rng(424247);
+  const Graph big =
+      graph::make_complete(graph::random_integer_weights(17, rng, 11));
+  util::PerfCounters::reset();
+  (void)observe(big);
+  snapshot = util::PerfCounters::snapshot();
+  EXPECT_GT(snapshot.flow_incremental_reruns, 0u);
+  EXPECT_EQ(snapshot.flow_incremental_bypasses, 0u);
 }
 
 // Against the exponential-time oracle: incremental decompositions of small

@@ -1,0 +1,178 @@
+// Differential verification of the Layer-7 candidate-evaluation
+// accelerators: batched closed-form evaluation, the two-tier float
+// prefilter, and cross-vertex partition-memo seeding. The contract for all
+// three is the same — bit-identical optima with the layer on or off — so
+// every test here compares full DeviationOptimum records field by field on
+// exhaustive small necklaces, and the metamorphic tests additionally prove
+// the layers actually engaged (the counters move) while staying inert (the
+// results do not).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/families.hpp"
+#include "game/deviation.hpp"
+#include "game/piece_solver.hpp"
+#include "util/perf_counters.hpp"
+
+namespace ringshare::game {
+namespace {
+
+/// Field-exact equality of two optima (Rational operator== is exact).
+bool same_optimum(const DeviationOptimum& a, const DeviationOptimum& b) {
+  return a.kind == b.kind && a.vertex == b.vertex && a.partner == b.partner &&
+         a.t_star == b.t_star && a.utility == b.utility &&
+         a.honest_utility == b.honest_utility && a.ratio == b.ratio;
+}
+
+/// Solve every task of every kind on `ring` under `options`.
+std::vector<DeviationOptimum> run_all(const Graph& ring,
+                                      const DeviationOptions& options) {
+  DeviationSweep sweep;
+  sweep.kinds = {DeviationKind::kSybil, DeviationKind::kMisreport,
+                 DeviationKind::kCollusion};
+  sweep.options = options;
+  std::vector<DeviationOptimum> out;
+  for (const DeviationTask& task : sweep.tasks(ring))
+    out.push_back(sweep.run(ring, task));
+  return out;
+}
+
+void expect_same_run(const std::vector<DeviationOptimum>& reference,
+                     const std::vector<DeviationOptimum>& candidate,
+                     const char* label) {
+  ASSERT_EQ(reference.size(), candidate.size()) << label;
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_TRUE(same_optimum(reference[i], candidate[i]))
+        << label << " task " << i << ": " << candidate[i].utility.to_string()
+        << " at t = " << candidate[i].t_star.to_string() << " vs reference "
+        << reference[i].utility.to_string() << " at t = "
+        << reference[i].t_star.to_string();
+}
+
+DeviationOptions with_layers(bool batch, bool prefilter, bool memo) {
+  DeviationOptions options;
+  options.batch_candidate_eval = batch;
+  options.float_prefilter = prefilter;
+  options.partition_memo = memo;
+  return options;
+}
+
+/// All accelerator subsets against the all-off legacy loop, on exhaustive
+/// necklaces. The prefilter rides inside the batched path, so the
+/// interesting axes are {batch+prefilter, batch only, memo on/off}.
+void check_rings_bit_identical(const std::vector<Graph>& rings,
+                               std::size_t stride) {
+  for (std::size_t i = 0; i < rings.size(); i += stride) {
+    const Graph& ring = rings[i];
+    PartitionMemo::instance().clear();
+    const std::vector<DeviationOptimum> reference =
+        run_all(ring, with_layers(false, false, false));
+    PartitionMemo::instance().clear();
+    expect_same_run(reference, run_all(ring, with_layers(true, true, true)),
+                    "batch+prefilter+memo");
+    PartitionMemo::instance().clear();
+    expect_same_run(reference, run_all(ring, with_layers(true, false, false)),
+                    "batch only");
+    PartitionMemo::instance().clear();
+    expect_same_run(reference, run_all(ring, with_layers(true, true, false)),
+                    "batch+prefilter");
+  }
+}
+
+// Exhaustive n = 4 necklaces with weight numerators <= 3: every accelerator
+// subset reproduces the legacy unbatched optima bit for bit.
+TEST(PrefilterDifferential, ExhaustiveN4BitIdentical) {
+  check_rings_bit_identical(exp::exhaustive_rings(4, 3), /*stride=*/1);
+}
+
+// Exhaustive n = 5 necklaces with weight numerators <= 2.
+TEST(PrefilterDifferential, ExhaustiveN5BitIdentical) {
+  check_rings_bit_identical(exp::exhaustive_rings(5, 2), /*stride=*/1);
+}
+
+// n = 6 necklaces with weight numerators <= 3, deterministically sampled to
+// keep the all-off reference runs tractable.
+TEST(PrefilterDifferential, SampledN6BitIdentical) {
+  const std::vector<Graph> rings = exp::exhaustive_rings(6, 3);
+  ASSERT_FALSE(rings.empty());
+  check_rings_bit_identical(rings, /*stride=*/13);
+}
+
+// Metamorphic: turning the prefilter on moves ONLY the counters. On a
+// workload large enough for float separation to fire, discards must be
+// strictly positive with the filter on and exactly zero with it off, while
+// the optima agree bit for bit.
+TEST(PrefilterDifferential, CountersMoveResultsDoNot) {
+  const std::vector<Graph> rings = exp::exhaustive_rings(6, 4);
+  ASSERT_FALSE(rings.empty());
+  std::vector<DeviationOptimum> on_results, off_results;
+  std::uint64_t on_discards = 0, off_discards = 0;
+
+  {
+    PartitionMemo::instance().clear();
+    const util::PerfSnapshot before = util::PerfCounters::snapshot();
+    for (std::size_t i = 0; i < rings.size(); i += 29) {
+      const std::vector<DeviationOptimum> run =
+          run_all(rings[i], with_layers(true, true, true));
+      on_results.insert(on_results.end(), run.begin(), run.end());
+    }
+    on_discards =
+        util::PerfCounters::snapshot().prefilter_discards -
+        before.prefilter_discards;
+  }
+  {
+    PartitionMemo::instance().clear();
+    const util::PerfSnapshot before = util::PerfCounters::snapshot();
+    for (std::size_t i = 0; i < rings.size(); i += 29) {
+      const std::vector<DeviationOptimum> run =
+          run_all(rings[i], with_layers(true, false, true));
+      off_results.insert(off_results.end(), run.begin(), run.end());
+    }
+    off_discards =
+        util::PerfCounters::snapshot().prefilter_discards -
+        before.prefilter_discards;
+  }
+
+  EXPECT_GT(on_discards, 0u);
+  EXPECT_EQ(off_discards, 0u);
+  expect_same_run(on_results, off_results, "prefilter on vs off");
+}
+
+// Seeded vs unseeded partition memo: solving a ring's tasks in sequence
+// seeds later families from earlier siblings (partition_sig_hits moves);
+// clearing the memo before every task removes every seed. Both schedules
+// must emit bit-identical optima — seeds are split-point hints, never
+// recorded output.
+TEST(PrefilterDifferential, SeededVsUnseededMemoBitIdentical) {
+  const std::vector<Graph> rings = exp::exhaustive_rings(6, 4);
+  ASSERT_FALSE(rings.empty());
+  const Graph& ring = rings[rings.size() / 2];
+
+  DeviationSweep sweep;
+  sweep.kinds = {DeviationKind::kSybil, DeviationKind::kMisreport,
+                 DeviationKind::kCollusion};
+  sweep.options = with_layers(true, true, true);
+  const std::vector<DeviationTask> tasks = sweep.tasks(ring);
+
+  PartitionMemo::instance().clear();
+  const util::PerfSnapshot before = util::PerfCounters::snapshot();
+  std::vector<DeviationOptimum> seeded;
+  for (const DeviationTask& task : tasks) seeded.push_back(sweep.run(ring, task));
+  const std::uint64_t seed_hits =
+      util::PerfCounters::snapshot().partition_sig_hits -
+      before.partition_sig_hits;
+
+  std::vector<DeviationOptimum> unseeded;
+  for (const DeviationTask& task : tasks) {
+    PartitionMemo::instance().clear();
+    unseeded.push_back(sweep.run(ring, task));
+  }
+
+  EXPECT_GT(seed_hits, 0u);
+  expect_same_run(seeded, unseeded, "seeded vs unseeded memo");
+}
+
+}  // namespace
+}  // namespace ringshare::game

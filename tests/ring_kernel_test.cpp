@@ -173,6 +173,7 @@ TEST(RingKernel, DecompositionUsesKernelOnRings) {
   ConfigGuard guard;
   hot_path_config() = HotPathConfig{};
   BottleneckCache::instance().clear();
+  DecompositionCache::instance().clear();
   util::PerfCounters::reset();
   util::Xoshiro256 rng(77);
   const Graph g = make_ring(graph::random_integer_weights(9, rng, 30));

@@ -1,0 +1,148 @@
+// Differential tests for the Graph-free signature oracle on ring-union
+// families (ParametrizedGraph::signature). The oracle's contract is
+// bit-identity with decompose(t).signature() on every eligible family and a
+// counted fallback to the full decomposition everywhere else; the
+// cross_check_signature_oracle config arms a lockstep comparison that turns
+// any disagreement into a throw.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "bd/memo.hpp"
+#include "exp/families.hpp"
+#include "game/breakpoints.hpp"
+#include "game/deviation.hpp"
+#include "graph/builders.hpp"
+#include "util/perf_counters.hpp"
+
+namespace ringshare::game {
+namespace {
+
+using bd::hot_path_config;
+using bd::HotPathConfig;
+using graph::make_star;
+
+class ConfigGuard {
+ public:
+  ConfigGuard() : saved_(hot_path_config()) {}
+  ~ConfigGuard() { hot_path_config() = saved_; }
+
+ private:
+  HotPathConfig saved_;
+};
+
+/// Sample parameters of a family: endpoints, simple interior points, and a
+/// tall-denominator interior point (the oracle must not care about height).
+std::vector<Rational> sample_points(const ParametrizedGraph& family) {
+  const Rational& lo = family.t_lo();
+  const Rational& hi = family.t_hi();
+  const Rational span = hi - lo;
+  return {lo,
+          hi,
+          lo + span / Rational(2),
+          lo + span / Rational(3),
+          lo + span * Rational(7, 9),
+          lo + span * Rational(123456789, 987654321)};
+}
+
+/// signature() with the oracle on must equal both the oracle-off signature()
+/// and the raw decomposition signature, at every sample of every family of
+/// the ring.
+void check_ring_families(const Graph& ring) {
+  std::vector<ParametrizedGraph> families;
+  for (Vertex v = 0; v < ring.vertex_count(); ++v)
+    families.push_back(misreport_family(ring, v));
+  families.push_back(collusion_family(ring, 0, 1));
+  for (const ParametrizedGraph& family : families) {
+    for (const Rational& t : sample_points(family)) {
+      hot_path_config().signature_oracle = true;
+      const Signature with_oracle = family.signature(t);
+      hot_path_config().signature_oracle = false;
+      const Signature without = family.signature(t);
+      EXPECT_EQ(with_oracle, without) << "t = " << t.to_string();
+      EXPECT_EQ(with_oracle, family.decompose(t).signature())
+          << "t = " << t.to_string();
+    }
+  }
+}
+
+// Exhaustive n = 4 necklaces, all misreport + collusion families, sampled
+// across each parameter range.
+TEST(SignatureOracle, ExhaustiveN4BitIdentical) {
+  ConfigGuard guard;
+  for (const Graph& ring : exp::exhaustive_rings(4, 3)) check_ring_families(ring);
+}
+
+// Exhaustive n = 5 and sampled n = 6 necklaces.
+TEST(SignatureOracle, ExhaustiveN5AndSampledN6BitIdentical) {
+  ConfigGuard guard;
+  for (const Graph& ring : exp::exhaustive_rings(5, 2)) check_ring_families(ring);
+  const std::vector<Graph> rings = exp::exhaustive_rings(6, 3);
+  ASSERT_FALSE(rings.empty());
+  for (std::size_t i = 0; i < rings.size(); i += 31) check_ring_families(rings[i]);
+}
+
+// Eligible families are served by the oracle (hits move, fallbacks do not).
+TEST(SignatureOracle, CountsHitsOnRingFamilies) {
+  ConfigGuard guard;
+  hot_path_config().signature_oracle = true;
+  const ParametrizedGraph family = misreport_family(exp::uniform_ring(6), 2);
+  const util::PerfSnapshot before = util::PerfCounters::snapshot();
+  for (const Rational& t : sample_points(family)) (void)family.signature(t);
+  const util::PerfSnapshot after = util::PerfCounters::snapshot();
+  EXPECT_GT(after.sig_oracle_hits, before.sig_oracle_hits);
+  EXPECT_EQ(after.sig_oracle_fallbacks, before.sig_oracle_fallbacks);
+}
+
+// A star family (center degree >= 3) is ineligible: every signature() call
+// falls back to the full decomposition, counted, with correct output.
+TEST(SignatureOracle, StarFamilyFallsBack) {
+  ConfigGuard guard;
+  hot_path_config().signature_oracle = true;
+  const Graph star = make_star({Rational(3), Rational(1), Rational(2),
+                                Rational(1), Rational(2)});
+  const ParametrizedGraph family = misreport_family(star, 0);
+  const util::PerfSnapshot before = util::PerfCounters::snapshot();
+  for (const Rational& t : sample_points(family)) {
+    const Signature sig = family.signature(t);
+    EXPECT_EQ(sig, family.decompose(t).signature()) << "t = " << t.to_string();
+  }
+  const util::PerfSnapshot after = util::PerfCounters::snapshot();
+  EXPECT_EQ(after.sig_oracle_hits, before.sig_oracle_hits);
+  EXPECT_GT(after.sig_oracle_fallbacks, before.sig_oracle_fallbacks);
+}
+
+// Out-of-range parameters bypass the oracle and surface decompose()'s
+// canonical error, oracle on or off.
+TEST(SignatureOracle, OutOfRangeThrowsEitherWay) {
+  ConfigGuard guard;
+  const ParametrizedGraph family = misreport_family(exp::uniform_ring(5), 0);
+  hot_path_config().signature_oracle = true;
+  EXPECT_THROW((void)family.signature(Rational(-1)), std::out_of_range);
+  hot_path_config().signature_oracle = false;
+  EXPECT_THROW((void)family.signature(Rational(-1)), std::out_of_range);
+}
+
+// The lockstep cross-check stays silent through a full accelerated
+// deviation sweep — the strongest end-to-end differential: every oracle
+// answer on every probe the real engine issues is compared against the full
+// decomposition in situ.
+TEST(SignatureOracle, CrossCheckSweepStaysSilent) {
+  ConfigGuard guard;
+  hot_path_config().signature_oracle = true;
+  hot_path_config().cross_check_signature_oracle = true;
+  DeviationSweep sweep;
+  sweep.kinds = {DeviationKind::kSybil, DeviationKind::kMisreport,
+                 DeviationKind::kCollusion};
+  const util::PerfSnapshot before = util::PerfCounters::snapshot();
+  for (const Graph& ring : exp::random_rings(3, 6, 4242, 16)) {
+    for (const DeviationTask& task : sweep.tasks(ring))
+      EXPECT_NO_THROW((void)sweep.run(ring, task));
+  }
+  EXPECT_GT(util::PerfCounters::snapshot().sig_oracle_hits,
+            before.sig_oracle_hits);
+}
+
+}  // namespace
+}  // namespace ringshare::game

@@ -147,6 +147,41 @@ TEST(ParallelFor, ImbalancedTaskCostsAreRebalancedByStealing) {
   EXPECT_GE(slow_threads.size(), 2u);
 }
 
+TEST(ParallelFor, MaxChunkOneMakesStragglersStealable) {
+  // 64 tasks on a fresh 2-worker pool. External posts are dealt
+  // round-robin, so with max_chunk = 1 the even (slow, ~2ms) iterations
+  // all land on worker 0's deque and the odd (trivial) ones on worker 1's.
+  // Worker 1 drains its trivial half in microseconds and then MUST steal
+  // queued slow tasks off worker 0 for the loop to finish in ~32ms rather
+  // than ~64ms serial. Without the cap the default sizing makes 8-wide
+  // chunks that mix slow and trivial iterations, which is exactly the
+  // granularity problem max_chunk exists to fix.
+  ThreadPool pool(2);
+  const std::uint64_t stolen_before =
+      PerfCounters::snapshot().pool_tasks_stolen;
+  std::atomic<int> covered{0};
+  parallel_for(
+      0, 64,
+      [&](std::size_t i) {
+        ++covered;
+        if (i % 2 == 0) spin_for_microseconds(2'000);
+      },
+      /*min_chunk=*/1, &pool, /*max_chunk=*/1);
+  EXPECT_EQ(covered.load(), 64);
+  EXPECT_GT(PerfCounters::snapshot().pool_tasks_stolen, stolen_before);
+}
+
+TEST(ParallelFor, MaxChunkZeroKeepsDefaultSizing) {
+  // max_chunk = 0 is "uncapped": behavior (coverage, chunk count) matches
+  // the three-argument call. Covers the default-argument path compiles and
+  // the cap logic never produces a zero chunk.
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(
+      0, hits.size(), [&](std::size_t i) { ++hits[i]; },
+      /*min_chunk=*/3, nullptr, /*max_chunk=*/0);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
 TEST(ParallelFor, ExceptionPropagatesThroughStolenChunks) {
   // Half the inner chunks throw; some of them execute on thieves. The first
   // error must surface in the (nested) caller and then in the outer one.
