@@ -1,0 +1,357 @@
+// bench_serve — before/after bench for the sharded batch-serving layer
+// (engine/batch_server.hpp) against the naive per-request baseline.
+//
+// Workload: symmetric-heavy, the regime serving is built for. Two base
+// 6-rings are expanded into every rotation × reflection × {1, 5} scaling
+// (24 registered instances per base), and EVERY deviation task of every
+// kind is queried against every instance, twice (two epochs of the same
+// request list). The second epoch replays keys the shards have already
+// solved, so it must be answered entirely by the canonical result caches.
+//
+// Passes (both run with the library-default accelerators, caches cleared
+// and counters reset before each rep; best of three reps each):
+//   * naive  — one sequential DeviationEngine::solve per request: the
+//     per-request cost with no routing, no dedup, no result reuse.
+//   * served — the same request list through BatchServer: fingerprint
+//     routing, single-flight dedup, shard caches, pipelined workers.
+//
+// Contracts (any violation exits nonzero):
+//   * every served response is bit-identical to the naive solve of the
+//     same request (ratio, t_star, utility, honest_utility) — dedup and
+//     caching are optimizations, never approximations;
+//   * served throughput >= 3x the naive baseline;
+//   * both dedup_hits and cache_hits fired (the layer actually engaged);
+//   * a cross-check pass (PieceSolveOptions::cross_check armed through
+//     the server) reports zero violations and zero error responses.
+//
+// Throughput, client-observed latency quantiles (p50/p95/p99), hit ratios
+// and the served pass's perf counters are written to BENCH_serve.json at
+// the repository root.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bd/memo.hpp"
+#include "engine/batch_server.hpp"
+#include "engine/wire.hpp"
+#include "exp/families.hpp"
+#include "game/piece_solver.hpp"
+#include "graph/builders.hpp"
+#include "numeric/bigint.hpp"
+#include "util/perf_counters.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ringshare;
+using num::BigInt;
+using num::Rational;
+
+#ifndef RINGSHARE_REPO_ROOT
+#define RINGSHARE_REPO_ROOT "."
+#endif
+
+constexpr std::size_t kShards = 4;
+constexpr int kReps = 3;
+
+/// Library-default accelerators, cold shared caches, zeroed counters — the
+/// same starting line for every rep of every pass.
+void configure() {
+  BigInt::set_fast_path_enabled(true);
+  bd::hot_path_config() = bd::HotPathConfig{};
+  bd::BottleneckCache::instance().clear();
+  bd::DecompositionCache::instance().clear();
+  game::PartitionMemo::instance().clear();
+  util::PerfCounters::reset();
+}
+
+struct Request {
+  std::size_t instance;
+  game::DeviationTask task;
+};
+
+struct Workload {
+  std::vector<graph::Graph> instances;
+  std::vector<Request> requests;  ///< both epochs, in submission order
+  std::size_t epoch_requests = 0;
+};
+
+/// Two base rings expanded into their full rotation/reflection/scaling
+/// orbit, with every deviation task of every kind queried per instance.
+Workload build_workload() {
+  const std::vector<std::vector<Rational>> bases = {
+      {Rational(4), Rational(1), Rational(3), Rational(2), Rational(2),
+       Rational(5)},
+      {Rational(7), Rational(2), Rational(2), Rational(6), Rational(1),
+       Rational(3)},
+  };
+  const std::vector<game::DeviationKind> kinds = {
+      game::DeviationKind::kSybil, game::DeviationKind::kMisreport,
+      game::DeviationKind::kCollusion};
+
+  Workload workload;
+  for (const std::vector<Rational>& base : bases) {
+    const std::size_t n = base.size();
+    for (std::size_t rot = 0; rot < n; ++rot) {
+      for (const bool reflect : {false, true}) {
+        for (const int scale : {1, 5}) {
+          std::vector<Rational> weights(n);
+          for (std::size_t j = 0; j < n; ++j) {
+            const std::size_t src = reflect ? (rot + n - j) % n : (rot + j) % n;
+            weights[j] = base[src] * Rational(scale);
+          }
+          workload.instances.push_back(graph::make_ring(std::move(weights)));
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < workload.instances.size(); ++i)
+    for (const game::DeviationKind kind : kinds)
+      for (const game::DeviationTask& task :
+           game::deviation_tasks(workload.instances[i], kind))
+        workload.requests.push_back(Request{i, task});
+  workload.epoch_requests = workload.requests.size();
+  // Epoch 2: the same list again — replayed after a drain, so the shards
+  // answer it from their canonical caches without a single fresh solve.
+  workload.requests.reserve(2 * workload.epoch_requests);
+  for (std::size_t k = 0; k < workload.epoch_requests; ++k)
+    workload.requests.push_back(workload.requests[k]);
+  return workload;
+}
+
+std::string optimum_signature(const game::DeviationOptimum& optimum) {
+  return optimum.ratio.to_string() + '|' + optimum.t_star.to_string() + '|' +
+         optimum.utility.to_string() + '|' + optimum.honest_utility.to_string();
+}
+
+struct NaiveRun {
+  double seconds = 0;
+  std::vector<std::string> signatures;
+  util::LatencyHistogram latency;
+};
+
+/// One sequential DeviationEngine::solve per request — the baseline the
+/// serving layer must beat.
+NaiveRun run_naive(const Workload& workload) {
+  configure();
+  const engine::DeviationEngine eng;
+  NaiveRun run;
+  run.signatures.reserve(workload.requests.size());
+  util::Timer timer;
+  for (const Request& request : workload.requests) {
+    const auto start = std::chrono::steady_clock::now();
+    const game::DeviationOptimum optimum =
+        eng.solve(workload.instances[request.instance], request.task);
+    run.latency.record_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    run.signatures.push_back(optimum_signature(optimum));
+  }
+  run.seconds = timer.elapsed_seconds();
+  return run;
+}
+
+struct ServedRun {
+  double seconds = 0;
+  std::vector<std::string> signatures;  ///< indexed by request id
+  engine::ServeStats stats;
+  util::PerfSnapshot counters;
+};
+
+/// The same request list through the batch server: epoch 1 submitted in one
+/// burst (dedup + solves), a drain, then epoch 2 (pure cache replay).
+ServedRun run_served(const Workload& workload) {
+  configure();
+  ServedRun run;
+  run.signatures.resize(workload.requests.size());
+  std::vector<std::string> lines(workload.requests.size());
+  engine::BatchServerConfig config;
+  config.shards = kShards;
+  util::Timer timer;
+  {
+    engine::BatchServer server(config, [&](const std::string& line) {
+      const auto req = engine::json_uint_field(line, "req");
+      if (req && *req < lines.size()) lines[*req] = line;
+    });
+    for (std::size_t i = 0; i < workload.instances.size(); ++i)
+      server.register_instance(i, workload.instances[i]);
+    for (std::size_t k = 0; k < workload.epoch_requests; ++k)
+      server.submit(k, engine::format_task_key(workload.requests[k].instance,
+                                               workload.requests[k].task));
+    server.drain();
+    for (std::size_t k = workload.epoch_requests; k < workload.requests.size();
+         ++k)
+      server.submit(k, engine::format_task_key(workload.requests[k].instance,
+                                               workload.requests[k].task));
+    server.drain();
+    run.stats = server.stats();
+  }
+  run.seconds = timer.elapsed_seconds();
+  run.counters = util::PerfCounters::snapshot();
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    const auto ratio = engine::json_string_field(lines[k], "ratio");
+    const auto t_star = engine::json_string_field(lines[k], "t_star");
+    const auto utility = engine::json_string_field(lines[k], "utility");
+    const auto honest = engine::json_string_field(lines[k], "honest_utility");
+    if (ratio && t_star && utility && honest)
+      run.signatures[k] = *ratio + '|' + *t_star + '|' + *utility + '|' +
+                          *honest;
+  }
+  return run;
+}
+
+/// Cross-check pass: the full epoch-1 list served with the exact solver's
+/// scan cross-check armed — a violation surfaces as an error response.
+engine::ServeStats run_cross_check(const Workload& workload) {
+  configure();
+  engine::BatchServerConfig config;
+  config.shards = kShards;
+  config.solver.cross_check = true;
+  engine::BatchServer server(config, [](const std::string&) {});
+  for (std::size_t i = 0; i < workload.instances.size(); ++i)
+    server.register_instance(i, workload.instances[i]);
+  for (std::size_t k = 0; k < workload.epoch_requests; ++k)
+    server.submit(k, engine::format_task_key(workload.requests[k].instance,
+                                             workload.requests[k].task));
+  server.drain();
+  return server.stats();
+}
+
+const char* bool_json(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+int main() {
+  const Workload workload = build_workload();
+  std::printf("[serve] workload: %zu instances, %zu requests (2 epochs)\n",
+              workload.instances.size(), workload.requests.size());
+
+  std::printf("[serve] naive per-request baseline (best of %d)...\n", kReps);
+  NaiveRun naive = run_naive(workload);
+  for (int rep = 1; rep < kReps; ++rep) {
+    NaiveRun again = run_naive(workload);
+    if (again.signatures != naive.signatures) {
+      std::printf("FAIL: naive reps are not deterministic\n");
+      return 1;
+    }
+    if (again.seconds < naive.seconds) naive = std::move(again);
+  }
+  std::printf("[serve] naive %.3fs (%.0f req/s)\n", naive.seconds,
+              workload.requests.size() / naive.seconds);
+
+  std::printf("[serve] batch server, %zu shards (best of %d)...\n", kShards,
+              kReps);
+  ServedRun served = run_served(workload);
+  for (int rep = 1; rep < kReps; ++rep) {
+    ServedRun again = run_served(workload);
+    if (again.signatures != served.signatures) {
+      std::printf("FAIL: served reps are not deterministic\n");
+      return 1;
+    }
+    if (again.seconds < served.seconds) served = std::move(again);
+  }
+  const double naive_throughput = workload.requests.size() / naive.seconds;
+  const double served_throughput = workload.requests.size() / served.seconds;
+  const double speedup = naive.seconds / served.seconds;
+  std::printf("[serve] served %.3fs (%.0f req/s), speedup %.2fx\n",
+              served.seconds, served_throughput, speedup);
+  std::printf(
+      "[serve] solves %llu, dedup %llu, cache %llu of %llu requests\n",
+      static_cast<unsigned long long>(served.stats.solves),
+      static_cast<unsigned long long>(served.stats.dedup_hits),
+      static_cast<unsigned long long>(served.stats.cache_hits),
+      static_cast<unsigned long long>(served.stats.requests));
+  std::printf("[serve] latency p50 %.3fms p95 %.3fms p99 %.3fms\n",
+              served.stats.latency.p50_ms(), served.stats.latency.p95_ms(),
+              served.stats.latency.p99_ms());
+
+  const bool results_identical = served.signatures == naive.signatures;
+  std::printf("[serve] %s\n", results_identical ? "results identical"
+                                                : "RESULTS DIFFER");
+
+  std::printf("[serve] cross-check pass (exact vs scan, armed)...\n");
+  const engine::ServeStats cc = run_cross_check(workload);
+  const std::uint64_t cc_violations = cc.errors;
+  std::printf("[serve] cross-check: %llu violations over %llu requests\n",
+              static_cast<unsigned long long>(cc_violations),
+              static_cast<unsigned long long>(cc.requests));
+
+  const std::uint64_t answered = served.stats.solves +
+                                 served.stats.dedup_hits +
+                                 served.stats.cache_hits;
+  const double dedup_ratio =
+      served.stats.requests
+          ? static_cast<double>(served.stats.dedup_hits) / served.stats.requests
+          : 0;
+  const double cache_ratio =
+      served.stats.requests
+          ? static_cast<double>(served.stats.cache_hits) / served.stats.requests
+          : 0;
+
+  const std::string json_path =
+      std::string(RINGSHARE_REPO_ROOT) + "/BENCH_serve.json";
+  {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"serve\",\n"
+        << "  \"workload\": {\"instances\": " << workload.instances.size()
+        << ", \"n\": 6, \"requests\": " << workload.requests.size()
+        << ", \"epochs\": 2},\n"
+        << "  \"shards\": " << kShards << ",\n"
+        << "  \"naive_seconds\": " << naive.seconds << ",\n"
+        << "  \"served_seconds\": " << served.seconds << ",\n"
+        << "  \"naive_throughput_rps\": " << naive_throughput << ",\n"
+        << "  \"served_throughput_rps\": " << served_throughput << ",\n"
+        << "  \"speedup\": " << speedup << ",\n"
+        << "  \"speedup_floor\": 3,\n"
+        << "  \"results_identical\": " << bool_json(results_identical) << ",\n"
+        << "  \"served\": {\"requests\": " << served.stats.requests
+        << ", \"solves\": " << served.stats.solves
+        << ", \"dedup_hits\": " << served.stats.dedup_hits
+        << ", \"cache_hits\": " << served.stats.cache_hits
+        << ", \"errors\": " << served.stats.errors
+        << ", \"dedup_hit_ratio\": " << dedup_ratio
+        << ", \"cache_hit_ratio\": " << cache_ratio << "},\n"
+        << "  \"served_latency_ms\": {\"p50\": " << served.stats.latency.p50_ms()
+        << ", \"p95\": " << served.stats.latency.p95_ms()
+        << ", \"p99\": " << served.stats.latency.p99_ms() << "},\n"
+        << "  \"naive_latency_ms\": {\"p50\": " << naive.latency.p50_ms()
+        << ", \"p95\": " << naive.latency.p95_ms()
+        << ", \"p99\": " << naive.latency.p99_ms() << "},\n"
+        << "  \"cross_check\": {\"requests\": " << cc.requests
+        << ", \"violations\": " << cc_violations << "},\n"
+        << "  \"served_counters\": " << served.counters.to_json(2) << "\n}\n";
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  int exit_code = 0;
+  if (!results_identical) {
+    std::printf("FAIL: served responses differ from the naive baseline\n");
+    exit_code = 1;
+  }
+  if (speedup < 3.0) {
+    std::printf("FAIL: served speedup %.2fx below the 3x floor\n", speedup);
+    exit_code = 1;
+  }
+  if (served.stats.dedup_hits == 0) {
+    std::printf("FAIL: single-flight dedup never fired\n");
+    exit_code = 1;
+  }
+  if (served.stats.cache_hits == 0) {
+    std::printf("FAIL: shard result caches never fired\n");
+    exit_code = 1;
+  }
+  if (served.stats.errors != 0 || answered != served.stats.requests) {
+    std::printf("FAIL: served pass emitted errors or lost requests\n");
+    exit_code = 1;
+  }
+  if (cc_violations != 0) {
+    std::printf("FAIL: %llu cross-check violations through the server\n",
+                static_cast<unsigned long long>(cc_violations));
+    exit_code = 1;
+  }
+  configure();
+  return exit_code;
+}

@@ -128,12 +128,72 @@ def rows_deviation(report) -> list[dict]:
     ]
 
 
+def rows_serve(report) -> list[dict]:
+    # The serving bench's contracts beyond bit-identity: the 3x throughput
+    # floor, zero cross-check violations through the server, and both reuse
+    # mechanisms (single-flight dedup, shard caches) actually firing.
+    served = report["served"]
+    contracts_ok = (
+        report["speedup"] >= report["speedup_floor"]
+        and report["cross_check"]["violations"] == 0
+        and served["errors"] == 0
+        and served["dedup_hits"] > 0
+        and served["cache_hits"] > 0
+    )
+    return [
+        {
+            "bench": "serve",
+            "pass": "naive -> sharded batch",
+            "baseline_seconds": report["naive_seconds"],
+            "current_seconds": report["served_seconds"],
+            "speedup": report["speedup"],
+            "results_identical": report["results_identical"] and contracts_ok,
+        }
+    ]
+
+
 PARSERS = {
     "BENCH_hotpaths.json": rows_hotpaths,
     "BENCH_sweep.json": rows_sweep,
     "BENCH_ringkernel.json": rows_ringkernel,
     "BENCH_deviation.json": rows_deviation,
+    "BENCH_serve.json": rows_serve,
 }
+
+
+def latency_rows(name: str, report) -> list[dict]:
+    """Latency quantiles carried by an artifact: any embedded perf-counter
+    object's per-solve task_latency histogram, plus the serving bench's
+    client-observed (end-to-end) latencies."""
+    rows = []
+    for key, value in report.items():
+        if not (isinstance(value, dict) and "task_latency_p50_ms" in value):
+            continue
+        if not value.get("task_latency_count"):
+            continue
+        rows.append(
+            {
+                "bench": report.get("bench", name),
+                "pass": f"{key.removesuffix('_counters')} per-solve",
+                "count": value["task_latency_count"],
+                "p50_ms": value["task_latency_p50_ms"],
+                "p95_ms": value["task_latency_p95_ms"],
+                "p99_ms": value["task_latency_p99_ms"],
+            }
+        )
+    for key in ("naive_latency_ms", "served_latency_ms"):
+        if key in report:
+            rows.append(
+                {
+                    "bench": report.get("bench", name),
+                    "pass": f"{key.removesuffix('_latency_ms')} end-to-end",
+                    "count": report["workload"]["requests"],
+                    "p50_ms": report[key]["p50"],
+                    "p95_ms": report[key]["p95"],
+                    "p99_ms": report[key]["p99"],
+                }
+            )
+    return rows
 
 
 def main() -> int:
@@ -147,6 +207,7 @@ def main() -> int:
     root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
 
     rows: list[dict] = []
+    latencies: list[dict] = []
     broken = 0
     for name, to_rows in PARSERS.items():
         path = root / name
@@ -154,7 +215,9 @@ def main() -> int:
             print(f"[trajectory] {name}: missing, skipped", file=sys.stderr)
             continue
         try:
-            rows.extend(to_rows(load(path)))
+            report = load(path)
+            rows.extend(to_rows(report))
+            latencies.extend(latency_rows(name, report))
         except (json.JSONDecodeError, KeyError, TypeError) as error:
             print(f"[trajectory] {name}: malformed ({error})", file=sys.stderr)
             broken += 1
@@ -176,9 +239,19 @@ def main() -> int:
               f"{row['current_seconds']:>8.3f} {row['speedup']:>7.2f}x  "
               f"{'yes' if identical else 'NO'}")
 
+    if latencies:
+        lat_header = (f"\n{'bench / latency source':<38} {'count':>8} "
+                      f"{'p50_ms':>8} {'p95_ms':>8} {'p99_ms':>8}")
+        print(lat_header)
+        print("-" * (len(lat_header) - 1))
+        for row in latencies:
+            label = f"{row['bench']} / {row['pass']}"
+            print(f"{label:<38} {row['count']:>8} {row['p50_ms']:>8.3f} "
+                  f"{row['p95_ms']:>8.3f} {row['p99_ms']:>8.3f}")
+
     if args.json_out:
         with open(args.json_out, "w") as f:
-            json.dump({"trajectory": rows}, f, indent=2)
+            json.dump({"trajectory": rows, "latency": latencies}, f, indent=2)
             f.write("\n")
         print(f"\nwrote {args.json_out}")
 

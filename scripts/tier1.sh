@@ -23,6 +23,14 @@
 #      shared sweep costs (partition + decompose wall time, best of five
 #      cold reps) under the 100ms budget — tier-1 fails on a Theorem 8
 #      bound breach AND on a shared-phase budget regression.
+#   7. Serve smoke: pipe a small JSONL batch through ringshare_serve built
+#      under ASan/UBSan and under TSan (the batch server is the most
+#      concurrency-dense layer: shard workers, single-flight waiters, the
+#      response sequencer) and require one well-formed response per query.
+#   8. Serve bench smoke: run bench_serve and validate that
+#      BENCH_serve.json parses with results_identical == true, the 3x
+#      throughput floor met, zero cross-check violations, and both reuse
+#      mechanisms (dedup + shard caches) engaged.
 #
 # Usage: scripts/tier1.sh [--skip-asan]
 #   --skip-asan skips every sanitizer pass (ASan/UBSan and TSan) and the
@@ -57,7 +65,7 @@ cmake -B build-asan -S . \
 for target in numeric_fastpath_test memo_cache_test bigint_test \
               rational_test util_test flow_test bd_test \
               deviation_differential_test deviation_metamorphic_test \
-              incremental_flow_test; do
+              incremental_flow_test engine_test serve_test; do
   cmake --build build-asan -j "$jobs" --target "$target"
 done
 
@@ -65,7 +73,7 @@ echo "=== ASan/UBSan: run ==="
 for target in numeric_fastpath_test memo_cache_test bigint_test \
               rational_test util_test flow_test bd_test \
               deviation_differential_test deviation_metamorphic_test \
-              incremental_flow_test; do
+              incremental_flow_test engine_test serve_test; do
   echo "--- $target ---"
   "./build-asan/tests/$target"
 done
@@ -76,15 +84,76 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="$tsan_flags" \
   -DCMAKE_EXE_LINKER_FLAGS="$tsan_flags"
-for target in util_test sweep_driver_test deviation_metamorphic_test; do
+for target in util_test sweep_driver_test deviation_metamorphic_test \
+              serve_test; do
   cmake --build build-tsan -j "$jobs" --target "$target"
 done
 
-echo "=== TSan: run (work-stealing pool + concurrent sweep) ==="
-for target in util_test sweep_driver_test deviation_metamorphic_test; do
+echo "=== TSan: run (work-stealing pool + concurrent sweep + server) ==="
+for target in util_test sweep_driver_test deviation_metamorphic_test \
+              serve_test; do
   echo "--- $target ---"
   "./build-tsan/tests/$target"
 done
+
+echo "=== serve smoke: ringshare_serve under ASan/UBSan and TSan ==="
+# A registration + query batch exercising all three deviation kinds, with
+# a symmetric repeat (instance 1 is instance 0 rotated and doubled) so the
+# dedup/cache paths run under the sanitizers too.
+serve_smoke_input='{"instance": 0, "ring": ["4", "1", "3", "2", "2"]}
+{"instance": 1, "ring": ["2", "6", "4", "4", "8"]}
+{"req": 0, "task": "i0.v0"}
+{"req": 1, "task": "i0.m2"}
+{"req": 2, "task": "i0.c1-2"}
+{"req": 3, "task": "i0.v0"}
+{"req": 4, "task": "i1.m3"}'
+for tree in build-asan build-tsan; do
+  cmake --build "$tree" -j "$jobs" --target ringshare_serve
+  echo "--- $tree/tools/ringshare_serve ---"
+  printf '%s\n' "$serve_smoke_input" \
+    | "./$tree/tools/ringshare_serve" --shards=2 > serve_smoke_out.jsonl
+  responses=$(grep -c '"ratio"' serve_smoke_out.jsonl || true)
+  if [ "$responses" -ne 5 ]; then
+    echo "tier1.sh: serve smoke expected 5 responses, got $responses" >&2
+    cat serve_smoke_out.jsonl >&2
+    rm -f serve_smoke_out.jsonl
+    exit 1
+  fi
+  rm -f serve_smoke_out.jsonl
+done
+
+echo "=== serve bench smoke: bench_serve ==="
+cmake --build build -j "$jobs" --target bench_serve
+./build/bench/bench_serve
+# The binary exits nonzero on any contract violation (identity, the 3x
+# throughput floor, cross-check, engaged dedup/caches); re-validate the
+# JSON independently so a stale or corrupted artifact also fails CI.
+grep -q '"results_identical": true' BENCH_serve.json || {
+  echo "tier1.sh: BENCH_serve.json missing results_identical: true" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+with open("BENCH_serve.json") as f:
+    report = json.load(f)
+served = report["served"]
+ok = (
+    report["results_identical"] is True
+    and report["speedup"] >= report["speedup_floor"]
+    and report["cross_check"]["violations"] == 0
+    and served["errors"] == 0
+    and served["dedup_hits"] > 0
+    and served["cache_hits"] > 0
+    and served["solves"] + served["dedup_hits"] + served["cache_hits"]
+        == served["requests"]
+    and report["served_latency_ms"]["p50"] > 0
+)
+sys.exit(0 if ok else 1)
+EOF
+else
+  echo "tier1.sh: python3 not found; JSON well-formedness check skipped"
+fi
 
 echo "=== sweep bench smoke: bench_sweep_engine ==="
 cmake --build build -j "$jobs" --target bench_sweep_engine

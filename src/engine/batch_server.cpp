@@ -1,0 +1,329 @@
+#include "engine/batch_server.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/wire.hpp"
+#include "util/threadpool.hpp"
+
+namespace ringshare::engine {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+struct BatchServer::Impl {
+  struct Instance {
+    std::shared_ptr<const Graph> ring;
+    std::size_t route = 0;
+  };
+
+  /// One client request waiting on a canonical solve: everything needed to
+  /// translate the canonical optimum back to ITS labels and scale (waiters
+  /// coalesced onto one solve may come from different instances).
+  struct Pending {
+    std::uint64_t seq = 0;
+    std::uint64_t req = 0;
+    std::size_t instance = 0;
+    game::DeviationTask task;
+    std::shared_ptr<const Graph> ring;
+    Rational scale;
+    bool reversed = false;
+    std::uint64_t enqueue_ns = 0;
+    bool leader = false;
+  };
+
+  /// One canonical solve queued on a shard, with its coalesced waiters.
+  struct Solve {
+    CanonicalTask canon;
+    std::vector<Pending> waiters;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<Solve>> queue;
+    /// Canonical key -> the in-flight solve followers may join (dedup on).
+    std::unordered_map<std::string, std::shared_ptr<Solve>> inflight;
+    /// Canonical key -> canonical optimum, FIFO-bounded.
+    std::unordered_map<std::string, DeviationOptimum> cache;
+    std::deque<std::string> cache_fifo;
+    std::thread worker;
+  };
+
+  BatchServerConfig config;
+  Sink sink;
+  DeviationEngine engine;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::atomic<bool> stopping{false};
+
+  std::mutex instance_mutex;
+  std::unordered_map<std::size_t, Instance> instances;
+
+  /// Sequencer: responses are buffered by submit order and flushed to the
+  /// sink as soon as the head of the order is ready. Also guards the stats.
+  std::mutex seq_mutex;
+  std::condition_variable seq_cv;
+  std::map<std::uint64_t, std::string> ready;
+  std::uint64_t next_submit = 0;
+  std::uint64_t next_emit = 0;
+  ServeStats stat;
+
+  explicit Impl(BatchServerConfig config_in, Sink sink_in)
+      : config(config_in), sink(std::move(sink_in)), engine(config_in.solver) {
+    std::size_t count = config.shards;
+    if (count == 0) {
+      const std::size_t threads = util::configured_thread_count();
+      count = threads / 2 < 2 ? 2 : threads / 2;
+    }
+    shards.reserve(count);
+    for (std::size_t s = 0; s < count; ++s)
+      shards.push_back(std::make_unique<Shard>());
+    for (std::size_t s = 0; s < count; ++s)
+      shards[s]->worker = std::thread([this, s] { worker_loop(s); });
+  }
+
+  ~Impl() {
+    drain();
+    stopping.store(true);
+    for (auto& shard : shards) {
+      std::lock_guard lock(shard->mutex);
+      shard->cv.notify_all();
+    }
+    for (auto& shard : shards) shard->worker.join();
+  }
+
+  void drain() {
+    std::unique_lock lock(seq_mutex);
+    seq_cv.wait(lock, [&] { return next_emit == next_submit; });
+  }
+
+  /// Emit one finished response at its submit position, flushing the ready
+  /// prefix. `served` is "solve" / "dedup" / "cache" / nullptr (error).
+  void finish(std::uint64_t seq, std::string line, const char* served,
+              std::uint64_t latency_ns) {
+    std::lock_guard lock(seq_mutex);
+    if (served == nullptr) {
+      ++stat.errors;
+    } else {
+      stat.latency.record_ns(latency_ns);
+      if (served[0] == 's') ++stat.solves;
+      else if (served[0] == 'd') ++stat.dedup_hits;
+      else ++stat.cache_hits;
+    }
+    ready.emplace(seq, std::move(line));
+    for (auto it = ready.find(next_emit); it != ready.end();
+         it = ready.find(next_emit)) {
+      sink(it->second);
+      ready.erase(it);
+      ++next_emit;
+    }
+    seq_cv.notify_all();
+  }
+
+  /// Translate + emit one waiter's response from a canonical optimum.
+  void emit_result(const Pending& p, const DeviationOptimum& canonical_opt,
+                   std::size_t shard, const char* served) {
+    CanonicalTask canon;  // translate_optimum only reads scale + reversed
+    canon.scale = p.scale;
+    canon.reversed = p.reversed;
+    const DeviationOptimum optimum =
+        translate_optimum(*p.ring, p.task, canon, canonical_opt);
+    const std::uint64_t latency_ns = now_ns() - p.enqueue_ns;
+    finish(p.seq,
+           format_response(p.req, p.instance, optimum, shard, served,
+                           latency_ns / 1000),
+           served, latency_ns);
+  }
+
+  void emit_error(std::uint64_t seq, std::uint64_t req,
+                  const std::string& message) {
+    finish(seq, format_error(req, message), nullptr, 0);
+  }
+
+  void submit(std::uint64_t req, const std::string& task_key) {
+    std::uint64_t seq;
+    {
+      std::lock_guard lock(seq_mutex);
+      seq = next_submit++;
+      ++stat.requests;
+    }
+    util::PerfCounters::local().serve_requests.fetch_add(
+        1, std::memory_order_relaxed);
+    const std::uint64_t enqueue_ns = now_ns();
+
+    const std::optional<TaskKeyParts> parts = parse_task_key(task_key);
+    if (!parts) {
+      emit_error(seq, req, "malformed task key '" + task_key + "'");
+      return;
+    }
+    std::shared_ptr<const Graph> ring;
+    std::size_t route = 0;
+    {
+      std::lock_guard lock(instance_mutex);
+      const auto it = instances.find(parts->instance);
+      if (it != instances.end()) {
+        ring = it->second.ring;
+        route = it->second.route;
+      }
+    }
+    if (!ring) {
+      emit_error(seq, req,
+                 "unknown instance " + std::to_string(parts->instance));
+      return;
+    }
+    if (parts->task.vertex >= ring->vertex_count() ||
+        (parts->task.kind == game::DeviationKind::kCollusion &&
+         parts->task.partner >= ring->vertex_count())) {
+      emit_error(seq, req, "vertex out of range in '" + task_key + "'");
+      return;
+    }
+
+    CanonicalTask canon;
+    try {
+      canon = canonicalize_task(*ring, parts->task);
+    } catch (const std::exception& e) {
+      emit_error(seq, req, e.what());
+      return;
+    }
+
+    const std::size_t shard_index = route % shards.size();
+    Shard& shard = *shards[shard_index];
+
+    Pending pending;
+    pending.seq = seq;
+    pending.req = req;
+    pending.instance = parts->instance;
+    pending.task = parts->task;
+    pending.ring = ring;
+    pending.scale = canon.scale;
+    pending.reversed = canon.reversed;
+    pending.enqueue_ns = enqueue_ns;
+
+    std::optional<DeviationOptimum> cached;
+    {
+      std::lock_guard lock(shard.mutex);
+      const auto hit = shard.cache.find(canon.key);
+      if (hit != shard.cache.end()) {
+        cached = hit->second;
+      } else if (config.dedup) {
+        const auto inflight = shard.inflight.find(canon.key);
+        if (inflight != shard.inflight.end()) {
+          inflight->second->waiters.push_back(std::move(pending));
+          util::PerfCounters::local().serve_dedup_hits.fetch_add(
+              1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      if (!cached) {
+        pending.leader = true;
+        auto solve = std::make_shared<Solve>();
+        solve->canon = std::move(canon);
+        solve->waiters.push_back(std::move(pending));
+        if (config.dedup) shard.inflight.emplace(solve->canon.key, solve);
+        shard.queue.push_back(std::move(solve));
+        shard.cv.notify_one();
+        return;
+      }
+    }
+    util::PerfCounters::local().serve_cache_hits.fetch_add(
+        1, std::memory_order_relaxed);
+    emit_result(pending, *cached, shard_index, "cache");
+  }
+
+  void worker_loop(std::size_t shard_index) {
+    Shard& shard = *shards[shard_index];
+    for (;;) {
+      std::shared_ptr<Solve> solve;
+      {
+        std::unique_lock lock(shard.mutex);
+        shard.cv.wait(lock, [&] {
+          return stopping.load() || !shard.queue.empty();
+        });
+        if (shard.queue.empty()) return;  // stopping and drained
+        solve = std::move(shard.queue.front());
+        shard.queue.pop_front();
+      }
+
+      DeviationOptimum optimum;
+      std::string error;
+      try {
+        optimum = engine.solve_canonical(solve->canon);
+        util::PerfCounters::local().serve_solves.fetch_add(
+            1, std::memory_order_relaxed);
+      } catch (const std::exception& e) {
+        error = e.what();
+        if (error.empty()) error = "solve failed";
+      }
+
+      std::vector<Pending> waiters;
+      {
+        std::lock_guard lock(shard.mutex);
+        // Followers join only through `inflight`; after this erase any new
+        // identical request sees the cache entry installed below instead.
+        waiters = std::move(solve->waiters);
+        if (config.dedup) shard.inflight.erase(solve->canon.key);
+        if (error.empty() && config.cache_capacity > 0 &&
+            !shard.cache.count(solve->canon.key)) {
+          shard.cache.emplace(solve->canon.key, optimum);
+          shard.cache_fifo.push_back(solve->canon.key);
+          while (shard.cache.size() > config.cache_capacity) {
+            shard.cache.erase(shard.cache_fifo.front());
+            shard.cache_fifo.pop_front();
+          }
+        }
+      }
+
+      for (const Pending& p : waiters) {
+        if (!error.empty()) {
+          emit_error(p.seq, p.req, error);
+        } else {
+          emit_result(p, optimum, shard_index, p.leader ? "solve" : "dedup");
+        }
+      }
+    }
+  }
+};
+
+BatchServer::BatchServer(BatchServerConfig config, Sink sink)
+    : impl_(std::make_unique<Impl>(config, std::move(sink))) {}
+
+BatchServer::~BatchServer() = default;
+
+std::size_t BatchServer::shard_count() const noexcept {
+  return impl_->shards.size();
+}
+
+void BatchServer::register_instance(std::size_t id, Graph ring) {
+  Impl::Instance instance;
+  instance.route = instance_route_hash(ring);
+  instance.ring = std::make_shared<const Graph>(std::move(ring));
+  std::lock_guard lock(impl_->instance_mutex);
+  impl_->instances[id] = std::move(instance);
+}
+
+void BatchServer::submit(std::uint64_t req, const std::string& task_key) {
+  impl_->submit(req, task_key);
+}
+
+void BatchServer::drain() { impl_->drain(); }
+
+ServeStats BatchServer::stats() const {
+  std::lock_guard lock(impl_->seq_mutex);
+  return impl_->stat;
+}
+
+}  // namespace ringshare::engine

@@ -1,0 +1,105 @@
+// batch_server.hpp — the sharded batch-serving layer over DeviationEngine.
+//
+// Long-lived serving for deviation queries: clients register ring instances
+// and stream task queries; the server answers each with the exact optimum
+// plus serving metadata. Three mechanisms carry the load:
+//
+//   * fingerprint routing — every query is routed to a worker shard by the
+//     hash of its instance's UNPOINTED canonical fingerprint, so rotated /
+//     reflected / scaled copies of one ring (different clients, same
+//     geometry) land on the same shard and hence the same result cache;
+//   * shard result cache — each shard memoizes CANONICAL optima by the
+//     pointed canonical key, so any equivalent task (same or symmetric
+//     instance) is answered by translation alone;
+//   * single-flight dedup — identical canonical keys already being solved
+//     coalesce onto the in-flight leader; followers wait for its result
+//     instead of re-solving.
+//
+// Because the engine solves THROUGH canonical space, cached / deduped /
+// fresh answers to equivalent requests are bit-identical — dedup is an
+// optimization, never an approximation.
+//
+// Responses are emitted strictly in arrival (submit) order, each stamped
+// with its end-to-end latency. Emission happens on worker threads via the
+// configured sink; the sink is called under the sequencer lock, so it needs
+// no synchronization of its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/deviation_engine.hpp"
+#include "util/perf_counters.hpp"
+
+namespace ringshare::engine {
+
+struct BatchServerConfig {
+  /// Worker shards; 0 derives a default from configured_thread_count()
+  /// (half the configured threads, at least 2 — shard workers spend most of
+  /// their time blocked in the pool-parallel inner solves, so shards
+  /// pipeline requests rather than multiply compute threads).
+  std::size_t shards = 0;
+  /// Per-shard canonical-result cache capacity (entries); 0 disables the
+  /// cache. Eviction is FIFO — deviation workloads are dominated by
+  /// symmetric repeats, not scans, so recency tracking buys little.
+  std::size_t cache_capacity = 4096;
+  /// Single-flight coalescing of identical in-flight canonical keys.
+  bool dedup = true;
+  /// Engine option set (shared by every shard).
+  DeviationOptions solver;
+};
+
+/// Aggregate serving statistics (monotonic over the server's lifetime).
+struct ServeStats {
+  std::uint64_t requests = 0;    ///< queries submitted
+  std::uint64_t solves = 0;      ///< fresh canonical solves executed
+  std::uint64_t dedup_hits = 0;  ///< coalesced onto an in-flight solve
+  std::uint64_t cache_hits = 0;  ///< answered from a shard result cache
+  std::uint64_t errors = 0;      ///< error responses emitted
+  /// End-to-end request latency (submit → response emission), including
+  /// queueing and dedup wait — the client-observed figure, unlike the
+  /// per-solve task_latency histogram in PerfCounters.
+  util::LatencyHistogram latency;
+};
+
+/// The server. Thread-safe: register/submit may be called from any thread;
+/// responses are emitted from worker threads through the sink, strictly in
+/// submit order. Destruction drains pending work and joins the shards.
+class BatchServer {
+ public:
+  /// Response sink: one response line (no trailing newline) per call, in
+  /// arrival order. Called under the sequencer lock — keep it cheap.
+  using Sink = std::function<void(const std::string&)>;
+
+  BatchServer(BatchServerConfig config, Sink sink);
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept;
+
+  /// Register (or replace) instance `id`. The routing hash is computed
+  /// here, once per instance, not per query.
+  void register_instance(std::size_t id, Graph ring);
+
+  /// Submit one query against a registered instance. Invalid keys, unknown
+  /// instances and solver-contract violations produce an error response at
+  /// this request's position in the output order.
+  void submit(std::uint64_t req, const std::string& task_key);
+
+  /// Block until every submitted request has been emitted.
+  void drain();
+
+  /// Snapshot of the aggregate statistics.
+  [[nodiscard]] ServeStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ringshare::engine

@@ -1,0 +1,175 @@
+#include "engine/deviation_engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bd/memo.hpp"
+#include "graph/builders.hpp"
+#include "graph/canonical.hpp"
+#include "game/sybil_ring.hpp"
+
+namespace ringshare::engine {
+
+namespace {
+
+using num::BigInt;
+
+/// Weight sequence along a cyclic traversal of `ring` starting at `cyc[at]`
+/// and stepping by `step` (+1 / −1 around the cycle order `cyc`).
+std::vector<Rational> traversal_weights(const Graph& ring,
+                                        const std::vector<Vertex>& cyc,
+                                        std::size_t at, int step) {
+  const std::size_t n = cyc.size();
+  std::vector<Rational> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring.weight(cyc[at]));
+    at = step > 0 ? (at + 1) % n : (at + n - 1) % n;
+  }
+  return out;
+}
+
+BigInt lcm(const BigInt& a, const BigInt& b) {
+  return a / BigInt::gcd(a, b) * b;
+}
+
+}  // namespace
+
+CanonicalTask canonicalize_task(const Graph& ring, const DeviationTask& task) {
+  // ring_order_from validates the cycle and fixes the successor direction
+  // (v's smaller-id neighbor), exactly as the Sybil split does.
+  const std::vector<Vertex> order = game::ring_order_from(ring, task.vertex);
+  const std::size_t n = ring.vertex_count();
+
+  // Full cyclic order: cyc[0] = v, cyc[1] = successor, cyc[n−1] = predecessor.
+  std::vector<Vertex> cyc;
+  cyc.reserve(n);
+  cyc.push_back(task.vertex);
+  cyc.insert(cyc.end(), order.begin(), order.end());
+
+  std::vector<Rational> chosen;
+  bool reversed = false;
+  DeviationTask canonical_task;
+  canonical_task.kind = task.kind;
+  canonical_task.vertex = 0;
+
+  if (task.kind == DeviationKind::kCollusion) {
+    // The pointed object is the ordered pair (coalition edge): candidate A
+    // starts at v stepping toward the partner, candidate B starts at the
+    // partner stepping toward v. Lex-min of the two weight sequences picks
+    // the representative; either way the coalition sits at vertices (0, 1).
+    int toward_partner;
+    if (cyc[1] == task.partner) {
+      toward_partner = 1;
+    } else if (cyc[n - 1] == task.partner) {
+      toward_partner = -1;
+    } else {
+      throw std::invalid_argument(
+          "canonicalize_task: collusion partner not adjacent to vertex");
+    }
+    std::vector<Rational> vertex_first =
+        traversal_weights(ring, cyc, 0, toward_partner);
+    const std::size_t partner_at = toward_partner > 0 ? 1 : n - 1;
+    std::vector<Rational> partner_first =
+        traversal_weights(ring, cyc, partner_at, -toward_partner);
+    reversed = graph::prefer_reversed_orientation(vertex_first, partner_first);
+    chosen = reversed ? std::move(partner_first) : std::move(vertex_first);
+    canonical_task.partner = 1;
+  } else if (task.kind == DeviationKind::kMisreport) {
+    // Misreport points a single vertex and its parameter (the report x) is
+    // orientation-invariant, so the free traversal direction is quotiented
+    // away: lex-min of the two orientations.
+    std::vector<Rational> forward = traversal_weights(ring, cyc, 0, 1);
+    std::vector<Rational> backward = traversal_weights(ring, cyc, 0, -1);
+    reversed = graph::prefer_reversed_orientation(forward, backward);
+    chosen = reversed ? std::move(backward) : std::move(forward);
+    canonical_task.partner = 0;
+  } else {
+    // Sybil does NOT quotient reflection: its parameter w₁ is the weight
+    // sent toward the SUCCESSOR, and when U(t) has several exact argmaxes
+    // the solver's tie-breaking cannot be mirror-equivariant (no scalar
+    // rule commutes with t ↦ w_v − t on a tied pair). Rotation + scaling
+    // still coalesce — those map t monotonically, so tie-breaking and
+    // t_star translate bit-identically.
+    chosen = traversal_weights(ring, cyc, 0, 1);
+    canonical_task.partner = 0;
+  }
+
+  // Scale to the coprime-integer representative of the weight ray:
+  // l = lcm of denominators clears fractions, g = gcd of the resulting
+  // integers removes the common factor. original = (g/l) × canonical.
+  BigInt l(1);
+  for (const Rational& w : chosen) l = lcm(l, w.denominator());
+  BigInt g(0);
+  for (const Rational& w : chosen)
+    g = BigInt::gcd(g, w.numerator() * (l / w.denominator()));
+  if (g.is_zero()) g = BigInt(1);  // all-zero ring: keep scale well-defined
+
+  CanonicalTask out;
+  out.task = canonical_task;
+  out.scale = Rational(g, l);
+  out.reversed = reversed;
+
+  std::vector<Rational> canonical_weights;
+  canonical_weights.reserve(n);
+  for (const Rational& w : chosen)
+    canonical_weights.push_back(
+        Rational(w.numerator() * (l / w.denominator()) / g));
+
+  switch (task.kind) {
+    case DeviationKind::kSybil: out.key = "s|"; break;
+    case DeviationKind::kMisreport: out.key = "m|"; break;
+    case DeviationKind::kCollusion: out.key = "c|"; break;
+  }
+  for (std::size_t i = 0; i < canonical_weights.size(); ++i) {
+    if (i) out.key += ',';
+    out.key += canonical_weights[i].numerator().to_string();
+  }
+
+  out.ring = graph::make_ring(std::move(canonical_weights));
+  return out;
+}
+
+DeviationOptimum translate_optimum(const Graph& ring,
+                                   const DeviationTask& task,
+                                   const CanonicalTask& canon,
+                                   const DeviationOptimum& canonical_opt) {
+  DeviationOptimum out;
+  out.kind = task.kind;
+  out.vertex = task.vertex;
+  out.partner = task.kind == DeviationKind::kCollusion ? task.partner : 0;
+  out.utility = canonical_opt.utility * canon.scale;
+  out.honest_utility = canonical_opt.honest_utility * canon.scale;
+  // The ratio is scale- and label-invariant; copying it (rather than
+  // re-dividing) keeps it bitwise equal to the canonical solve's.
+  out.ratio = canonical_opt.ratio;
+  if (task.kind == DeviationKind::kSybil && canon.reversed) {
+    // Defensive only — canonicalize_task never reverses Sybil tasks. If it
+    // did, w₁ (the copy toward the SUCCESSOR) would mirror like this.
+    out.t_star = ring.weight(task.vertex) - canonical_opt.t_star * canon.scale;
+  } else {
+    out.t_star = canonical_opt.t_star * canon.scale;
+  }
+  return out;
+}
+
+std::size_t instance_route_hash(const Graph& ring) {
+  const std::optional<graph::CanonicalStructure> canonical =
+      graph::canonicalize_ring_graph(ring);
+  if (!canonical) return 0;
+  return bd::canonical_fingerprint(ring, *canonical).hash_value;
+}
+
+DeviationOptimum DeviationEngine::solve_canonical(
+    const CanonicalTask& canon) const {
+  return game::optimize_deviation(canon.ring, canon.task, options_);
+}
+
+DeviationOptimum DeviationEngine::solve(const Graph& ring,
+                                        const DeviationTask& task) const {
+  const CanonicalTask canon = canonicalize_task(ring, task);
+  return translate_optimum(ring, task, canon, solve_canonical(canon));
+}
+
+}  // namespace ringshare::engine

@@ -1,0 +1,107 @@
+// deviation_engine.hpp — the pure deviation engine: instance + task → exact
+// result, no I/O, no checkpointing, no scheduling.
+//
+// This is the "engine" half of the engine/driver split. Every solve is
+// routed through a POINTED canonical form of its task: the deviating agent
+// is pinned at vertex 0 (its collusion partner at vertex 1) and weights are
+// scaled to the coprime integer representative of their ray. For misreport
+// and collusion the free traversal direction is also quotiented away by
+// lexicographic comparison (their parameter — the report x — is
+// orientation-invariant); Sybil tasks keep the successor direction, because
+// w₁ is direction-sensitive and argmax tie-breaking cannot be made
+// mirror-equivariant. Tasks that are rotations or uniform scalings of each
+// other (plus reflections, for misreport/collusion) therefore canonicalize
+// to the SAME instance, solve once, and translate back exactly — which is
+// what makes result caching, single-flight dedup and fingerprint-sharded
+// serving sound: a cached canonical optimum translates to bit-identical
+// output because the uncached path runs the identical canonical solve.
+//
+// Soundness of the translation: BD utilities are 1-homogeneous in the
+// weights and invariant under weighted-graph isomorphism, so utilities
+// scale by `scale`, ratios are copied verbatim, and parameters map
+// monotonically (t ↦ scale·t), which preserves the solver's deterministic
+// tie-breaking bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "game/deviation.hpp"
+
+namespace ringshare::engine {
+
+using game::DeviationKind;
+using game::DeviationOptimum;
+using game::DeviationOptions;
+using game::DeviationTask;
+using graph::Graph;
+using graph::Vertex;
+using num::Rational;
+
+/// A deviation task in pointed dihedral canonical form.
+struct CanonicalTask {
+  /// Stable identity of the canonical instance: kind tag plus the integer
+  /// canonical weight sequence. Equal keys ⟺ equivalent tasks (same kind,
+  /// isomorphic pointed rings up to rotation/reflection/scaling), so this
+  /// is the dedup/cache key of every serving layer.
+  std::string key;
+  /// The canonical ring: integer weights, deviator at vertex 0, collusion
+  /// partner (when applicable) at vertex 1, edges along the chosen
+  /// traversal.
+  Graph ring;
+  /// The same task re-pointed at the canonical labels.
+  DeviationTask task;
+  /// original weight = scale × canonical weight (exact, positive).
+  Rational scale;
+  /// True when the canonical traversal runs opposite to the original
+  /// successor direction. Never set for Sybil tasks (see the header note);
+  /// for misreport/collusion the translated parameter is direction-free.
+  bool reversed = false;
+};
+
+/// Canonicalize one deviation task. Requires `ring` to be a single cycle
+/// and, for collusion, `task.partner` adjacent to `task.vertex` (throws
+/// std::invalid_argument otherwise, mirroring the optimizers' contracts).
+[[nodiscard]] CanonicalTask canonicalize_task(const Graph& ring,
+                                              const DeviationTask& task);
+
+/// Translate a canonical-space optimum back to the original task's labels
+/// and scale. `canonical_opt` must be the optimum of `canon.ring` /
+/// `canon.task`; `ring` / `task` must be what produced `canon`.
+[[nodiscard]] DeviationOptimum translate_optimum(
+    const Graph& ring, const DeviationTask& task, const CanonicalTask& canon,
+    const DeviationOptimum& canonical_opt);
+
+/// Shard-routing hash of an instance: the hash of its UNPOINTED
+/// scale-normalized canonical fingerprint, so rotated/reflected/scaled
+/// copies of one ring land on the same serving shard (and thus share that
+/// shard's canonical-result cache). Falls back to 0 when the graph is not a
+/// union of paths/cycles (serving rejects such instances earlier).
+[[nodiscard]] std::size_t instance_route_hash(const Graph& ring);
+
+/// The pure engine: deterministic exact deviation solves with a fixed
+/// option set. Stateless beyond the options — safe to share across threads.
+class DeviationEngine {
+ public:
+  explicit DeviationEngine(DeviationOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] const DeviationOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Solve one canonical task (no translation).
+  [[nodiscard]] DeviationOptimum solve_canonical(
+      const CanonicalTask& canon) const;
+
+  /// Solve one task exactly: canonicalize, solve the canonical instance,
+  /// translate back. Because EVERY solve goes through canonical space, a
+  /// cached canonical optimum yields output bit-identical to a fresh solve.
+  [[nodiscard]] DeviationOptimum solve(const Graph& ring,
+                                       const DeviationTask& task) const;
+
+ private:
+  DeviationOptions options_;
+};
+
+}  // namespace ringshare::engine

@@ -1,0 +1,196 @@
+#include "engine/wire.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace ringshare::engine {
+
+namespace {
+
+/// Set *error (when non-null) and fail.
+std::optional<WireRequest> fail(std::string* error, std::string message) {
+  if (error) *error = std::move(message);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string format_task_key(std::size_t instance,
+                            const game::DeviationTask& task) {
+  std::string out = "i" + std::to_string(instance);
+  switch (task.kind) {
+    case game::DeviationKind::kSybil:
+      out += ".v" + std::to_string(task.vertex);
+      break;
+    case game::DeviationKind::kMisreport:
+      out += ".m" + std::to_string(task.vertex);
+      break;
+    case game::DeviationKind::kCollusion:
+      out += ".c" + std::to_string(task.vertex) + "-" +
+             std::to_string(task.partner);
+      break;
+  }
+  return out;
+}
+
+std::optional<TaskKeyParts> parse_task_key(std::string_view key) {
+  if (key.size() < 4 || key.front() != 'i') return std::nullopt;
+  const std::size_t dot = key.find('.');
+  if (dot == std::string_view::npos || dot + 2 > key.size())
+    return std::nullopt;
+  TaskKeyParts out;
+  const char tag = key[dot + 1];
+  switch (tag) {
+    case 'v': out.task.kind = game::DeviationKind::kSybil; break;
+    case 'm': out.task.kind = game::DeviationKind::kMisreport; break;
+    case 'c': out.task.kind = game::DeviationKind::kCollusion; break;
+    default: return std::nullopt;
+  }
+  try {
+    const std::string text(key);
+    out.instance = std::stoull(text.substr(1, dot - 1));
+    const std::string rest = text.substr(dot + 2);
+    if (out.task.kind == game::DeviationKind::kCollusion) {
+      const std::size_t dash = rest.find('-');
+      if (dash == std::string::npos) return std::nullopt;
+      out.task.vertex =
+          static_cast<graph::Vertex>(std::stoull(rest.substr(0, dash)));
+      out.task.partner =
+          static_cast<graph::Vertex>(std::stoull(rest.substr(dash + 1)));
+    } else {
+      out.task.vertex = static_cast<graph::Vertex>(std::stoull(rest));
+    }
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::string> json_string_field(std::string_view line,
+                                             std::string_view name) {
+  const std::string needle = "\"" + std::string(name) + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(line.substr(begin, end - begin));
+}
+
+std::optional<std::uint64_t> json_uint_field(std::string_view line,
+                                             std::string_view name) {
+  const std::string needle = "\"" + std::string(name) + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size() ||
+      !std::isdigit(static_cast<unsigned char>(line[i])))
+    return std::nullopt;
+  std::uint64_t value = 0;
+  for (; i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]));
+       ++i)
+    value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+  return value;
+}
+
+std::optional<WireRequest> parse_request_line(std::string_view line,
+                                              std::string* error) {
+  WireRequest out;
+  if (std::optional<std::uint64_t> instance =
+          json_uint_field(line, "instance"))
+    out.instance = static_cast<std::size_t>(*instance);
+  out.req = json_uint_field(line, "req");
+
+  // Ring weights: "ring": [<entry>, ...] where each entry is a quoted
+  // rational ("3", "1/2") or a bare non-negative integer.
+  const std::size_t ring_at = line.find("\"ring\":");
+  if (ring_at != std::string_view::npos) {
+    const std::size_t open = line.find('[', ring_at);
+    const std::size_t close =
+        open == std::string_view::npos ? std::string_view::npos
+                                       : line.find(']', open);
+    if (close == std::string_view::npos)
+      return fail(error, "malformed ring array");
+    std::vector<num::Rational> weights;
+    std::size_t i = open + 1;
+    while (i < close) {
+      while (i < close && (line[i] == ' ' || line[i] == ',')) ++i;
+      if (i >= close) break;
+      std::string entry;
+      if (line[i] == '"') {
+        const std::size_t end = line.find('"', i + 1);
+        if (end == std::string_view::npos || end > close)
+          return fail(error, "malformed ring entry");
+        entry = std::string(line.substr(i + 1, end - i - 1));
+        i = end + 1;
+      } else {
+        std::size_t end = i;
+        while (end < close && line[end] != ',' && line[end] != ' ') ++end;
+        entry = std::string(line.substr(i, end - i));
+        i = end;
+      }
+      try {
+        weights.push_back(num::Rational::from_string(entry));
+      } catch (const std::exception&) {
+        return fail(error, "unparseable ring weight '" + entry + "'");
+      }
+    }
+    if (weights.empty()) return fail(error, "empty ring array");
+    out.ring = std::move(weights);
+  }
+
+  if (out.ring && !out.instance)
+    return fail(error, "ring registration without an instance id");
+  if (out.req) {
+    out.task = json_string_field(line, "task").value_or("");
+    if (out.task.empty())
+      return fail(error, "request without a task key");
+  }
+  if (!out.req && !out.ring)
+    return fail(error, "line is neither a registration nor a request");
+  return out;
+}
+
+std::string format_record_fields(std::size_t instance,
+                                 const game::DeviationOptimum& optimum) {
+  game::DeviationTask task;
+  task.kind = optimum.kind;
+  task.vertex = optimum.vertex;
+  task.partner = optimum.partner;
+  std::ostringstream os;
+  os << "\"task\": \"" << format_task_key(instance, task) << "\", \"kind\": \""
+     << game::to_string(optimum.kind) << "\", \"instance\": " << instance
+     << ", \"vertex\": " << optimum.vertex;
+  if (optimum.kind == game::DeviationKind::kCollusion)
+    os << ", \"partner\": " << optimum.partner;
+  os << ", \"ratio\": \"" << optimum.ratio.to_string()
+     << "\", \"ratio_double\": " << optimum.ratio.to_double()
+     << ", \"t_star\": \"" << optimum.t_star.to_string() << "\"";
+  if (optimum.kind == game::DeviationKind::kSybil)
+    os << ", \"w1_star\": \"" << optimum.t_star.to_string() << "\"";
+  os << ", \"utility\": \"" << optimum.utility.to_string()
+     << "\", \"honest_utility\": \"" << optimum.honest_utility.to_string()
+     << "\"";
+  return os.str();
+}
+
+std::string format_response(std::uint64_t req, std::size_t instance,
+                            const game::DeviationOptimum& optimum,
+                            std::size_t shard, std::string_view served,
+                            std::uint64_t latency_us) {
+  std::ostringstream os;
+  os << "{\"req\": " << req << ", " << format_record_fields(instance, optimum)
+     << ", \"shard\": " << shard << ", \"served\": \"" << served
+     << "\", \"latency_us\": " << latency_us << "}";
+  return os.str();
+}
+
+std::string format_error(std::uint64_t req, std::string_view message) {
+  std::ostringstream os;
+  os << "{\"req\": " << req << ", \"error\": \"" << message << "\"}";
+  return os.str();
+}
+
+}  // namespace ringshare::engine

@@ -1,0 +1,93 @@
+// wire.hpp — the textual protocol shared by the sweep checkpoints and the
+// batch server.
+//
+// One vocabulary, two uses. Task keys ("i<instance>.v<vertex>" for Sybil —
+// the historical checkpoint scheme — "i<instance>.m<vertex>" for misreport,
+// "i<instance>.c<vertex>-<partner>" for collusion) name deviation tasks both
+// in sweep checkpoint files and in serve requests, so a sweep checkpoint is
+// literally a replayable request log. Result records carry the same field
+// set in both places; the server merely appends serving metadata
+// (req / shard / served / latency_us).
+//
+// Requests are JSONL, one object per line:
+//
+//     {"instance": 0, "ring": ["4", "1", "3/2"]}      registers instance 0
+//     {"req": 7, "task": "i0.v1"}                     queries a task
+//     {"instance": 1, "ring": [...], "req": 8, "task": "i1.c0-1"}
+//
+// (registration and query may share a line; the registration applies
+// first). All parsing here is the same tolerant flat-scan the driver uses
+// for its own output: no escaped quotes, malformed fields yield nullopt
+// rather than exceptions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "game/deviation.hpp"
+
+namespace ringshare::engine {
+
+/// A parsed task key: the instance index plus the deviation task.
+struct TaskKeyParts {
+  std::size_t instance = 0;
+  game::DeviationTask task;
+};
+
+/// Format "i<instance>.v<vertex>" / ".m<vertex>" / ".c<vertex>-<partner>".
+[[nodiscard]] std::string format_task_key(std::size_t instance,
+                                          const game::DeviationTask& task);
+
+/// Parse a task key; nullopt on malformed input.
+[[nodiscard]] std::optional<TaskKeyParts> parse_task_key(
+    std::string_view key);
+
+/// Extract the string value of `"name": "..."` from one flat JSONL line, or
+/// nullopt when absent/malformed.
+[[nodiscard]] std::optional<std::string> json_string_field(
+    std::string_view line, std::string_view name);
+
+/// Extract the unsigned value of `"name": <digits>`; nullopt when
+/// absent/malformed.
+[[nodiscard]] std::optional<std::uint64_t> json_uint_field(
+    std::string_view line, std::string_view name);
+
+/// One parsed request line (registration, query, or both).
+struct WireRequest {
+  std::optional<std::size_t> instance;           ///< registration id
+  std::optional<std::vector<num::Rational>> ring;  ///< registration weights
+  std::optional<std::uint64_t> req;              ///< query id
+  std::string task;                              ///< query task key (raw)
+};
+
+/// Parse one request line. Returns nullopt (with a diagnostic in *error
+/// when non-null) for lines that are neither a registration nor a query,
+/// or whose present fields are malformed. Ring entries may be quoted
+/// rationals ("3", "1/2") or bare integers.
+[[nodiscard]] std::optional<WireRequest> parse_request_line(
+    std::string_view line, std::string* error = nullptr);
+
+/// The shared result-record body (no surrounding braces): task key, kind,
+/// instance, vertex (+ partner for collusion), exact ratio with a double
+/// convenience field, t_star (+ legacy w1_star for Sybil), utility,
+/// honest_utility. Checkpoint lines are `{<body>}`; serve responses append
+/// their metadata before closing the brace.
+[[nodiscard]] std::string format_record_fields(
+    std::size_t instance, const game::DeviationOptimum& optimum);
+
+/// One serve response line (no trailing newline): the record body plus
+/// `req`, `shard`, `served` ("solve" | "dedup" | "cache") and the
+/// per-request latency in microseconds.
+[[nodiscard]] std::string format_response(
+    std::uint64_t req, std::size_t instance,
+    const game::DeviationOptimum& optimum, std::size_t shard,
+    std::string_view served, std::uint64_t latency_us);
+
+/// One serve error line: `{"req": N, "error": "..."}`.
+[[nodiscard]] std::string format_error(std::uint64_t req,
+                                       std::string_view message);
+
+}  // namespace ringshare::engine

@@ -1,148 +1,23 @@
 #include "exp/sweep_driver.hpp"
 
 #include <fstream>
+#include <iostream>
 #include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "engine/deviation_engine.hpp"
+#include "engine/wire.hpp"
 #include "exp/families.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace ringshare::exp {
-
-namespace {
-
-/// Extract the string value of `"name": "..."` from one JSONL line, or
-/// nullopt when absent/malformed. The driver writes flat records with no
-/// escaped quotes, so a plain scan is exact for its own output.
-std::optional<std::string> json_string_field(std::string_view line,
-                                             std::string_view name) {
-  const std::string needle = "\"" + std::string(name) + "\": \"";
-  const std::size_t at = line.find(needle);
-  if (at == std::string_view::npos) return std::nullopt;
-  const std::size_t begin = at + needle.size();
-  const std::size_t end = line.find('"', begin);
-  if (end == std::string_view::npos) return std::nullopt;
-  return std::string(line.substr(begin, end - begin));
-}
-
-struct ParsedTaskKey {
-  std::size_t instance = 0;
-  game::DeviationKind kind = game::DeviationKind::kSybil;
-  graph::Vertex vertex = 0;
-  graph::Vertex partner = 0;
-};
-
-/// Parse "i<instance>.v<vertex>" (sybil), "i<instance>.m<vertex>"
-/// (misreport) or "i<instance>.c<vertex>-<partner>" (collusion).
-std::optional<ParsedTaskKey> parse_task_key(const std::string& key) {
-  if (key.size() < 4 || key.front() != 'i') return std::nullopt;
-  const std::size_t dot = key.find('.');
-  if (dot == std::string::npos || dot + 2 > key.size()) return std::nullopt;
-  ParsedTaskKey out;
-  const char tag = key[dot + 1];
-  switch (tag) {
-    case 'v': out.kind = game::DeviationKind::kSybil; break;
-    case 'm': out.kind = game::DeviationKind::kMisreport; break;
-    case 'c': out.kind = game::DeviationKind::kCollusion; break;
-    default: return std::nullopt;
-  }
-  try {
-    out.instance = std::stoull(key.substr(1, dot - 1));
-    const std::string rest = key.substr(dot + 2);
-    if (out.kind == game::DeviationKind::kCollusion) {
-      const std::size_t dash = rest.find('-');
-      if (dash == std::string::npos) return std::nullopt;
-      out.vertex = static_cast<graph::Vertex>(std::stoull(rest.substr(0, dash)));
-      out.partner =
-          static_cast<graph::Vertex>(std::stoull(rest.substr(dash + 1)));
-    } else {
-      out.vertex = static_cast<graph::Vertex>(std::stoull(rest));
-    }
-    return out;
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-}
-
-util::PerfSnapshot snapshot_delta(const util::PerfSnapshot& after,
-                                  const util::PerfSnapshot& before) {
-  util::PerfSnapshot delta;
-  delta.bigint_fast_ops = after.bigint_fast_ops - before.bigint_fast_ops;
-  delta.bigint_slow_ops = after.bigint_slow_ops - before.bigint_slow_ops;
-  delta.rational_gcds = after.rational_gcds - before.rational_gcds;
-  delta.rational_gcd_skipped =
-      after.rational_gcd_skipped - before.rational_gcd_skipped;
-  delta.bottleneck_cache_hits =
-      after.bottleneck_cache_hits - before.bottleneck_cache_hits;
-  delta.bottleneck_cache_misses =
-      after.bottleneck_cache_misses - before.bottleneck_cache_misses;
-  delta.bottleneck_cache_evictions =
-      after.bottleneck_cache_evictions - before.bottleneck_cache_evictions;
-  delta.dinkelbach_iterations =
-      after.dinkelbach_iterations - before.dinkelbach_iterations;
-  delta.dinkelbach_warm_hits =
-      after.dinkelbach_warm_hits - before.dinkelbach_warm_hits;
-  delta.dinkelbach_warm_restarts =
-      after.dinkelbach_warm_restarts - before.dinkelbach_warm_restarts;
-  delta.flow_network_builds =
-      after.flow_network_builds - before.flow_network_builds;
-  delta.flow_network_reuses =
-      after.flow_network_reuses - before.flow_network_reuses;
-  delta.flow_incremental_reruns =
-      after.flow_incremental_reruns - before.flow_incremental_reruns;
-  delta.ring_kernel_evals = after.ring_kernel_evals - before.ring_kernel_evals;
-  delta.ring_kernel_cross_checks =
-      after.ring_kernel_cross_checks - before.ring_kernel_cross_checks;
-  delta.piece_solver_pieces =
-      after.piece_solver_pieces - before.piece_solver_pieces;
-  delta.piece_solver_exact_roots =
-      after.piece_solver_exact_roots - before.piece_solver_exact_roots;
-  delta.piece_solver_bracketed_roots =
-      after.piece_solver_bracketed_roots - before.piece_solver_bracketed_roots;
-  delta.misreport_optimizations =
-      after.misreport_optimizations - before.misreport_optimizations;
-  delta.collusion_optimizations =
-      after.collusion_optimizations - before.collusion_optimizations;
-  delta.pool_tasks_local = after.pool_tasks_local - before.pool_tasks_local;
-  delta.pool_tasks_stolen = after.pool_tasks_stolen - before.pool_tasks_stolen;
-  delta.partition_sig_hits =
-      after.partition_sig_hits - before.partition_sig_hits;
-  delta.peel_cache_hits = after.peel_cache_hits - before.peel_cache_hits;
-  delta.prefilter_discards =
-      after.prefilter_discards - before.prefilter_discards;
-  delta.prefilter_fallthroughs =
-      after.prefilter_fallthroughs - before.prefilter_fallthroughs;
-  delta.flow_incremental_bypasses =
-      after.flow_incremental_bypasses - before.flow_incremental_bypasses;
-  for (int i = 0; i < static_cast<int>(util::Phase::kCount); ++i)
-    delta.phase_ns[i] = after.phase_ns[i] - before.phase_ns[i];
-  return delta;
-}
-
-std::string task_key(std::size_t instance, const game::DeviationTask& task) {
-  std::string out = "i" + std::to_string(instance);
-  switch (task.kind) {
-    case game::DeviationKind::kSybil:
-      out += ".v" + std::to_string(task.vertex);
-      break;
-    case game::DeviationKind::kMisreport:
-      out += ".m" + std::to_string(task.vertex);
-      break;
-    case game::DeviationKind::kCollusion:
-      out += ".c" + std::to_string(task.vertex) + "-" +
-             std::to_string(task.partner);
-      break;
-  }
-  return out;
-}
-
-}  // namespace
 
 std::vector<Graph> FamilySpec::build() const {
   if (family == "random") return random_rings(count, n, seed, max_weight);
@@ -161,23 +36,19 @@ std::string SweepTaskRecord::key() const {
   task.kind = kind;
   task.vertex = vertex;
   task.partner = partner;
-  return task_key(instance, task);
+  return engine::format_task_key(instance, task);
 }
 
 std::string SweepTaskRecord::to_jsonl() const {
-  std::ostringstream os;
-  os << "{\"task\": \"" << key() << "\", \"kind\": \"" << game::to_string(kind)
-     << "\", \"instance\": " << instance << ", \"vertex\": " << vertex;
-  if (kind == game::DeviationKind::kCollusion)
-    os << ", \"partner\": " << partner;
-  os << ", \"ratio\": \"" << ratio.to_string()
-     << "\", \"ratio_double\": " << ratio.to_double() << ", \"t_star\": \""
-     << t_star.to_string() << "\"";
-  if (kind == game::DeviationKind::kSybil)
-    os << ", \"w1_star\": \"" << t_star.to_string() << "\"";
-  os << ", \"utility\": \"" << utility.to_string()
-     << "\", \"honest_utility\": \"" << honest_utility.to_string() << "\"}";
-  return os.str();
+  game::DeviationOptimum optimum;
+  optimum.kind = kind;
+  optimum.vertex = vertex;
+  optimum.partner = partner;
+  optimum.ratio = ratio;
+  optimum.t_star = t_star;
+  optimum.utility = utility;
+  optimum.honest_utility = honest_utility;
+  return "{" + engine::format_record_fields(instance, optimum) + "}";
 }
 
 std::vector<std::string> checkpointed_task_keys(const std::string& path) {
@@ -186,7 +57,7 @@ std::vector<std::string> checkpointed_task_keys(const std::string& path) {
   if (!in) return keys;
   std::string line;
   while (std::getline(in, line)) {
-    if (std::optional<std::string> key = json_string_field(line, "task"))
+    if (std::optional<std::string> key = engine::json_string_field(line, "task"))
       keys.push_back(std::move(*key));
   }
   return keys;
@@ -228,20 +99,37 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
   };
 
   // Resume: fold checkpointed ratios into the aggregate, skip their tasks.
+  // Corrupt or truncated lines (a killed sweep can lose the tail mid-write)
+  // are skipped and logged, never fatal — their tasks simply re-run.
   std::unordered_set<std::string> done;
   if (!options.output_path.empty() && options.resume) {
     std::ifstream in(options.output_path);
     std::string line;
+    std::size_t line_number = 0;
     while (in && std::getline(in, line)) {
-      const std::optional<std::string> key = json_string_field(line, "task");
+      ++line_number;
+      const std::optional<std::string> key =
+          engine::json_string_field(line, "task");
       const std::optional<std::string> ratio =
-          json_string_field(line, "ratio");
-      if (!key || !ratio) continue;
-      const std::optional<ParsedTaskKey> parsed = parse_task_key(*key);
-      if (!parsed) continue;
+          engine::json_string_field(line, "ratio");
+      const std::optional<engine::TaskKeyParts> parsed =
+          key ? engine::parse_task_key(*key) : std::nullopt;
+      std::optional<Rational> parsed_ratio;
+      if (ratio) {
+        try {
+          parsed_ratio = Rational::from_string(*ratio);
+        } catch (const std::exception&) {
+        }
+      }
+      if (!parsed || !parsed_ratio) {
+        ++report.corrupt_lines_skipped;
+        std::cerr << "sweep_driver: skipping corrupt checkpoint line "
+                  << line_number << " of " << options.output_path << "\n";
+        continue;
+      }
       if (!done.insert(*key).second) continue;  // duplicate checkpoint line
-      consider(Rational::from_string(*ratio), parsed->instance, parsed->kind,
-               parsed->vertex, parsed->partner);
+      consider(*parsed_ratio, parsed->instance, parsed->task.kind,
+               parsed->task.vertex, parsed->task.partner);
     }
   }
 
@@ -252,7 +140,7 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
            game::deviation_tasks(rings[i], kind)) {
         ++report.tasks_total;
         ++report.by_kind[static_cast<int>(kind)].tasks;
-        if (done.count(task_key(i, dev))) {
+        if (done.count(engine::format_task_key(i, dev))) {
           ++report.tasks_skipped;
         } else {
           pending.push_back(Task{i, dev});
@@ -273,41 +161,100 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
   const util::PerfSnapshot counters_before = util::PerfCounters::snapshot();
   util::Timer timer;
 
+  const engine::DeviationEngine eng(options.solver);
+
+  // Single-flight grouping: tasks with equal pointed canonical keys are
+  // the same instance up to rotation/reflection/scaling, so the canonical
+  // solve runs once per group and every member translates the shared
+  // optimum back to its own labels. Groups (not tasks) are the stealable
+  // parallel unit.
+  struct Member {
+    std::size_t task_index;  ///< into `pending`
+    Rational scale;
+    bool reversed;
+  };
+  struct Group {
+    engine::CanonicalTask canon;
+    std::vector<Member> members;
+  };
+  std::vector<Group> groups;
+  if (options.singleflight) {
+    std::unordered_map<std::string, std::size_t> by_key;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      engine::CanonicalTask canon =
+          engine::canonicalize_task(rings[pending[k].instance],
+                                    pending[k].deviation);
+      // scale / reversed are per-MEMBER (each member translates the shared
+      // canonical optimum through its own orientation and scaling).
+      Member member{k, canon.scale, canon.reversed};
+      const auto [it, inserted] = by_key.emplace(canon.key, groups.size());
+      if (inserted) {
+        groups.push_back(Group{std::move(canon), {}});
+      } else {
+        ++report.tasks_coalesced;
+        util::PerfCounters::local().driver_singleflight_hits.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      groups[it->second].members.push_back(std::move(member));
+    }
+  } else {
+    groups.reserve(pending.size());
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      Group group;
+      group.canon = engine::canonicalize_task(rings[pending[k].instance],
+                                              pending[k].deviation);
+      group.members.push_back(
+          Member{k, group.canon.scale, group.canon.reversed});
+      groups.push_back(std::move(group));
+    }
+  }
+
   std::mutex out_mutex;
   std::vector<std::optional<SweepTaskRecord>> run_records(pending.size());
-  // max_chunk = 1: each deviation solve is expensive and their costs are
-  // heavily skewed (piece counts vary per instance), so every task must be
+  // max_chunk = 1: each canonical solve is expensive and their costs are
+  // heavily skewed (piece counts vary per instance), so every group must be
   // individually stealable — chunked batches leave the pool's work-stealing
   // idle behind whichever worker drew the hard instances.
   util::parallel_for(
-      0, pending.size(),
-      [&](std::size_t k) {
-        const Task& task = pending[k];
-        const game::DeviationOptimum optimum = game::optimize_deviation(
-            rings[task.instance], task.deviation, options.solver);
-        SweepTaskRecord record;
-        record.instance = task.instance;
-        record.kind = optimum.kind;
-        record.vertex = optimum.vertex;
-        record.partner = optimum.partner;
-        record.ratio = optimum.ratio;
-        record.t_star = optimum.t_star;
-        record.utility = optimum.utility;
-        record.honest_utility = optimum.honest_utility;
+      0, groups.size(),
+      [&](std::size_t gi) {
+        const Group& group = groups[gi];
+        const game::DeviationOptimum canonical_opt =
+            eng.solve_canonical(group.canon);
+        std::vector<std::string> lines;
+        lines.reserve(group.members.size());
+        for (const Member& member : group.members) {
+          const Task& task = pending[member.task_index];
+          engine::CanonicalTask view;  // translate reads scale + reversed
+          view.scale = member.scale;
+          view.reversed = member.reversed;
+          const game::DeviationOptimum optimum = engine::translate_optimum(
+              rings[task.instance], task.deviation, view, canonical_opt);
+          SweepTaskRecord record;
+          record.instance = task.instance;
+          record.kind = optimum.kind;
+          record.vertex = optimum.vertex;
+          record.partner = optimum.partner;
+          record.ratio = optimum.ratio;
+          record.t_star = optimum.t_star;
+          record.utility = optimum.utility;
+          record.honest_utility = optimum.honest_utility;
+          if (out.is_open()) lines.push_back(record.to_jsonl());
+          run_records[member.task_index] = std::move(record);
+        }
         if (out.is_open()) {
-          // One flushed line per task = the checkpoint granularity.
-          const std::string line = record.to_jsonl();
+          // One flushed batch per group = the checkpoint granularity (a
+          // group's members share one solve, so they complete together).
           std::lock_guard lock(out_mutex);
-          out << line << '\n';
+          for (const std::string& line : lines) out << line << '\n';
           out.flush();
         }
-        run_records[k] = std::move(record);
       },
       /*min_chunk=*/1, /*explicit_pool=*/nullptr, /*max_chunk=*/1);
 
   report.elapsed_seconds = timer.elapsed_seconds();
   report.counters =
-      snapshot_delta(util::PerfCounters::snapshot(), counters_before);
+      util::PerfCounters::snapshot().minus(counters_before);
   for (const std::optional<SweepTaskRecord>& record : run_records)
     consider(record->ratio, record->instance, record->kind, record->vertex,
              record->partner);

@@ -1,14 +1,19 @@
 // sweep_driver.hpp — checkpointed streaming sweeps over ring families.
 //
-// The batch layer behind tools/ringshare_sweep: a textual family spec is
+// The DRIVER half of the engine/driver split: a textual family spec is
 // expanded into instances, every deviation task (Sybil split, misreport or
-// collusion, per game/deviation.hpp) is sharded across the shared
+// collusion, per game/deviation.hpp) is grouped by pointed canonical
+// fingerprint (single-flight: symmetric copies solve once through
+// engine::DeviationEngine), groups are sharded across the shared
 // work-stealing pool, and each finished task is appended to a JSONL file
-// and flushed — a killed sweep loses at most the in-flight tasks.
+// and flushed — a killed sweep loses at most the in-flight groups. All
+// solving lives in engine/; this layer only schedules, checkpoints and
+// aggregates.
 // Re-running with resume skips every task whose key is already checkpointed
 // while still folding its stored ratio into the final aggregate, so an
 // interrupted-and-resumed sweep reports exactly what an uninterrupted one
-// would.
+// would. Corrupt or truncated trailing lines (a sweep killed mid-write)
+// are skipped and logged, and their tasks re-run.
 #pragma once
 
 #include <array>
@@ -49,6 +54,11 @@ struct SweepDriverOptions {
   std::string output_path;
   /// Skip tasks already present in output_path (by task key).
   bool resume = true;
+  /// Single-flight dedup: tasks with equal pointed canonical fingerprints
+  /// (rotated / reflected / scaled copies of one deviation) solve their
+  /// canonical instance ONCE and fan the translated result out to every
+  /// member. Counted in tasks_coalesced / driver_singleflight_hits.
+  bool singleflight = true;
 };
 
 /// One deviation-task result as streamed to JSONL.
@@ -86,6 +96,10 @@ struct SweepDriverReport {
   std::size_t tasks_total = 0;
   std::size_t tasks_skipped = 0;  ///< resumed from the checkpoint file
   std::size_t tasks_run = 0;
+  /// Run tasks answered by another task's canonical solve (single-flight).
+  std::size_t tasks_coalesced = 0;
+  /// Malformed / truncated checkpoint lines skipped during resume.
+  std::size_t corrupt_lines_skipped = 0;
   Rational max_ratio;             ///< over run AND resumed tasks, all kinds
   game::DeviationKind argmax_kind = game::DeviationKind::kSybil;
   std::size_t argmax_instance = 0;

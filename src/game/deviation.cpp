@@ -1,5 +1,6 @@
 #include "game/deviation.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -201,6 +202,7 @@ DeviationOptimum DeviationSweep::run(const Graph& ring,
 DeviationOptimum optimize_deviation(const Graph& ring,
                                     const DeviationTask& task,
                                     const DeviationOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
   DeviationOptimum out;
   out.kind = task.kind;
   out.vertex = task.vertex;
@@ -234,6 +236,11 @@ DeviationOptimum optimize_deviation(const Graph& ring,
       break;
     }
   }
+  util::PerfCounters::local().record_task_latency(
+      static_cast<std::uint64_t>(std::chrono::duration_cast<
+                                     std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count()));
   return out;
 }
 

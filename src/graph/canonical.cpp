@@ -201,4 +201,9 @@ std::optional<CanonicalStructure> canonicalize_ring_graph(const Graph& g) {
   return out;
 }
 
+bool prefer_reversed_orientation(const std::vector<Rational>& forward,
+                                 const std::vector<Rational>& backward) {
+  return compare_sequences(backward, forward) < 0;
+}
+
 }  // namespace ringshare::graph

@@ -67,4 +67,13 @@ struct CanonicalStructure {
 [[nodiscard]] std::size_t least_rotation_index(
     const std::vector<Rational>& weights);
 
+/// Orientation choice for POINTED cycles (deviation tasks fix a vertex, so
+/// rotation is already pinned and only the traversal direction is free):
+/// true when `backward` is strictly lexicographically smaller than
+/// `forward` — ties keep the forward traversal, so the choice is a
+/// deterministic function of the two weight sequences.
+[[nodiscard]] bool prefer_reversed_orientation(
+    const std::vector<Rational>& forward,
+    const std::vector<Rational>& backward);
+
 }  // namespace ringshare::graph

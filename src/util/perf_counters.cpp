@@ -1,6 +1,8 @@
 #include "util/perf_counters.hpp"
 
+#include <bit>
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <sstream>
 #include <vector>
@@ -65,92 +67,63 @@ const char* phase_name(Phase phase) noexcept {
   return "?";
 }
 
+int latency_bucket(std::uint64_t ns) noexcept {
+  const int width = std::bit_width(ns);  // 0 for ns == 0
+  const int bucket = width == 0 ? 0 : width - 1;
+  return bucket < kLatencyBucketCount ? bucket : kLatencyBucketCount - 1;
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) noexcept {
+  ++buckets[latency_bucket(ns)];
+  ++count;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (int i = 0; i < kLatencyBucketCount; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+}
+
+double LatencyHistogram::quantile_ms(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile observation (1-based, ceiling — the classic
+  // "smallest x with CDF(x) >= q" definition).
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kLatencyBucketCount; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // Geometric midpoint of [2^i, 2^{i+1}) ns, in ms.
+      return std::exp2(static_cast<double>(i) + 0.5) / 1e6;
+    }
+  }
+  return 0.0;
+}
+
 void PerfTally::add_into(PerfTally& sink) const noexcept {
-  sink.bigint_fast_ops.fetch_add(bigint_fast_ops.load(kRelaxed), kRelaxed);
-  sink.bigint_slow_ops.fetch_add(bigint_slow_ops.load(kRelaxed), kRelaxed);
-  sink.rational_gcds.fetch_add(rational_gcds.load(kRelaxed), kRelaxed);
-  sink.rational_gcd_skipped.fetch_add(rational_gcd_skipped.load(kRelaxed),
-                                      kRelaxed);
-  sink.bottleneck_cache_hits.fetch_add(bottleneck_cache_hits.load(kRelaxed),
-                                       kRelaxed);
-  sink.bottleneck_cache_misses.fetch_add(
-      bottleneck_cache_misses.load(kRelaxed), kRelaxed);
-  sink.bottleneck_cache_evictions.fetch_add(
-      bottleneck_cache_evictions.load(kRelaxed), kRelaxed);
-  sink.dinkelbach_iterations.fetch_add(dinkelbach_iterations.load(kRelaxed),
-                                       kRelaxed);
-  sink.dinkelbach_warm_hits.fetch_add(dinkelbach_warm_hits.load(kRelaxed),
-                                      kRelaxed);
-  sink.dinkelbach_warm_restarts.fetch_add(
-      dinkelbach_warm_restarts.load(kRelaxed), kRelaxed);
-  sink.flow_network_builds.fetch_add(flow_network_builds.load(kRelaxed),
-                                     kRelaxed);
-  sink.flow_network_reuses.fetch_add(flow_network_reuses.load(kRelaxed),
-                                     kRelaxed);
-  sink.flow_incremental_reruns.fetch_add(
-      flow_incremental_reruns.load(kRelaxed), kRelaxed);
-  sink.ring_kernel_evals.fetch_add(ring_kernel_evals.load(kRelaxed), kRelaxed);
-  sink.ring_kernel_cross_checks.fetch_add(
-      ring_kernel_cross_checks.load(kRelaxed), kRelaxed);
-  sink.piece_solver_pieces.fetch_add(piece_solver_pieces.load(kRelaxed),
-                                     kRelaxed);
-  sink.piece_solver_exact_roots.fetch_add(
-      piece_solver_exact_roots.load(kRelaxed), kRelaxed);
-  sink.piece_solver_bracketed_roots.fetch_add(
-      piece_solver_bracketed_roots.load(kRelaxed), kRelaxed);
-  sink.misreport_optimizations.fetch_add(misreport_optimizations.load(kRelaxed),
-                                         kRelaxed);
-  sink.collusion_optimizations.fetch_add(collusion_optimizations.load(kRelaxed),
-                                         kRelaxed);
-  sink.pool_tasks_local.fetch_add(pool_tasks_local.load(kRelaxed), kRelaxed);
-  sink.pool_tasks_stolen.fetch_add(pool_tasks_stolen.load(kRelaxed), kRelaxed);
-  sink.partition_sig_hits.fetch_add(partition_sig_hits.load(kRelaxed),
-                                    kRelaxed);
-  sink.peel_cache_hits.fetch_add(peel_cache_hits.load(kRelaxed), kRelaxed);
-  sink.prefilter_discards.fetch_add(prefilter_discards.load(kRelaxed),
-                                    kRelaxed);
-  sink.prefilter_fallthroughs.fetch_add(prefilter_fallthroughs.load(kRelaxed),
-                                        kRelaxed);
-  sink.flow_incremental_bypasses.fetch_add(
-      flow_incremental_bypasses.load(kRelaxed), kRelaxed);
-  sink.sig_oracle_hits.fetch_add(sig_oracle_hits.load(kRelaxed), kRelaxed);
-  sink.sig_oracle_fallbacks.fetch_add(sig_oracle_fallbacks.load(kRelaxed),
-                                      kRelaxed);
+#define RINGSHARE_PERF_ADD(name) \
+  sink.name.fetch_add(name.load(kRelaxed), kRelaxed);
+  RINGSHARE_PERF_COUNTER_FIELDS(RINGSHARE_PERF_ADD)
+#undef RINGSHARE_PERF_ADD
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)
     sink.phase_ns[i].fetch_add(phase_ns[i].load(kRelaxed), kRelaxed);
+  for (int i = 0; i < kLatencyBucketCount; ++i)
+    sink.task_latency[i].fetch_add(task_latency[i].load(kRelaxed), kRelaxed);
 }
 
 void PerfTally::clear() noexcept {
-  bigint_fast_ops.store(0, kRelaxed);
-  bigint_slow_ops.store(0, kRelaxed);
-  rational_gcds.store(0, kRelaxed);
-  rational_gcd_skipped.store(0, kRelaxed);
-  bottleneck_cache_hits.store(0, kRelaxed);
-  bottleneck_cache_misses.store(0, kRelaxed);
-  bottleneck_cache_evictions.store(0, kRelaxed);
-  dinkelbach_iterations.store(0, kRelaxed);
-  dinkelbach_warm_hits.store(0, kRelaxed);
-  dinkelbach_warm_restarts.store(0, kRelaxed);
-  flow_network_builds.store(0, kRelaxed);
-  flow_network_reuses.store(0, kRelaxed);
-  flow_incremental_reruns.store(0, kRelaxed);
-  ring_kernel_evals.store(0, kRelaxed);
-  ring_kernel_cross_checks.store(0, kRelaxed);
-  piece_solver_pieces.store(0, kRelaxed);
-  piece_solver_exact_roots.store(0, kRelaxed);
-  piece_solver_bracketed_roots.store(0, kRelaxed);
-  misreport_optimizations.store(0, kRelaxed);
-  collusion_optimizations.store(0, kRelaxed);
-  pool_tasks_local.store(0, kRelaxed);
-  pool_tasks_stolen.store(0, kRelaxed);
-  partition_sig_hits.store(0, kRelaxed);
-  peel_cache_hits.store(0, kRelaxed);
-  prefilter_discards.store(0, kRelaxed);
-  prefilter_fallthroughs.store(0, kRelaxed);
-  flow_incremental_bypasses.store(0, kRelaxed);
-  sig_oracle_hits.store(0, kRelaxed);
-  sig_oracle_fallbacks.store(0, kRelaxed);
+#define RINGSHARE_PERF_CLEAR(name) name.store(0, kRelaxed);
+  RINGSHARE_PERF_COUNTER_FIELDS(RINGSHARE_PERF_CLEAR)
+#undef RINGSHARE_PERF_CLEAR
   for (auto& ns : phase_ns) ns.store(0, kRelaxed);
+  for (auto& bucket : task_latency) bucket.store(0, kRelaxed);
+}
+
+void PerfTally::record_task_latency(std::uint64_t ns) noexcept {
+  task_latency[latency_bucket(ns)].fetch_add(1, kRelaxed);
 }
 
 double PerfSnapshot::bigint_fast_ratio() const noexcept {
@@ -167,6 +140,20 @@ double PerfSnapshot::cache_hit_ratio() const noexcept {
                           static_cast<double>(total);
 }
 
+PerfSnapshot PerfSnapshot::minus(const PerfSnapshot& before) const noexcept {
+  PerfSnapshot delta;
+#define RINGSHARE_PERF_SUB(name) delta.name = name - before.name;
+  RINGSHARE_PERF_COUNTER_FIELDS(RINGSHARE_PERF_SUB)
+#undef RINGSHARE_PERF_SUB
+  for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)
+    delta.phase_ns[i] = phase_ns[i] - before.phase_ns[i];
+  for (int i = 0; i < kLatencyBucketCount; ++i)
+    delta.task_latency.buckets[i] =
+        task_latency.buckets[i] - before.task_latency.buckets[i];
+  delta.task_latency.count = task_latency.count - before.task_latency.count;
+  return delta;
+}
+
 std::string PerfSnapshot::to_json(int indent) const {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   const std::string field_pad(static_cast<std::size_t>(indent) + 2, ' ');
@@ -175,37 +162,15 @@ std::string PerfSnapshot::to_json(int indent) const {
   auto field = [&](const char* name, auto value, bool last = false) {
     os << field_pad << '"' << name << "\": " << value << (last ? "\n" : ",\n");
   };
-  field("bigint_fast_ops", bigint_fast_ops);
-  field("bigint_slow_ops", bigint_slow_ops);
+#define RINGSHARE_PERF_JSON(name) field(#name, name);
+  RINGSHARE_PERF_COUNTER_FIELDS(RINGSHARE_PERF_JSON)
+#undef RINGSHARE_PERF_JSON
   field("bigint_fast_ratio", bigint_fast_ratio());
-  field("rational_gcds", rational_gcds);
-  field("rational_gcd_skipped", rational_gcd_skipped);
-  field("bottleneck_cache_hits", bottleneck_cache_hits);
-  field("bottleneck_cache_misses", bottleneck_cache_misses);
   field("bottleneck_cache_hit_ratio", cache_hit_ratio());
-  field("bottleneck_cache_evictions", bottleneck_cache_evictions);
-  field("dinkelbach_iterations", dinkelbach_iterations);
-  field("dinkelbach_warm_hits", dinkelbach_warm_hits);
-  field("dinkelbach_warm_restarts", dinkelbach_warm_restarts);
-  field("flow_network_builds", flow_network_builds);
-  field("flow_network_reuses", flow_network_reuses);
-  field("flow_incremental_reruns", flow_incremental_reruns);
-  field("ring_kernel_evals", ring_kernel_evals);
-  field("ring_kernel_cross_checks", ring_kernel_cross_checks);
-  field("piece_solver_pieces", piece_solver_pieces);
-  field("piece_solver_exact_roots", piece_solver_exact_roots);
-  field("piece_solver_bracketed_roots", piece_solver_bracketed_roots);
-  field("misreport_optimizations", misreport_optimizations);
-  field("collusion_optimizations", collusion_optimizations);
-  field("pool_tasks_local", pool_tasks_local);
-  field("pool_tasks_stolen", pool_tasks_stolen);
-  field("partition_sig_hits", partition_sig_hits);
-  field("peel_cache_hits", peel_cache_hits);
-  field("prefilter_discards", prefilter_discards);
-  field("prefilter_fallthroughs", prefilter_fallthroughs);
-  field("flow_incremental_bypasses", flow_incremental_bypasses);
-  field("sig_oracle_hits", sig_oracle_hits);
-  field("sig_oracle_fallbacks", sig_oracle_fallbacks);
+  field("task_latency_count", task_latency.count);
+  field("task_latency_p50_ms", task_latency.p50_ms());
+  field("task_latency_p95_ms", task_latency.p95_ms());
+  field("task_latency_p99_ms", task_latency.p99_ms());
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
     const std::string name =
         std::string("phase_ms_") + phase_name(static_cast<Phase>(i));
@@ -230,40 +195,15 @@ PerfSnapshot PerfCounters::snapshot() {
     for (const PerfTally* tally : reg.live) tally->add_into(sum);
   }
   PerfSnapshot out;
-  out.bigint_fast_ops = sum.bigint_fast_ops.load(kRelaxed);
-  out.bigint_slow_ops = sum.bigint_slow_ops.load(kRelaxed);
-  out.rational_gcds = sum.rational_gcds.load(kRelaxed);
-  out.rational_gcd_skipped = sum.rational_gcd_skipped.load(kRelaxed);
-  out.bottleneck_cache_hits = sum.bottleneck_cache_hits.load(kRelaxed);
-  out.bottleneck_cache_misses = sum.bottleneck_cache_misses.load(kRelaxed);
-  out.bottleneck_cache_evictions =
-      sum.bottleneck_cache_evictions.load(kRelaxed);
-  out.dinkelbach_iterations = sum.dinkelbach_iterations.load(kRelaxed);
-  out.dinkelbach_warm_hits = sum.dinkelbach_warm_hits.load(kRelaxed);
-  out.dinkelbach_warm_restarts = sum.dinkelbach_warm_restarts.load(kRelaxed);
-  out.flow_network_builds = sum.flow_network_builds.load(kRelaxed);
-  out.flow_network_reuses = sum.flow_network_reuses.load(kRelaxed);
-  out.flow_incremental_reruns = sum.flow_incremental_reruns.load(kRelaxed);
-  out.ring_kernel_evals = sum.ring_kernel_evals.load(kRelaxed);
-  out.ring_kernel_cross_checks = sum.ring_kernel_cross_checks.load(kRelaxed);
-  out.piece_solver_pieces = sum.piece_solver_pieces.load(kRelaxed);
-  out.piece_solver_exact_roots = sum.piece_solver_exact_roots.load(kRelaxed);
-  out.piece_solver_bracketed_roots =
-      sum.piece_solver_bracketed_roots.load(kRelaxed);
-  out.misreport_optimizations = sum.misreport_optimizations.load(kRelaxed);
-  out.collusion_optimizations = sum.collusion_optimizations.load(kRelaxed);
-  out.pool_tasks_local = sum.pool_tasks_local.load(kRelaxed);
-  out.pool_tasks_stolen = sum.pool_tasks_stolen.load(kRelaxed);
-  out.partition_sig_hits = sum.partition_sig_hits.load(kRelaxed);
-  out.peel_cache_hits = sum.peel_cache_hits.load(kRelaxed);
-  out.prefilter_discards = sum.prefilter_discards.load(kRelaxed);
-  out.prefilter_fallthroughs = sum.prefilter_fallthroughs.load(kRelaxed);
-  out.flow_incremental_bypasses =
-      sum.flow_incremental_bypasses.load(kRelaxed);
-  out.sig_oracle_hits = sum.sig_oracle_hits.load(kRelaxed);
-  out.sig_oracle_fallbacks = sum.sig_oracle_fallbacks.load(kRelaxed);
+#define RINGSHARE_PERF_LOAD(name) out.name = sum.name.load(kRelaxed);
+  RINGSHARE_PERF_COUNTER_FIELDS(RINGSHARE_PERF_LOAD)
+#undef RINGSHARE_PERF_LOAD
   for (int i = 0; i < static_cast<int>(Phase::kCount); ++i)
     out.phase_ns[i] = sum.phase_ns[i].load(kRelaxed);
+  for (int i = 0; i < kLatencyBucketCount; ++i) {
+    out.task_latency.buckets[i] = sum.task_latency[i].load(kRelaxed);
+    out.task_latency.count += out.task_latency.buckets[i];
+  }
   return out;
 }
 

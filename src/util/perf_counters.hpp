@@ -7,6 +7,10 @@
 // totals of exited ones. Counters are monotonic between reset() calls and
 // are observability-only: racy reads during a concurrent sweep can be off by
 // in-flight increments, never corrupt.
+//
+// Counter fields are declared once through RINGSHARE_PERF_COUNTER_FIELDS so
+// the tally, the snapshot, aggregation, clearing and deltas can never drift
+// out of sync when a layer adds a counter.
 #pragma once
 
 #include <atomic>
@@ -28,81 +32,100 @@ enum class Phase : int {
 
 [[nodiscard]] const char* phase_name(Phase phase) noexcept;
 
+/// Every scalar counter, applied as X(name). Order is the JSON field order.
+#define RINGSHARE_PERF_COUNTER_FIELDS(X) \
+  X(bigint_fast_ops)                     \
+  X(bigint_slow_ops)                     \
+  X(rational_gcds)                       \
+  X(rational_gcd_skipped)                \
+  X(bottleneck_cache_hits)               \
+  X(bottleneck_cache_misses)             \
+  X(bottleneck_cache_evictions)          \
+  X(dinkelbach_iterations)               \
+  X(dinkelbach_warm_hits)                \
+  X(dinkelbach_warm_restarts)            \
+  X(flow_network_builds)                 \
+  X(flow_network_reuses)                 \
+  X(flow_incremental_reruns)             \
+  X(ring_kernel_evals)                   \
+  X(ring_kernel_cross_checks)            \
+  X(piece_solver_pieces)                 \
+  X(piece_solver_exact_roots)            \
+  X(piece_solver_bracketed_roots)        \
+  X(misreport_optimizations)             \
+  X(collusion_optimizations)             \
+  X(pool_tasks_local)                    \
+  X(pool_tasks_stolen)                   \
+  X(partition_sig_hits)                  \
+  X(peel_cache_hits)                     \
+  X(prefilter_discards)                  \
+  X(prefilter_fallthroughs)              \
+  X(flow_incremental_bypasses)           \
+  X(sig_oracle_hits)                     \
+  X(sig_oracle_fallbacks)                \
+  X(driver_singleflight_hits)            \
+  X(serve_requests)                      \
+  X(serve_solves)                        \
+  X(serve_dedup_hits)                    \
+  X(serve_cache_hits)
+
+/// Power-of-two latency buckets: bucket i counts values in [2^i, 2^{i+1})
+/// nanoseconds (bucket 0 also absorbs 0 ns). 2^47 ns ≈ 39 hours — far above
+/// any per-task latency this engine produces.
+inline constexpr int kLatencyBucketCount = 48;
+
+/// Bucket index of a latency (std::bit_width-style, clamped).
+[[nodiscard]] int latency_bucket(std::uint64_t ns) noexcept;
+
+/// Plain-value latency histogram: power-of-two buckets plus exact count.
+/// Quantiles are bucket-resolved (the geometric midpoint of the winning
+/// bucket), which is observability precision, not exact arithmetic.
+struct LatencyHistogram {
+  std::uint64_t buckets[kLatencyBucketCount] = {};
+  std::uint64_t count = 0;
+
+  void record_ns(std::uint64_t ns) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+  /// The q-quantile (q in [0, 1]) in milliseconds; 0 when empty.
+  [[nodiscard]] double quantile_ms(double q) const noexcept;
+  [[nodiscard]] double p50_ms() const noexcept { return quantile_ms(0.50); }
+  [[nodiscard]] double p95_ms() const noexcept { return quantile_ms(0.95); }
+  [[nodiscard]] double p99_ms() const noexcept { return quantile_ms(0.99); }
+};
+
 /// One thread's tally. All fields are relaxed atomics so that snapshot()
 /// may read them from another thread without a data race.
 struct PerfTally {
-  std::atomic<std::uint64_t> bigint_fast_ops{0};
-  std::atomic<std::uint64_t> bigint_slow_ops{0};
-  std::atomic<std::uint64_t> rational_gcds{0};
-  std::atomic<std::uint64_t> rational_gcd_skipped{0};
-  std::atomic<std::uint64_t> bottleneck_cache_hits{0};
-  std::atomic<std::uint64_t> bottleneck_cache_misses{0};
-  std::atomic<std::uint64_t> bottleneck_cache_evictions{0};
-  std::atomic<std::uint64_t> dinkelbach_iterations{0};
-  std::atomic<std::uint64_t> dinkelbach_warm_hits{0};
-  std::atomic<std::uint64_t> dinkelbach_warm_restarts{0};
-  std::atomic<std::uint64_t> flow_network_builds{0};
-  std::atomic<std::uint64_t> flow_network_reuses{0};
-  std::atomic<std::uint64_t> flow_incremental_reruns{0};
-  std::atomic<std::uint64_t> ring_kernel_evals{0};
-  std::atomic<std::uint64_t> ring_kernel_cross_checks{0};
-  std::atomic<std::uint64_t> piece_solver_pieces{0};
-  std::atomic<std::uint64_t> piece_solver_exact_roots{0};
-  std::atomic<std::uint64_t> piece_solver_bracketed_roots{0};
-  std::atomic<std::uint64_t> misreport_optimizations{0};
-  std::atomic<std::uint64_t> collusion_optimizations{0};
-  std::atomic<std::uint64_t> pool_tasks_local{0};
-  std::atomic<std::uint64_t> pool_tasks_stolen{0};
-  std::atomic<std::uint64_t> partition_sig_hits{0};
-  std::atomic<std::uint64_t> peel_cache_hits{0};
-  std::atomic<std::uint64_t> prefilter_discards{0};
-  std::atomic<std::uint64_t> prefilter_fallthroughs{0};
-  std::atomic<std::uint64_t> flow_incremental_bypasses{0};
-  std::atomic<std::uint64_t> sig_oracle_hits{0};
-  std::atomic<std::uint64_t> sig_oracle_fallbacks{0};
+#define RINGSHARE_PERF_DECLARE_ATOMIC(name) \
+  std::atomic<std::uint64_t> name{0};
+  RINGSHARE_PERF_COUNTER_FIELDS(RINGSHARE_PERF_DECLARE_ATOMIC)
+#undef RINGSHARE_PERF_DECLARE_ATOMIC
   std::atomic<std::uint64_t> phase_ns[static_cast<int>(Phase::kCount)]{};
+  /// Per-deviation-task solve latencies (game::optimize_deviation).
+  std::atomic<std::uint64_t> task_latency[kLatencyBucketCount]{};
 
   void add_into(PerfTally& sink) const noexcept;
   void clear() noexcept;
+  /// Record one deviation-solve latency into the local histogram.
+  void record_task_latency(std::uint64_t ns) noexcept;
 };
 
 /// Plain-value aggregate of every thread's tally.
 struct PerfSnapshot {
-  std::uint64_t bigint_fast_ops = 0;
-  std::uint64_t bigint_slow_ops = 0;
-  std::uint64_t rational_gcds = 0;
-  std::uint64_t rational_gcd_skipped = 0;
-  std::uint64_t bottleneck_cache_hits = 0;
-  std::uint64_t bottleneck_cache_misses = 0;
-  std::uint64_t bottleneck_cache_evictions = 0;
-  std::uint64_t dinkelbach_iterations = 0;
-  std::uint64_t dinkelbach_warm_hits = 0;
-  std::uint64_t dinkelbach_warm_restarts = 0;
-  std::uint64_t flow_network_builds = 0;
-  std::uint64_t flow_network_reuses = 0;
-  std::uint64_t flow_incremental_reruns = 0;
-  std::uint64_t ring_kernel_evals = 0;
-  std::uint64_t ring_kernel_cross_checks = 0;
-  std::uint64_t piece_solver_pieces = 0;
-  std::uint64_t piece_solver_exact_roots = 0;
-  std::uint64_t piece_solver_bracketed_roots = 0;
-  std::uint64_t misreport_optimizations = 0;
-  std::uint64_t collusion_optimizations = 0;
-  std::uint64_t pool_tasks_local = 0;
-  std::uint64_t pool_tasks_stolen = 0;
-  std::uint64_t partition_sig_hits = 0;
-  std::uint64_t peel_cache_hits = 0;
-  std::uint64_t prefilter_discards = 0;
-  std::uint64_t prefilter_fallthroughs = 0;
-  std::uint64_t flow_incremental_bypasses = 0;
-  std::uint64_t sig_oracle_hits = 0;
-  std::uint64_t sig_oracle_fallbacks = 0;
+#define RINGSHARE_PERF_DECLARE_VALUE(name) std::uint64_t name = 0;
+  RINGSHARE_PERF_COUNTER_FIELDS(RINGSHARE_PERF_DECLARE_VALUE)
+#undef RINGSHARE_PERF_DECLARE_VALUE
   std::uint64_t phase_ns[static_cast<int>(Phase::kCount)] = {};
+  LatencyHistogram task_latency;
 
   /// Fraction of BigInt operations served by the inline int64 path.
   [[nodiscard]] double bigint_fast_ratio() const noexcept;
   /// Fraction of bottleneck lookups answered from the memo cache.
   [[nodiscard]] double cache_hit_ratio() const noexcept;
+  /// Field-wise difference (this − before) for attributing activity to one
+  /// run; both snapshots must come from the same monotonic epoch (no reset
+  /// in between).
+  [[nodiscard]] PerfSnapshot minus(const PerfSnapshot& before) const noexcept;
   /// Flat JSON object (used by the bench layer's machine-readable output).
   [[nodiscard]] std::string to_json(int indent = 0) const;
 };

@@ -141,17 +141,19 @@ void ThreadPool::help_wait(std::mutex& mutex, std::condition_variable& cv,
   }
 }
 
+std::size_t configured_thread_count() noexcept {
+  // Batch drivers (tools/ringshare_sweep --threads) size the shared pool
+  // through the environment before first use.
+  if (const char* env = std::getenv("RINGSHARE_THREADS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n > 0) return static_cast<std::size_t>(n);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 ThreadPool& global_pool() {
-  static ThreadPool pool([] {
-    // Batch drivers (tools/ringshare_sweep --threads) size the shared pool
-    // through the environment before first use.
-    if (const char* env = std::getenv("RINGSHARE_THREADS")) {
-      char* end = nullptr;
-      const long n = std::strtol(env, &end, 10);
-      if (end != env && n > 0) return static_cast<std::size_t>(n);
-    }
-    return std::size_t{0};
-  }());
+  static ThreadPool pool(configured_thread_count());
   return pool;
 }
 

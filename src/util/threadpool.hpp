@@ -107,10 +107,16 @@ class ThreadPool {
   std::atomic<bool> stopping_{false};
 };
 
+/// The process's configured worker-thread count: the RINGSHARE_THREADS
+/// environment variable when set to a positive integer, otherwise hardware
+/// concurrency (at least 1). The shared pool sizes itself with this; the
+/// serving layer's shard default uses the same resolver so one knob sizes
+/// both.
+[[nodiscard]] std::size_t configured_thread_count() noexcept;
+
 /// Process-wide shared pool (lazily constructed). Its size defaults to
-/// hardware concurrency; the RINGSHARE_THREADS environment variable, when
-/// set to a positive integer before first use, overrides it (how the sweep
-/// tool's --threads flag is honored).
+/// configured_thread_count() read at first use (how the sweep tool's
+/// --threads flag is honored).
 ThreadPool& global_pool();
 
 }  // namespace ringshare::util

@@ -1,0 +1,210 @@
+#include "engine/deviation_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/wire.hpp"
+#include "exp/families.hpp"
+#include "graph/builders.hpp"
+
+namespace ringshare::engine {
+namespace {
+
+using game::DeviationKind;
+using game::DeviationOptimum;
+using game::DeviationSweep;
+using game::DeviationTask;
+
+const std::vector<DeviationKind> kAllKinds = {DeviationKind::kSybil,
+                                              DeviationKind::kMisreport,
+                                              DeviationKind::kCollusion};
+
+void expect_same_optimum(const DeviationOptimum& a, const DeviationOptimum& b,
+                         const std::string& context) {
+  EXPECT_EQ(a.kind, b.kind) << context;
+  EXPECT_EQ(a.vertex, b.vertex) << context;
+  EXPECT_EQ(a.partner, b.partner) << context;
+  EXPECT_EQ(a.t_star, b.t_star) << context;
+  EXPECT_EQ(a.utility, b.utility) << context;
+  EXPECT_EQ(a.honest_utility, b.honest_utility) << context;
+  EXPECT_EQ(a.ratio, b.ratio) << context;
+}
+
+/// The load-bearing contract of the whole serving stack: solving THROUGH
+/// pointed canonical space is bit-identical to the direct game-level solve,
+/// for every kind, on every necklace up to n = 6. (DeviationSweep::run is
+/// the direct path — it dispatches straight to the per-kind optimizers.)
+TEST(DeviationEngine, BitIdenticalToDirectSweepOnExhaustiveNecklaces) {
+  const DeviationEngine engine;
+  DeviationSweep direct;
+  direct.kinds = kAllKinds;
+  for (std::size_t n = 3; n <= 6; ++n) {
+    const std::vector<Graph> rings = exp::exhaustive_rings(n, /*max_weight=*/3);
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+      for (const DeviationKind kind : kAllKinds) {
+        for (const DeviationTask& task :
+             game::deviation_tasks(rings[i], kind)) {
+          const DeviationOptimum via_engine = engine.solve(rings[i], task);
+          const DeviationOptimum via_direct = direct.run(rings[i], task);
+          expect_same_optimum(
+              via_engine, via_direct,
+              "n=" + std::to_string(n) + " instance=" + std::to_string(i) +
+                  " key=" + format_task_key(i, task));
+        }
+      }
+    }
+  }
+}
+
+/// Equivalent tasks — rotations, reflections, uniform scalings — share one
+/// canonical key, and their translated optima agree where they must (the
+/// ratio is a label/scale invariant; utilities scale with the instance).
+TEST(DeviationEngine, SymmetricVariantsShareCanonicalKey) {
+  const std::vector<Rational> base = {Rational(4), Rational(1), Rational(3),
+                                      Rational(2), Rational(2)};
+  const std::size_t n = base.size();
+  const DeviationEngine engine;
+
+  for (const DeviationKind kind : kAllKinds) {
+    std::set<std::string> keys;
+    std::set<std::string> ratios;
+    for (std::size_t rot = 0; rot < n; ++rot) {
+      for (const bool reflect : {false, true}) {
+        for (const int scale : {1, 7}) {
+          std::vector<Rational> weights(n);
+          for (std::size_t j = 0; j < n; ++j) {
+            const std::size_t src = reflect ? (rot + n - j) % n : (rot + j) % n;
+            weights[j] = base[src] * Rational(scale);
+          }
+          const Graph ring = graph::make_ring(weights);
+          // The deviator is wherever weight base[0] landed: vertex
+          // (reflect ? rot : n - rot) % n ... simpler: find it.
+          graph::Vertex v = 0;
+          for (graph::Vertex u = 0; u < n; ++u)
+            if (ring.weight(u) == base[0] * Rational(scale)) { v = u; break; }
+          DeviationTask task;
+          task.kind = kind;
+          task.vertex = v;
+          if (kind == DeviationKind::kCollusion)
+            task.partner = ring.neighbors(v)[0];
+          if (kind == DeviationKind::kCollusion) {
+            // Partner weight varies with orientation; restrict to the
+            // canonical-key assertion for the pair actually formed.
+            const CanonicalTask canon = canonicalize_task(ring, task);
+            EXPECT_FALSE(canon.key.empty());
+            continue;
+          }
+          const CanonicalTask canon = canonicalize_task(ring, task);
+          keys.insert(canon.key);
+          ratios.insert(engine.solve(ring, task).ratio.to_string());
+        }
+      }
+    }
+    if (kind == DeviationKind::kMisreport) {
+      // Misreport quotients rotation, reflection AND scaling: one key.
+      EXPECT_EQ(keys.size(), 1u) << game::to_string(kind);
+    } else if (kind == DeviationKind::kSybil) {
+      // Sybil keeps the traversal direction (w₁ is direction-sensitive),
+      // so the orbit splits into the two orientations of this
+      // non-palindromic ring; rotations and scalings still coalesce.
+      EXPECT_EQ(keys.size(), 2u) << game::to_string(kind);
+    }
+    if (kind != DeviationKind::kCollusion) {
+      // The exact incentive ratio is a label/orientation/scale invariant
+      // regardless of how finely the orbit splits.
+      EXPECT_EQ(ratios.size(), 1u) << game::to_string(kind);
+    }
+  }
+}
+
+/// Canonical rings are integer-weighted coprime representatives and the
+/// recorded scale translates them back exactly.
+TEST(DeviationEngine, CanonicalizationNormalizesScale) {
+  const Graph ring = graph::make_ring(
+      {Rational(2, 3), Rational(1, 6), Rational(1, 2), Rational(1, 3)});
+  DeviationTask task;
+  task.kind = DeviationKind::kSybil;
+  task.vertex = 2;
+  const CanonicalTask canon = canonicalize_task(ring, task);
+
+  for (graph::Vertex v = 0; v < canon.ring.vertex_count(); ++v)
+    EXPECT_TRUE(canon.ring.weight(v).is_integer());
+  // Vertex 0 of the canonical ring is the deviator.
+  EXPECT_EQ(canon.task.vertex, 0u);
+  EXPECT_EQ(canon.ring.weight(0) * canon.scale, ring.weight(2));
+}
+
+/// Route hashes agree across rotations, reflections and scalings of one
+/// ring — the property fingerprint sharding relies on.
+TEST(DeviationEngine, RouteHashIsSymmetryInvariant) {
+  const std::vector<Rational> base = {Rational(5), Rational(1), Rational(4),
+                                      Rational(2)};
+  const std::size_t n = base.size();
+  const std::size_t route = instance_route_hash(graph::make_ring(base));
+  for (std::size_t rot = 0; rot < n; ++rot) {
+    for (const bool reflect : {false, true}) {
+      std::vector<Rational> weights(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t src = reflect ? (rot + n - j) % n : (rot + j) % n;
+        weights[j] = base[src] * Rational(3);
+      }
+      EXPECT_EQ(instance_route_hash(graph::make_ring(weights)), route);
+    }
+  }
+}
+
+TEST(Wire, TaskKeyRoundTrip) {
+  for (const DeviationKind kind : kAllKinds) {
+    DeviationTask task;
+    task.kind = kind;
+    task.vertex = 3;
+    task.partner = kind == DeviationKind::kCollusion ? 4 : 0;
+    const std::string key = format_task_key(12, task);
+    const std::optional<TaskKeyParts> parts = parse_task_key(key);
+    ASSERT_TRUE(parts) << key;
+    EXPECT_EQ(parts->instance, 12u);
+    EXPECT_EQ(parts->task.kind, kind);
+    EXPECT_EQ(parts->task.vertex, 3u);
+    EXPECT_EQ(parts->task.partner, task.partner);
+  }
+  EXPECT_FALSE(parse_task_key(""));
+  EXPECT_FALSE(parse_task_key("i0"));
+  EXPECT_FALSE(parse_task_key("i0.x3"));
+  EXPECT_FALSE(parse_task_key("i0.c3"));
+  EXPECT_FALSE(parse_task_key("x0.v3"));
+}
+
+TEST(Wire, ParsesRegistrationAndQueryLines) {
+  std::string error;
+  const auto reg = parse_request_line(
+      R"({"instance": 2, "ring": ["4", "1", "3/2"]})", &error);
+  ASSERT_TRUE(reg) << error;
+  EXPECT_EQ(reg->instance, 2u);
+  ASSERT_TRUE(reg->ring);
+  EXPECT_EQ(reg->ring->size(), 3u);
+  EXPECT_EQ((*reg->ring)[2], Rational(3, 2));
+  EXPECT_FALSE(reg->req);
+
+  const auto query = parse_request_line(R"({"req": 7, "task": "i2.v1"})");
+  ASSERT_TRUE(query);
+  EXPECT_EQ(query->req, 7u);
+  EXPECT_EQ(query->task, "i2.v1");
+  EXPECT_FALSE(query->ring);
+
+  const auto both = parse_request_line(
+      R"({"instance": 0, "ring": [2, 2, 2], "req": 1, "task": "i0.m0"})");
+  ASSERT_TRUE(both);
+  EXPECT_TRUE(both->instance && both->ring && both->req);
+
+  EXPECT_FALSE(parse_request_line("{}", &error));
+  EXPECT_FALSE(parse_request_line(R"({"req": 1})", &error));
+  EXPECT_FALSE(parse_request_line(R"({"ring": [1, 2, 3]})", &error));
+  EXPECT_FALSE(
+      parse_request_line(R"({"instance": 0, "ring": ["bad"]})", &error));
+}
+
+}  // namespace
+}  // namespace ringshare::engine

@@ -1,0 +1,269 @@
+#include "engine/batch_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/wire.hpp"
+#include "exp/families.hpp"
+#include "graph/builders.hpp"
+
+namespace ringshare::engine {
+namespace {
+
+using game::DeviationKind;
+using game::DeviationOptimum;
+using game::DeviationSweep;
+using game::DeviationTask;
+
+const std::vector<DeviationKind> kAllKinds = {DeviationKind::kSybil,
+                                              DeviationKind::kMisreport,
+                                              DeviationKind::kCollusion};
+
+/// Collects responses in emission order (the sink runs under the server's
+/// sequencer lock, so no extra synchronization is needed while serving;
+/// read the vector only after drain()).
+struct Collector {
+  std::vector<std::string> lines;
+  BatchServer::Sink sink() {
+    return [this](const std::string& line) { lines.push_back(line); };
+  }
+};
+
+/// The ISSUE's round-trip contract: server responses are bit-identical to
+/// the direct DeviationSweep solve, on exhaustive necklaces up to n = 6,
+/// for every deviation kind — through routing, caching and dedup.
+TEST(BatchServer, RoundTripBitIdenticalToDirectSweep) {
+  std::vector<Graph> rings;
+  for (std::size_t n = 3; n <= 6; ++n)
+    for (Graph& g : exp::exhaustive_rings(n, /*max_weight=*/2))
+      rings.push_back(std::move(g));
+
+  struct Expected {
+    std::uint64_t req;
+    std::size_t instance;
+    DeviationTask task;
+  };
+  std::vector<Expected> expected;
+
+  Collector collector;
+  {
+    BatchServerConfig config;
+    config.shards = 3;
+    BatchServer server(config, collector.sink());
+    std::uint64_t req = 0;
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+      server.register_instance(i, rings[i]);
+      for (const DeviationKind kind : kAllKinds)
+        for (const DeviationTask& task : game::deviation_tasks(rings[i], kind)) {
+          server.submit(req, format_task_key(i, task));
+          expected.push_back(Expected{req, i, task});
+          ++req;
+        }
+    }
+    server.drain();
+
+    const ServeStats stats = server.stats();
+    EXPECT_EQ(stats.requests, expected.size());
+    EXPECT_EQ(stats.errors, 0u);
+    // Necklace families are symmetry-heavy: canonical coalescing must have
+    // answered a large share without a fresh solve.
+    EXPECT_LT(stats.solves, stats.requests);
+    EXPECT_EQ(stats.solves + stats.dedup_hits + stats.cache_hits,
+              stats.requests);
+    EXPECT_EQ(stats.latency.count, stats.requests);
+  }
+
+  ASSERT_EQ(collector.lines.size(), expected.size());
+  DeviationSweep direct;
+  direct.kinds = kAllKinds;
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    const std::string& line = collector.lines[k];
+    // Arrival order: response k answers request k.
+    ASSERT_EQ(json_uint_field(line, "req"), expected[k].req) << line;
+    const DeviationOptimum direct_opt =
+        direct.run(rings[expected[k].instance], expected[k].task);
+    EXPECT_EQ(json_string_field(line, "ratio"), direct_opt.ratio.to_string())
+        << line;
+    EXPECT_EQ(json_string_field(line, "t_star"), direct_opt.t_star.to_string())
+        << line;
+    EXPECT_EQ(json_string_field(line, "utility"),
+              direct_opt.utility.to_string())
+        << line;
+    EXPECT_EQ(json_string_field(line, "honest_utility"),
+              direct_opt.honest_utility.to_string())
+        << line;
+    ASSERT_TRUE(json_uint_field(line, "latency_us")) << line;
+  }
+}
+
+/// Concurrent identical requests coalesce onto (at most) one fresh solve
+/// and all receive the same exact answer.
+TEST(BatchServer, ConcurrentIdenticalRequestsSolveOnce) {
+  Collector collector;
+  BatchServerConfig config;
+  config.shards = 2;
+  BatchServer server(config, collector.sink());
+  server.register_instance(
+      0, graph::make_ring({Rational(5), Rational(1), Rational(4), Rational(2),
+                           Rational(3)}));
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t)
+    submitters.emplace_back([&, t] {
+      for (int k = 0; k < kPerThread; ++k)
+        server.submit(static_cast<std::uint64_t>(t * kPerThread + k), "i0.v0");
+    });
+  for (std::thread& t : submitters) t.join();
+  server.drain();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.solves, 1u);
+  EXPECT_EQ(stats.dedup_hits + stats.cache_hits,
+            static_cast<std::uint64_t>(kThreads * kPerThread - 1));
+
+  ASSERT_EQ(collector.lines.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  const auto ratio = json_string_field(collector.lines[0], "ratio");
+  const auto t_star = json_string_field(collector.lines[0], "t_star");
+  ASSERT_TRUE(ratio && t_star);
+  for (const std::string& line : collector.lines) {
+    EXPECT_EQ(json_string_field(line, "ratio"), ratio) << line;
+    EXPECT_EQ(json_string_field(line, "t_star"), t_star) << line;
+  }
+}
+
+/// Rotated / reflected / scaled instances route to the same shard and are
+/// answered from its canonical cache after a single solve; the exact ratio
+/// is identical across all variants and utilities scale with the instance.
+TEST(BatchServer, SymmetricInstancesShareShardCache) {
+  const std::vector<Rational> base = {Rational(4), Rational(1), Rational(3),
+                                      Rational(2), Rational(2)};
+  const std::size_t n = base.size();
+
+  Collector collector;
+  BatchServerConfig config;
+  config.shards = 4;
+  BatchServer server(config, collector.sink());
+
+  // Instance v: rotation by v, so original vertex 0 sits at... register the
+  // rotations; the deviator with weight base[0] is vertex (n - rot) % n.
+  struct Variant {
+    std::size_t instance;
+    graph::Vertex deviator;
+    Rational scale;
+  };
+  std::vector<Variant> variants;
+  std::size_t id = 0;
+  for (std::size_t rot = 0; rot < n; ++rot) {
+    for (const int scale : {1, 6}) {
+      std::vector<Rational> weights(n);
+      for (std::size_t j = 0; j < n; ++j)
+        weights[j] = base[(rot + j) % n] * Rational(scale);
+      server.register_instance(id, graph::make_ring(weights));
+      variants.push_back(
+          Variant{id, static_cast<graph::Vertex>((n - rot) % n),
+                  Rational(scale)});
+      ++id;
+    }
+  }
+
+  // Serialize the submissions (drain between) so every repeat after the
+  // first is a pure CACHE hit, not a dedup coalesce. Misreport quotients
+  // the full dihedral group plus scaling, so ALL variants share one
+  // canonical task and exactly one solve runs.
+  std::uint64_t req = 0;
+  for (const Variant& v : variants) {
+    DeviationTask task;
+    task.kind = DeviationKind::kMisreport;
+    task.vertex = v.deviator;
+    server.submit(req++, format_task_key(v.instance, task));
+    server.drain();
+  }
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.solves, 1u);
+  EXPECT_EQ(stats.cache_hits, variants.size() - 1);
+  EXPECT_EQ(stats.dedup_hits, 0u);
+
+  ASSERT_EQ(collector.lines.size(), variants.size());
+  const auto ratio0 = json_string_field(collector.lines[0], "ratio");
+  const auto shard0 = json_uint_field(collector.lines[0], "shard");
+  const Rational utility0 =
+      Rational::from_string(*json_string_field(collector.lines[0], "utility"));
+  ASSERT_TRUE(ratio0 && shard0);
+  for (std::size_t k = 0; k < variants.size(); ++k) {
+    const std::string& line = collector.lines[k];
+    EXPECT_EQ(json_string_field(line, "ratio"), ratio0) << line;
+    EXPECT_EQ(json_uint_field(line, "shard"), shard0) << line;
+    const Rational utility = Rational::from_string(
+        *json_string_field(line, "utility"));
+    // Variant 0 has scale 1; utilities are 1-homogeneous in the weights.
+    EXPECT_EQ(utility, utility0 * variants[k].scale) << line;
+    EXPECT_EQ(json_string_field(line, "served"),
+              k == 0 ? std::string("solve") : std::string("cache"))
+        << line;
+  }
+}
+
+/// Failures tied to a request id come back as in-order error responses.
+TEST(BatchServer, ErrorResponsesKeepArrivalOrder) {
+  Collector collector;
+  BatchServerConfig config;
+  config.shards = 2;
+  BatchServer server(config, collector.sink());
+  server.register_instance(
+      0, graph::make_ring({Rational(2), Rational(1), Rational(3)}));
+
+  server.submit(0, "i9.v0");     // unknown instance
+  server.submit(1, "garbage");   // malformed key
+  server.submit(2, "i0.v7");     // vertex out of range
+  server.submit(3, "i0.v0");     // valid
+  server.drain();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.errors, 3u);
+  ASSERT_EQ(collector.lines.size(), 4u);
+  for (std::uint64_t k = 0; k < 4; ++k)
+    EXPECT_EQ(json_uint_field(collector.lines[k], "req"), k)
+        << collector.lines[k];
+  for (int k = 0; k < 3; ++k)
+    EXPECT_TRUE(json_string_field(collector.lines[k], "error"))
+        << collector.lines[k];
+  EXPECT_TRUE(json_string_field(collector.lines[3], "ratio"))
+      << collector.lines[3];
+}
+
+/// dedup=false still serves correct results (every request solves fresh
+/// unless cached).
+TEST(BatchServer, DedupDisabledStillCorrect) {
+  Collector collector;
+  BatchServerConfig config;
+  config.shards = 2;
+  config.dedup = false;
+  config.cache_capacity = 0;
+  BatchServer server(config, collector.sink());
+  server.register_instance(
+      0, graph::make_ring({Rational(3), Rational(1), Rational(2),
+                           Rational(1)}));
+  for (std::uint64_t req = 0; req < 6; ++req) server.submit(req, "i0.v0");
+  server.drain();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.solves, 6u);
+  EXPECT_EQ(stats.dedup_hits, 0u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  const auto ratio = json_string_field(collector.lines[0], "ratio");
+  for (const std::string& line : collector.lines)
+    EXPECT_EQ(json_string_field(line, "ratio"), ratio) << line;
+}
+
+}  // namespace
+}  // namespace ringshare::engine

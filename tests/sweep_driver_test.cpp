@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "exp/families.hpp"
 #include "exp/sweep.hpp"
+#include "graph/builders.hpp"
 
 namespace ringshare::exp {
 namespace {
@@ -216,6 +219,120 @@ TEST(SweepDriver, MultiKindResumeSkipsAllKinds) {
     ASSERT_TRUE(resumed.by_kind[k].any);
     EXPECT_EQ(resumed.by_kind[k].max_ratio, first.by_kind[k].max_ratio);
   }
+}
+
+TEST(SweepDriver, ResumeSkipsCorruptTrailingLinesAndRerunsTheirTasks) {
+  const std::vector<Graph> rings = random_rings(2, 5, 31, 7);
+  TempPath path("sweep_driver_corrupt_resume.jsonl");
+
+  SweepDriverOptions options;
+  options.output_path = path.str();
+  const SweepDriverReport first = run_sweep_driver(rings, options);
+  EXPECT_EQ(first.tasks_run, 10u);
+  EXPECT_EQ(first.corrupt_lines_skipped, 0u);
+
+  // Corrupt the tail the way a kill mid-write does: truncate the last line
+  // in the middle of its ratio value and append pure garbage.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path.str());
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  {
+    std::ofstream out(path.str(), std::ios::trunc);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) out << lines[i] << '\n';
+    const std::size_t ratio_at = lines.back().find("\"ratio\"");
+    out << lines.back().substr(0, ratio_at + 10) << '\n';
+    out << "not json at all\n";
+    // A syntactically intact line whose ratio is not a parseable rational.
+    out << "{\"task\": \"i0.v0\", \"ratio\": \"3/\"}\n";
+  }
+
+  // Resume must not abort: corrupt lines are skipped (and counted), their
+  // tasks re-run, and the aggregate still matches the uninterrupted run.
+  const SweepDriverReport resumed = run_sweep_driver(rings, options);
+  EXPECT_GE(resumed.corrupt_lines_skipped, 2u);
+  EXPECT_EQ(resumed.tasks_skipped, 9u);
+  EXPECT_EQ(resumed.tasks_run, 1u);
+  EXPECT_EQ(resumed.max_ratio, first.max_ratio);
+}
+
+TEST(SweepDriver, MixedKindsResumeFromSingleKindCheckpoint) {
+  const std::vector<Graph> rings = random_rings(2, 4, 9, 6);
+  TempPath path("sweep_driver_mixed_kinds_resume.jsonl");
+
+  // First pass sweeps ONLY sybil; the checkpoint then holds i*.v* keys.
+  SweepDriverOptions sybil_only;
+  sybil_only.kinds = {game::DeviationKind::kSybil};
+  sybil_only.output_path = path.str();
+  const SweepDriverReport first = run_sweep_driver(rings, sybil_only);
+  EXPECT_EQ(first.tasks_run, 8u);
+
+  // Resuming with ALL kinds must skip exactly the checkpointed sybil tasks
+  // and run the misreport/collusion remainder.
+  SweepDriverOptions all_kinds;
+  all_kinds.kinds = {game::DeviationKind::kSybil,
+                     game::DeviationKind::kMisreport,
+                     game::DeviationKind::kCollusion};
+  all_kinds.output_path = path.str();
+  const SweepDriverReport resumed = run_sweep_driver(rings, all_kinds);
+  EXPECT_EQ(resumed.tasks_total, 24u);
+  EXPECT_EQ(resumed.tasks_skipped, 8u);
+  EXPECT_EQ(resumed.tasks_run, 16u);
+  for (int k = 0; k < game::kDeviationKindCount; ++k)
+    EXPECT_TRUE(resumed.by_kind[k].any);
+  EXPECT_GE(resumed.max_ratio, first.max_ratio);
+  EXPECT_EQ(checkpointed_task_keys(path.str()).size(), 24u);
+}
+
+TEST(SweepDriver, SingleFlightMatchesPerTaskSolvesBitForBit) {
+  // A symmetry-heavy batch: a base ring plus rotated and scaled copies, so
+  // single-flight has real groups to coalesce.
+  const Graph base = graph::make_ring(
+      {Rational(5), Rational(1), Rational(4), Rational(2), Rational(3)});
+  std::vector<Graph> rings = {base};
+  {
+    std::vector<Rational> rotated;
+    for (std::size_t j = 0; j < 5; ++j)
+      rotated.push_back(base.weight((2 + j) % 5));
+    rings.push_back(graph::make_ring(rotated));
+    std::vector<Rational> scaled;
+    for (std::size_t j = 0; j < 5; ++j)
+      scaled.push_back(base.weight(j) * Rational(3));
+    rings.push_back(graph::make_ring(scaled));
+  }
+
+  SweepDriverOptions options;
+  options.kinds = {game::DeviationKind::kSybil, game::DeviationKind::kMisreport,
+                   game::DeviationKind::kCollusion};
+  TempPath with(("sweep_driver_singleflight_on.jsonl"));
+  TempPath without(("sweep_driver_singleflight_off.jsonl"));
+
+  options.output_path = with.str();
+  const SweepDriverReport coalesced = run_sweep_driver(rings, options);
+  EXPECT_GT(coalesced.tasks_coalesced, 0u);
+
+  options.output_path = without.str();
+  options.singleflight = false;
+  const SweepDriverReport separate = run_sweep_driver(rings, options);
+  EXPECT_EQ(separate.tasks_coalesced, 0u);
+
+  EXPECT_EQ(coalesced.max_ratio, separate.max_ratio);
+  EXPECT_EQ(coalesced.argmax_kind, separate.argmax_kind);
+
+  // The checkpoint contents must agree line-for-line after sorting (the
+  // schedulers emit in different orders): single-flight fan-out is a pure
+  // optimization, never a different answer.
+  auto sorted_lines = [](const std::string& path) {
+    std::vector<std::string> lines;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(sorted_lines(with.str()), sorted_lines(without.str()));
 }
 
 TEST(SweepDriver, EmptyKindListThrows) {

@@ -1,0 +1,145 @@
+// ringshare_serve — long-lived batch server for deviation queries.
+//
+// Reads JSONL requests from stdin (one object per line), answers on stdout
+// in arrival order, one response line per query. The wire format is
+// engine/wire.hpp's:
+//
+//   {"instance": 0, "ring": ["4", "1", "3/2", "2"]}     register instance 0
+//   {"req": 1, "task": "i0.v1"}                         Sybil query
+//   {"req": 2, "task": "i0.m3"}                         misreport query
+//   {"req": 3, "task": "i0.c0-1"}                       collusion query
+//
+// Task keys are exactly the sweep checkpoint keys, so a checkpoint file is
+// a replayable request log. Responses carry the checkpoint record fields
+// plus req / shard / served ("solve" | "dedup" | "cache") / latency_us.
+// Malformed lines that carry no usable request id are logged to stderr and
+// skipped; failures tied to a request id come back as
+// {"req": N, "error": "..."} in order.
+//
+// Queries are routed to worker shards by the instance's canonical dihedral
+// fingerprint (rotated/reflected/scaled instances share a shard and its
+// result cache) and identical in-flight canonical tasks coalesce onto one
+// solve (single-flight dedup).
+//
+// Flags (all --key=value unless noted):
+//   --shards=N          worker shards (default: derived from threads)
+//   --cache-capacity=N  per-shard result cache entries (default 4096, 0 off)
+//   --no-dedup          disable single-flight coalescing
+//   --engine=exact|scan per-piece optimizer (default exact)
+//   --cross-check       assert exact dominance over every scan sample
+//   --threads=N         shared pool size (default: hardware concurrency)
+//   --stats             print a serving-stats JSON summary to stderr on EOF
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "engine/batch_server.hpp"
+#include "engine/wire.hpp"
+#include "graph/builders.hpp"
+
+namespace {
+
+const char* flag_value(const char* arg, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return nullptr;
+  return arg + len + 1;
+}
+
+[[noreturn]] void usage_error(const char* arg) {
+  std::fprintf(stderr, "ringshare_serve: unknown argument '%s'\n", arg);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ringshare::engine::BatchServerConfig config;
+  bool print_stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = flag_value(arg, "--shards")) {
+      config.shards = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = flag_value(arg, "--cache-capacity")) {
+      config.cache_capacity =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--no-dedup") == 0) {
+      config.dedup = false;
+    } else if (const char* v = flag_value(arg, "--engine")) {
+      if (std::strcmp(v, "exact") == 0) {
+        config.solver.use_exact_piece_solver = true;
+      } else if (std::strcmp(v, "scan") == 0) {
+        config.solver.use_exact_piece_solver = false;
+      } else {
+        usage_error(arg);
+      }
+    } else if (std::strcmp(arg, "--cross-check") == 0) {
+      config.solver.cross_check = true;
+    } else if (const char* v = flag_value(arg, "--threads")) {
+      // Must land before the library first touches the shared pool.
+      setenv("RINGSHARE_THREADS", v, /*overwrite=*/1);
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      print_stats = true;
+    } else {
+      usage_error(arg);
+    }
+  }
+
+  try {
+    ringshare::engine::BatchServer server(
+        config, [](const std::string& line) {
+          std::fwrite(line.data(), 1, line.size(), stdout);
+          std::fputc('\n', stdout);
+          std::fflush(stdout);  // responses stream, they don't batch
+        });
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      std::string error;
+      const std::optional<ringshare::engine::WireRequest> request =
+          ringshare::engine::parse_request_line(line, &error);
+      if (!request) {
+        std::fprintf(stderr, "ringshare_serve: skipping line: %s\n",
+                     error.c_str());
+        continue;
+      }
+      if (request->instance && request->ring) {
+        try {
+          server.register_instance(
+              *request->instance, ringshare::graph::make_ring(*request->ring));
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "ringshare_serve: instance %zu rejected: %s\n",
+                       *request->instance, e.what());
+          continue;
+        }
+      }
+      if (request->req) server.submit(*request->req, request->task);
+    }
+
+    server.drain();
+    if (print_stats) {
+      const ringshare::engine::ServeStats stats = server.stats();
+      std::fprintf(stderr,
+                   "{\"shards\": %zu, \"requests\": %llu, \"solves\": %llu, "
+                   "\"dedup_hits\": %llu, \"cache_hits\": %llu, "
+                   "\"errors\": %llu, \"latency_p50_ms\": %.6f, "
+                   "\"latency_p95_ms\": %.6f, \"latency_p99_ms\": %.6f}\n",
+                   server.shard_count(),
+                   static_cast<unsigned long long>(stats.requests),
+                   static_cast<unsigned long long>(stats.solves),
+                   static_cast<unsigned long long>(stats.dedup_hits),
+                   static_cast<unsigned long long>(stats.cache_hits),
+                   static_cast<unsigned long long>(stats.errors),
+                   stats.latency.p50_ms(), stats.latency.p95_ms(),
+                   stats.latency.p99_ms());
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ringshare_serve: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

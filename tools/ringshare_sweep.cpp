@@ -18,6 +18,7 @@
 //   --kinds=a,b,.. comma list of sybil|misreport|collusion (default sybil)
 //   --out=PATH     JSONL checkpoint file (no file when omitted)
 //   --no-resume    re-run every task even if checkpointed
+//   --no-singleflight  solve every task separately (no canonical dedup)
 //   --threads=N    shared pool size (default: hardware concurrency)
 //   --engine=exact|scan   per-piece optimizer (default exact)
 //   --cross-check  assert exact dominance over every scan sample
@@ -91,6 +92,8 @@ int main(int argc, char** argv) {
       options.output_path = v;
     } else if (std::strcmp(arg, "--no-resume") == 0) {
       options.resume = false;
+    } else if (std::strcmp(arg, "--no-singleflight") == 0) {
+      options.singleflight = false;
     } else if (const char* v = flag_value(arg, "--threads")) {
       // Must land before the library first touches the shared pool.
       setenv("RINGSHARE_THREADS", v, /*overwrite=*/1);
@@ -121,6 +124,9 @@ int main(int argc, char** argv) {
     std::printf("  \"tasks_total\": %zu,\n", report.tasks_total);
     std::printf("  \"tasks_skipped\": %zu,\n", report.tasks_skipped);
     std::printf("  \"tasks_run\": %zu,\n", report.tasks_run);
+    std::printf("  \"tasks_coalesced\": %zu,\n", report.tasks_coalesced);
+    std::printf("  \"corrupt_lines_skipped\": %zu,\n",
+                report.corrupt_lines_skipped);
     std::printf("  \"max_ratio\": \"%s\",\n",
                 report.max_ratio.to_string().c_str());
     std::printf("  \"max_ratio_double\": %.12f,\n",
