@@ -152,12 +152,36 @@ def rows_serve(report) -> list[dict]:
     ]
 
 
+def rows_delta(report) -> list[dict]:
+    # The delta bench's contracts beyond bit-identity: the 5x floor over
+    # cold recomputation, zero armed cross-check violations, and the reuse
+    # machinery (splice/patch) actually firing.
+    delta = report["delta"]
+    contracts_ok = (
+        report["speedup"] >= report["speedup_floor"]
+        and report["cross_check"]["violations"] == 0
+        and delta["hits"] > 0
+        and delta["spliced_stages"] > 0
+    )
+    return [
+        {
+            "bench": "delta",
+            "pass": "cold recompute -> delta stream",
+            "baseline_seconds": report["cold_seconds"],
+            "current_seconds": report["delta_seconds"],
+            "speedup": report["speedup"],
+            "results_identical": report["results_identical"] and contracts_ok,
+        }
+    ]
+
+
 PARSERS = {
     "BENCH_hotpaths.json": rows_hotpaths,
     "BENCH_sweep.json": rows_sweep,
     "BENCH_ringkernel.json": rows_ringkernel,
     "BENCH_deviation.json": rows_deviation,
     "BENCH_serve.json": rows_serve,
+    "BENCH_delta.json": rows_delta,
 }
 
 
@@ -181,13 +205,18 @@ def latency_rows(name: str, report) -> list[dict]:
                 "p99_ms": value["task_latency_p99_ms"],
             }
         )
-    for key in ("naive_latency_ms", "served_latency_ms"):
+    for key in ("naive_latency_ms", "served_latency_ms",
+                "cold_latency_ms", "delta_latency_ms"):
         if key in report:
+            workload = report.get("workload", {})
             rows.append(
                 {
                     "bench": report.get("bench", name),
                     "pass": f"{key.removesuffix('_latency_ms')} end-to-end",
-                    "count": report["workload"]["requests"],
+                    # The serving bench counts requests; the delta bench
+                    # counts drift epochs (one solve per epoch).
+                    "count": workload.get("requests",
+                                          workload.get("epochs", 0)),
                     "p50_ms": report[key]["p50"],
                     "p95_ms": report[key]["p95"],
                     "p99_ms": report[key]["p99"],
@@ -216,7 +245,18 @@ def main() -> int:
             continue
         try:
             report = load(path)
-            rows.extend(to_rows(report))
+            new_rows = to_rows(report)
+            # Every artifact must carry the bit-identity verdict: a row
+            # without a boolean results_identical means the bench skipped
+            # (or dropped) its correctness contract — fail loudly rather
+            # than render a hole in the table.
+            for row in new_rows:
+                if not isinstance(row.get("results_identical"), bool):
+                    print(f"[trajectory] {name}: row '{row.get('pass')}' "
+                          f"lacks a boolean results_identical verdict",
+                          file=sys.stderr)
+                    broken += 1
+            rows.extend(new_rows)
             latencies.extend(latency_rows(name, report))
         except (json.JSONDecodeError, KeyError, TypeError) as error:
             print(f"[trajectory] {name}: malformed ({error})", file=sys.stderr)

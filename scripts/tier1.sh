@@ -31,6 +31,11 @@
 #      BENCH_serve.json parses with results_identical == true, the 3x
 #      throughput floor met, zero cross-check violations, and both reuse
 #      mechanisms (dedup + shard caches) engaged.
+#   9. Delta bench smoke: run bench_delta and validate that
+#      BENCH_delta.json parses with results_identical == true (delta
+#      decompositions bit-identical to cold recomputes every epoch), the
+#      5x speedup floor met, zero armed cross-check violations, and the
+#      splice/patch reuse machinery engaged.
 #
 # Usage: scripts/tier1.sh [--skip-asan]
 #   --skip-asan skips every sanitizer pass (ASan/UBSan and TSan) and the
@@ -65,7 +70,8 @@ cmake -B build-asan -S . \
 for target in numeric_fastpath_test memo_cache_test bigint_test \
               rational_test util_test flow_test bd_test \
               deviation_differential_test deviation_metamorphic_test \
-              incremental_flow_test engine_test serve_test; do
+              incremental_flow_test engine_test serve_test \
+              delta_test stream_test; do
   cmake --build build-asan -j "$jobs" --target "$target"
 done
 
@@ -73,7 +79,8 @@ echo "=== ASan/UBSan: run ==="
 for target in numeric_fastpath_test memo_cache_test bigint_test \
               rational_test util_test flow_test bd_test \
               deviation_differential_test deviation_metamorphic_test \
-              incremental_flow_test engine_test serve_test; do
+              incremental_flow_test engine_test serve_test \
+              delta_test stream_test; do
   echo "--- $target ---"
   "./build-asan/tests/$target"
 done
@@ -85,13 +92,13 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="$tsan_flags" \
   -DCMAKE_EXE_LINKER_FLAGS="$tsan_flags"
 for target in util_test sweep_driver_test deviation_metamorphic_test \
-              serve_test; do
+              serve_test delta_test stream_test; do
   cmake --build build-tsan -j "$jobs" --target "$target"
 done
 
 echo "=== TSan: run (work-stealing pool + concurrent sweep + server) ==="
 for target in util_test sweep_driver_test deviation_metamorphic_test \
-              serve_test; do
+              serve_test delta_test stream_test; do
   echo "--- $target ---"
   "./build-tsan/tests/$target"
 done
@@ -99,26 +106,36 @@ done
 echo "=== serve smoke: ringshare_serve under ASan/UBSan and TSan ==="
 # A registration + query batch exercising all three deviation kinds, with
 # a symmetric repeat (instance 1 is instance 0 rotated and doubled) so the
-# dedup/cache paths run under the sanitizers too.
+# dedup/cache paths run under the sanitizers too, plus a weight update and
+# a post-update re-query so the edit-stream path (cache invalidation +
+# fresh solve) also runs sanitized.
 serve_smoke_input='{"instance": 0, "ring": ["4", "1", "3", "2", "2"]}
 {"instance": 1, "ring": ["2", "6", "4", "4", "8"]}
 {"req": 0, "task": "i0.v0"}
 {"req": 1, "task": "i0.m2"}
 {"req": 2, "task": "i0.c1-2"}
 {"req": 3, "task": "i0.v0"}
-{"req": 4, "task": "i1.m3"}'
+{"req": 4, "task": "i1.m3"}
+{"req": 5, "update": "i0.u1", "weight": "9/2"}
+{"req": 6, "task": "i0.v0"}'
 for tree in build-asan build-tsan; do
   cmake --build "$tree" -j "$jobs" --target ringshare_serve
   echo "--- $tree/tools/ringshare_serve ---"
   printf '%s\n' "$serve_smoke_input" \
     | "./$tree/tools/ringshare_serve" --shards=2 > serve_smoke_out.jsonl
   responses=$(grep -c '"ratio"' serve_smoke_out.jsonl || true)
-  if [ "$responses" -ne 5 ]; then
-    echo "tier1.sh: serve smoke expected 5 responses, got $responses" >&2
+  if [ "$responses" -ne 6 ]; then
+    echo "tier1.sh: serve smoke expected 6 responses, got $responses" >&2
     cat serve_smoke_out.jsonl >&2
     rm -f serve_smoke_out.jsonl
     exit 1
   fi
+  grep -q '"applied": true' serve_smoke_out.jsonl || {
+    echo "tier1.sh: serve smoke missing the update ack" >&2
+    cat serve_smoke_out.jsonl >&2
+    rm -f serve_smoke_out.jsonl
+    exit 1
+  }
   rm -f serve_smoke_out.jsonl
 done
 
@@ -148,6 +165,37 @@ ok = (
     and served["solves"] + served["dedup_hits"] + served["cache_hits"]
         == served["requests"]
     and report["served_latency_ms"]["p50"] > 0
+)
+sys.exit(0 if ok else 1)
+EOF
+else
+  echo "tier1.sh: python3 not found; JSON well-formedness check skipped"
+fi
+
+echo "=== delta bench smoke: bench_delta ==="
+cmake --build build -j "$jobs" --target bench_delta
+./build/bench/bench_delta
+# The binary exits nonzero on any contract violation (per-epoch identity,
+# the 5x speedup floor, armed cross-check, engaged splice/patch reuse);
+# re-validate the JSON independently so a stale artifact also fails CI.
+grep -q '"results_identical": true' BENCH_delta.json || {
+  echo "tier1.sh: BENCH_delta.json missing results_identical: true" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+with open("BENCH_delta.json") as f:
+    report = json.load(f)
+delta = report["delta"]
+ok = (
+    report["results_identical"] is True
+    and report["speedup"] >= report["speedup_floor"]
+    and report["cross_check"]["violations"] == 0
+    and delta["hits"] > 0
+    and delta["fallbacks"] + delta["hits"] == delta["updates"]
+    and delta["spliced_stages"] > 0
+    and report["delta_latency_ms"]["p50"] > 0
 )
 sys.exit(0 if ok else 1)
 EOF

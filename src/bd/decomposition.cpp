@@ -151,6 +151,35 @@ Decomposition::Decomposition(const Graph& g, DecomposeHints* hints)
   }
 }
 
+Decomposition::Decomposition(const Graph& g, std::vector<BottleneckPair> pairs,
+                             int dinkelbach_iterations)
+    : graph_(g),
+      pairs_(std::move(pairs)),
+      dinkelbach_iterations_(dinkelbach_iterations) {
+  pair_index_.assign(g.vertex_count(), 0);
+  std::vector<char> seen(g.vertex_count(), 0);
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    for (const Vertex v : pairs_[i].b) {
+      if (v >= g.vertex_count())
+        throw std::invalid_argument("Decomposition: pair vertex out of range");
+      pair_index_[v] = i;
+      seen[v] = 1;
+    }
+    for (const Vertex v : pairs_[i].c) {
+      if (v >= g.vertex_count())
+        throw std::invalid_argument("Decomposition: pair vertex out of range");
+      pair_index_[v] = i;
+      seen[v] = 1;
+    }
+  }
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    if (!seen[v])
+      throw std::invalid_argument(
+          "Decomposition: pair sequence does not cover vertex " +
+          std::to_string(v));
+  }
+}
+
 std::size_t Decomposition::pair_index(Vertex v) const {
   if (v >= pair_index_.size())
     throw std::out_of_range("Decomposition: vertex out of range");

@@ -60,6 +60,15 @@ class Decomposition {
   /// run's state; the decomposition itself is identical with or without it.
   explicit Decomposition(const Graph& g, DecomposeHints* hints = nullptr);
 
+  /// Assemble a decomposition from an already-computed pair sequence — the
+  /// delta engine's splice path (bd/delta.hpp). `pairs` must be exactly the
+  /// sequence `Decomposition(g)` would compute; the delta solver guarantees
+  /// this through its certified reuse conditions and the
+  /// HotPathConfig::cross_check_delta lockstep oracle. The pair sets must
+  /// partition V(g).
+  Decomposition(const Graph& g, std::vector<BottleneckPair> pairs,
+                int dinkelbach_iterations);
+
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] const std::vector<BottleneckPair>& pairs() const noexcept {
     return pairs_;

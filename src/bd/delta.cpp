@@ -1,0 +1,453 @@
+#include "bd/delta.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "bd/memo.hpp"
+#include "util/perf_counters.hpp"
+
+namespace ringshare::bd {
+
+/// Warm per-stage solver state. A state is kept only while its residual
+/// vertex set matches the live peel (checked by value each update), and the
+/// update loop maintains the invariant that every kept state's stage graph
+/// equals `graph_` restricted to `remaining` under the CURRENT weights:
+/// executed stages are weight-patched in place, spliced stages provably do
+/// not contain the edited vertex, and everything past the decomposition's
+/// stage count is truncated after each update.
+struct DeltaSolver::StageState {
+  std::vector<Vertex> remaining;  ///< residual set at stage start (sorted)
+  bool whole = false;             ///< stage graph is the full graph
+  graph::InducedSubgraph sub;     ///< stage graph + mappings (when !whole)
+  std::optional<RingStructure> structure;  ///< pre-analyzed, pre-staged
+  std::vector<std::size_t> component_of;   ///< stage-local id → component
+  KernelDeltaState kernel;                 ///< captured F/G rows
+  Rational alpha;                          ///< last accepted α* of this stage
+  bool has_alpha = false;
+};
+
+namespace {
+
+void count_hit() noexcept {
+  util::PerfCounters::local().delta_hits.fetch_add(1,
+                                                   std::memory_order_relaxed);
+}
+
+void count_fallback() noexcept {
+  util::PerfCounters::local().delta_fallbacks.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void count_patched_stages(std::uint64_t n) noexcept {
+  if (n > 0)
+    util::PerfCounters::local().delta_patched_stages.fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+DeltaSolver::DeltaSolver(Graph g) : graph_(std::move(g)) { full_solve(); }
+
+DeltaSolver::~DeltaSolver() = default;
+DeltaSolver::DeltaSolver(DeltaSolver&&) noexcept = default;
+DeltaSolver& DeltaSolver::operator=(DeltaSolver&&) noexcept = default;
+
+void DeltaSolver::full_solve() {
+  states_.clear();
+  decomposition_.emplace(graph_, &hints_);
+}
+
+void DeltaSolver::truncate_states() {
+  const std::size_t stages = decomposition_->pair_count();
+  if (states_.size() > stages) states_.resize(stages);
+}
+
+DeltaOutcome DeltaSolver::update_weight(Vertex v, Rational weight) {
+  if (v >= graph_.vertex_count())
+    throw std::out_of_range("DeltaSolver: vertex out of range");
+  if (weight.is_negative())
+    throw std::invalid_argument("DeltaSolver: negative weight");
+
+  const HotPathConfig& config = hot_path_config();
+  graph_.set_weight(v, std::move(weight));
+
+  DeltaOutcome outcome;
+  if (!config.delta_updates) {
+    full_solve();
+    count_fallback();
+    outcome.stages = decomposition_->pair_count();
+    return outcome;
+  }
+  outcome.delta_path = true;
+
+  // The previous pair sequence drives per-stage warm λ and the tail splice.
+  std::vector<BottleneckPair> old_pairs = decomposition_->pairs();
+
+  const std::size_t n = graph_.vertex_count();
+
+  // Old residual sets by stage: old_residual[j] is the (sorted) vertex set
+  // the previous peel had left after j stages. The splice certificate
+  // compares against these by VALUE, so it survives peel-order shifts — an
+  // edit that moves v's pair earlier or later in the α order permutes the
+  // pair sequence around it, but once the same union of vertices has been
+  // peeled the residual coincides again.
+  std::vector<std::vector<Vertex>> old_residual(old_pairs.size() + 1);
+  old_residual[0].resize(n);
+  std::iota(old_residual[0].begin(), old_residual[0].end(), Vertex{0});
+  for (std::size_t j = 0; j < old_pairs.size(); ++j) {
+    std::vector<char> peeled(n, 0);
+    for (const Vertex u : old_pairs[j].b) peeled[u] = 1;
+    for (const Vertex u : old_pairs[j].c) peeled[u] = 1;
+    old_residual[j + 1].reserve(old_residual[j].size());
+    for (const Vertex u : old_residual[j]) {
+      if (!peeled[u]) old_residual[j + 1].push_back(u);
+    }
+  }
+
+  std::vector<BottleneckPair> new_pairs;
+  new_pairs.reserve(old_pairs.size());
+  std::vector<Rational> run_alphas;
+  std::vector<Vertex> remaining(n);
+  std::iota(remaining.begin(), remaining.end(), Vertex{0});
+  std::vector<char> in_remaining(n, 1);
+  int iterations = 0;
+  bool peeled_v = false;  // the edited vertex has left the residual
+  std::size_t stage_idx = 0;
+
+  // Cut-locality certificate state: the bottleneck pair of the component
+  // (path/cycle piece of the residual) containing v, solved on demand and
+  // cached while the component's vertex set is untouched by peels. Against
+  // it, an old pair P disjoint from v's component is provably still the
+  // stage's maximal bottleneck whenever P.α < α(comp(v)) — see the fast
+  // path below — and is emitted without any solve.
+  struct CompCache {
+    bool valid = false;
+    std::vector<Vertex> vertices;  ///< parent ids, sorted
+    std::vector<Vertex> b, c;      ///< comp's maximal bottleneck pair
+    Rational alpha;
+  } comp_cache;
+
+  // Residual-aware warm-λ oracle: the stage peels the globally smallest α,
+  // and every old pair that survives intact in the residual still attains
+  // its old α there — so the first old pair (they are sorted by α) whose
+  // vertices all remain un-peeled predicts the stage's α exactly whenever
+  // the stage re-peels an unmodified pair, even after the edit shifts the
+  // peel ORDER around v's pair. When the candidate is v's own pair its α is
+  // stale, which costs at most one extra Dinkelbach descent (or a cold
+  // restart on undershoot) for that one stage. A λ hint is only ever an
+  // accelerator: maximal_bottleneck's acceptance conditions pin the exact
+  // (α*, B) no matter the guess.
+  const auto warm_candidate = [&]() -> const Rational* {
+    for (const BottleneckPair& cand : old_pairs) {
+      bool inside = true;
+      for (const Vertex u : cand.b) {
+        if (!in_remaining[u]) {
+          inside = false;
+          break;
+        }
+      }
+      for (const Vertex u : cand.c) {
+        if (!inside) break;
+        if (!in_remaining[u]) inside = false;
+      }
+      if (inside) return &cand.alpha;
+    }
+    return nullptr;
+  };
+
+  while (!remaining.empty()) {
+    if (peeled_v && stage_idx < old_pairs.size() &&
+        remaining == old_residual[stage_idx]) {
+      // Certified tail splice: `remaining` is exactly the residual the
+      // previous peel had after the same number of stages, and the edited
+      // vertex is no longer in it — so every weight in the residual equals
+      // its previous value, and the decomposition restricted to a residual
+      // is a pure function of that weighted subgraph. The rest of the peel
+      // is the SAME subproblem the previous run already solved; splice its
+      // pairs verbatim.
+      outcome.spliced_stages = old_pairs.size() - stage_idx;
+      for (std::size_t i = stage_idx; i < old_pairs.size(); ++i) {
+        run_alphas.push_back(old_pairs[i].alpha);
+        new_pairs.push_back(std::move(old_pairs[i]));
+      }
+      remaining.clear();
+      break;
+    }
+
+    // Stage state: patch in place when this stage still starts from the same
+    // residual set, rebuild otherwise.
+    const bool whole = remaining.size() == n;
+    if (stage_idx < states_.size() && states_[stage_idx] != nullptr &&
+        states_[stage_idx]->remaining == remaining) {
+      StageState& st = *states_[stage_idx];
+      // The stored stage graph differs from the live one only at v (kept
+      // states reflect all previous edits — see the class invariant). When
+      // the residual no longer contains v (it was peeled earlier but the
+      // residual has not re-converged to the old one, so no splice fired),
+      // the stored stage graph is already current and there is nothing to
+      // patch.
+      if (st.whole || st.sub.from_parent[v].has_value()) {
+        const Vertex local = st.whole ? v : *st.sub.from_parent[v];
+        if (!st.whole) st.sub.graph.set_weight(local, graph_.weight(v));
+        if (st.structure) {
+          RingComponent& component =
+              st.structure->components[st.component_of[local]];
+          const Graph& stage_graph = st.whole ? graph_ : st.sub.graph;
+          stage_component_weights(stage_graph.weights(), component);
+        }
+      }
+    } else {
+      auto fresh = std::make_unique<StageState>();
+      fresh->remaining = remaining;
+      fresh->whole = whole;
+      if (!whole) fresh->sub = graph::induced_subgraph(graph_, remaining);
+      const Graph& stage_graph = whole ? graph_ : fresh->sub.graph;
+      fresh->structure = analyze_ring_structure(stage_graph);
+      if (fresh->structure) {
+        fresh->component_of.assign(stage_graph.vertex_count(), 0);
+        for (std::size_t ci = 0; ci < fresh->structure->components.size();
+             ++ci) {
+          for (const Vertex local : fresh->structure->components[ci].order)
+            fresh->component_of[local] = ci;
+        }
+      }
+      if (states_.size() <= stage_idx) states_.resize(stage_idx + 1);
+      states_[stage_idx] = std::move(fresh);
+    }
+    StageState& st = *states_[stage_idx];
+    const Graph& stage = st.whole ? graph_ : st.sub.graph;
+
+    if (stage.total_weight().is_zero()) {
+      // Degenerate all-zero remainder: same closing pair as the cold peel.
+      BottleneckPair pair;
+      pair.b = remaining;
+      pair.c = remaining;
+      pair.alpha = Rational(1);
+      new_pairs.push_back(std::move(pair));
+      remaining.clear();
+      break;
+    }
+
+    // Cut-locality stage skip. While v is un-peeled and the residual still
+    // positionally matches the old run, the live stage graph differs from
+    // the old one only at w_v, and w_v can only change cuts whose set or
+    // neighborhood touches v — all inside v's path/cycle component. Solve
+    // THAT component's bottleneck once (cached while peels leave the
+    // component untouched) and compare its α against the old stage pair
+    // P = old_pairs[stage_idx]:
+    //   * P disjoint from comp(v) and P.α < α(comp(v)): every cut touching
+    //     comp(v) has f(S) = w(Γ(S)) − P.α·w(S) > 0 strictly, every other
+    //     cut is unchanged from the old stage, so the maximal minimizer at
+    //     λ = P.α is exactly the old one — emit P verbatim, no solve.
+    //   * α(comp(v)) < P.α: cuts outside comp(v) are unchanged and were
+    //     ≥ P.α in the old stage, so at λ = α(comp(v)) they are strictly
+    //     positive and the stage's maximal bottleneck is the component's —
+    //     emit it; only the (much smaller) component was solved.
+    //   * ties fall through to the full stage solve.
+    // Strictness of both comparisons needs every residual weight positive
+    // (zero-weight sets have weight-0 neighborhoods join maximal minimizers
+    // for free), so the path is gated on a zero-free residual; it is also
+    // skipped when comp(v) spans the whole stage (the component solve would
+    // BE the stage solve).
+    if (!peeled_v && stage_idx < old_pairs.size() &&
+        remaining == old_residual[stage_idx] && st.structure &&
+        !st.component_of.empty()) {
+      bool zero_free = true;
+      for (const Vertex u : remaining) {
+        if (graph_.weight(u).is_zero()) {
+          zero_free = false;
+          break;
+        }
+      }
+      const Vertex local_v = st.whole ? v : *st.sub.from_parent[v];
+      const RingComponent& comp =
+          st.structure->components[st.component_of[local_v]];
+      if (zero_free && comp.order.size() < remaining.size()) {
+        std::vector<Vertex> comp_vertices;
+        comp_vertices.reserve(comp.order.size());
+        for (const Vertex local : comp.order)
+          comp_vertices.push_back(st.whole ? local : st.sub.to_parent[local]);
+        std::sort(comp_vertices.begin(), comp_vertices.end());
+        if (!comp_cache.valid || comp_cache.vertices != comp_vertices) {
+          // Warm the component solve from the smallest-α old pair that lies
+          // fully inside the component and avoids v: such a pair is a live
+          // cut of the component under CURRENT weights, so its α is an
+          // upper bound on the component's α* — the Dinkelbach descent from
+          // it can never undershoot into a cold restart. (Pairs touching v
+          // have stale α that may sit below the new α*.)
+          const auto in_comp_vertices = [&](Vertex u) {
+            return std::binary_search(comp_vertices.begin(),
+                                      comp_vertices.end(), u);
+          };
+          const Rational* comp_warm = nullptr;
+          for (std::size_t j = stage_idx;
+               j < old_pairs.size() && comp_warm == nullptr; ++j) {
+            bool usable = true;
+            for (const Vertex u : old_pairs[j].b) {
+              if (u == v || !in_comp_vertices(u)) {
+                usable = false;
+                break;
+              }
+            }
+            for (const Vertex u : old_pairs[j].c) {
+              if (!usable) break;
+              if (u == v || !in_comp_vertices(u)) usable = false;
+            }
+            if (usable) comp_warm = &old_pairs[j].alpha;
+          }
+          if (!config.warm_start) comp_warm = nullptr;
+          // The solve runs the per-component DP on the stage's existing
+          // structure: no induced subgraph, no re-analysis, no re-staging.
+          const ComponentBottleneck comp_result = component_bottleneck(
+              stage, *st.structure, st.component_of[local_v], comp_warm);
+          iterations += comp_result.iterations;
+          comp_cache.b.clear();
+          comp_cache.b.reserve(comp_result.bottleneck.size());
+          for (const Vertex local : comp_result.bottleneck)
+            comp_cache.b.push_back(st.whole ? local : st.sub.to_parent[local]);
+          const std::vector<Vertex> comp_c =
+              stage.neighborhood(comp_result.bottleneck);
+          comp_cache.c.clear();
+          comp_cache.c.reserve(comp_c.size());
+          for (const Vertex local : comp_c)
+            comp_cache.c.push_back(st.whole ? local : st.sub.to_parent[local]);
+          comp_cache.alpha = comp_result.alpha;
+          comp_cache.vertices = std::move(comp_vertices);
+          comp_cache.valid = true;
+        }
+        const BottleneckPair& cand = old_pairs[stage_idx];
+        const auto in_comp = [&](Vertex u) {
+          return std::binary_search(comp_cache.vertices.begin(),
+                                    comp_cache.vertices.end(), u);
+        };
+        bool disjoint = true;
+        for (const Vertex u : cand.b) {
+          if (in_comp(u)) {
+            disjoint = false;
+            break;
+          }
+        }
+        for (const Vertex u : cand.c) {
+          if (!disjoint) break;
+          if (in_comp(u)) disjoint = false;
+        }
+        BottleneckPair pair;
+        bool emitted = false;
+        if (disjoint && cand.alpha < comp_cache.alpha) {
+          pair = cand;  // old_pairs stays intact for the tail splice
+          ++outcome.spliced_stages;
+          emitted = true;
+        } else if (comp_cache.alpha < cand.alpha) {
+          pair.b = comp_cache.b;
+          pair.c = comp_cache.c;
+          pair.alpha = comp_cache.alpha;
+          ++outcome.resolved_stages;  // the component solve produced it
+          comp_cache.valid = false;   // this peel cuts into the component
+          emitted = true;
+        }
+        if (emitted) {
+          run_alphas.push_back(pair.alpha);
+          if (std::binary_search(pair.b.begin(), pair.b.end(), v) ||
+              std::binary_search(pair.c.begin(), pair.c.end(), v))
+            peeled_v = true;
+          for (const Vertex u : pair.b) in_remaining[u] = 0;
+          for (const Vertex u : pair.c) in_remaining[u] = 0;
+          std::vector<Vertex> next;
+          next.reserve(remaining.size());
+          for (const Vertex u : remaining) {
+            if (in_remaining[u]) next.push_back(u);
+          }
+          new_pairs.push_back(std::move(pair));
+          remaining = std::move(next);
+          ++stage_idx;
+          continue;
+        }
+      }
+    }
+
+    BottleneckOptions options;
+    if (config.warm_start) options.warm_lambda = warm_candidate();
+    if (config.flow_arena) {
+      while (hints_.arenas.size() <= stage_idx)
+        hints_.arenas.push_back(std::make_unique<FlowArena>());
+      options.arena = hints_.arenas[stage_idx].get();
+    }
+    if (st.structure) {
+      options.ring_structure = &*st.structure;
+      options.kernel_state = &st.kernel;
+    }
+
+    const std::uint64_t patched_before = st.kernel.patched_evals();
+    const BottleneckResult result = maximal_bottleneck(stage, options);
+    iterations += result.dinkelbach_iterations;
+    ++outcome.resolved_stages;
+    if (st.kernel.patched_evals() > patched_before) ++outcome.patched_stages;
+    st.alpha = result.alpha;
+    st.has_alpha = true;
+    run_alphas.push_back(result.alpha);
+
+    BottleneckPair pair;
+    pair.b.reserve(result.bottleneck.size());
+    for (const Vertex local : result.bottleneck)
+      pair.b.push_back(st.whole ? local : st.sub.to_parent[local]);
+    const std::vector<Vertex> local_c = stage.neighborhood(result.bottleneck);
+    pair.c.reserve(local_c.size());
+    for (const Vertex local : local_c)
+      pair.c.push_back(st.whole ? local : st.sub.to_parent[local]);
+    pair.alpha = result.alpha;
+
+    if (!peeled_v &&
+        (std::binary_search(pair.b.begin(), pair.b.end(), v) ||
+         std::binary_search(pair.c.begin(), pair.c.end(), v)))
+      peeled_v = true;
+
+    for (const Vertex u : pair.b) in_remaining[u] = 0;
+    for (const Vertex u : pair.c) in_remaining[u] = 0;
+    std::vector<Vertex> next;
+    next.reserve(remaining.size());
+    for (const Vertex u : remaining) {
+      if (in_remaining[u]) next.push_back(u);
+    }
+    new_pairs.push_back(std::move(pair));
+    remaining = std::move(next);
+    ++stage_idx;
+  }
+
+  hints_.warm_alphas = std::move(run_alphas);
+  decomposition_.emplace(graph_, std::move(new_pairs), iterations);
+  truncate_states();
+  outcome.stages = decomposition_->pair_count();
+
+  if (outcome.spliced_stages > 0 || outcome.patched_stages > 0) {
+    count_hit();
+  } else {
+    count_fallback();
+  }
+  count_patched_stages(outcome.spliced_stages + outcome.patched_stages);
+
+  if (config.cross_check_delta) {
+    const Decomposition oracle(graph_);
+    const std::vector<BottleneckPair>& got = decomposition_->pairs();
+    const std::vector<BottleneckPair>& want = oracle.pairs();
+    bool agree = got.size() == want.size();
+    for (std::size_t i = 0; agree && i < got.size(); ++i) {
+      agree = got[i].b == want[i].b && got[i].c == want[i].c &&
+              got[i].alpha == want[i].alpha;
+    }
+    if (!agree) {
+      throw std::logic_error(
+          "delta decomposition disagrees with full recompute after editing "
+          "vertex " +
+          std::to_string(v) + ":\ndelta:\n" + decomposition_->to_string() +
+          "full:\n" + oracle.to_string());
+    }
+  }
+
+  return outcome;
+}
+
+}  // namespace ringshare::bd

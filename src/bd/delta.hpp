@@ -1,0 +1,128 @@
+// delta.hpp — delta-update engine for the bottleneck decomposition.
+//
+// Epoch-streaming workloads (weights drift, agents re-allocate every epoch)
+// edit ONE weight at a time; recomputing the full decomposition per edit
+// throws away almost everything the previous solve established. DeltaSolver
+// keeps the solved decomposition plus per-stage warm state and recomputes
+// only what a single edit `w_v := w_v'` can reach, under three certified
+// reuse mechanisms — each with a proof-or-fallback shape, so the result is
+// bit-identical to a cold `Decomposition(g)` in every case:
+//
+//   1. Stage-state reuse. The peel loop's stage i works on the subgraph
+//      induced by the residual vertex set R_i, which is a pure function of
+//      the pairs peeled at stages < i. While the newly peeled prefix matches
+//      the stored one, the stored stage state (induced subgraph, ring
+//      structure, kernel DP rows) is for the SAME vertex set, so it is
+//      patched in place — the edited vertex's weight is written into the
+//      stored stage graph and only its path/cycle component is re-staged —
+//      instead of rebuilt. Any mismatch rebuilds the state from scratch.
+//
+//   2. Kernel F/G row patch. Each stage solve warm-starts Dinkelbach from
+//      the stage's previous α* and evaluates through
+//      kernel_maximal_minimizer_delta: when λ is unchanged since the stored
+//      rows (the common case — a warm hit re-evaluates at exactly the old
+//      α*) and the staged integer weights differ in at most one position,
+//      only the F rows at/after and the G rows at/before the edit are
+//      recomputed (ring_kernel.hpp documents why the rest are bit-identical).
+//
+//   3. Certified tail splice. Once (a) the edited vertex has been peeled
+//      AND (b) the residual vertex set equals — by value — the residual the
+//      previous peel had after the same number of stages, the remaining
+//      peel is a subproblem on the same vertex set with ALL weights equal
+//      to the previous run's: the only changed weight is gone. The
+//      decomposition is a pure function of that weighted subgraph, so the
+//      previous run's remaining pairs are spliced verbatim, ending the peel
+//      loop without solving anything. Comparing residual SETS (not the
+//      positional pair prefix) makes the splice robust to peel-order
+//      shifts: an edit that moves v's pair earlier or later in the α order
+//      permutes the sequence around it, but the residual re-converges once
+//      the same union of vertices has been peeled.
+//
+//   4. Cut-locality stage skip. While v is still in the residual and the
+//      peel positionally matches the old run, the stage graph differs from
+//      the old one only at w_v — and w_v can only affect cuts whose set or
+//      neighborhood touches v, all confined to v's path/cycle component.
+//      The component's own bottleneck α (one small solve, cached while
+//      peels leave the component untouched) certifies the old stage pair:
+//      when the old pair is disjoint from the component and its α is
+//      strictly below the component's, it is still the stage's maximal
+//      bottleneck and is emitted with NO solve; when the component's α is
+//      strictly smaller, the component's bottleneck IS the stage's and only
+//      the component was solved. Ties, zero-weight residuals, and
+//      whole-stage components fall back to the full stage solve.
+//
+// `HotPathConfig::delta_updates` turns the whole path off (every update then
+// runs a full decomposition, counted as a fallback);
+// `HotPathConfig::cross_check_delta` runs a from-scratch decomposition after
+// EVERY update and throws std::logic_error on any stage disagreement.
+// Counters: delta_hits / delta_fallbacks / delta_patched_stages
+// (util/perf_counters.hpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "bd/ring_kernel.hpp"
+#include "graph/graph.hpp"
+
+namespace ringshare::bd {
+
+/// What one update_weight call did (observability; the decomposition itself
+/// is bit-identical no matter which path ran).
+struct DeltaOutcome {
+  /// False when the update ran as a plain full decomposition (delta_updates
+  /// off); true when the delta peel executed (its stages may still all have
+  /// re-solved — see the counters below).
+  bool delta_path = false;
+  std::size_t stages = 0;           ///< pairs in the updated decomposition
+  std::size_t resolved_stages = 0;  ///< stages that ran a Dinkelbach solve
+  std::size_t spliced_stages = 0;   ///< stages reused verbatim (tail splice
+                                    ///< + cut-locality skip)
+  std::size_t patched_stages = 0;   ///< re-solved stages served by F/G patch
+};
+
+/// A bottleneck decomposition that accepts single-weight edits.
+///
+/// Not thread-safe: one DeltaSolver per concurrent edit stream (the serving
+/// layer keys sessions by instance). The accessible decomposition is always
+/// the exact decomposition of the current graph.
+class DeltaSolver {
+ public:
+  /// Solves the initial instance in full.
+  explicit DeltaSolver(Graph g);
+  ~DeltaSolver();
+  DeltaSolver(DeltaSolver&&) noexcept;
+  DeltaSolver& operator=(DeltaSolver&&) noexcept;
+  DeltaSolver(const DeltaSolver&) = delete;
+  DeltaSolver& operator=(const DeltaSolver&) = delete;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Decomposition& decomposition() const noexcept {
+    return *decomposition_;
+  }
+
+  /// Apply `w_v := weight` and bring the decomposition up to date through
+  /// the delta path. Throws std::out_of_range on a bad vertex and
+  /// std::invalid_argument on a negative weight (the graph is unchanged in
+  /// both cases).
+  DeltaOutcome update_weight(Vertex v, Rational weight);
+
+ private:
+  struct StageState;
+
+  /// Full from-scratch solve (the fallback and the constructor path).
+  void full_solve();
+  /// Drop stage states beyond the current decomposition's stage count; the
+  /// kept prefix provably reflects the current weights (see update_weight).
+  void truncate_states();
+
+  Graph graph_;
+  std::optional<Decomposition> decomposition_;
+  DecomposeHints hints_;
+  std::vector<std::unique_ptr<StageState>> states_;
+};
+
+}  // namespace ringshare::bd

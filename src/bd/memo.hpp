@@ -83,6 +83,18 @@ struct HotPathConfig {
   /// oracle-served signature(t) call and throw std::logic_error on any
   /// disagreement (differential testing; expensive).
   bool cross_check_signature_oracle = false;
+  /// Serve single-weight edits through the delta engine (bd/delta.hpp):
+  /// stage states whose peel prefix is unchanged are patched in place, the
+  /// kernel's F/G rows are patched at one position, and once the edited
+  /// vertex is peeled on an unchanged prefix the remaining stages are
+  /// spliced verbatim from the previous decomposition. Off = every
+  /// DeltaSolver::update_weight runs a full decomposition (counted as a
+  /// fallback).
+  bool delta_updates = true;
+  /// Run a full from-scratch Decomposition after EVERY delta update and
+  /// throw std::logic_error if any stage's (B, C, α) differs (lockstep
+  /// oracle; expensive).
+  bool cross_check_delta = false;
 };
 
 /// The live configuration (mutable singleton).

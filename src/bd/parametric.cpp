@@ -186,9 +186,17 @@ BottleneckResult maximal_bottleneck(const Graph& g,
   if (n == 0) throw std::invalid_argument("maximal_bottleneck: empty graph");
 
   const HotPathConfig& config = hot_path_config();
-  std::optional<RingStructure> structure;
-  if (config.ring_kernel) structure = analyze_ring_structure(g);
-  const bool use_kernel = structure.has_value();
+  std::optional<RingStructure> local_structure;
+  const RingStructure* structure = nullptr;
+  if (config.ring_kernel) {
+    if (options.ring_structure != nullptr) {
+      structure = options.ring_structure;
+    } else {
+      local_structure = analyze_ring_structure(g);
+      if (local_structure) structure = &*local_structure;
+    }
+  }
+  const bool use_kernel = structure != nullptr;
   const bool cross_check = use_kernel && config.cross_check_kernel;
 
   FlowArena local_arena;
@@ -204,7 +212,11 @@ BottleneckResult maximal_bottleneck(const Graph& g,
     if (use_kernel) {
       util::ScopedPhase kernel_phase(util::Phase::kRingKernel);
       count_kernel_eval();
-      kernel_set = kernel_maximal_minimizer(g, *structure, lambda);
+      kernel_set =
+          options.kernel_state != nullptr
+              ? kernel_maximal_minimizer_delta(g, *structure, lambda,
+                                               *options.kernel_state)
+              : kernel_maximal_minimizer(g, *structure, lambda);
       if (!cross_check) return kernel_set;
     }
     // Incremental reuse only pays for itself above a size threshold: on

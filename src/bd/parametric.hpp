@@ -53,11 +53,24 @@ struct FlowArena {
   bool valid = false;
 };
 
-/// Optional accelerators for maximal_bottleneck. Both are pure speed hints:
+struct RingStructure;
+class KernelDeltaState;
+
+/// Optional accelerators for maximal_bottleneck. All are pure speed hints:
 /// results are bit-identical with or without them.
 struct BottleneckOptions {
   const Rational* warm_lambda = nullptr;  ///< λ* of an adjacent instance
   FlowArena* arena = nullptr;             ///< reusable network storage
+  /// Pre-analyzed ring structure for exactly `g` with its CURRENT weights
+  /// (analyze_ring_structure result, possibly re-staged via
+  /// stage_component_weights). Skips the per-call analysis; ignored when the
+  /// ring kernel is disabled.
+  const RingStructure* ring_structure = nullptr;
+  /// Persistent kernel DP state (bd/delta.hpp): kernel evaluations run
+  /// through kernel_maximal_minimizer_delta, enabling the one-position F/G
+  /// row patch across solves at an unchanged λ. Ignored when the kernel
+  /// doesn't apply.
+  KernelDeltaState* kernel_state = nullptr;
 };
 
 /// Compute the maximal bottleneck of `g` exactly.

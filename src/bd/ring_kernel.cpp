@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 #include <utility>
+
+#include "util/perf_counters.hpp"
 
 namespace ringshare::bd {
 
@@ -75,13 +78,22 @@ void take_min(V& slot, bool& has, V value) {
   }
 }
 
-/// One constrained chain: positions 0..k−1 with weights `w`, precomputed
-/// λ·w in `lw`, fictitious outside neighbors `left_virtual` (of position 0)
-/// and `right_virtual` (of position k−1), and optional forced values for
-/// s_0 / s_{k−1} (−1 = free). Minimizes
+/// Boundary parameters of one constrained chain: fictitious outside
+/// neighbors of position 0 / position k−1 and optional forced values for
+/// s_0 / s_{k−1} (−1 = free). A path is the single free chain
+/// {0, 0, −1, −1}; each of a cycle's four (a, b) = (s_0, s_{k−1}) combos is
+/// {b, a, a, b}.
+struct ChainSpec {
+  int left_virtual = 0;
+  int right_virtual = 0;
+  int force_first = -1;
+  int force_last = -1;
+};
+
+/// The chain DP minimizes
 ///   Σ_i w_i·[s_{i−1} ∨ s_{i+1}]  −  λ Σ_i w_i·s_i
-/// and folds the chain minimum into `best` and the per-position
-/// pinned-to-1 minima into `with_one`.
+/// over s_0..s_{k−1} subject to `spec`, with `w` the staged weights and `lw`
+/// the precomputed λ·w.
 ///
 /// F[j][(x,y)] = min over s_0..s_j with (s_{j−1}, s_j) = (x, y) of the
 ///   −λ-terms for i ≤ j plus the Γ-terms for i ≤ j−1;
@@ -89,91 +101,119 @@ void take_min(V& slot, bool& has, V value) {
 ///   the Γ-terms for i ≥ j plus the −λ-terms for i > j.
 /// The partition is exact, so F[j] + G[j] is the full objective with the
 /// pair (s_{j−1}, s_j) pinned, minimized over everything else.
+///
+/// The transitions are split into per-row steps so the delta path
+/// (kernel_maximal_minimizer_delta) can recompute only the rows a single
+/// edited position can reach: F[j] reads w[j−1], lw[j], and row j−1 only,
+/// and G[j] reads w[j], lw[j+1], and row j+1 only, so an edit at position e
+/// leaves F rows < e and G rows > e bit-identical.
+
+/// F row 0.
 template <typename V>
-void solve_chain(const V* w, const V* lw, V* F, V* G, std::uint8_t* f_mask,
-                 std::uint8_t* g_mask, std::size_t k, int left_virtual,
-                 int right_virtual, int force_first, int force_last, V& best,
-                 bool& has_best, V* with_one, std::uint8_t* has_with_one) {
+void f_init_row(const V* lw, V* F, std::uint8_t* f_mask, std::size_t k,
+                const ChainSpec& spec) {
   f_mask[0] = 0;
   for (int y = 0; y < 2; ++y) {
-    if (force_first >= 0 && y != force_first) continue;
-    if (k == 1 && force_last >= 0 && y != force_last) continue;
-    const int s = state(left_virtual, y);
+    if (spec.force_first >= 0 && y != spec.force_first) continue;
+    if (k == 1 && spec.force_last >= 0 && y != spec.force_last) continue;
+    const int s = state(spec.left_virtual, y);
     F[s] = y ? -lw[0] : V(0);
     f_mask[0] = static_cast<std::uint8_t>(f_mask[0] | (1u << s));
   }
-  for (std::size_t j = 1; j < k; ++j) {
-    V* row = F + 4 * j;
-    const V* prev = row - 4;
-    const std::uint8_t pm = f_mask[j - 1];
-    const bool z0_ok = !(j == k - 1 && force_last == 1);
-    const bool z1_ok = !(j == k - 1 && force_last == 0);
-    // Shared across y when s_j = 1: the Γ-term at i = j−1 plus the −λ-term.
-    const V gain = w[j - 1] - lw[j];
-    std::uint8_t m = 0;
-    for (int y = 0; y < 2; ++y) {
-      const bool v0 = (pm >> state(0, y)) & 1u;
-      const bool v1 = (pm >> state(1, y)) & 1u;
-      if (!v0 && !v1) continue;
-      const V& a0 = prev[state(0, y)];
-      const V& a1 = prev[state(1, y)];
-      if (z0_ok) {
-        // s_j = 0: the Γ-term at i = j−1 fires only when s_{j−2} = 1.
-        V r = v1 ? a1 + w[j - 1] : a0;
-        if (v0 && v1 && a0 < r) r = a0;
-        row[state(y, 0)] = std::move(r);
-        m = static_cast<std::uint8_t>(m | (1u << state(y, 0)));
-      }
-      if (z1_ok) {
-        // s_j = 1: the Γ-term fires regardless, so take the cheaper x.
-        const V& base = (!v1 || (v0 && a0 < a1)) ? a0 : a1;
-        row[state(y, 1)] = base + gain;
-        m = static_cast<std::uint8_t>(m | (1u << state(y, 1)));
-      }
-    }
-    f_mask[j] = m;
-  }
+}
 
+/// F row j (1 ≤ j ≤ k−1) from row j−1; reads w[j−1] and lw[j].
+template <typename V>
+void f_step_row(const V* w, const V* lw, V* F, std::uint8_t* f_mask,
+                std::size_t j, std::size_t k, const ChainSpec& spec) {
+  V* row = F + 4 * j;
+  const V* prev = row - 4;
+  const std::uint8_t pm = f_mask[j - 1];
+  const bool z0_ok = !(j == k - 1 && spec.force_last == 1);
+  const bool z1_ok = !(j == k - 1 && spec.force_last == 0);
+  // Shared across y when s_j = 1: the Γ-term at i = j−1 plus the −λ-term.
+  const V gain = w[j - 1] - lw[j];
+  std::uint8_t m = 0;
+  for (int y = 0; y < 2; ++y) {
+    const bool v0 = (pm >> state(0, y)) & 1u;
+    const bool v1 = (pm >> state(1, y)) & 1u;
+    if (!v0 && !v1) continue;
+    const V& a0 = prev[state(0, y)];
+    const V& a1 = prev[state(1, y)];
+    if (z0_ok) {
+      // s_j = 0: the Γ-term at i = j−1 fires only when s_{j−2} = 1.
+      V r = v1 ? a1 + w[j - 1] : a0;
+      if (v0 && v1 && a0 < r) r = a0;
+      row[state(y, 0)] = std::move(r);
+      m = static_cast<std::uint8_t>(m | (1u << state(y, 0)));
+    }
+    if (z1_ok) {
+      // s_j = 1: the Γ-term fires regardless, so take the cheaper x.
+      const V& base = (!v1 || (v0 && a0 < a1)) ? a0 : a1;
+      row[state(y, 1)] = base + gain;
+      m = static_cast<std::uint8_t>(m | (1u << state(y, 1)));
+    }
+  }
+  f_mask[j] = m;
+}
+
+/// G row k−1; reads w[k−1].
+template <typename V>
+void g_init_row(const V* w, V* G, std::uint8_t* g_mask, std::size_t k,
+                const ChainSpec& spec) {
   g_mask[k - 1] = 0;
   for (int x = 0; x < 2; ++x) {
     for (int y = 0; y < 2; ++y) {
-      if (force_last >= 0 && y != force_last) continue;
+      if (spec.force_last >= 0 && y != spec.force_last) continue;
       const int s = state(x, y);
-      G[4 * (k - 1) + s] = (x | right_virtual) != 0 ? w[k - 1] : V(0);
+      G[4 * (k - 1) + s] = (x | spec.right_virtual) != 0 ? w[k - 1] : V(0);
       g_mask[k - 1] = static_cast<std::uint8_t>(g_mask[k - 1] | (1u << s));
     }
   }
-  for (std::size_t j = k - 1; j-- > 0;) {
-    V* row = G + 4 * j;
-    const V* next = row + 4;
-    const std::uint8_t nm = g_mask[j + 1];
-    std::uint8_t m = 0;
-    for (int y = 0; y < 2; ++y) {
-      const bool v0 = (nm >> state(y, 0)) & 1u;
-      const bool v1 = (nm >> state(y, 1)) & 1u;
-      if (!v0 && !v1) continue;
-      const V& b0 = next[state(y, 0)];
-      // s_{j+1} = 1 makes the Γ-term at i = j fire for either x, and adds
-      // its own −λ-term.
-      V u(0);
-      if (v1) u = next[state(y, 1)] - lw[j + 1];
-      // x = 0: the Γ-term at i = j fires only via s_{j+1}.
-      {
-        V r = v1 ? u + w[j] : b0;
-        if (v0 && v1 && b0 < r) r = b0;
-        row[state(0, y)] = std::move(r);
-      }
-      // x = 1: the Γ-term at i = j always fires.
-      {
-        const V& base = (!v1 || (v0 && b0 < u)) ? b0 : u;
-        row[state(1, y)] = base + w[j];
-      }
-      m = static_cast<std::uint8_t>(m | (1u << state(0, y)) |
-                                    (1u << state(1, y)));
-    }
-    g_mask[j] = m;
-  }
+}
 
+/// G row j (0 ≤ j ≤ k−2) from row j+1; reads w[j] and lw[j+1].
+template <typename V>
+void g_step_row(const V* w, const V* lw, V* G, std::uint8_t* g_mask,
+                std::size_t j) {
+  V* row = G + 4 * j;
+  const V* next = row + 4;
+  const std::uint8_t nm = g_mask[j + 1];
+  std::uint8_t m = 0;
+  for (int y = 0; y < 2; ++y) {
+    const bool v0 = (nm >> state(y, 0)) & 1u;
+    const bool v1 = (nm >> state(y, 1)) & 1u;
+    if (!v0 && !v1) continue;
+    const V& b0 = next[state(y, 0)];
+    // s_{j+1} = 1 makes the Γ-term at i = j fire for either x, and adds
+    // its own −λ-term.
+    V u(0);
+    if (v1) u = next[state(y, 1)] - lw[j + 1];
+    // x = 0: the Γ-term at i = j fires only via s_{j+1}.
+    {
+      V r = v1 ? u + w[j] : b0;
+      if (v0 && v1 && b0 < r) r = b0;
+      row[state(0, y)] = std::move(r);
+    }
+    // x = 1: the Γ-term at i = j always fires.
+    {
+      const V& base = (!v1 || (v0 && b0 < u)) ? b0 : u;
+      row[state(1, y)] = base + w[j];
+    }
+    m = static_cast<std::uint8_t>(m | (1u << state(0, y)) |
+                                  (1u << state(1, y)));
+  }
+  g_mask[j] = m;
+}
+
+/// Fold one chain's finished F/G rows into the accumulators: the chain
+/// minimum into `best` (via j = 0) and the per-position pinned-to-1 minima
+/// into `with_one`.
+template <typename V>
+void aggregate_rows(const V* F, const V* G, const std::uint8_t* f_mask,
+                    const std::uint8_t* g_mask, std::size_t k, V& best,
+                    bool& has_best, V* with_one,
+                    std::uint8_t* has_with_one) {
   for (std::size_t j = 0; j < k; ++j) {
     const std::uint8_t m = static_cast<std::uint8_t>(f_mask[j] & g_mask[j]);
     const V* f = F + 4 * j;
@@ -193,6 +233,21 @@ void solve_chain(const V* w, const V* lw, V* F, V* G, std::uint8_t* f_mask,
       }
     }
   }
+}
+
+/// One full constrained-chain solve: all F rows forward, all G rows
+/// backward, then the aggregation fold.
+template <typename V>
+void solve_chain(const V* w, const V* lw, V* F, V* G, std::uint8_t* f_mask,
+                 std::uint8_t* g_mask, std::size_t k, const ChainSpec& spec,
+                 V& best, bool& has_best, V* with_one,
+                 std::uint8_t* has_with_one) {
+  f_init_row(lw, F, f_mask, k, spec);
+  for (std::size_t j = 1; j < k; ++j) f_step_row(w, lw, F, f_mask, j, k, spec);
+  g_init_row(w, G, g_mask, k, spec);
+  for (std::size_t j = k - 1; j-- > 0;) g_step_row(w, lw, G, g_mask, j);
+  aggregate_rows(F, G, f_mask, g_mask, k, best, has_best, with_one,
+                 has_with_one);
 }
 
 /// Stage a component's weights as integers w·D for the shared denominator
@@ -266,16 +321,16 @@ void run_component(const RingComponent& component, Workspace& ws, const V* w,
   const std::size_t k = component.order.size();
   if (!component.cycle) {
     solve_chain(w, lw, F, G, ws.f_mask.data(), ws.g_mask.data(), k,
-                /*left_virtual=*/0, /*right_virtual=*/0, -1, -1, best,
-                ws.has_best, with_one, ws.has_with_one.data());
+                ChainSpec{}, best, ws.has_best, with_one,
+                ws.has_with_one.data());
     return;
   }
   for (int a = 0; a < 2; ++a)
     for (int b = 0; b < 2; ++b)
       solve_chain(w, lw, F, G, ws.f_mask.data(), ws.g_mask.data(), k,
-                  /*left_virtual=*/b, /*right_virtual=*/a,
-                  /*force_first=*/a, /*force_last=*/b, best, ws.has_best,
-                  with_one, ws.has_with_one.data());
+                  ChainSpec{/*left_virtual=*/b, /*right_virtual=*/a,
+                            /*force_first=*/a, /*force_last=*/b},
+                  best, ws.has_best, with_one, ws.has_with_one.data());
 }
 
 /// Append the component's share of the maximal minimizer (original vertex
@@ -367,6 +422,299 @@ std::vector<Vertex> kernel_maximal_minimizer(const Graph& g,
   std::vector<Vertex> out;
   for (const RingComponent& component : structure.components)
     solve_component(component, lambda, lambda_ok, p, q, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ComponentBottleneck component_bottleneck(const Graph& g,
+                                         const RingStructure& structure,
+                                         std::size_t comp_index,
+                                         const Rational* warm_lambda) {
+  const RingComponent& component = structure.components[comp_index];
+
+  // One maximal-minimizer evaluation restricted to the component.
+  const auto evaluate = [&](const Rational& lambda) -> std::vector<Vertex> {
+    util::PerfCounters::local().ring_kernel_evals.fetch_add(
+        1, std::memory_order_relaxed);
+    bool lambda_ok = false;
+    std::int64_t p = 0, q = 1;
+    if (lambda.numerator().fits_int64() && lambda.denominator().fits_int64()) {
+      p = lambda.numerator().to_int64();
+      q = lambda.denominator().to_int64();
+      lambda_ok = p < kMaxMagnitude && p > -kMaxMagnitude && q < kMaxMagnitude;
+    }
+    std::vector<Vertex> out;
+    solve_component(component, lambda, lambda_ok, p, q, out);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // Cold start: the best single-vertex ratio inside the component — an
+  // attained α(S), hence ≥ α*.
+  const auto cold_bound = [&]() -> Rational {
+    bool found = false;
+    Rational lambda;
+    for (const Vertex v : component.order) {
+      if (g.weight(v).is_zero()) continue;
+      Rational candidate = g.set_weight(g.neighbors(v)) / g.weight(v);
+      if (!found || candidate < lambda) {
+        lambda = std::move(candidate);
+        found = true;
+      }
+    }
+    if (!found)
+      throw std::logic_error("component_bottleneck: zero-weight component");
+    return lambda;
+  };
+
+  // The same Dinkelbach acceptance loop as maximal_bottleneck, over the
+  // component's cuts only (they never leave the component).
+  bool warm = false;
+  Rational lambda;
+  if (warm_lambda != nullptr && !warm_lambda->is_negative()) {
+    lambda = *warm_lambda;
+    warm = true;
+  } else {
+    lambda = cold_bound();
+  }
+
+  ComponentBottleneck result;
+  for (;;) {
+    ++result.iterations;
+    std::vector<Vertex> candidate = evaluate(lambda);
+    const Rational set_w =
+        candidate.empty() ? Rational(0) : g.set_weight(candidate);
+    if (candidate.empty() || set_w.is_zero()) {
+      if (warm) {
+        warm = false;
+        lambda = cold_bound();
+        continue;
+      }
+      throw std::logic_error(
+          candidate.empty()
+              ? "component_bottleneck: empty maximal minimizer"
+              : "component_bottleneck: zero-weight minimizer");
+    }
+    const Rational nbhd_w = g.set_weight(g.neighborhood(candidate));
+    const Rational value = nbhd_w - lambda * set_w;
+    if (value.sign() >= 0) {
+      result.alpha = std::move(lambda);
+      result.bottleneck = std::move(candidate);
+      return result;
+    }
+    warm = false;
+    lambda = nbhd_w / set_w;
+  }
+}
+
+namespace {
+
+/// Chain spec of combo `c` for a component: paths run the single free chain
+/// (combo 0); a cycle's combos enumerate (a, b) = (s_0, s_{k−1}) as
+/// c = a·2 + b, matching run_component's iteration order.
+ChainSpec combo_spec(bool cycle, std::size_t c) {
+  if (!cycle) return ChainSpec{};
+  const int a = static_cast<int>(c >> 1);
+  const int b = static_cast<int>(c & 1);
+  return ChainSpec{/*left_virtual=*/b, /*right_virtual=*/a,
+                   /*force_first=*/a, /*force_last=*/b};
+}
+
+}  // namespace
+
+/// Captured DP rows of the last evaluation, one entry per component, plus
+/// the λ they were computed at. Rows live in the __int128 staged tier only —
+/// BigInt components run through the plain workspace path and stay invalid.
+struct KernelDeltaState::Impl {
+  struct Component {
+    bool valid = false;
+    bool cycle = false;
+    std::size_t k = 0;
+    std::vector<std::int64_t> staged_w;  ///< staging snapshot (w·D)
+    std::vector<Int> wi, lwi;            ///< staged·q / staged·p
+    std::vector<std::vector<Int>> F, G;  ///< per-combo rows, 4·k values each
+    std::vector<std::vector<std::uint8_t>> f_mask, g_mask;
+    std::vector<Vertex> members;  ///< this component's minimizer share
+  };
+
+  bool valid = false;  ///< lambda/p/q below describe the captured rows
+  Rational lambda;
+  std::int64_t p = 0;
+  std::int64_t q = 1;
+  std::vector<Component> components;
+  std::uint64_t patched_evals = 0;
+
+  // Per-component aggregation scratch, reused across evaluations.
+  std::vector<Int> with_one;
+  std::vector<std::uint8_t> has_with_one;
+
+  /// Full evaluation of one component into its captured rows.
+  void run_full(const RingComponent& component, Component& cs,
+                std::int64_t new_p, std::int64_t new_q, Int& best,
+                bool& has_best) {
+    const std::size_t k = component.order.size();
+    cs.cycle = component.cycle;
+    cs.k = k;
+    cs.staged_w = component.scaled_w;
+    cs.wi.resize(k);
+    cs.lwi.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      cs.wi[i] = Int(component.scaled_w[i]) * new_q;
+      cs.lwi[i] = Int(component.scaled_w[i]) * new_p;
+    }
+    const std::size_t combos = component.cycle ? 4 : 1;
+    cs.F.resize(combos);
+    cs.G.resize(combos);
+    cs.f_mask.resize(combos);
+    cs.g_mask.resize(combos);
+    for (std::size_t c = 0; c < combos; ++c) {
+      cs.F[c].resize(4 * k);
+      cs.G[c].resize(4 * k);
+      cs.f_mask[c].resize(k);
+      cs.g_mask[c].resize(k);
+      solve_chain(cs.wi.data(), cs.lwi.data(), cs.F[c].data(), cs.G[c].data(),
+                  cs.f_mask[c].data(), cs.g_mask[c].data(), k,
+                  combo_spec(component.cycle, c), best, has_best,
+                  with_one.data(), has_with_one.data());
+    }
+  }
+
+  /// One-position patch: position `pos` is the only staging difference and λ
+  /// is unchanged, so F rows < pos and G rows > pos are bit-identical to what
+  /// a full evaluation would recompute — only the remaining rows and the
+  /// aggregation fold run.
+  void patch(const RingComponent& component, Component& cs, std::size_t pos,
+             std::int64_t new_p, std::int64_t new_q, Int& best,
+             bool& has_best) {
+    const std::size_t k = cs.k;
+    cs.staged_w[pos] = component.scaled_w[pos];
+    cs.wi[pos] = Int(component.scaled_w[pos]) * new_q;
+    cs.lwi[pos] = Int(component.scaled_w[pos]) * new_p;
+    const std::size_t combos = cs.cycle ? 4 : 1;
+    for (std::size_t c = 0; c < combos; ++c) {
+      const ChainSpec spec = combo_spec(cs.cycle, c);
+      Int* F = cs.F[c].data();
+      Int* G = cs.G[c].data();
+      std::uint8_t* fm = cs.f_mask[c].data();
+      std::uint8_t* gm = cs.g_mask[c].data();
+      const Int* w = cs.wi.data();
+      const Int* lw = cs.lwi.data();
+      if (pos == 0) {
+        f_init_row(lw, F, fm, k, spec);
+      } else {
+        f_step_row(w, lw, F, fm, pos, k, spec);
+      }
+      for (std::size_t j = pos + 1; j < k; ++j)
+        f_step_row(w, lw, F, fm, j, k, spec);
+      if (pos == k - 1) {
+        g_init_row(w, G, gm, k, spec);
+      } else {
+        g_step_row(w, lw, G, gm, pos);
+      }
+      for (std::size_t j = pos; j-- > 0;) g_step_row(w, lw, G, gm, j);
+      aggregate_rows(F, G, fm, gm, k, best, has_best, with_one.data(),
+                     has_with_one.data());
+    }
+  }
+
+  /// Read the component's minimizer membership off the aggregation scratch
+  /// (the same attainment rule as solve_component).
+  void collect_members(const RingComponent& component, Component& cs,
+                       const Int& best, bool has_best) {
+    cs.members.clear();
+    if (!has_best) return;
+    for (std::size_t j = 0; j < cs.k; ++j) {
+      if (has_with_one[j] && with_one[j] == best)
+        cs.members.push_back(component.order[j]);
+    }
+  }
+};
+
+KernelDeltaState::KernelDeltaState() : impl_(std::make_unique<Impl>()) {}
+KernelDeltaState::~KernelDeltaState() = default;
+KernelDeltaState::KernelDeltaState(KernelDeltaState&&) noexcept = default;
+KernelDeltaState& KernelDeltaState::operator=(KernelDeltaState&&) noexcept =
+    default;
+
+std::uint64_t KernelDeltaState::patched_evals() const noexcept {
+  return impl_->patched_evals;
+}
+
+void KernelDeltaState::invalidate() noexcept {
+  impl_->valid = false;
+  for (Impl::Component& cs : impl_->components) cs.valid = false;
+}
+
+std::vector<Vertex> kernel_maximal_minimizer_delta(
+    const Graph& g, const RingStructure& structure, const Rational& lambda,
+    KernelDeltaState& state) {
+  (void)g;
+  KernelDeltaState::Impl& impl = *state.impl_;
+  bool lambda_ok = false;
+  std::int64_t p = 0, q = 1;
+  if (lambda.numerator().fits_int64() && lambda.denominator().fits_int64()) {
+    p = lambda.numerator().to_int64();
+    q = lambda.denominator().to_int64();
+    lambda_ok = p < kMaxMagnitude && p > -kMaxMagnitude && q < kMaxMagnitude;
+  }
+  const bool same_lambda = impl.valid && lambda_ok && lambda == impl.lambda;
+  if (impl.components.size() != structure.components.size())
+    impl.components.assign(structure.components.size(),
+                           KernelDeltaState::Impl::Component{});
+  std::vector<Vertex> out;
+  bool all_reused = same_lambda && !structure.components.empty();
+  for (std::size_t i = 0; i < structure.components.size(); ++i) {
+    const RingComponent& component = structure.components[i];
+    KernelDeltaState::Impl::Component& cs = impl.components[i];
+    const std::size_t k = component.order.size();
+    if (same_lambda && cs.valid && component.scaled &&
+        cs.cycle == component.cycle && cs.k == k) {
+      // Certificate shape holds; locate the staging difference.
+      std::size_t diffs = 0;
+      std::size_t pos = 0;
+      for (std::size_t j = 0; j < k && diffs < 2; ++j) {
+        if (cs.staged_w[j] != component.scaled_w[j]) {
+          pos = j;
+          ++diffs;
+        }
+      }
+      if (diffs == 0) {
+        // Same staging, same λ: the previous membership is the answer.
+        out.insert(out.end(), cs.members.begin(), cs.members.end());
+        continue;
+      }
+      if (diffs == 1) {
+        impl.with_one.resize(k);
+        impl.has_with_one.assign(k, 0);
+        Int best = 0;
+        bool has_best = false;
+        impl.patch(component, cs, pos, p, q, best, has_best);
+        impl.collect_members(component, cs, best, has_best);
+        out.insert(out.end(), cs.members.begin(), cs.members.end());
+        continue;
+      }
+    }
+    all_reused = false;
+    if (component.scaled && lambda_ok) {
+      impl.with_one.resize(k);
+      impl.has_with_one.assign(k, 0);
+      Int best = 0;
+      bool has_best = false;
+      impl.run_full(component, cs, p, q, best, has_best);
+      impl.collect_members(component, cs, best, has_best);
+      cs.valid = true;
+      out.insert(out.end(), cs.members.begin(), cs.members.end());
+    } else {
+      // BigInt staging tier: no row capture, plain workspace evaluation.
+      cs = KernelDeltaState::Impl::Component{};
+      solve_component(component, lambda, lambda_ok, p, q, out);
+    }
+  }
+  impl.valid = lambda_ok;
+  impl.lambda = lambda;
+  impl.p = p;
+  impl.q = q;
+  if (all_reused) ++impl.patched_evals;
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -74,5 +75,71 @@ void stage_component_weights(const std::vector<Rational>& weights,
 /// min-cut evaluation. `structure` must come from analyze_ring_structure(g).
 [[nodiscard]] std::vector<Vertex> kernel_maximal_minimizer(
     const Graph& g, const RingStructure& structure, const Rational& lambda);
+
+/// Exact bottleneck of ONE component of an analyzed graph.
+struct ComponentBottleneck {
+  Rational alpha;                  ///< α* of the component's subgraph
+  std::vector<Vertex> bottleneck;  ///< maximal minimizer (g's ids, sorted)
+  int iterations = 0;              ///< Dinkelbach evaluations spent
+};
+
+/// The maximal bottleneck of the subgraph induced by component `comp_index`
+/// of `structure` — computed WITHOUT materializing that subgraph: because a
+/// component is a full connected piece of `g`, its cuts and neighborhoods
+/// never leave it, so a Dinkelbach descent whose evaluations run the
+/// per-component DP on the (already analyzed, already staged) structure is
+/// exact. `warm_lambda` is the usual optional hint: acceptance pins
+/// (α*, B) regardless of the guess. Requires positive component weight and
+/// no zero-weight minimizer inside the component (throws std::logic_error
+/// otherwise, like maximal_bottleneck's degenerate cases).
+[[nodiscard]] ComponentBottleneck component_bottleneck(
+    const Graph& g, const RingStructure& structure, std::size_t comp_index,
+    const Rational* warm_lambda);
+
+class KernelDeltaState;
+
+/// kernel_maximal_minimizer with persistent per-component DP state, the
+/// evaluation half of the delta engine (bd/delta.hpp). The state captures
+/// the F/G marginal rows of the previous evaluation; when the next call uses
+/// the SAME λ and a component's staged integer weights differ in at most one
+/// position, only the F rows at/after and the G rows at/before that position
+/// are recomputed — F[j] depends solely on w[0..j] and G[j] solely on
+/// w[j..k−1], so every other row is provably bit-identical. Components whose
+/// staging is unchanged reuse their cached membership outright. Whenever the
+/// patch certificate fails (different λ, reshaped component, ≥2 edited
+/// positions, or the BigInt staging tier) the component is re-evaluated in
+/// full into the state, so the result is bit-identical to
+/// kernel_maximal_minimizer on every input — reuse is an accelerator, never
+/// an approximation.
+[[nodiscard]] std::vector<Vertex> kernel_maximal_minimizer_delta(
+    const Graph& g, const RingStructure& structure, const Rational& lambda,
+    KernelDeltaState& state);
+
+/// Opaque DP state for kernel_maximal_minimizer_delta. One instance per
+/// (stage graph, descent) — sharing across graphs is safe (the certificate
+/// rejects mismatched shapes) but wasteful.
+class KernelDeltaState {
+ public:
+  KernelDeltaState();
+  ~KernelDeltaState();
+  KernelDeltaState(KernelDeltaState&&) noexcept;
+  KernelDeltaState& operator=(KernelDeltaState&&) noexcept;
+  KernelDeltaState(const KernelDeltaState&) = delete;
+  KernelDeltaState& operator=(const KernelDeltaState&) = delete;
+
+  /// Evaluations fully served by row reuse (no cold component run): every
+  /// component either matched its cached staging or took the one-position
+  /// F/G patch. Monotone; never reset by invalidate().
+  [[nodiscard]] std::uint64_t patched_evals() const noexcept;
+
+  /// Drop the captured rows; the next evaluation runs cold into the state.
+  void invalidate() noexcept;
+
+ private:
+  friend std::vector<Vertex> kernel_maximal_minimizer_delta(
+      const Graph&, const RingStructure&, const Rational&, KernelDeltaState&);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace ringshare::bd

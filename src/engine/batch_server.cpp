@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "engine/wire.hpp"
@@ -61,6 +62,10 @@ struct BatchServer::Impl {
     /// Canonical key -> canonical optimum, FIFO-bounded.
     std::unordered_map<std::string, DeviationOptimum> cache;
     std::deque<std::string> cache_fifo;
+    /// Instance id -> canonical keys its queries touched on this shard;
+    /// consumed (erased wholesale) by update_weight's targeted invalidation.
+    std::unordered_map<std::size_t, std::unordered_set<std::string>>
+        keys_by_instance;
     std::thread worker;
   };
 
@@ -118,6 +123,8 @@ struct BatchServer::Impl {
     std::lock_guard lock(seq_mutex);
     if (served == nullptr) {
       ++stat.errors;
+    } else if (served[0] == 'u') {
+      ++stat.updates;  // update acks: counted, not query latency
     } else {
       stat.latency.record_ns(latency_ns);
       if (served[0] == 's') ++stat.solves;
@@ -216,6 +223,7 @@ struct BatchServer::Impl {
     std::optional<DeviationOptimum> cached;
     {
       std::lock_guard lock(shard.mutex);
+      shard.keys_by_instance[parts->instance].insert(canon.key);
       const auto hit = shard.cache.find(canon.key);
       if (hit != shard.cache.end()) {
         cached = hit->second;
@@ -242,6 +250,78 @@ struct BatchServer::Impl {
     util::PerfCounters::local().serve_cache_hits.fetch_add(
         1, std::memory_order_relaxed);
     emit_result(pending, *cached, shard_index, "cache");
+  }
+
+  void update_weight(std::uint64_t req, const std::string& update_key,
+                     Rational weight) {
+    std::uint64_t seq;
+    {
+      std::lock_guard lock(seq_mutex);
+      seq = next_submit++;
+    }
+    util::PerfCounters::local().serve_updates.fetch_add(
+        1, std::memory_order_relaxed);
+    const std::uint64_t begin_ns = now_ns();
+
+    const std::optional<UpdateKeyParts> parts = parse_update_key(update_key);
+    if (!parts) {
+      emit_error(seq, req, "malformed update key '" + update_key + "'");
+      return;
+    }
+    if (weight.is_negative()) {
+      emit_error(seq, req, "negative weight in update '" + update_key + "'");
+      return;
+    }
+
+    std::size_t old_route = 0;
+    std::string error;
+    {
+      std::lock_guard lock(instance_mutex);
+      const auto it = instances.find(parts->instance);
+      if (it == instances.end()) {
+        error = "unknown instance " + std::to_string(parts->instance);
+      } else if (parts->vertex >= it->second.ring->vertex_count()) {
+        error = "vertex out of range in '" + update_key + "'";
+      } else {
+        Graph next = *it->second.ring;
+        next.set_weight(parts->vertex, std::move(weight));
+        old_route = it->second.route;
+        it->second.route = instance_route_hash(next);
+        it->second.ring = std::make_shared<const Graph>(std::move(next));
+      }
+    }
+    if (!error.empty()) {
+      emit_error(seq, req, error);
+      return;
+    }
+
+    // Targeted invalidation: only the canonical keys this instance touched
+    // on its (pre-edit) shard. The cache is content-addressed, so this is
+    // hygiene — the edited instance canonicalizes to new keys anyway — but
+    // without it stale entries would hold capacity for the server lifetime.
+    Shard& shard = *shards[old_route % shards.size()];
+    std::uint64_t invalidated = 0;
+    {
+      std::lock_guard lock(shard.mutex);
+      const auto keys = shard.keys_by_instance.find(parts->instance);
+      if (keys != shard.keys_by_instance.end()) {
+        for (const std::string& key : keys->second)
+          invalidated += shard.cache.erase(key);
+        shard.keys_by_instance.erase(keys);
+      }
+    }
+    util::PerfCounters::local().serve_invalidations.fetch_add(
+        invalidated, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(seq_mutex);
+      stat.invalidations += invalidated;
+    }
+
+    const std::uint64_t latency_ns = now_ns() - begin_ns;
+    finish(seq,
+           format_update_ack(req, parts->instance, parts->vertex, invalidated,
+                             latency_ns / 1000),
+           "update", latency_ns);
   }
 
   void worker_loop(std::size_t shard_index) {
@@ -317,6 +397,12 @@ void BatchServer::register_instance(std::size_t id, Graph ring) {
 
 void BatchServer::submit(std::uint64_t req, const std::string& task_key) {
   impl_->submit(req, task_key);
+}
+
+void BatchServer::update_weight(std::uint64_t req,
+                                const std::string& update_key,
+                                num::Rational weight) {
+  impl_->update_weight(req, update_key, std::move(weight));
 }
 
 void BatchServer::drain() { impl_->drain(); }

@@ -19,6 +19,18 @@
 // fresh answers to equivalent requests are bit-identical — dedup is an
 // optimization, never an approximation.
 //
+// Instances are mutable: update_weight edits one weight of a registered
+// instance in place (the streaming wire verb "i<id>.u<vertex>"). The cache
+// is content-addressed by canonical fingerprint, so stale entries can never
+// be SERVED to the edited instance — its post-edit queries canonicalize to
+// new keys — but they would squat on cache capacity forever. Each shard
+// therefore tracks which canonical keys each instance has touched and the
+// update drops exactly those entries (an entry shared with a symmetric
+// sibling instance is dropped too and simply re-solved on next touch).
+// Updates are applied synchronously in submit order: every query submitted
+// after the update is answered against the post-edit instance, and the
+// acknowledgement occupies the update's position in the response order.
+//
 // Responses are emitted strictly in arrival (submit) order, each stamped
 // with its end-to-end latency. Emission happens on worker threads via the
 // configured sink; the sink is called under the sequencer lock, so it needs
@@ -59,6 +71,8 @@ struct ServeStats {
   std::uint64_t dedup_hits = 0;  ///< coalesced onto an in-flight solve
   std::uint64_t cache_hits = 0;  ///< answered from a shard result cache
   std::uint64_t errors = 0;      ///< error responses emitted
+  std::uint64_t updates = 0;     ///< weight updates applied
+  std::uint64_t invalidations = 0;  ///< cache entries dropped by updates
   /// End-to-end request latency (submit → response emission), including
   /// queueing and dedup wait — the client-observed figure, unlike the
   /// per-solve task_latency histogram in PerfCounters.
@@ -90,6 +104,15 @@ class BatchServer {
   /// instances and solver-contract violations produce an error response at
   /// this request's position in the output order.
   void submit(std::uint64_t req, const std::string& task_key);
+
+  /// Apply the weight edit named by `update_key` ("i<id>.u<vertex>"): the
+  /// instance's graph is replaced, its routing fingerprint recomputed, and
+  /// every cached canonical result the instance has touched is dropped from
+  /// its shard. Applied synchronously — queries submitted afterwards see
+  /// the post-edit instance. Emits an in-order acknowledgement (or an error
+  /// response for malformed keys / unknown instances / bad weights).
+  void update_weight(std::uint64_t req, const std::string& update_key,
+                     num::Rational weight);
 
   /// Block until every submitted request has been emitted.
   void drain();

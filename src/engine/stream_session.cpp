@@ -1,0 +1,37 @@
+#include "engine/stream_session.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace ringshare::engine {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+StreamSession::StreamSession(graph::Graph g) : solver_(std::move(g)) {}
+
+bd::DeltaOutcome StreamSession::update(graph::Vertex v, num::Rational weight) {
+  const std::uint64_t begin = now_ns();
+  const bd::DeltaOutcome outcome = solver_.update_weight(v, std::move(weight));
+  stats_.update_latency.record_ns(now_ns() - begin);
+  ++stats_.updates;
+  if (outcome.spliced_stages > 0 || outcome.patched_stages > 0) {
+    ++stats_.hits;
+  } else {
+    ++stats_.fallbacks;
+  }
+  stats_.spliced_stages += outcome.spliced_stages;
+  stats_.resolved_stages += outcome.resolved_stages;
+  stats_.patched_stages += outcome.patched_stages;
+  return outcome;
+}
+
+}  // namespace ringshare::engine

@@ -1,0 +1,77 @@
+// stream_session.hpp — one live edit stream over a ring instance.
+//
+// A StreamSession owns a bd::DeltaSolver for one instance and is the
+// engine-layer unit the epoch driver and the serve tool build on: it applies
+// single-weight edits through the delta path, keeps the exact decomposition
+// current after every edit, and aggregates per-session streaming statistics
+// (delta reuse counts plus an update-latency histogram) that the serving
+// layer can report without touching process-global perf counters.
+//
+// Sessions are NOT thread-safe — one session per edit stream, exactly like
+// the underlying DeltaSolver. The serving layer keys sessions by instance
+// id and applies updates synchronously in submit order, so a query that
+// arrives after an update always sees the post-edit decomposition.
+#pragma once
+
+#include <cstdint>
+
+#include "bd/allocation.hpp"
+#include "bd/delta.hpp"
+#include "util/perf_counters.hpp"
+
+namespace ringshare::engine {
+
+/// Monotone per-session streaming statistics.
+struct StreamStats {
+  std::uint64_t updates = 0;    ///< update() calls applied
+  std::uint64_t hits = 0;       ///< updates that reused work (splice/patch)
+  std::uint64_t fallbacks = 0;  ///< updates that re-solved every stage
+  std::uint64_t spliced_stages = 0;   ///< stages spliced verbatim, summed
+  std::uint64_t resolved_stages = 0;  ///< stages that ran Dinkelbach, summed
+  std::uint64_t patched_stages = 0;   ///< stages served by F/G patch, summed
+  /// Wall-clock latency of update() calls (apply + delta re-solve).
+  util::LatencyHistogram update_latency;
+};
+
+/// One instance's edit stream: a DeltaSolver plus streaming statistics.
+class StreamSession {
+ public:
+  /// Solves the initial instance in full (counted as neither hit nor
+  /// fallback — stats cover updates only).
+  explicit StreamSession(graph::Graph g);
+
+  StreamSession(StreamSession&&) noexcept = default;
+  StreamSession& operator=(StreamSession&&) noexcept = default;
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept {
+    return solver_.graph();
+  }
+  [[nodiscard]] const bd::Decomposition& decomposition() const noexcept {
+    return solver_.decomposition();
+  }
+
+  /// Apply `w_v := weight` through the delta path and update the stats.
+  /// Exceptions from DeltaSolver::update_weight (bad vertex, negative
+  /// weight) propagate without being counted as updates.
+  bd::DeltaOutcome update(graph::Vertex v, num::Rational weight);
+
+  /// Equilibrium utility of v under the CURRENT decomposition (Prop. 6).
+  [[nodiscard]] num::Rational utility(graph::Vertex v) const {
+    return solver_.decomposition().utility(v);
+  }
+
+  /// Full BD allocation for the current decomposition (Def. 5).
+  [[nodiscard]] bd::Allocation allocation() const {
+    return bd::bd_allocation(solver_.decomposition());
+  }
+
+  [[nodiscard]] const StreamStats& stats() const noexcept { return stats_; }
+
+ private:
+  bd::DeltaSolver solver_;
+  StreamStats stats_;
+};
+
+}  // namespace ringshare::engine

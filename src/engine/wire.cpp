@@ -67,6 +67,27 @@ std::optional<TaskKeyParts> parse_task_key(std::string_view key) {
   }
 }
 
+std::string format_update_key(std::size_t instance, graph::Vertex vertex) {
+  return "i" + std::to_string(instance) + ".u" + std::to_string(vertex);
+}
+
+std::optional<UpdateKeyParts> parse_update_key(std::string_view key) {
+  if (key.size() < 4 || key.front() != 'i') return std::nullopt;
+  const std::size_t dot = key.find('.');
+  if (dot == std::string_view::npos || dot + 2 >= key.size() ||
+      key[dot + 1] != 'u')
+    return std::nullopt;
+  try {
+    const std::string text(key);
+    UpdateKeyParts out;
+    out.instance = std::stoull(text.substr(1, dot - 1));
+    out.vertex = static_cast<graph::Vertex>(std::stoull(text.substr(dot + 2)));
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 std::optional<std::string> json_string_field(std::string_view line,
                                              std::string_view name) {
   const std::string needle = "\"" + std::string(name) + "\": \"";
@@ -145,8 +166,27 @@ std::optional<WireRequest> parse_request_line(std::string_view line,
     return fail(error, "ring registration without an instance id");
   if (out.req) {
     out.task = json_string_field(line, "task").value_or("");
-    if (out.task.empty())
-      return fail(error, "request without a task key");
+    out.update = json_string_field(line, "update").value_or("");
+    if (out.task.empty() && out.update.empty())
+      return fail(error, "request without a task or update key");
+    if (!out.task.empty() && !out.update.empty())
+      return fail(error, "request with both a task and an update key");
+    if (!out.update.empty()) {
+      if (std::optional<std::string> text = json_string_field(line, "weight")) {
+        try {
+          out.weight = num::Rational::from_string(*text);
+        } catch (const std::exception&) {
+          return fail(error, "unparseable weight '" + *text + "'");
+        }
+      } else if (std::optional<std::uint64_t> bare =
+                     json_uint_field(line, "weight")) {
+        out.weight = num::Rational(static_cast<long long>(*bare));
+      } else {
+        return fail(error, "update without a weight field");
+      }
+    }
+  } else if (json_string_field(line, "update")) {
+    return fail(error, "update without a request id");
   }
   if (!out.req && !out.ring)
     return fail(error, "line is neither a registration nor a request");
@@ -184,6 +224,17 @@ std::string format_response(std::uint64_t req, std::size_t instance,
   os << "{\"req\": " << req << ", " << format_record_fields(instance, optimum)
      << ", \"shard\": " << shard << ", \"served\": \"" << served
      << "\", \"latency_us\": " << latency_us << "}";
+  return os.str();
+}
+
+std::string format_update_ack(std::uint64_t req, std::size_t instance,
+                              graph::Vertex vertex, std::uint64_t invalidated,
+                              std::uint64_t latency_us) {
+  std::ostringstream os;
+  os << "{\"req\": " << req << ", \"update\": \""
+     << format_update_key(instance, vertex) << "\", \"instance\": " << instance
+     << ", \"vertex\": " << vertex << ", \"applied\": true, \"invalidated\": "
+     << invalidated << ", \"latency_us\": " << latency_us << "}";
   return os.str();
 }
 

@@ -14,11 +14,16 @@
 //     {"instance": 0, "ring": ["4", "1", "3/2"]}      registers instance 0
 //     {"req": 7, "task": "i0.v1"}                     queries a task
 //     {"instance": 1, "ring": [...], "req": 8, "task": "i1.c0-1"}
+//     {"req": 9, "update": "i0.u2", "weight": "7/3"}  edits one weight
 //
 // (registration and query may share a line; the registration applies
-// first). All parsing here is the same tolerant flat-scan the driver uses
-// for its own output: no escaped quotes, malformed fields yield nullopt
-// rather than exceptions.
+// first). The update verb "i<instance>.u<vertex>" edits one weight of a
+// registered instance in place: the new weight rides in a separate
+// "weight" field (quoted rational or bare integer), the server answers
+// with an in-order acknowledgement, and every query submitted after the
+// update is answered against the post-edit instance. All parsing here is
+// the same tolerant flat-scan the driver uses for its own output: no
+// escaped quotes, malformed fields yield nullopt rather than exceptions.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +50,20 @@ struct TaskKeyParts {
 [[nodiscard]] std::optional<TaskKeyParts> parse_task_key(
     std::string_view key);
 
+/// A parsed update key "i<instance>.u<vertex>".
+struct UpdateKeyParts {
+  std::size_t instance = 0;
+  graph::Vertex vertex = 0;
+};
+
+/// Format "i<instance>.u<vertex>".
+[[nodiscard]] std::string format_update_key(std::size_t instance,
+                                            graph::Vertex vertex);
+
+/// Parse an update key; nullopt on malformed input.
+[[nodiscard]] std::optional<UpdateKeyParts> parse_update_key(
+    std::string_view key);
+
 /// Extract the string value of `"name": "..."` from one flat JSONL line, or
 /// nullopt when absent/malformed.
 [[nodiscard]] std::optional<std::string> json_string_field(
@@ -55,18 +74,23 @@ struct TaskKeyParts {
 [[nodiscard]] std::optional<std::uint64_t> json_uint_field(
     std::string_view line, std::string_view name);
 
-/// One parsed request line (registration, query, or both).
+/// One parsed request line (registration, query, update, or a
+/// registration combined with one of the other two).
 struct WireRequest {
   std::optional<std::size_t> instance;           ///< registration id
   std::optional<std::vector<num::Rational>> ring;  ///< registration weights
-  std::optional<std::uint64_t> req;              ///< query id
+  std::optional<std::uint64_t> req;              ///< query / update id
   std::string task;                              ///< query task key (raw)
+  std::string update;                            ///< update key (raw)
+  std::optional<num::Rational> weight;           ///< update's new weight
 };
 
 /// Parse one request line. Returns nullopt (with a diagnostic in *error
-/// when non-null) for lines that are neither a registration nor a query,
-/// or whose present fields are malformed. Ring entries may be quoted
-/// rationals ("3", "1/2") or bare integers.
+/// when non-null) for lines that are neither a registration, a query, nor
+/// an update, or whose present fields are malformed. A "req" line carries
+/// exactly one of "task" / "update"; "update" requires "weight". Ring
+/// entries and weights may be quoted rationals ("3", "1/2") or bare
+/// integers.
 [[nodiscard]] std::optional<WireRequest> parse_request_line(
     std::string_view line, std::string* error = nullptr);
 
@@ -85,6 +109,16 @@ struct WireRequest {
     std::uint64_t req, std::size_t instance,
     const game::DeviationOptimum& optimum, std::size_t shard,
     std::string_view served, std::uint64_t latency_us);
+
+/// One update acknowledgement line (no trailing newline): the update key
+/// echoed back plus the invalidation count and the apply latency —
+/// `{"req": N, "update": "i0.u2", "instance": 0, "vertex": 2,
+///   "applied": true, "invalidated": K, "latency_us": L}`.
+[[nodiscard]] std::string format_update_ack(std::uint64_t req,
+                                            std::size_t instance,
+                                            graph::Vertex vertex,
+                                            std::uint64_t invalidated,
+                                            std::uint64_t latency_us);
 
 /// One serve error line: `{"req": N, "error": "..."}`.
 [[nodiscard]] std::string format_error(std::uint64_t req,

@@ -1,0 +1,72 @@
+#include "exp/epoch.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace ringshare::exp {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+EpochRun run_epoch_stream(graph::Graph initial, const EpochConfig& config) {
+  engine::StreamSession session(std::move(initial));
+  util::Xoshiro256 rng(config.seed);
+  const std::size_t n = session.graph().vertex_count();
+
+  EpochRun run;
+  run.records.reserve(config.epochs);
+  for (std::size_t epoch = 1; epoch <= config.epochs; ++epoch) {
+    EpochRecord record;
+    record.epoch = epoch;
+
+    const std::uint64_t begin = now_ns();
+    for (std::size_t e = 0; e < config.edits_per_epoch; ++e) {
+      const graph::Vertex v =
+          static_cast<graph::Vertex>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      std::int64_t step = rng.uniform_int(-config.drift_step, config.drift_step);
+      if (step == 0) step = 1;  // every edit moves the economy
+      num::Rational next = session.graph().weight(v) + num::Rational(step);
+      const num::Rational floor(config.min_weight);
+      if (next < floor) next = floor;
+      const bd::DeltaOutcome outcome = session.update(v, std::move(next));
+      ++record.edits;
+      record.resolved_stages += outcome.resolved_stages;
+      record.spliced_stages += outcome.spliced_stages;
+      record.patched_stages += outcome.patched_stages;
+    }
+    record.update_ns = now_ns() - begin;
+
+    for (graph::Vertex v = 0; v < n; ++v)
+      record.welfare = record.welfare + session.utility(v);
+
+    if (config.ratio_every > 0 && epoch % config.ratio_every == 0) {
+      record.ratios.reserve(config.ratio_samples);
+      for (std::size_t s = 0; s < config.ratio_samples; ++s) {
+        game::DeviationTask task;
+        task.kind = config.ratio_kind;
+        task.vertex = static_cast<graph::Vertex>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (task.kind == game::DeviationKind::kCollusion)
+          task.partner = static_cast<graph::Vertex>((task.vertex + 1) % n);
+        record.ratios.push_back(
+            game::optimize_deviation(session.graph(), task).ratio);
+      }
+    }
+
+    run.records.push_back(std::move(record));
+  }
+  run.stats = session.stats();
+  return run;
+}
+
+}  // namespace ringshare::exp

@@ -1,0 +1,62 @@
+// epoch.hpp — the time-stepped epoch driver for streaming re-allocation.
+//
+// The paper's model is one-shot: agents report weights once and the BD
+// mechanism allocates. The streaming experiment (E16) asks what the SAME
+// exact machinery costs when the economy is long-lived: each epoch a few
+// endowments drift, the allocation is recomputed through the delta engine
+// (engine/stream_session.hpp), and the strategic guarantees are re-checked
+// on the drifted instance by sampling exact deviation ratios. Everything
+// stays exact — drift is integer-additive so instances remain in the
+// integer fast tier, and every epoch's decomposition is the bit-identical
+// decomposition a cold solve would produce (the delta engine's contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/stream_session.hpp"
+#include "game/deviation.hpp"
+
+namespace ringshare::exp {
+
+/// Knobs of one epoch-drift run.
+struct EpochConfig {
+  std::size_t epochs = 32;          ///< drift steps after the initial solve
+  std::uint64_t seed = 1;           ///< drives vertex choice and drift sign
+  std::size_t edits_per_epoch = 1;  ///< weights drifting each epoch
+  std::int64_t drift_step = 2;      ///< max |additive| drift per edit
+  std::int64_t min_weight = 1;      ///< drift floor (keeps endowments > 0)
+  /// Sample exact deviation ratios every `ratio_every` epochs (0 = never);
+  /// `ratio_samples` manipulator vertices are drawn per sampled epoch.
+  std::size_t ratio_every = 0;
+  std::size_t ratio_samples = 2;
+  game::DeviationKind ratio_kind = game::DeviationKind::kSybil;
+};
+
+/// What one epoch did and what the economy looked like afterwards.
+struct EpochRecord {
+  std::size_t epoch = 0;            ///< 1-based drift step
+  std::size_t edits = 0;            ///< weight edits applied
+  std::size_t resolved_stages = 0;  ///< stages re-solved across the edits
+  std::size_t spliced_stages = 0;   ///< stages spliced verbatim
+  std::size_t patched_stages = 0;   ///< stages served by the kernel patch
+  std::uint64_t update_ns = 0;      ///< wall-clock of the epoch's updates
+  num::Rational welfare;            ///< Σ_v U_v after the epoch (= Σ_v w_v)
+  /// Exact deviation ratios sampled this epoch (empty off-cadence).
+  std::vector<num::Rational> ratios;
+};
+
+/// Result of a full run: per-epoch records plus the session's aggregate
+/// streaming statistics (update latency histogram included).
+struct EpochRun {
+  std::vector<EpochRecord> records;
+  engine::StreamStats stats;
+};
+
+/// Drive `config.epochs` drift epochs over `initial` through a
+/// StreamSession. Deterministic in (initial, config).
+[[nodiscard]] EpochRun run_epoch_stream(graph::Graph initial,
+                                        const EpochConfig& config);
+
+}  // namespace ringshare::exp

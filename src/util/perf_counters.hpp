@@ -67,7 +67,12 @@ enum class Phase : int {
   X(serve_requests)                      \
   X(serve_solves)                        \
   X(serve_dedup_hits)                    \
-  X(serve_cache_hits)
+  X(serve_cache_hits)                    \
+  X(serve_updates)                       \
+  X(serve_invalidations)                 \
+  X(delta_hits)                          \
+  X(delta_fallbacks)                     \
+  X(delta_patched_stages)
 
 /// Power-of-two latency buckets: bucket i counts values in [2^i, 2^{i+1})
 /// nanoseconds (bucket 0 also absorbs 0 ns). 2^47 ns ≈ 39 hours — far above

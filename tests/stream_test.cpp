@@ -1,0 +1,298 @@
+// stream_test — the engine layer of the delta-update path: StreamSession
+// bookkeeping, the update verb of the wire grammar, BatchServer's
+// shard-cache invalidation on weight edits, and the epoch-drift driver.
+#include "engine/stream_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bd/decomposition.hpp"
+#include "engine/batch_server.hpp"
+#include "engine/wire.hpp"
+#include "exp/epoch.hpp"
+#include "game/deviation.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::engine {
+namespace {
+
+using num::Rational;
+
+/// A session stays bit-identical to a from-scratch Decomposition after
+/// every edit of a random stream, and its stats add up.
+TEST(StreamSession, StaysExactAcrossAnEditStream) {
+  util::Xoshiro256 rng(7);
+  const std::size_t n = 10;
+  std::vector<Rational> weights(n);
+  for (Rational& w : weights) w = Rational(rng.uniform_int(1, 9));
+
+  StreamSession session(graph::make_ring(weights));
+  constexpr std::uint64_t kEdits = 30;
+  for (std::uint64_t k = 0; k < kEdits; ++k) {
+    const auto v =
+        static_cast<graph::Vertex>(rng.uniform_int(0, std::int64_t(n) - 1));
+    // Mostly positive drift, occasionally zero (degenerate-weight path).
+    const Rational w(rng.uniform_int(0, 12));
+    session.update(v, w);
+
+    const bd::Decomposition oracle(session.graph());
+    ASSERT_EQ(session.decomposition().to_string(), oracle.to_string())
+        << "edit " << k << " diverged";
+    for (graph::Vertex u = 0; u < n; ++u)
+      EXPECT_EQ(session.utility(u), oracle.utility(u));
+  }
+
+  const StreamStats& stats = session.stats();
+  EXPECT_EQ(stats.updates, kEdits);
+  EXPECT_EQ(stats.hits + stats.fallbacks, kEdits);
+  EXPECT_EQ(stats.update_latency.count, kEdits);
+  // Every stage of every update was either re-solved or reused verbatim.
+  EXPECT_GT(stats.resolved_stages + stats.spliced_stages, 0u);
+}
+
+/// Bad edits throw without touching the stats or the decomposition.
+TEST(StreamSession, RejectsBadEditsUncounted) {
+  StreamSession session(
+      graph::make_ring({Rational(3), Rational(1), Rational(2)}));
+  const std::string before = session.decomposition().to_string();
+
+  EXPECT_THROW(session.update(99, Rational(1)), std::out_of_range);
+  EXPECT_THROW(session.update(0, Rational(-1)), std::invalid_argument);
+
+  EXPECT_EQ(session.stats().updates, 0u);
+  EXPECT_EQ(session.stats().update_latency.count, 0u);
+  EXPECT_EQ(session.decomposition().to_string(), before);
+}
+
+TEST(Wire, UpdateKeyRoundTrip) {
+  EXPECT_EQ(format_update_key(3, 7), "i3.u7");
+  const auto parts = parse_update_key("i3.u7");
+  ASSERT_TRUE(parts);
+  EXPECT_EQ(parts->instance, 3u);
+  EXPECT_EQ(parts->vertex, 7u);
+
+  EXPECT_FALSE(parse_update_key("i3.v7"));  // task key, not an update key
+  EXPECT_FALSE(parse_update_key("i3.u"));   // no vertex digits
+  EXPECT_FALSE(parse_update_key("u7"));     // no instance part
+  EXPECT_FALSE(parse_update_key("garbage"));
+  EXPECT_FALSE(parse_update_key(""));
+}
+
+TEST(Wire, ParseUpdateRequestLine) {
+  std::string error;
+  const auto quoted =
+      parse_request_line(R"({"req": 9, "update": "i0.u2", "weight": "7/3"})");
+  ASSERT_TRUE(quoted);
+  ASSERT_TRUE(quoted->req);
+  EXPECT_EQ(*quoted->req, 9u);
+  EXPECT_EQ(quoted->update, "i0.u2");
+  ASSERT_TRUE(quoted->weight);
+  EXPECT_EQ(*quoted->weight, Rational(7) / Rational(3));
+  EXPECT_TRUE(quoted->task.empty());
+
+  const auto bare =
+      parse_request_line(R"({"req": 1, "update": "i1.u0", "weight": 5})");
+  ASSERT_TRUE(bare);
+  ASSERT_TRUE(bare->weight);
+  EXPECT_EQ(*bare->weight, Rational(5));
+
+  // A request line carries exactly one of task / update.
+  EXPECT_FALSE(parse_request_line(
+      R"({"req": 2, "task": "i0.v0", "update": "i0.u1", "weight": 1})",
+      &error));
+  EXPECT_NE(error.find("both"), std::string::npos) << error;
+
+  // The update verb requires its weight...
+  EXPECT_FALSE(parse_request_line(R"({"req": 3, "update": "i0.u1"})", &error));
+  EXPECT_NE(error.find("weight"), std::string::npos) << error;
+
+  // ...and a request id to acknowledge against.
+  EXPECT_FALSE(
+      parse_request_line(R"({"update": "i0.u1", "weight": 2})", &error));
+  EXPECT_NE(error.find("request id"), std::string::npos) << error;
+}
+
+TEST(Wire, FormatUpdateAck) {
+  const std::string ack = format_update_ack(42, 3, 7, 5, 123);
+  EXPECT_EQ(json_uint_field(ack, "req"), 42u);
+  EXPECT_EQ(json_string_field(ack, "update"), "i3.u7");
+  EXPECT_EQ(json_uint_field(ack, "instance"), 3u);
+  EXPECT_EQ(json_uint_field(ack, "vertex"), 7u);
+  EXPECT_EQ(json_uint_field(ack, "invalidated"), 5u);
+  EXPECT_EQ(json_uint_field(ack, "latency_us"), 123u);
+  EXPECT_NE(ack.find("\"applied\": true"), std::string::npos) << ack;
+}
+
+/// The epoch driver drifts deterministically, keeps the economy exact
+/// (integer-additive drift ⇒ integer welfare = Σ_v w_v by budget balance),
+/// samples deviation ratios on its cadence, and every sampled Sybil ratio
+/// respects the Theorem 8 bound on the drifted instance.
+TEST(EpochDriver, DriftsExactlyAndSamplesBoundedRatios) {
+  util::Xoshiro256 rng(11);
+  const std::size_t n = 8;
+  std::vector<Rational> weights(n);
+  for (Rational& w : weights) w = Rational(rng.uniform_int(1, 9));
+
+  exp::EpochConfig config;
+  config.epochs = 12;
+  config.seed = 5;
+  config.edits_per_epoch = 2;
+  config.drift_step = 3;
+  config.ratio_every = 4;
+  config.ratio_samples = 2;
+  config.ratio_kind = game::DeviationKind::kSybil;
+
+  const exp::EpochRun run =
+      exp::run_epoch_stream(graph::make_ring(weights), config);
+  ASSERT_EQ(run.records.size(), config.epochs);
+  for (std::size_t i = 0; i < run.records.size(); ++i) {
+    const exp::EpochRecord& record = run.records[i];
+    EXPECT_EQ(record.epoch, i + 1);
+    EXPECT_EQ(record.edits, config.edits_per_epoch);
+    // Integer initial weights + integer drift keep every endowment an
+    // integer, and Σ_v U_v = Σ_v w_v exactly (budget balance), so the
+    // welfare must be a positive integer rational.
+    EXPECT_EQ(record.welfare.denominator(), num::BigInt(1))
+        << record.welfare.to_string();
+    EXPECT_GT(record.welfare, Rational(0));
+    if (record.epoch % config.ratio_every == 0) {
+      ASSERT_EQ(record.ratios.size(), config.ratio_samples);
+      for (const Rational& ratio : record.ratios) {
+        EXPECT_GE(ratio, Rational(1));  // honesty is always available
+        EXPECT_LE(ratio, Rational(2));  // Theorem 8 on the drifted ring
+      }
+    } else {
+      EXPECT_TRUE(record.ratios.empty());
+    }
+  }
+
+  EXPECT_EQ(run.stats.updates, config.epochs * config.edits_per_epoch);
+  EXPECT_EQ(run.stats.hits + run.stats.fallbacks, run.stats.updates);
+  EXPECT_EQ(run.stats.update_latency.count, run.stats.updates);
+
+  // Deterministic in (initial, config): a replay reproduces the exact
+  // welfare trajectory and every sampled ratio bit-for-bit.
+  const exp::EpochRun replay =
+      exp::run_epoch_stream(graph::make_ring(weights), config);
+  ASSERT_EQ(replay.records.size(), run.records.size());
+  for (std::size_t i = 0; i < run.records.size(); ++i) {
+    EXPECT_EQ(replay.records[i].welfare, run.records[i].welfare);
+    EXPECT_EQ(replay.records[i].ratios, run.records[i].ratios);
+    EXPECT_EQ(replay.records[i].spliced_stages, run.records[i].spliced_stages);
+  }
+}
+
+struct Collector {
+  std::vector<std::string> lines;
+  BatchServer::Sink sink() {
+    return [this](const std::string& line) { lines.push_back(line); };
+  }
+};
+
+/// A weight update evicts the edited instance's cached results from its
+/// shard and every later query is answered against the post-edit ring,
+/// exactly as a direct solve of the edited instance.
+TEST(BatchServer, UpdateInvalidatesShardCacheAndServesFreshResults) {
+  const std::vector<Rational> before = {Rational(5), Rational(1), Rational(4),
+                                        Rational(2), Rational(3)};
+  Collector collector;
+  BatchServerConfig config;
+  config.shards = 2;
+  BatchServer server(config, collector.sink());
+  server.register_instance(0, graph::make_ring(before));
+
+  // Solve once, then hit the shard cache. drain() between steps keeps the
+  // schedule deterministic (an in-flight solve could otherwise re-install
+  // its result after the invalidation).
+  server.submit(0, "i0.v1");
+  server.drain();
+  server.submit(1, "i0.v1");
+  server.drain();
+  ASSERT_EQ(server.stats().solves, 1u);
+  ASSERT_EQ(server.stats().cache_hits, 1u);
+
+  const Rational edited_weight = Rational(9) / Rational(2);
+  server.update_weight(2, "i0.u1", edited_weight);
+  server.drain();
+  const ServeStats mid = server.stats();
+  EXPECT_EQ(mid.updates, 1u);
+  EXPECT_GE(mid.invalidations, 1u);
+
+  server.submit(3, "i0.v1");
+  server.drain();
+  // The pre-edit cached entry must NOT have answered: a fresh solve ran.
+  EXPECT_EQ(server.stats().solves, 2u);
+
+  ASSERT_EQ(collector.lines.size(), 4u);
+  for (std::uint64_t k = 0; k < 4; ++k)
+    EXPECT_EQ(json_uint_field(collector.lines[k], "req"), k)
+        << collector.lines[k];
+
+  const std::string& ack = collector.lines[2];
+  EXPECT_EQ(json_string_field(ack, "update"), "i0.u1");
+  EXPECT_GE(json_uint_field(ack, "invalidated").value_or(0), 1u);
+
+  // Post-update answer == direct solve of the edited ring.
+  std::vector<Rational> after = before;
+  after[1] = edited_weight;
+  game::DeviationTask task;
+  task.kind = game::DeviationKind::kSybil;
+  task.vertex = 1;
+  game::DeviationSweep direct;
+  const game::DeviationOptimum want =
+      direct.run(graph::make_ring(after), task);
+  const std::string& fresh = collector.lines[3];
+  EXPECT_EQ(json_string_field(fresh, "ratio"), want.ratio.to_string())
+      << fresh;
+  EXPECT_EQ(json_string_field(fresh, "utility"), want.utility.to_string())
+      << fresh;
+}
+
+/// Update failures come back as in-order error lines and leave the
+/// instance untouched.
+TEST(BatchServer, UpdateErrorsKeepOrderAndState) {
+  Collector collector;
+  BatchServerConfig config;
+  config.shards = 2;
+  BatchServer server(config, collector.sink());
+  server.register_instance(
+      0, graph::make_ring({Rational(2), Rational(1), Rational(3)}));
+
+  server.update_weight(0, "i9.u0", Rational(1));   // unknown instance
+  server.update_weight(1, "i0.q1", Rational(1));   // malformed key
+  server.update_weight(2, "i0.u7", Rational(1));   // vertex out of range
+  server.update_weight(3, "i0.u0", Rational(-1));  // negative weight
+  server.update_weight(4, "i0.u0", Rational(6));   // valid
+  server.submit(5, "i0.v0");
+  server.drain();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_EQ(stats.errors, 4u);
+  ASSERT_EQ(collector.lines.size(), 6u);
+  for (std::uint64_t k = 0; k < 6; ++k)
+    EXPECT_EQ(json_uint_field(collector.lines[k], "req"), k)
+        << collector.lines[k];
+  for (int k = 0; k < 4; ++k)
+    EXPECT_TRUE(json_string_field(collector.lines[k], "error"))
+        << collector.lines[k];
+  EXPECT_NE(collector.lines[4].find("\"applied\": true"), std::string::npos);
+
+  // The valid edit (and only it) took effect.
+  game::DeviationTask task;
+  task.kind = game::DeviationKind::kSybil;
+  task.vertex = 0;
+  game::DeviationSweep direct;
+  const game::DeviationOptimum want = direct.run(
+      graph::make_ring({Rational(6), Rational(1), Rational(3)}), task);
+  EXPECT_EQ(json_string_field(collector.lines[5], "ratio"),
+            want.ratio.to_string())
+      << collector.lines[5];
+}
+
+}  // namespace
+}  // namespace ringshare::engine

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -413,6 +414,81 @@ TEST(Timer, MeasuresElapsedTime) {
   EXPECT_GE(timer.elapsed_seconds(), 0.0);
   timer.reset();
   EXPECT_LT(timer.elapsed_seconds(), 1.0);
+}
+
+/// The geometric midpoint of power-of-two bucket i, in milliseconds — the
+/// value every quantile inside that bucket resolves to.
+double bucket_mid_ms(int bucket) {
+  return std::exp2(static_cast<double>(bucket) + 0.5) / 1e6;
+}
+
+TEST(LatencyHistogram, SubNanosecondSamplesLandInBucketZero) {
+  // Bucket 0 absorbs 0 ns (no sample is "below" the histogram) and 1 ns.
+  EXPECT_EQ(latency_bucket(0), 0);
+  EXPECT_EQ(latency_bucket(1), 0);
+  EXPECT_EQ(latency_bucket(2), 1);
+  EXPECT_EQ(latency_bucket(3), 1);
+  EXPECT_EQ(latency_bucket(4), 2);
+
+  LatencyHistogram h;
+  h.record_ns(0);
+  h.record_ns(1);
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_DOUBLE_EQ(h.p50_ms(), bucket_mid_ms(0));
+  EXPECT_DOUBLE_EQ(h.p99_ms(), bucket_mid_ms(0));
+}
+
+TEST(LatencyHistogram, TopBucketSaturatesInsteadOfOverflowing) {
+  // 2^47 ns is the top bucket's lower edge; everything above clamps there.
+  EXPECT_EQ(latency_bucket(std::uint64_t{1} << 47), kLatencyBucketCount - 1);
+  EXPECT_EQ(latency_bucket(std::uint64_t{1} << 63), kLatencyBucketCount - 1);
+  EXPECT_EQ(latency_bucket(~std::uint64_t{0}), kLatencyBucketCount - 1);
+
+  LatencyHistogram h;
+  h.record_ns(~std::uint64_t{0});
+  EXPECT_EQ(h.buckets[kLatencyBucketCount - 1], 1u);
+  EXPECT_DOUBLE_EQ(h.p50_ms(), bucket_mid_ms(kLatencyBucketCount - 1));
+}
+
+TEST(LatencyHistogram, QuantilesOnEmptyAreZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_DOUBLE_EQ(h.p50_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p95_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile_ms(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile_ms(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, QuantileArgumentIsClampedToUnitInterval) {
+  LatencyHistogram h;
+  h.record_ns(10);  // bucket 3
+  EXPECT_DOUBLE_EQ(h.quantile_ms(-0.5), bucket_mid_ms(3));
+  EXPECT_DOUBLE_EQ(h.quantile_ms(2.0), bucket_mid_ms(3));
+}
+
+TEST(LatencyHistogram, MergeSumsBucketsAndShiftsQuantiles) {
+  LatencyHistogram fast;
+  for (int i = 0; i < 99; ++i) fast.record_ns(1);
+  LatencyHistogram slow;
+  slow.record_ns(std::uint64_t{1} << 20);  // bucket 20
+
+  fast.merge(slow);
+  EXPECT_EQ(fast.count, 100u);
+  EXPECT_EQ(fast.buckets[0], 99u);
+  EXPECT_EQ(fast.buckets[20], 1u);
+  // Rank 99 of 100 is still the fast bucket; the maximum lands in the
+  // slow one.
+  EXPECT_DOUBLE_EQ(fast.p99_ms(), bucket_mid_ms(0));
+  EXPECT_DOUBLE_EQ(fast.quantile_ms(1.0), bucket_mid_ms(20));
+
+  // Merging an empty histogram is a no-op.
+  const LatencyHistogram empty;
+  LatencyHistogram copy = fast;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count, fast.count);
+  EXPECT_DOUBLE_EQ(copy.p50_ms(), fast.p50_ms());
 }
 
 }  // namespace

@@ -8,6 +8,14 @@
 //   {"req": 1, "task": "i0.v1"}                         Sybil query
 //   {"req": 2, "task": "i0.m3"}                         misreport query
 //   {"req": 3, "task": "i0.c0-1"}                       collusion query
+//   {"req": 4, "update": "i0.u2", "weight": "7/3"}      edit one weight
+//
+// Updates mutate a registered instance in place: the edit applies before
+// any later line is processed, so every query submitted after it is
+// answered against the post-edit ring, and the instance's cached canonical
+// results are dropped from its shard (the ack reports how many). The ack
+// line {"req": N, "update": ..., "applied": true, "invalidated": K,
+// "latency_us": L} occupies the update's position in the response order.
 //
 // Task keys are exactly the sweep checkpoint keys, so a checkpoint file is
 // a replayable request log. Responses carry the checkpoint record fields
@@ -117,7 +125,14 @@ int main(int argc, char** argv) {
           continue;
         }
       }
-      if (request->req) server.submit(*request->req, request->task);
+      if (request->req) {
+        if (!request->update.empty()) {
+          server.update_weight(*request->req, request->update,
+                               std::move(*request->weight));
+        } else {
+          server.submit(*request->req, request->task);
+        }
+      }
     }
 
     server.drain();
@@ -126,7 +141,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "{\"shards\": %zu, \"requests\": %llu, \"solves\": %llu, "
                    "\"dedup_hits\": %llu, \"cache_hits\": %llu, "
-                   "\"errors\": %llu, \"latency_p50_ms\": %.6f, "
+                   "\"errors\": %llu, \"updates\": %llu, "
+                   "\"invalidations\": %llu, \"latency_p50_ms\": %.6f, "
                    "\"latency_p95_ms\": %.6f, \"latency_p99_ms\": %.6f}\n",
                    server.shard_count(),
                    static_cast<unsigned long long>(stats.requests),
@@ -134,6 +150,8 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(stats.dedup_hits),
                    static_cast<unsigned long long>(stats.cache_hits),
                    static_cast<unsigned long long>(stats.errors),
+                   static_cast<unsigned long long>(stats.updates),
+                   static_cast<unsigned long long>(stats.invalidations),
                    stats.latency.p50_ms(), stats.latency.p95_ms(),
                    stats.latency.p99_ms());
     }
