@@ -67,6 +67,8 @@ void configure(bool accelerators) {
   config.cross_check_kernel = false;
   config.signature_oracle = accelerators;
   config.cross_check_signature_oracle = false;
+  config.filtered_numerics = accelerators;
+  config.cross_check_filtered = false;
   bd::hot_path_config() = config;
   bd::BottleneckCache::instance().clear();
   bd::DecompositionCache::instance().clear();
@@ -348,12 +350,12 @@ int main() {
         // Shared sweep costs of the accelerated pass: partition wall time
         // (inclusive — the decompose probes it still issues nest inside it)
         // and total decompose wall time. The tier-1 smoke holds their sum
-        // under the 100ms budget.
+        // under the 60ms budget.
         << "  \"phase_ms_partition\": " << phase_ms_partition << ",\n"
         << "  \"phase_ms_decompose\": " << phase_ms_decompose << ",\n"
         << "  \"shared_phase_ms\": "
         << phase_ms_partition + phase_ms_decompose << ",\n"
-        << "  \"shared_phase_budget_ms\": 100,\n"
+        << "  \"shared_phase_budget_ms\": 60,\n"
         << "  \"theorem8_bound\": 2,\n"
         << "  \"prior_bounds\": [3, 4],\n"
         << "  \"by_kind\": {\n";

@@ -1,0 +1,295 @@
+// bench_numeric_filter — certification bench for the lazy-exact numeric
+// layer (numeric/filtered.hpp): dyadic interval filters in front of the
+// bracket-height sign tests and orderings of the deviation pipeline.
+//
+// Sections:
+//   * sweep       — the standard deviation workload (all three deviation
+//     kinds over 10 random 6-rings, every breakpoint isolated to
+//     bracket_bits): filter on vs filter off, best of three cold reps
+//     each. The optima must be bit-identical — the filter only answers
+//     when its interval separates from zero and falls back to exact
+//     arithmetic otherwise — and the filtered pass's hit rate
+//     hits / (hits + fallbacks) must be >= 90%.
+//   * cross_check — >= 1000 randomized deviation tasks solved with
+//     HotPathConfig::cross_check_filtered armed: every filtered answer is
+//     recomputed by the exact oracle and a disagreement throws
+//     std::logic_error. Zero violations required.
+//   * ties        — constructed exact-tie instances where the interval
+//     CANNOT decide: a polynomial sign probe exactly at a tall rational
+//     root, equal linear forms Γ − λ·w with bracket-height operands, and
+//     equal cross-ratio comparisons. The filter must fall back (and count
+//     filter_exact_ties) yet still return the exact zero/equality.
+//
+// Timings, counters and contract outcomes go to BENCH_filter.json at the
+// repository root; any violated contract exits nonzero.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bd/memo.hpp"
+#include "exp/families.hpp"
+#include "game/deviation.hpp"
+#include "game/piece_solver.hpp"
+#include "numeric/bigint.hpp"
+#include "numeric/filtered.hpp"
+#include "numeric/poly_roots.hpp"
+#include "util/perf_counters.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ringshare;
+using num::BigInt;
+using num::Rational;
+
+#ifndef RINGSHARE_REPO_ROOT
+#define RINGSHARE_REPO_ROOT "."
+#endif
+
+void configure(bool filtered, bool cross_check) {
+  BigInt::set_fast_path_enabled(true);
+  bd::HotPathConfig config;  // library defaults: every accelerator on
+  config.filtered_numerics = filtered;
+  config.cross_check_filtered = cross_check;
+  bd::hot_path_config() = config;
+  bd::BottleneckCache::instance().clear();
+  bd::DecompositionCache::instance().clear();
+  game::PartitionMemo::instance().clear();
+  util::PerfCounters::reset();
+}
+
+/// Full textual observation of one deviation optimum — everything a sweep
+/// consumer reads, so string equality here is result identity.
+std::string observe_optimum(const game::DeviationOptimum& opt) {
+  std::ostringstream os;
+  os << game::to_string(opt.kind) << '/' << opt.vertex << '/' << opt.partner
+     << ' ' << opt.t_star.to_string() << ' ' << opt.utility.to_string() << ' '
+     << opt.honest_utility.to_string() << ' ' << opt.ratio.to_string();
+  return os.str();
+}
+
+struct SweepRun {
+  double seconds = 0;
+  double shared_ms = 0;  ///< partition + decompose phase time
+  std::vector<std::string> outputs;
+  util::PerfSnapshot counters;
+};
+
+/// One cold pass of the full deviation sweep (sybil + misreport +
+/// collusion) over every ring — the deviation bench's standard workload,
+/// which is where the bracket-height traffic the filter fronts actually
+/// lives.
+SweepRun run_sweep(const std::vector<graph::Graph>& rings, bool filtered) {
+  configure(filtered, /*cross_check=*/false);
+  game::DeviationSweep sweep;
+  sweep.kinds = {game::DeviationKind::kSybil, game::DeviationKind::kMisreport,
+                 game::DeviationKind::kCollusion};
+  SweepRun run;
+  util::Timer timer;
+  for (const graph::Graph& ring : rings) {
+    for (const game::DeviationTask& task : sweep.tasks(ring)) {
+      run.outputs.push_back(observe_optimum(sweep.run(ring, task)));
+    }
+  }
+  run.seconds = timer.elapsed_seconds();
+  run.counters = util::PerfCounters::snapshot();
+  run.shared_ms =
+      (run.counters.phase_ns[static_cast<int>(util::Phase::kPartition)] +
+       run.counters.phase_ns[static_cast<int>(util::Phase::kDecompose)]) /
+      1e6;
+  return run;
+}
+
+/// Adversarial exact ties: every probe is constructed so the true answer
+/// is exactly zero (or exact equality) at bracket-height operands — the
+/// interval must straddle, the exact fallback must run, and the sign must
+/// still come back 0. Returns the number of wrong answers.
+std::size_t run_tie_suite() {
+  configure(/*filtered=*/true, /*cross_check=*/true);
+  std::size_t wrong = 0;
+
+  // A tall rational (~bracket height: 2^120-denominator tail) and a
+  // polynomial that vanishes exactly there: p(t) = (t - r)·(t + 1)·3.
+  const Rational r =
+      Rational(BigInt(1) + BigInt(1).shifted_left(120), BigInt(3) * BigInt(1).shifted_left(119));
+  const num::Polynomial p =
+      num::Polynomial::linear(-r, Rational(1)) *
+      num::Polynomial::linear(Rational(1), Rational(1)) *
+      num::Polynomial::constant(Rational(3));
+  const num::FilterOptions armed{/*enabled=*/true, /*cross_check=*/true};
+  for (int k = 0; k < 32; ++k) {
+    if (p.sign_at(r, armed) != 0) ++wrong;
+    // Off-root probes at the same height keep the suite honest about
+    // nonzero signs too.
+    const Rational nearby =
+        r + Rational(BigInt(2 * k + 1), BigInt(1).shifted_left(121));
+    if (p.sign_at(nearby, armed) == 0) ++wrong;
+  }
+
+  // Equal α curves: a/b vs (a·s)/(b·s) with tall s — cross products tie.
+  const num::FilteredCompare compare(armed);
+  const num::FilteredSign sign(armed);
+  const Rational scale(BigInt(7) * BigInt(1).shifted_left(118) + BigInt(5));
+  for (int k = 1; k <= 32; ++k) {
+    const Rational a = Rational(BigInt(k) * BigInt(1).shifted_left(117) + BigInt(11),
+                                BigInt(1).shifted_left(119) + BigInt(k));
+    if (compare(a, a) != 0) ++wrong;
+    if (compare.ratios(a * scale, scale, a * Rational(2), Rational(2)) != 0)
+      ++wrong;
+    if (sign.of_difference(a * scale / scale, a) != 0) ++wrong;
+    // Γ − λ·w == 0 exactly: λ = Γ/w at bracket height.
+    const Rational w =
+        Rational(BigInt(3), BigInt(1).shifted_left(120)) + Rational(k);
+    if (sign.of_linear(a * w, a, w) != 0) ++wrong;
+  }
+  return wrong;
+}
+
+const char* bool_json(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+int main() {
+  // Standard workload: the deviation bench's 10 random 6-rings, all three
+  // deviation kinds = 170 tasks, every breakpoint isolated to the default
+  // bracket_bits = 120.
+  const std::vector<graph::Graph> rings = exp::random_rings(10, 6, 7100, 24);
+
+  std::printf("[filter] filtered pass (best of 3)...\n");
+  SweepRun filtered = run_sweep(rings, /*filtered=*/true);
+  for (int rep = 1; rep < 3; ++rep) {
+    SweepRun again = run_sweep(rings, /*filtered=*/true);
+    if (again.outputs != filtered.outputs) {
+      std::printf("FAIL: filtered reps differ\n");
+      return 1;
+    }
+    if (again.shared_ms < filtered.shared_ms) filtered = std::move(again);
+  }
+
+  std::printf("[filter] exact pass (filter off, best of 3)...\n");
+  SweepRun exact = run_sweep(rings, /*filtered=*/false);
+  for (int rep = 1; rep < 3; ++rep) {
+    SweepRun again = run_sweep(rings, /*filtered=*/false);
+    if (again.shared_ms < exact.shared_ms) exact = std::move(again);
+  }
+
+  const bool results_identical = filtered.outputs == exact.outputs;
+  const std::uint64_t hits = filtered.counters.filter_hits;
+  const std::uint64_t fallbacks = filtered.counters.filter_fallbacks;
+  const double hit_rate =
+      hits + fallbacks > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + fallbacks)
+          : 0.0;
+  const bool exact_pass_clean = exact.counters.filter_hits == 0 &&
+                                exact.counters.filter_fallbacks == 0;
+  std::printf(
+      "[filter] shared phase %.1fms filtered vs %.1fms exact, %llu hits, "
+      "%llu fallbacks (hit rate %.4f), %s\n",
+      filtered.shared_ms, exact.shared_ms,
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(fallbacks), hit_rate,
+      results_identical ? "results identical" : "RESULTS DIFFER");
+
+  // Cross-check sweep: every filtered answer re-derived exactly, over
+  // >= 1000 fresh deviation tasks (one per instance, kinds round-robin).
+  std::printf("[cross-check] 1000 instances, cross_check_filtered armed...\n");
+  configure(/*filtered=*/true, /*cross_check=*/true);
+  std::size_t cc_instances = 0;
+  std::size_t cc_violations = 0;
+  util::Timer cc_timer;
+  for (const graph::Graph& ring : exp::random_rings(1000, 5, 424242, 16)) {
+    game::DeviationTask task;
+    task.kind = static_cast<game::DeviationKind>(cc_instances %
+                                                 game::kDeviationKindCount);
+    task.vertex = static_cast<graph::Vertex>(cc_instances %
+                                             ring.vertex_count());
+    if (task.kind == game::DeviationKind::kCollusion)
+      task.partner = (task.vertex + 1) % ring.vertex_count();
+    ++cc_instances;
+    try {
+      (void)game::optimize_deviation(ring, task);
+    } catch (const std::logic_error& error) {
+      std::printf("cross-check violation (instance %zu): %s\n", cc_instances,
+                  error.what());
+      ++cc_violations;
+    }
+  }
+  const double cc_seconds = cc_timer.elapsed_seconds();
+  const util::PerfSnapshot cc_counters = util::PerfCounters::snapshot();
+  std::printf("[cross-check] %zu violations over %zu instances in %.3fs\n",
+              cc_violations, cc_instances, cc_seconds);
+
+  std::printf("[ties] constructed exact-tie suite...\n");
+  const std::size_t tie_wrong = run_tie_suite();
+  const util::PerfSnapshot tie_counters = util::PerfCounters::snapshot();
+  const bool ties_exercised = tie_counters.filter_exact_ties > 0 &&
+                              tie_counters.filter_fallbacks > 0;
+  std::printf("[ties] %zu wrong answers, %llu exact ties, %llu fallbacks\n",
+              tie_wrong,
+              static_cast<unsigned long long>(tie_counters.filter_exact_ties),
+              static_cast<unsigned long long>(tie_counters.filter_fallbacks));
+
+  const std::string json_path =
+      std::string(RINGSHARE_REPO_ROOT) + "/BENCH_filter.json";
+  {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"numeric_filter\",\n"
+        << "  \"workload\": {\"rings\": " << rings.size()
+        << ", \"n\": 6, \"tasks\": " << filtered.outputs.size() << "},\n"
+        << "  \"filtered_shared_ms\": " << filtered.shared_ms << ",\n"
+        << "  \"exact_shared_ms\": " << exact.shared_ms << ",\n"
+        << "  \"speedup\": "
+        << (filtered.shared_ms > 0 ? exact.shared_ms / filtered.shared_ms : 0)
+        << ",\n"
+        << "  \"results_identical\": " << bool_json(results_identical) << ",\n"
+        << "  \"filter_hits\": " << hits << ",\n"
+        << "  \"filter_fallbacks\": " << fallbacks << ",\n"
+        << "  \"filter_exact_ties\": " << filtered.counters.filter_exact_ties
+        << ",\n"
+        << "  \"hit_rate\": " << hit_rate << ",\n"
+        << "  \"hit_rate_floor\": 0.9,\n"
+        << "  \"exact_pass_counters_clean\": " << bool_json(exact_pass_clean)
+        << ",\n"
+        << "  \"cross_check\": {\"instances\": " << cc_instances
+        << ", \"violations\": " << cc_violations
+        << ", \"seconds\": " << cc_seconds
+        << ", \"filter_hits\": " << cc_counters.filter_hits << "},\n"
+        << "  \"ties\": {\"wrong_answers\": " << tie_wrong
+        << ", \"exact_ties\": " << tie_counters.filter_exact_ties
+        << ", \"fallbacks\": " << tie_counters.filter_fallbacks
+        << ", \"exercised\": " << bool_json(ties_exercised) << "},\n"
+        << "  \"filtered_counters\": " << filtered.counters.to_json(2)
+        << "\n}\n";
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  int exit_code = 0;
+  if (!results_identical) {
+    std::printf("FAIL: partitions differ between filter modes\n");
+    exit_code = 1;
+  }
+  if (hit_rate < 0.9) {
+    std::printf("FAIL: filter hit rate %.4f below the 0.9 floor\n", hit_rate);
+    exit_code = 1;
+  }
+  if (!exact_pass_clean) {
+    std::printf("FAIL: filter counters moved with the filter disabled\n");
+    exit_code = 1;
+  }
+  if (cc_violations > 0) {
+    std::printf("FAIL: %zu cross-check violations\n", cc_violations);
+    exit_code = 1;
+  }
+  if (tie_wrong > 0) {
+    std::printf("FAIL: tie suite got %zu wrong answers\n", tie_wrong);
+    exit_code = 1;
+  }
+  if (!ties_exercised) {
+    std::printf("FAIL: tie suite never reached the exact fallback\n");
+    exit_code = 1;
+  }
+  configure(/*filtered=*/true, /*cross_check=*/false);
+  return exit_code;
+}

@@ -175,6 +175,36 @@ def rows_delta(report) -> list[dict]:
     ]
 
 
+def rows_filter(report) -> list[dict]:
+    # The filter bench's contracts beyond bit-identity: the 90% hit-rate
+    # floor on the standard deviation workload, zero lockstep cross-check
+    # violations, and the constructed tie suite actually reaching (and
+    # surviving) the exact fallback. The hit/fallback rates ride along as
+    # extra columns — the filter's whole value proposition is the ratio of
+    # certified answers to exact retreats.
+    total = report["filter_hits"] + report["filter_fallbacks"]
+    contracts_ok = (
+        report["hit_rate"] >= report["hit_rate_floor"]
+        and report["exact_pass_counters_clean"] is True
+        and report["cross_check"]["violations"] == 0
+        and report["ties"]["wrong_answers"] == 0
+        and report["ties"]["exercised"] is True
+    )
+    return [
+        {
+            "bench": "numeric_filter",
+            "pass": "exact -> dyadic filter",
+            "baseline_seconds": report["exact_shared_ms"] / 1000.0,
+            "current_seconds": report["filtered_shared_ms"] / 1000.0,
+            "speedup": report["speedup"],
+            "results_identical": report["results_identical"] and contracts_ok,
+            "hit_rate": report["hit_rate"],
+            "fallback_rate":
+                report["filter_fallbacks"] / total if total else 0.0,
+        }
+    ]
+
+
 PARSERS = {
     "BENCH_hotpaths.json": rows_hotpaths,
     "BENCH_sweep.json": rows_sweep,
@@ -182,6 +212,7 @@ PARSERS = {
     "BENCH_deviation.json": rows_deviation,
     "BENCH_serve.json": rows_serve,
     "BENCH_delta.json": rows_delta,
+    "BENCH_filter.json": rows_filter,
 }
 
 
@@ -267,7 +298,8 @@ def main() -> int:
               "first (scripts/tier1.sh builds and runs them)", file=sys.stderr)
         return 1
 
-    header = f"{'bench / pass':<38} {'base_s':>8} {'cur_s':>8} {'speedup':>8}  identical"
+    header = (f"{'bench / pass':<38} {'base_s':>8} {'cur_s':>8} "
+              f"{'speedup':>8}  identical  {'hit/fb':>11}")
     print(header)
     print("-" * len(header))
     mismatches = 0
@@ -275,9 +307,13 @@ def main() -> int:
         label = f"{row['bench']} / {row['pass']}"
         identical = row["results_identical"]
         mismatches += 0 if identical else 1
+        # Filter rows carry hit/fallback rates; other benches leave the
+        # column blank.
+        rates = (f"{row['hit_rate']:>5.1%}/{row['fallback_rate']:.1%}"
+                 if "hit_rate" in row else "")
         print(f"{label:<38} {row['baseline_seconds']:>8.3f} "
               f"{row['current_seconds']:>8.3f} {row['speedup']:>7.2f}x  "
-              f"{'yes' if identical else 'NO'}")
+              f"{'yes' if identical else 'NO':<9}  {rates:>11}")
 
     if latencies:
         lat_header = (f"\n{'bench / latency source':<38} {'count':>8} "

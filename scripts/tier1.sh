@@ -21,7 +21,7 @@
 #      kind's worst exact ratio <= 2 (misreport exactly 1), zero
 #      cross-check violations, an engaged incremental-flow layer, and the
 #      shared sweep costs (partition + decompose wall time, best of five
-#      cold reps) under the 100ms budget — tier-1 fails on a Theorem 8
+#      cold reps) under the 60ms budget — tier-1 fails on a Theorem 8
 #      bound breach AND on a shared-phase budget regression.
 #   7. Serve smoke: pipe a small JSONL batch through ringshare_serve built
 #      under ASan/UBSan and under TSan (the batch server is the most
@@ -36,6 +36,12 @@
 #      decompositions bit-identical to cold recomputes every epoch), the
 #      5x speedup floor met, zero armed cross-check violations, and the
 #      splice/patch reuse machinery engaged.
+#  10. Filter bench smoke: run bench_numeric_filter and validate that
+#      BENCH_filter.json parses with results_identical == true (the dyadic
+#      interval filter never changes an answer), the 90% hit-rate floor
+#      met on the standard deviation workload, zero lockstep cross-check
+#      violations over >= 1000 instances, and the exact-tie suite reaching
+#      the exact fallback (filter_exact_ties > 0).
 #
 # Usage: scripts/tier1.sh [--skip-asan]
 #   --skip-asan skips every sanitizer pass (ASan/UBSan and TSan) and the
@@ -60,15 +66,15 @@ if [ "${1:-}" = "--skip-asan" ]; then
 fi
 
 echo "=== ASan/UBSan: configure + build (build-asan/) ==="
-san_flags="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
+san_flags="-fsanitize=address,undefined,float-cast-overflow -fno-omit-frame-pointer -fno-sanitize-recover=all"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="$san_flags" \
   -DCMAKE_EXE_LINKER_FLAGS="$san_flags"
 # Unit-test targets only: the sanitized bench/example binaries add build
 # time without adding coverage.
-for target in numeric_fastpath_test memo_cache_test bigint_test \
-              rational_test util_test flow_test bd_test \
+for target in numeric_fastpath_test filtered_numeric_test memo_cache_test \
+              bigint_test rational_test util_test flow_test bd_test \
               deviation_differential_test deviation_metamorphic_test \
               incremental_flow_test engine_test serve_test \
               delta_test stream_test; do
@@ -76,8 +82,8 @@ for target in numeric_fastpath_test memo_cache_test bigint_test \
 done
 
 echo "=== ASan/UBSan: run ==="
-for target in numeric_fastpath_test memo_cache_test bigint_test \
-              rational_test util_test flow_test bd_test \
+for target in numeric_fastpath_test filtered_numeric_test memo_cache_test \
+              bigint_test rational_test util_test flow_test bd_test \
               deviation_differential_test deviation_metamorphic_test \
               incremental_flow_test engine_test serve_test \
               delta_test stream_test; do
@@ -92,13 +98,13 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="$tsan_flags" \
   -DCMAKE_EXE_LINKER_FLAGS="$tsan_flags"
 for target in util_test sweep_driver_test deviation_metamorphic_test \
-              serve_test delta_test stream_test; do
+              filtered_numeric_test serve_test delta_test stream_test; do
   cmake --build build-tsan -j "$jobs" --target "$target"
 done
 
 echo "=== TSan: run (work-stealing pool + concurrent sweep + server) ==="
 for target in util_test sweep_driver_test deviation_metamorphic_test \
-              serve_test delta_test stream_test; do
+              filtered_numeric_test serve_test delta_test stream_test; do
   echo "--- $target ---"
   "./build-tsan/tests/$target"
 done
@@ -281,8 +287,41 @@ ok = (
     and report["incremental_flow"]["reruns"] > 0
     and report["incremental_flow"]["results_identical"] is True
     # Shared-cost budget: the accelerated pass's partition + decompose
-    # wall time (best of five cold reps) must stay under 100ms.
+    # wall time (best of five cold reps) must stay under 60ms.
     and report["shared_phase_ms"] < report["shared_phase_budget_ms"]
+)
+sys.exit(0 if ok else 1)
+EOF
+else
+  echo "tier1.sh: python3 not found; JSON well-formedness check skipped"
+fi
+
+echo "=== filter bench smoke: bench_numeric_filter ==="
+cmake --build build -j "$jobs" --target bench_numeric_filter
+./build/bench/bench_numeric_filter
+# The binary exits nonzero on any contract violation (identity, the 90%
+# hit-rate floor, lockstep cross-check, tie-suite fallback coverage);
+# re-validate the JSON independently so a stale artifact also fails CI.
+grep -q '"results_identical": true' BENCH_filter.json || {
+  echo "tier1.sh: BENCH_filter.json missing results_identical: true" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+with open("BENCH_filter.json") as f:
+    report = json.load(f)
+ties = report["ties"]
+ok = (
+    report["results_identical"] is True
+    and report["hit_rate"] >= report["hit_rate_floor"]
+    and report["filter_hits"] > 0
+    and report["exact_pass_counters_clean"] is True
+    and report["cross_check"]["instances"] >= 1000
+    and report["cross_check"]["violations"] == 0
+    and ties["wrong_answers"] == 0
+    and ties["exact_ties"] > 0
+    and ties["exercised"] is True
 )
 sys.exit(0 if ok else 1)
 EOF

@@ -241,10 +241,13 @@ std::vector<std::string> proposition3_violations(
 
   // (1) strictly increasing α, all ≤ 1 and > 0 (0 only in degenerate graphs
   // with isolated positive-weight vertices, which callers flag themselves).
+  // Probe partitions validate every sampled decomposition, so these α
+  // orderings sit on the partition hot path — route them through the filter.
+  const num::FilteredCompare compare(filter_options());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (Rational(1) < pairs[i].alpha)
+    if (compare.less(Rational(1), pairs[i].alpha))
       violations.push_back("alpha > 1 at pair " + std::to_string(i + 1));
-    if (i > 0 && !(pairs[i - 1].alpha < pairs[i].alpha))
+    if (i > 0 && !compare.less(pairs[i - 1].alpha, pairs[i].alpha))
       violations.push_back("alpha not strictly increasing at pair " +
                            std::to_string(i + 1));
   }

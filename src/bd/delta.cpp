@@ -337,11 +337,17 @@ DeltaOutcome DeltaSolver::update_weight(Vertex v, Rational weight) {
         }
         BottleneckPair pair;
         bool emitted = false;
-        if (disjoint && cand.alpha < comp_cache.alpha) {
+        // Reuse-certificate ordering: which of the spliced candidate and the
+        // freshly solved component attains the smaller α decides the stage.
+        // Both α's carry whatever precision the peel produced, so compare
+        // through the filter (exact on straddle — the emitted pair is the
+        // same one the plain comparisons picked).
+        const num::FilteredCompare compare(filter_options());
+        if (disjoint && compare.less(cand.alpha, comp_cache.alpha)) {
           pair = cand;  // old_pairs stays intact for the tail splice
           ++outcome.spliced_stages;
           emitted = true;
-        } else if (comp_cache.alpha < cand.alpha) {
+        } else if (compare.less(comp_cache.alpha, cand.alpha)) {
           pair.b = comp_cache.b;
           pair.c = comp_cache.c;
           pair.alpha = comp_cache.alpha;

@@ -36,6 +36,7 @@
 
 #include "bd/parametric.hpp"
 #include "graph/canonical.hpp"
+#include "numeric/filtered.hpp"
 
 namespace ringshare::bd {
 
@@ -95,10 +96,28 @@ struct HotPathConfig {
   /// throw std::logic_error if any stage's (B, C, α) differs (lockstep
   /// oracle; expensive).
   bool cross_check_delta = false;
+  /// Answer bracket-height sign tests and comparisons from outward-rounded
+  /// dyadic intervals (numeric/filtered.hpp) and fall back to exact BigInt
+  /// cross-multiplication only when the interval straddles zero. Ties are
+  /// always decided exactly, so every consumer's result is bit-identical
+  /// with the filter on or off; hits/fallbacks/exact ties are counted in
+  /// filter_hits / filter_fallbacks / filter_exact_ties.
+  bool filtered_numerics = true;
+  /// Re-derive every filtered answer through the exact path and throw
+  /// std::logic_error on any disagreement (lockstep oracle; expensive).
+  bool cross_check_filtered = false;
 };
 
 /// The live configuration (mutable singleton).
 [[nodiscard]] HotPathConfig& hot_path_config() noexcept;
+
+/// The numeric filter options implied by the live hot-path config (the
+/// numeric layer cannot read bd config itself — consumers pass this down).
+[[nodiscard]] inline num::FilterOptions filter_options() noexcept {
+  const HotPathConfig& config = hot_path_config();
+  return num::FilterOptions{config.filtered_numerics,
+                            config.cross_check_filtered};
+}
 
 /// Cache fingerprint: a length-prefixed word encoding of a graph (verbatim
 /// or canonical scheme; the schemes cannot collide). Equal keys ⟺ equal

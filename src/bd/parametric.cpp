@@ -136,21 +136,32 @@ std::vector<Vertex> maximal_minimizer(const Graph& g, const Rational& lambda,
 
 /// Cold-start upper bound: the best single-vertex ratio (an attained α(S),
 /// hence ≥ α*, so descent from it always stays in attained-ratio territory).
-Rational cold_bound(const Graph& g) {
+/// `winner`, when given, receives the vertex attaining the bound, so the
+/// caller can seed its λ-source set for the same-set acceptance shortcut.
+Rational cold_bound(const Graph& g, Vertex* winner = nullptr) {
   const std::size_t n = g.vertex_count();
+  // Division-free argmin: ratios compare as cross products through the
+  // dyadic filter; the single division runs at the winner. Ties keep the
+  // first attaining vertex, exactly like the quotient-then-compare loop.
+  const num::FilteredCompare compare(filter_options());
   bool found = false;
-  Rational lambda;
+  Vertex best_v = 0;
+  Rational best_nb;
+  Rational best_w;
   for (Vertex v = 0; v < n; ++v) {
     if (g.weight(v).is_zero()) continue;
-    Rational candidate = g.set_weight(g.neighbors(v)) / g.weight(v);
-    if (!found || candidate < lambda) {
-      lambda = std::move(candidate);
+    Rational nb_w = g.set_weight(g.neighbors(v));
+    if (!found || compare.ratios(nb_w, g.weight(v), best_nb, best_w) < 0) {
+      best_v = v;
+      best_nb = std::move(nb_w);
+      best_w = g.weight(v);
       found = true;
     }
   }
   if (!found)
     throw std::invalid_argument("maximal_bottleneck: all weights zero");
-  return lambda;
+  if (winner != nullptr) *winner = best_v;
+  return std::move(best_nb) / best_w;
 }
 
 }  // namespace
@@ -251,11 +262,22 @@ BottleneckResult maximal_bottleneck(const Graph& g,
   // λ = α* and S = the maximal bottleneck exactly.
   bool warm = false;
   Rational lambda;
+  // The set whose attained ratio equals λ (the cold bound's winning
+  // singleton, or the previous iteration's minimizer after a λ update).
+  // When the oracle hands that very set back, Γ(S) − λ·w(S) is exactly 0
+  // by construction — accept without recomputing the sums or asking the
+  // filter to certify a zero it can only resolve by falling back. Empty
+  // under a warm start, where λ is a hint rather than an attained ratio.
+  // The shortcut rides the Layer-10 toggle: with filtered_numerics off,
+  // every acceptance runs the plain exact sign query.
+  std::vector<Vertex> lambda_source;
   if (options.warm_lambda != nullptr && !options.warm_lambda->is_negative()) {
     lambda = *options.warm_lambda;
     warm = true;
   } else {
-    lambda = cold_bound(g);
+    Vertex cold_v = 0;
+    lambda = cold_bound(g, &cold_v);
+    lambda_source.assign(1, cold_v);
   }
 
   BottleneckResult result;
@@ -264,6 +286,12 @@ BottleneckResult maximal_bottleneck(const Graph& g,
     result.dinkelbach_iterations = iteration;
     count_iteration();
     std::vector<Vertex> candidate = evaluate(lambda);
+    if (filter_options().enabled && !lambda_source.empty() &&
+        candidate == lambda_source) {
+      result.alpha = lambda;
+      result.bottleneck = std::move(candidate);
+      return result;
+    }
     const Rational set_w =
         candidate.empty() ? Rational(0) : g.set_weight(candidate);
     if (candidate.empty() || set_w.is_zero()) {
@@ -273,7 +301,9 @@ BottleneckResult maximal_bottleneck(const Graph& g,
         // solver exactly where a cold start would have begun.
         count_warm_restart();
         warm = false;
-        lambda = cold_bound(g);
+        Vertex cold_v = 0;
+        lambda = cold_bound(g, &cold_v);
+        lambda_source.assign(1, cold_v);
         result.alpha = lambda;
         continue;
       }
@@ -287,8 +317,10 @@ BottleneckResult maximal_bottleneck(const Graph& g,
       throw std::logic_error("maximal_bottleneck: zero-weight minimizer");
     }
     const Rational nbhd_w = g.set_weight(g.neighborhood(candidate));
-    const Rational value = nbhd_w - lambda * set_w;
-    if (value.sign() >= 0) {
+    // Acceptance sign of Γ(S) − λ·w(S) through the filter; exact linear
+    // form only on a straddle, so the accepted α is unchanged.
+    if (num::FilteredSign(filter_options()).of_linear(nbhd_w, lambda,
+                                                      set_w) >= 0) {
       // λ ≤ α(candidate) and candidate non-empty ⇒ λ = α*, candidate is the
       // maximal bottleneck.
       if (warm && iteration == 1) count_warm_hit();
@@ -298,6 +330,7 @@ BottleneckResult maximal_bottleneck(const Graph& g,
     }
     warm = false;
     lambda = nbhd_w / set_w;  // strictly smaller; iterate
+    lambda_source = std::move(candidate);
     result.alpha = lambda;
   }
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "bd/memo.hpp"
 #include "util/perf_counters.hpp"
 
 namespace ringshare::bd {
@@ -408,6 +409,38 @@ void stage_component_weights(const std::vector<Rational>& weights,
                   component);
 }
 
+void stage_component_numerators(const std::vector<num::BigInt>& numerators,
+                                RingComponent& component) {
+  const std::size_t k = component.order.size();
+  component.scaled_w.clear();
+  component.big_w.clear();
+  // Same int64 eligibility rules as stage_component, with the common scale
+  // already shared: each numerator stages as-is.
+  component.scaled = k <= kMaxScaledLength;
+  if (component.scaled) {
+    component.scaled_w.reserve(k);
+    for (const Vertex v : component.order) {
+      const num::BigInt& value = numerators[v];
+      if (!value.fits_int64()) {
+        component.scaled = false;
+        break;
+      }
+      const std::int64_t scaled = value.to_int64();
+      if (scaled >= kMaxMagnitude || scaled <= -kMaxMagnitude) {
+        component.scaled = false;
+        break;
+      }
+      component.scaled_w.push_back(scaled);
+    }
+  }
+  if (!component.scaled) {
+    component.scaled_w.clear();
+    component.big_w.reserve(k);
+    for (const Vertex v : component.order)
+      component.big_w.push_back(numerators[v]);
+  }
+}
+
 std::vector<Vertex> kernel_maximal_minimizer(const Graph& g,
                                              const RingStructure& structure,
                                              const Rational& lambda) {
@@ -450,21 +483,41 @@ ComponentBottleneck component_bottleneck(const Graph& g,
   };
 
   // Cold start: the best single-vertex ratio inside the component — an
-  // attained α(S), hence ≥ α*.
+  // attained α(S), hence ≥ α*. Division-free argmin: ratios compare as
+  // cross products through the filter, and the one division runs at the
+  // winner. Ties keep the first attaining vertex, like the
+  // quotient-then-compare loop did, so the bound is bit-identical.
+  const num::FilteredSign filtered_sign(filter_options());
+  const num::FilteredCompare filtered_compare(filter_options());
+  // The set whose attained ratio λ currently equals: the cold bound's
+  // winning singleton, or the previous iteration's minimizer after a λ
+  // update. When the kernel hands that very set back, Γ(S) − λ·w(S) is
+  // exactly 0 by construction — accept without recomputing the sums or
+  // asking the filter to certify a zero it can only resolve by falling
+  // back. Empty under a warm start (the hint's set is unknown). The
+  // shortcut rides the Layer-10 toggle: with filtered_numerics off, every
+  // acceptance runs the plain exact sign query.
+  std::vector<Vertex> lambda_source;
   const auto cold_bound = [&]() -> Rational {
     bool found = false;
-    Rational lambda;
+    Vertex best_v = 0;
+    Rational best_nb;
+    Rational best_w;
     for (const Vertex v : component.order) {
       if (g.weight(v).is_zero()) continue;
-      Rational candidate = g.set_weight(g.neighbors(v)) / g.weight(v);
-      if (!found || candidate < lambda) {
-        lambda = std::move(candidate);
+      Rational nb_w = g.set_weight(g.neighbors(v));
+      if (!found || filtered_compare.ratios(nb_w, g.weight(v), best_nb,
+                                            best_w) < 0) {
+        best_v = v;
+        best_nb = std::move(nb_w);
+        best_w = g.weight(v);
         found = true;
       }
     }
     if (!found)
       throw std::logic_error("component_bottleneck: zero-weight component");
-    return lambda;
+    lambda_source.assign(1, best_v);
+    return std::move(best_nb) / best_w;
   };
 
   // The same Dinkelbach acceptance loop as maximal_bottleneck, over the
@@ -482,6 +535,12 @@ ComponentBottleneck component_bottleneck(const Graph& g,
   for (;;) {
     ++result.iterations;
     std::vector<Vertex> candidate = evaluate(lambda);
+    if (filtered_sign.options().enabled && !lambda_source.empty() &&
+        candidate == lambda_source) {
+      result.alpha = std::move(lambda);
+      result.bottleneck = std::move(candidate);
+      return result;
+    }
     const Rational set_w =
         candidate.empty() ? Rational(0) : g.set_weight(candidate);
     if (candidate.empty() || set_w.is_zero()) {
@@ -496,14 +555,17 @@ ComponentBottleneck component_bottleneck(const Graph& g,
               : "component_bottleneck: zero-weight minimizer");
     }
     const Rational nbhd_w = g.set_weight(g.neighborhood(candidate));
-    const Rational value = nbhd_w - lambda * set_w;
-    if (value.sign() >= 0) {
+    // Acceptance sign of Γ(S) − λ·w(S) through the filter: the interval
+    // decides almost every iteration, and the exact linear form runs only
+    // on a straddle (the accepted α is the same rational either way).
+    if (filtered_sign.of_linear(nbhd_w, lambda, set_w) >= 0) {
       result.alpha = std::move(lambda);
       result.bottleneck = std::move(candidate);
       return result;
     }
     warm = false;
     lambda = nbhd_w / set_w;
+    lambda_source = std::move(candidate);
   }
 }
 

@@ -70,6 +70,14 @@ struct RingStructure {
 void stage_component_weights(const std::vector<Rational>& weights,
                              RingComponent& component);
 
+/// Re-stage `component` from integer weight numerators that already share
+/// one (implicit, positive) common denominator. The kernel DP is invariant
+/// under a shared positive scale, so the numerators stage verbatim: no
+/// lcm, no gcd, no per-vertex division — the fast path for signature
+/// probes whose weights are evaluated over a common denominator.
+void stage_component_numerators(const std::vector<num::BigInt>& numerators,
+                                RingComponent& component);
+
 /// The maximal minimizer of f(S) = w(Γ(S)) − λ·w(S) over S ⊆ V(g), as a
 /// sorted vertex list — the combinatorial equivalent of one parametric
 /// min-cut evaluation. `structure` must come from analyze_ring_structure(g).

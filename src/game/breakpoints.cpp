@@ -44,6 +44,16 @@ struct ParametrizedGraph::RingOracle {
   std::vector<std::array<Vertex, 2>> nbr;
   std::vector<std::uint8_t> deg;
 
+  /// Common-denominator staging of the weight family: with coeff_scale = L
+  /// the lcm of every coefficient denominator, the weight of v at t = tp/tq
+  /// is (c_scaled[v]·tq + s_scaled[v]·tp) / (L·tq). The probe loop only
+  /// ever consumes signs and ratios of weights, so the shared positive
+  /// denominator L·tq cancels everywhere and signature_at works on integer
+  /// numerators alone — no per-probe rational normalization, no gcd.
+  num::BigInt coeff_scale = num::BigInt(1);
+  std::vector<num::BigInt> c_scaled;
+  std::vector<num::BigInt> s_scaled;
+
   /// Signature at t, or nullopt when t is out of range or a varying weight
   /// goes negative there (the decompose() fallback then throws the
   /// canonical exception). `warm` (optional) carries per-stage α* hints
@@ -63,7 +73,7 @@ std::optional<Signature> ParametrizedGraph::RingOracle::signature_at(
   // innermost loop, so the working vectors (and the staged components'
   // buffers) are recycled call to call instead of reallocated.
   struct Scratch {
-    std::vector<Rational> w;
+    std::vector<num::BigInt> wn;
     std::vector<char> alive;
     std::vector<char> visited;
     std::vector<char> in_c;
@@ -73,15 +83,17 @@ std::optional<Signature> ParametrizedGraph::RingOracle::signature_at(
     bd::RingStructure structure;
   };
   static thread_local Scratch scratch;
-  std::vector<Rational>& w = scratch.w;
-  w.resize(n);
+  // Weight numerators over the shared denominator coeff_scale·t_den: two
+  // integer multiplies and an add per varying vertex, one multiply per
+  // static one — no rational normalization anywhere in the probe.
+  const num::BigInt& tp = t.numerator();
+  const num::BigInt& tq = t.denominator();
+  std::vector<num::BigInt>& wn = scratch.wn;
+  wn.resize(n);
   for (Vertex v = 0; v < n; ++v) {
-    if (pg.varying_[v]) {
-      w[v] = pg.varying_[v]->at(t);
-      if (w[v].is_negative()) return std::nullopt;
-    } else {
-      w[v] = pg.base_.weight(v);
-    }
+    wn[v] = c_scaled[v] * tq;
+    if (!s_scaled[v].is_zero()) wn[v] += s_scaled[v] * tp;
+    if (pg.varying_[v] && wn[v].is_negative()) return std::nullopt;
   }
 
   const auto alive_neighbors = [&](const std::vector<char>& alive, Vertex v,
@@ -93,6 +105,9 @@ std::optional<Signature> ParametrizedGraph::RingOracle::signature_at(
     }
     return k;
   };
+
+  const num::FilteredSign filtered_sign(bd::filter_options());
+  const num::FilteredCompare filtered_compare(bd::filter_options());
 
   Signature out;
   std::vector<char>& alive = scratch.alive;
@@ -113,7 +128,7 @@ std::optional<Signature> ParametrizedGraph::RingOracle::signature_at(
     // pair b = c = remaining.
     bool any_positive = false;
     for (const Vertex v : alive_list) {
-      if (!w[v].is_zero()) {
+      if (!wn[v].is_zero()) {
         any_positive = true;
         break;
       }
@@ -188,26 +203,49 @@ std::optional<Signature> ParametrizedGraph::RingOracle::signature_at(
     }
     structure.components.resize(component_count);
     for (bd::RingComponent& comp : structure.components)
-      bd::stage_component_weights(w, comp);
+      bd::stage_component_numerators(wn, comp);
+
+    // The set whose attained ratio equals λ (the cold bound's winning
+    // singleton, or the previous iteration's minimizer after a λ update).
+    // When the kernel hands that very set back, Γ(S) − λ·w(S) is exactly 0
+    // by construction — accept without a sign query the filter could only
+    // resolve by falling back. Empty under a warm start, where λ is a hint
+    // rather than an attained ratio. The shortcut rides the Layer-10
+    // toggle: with filtered_numerics off, every acceptance runs the plain
+    // exact sign query.
+    std::vector<Vertex> lambda_source;
 
     // Cold-start bound: the best single-vertex attained ratio, exactly as
     // maximal_bottleneck's cold path computes it on the induced stage.
     const auto cold_bound = [&]() {
+      // Division-free argmin: candidate ratios Γ(v)/w(v) — the shared
+      // denominator cancels, so they are ratios of numerators — compare as
+      // cross products through the filter, and the single normalizing
+      // Rational construction runs at the winner only. Ties keep the first
+      // attaining vertex, like the quotient-then-compare loop did, and the
+      // canonical quotient is the same rational either way — the returned
+      // bound is bit-identical.
       bool found_bound = false;
-      Rational bound;
+      Vertex best_v = 0;
+      num::BigInt best_nb;
+      num::BigInt best_w;
       for (const Vertex v : alive_list) {
-        if (w[v].is_zero()) continue;
+        if (wn[v].is_zero()) continue;
         Vertex buf[2];
         const int m = alive_neighbors(alive, v, buf);
-        Rational nb_w;
-        for (int i = 0; i < m; ++i) nb_w += w[buf[i]];
-        Rational candidate = std::move(nb_w) / w[v];
-        if (!found_bound || candidate < bound) {
-          bound = std::move(candidate);
+        num::BigInt nb_w;
+        for (int i = 0; i < m; ++i) nb_w += wn[buf[i]];
+        if (!found_bound ||
+            filtered_compare.scaled_ratios(nb_w, wn[v], best_nb, best_w) <
+                0) {
+          best_v = v;
+          best_nb = std::move(nb_w);
+          best_w = wn[v];
           found_bound = true;
         }
       }
-      return bound;
+      lambda_source.assign(1, best_v);
+      return Rational(std::move(best_nb), std::move(best_w));
     };
 
     // Dinkelbach descent on the kernel, warm-started from the same stage's
@@ -235,8 +273,11 @@ std::optional<Signature> ParametrizedGraph::RingOracle::signature_at(
             1, std::memory_order_relaxed);
         candidate = bd::kernel_maximal_minimizer(pg.base_, structure, lambda);
       }
-      Rational set_w;
-      for (const Vertex v : candidate) set_w += w[v];
+      const bool source_match = filtered_sign.options().enabled &&
+                                !lambda_source.empty() &&
+                                candidate == lambda_source;
+      num::BigInt set_w;
+      for (const Vertex v : candidate) set_w += wn[v];
       if (candidate.empty() || set_w.is_zero()) {
         if (warm) {
           // Warm guess undershot α*: restart from the attained cold bound,
@@ -259,15 +300,19 @@ std::optional<Signature> ParametrizedGraph::RingOracle::signature_at(
         const int m = alive_neighbors(alive, v, buf);
         for (int i = 0; i < m; ++i) in_c[buf[i]] = 1;
       }
-      Rational nbhd_w;
+      num::BigInt nbhd_w;
       for (const Vertex v : alive_list) {
         if (!in_c[v]) continue;
         in_c[v] = 0;
         gamma.push_back(v);
-        nbhd_w += w[v];
+        nbhd_w += wn[v];
       }
-      const Rational value = nbhd_w - lambda * set_w;
-      if (value.sign() >= 0) {
+      // Acceptance sign of Γ(S) − λ·w(S) through the filter, on numerators
+      // (the shared denominator cancels): the rejected branch still needs
+      // the exact quotient below, but accepted probes — the common case
+      // once λ converges — skip the tall product entirely.
+      if (source_match ||
+          filtered_sign.of_scaled_linear(nbhd_w, lambda, set_w) >= 0) {
         if (warm && iteration == 1) {
           util::PerfCounters::local().dinkelbach_warm_hits.fetch_add(
               1, std::memory_order_relaxed);
@@ -278,7 +323,8 @@ std::optional<Signature> ParametrizedGraph::RingOracle::signature_at(
         break;
       }
       warm = false;
-      lambda = std::move(nbhd_w) / set_w;
+      lambda_source = std::move(candidate);
+      lambda = Rational(std::move(nbhd_w), std::move(set_w));
     }
 
     for (const Vertex v : accepted_b) alive[v] = 0;
@@ -312,6 +358,36 @@ std::shared_ptr<const ParametrizedGraph::RingOracle> ParametrizedGraph::oracle()
     const auto nbs = base_.neighbors(v);
     if (nbs.size() > 2) return oracle_;  // not a ring union; stays null
     for (const Vertex u : nbs) built->nbr[v][built->deg[v]++] = u;
+  }
+  // Stage the weight family over one common denominator (lcm of every
+  // coefficient denominator), so each probe evaluates weights with integer
+  // multiplies only. Built once per family; set_affine invalidates.
+  num::BigInt scale(1);
+  const auto fold_denominator = [&scale](const num::BigInt& den) {
+    scale = scale / num::BigInt::gcd(scale, den) * den;
+  };
+  for (Vertex v = 0; v < n; ++v) {
+    if (varying_[v]) {
+      fold_denominator(varying_[v]->constant.denominator());
+      fold_denominator(varying_[v]->slope.denominator());
+    } else {
+      fold_denominator(base_.weight(v).denominator());
+    }
+  }
+  built->coeff_scale = scale;
+  built->c_scaled.resize(n);
+  built->s_scaled.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const Rational& constant =
+        varying_[v] ? varying_[v]->constant : base_.weight(v);
+    built->c_scaled[v] =
+        constant.numerator() * (scale / constant.denominator());
+    if (varying_[v] && !varying_[v]->slope.is_zero()) {
+      const Rational& slope = varying_[v]->slope;
+      built->s_scaled[v] = slope.numerator() * (scale / slope.denominator());
+    } else {
+      built->s_scaled[v] = num::BigInt(0);
+    }
   }
   oracle_ = std::move(built);
   return oracle_;
@@ -369,6 +445,12 @@ void ParametrizedGraph::set_affine(Vertex v, AffineWeight weight) {
   if (v >= base_.vertex_count())
     throw std::out_of_range("ParametrizedGraph: vertex out of range");
   varying_.at(v) = std::move(weight);
+  // The oracle stages coefficient numerators per weight family; a new
+  // affine weight invalidates that staging (topology is unchanged, but the
+  // staging is rebuilt with it on the next probe).
+  std::lock_guard<std::mutex> lock(hints_mutex_);
+  oracle_.reset();
+  oracle_checked_ = false;
 }
 
 Graph ParametrizedGraph::at(const Rational& t) const {
@@ -563,6 +645,7 @@ struct PartitionBuilder {
   int bracket_bits;
   Rational cell;  ///< range / 2^bracket_bits — the absolute snapping grid
   const std::vector<Rational>* seeds;  ///< optional bisection split hints
+  num::FilterOptions filter;  ///< dyadic filter config for bracket-height work
   std::vector<Breakpoint> breakpoints;
 
   /// Smallest k with width · 2^k ≥ range, i.e. an upper bound on how many
@@ -642,6 +725,10 @@ struct PartitionBuilder {
   [[nodiscard]] SnappedBracket snap_bracket(const Rational& b_lo,
                                             const Rational& b_hi,
                                             const num::Polynomial& poly) const {
+    // Unfiltered on purpose: these probe points sit within an isolating
+    // bracket of the root, where |poly| is far below the dyadic tier's
+    // resolution — the enclosure would straddle every time, so the exact
+    // kernel is the right first call.
     const int s_lo = poly.sign_at(b_lo);
     const int s_hi = poly.sign_at(b_hi);
     if (s_lo * s_hi >= 0 || !(b_hi - b_lo < cell))
@@ -771,14 +858,17 @@ struct PartitionBuilder {
     // exact piece solver evaluates them as boundary candidates, which is
     // what lets it dominate dense scans near irrational breakpoints.
     const num::RootIsolationOptions iso{
-        std::max(32, bracket_bits + 1 - width_depth(hi - lo))};
+        std::max(32, bracket_bits + 1 - width_depth(hi - lo)), filter.enabled,
+        filter.cross_check};
     std::vector<CrossingRoot> roots;
     collect_crossing_brackets(pg, sig_lo, lo, hi, iso, roots);
     collect_crossing_brackets(pg, sig_hi, lo, hi, iso, roots);
+    const num::FilteredCompare compare(filter);
     std::sort(roots.begin(), roots.end(),
-              [](const CrossingRoot& a, const CrossingRoot& b) {
-                return a.bracket.lo != b.bracket.lo ? a.bracket.lo < b.bracket.lo
-                                                    : a.bracket.hi < b.bracket.hi;
+              [&compare](const CrossingRoot& a, const CrossingRoot& b) {
+                const auto by_lo = compare(a.bracket.lo, b.bracket.lo);
+                return by_lo != 0 ? by_lo < 0
+                                  : compare.less(a.bracket.hi, b.bracket.hi);
               });
     for (const CrossingRoot& root : roots) {
       if (root.bracket.exact) continue;  // rational roots were already tried
@@ -897,7 +987,8 @@ struct PartitionBuilder {
     // full bracket_bits precision; paying that here, over the FULL range
     // and for every crossing quadratic of both flank signatures, would cost
     // more exact arithmetic than the sweep saves in decompositions.
-    const num::RootIsolationOptions iso{32};
+    const num::RootIsolationOptions iso{32, filter.enabled,
+                                        filter.cross_check};
     std::vector<CrossingRoot> roots;
     collect_crossing_brackets(pg, sig_lo, lo, hi, iso, roots);
     collect_crossing_brackets(pg, sig_hi, lo, hi, iso, roots);
@@ -909,9 +1000,11 @@ struct PartitionBuilder {
     }
     if (events.empty()) return false;  // nothing visible: plain bisection
 
+    const num::FilteredCompare compare(filter);
     std::sort(events.begin(), events.end(),
-              [](const SweepEvent& a, const SweepEvent& b) {
-                return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+              [&compare](const SweepEvent& a, const SweepEvent& b) {
+                const auto by_lo = compare(a.lo, b.lo);
+                return by_lo != 0 ? by_lo < 0 : compare.less(a.hi, b.hi);
               });
     std::vector<SweepEvent> merged;
     for (SweepEvent& event : events) {
@@ -1027,6 +1120,7 @@ StructurePartition find_structure_partition(const ParametrizedGraph& pg,
                            options.bracket_bits,
                            scaled(options.bracket_bits),
                            options.seeds,
+                           bd::filter_options(),
                            {}};
   const Signature sig_lo = pg.signature(pg.t_lo());
   const Signature sig_hi = pg.signature(pg.t_hi());

@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "bd/memo.hpp"
 #include "graph/canonical.hpp"
+#include "numeric/filtered.hpp"
 #include "util/parallel.hpp"
 #include "util/perf_counters.hpp"
 
@@ -117,16 +119,26 @@ void exact_piece_candidates(std::span<const PieceUtility> terms,
   tally.piece_solver_pieces.fetch_add(1, std::memory_order_relaxed);
   if (d.is_zero()) return;  // U constant on the piece: bounds cover it
 
-  for (const RootBracket& root : num::isolate_roots(d, lo, hi)) {
+  // Route the isolator's bracket-height sign probes through the dyadic
+  // filter; root sets and brackets stay bit-identical by the filter's
+  // exact-fallback contract.
+  num::RootIsolationOptions iso;
+  const num::FilterOptions filter = bd::filter_options();
+  iso.filtered = filter.enabled;
+  iso.filter_cross_check = filter.cross_check;
+  for (const RootBracket& root : num::isolate_roots(d, lo, hi, iso)) {
     if (root.exact) {
       tally.piece_solver_exact_roots.fetch_add(1, std::memory_order_relaxed);
       out.push_back(root.lo);
     } else {
       tally.piece_solver_bracketed_roots.fetch_add(1,
                                                    std::memory_order_relaxed);
+      // In bracket order, so the candidate list stays sorted by
+      // construction (brackets from the isolator are disjoint and
+      // increasing).
       out.push_back(root.lo);
-      out.push_back(root.hi);
       out.push_back(root.value());
+      out.push_back(root.hi);
     }
   }
 }
@@ -178,8 +190,12 @@ void scan_piece_candidates(std::span<const PieceUtility> terms,
   Rational best_rational = Rational::from_double(best_t);
   if (best_rational < lo) best_rational = lo;
   if (hi < best_rational) best_rational = hi;
+  Rational mid = Rational::midpoint(lo, hi);
+  // Emit in increasing order: callers assemble per-piece lists into a
+  // globally sorted candidate sequence without a comparison sort.
+  if (mid < best_rational) std::swap(best_rational, mid);
   out.push_back(std::move(best_rational));
-  out.push_back(Rational::midpoint(lo, hi));
+  out.push_back(std::move(mid));
 }
 
 void cross_check_piece(std::span<const PieceUtility> terms, const Rational& lo,
@@ -324,6 +340,10 @@ TrackedOptimum optimize_tracked_utility(const ParametrizedGraph& family,
   if (tracked.empty())
     throw std::invalid_argument("optimize_tracked_utility: no tracked vertex");
 
+  // Candidate parameters and utilities carry bracket-height tails; every
+  // ordering below goes through the filter (exact results, interval speed).
+  const num::FilteredCompare filtered_compare(bd::filter_options());
+
   // Partition memo: seed the bisection refiner with the breakpoint fractions
   // of the last partition over the same base graph (e.g. the previous
   // vertex's misreport family). Seeds are split-point hints only, so output
@@ -385,22 +405,6 @@ TrackedOptimum optimize_tracked_utility(const ParametrizedGraph& family,
     PartitionMemo::instance().insert(std::move(*memo_key), std::move(merged));
   }
 
-  // Candidate parameters: range ends, breakpoints, and per-piece interior
-  // candidates (exact stationary points, or the legacy scan's best).
-  std::vector<Rational> candidates = {family.t_lo(), family.t_hi()};
-  for (const Breakpoint& bp : partition.breakpoints) {
-    candidates.push_back(bp.value);
-    if (!bp.exact) {
-      // Irrational crossing: the true breakpoint lies strictly inside
-      // [bp.lo, bp.hi] and the piece utilities are monotone right up to it,
-      // so the in-piece bracket endpoints are the best attainable parameters
-      // near the boundary — strictly closer than any double-precision scan
-      // sample can get.
-      candidates.push_back(bp.lo);
-      candidates.push_back(bp.hi);
-    }
-  }
-
   std::vector<std::vector<Rational>> piece_candidates(partition.piece_count());
   {
     util::ScopedPhase phase(util::Phase::kPieceSolve);
@@ -424,12 +428,95 @@ TrackedOptimum optimize_tracked_utility(const ParametrizedGraph& family,
       }
     });
   }
-  for (std::vector<Rational>& piece : piece_candidates)
-    for (Rational& t : piece) candidates.push_back(std::move(t));
+  // Candidate parameters: range ends, breakpoints (with, for irrational
+  // crossings, the in-piece bracket endpoints — the best attainable
+  // parameters near the boundary, strictly closer than any double-precision
+  // scan sample can get), and the per-piece interior candidates. Pieces are
+  // ordered and disjoint, bracket triples have a known internal order, and
+  // each piece's interior list arrives sorted, so the global list is
+  // assembled already sorted: no comparison sort ever runs, and in
+  // particular no comparison of two endpoints of the same 2⁻⁹⁶-wide bracket
+  // — an ordering the interval filter structurally cannot certify — is ever
+  // issued. Each candidate also carries its certified signature (nullptr =
+  // evaluate by decomposition) pinned at construction: interior candidates
+  // that stray into a neighboring bracket's sliver (located with one
+  // filtered binary search per bracket edge) stay uncertified, exactly the
+  // verdicts the sliver-conservative per-candidate lookup used to produce.
+  const std::vector<Breakpoint>& bps = partition.breakpoints;
+  std::vector<Rational> candidates;
+  std::vector<const Signature*> sigs;
+  auto emit = [&](Rational t, const Signature* sig) {
+    // The list is sorted by construction, so duplicates are adjacent; the
+    // first occurrence wins, like sort + unique did.
+    if (!candidates.empty() && candidates.back() == t) return;
+    candidates.push_back(std::move(t));
+    sigs.push_back(sig);
+  };
+  const auto less = [&](const Rational& a, const Rational& b) {
+    return filtered_compare.less(a, b);
+  };
+  emit(family.t_lo(), nullptr);
+  for (std::size_t piece = 0; piece < partition.piece_count(); ++piece) {
+    std::vector<Rational>& interior = piece_candidates[piece];
+    const Signature* piece_sig = &partition.piece_signatures[piece];
+    auto mid_lo = interior.begin();
+    if (piece > 0 && !bps[piece - 1].exact) {
+      // Interiors below the left bracket's hi sit inside its sliver
+      // (value, hi), where the true crossing may precede them.
+      mid_lo = std::lower_bound(interior.begin(), interior.end(),
+                                bps[piece - 1].hi, less);
+      for (auto it = interior.begin(); it != mid_lo; ++it)
+        emit(std::move(*it), nullptr);
+      emit(bps[piece - 1].hi, piece_sig);
+    } else if (piece > 0) {
+      // Exact left boundary: the breakpoint entry, already emitted, owns
+      // that parameter.
+      while (mid_lo != interior.end() && *mid_lo == bps[piece - 1].value)
+        ++mid_lo;
+    }
+    auto mid_hi = interior.end();
+    if (piece < bps.size())
+      mid_hi = bps[piece].exact
+                   ? std::lower_bound(mid_lo, interior.end(),
+                                      bps[piece].value, less)
+                   : std::upper_bound(mid_lo, interior.end(), bps[piece].lo,
+                                      less);
+    for (auto it = mid_lo; it != mid_hi; ++it) emit(std::move(*it), piece_sig);
+    if (piece < bps.size()) {
+      if (bps[piece].exact) {
+        emit(bps[piece].value, &bps[piece].signature);
+        // Interiors equal to the boundary dedup against the entry above.
+        for (auto it = mid_hi; it != interior.end(); ++it)
+          emit(std::move(*it), nullptr);
+      } else {
+        emit(bps[piece].lo, piece_sig);
+        // Interiors inside the right bracket's sliver (lo, value].
+        for (auto it = mid_hi; it != interior.end(); ++it)
+          emit(std::move(*it), nullptr);
+        emit(bps[piece].value, &bps[piece].signature);
+        // bp.hi is emitted by the next piece's left-boundary branch.
+      }
+    }
+  }
+  emit(family.t_hi(), nullptr);
 
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
+  // Bracket-sibling groups: maximal runs of adjacent candidates whose
+  // parameters coincide at double precision — endpoints and midpoint of one
+  // 2⁻⁹⁶-wide isolating bracket, never two independent candidates. Their
+  // utilities agree to far below the interval filter's resolution, so the
+  // argmax loops below compare siblings through the plain exact kernel
+  // directly (a caller-known structural straddle, like the isolator's
+  // near-root probes) and keep the filter for cross-group orderings it can
+  // actually certify.
+  std::vector<std::size_t> sibling_group(candidates.size());
+  {
+    double prev = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double approx = candidates[i].to_double();
+      sibling_group[i] = (i > 0 && approx == prev) ? sibling_group[i - 1] : i;
+      prev = approx;
+    }
+  }
 
   util::ScopedPhase eval_phase(util::Phase::kCandidateEval);
 
@@ -445,11 +532,16 @@ TrackedOptimum optimize_tracked_utility(const ParametrizedGraph& family,
   auto unbatched = [&] {
     TrackedOptimum out;
     bool first = true;
-    for (const Rational& t : candidates) {
-      const Rational value = evaluate_by_decomposition(t);
-      if (first || out.utility < value) {
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Rational value = evaluate_by_decomposition(candidates[i]);
+      const bool sibling =
+          !first && sibling_group[i] == sibling_group[best_i];
+      if (first || (sibling ? out.utility < value
+                            : filtered_compare.less(out.utility, value))) {
         out.utility = value;
-        out.t_star = t;
+        out.t_star = candidates[i];
+        best_i = i;
         first = false;
       }
     }
@@ -459,27 +551,12 @@ TrackedOptimum optimize_tracked_utility(const ParametrizedGraph& family,
                        options.use_exact_piece_solver && !options.cross_check;
   if (!batched) return unbatched();
 
-  // Batched evaluation (Layer 7): attribute each candidate to a certified
-  // signature and evaluate the closed-form piece utility — exactly the
-  // rational the decomposition would produce — instead of decomposing.
-  // Certification is conservative: candidates at the range ends, or inside
-  // the sliver between a non-exact breakpoint's in-piece bracket endpoints
-  // (where the true crossing hides), still decompose.
-  const std::vector<Breakpoint>& bps = partition.breakpoints;
-  auto attribute = [&](const Rational& t) -> const Signature* {
-    if (t == partition.t_lo || t == partition.t_hi) return nullptr;
-    const std::size_t i = static_cast<std::size_t>(
-        std::upper_bound(bps.begin(), bps.end(), t,
-                         [](const Rational& a, const Breakpoint& b) {
-                           return a < b.value;
-                         }) -
-        bps.begin());
-    if (i > 0 && bps[i - 1].value == t) return &bps[i - 1].signature;
-    if (i > 0 && !bps[i - 1].exact && t < bps[i - 1].hi) return nullptr;
-    if (i < bps.size() && !bps[i].exact && bps[i].lo < t) return nullptr;
-    return &partition.piece_signatures[i];
-  };
-
+  // Batched evaluation (Layer 7): each candidate's certified signature
+  // (pinned at construction above) selects the closed-form piece utility —
+  // exactly the rational the decomposition would produce — instead of
+  // decomposing. Certification is conservative: candidates at the range
+  // ends, or inside the sliver between a non-exact breakpoint's in-piece
+  // bracket endpoints (where the true crossing hides), still decompose.
   std::unordered_map<const Signature*, std::vector<PieceUtility>> terms_cache;
   auto terms_for = [&](const Signature* sig) -> std::span<const PieceUtility> {
     const auto [it, inserted] = terms_cache.try_emplace(sig);
@@ -492,8 +569,6 @@ TrackedOptimum optimize_tracked_utility(const ParametrizedGraph& family,
   };
 
   const std::size_t count = candidates.size();
-  std::vector<const Signature*> sigs(count);
-  for (std::size_t i = 0; i < count; ++i) sigs[i] = attribute(candidates[i]);
 
   // Uncertified candidates decompose up front; their exact values double as
   // prefilter floor contributions.
@@ -553,12 +628,16 @@ TrackedOptimum optimize_tracked_utility(const ParametrizedGraph& family,
   TrackedOptimum out;
   bool first = true;
   bool winner_by_formula = false;
+  std::size_t best_i = 0;
   for (std::size_t i = 0; i < count; ++i) {
     if (!values[i]) continue;
-    if (first || out.utility < *values[i]) {
+    const bool sibling = !first && sibling_group[i] == sibling_group[best_i];
+    if (first || (sibling ? out.utility < *values[i]
+                          : filtered_compare.less(out.utility, *values[i]))) {
       out.utility = *values[i];
       out.t_star = candidates[i];
       winner_by_formula = by_formula[i] != 0;
+      best_i = i;
       first = false;
     }
   }

@@ -1,0 +1,385 @@
+#include "numeric/filtered.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cfenv>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/perf_counters.hpp"
+
+namespace ringshare::num {
+
+namespace {
+
+__extension__ using Int = __int128;
+__extension__ using UInt = unsigned __int128;
+
+/// Mantissa budget: |mantissa| ≤ 2^62, so any product of two mantissas fits
+/// __int128 with headroom for the alignment shifts in addition.
+constexpr std::int64_t kMantissaCap = std::int64_t{1} << 62;
+
+int bit_width_u128(UInt v) noexcept {
+  const auto high = static_cast<std::uint64_t>(v >> 64);
+  if (high != 0) return 64 + std::bit_width(high);
+  return std::bit_width(static_cast<std::uint64_t>(v));
+}
+
+/// Floor of v/2^s for |v| ≤ 2^62; saturates for s ≥ 63 (the word is gone,
+/// only the sign survives — still the exact floor).
+std::int64_t floor_shift64(std::int64_t v, int s) noexcept {
+  if (s >= 63) return v < 0 ? -1 : 0;
+  return v >> s;  // arithmetic shift floors
+}
+
+std::int64_t ceil_shift64(std::int64_t v, int s) noexcept {
+  return -floor_shift64(-v, s);
+}
+
+/// Floor / ceil of a/b for b > 0 (C++ division truncates toward zero).
+Int floor_div128(Int a, Int b) noexcept {
+  Int q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+Int ceil_div128(Int a, Int b) noexcept {
+  Int q = a / b;
+  if (a % b != 0 && a > 0) ++q;
+  return q;
+}
+
+}  // namespace
+
+bool filter_environment_ok() noexcept {
+  // The interval kernel itself is integer-only; this guards the *process*:
+  // a host running with a non-default FP rounding mode (or an FE environment
+  // that cannot even divide correctly) indicates interference the engine was
+  // never validated under, so the filter tier declines and every query runs
+  // exact. Probed once, cached.
+  static const bool ok = [] {
+    if (std::fegetround() != FE_TONEAREST) return false;
+    volatile double one = 1.0;
+    volatile double three = 3.0;
+    const double third = one / three;
+    return third > 0.333 && third < 0.334;
+  }();
+  return ok;
+}
+
+DyadicInterval DyadicInterval::normalized(Int128 lo, Int128 hi,
+                                          std::int64_t exp) noexcept {
+  const UInt mag_lo = lo < 0 ? UInt(0) - UInt(lo) : UInt(lo);
+  const UInt mag_hi = hi < 0 ? UInt(0) - UInt(hi) : UInt(hi);
+  const int width = bit_width_u128(mag_lo > mag_hi ? mag_lo : mag_hi);
+  const int shift = width > 62 ? width - 62 : 0;
+  if (shift > 0) {
+    lo = lo >> shift;          // floor
+    hi = -((-hi) >> shift);    // ceil
+    exp += shift;
+  }
+  return DyadicInterval(static_cast<std::int64_t>(lo),
+                        static_cast<std::int64_t>(hi), exp);
+}
+
+DyadicInterval DyadicInterval::exact(std::int64_t value) noexcept {
+  if (value <= kMantissaCap && value >= -kMantissaCap)
+    return DyadicInterval(value, value, 0);
+  return normalized(value, value, 0);
+}
+
+DyadicInterval DyadicInterval::from_bigint(const BigInt& value) {
+  if (value.fits_int64()) return exact(value.to_int64());
+  // Top 62 bits of the magnitude plus a sticky bit for everything shifted
+  // out; [m, m+sticky]·2^shift encloses |value| tightly, mirrored by sign.
+  thread_local std::vector<std::uint64_t> words;
+  words.clear();
+  value.append_magnitude_words(words);
+  const int bits = static_cast<int>(value.bit_count());
+  const int shift = bits - 62;  // > 0: |value| > 2^62 here
+  const std::size_t word = static_cast<std::size_t>(shift) / 64;
+  const int offset = shift % 64;
+  std::uint64_t m = words[word] >> offset;
+  if (offset != 0 && word + 1 < words.size())
+    m |= words[word + 1] << (64 - offset);
+  bool sticky = offset != 0 &&
+                (words[word] & ((std::uint64_t{1} << offset) - 1)) != 0;
+  for (std::size_t i = 0; i < word && !sticky; ++i) sticky = words[i] != 0;
+  const auto mag = static_cast<std::int64_t>(m);  // < 2^62 by construction
+  const std::int64_t rounded = mag + (sticky ? 1 : 0);
+  if (!value.is_negative()) return DyadicInterval(mag, rounded, shift);
+  return DyadicInterval(-rounded, -mag, shift);
+}
+
+DyadicInterval DyadicInterval::from_rational(const Rational& value) {
+  const DyadicInterval n = from_bigint(value.numerator());
+  const DyadicInterval d = from_bigint(value.denominator());
+  // Rational's invariant gives denominator ≥ 1, and from_bigint keeps the
+  // floor of a positive value positive at every scale, so d.mlo_ ≥ 1.
+  const Int lo = floor_div128(Int(n.mlo_) << 62,
+                              Int(n.mlo_ >= 0 ? d.mhi_ : d.mlo_));
+  const Int hi = ceil_div128(Int(n.mhi_) << 62,
+                             Int(n.mhi_ >= 0 ? d.mlo_ : d.mhi_));
+  return normalized(lo, hi, n.exp_ - d.exp_ - 62);
+}
+
+DyadicInterval operator+(const DyadicInterval& a, const DyadicInterval& b) {
+  const DyadicInterval* coarse = &a;  // larger exponent
+  const DyadicInterval* fine = &b;
+  if (coarse->exp_ < fine->exp_) std::swap(coarse, fine);
+  std::int64_t fine_lo = fine->mlo_;
+  std::int64_t fine_hi = fine->mhi_;
+  std::int64_t diff = coarse->exp_ - fine->exp_;
+  std::int64_t exp = fine->exp_;
+  if (diff > 64) {
+    // Outward-shift the finer operand up to the coarse exponent − 64 so the
+    // exact alignment below stays inside __int128. floor/ceil saturate past
+    // the word, which is still the exact floor/ceil of a 62-bit mantissa.
+    const auto s = static_cast<int>(std::min<std::int64_t>(diff - 64, 63));
+    fine_lo = floor_shift64(fine_lo, s);
+    fine_hi = ceil_shift64(fine_hi, s);
+    exp = coarse->exp_ - 64;
+    diff = 64;
+  }
+  const auto up = static_cast<int>(diff);
+  const Int lo = (Int(coarse->mlo_) << up) + fine_lo;
+  const Int hi = (Int(coarse->mhi_) << up) + fine_hi;
+  return DyadicInterval::normalized(lo, hi, exp);
+}
+
+DyadicInterval operator-(const DyadicInterval& a, const DyadicInterval& b) {
+  return a + (-b);
+}
+
+DyadicInterval DyadicInterval::operator-() const noexcept {
+  return DyadicInterval(-mhi_, -mlo_, exp_);
+}
+
+DyadicInterval operator*(const DyadicInterval& a, const DyadicInterval& b) {
+  const Int p1 = Int(a.mlo_) * b.mlo_;
+  const Int p2 = Int(a.mlo_) * b.mhi_;
+  const Int p3 = Int(a.mhi_) * b.mlo_;
+  const Int p4 = Int(a.mhi_) * b.mhi_;
+  const Int lo = std::min(std::min(p1, p2), std::min(p3, p4));
+  const Int hi = std::max(std::max(p1, p2), std::max(p3, p4));
+  return DyadicInterval::normalized(lo, hi, a.exp_ + b.exp_);
+}
+
+std::optional<int> DyadicInterval::sign() const noexcept {
+  if (mlo_ > 0) return 1;
+  if (mhi_ < 0) return -1;
+  // Every widening rounds lo down and hi up, so lo == hi == 0 can only arise
+  // when the true value is exactly 0 (floor = ceil = 0 forces the value 0).
+  if (mlo_ == 0 && mhi_ == 0) return 0;
+  return std::nullopt;
+}
+
+void note_filter_hit() noexcept {
+  util::PerfCounters::local().filter_hits.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void note_filter_fallback() noexcept {
+  util::PerfCounters::local().filter_fallbacks.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void note_filter_exact_tie() noexcept {
+  util::PerfCounters::local().filter_exact_ties.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+namespace {
+
+int sign_of(std::strong_ordering cmp) noexcept {
+  return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+}
+
+/// sign(a − b) by exact cross-multiplication (denominators positive).
+int exact_sign_difference(const Rational& a, const Rational& b) {
+  return sign_of(a.numerator() * b.denominator() <=>
+                 b.numerator() * a.denominator());
+}
+
+/// sign(a − b·c) by exact cross-multiplication.
+int exact_sign_linear(const Rational& a, const Rational& b,
+                      const Rational& c) {
+  return sign_of(a.numerator() * b.denominator() * c.denominator() <=>
+                 b.numerator() * c.numerator() * a.denominator());
+}
+
+/// sign(p/q − r/s) for q, s > 0: p·s vs r·q, expanded over the numerator /
+/// denominator pairs — three BigInt products per side, no gcd, no division.
+int exact_sign_ratio(const Rational& p, const Rational& q, const Rational& r,
+                     const Rational& s) {
+  return sign_of(
+      p.numerator() * s.numerator() * q.denominator() * r.denominator() <=>
+      r.numerator() * q.numerator() * p.denominator() * s.denominator());
+}
+
+/// Height gate: below this many combined numerator + denominator bits the
+/// exact cross products sit in BigInt's one/two-word fast tier and the
+/// interval machinery (enclosure builds, rounding bookkeeping) costs more
+/// than it saves — the exact kernel runs directly, with no counter
+/// traffic, as if the filter never engaged. Bracket-height operands
+/// (~bracket_bits-tall numerator AND denominator) sail past the gate.
+constexpr std::size_t kEngageBits = 96;
+
+bool tall(const Rational& x) noexcept {
+  return x.numerator().bit_count() + x.denominator().bit_count() >=
+         kEngageBits;
+}
+
+/// Integer-operand gate. Pre-scaled numerators skip the Rational paths'
+/// gcd/normalization entirely, so their exact kernel is just one multi-word
+/// cross product per side — cheap until the operands span several limbs.
+/// The bar is therefore higher than the Rational gate: engage only when
+/// the product the exact kernel would form clears ~4 words, where
+/// schoolbook multiplication's quadratic growth starts to bite.
+constexpr std::size_t kEngageBitsScaled = 256;
+
+bool tall_product(const BigInt& x, const BigInt& y) noexcept {
+  return x.bit_count() + y.bit_count() >= kEngageBitsScaled;
+}
+
+}  // namespace
+
+bool filter_profitable(const Rational& value) noexcept { return tall(value); }
+
+namespace {
+
+/// Shared filter/fallback/cross-check discipline. `interval` produces the
+/// enclosure's sign (nullopt = straddle), `exact` the ground truth.
+/// `engaged` is the height gate's verdict for the operands at hand.
+template <typename IntervalFn, typename ExactFn>
+int resolve(const FilterOptions& options, bool engaged, const char* what,
+            IntervalFn&& interval, ExactFn&& exact) {
+  if (!options.enabled || !engaged || !filter_environment_ok())
+    return exact();
+  if (const std::optional<int> filtered = interval()) {
+    note_filter_hit();
+    if (options.cross_check && exact() != *filtered)
+      throw std::logic_error(
+          std::string("filtered numerics: interval sign disagrees with the "
+                      "exact oracle in ") +
+          what);
+    return *filtered;
+  }
+  note_filter_fallback();
+  const int truth = exact();
+  if (truth == 0) note_filter_exact_tie();
+  return truth;
+}
+
+DyadicInterval enclose(const BigInt& value) {
+  return DyadicInterval::from_bigint(value);
+}
+
+}  // namespace
+
+FilteredSign::FilteredSign(const FilterOptions& options) noexcept
+    : options_(options) {}
+
+int FilteredSign::of_difference(const Rational& a, const Rational& b) const {
+  return resolve(
+      options_, tall(a) || tall(b), "of_difference",
+      [&]() -> std::optional<int> {
+        // Equality fast path: Rational is canonical, so identical
+        // representations mean an exactly-zero difference — a certain
+        // answer with no enclosure to build. Dedup sorts and reuse
+        // certificates compare equal values routinely; without this the
+        // enclosure would straddle on every one of them.
+        if (a.numerator() == b.numerator() &&
+            a.denominator() == b.denominator())
+          return 0;
+        return (enclose(a.numerator()) * enclose(b.denominator()) -
+                enclose(b.numerator()) * enclose(a.denominator()))
+            .sign();
+      },
+      [&] { return exact_sign_difference(a, b); });
+}
+
+int FilteredSign::of_linear(const Rational& a, const Rational& b,
+                            const Rational& c) const {
+  return resolve(
+      options_, tall(a) || tall(b) || tall(c), "of_linear",
+      [&] {
+        return (enclose(a.numerator()) * enclose(b.denominator()) *
+                    enclose(c.denominator()) -
+                enclose(b.numerator()) * enclose(c.numerator()) *
+                    enclose(a.denominator()))
+            .sign();
+      },
+      [&] { return exact_sign_linear(a, b, c); });
+}
+
+int FilteredSign::of_scaled_linear(const BigInt& a, const Rational& b,
+                                   const BigInt& c) const {
+  // sign(a − b·c) = sign(a·b_den − b_num·c): the shared scale on a and c is
+  // positive and cancels out of the sign.
+  return resolve(
+      options_,
+      tall_product(a, b.denominator()) || tall_product(b.numerator(), c),
+      "of_scaled_linear",
+      [&] {
+        return (enclose(a) * enclose(b.denominator()) -
+                enclose(b.numerator()) * enclose(c))
+            .sign();
+      },
+      [&] {
+        return sign_of(a * b.denominator() <=> b.numerator() * c);
+      });
+}
+
+std::strong_ordering FilteredCompare::operator()(const Rational& a,
+                                                 const Rational& b) const {
+  const int s = sign_.of_difference(a, b);
+  return s < 0 ? std::strong_ordering::less
+               : (s > 0 ? std::strong_ordering::greater
+                        : std::strong_ordering::equal);
+}
+
+bool FilteredCompare::less(const Rational& a, const Rational& b) const {
+  return sign_.of_difference(a, b) < 0;
+}
+
+std::strong_ordering FilteredCompare::ratios(const Rational& p,
+                                             const Rational& q,
+                                             const Rational& r,
+                                             const Rational& s) const {
+  const int sign = resolve(
+      sign_.options(), tall(p) || tall(q) || tall(r) || tall(s), "ratios",
+      [&]() -> std::optional<int> {
+        if (p == r && q == s) return 0;  // identical ratio, certain 0
+        return (enclose(p.numerator()) * enclose(s.numerator()) *
+                    enclose(q.denominator()) * enclose(r.denominator()) -
+                enclose(r.numerator()) * enclose(q.numerator()) *
+                    enclose(p.denominator()) * enclose(s.denominator()))
+            .sign();
+      },
+      [&] { return exact_sign_ratio(p, q, r, s); });
+  return sign < 0 ? std::strong_ordering::less
+                  : (sign > 0 ? std::strong_ordering::greater
+                              : std::strong_ordering::equal);
+}
+
+std::strong_ordering FilteredCompare::scaled_ratios(const BigInt& p,
+                                                    const BigInt& q,
+                                                    const BigInt& r,
+                                                    const BigInt& s) const {
+  // sign(p/q − r/s) = sign(p·s − r·q) for q, s > 0.
+  const int sign = resolve(
+      sign_.options(), tall_product(p, s) || tall_product(r, q),
+      "scaled_ratios",
+      [&]() -> std::optional<int> {
+        if (p == r && q == s) return 0;  // identical ratio, certain 0
+        return (enclose(p) * enclose(s) - enclose(r) * enclose(q)).sign();
+      },
+      [&] { return sign_of(p * s <=> r * q); });
+  return sign < 0 ? std::strong_ordering::less
+                  : (sign > 0 ? std::strong_ordering::greater
+                              : std::strong_ordering::equal);
+}
+
+}  // namespace ringshare::num

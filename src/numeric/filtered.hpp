@@ -1,0 +1,200 @@
+// filtered.hpp — lazy-exact sign and ordering queries.
+//
+// The engine's exactness contract is non-negotiable (worst ratios are exact
+// rationals), but most sign tests and comparisons at bracket heights are
+// nowhere near a tie: breakpoint brackets are refined to width
+// (hi − lo)/2^120, so the quantities being compared differ by many orders of
+// magnitude more often than not. Paying full BigInt cross-multiplication
+// (and, on the Rational constructors, gcd reduction) for every one of those
+// queries is the last shared-cost headroom ROADMAP names.
+//
+// DyadicInterval is the filter: a double-word mantissa pair plus exponent
+// representing a closed interval [mlo·2^exp, mhi·2^exp] that provably
+// contains the true value. All interval arithmetic is *integer* arithmetic
+// with outward rounding (lo floors, hi ceils on every right-shift and
+// division), so the enclosure is sound on any IEEE or non-IEEE host and is
+// bit-deterministic across platforms. When the interval strictly separates
+// from zero the sign is certain and the query is answered without touching
+// BigInt algebra; when it straddles zero the caller falls back to the
+// existing exact Rational/BigInt path. Ties are therefore *always* decided
+// exactly — the filter can only be fast, never wrong.
+//
+// FilteredSign / FilteredCompare are the front ends consumers thread through
+// the bracket-height hot paths (breakpoint refinement, piece-solver
+// candidate ordering, partition-validation probes, delta reuse
+// certificates). Both honor FilterOptions: `enabled` turns the interval tier
+// off (pure exact, the baseline), and `cross_check` runs the exact oracle in
+// lockstep on every filtered answer and throws std::logic_error on any
+// disagreement — the same lockstep-oracle pattern as the ring-kernel and
+// signature-oracle cross-checks.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+
+#include "numeric/rational.hpp"
+
+namespace ringshare::num {
+
+/// Filter configuration, plumbed from bd::HotPathConfig by consumers.
+struct FilterOptions {
+  /// Use the dyadic interval tier before exact arithmetic.
+  bool enabled = true;
+  /// Re-derive every filtered answer exactly and throw std::logic_error on
+  /// disagreement (lockstep oracle; for tests and soak runs).
+  bool cross_check = false;
+};
+
+/// One-time runtime probe of the floating-point environment. The interval
+/// kernel is pure integer arithmetic and does not depend on the FP rounding
+/// mode, but the surrounding engine does convert doubles in places (the
+/// float pre-filter, latency math), so a host running with a non-default
+/// rounding mode or a broken FE environment is suspicious enough to refuse
+/// the filter tier: when this returns false, FilteredSign/FilteredCompare
+/// answer every query through the exact path. Defense in depth — the result
+/// is cached after the first call.
+[[nodiscard]] bool filter_environment_ok() noexcept;
+
+/// Height gate shared by every filter front end: true when the value is
+/// tall enough (combined numerator + denominator bits) that the interval
+/// tier beats exact cross products. Short operands sit in BigInt's
+/// one/two-word fast tier where the enclosure bookkeeping costs more than
+/// it saves — the front ends then run the exact kernel directly with no
+/// counter traffic, as if the filter never engaged.
+[[nodiscard]] bool filter_profitable(const Rational& value) noexcept;
+
+/// Outward-rounded dyadic interval [mlo·2^exp, mhi·2^exp] with |mantissa|
+/// ≤ 2^62. Arithmetic is exact integer work in __int128 followed by an
+/// outward renormalization back to the 62-bit mantissa budget, so every
+/// operation preserves the enclosure invariant: the true value of the
+/// expression always lies inside the interval.
+class DyadicInterval {
+ public:
+  /// The exact zero interval.
+  DyadicInterval() = default;
+
+  /// Exact point interval for an int64 (never widens).
+  [[nodiscard]] static DyadicInterval exact(std::int64_t value) noexcept;
+
+  /// Tight enclosure of a BigInt: exact when the value fits the mantissa
+  /// budget, otherwise the top 62 bits with a one-ulp outward bound.
+  [[nodiscard]] static DyadicInterval from_bigint(const BigInt& value);
+
+  /// Enclosure of numerator/denominator (denominator > 0 by Rational's
+  /// invariant): one scaled floor division and one ceil division.
+  [[nodiscard]] static DyadicInterval from_rational(const Rational& value);
+
+  friend DyadicInterval operator+(const DyadicInterval& a,
+                                  const DyadicInterval& b);
+  friend DyadicInterval operator-(const DyadicInterval& a,
+                                  const DyadicInterval& b);
+  friend DyadicInterval operator*(const DyadicInterval& a,
+                                  const DyadicInterval& b);
+  [[nodiscard]] DyadicInterval operator-() const noexcept;
+
+  /// The certain sign: +1 when the interval lies strictly above zero, −1
+  /// strictly below, 0 when both bounds are exactly zero (the enclosure is
+  /// the point 0, so the true value is 0), and nullopt when the interval
+  /// straddles zero — the caller must fall back to exact arithmetic.
+  [[nodiscard]] std::optional<int> sign() const noexcept;
+
+  // Representation accessors (tests assert the enclosure invariant).
+  [[nodiscard]] std::int64_t mantissa_lo() const noexcept { return mlo_; }
+  [[nodiscard]] std::int64_t mantissa_hi() const noexcept { return mhi_; }
+  [[nodiscard]] std::int64_t exponent() const noexcept { return exp_; }
+
+ private:
+  DyadicInterval(std::int64_t mlo, std::int64_t mhi,
+                 std::int64_t exp) noexcept
+      : mlo_(mlo), mhi_(mhi), exp_(exp) {}
+
+  __extension__ using Int128 = __int128;
+
+  /// Shift [lo, hi]·2^exp outward until both mantissas fit the 62-bit cap.
+  [[nodiscard]] static DyadicInterval normalized(Int128 lo, Int128 hi,
+                                                 std::int64_t exp) noexcept;
+
+  std::int64_t mlo_ = 0;
+  std::int64_t mhi_ = 0;
+  std::int64_t exp_ = 0;
+};
+
+/// Filtered sign queries on exact rational expressions. Each query first
+/// evaluates a dyadic enclosure of the expression; a certain interval sign
+/// is a `filter_hits` answer, a straddle falls back to exact integer
+/// cross-multiplication (`filter_fallbacks`, and `filter_exact_ties` when
+/// the exact answer turns out to be 0 — the case the filter can never
+/// decide). With cross_check set, filtered answers are re-derived exactly
+/// and any disagreement throws std::logic_error.
+class FilteredSign {
+ public:
+  explicit FilteredSign(const FilterOptions& options = {}) noexcept;
+
+  /// sign(a − b).
+  [[nodiscard]] int of_difference(const Rational& a, const Rational& b) const;
+
+  /// sign(a − b·c) without materializing the product b·c.
+  [[nodiscard]] int of_linear(const Rational& a, const Rational& b,
+                              const Rational& c) const;
+
+  /// sign(a − b·c) for integers a, c carrying a shared positive scale that
+  /// cancels — the common-numerator form of the Dinkelbach acceptance test
+  /// (a = Γ(S) numerator, c = w(S) numerator, b = λ).
+  [[nodiscard]] int of_scaled_linear(const BigInt& a, const Rational& b,
+                                     const BigInt& c) const;
+
+  [[nodiscard]] const FilterOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  FilterOptions options_;
+};
+
+/// Filtered orderings built on FilteredSign. Exactness carries over: the
+/// returned ordering is always the true exact ordering.
+class FilteredCompare {
+ public:
+  explicit FilteredCompare(const FilterOptions& options = {}) noexcept
+      : sign_(options) {}
+
+  /// Exact ordering of a and b.
+  [[nodiscard]] std::strong_ordering operator()(const Rational& a,
+                                                const Rational& b) const;
+
+  /// a < b (strict), suitable as a sort comparator.
+  [[nodiscard]] bool less(const Rational& a, const Rational& b) const;
+
+  /// Ordering of the quotients p/q vs r/s for q, s > 0, without forming
+  /// either quotient (no division, no gcd — the argmin loops over candidate
+  /// ratios use this and divide only once, at the winner).
+  [[nodiscard]] std::strong_ordering ratios(const Rational& p,
+                                            const Rational& q,
+                                            const Rational& r,
+                                            const Rational& s) const;
+
+  /// Ordering of p/q vs r/s for integer operands with q, s > 0 — the
+  /// common-numerator sibling of ratios(): weight numerators staged over a
+  /// shared denominator compare by one cross product per side.
+  [[nodiscard]] std::strong_ordering scaled_ratios(const BigInt& p,
+                                                   const BigInt& q,
+                                                   const BigInt& r,
+                                                   const BigInt& s) const;
+
+  [[nodiscard]] const FilterOptions& options() const noexcept {
+    return sign_.options();
+  }
+
+ private:
+  FilteredSign sign_;
+};
+
+/// Counter taps shared by the front ends and by external interval consumers
+/// (the filtered Polynomial::sign_at Horner loop lives in poly_roots.cpp and
+/// tallies through these).
+void note_filter_hit() noexcept;
+void note_filter_fallback() noexcept;
+void note_filter_exact_tie() noexcept;
+
+}  // namespace ringshare::num

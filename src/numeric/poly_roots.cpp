@@ -40,7 +40,30 @@ Rational Polynomial::at(const Rational& t) const {
   return value;
 }
 
+namespace {
+
+/// Exact integer Horner over cleared-denominator coefficients: the sign of
+/// Σ_k scaled_k·N^k·D^(deg−k) for t = N/D. Consumes `scaled`.
+int integer_horner_sign(std::vector<BigInt>& scaled, const BigInt& n,
+                        const BigInt& d) {
+  const std::size_t deg = scaled.size() - 1;
+  BigInt acc = std::move(scaled[deg]);
+  BigInt dpow(1);
+  for (std::size_t k = deg; k-- > 0;) {
+    dpow *= d;
+    acc = acc * n + scaled[k] * dpow;
+  }
+  return acc.sign();
+}
+
+}  // namespace
+
 int Polynomial::sign_at(const Rational& t) const {
+  return sign_at(t, FilterOptions{/*enabled=*/false});
+}
+
+int Polynomial::sign_at(const Rational& t, const FilterOptions& filter,
+                        bool* filter_fell_back) const {
   if (coefficients_.empty()) return 0;
   // Clear every denominator and evaluate in integers: with t = N/D and
   // c_k = n_k/d_k (D, d_k > 0 — Rational invariant), the sign of p(t)
@@ -57,13 +80,36 @@ int Polynomial::sign_at(const Rational& t) const {
   }
   const BigInt& n = t.numerator();
   const BigInt& d = t.denominator();
-  BigInt acc = std::move(scaled[deg]);
-  BigInt dpow(1);
-  for (std::size_t k = deg; k-- > 0;) {
-    dpow *= d;
-    acc = acc * n + scaled[k] * dpow;
+  // Height gate: short evaluation points keep the integer Horner in
+  // BigInt's fast tier, where the enclosure bookkeeping would cost more
+  // than it saves.
+  if (filter.enabled && filter_profitable(t) && filter_environment_ok()) {
+    // The same recurrence over dyadic enclosures of N, D and the scaled
+    // coefficients; a separated interval decides the sign without any
+    // BigInt multiplication at bracket height.
+    const DyadicInterval ni = DyadicInterval::from_bigint(n);
+    const DyadicInterval di = DyadicInterval::from_bigint(d);
+    DyadicInterval acc = DyadicInterval::from_bigint(scaled[deg]);
+    DyadicInterval dpow = DyadicInterval::exact(1);
+    for (std::size_t k = deg; k-- > 0;) {
+      dpow = dpow * di;
+      acc = acc * ni + DyadicInterval::from_bigint(scaled[k]) * dpow;
+    }
+    if (const std::optional<int> filtered = acc.sign()) {
+      note_filter_hit();
+      if (filter.cross_check && integer_horner_sign(scaled, n, d) != *filtered)
+        throw std::logic_error(
+            "Polynomial::sign_at: interval sign disagrees with the exact "
+            "oracle");
+      return *filtered;
+    }
+    note_filter_fallback();
+    if (filter_fell_back != nullptr) *filter_fell_back = true;
+    const int truth = integer_horner_sign(scaled, n, d);
+    if (truth == 0) note_filter_exact_tie();
+    return truth;
   }
-  return acc.sign();
+  return integer_horner_sign(scaled, n, d);
 }
 
 Polynomial Polynomial::derivative() const {
@@ -154,6 +200,15 @@ namespace {
 
 struct Isolator {
   Rational min_width;
+  FilterOptions filter;
+  /// Isolation-wide straddle budget. Derivative numerators assembled from
+  /// bracket-height coefficients are often themselves near-cancelling, so
+  /// the interval Horner pass straddles at every probe, not just near a
+  /// root. Two straddles anywhere in this isolation run (including the
+  /// derivative recursion) demote the filter for all remaining probes — a
+  /// coefficient family whose enclosures cannot certify is not going to
+  /// start certifying deeper in the recursion.
+  mutable int filter_straddles = 0;
 
   void keep_exact(const Rational& root, const Rational& lo, const Rational& hi,
                   std::vector<RootBracket>& out) const {
@@ -258,9 +313,23 @@ struct Isolator {
   void bisect(const Polynomial& p, Rational a, Rational b, int sign_a,
               std::vector<RootBracket>& out) const {
     if (quadratic_cell(p, a, b, sign_a, out)) return;
+    // Persistent-straddle demotion: bisection probes converge on the root,
+    // so once |p(mid)| drops below the enclosure's resolution every deeper
+    // probe straddles too. The first straddle demotes the rest of this
+    // refinement to the exact kernel, instead of paying a futile interval
+    // pass per level all the way down to min_width. (A probe that lands
+    // exactly on the root also straddles, but then sign_mid == 0 ends the
+    // refinement anyway — premature demotion costs nothing.)
+    FilterOptions active = filter;
+    if (filter_straddles >= 2) active.enabled = false;
     while (min_width < b - a) {
       Rational mid = Rational::midpoint(a, b);
-      const int sign_mid = p.sign_at(mid);
+      bool fell_back = false;
+      const int sign_mid = p.sign_at(mid, active, &fell_back);
+      if (fell_back) {
+        active.enabled = false;
+        ++filter_straddles;
+      }
       if (sign_mid == 0) {
         out.push_back(RootBracket{mid, mid, true});
         return;
@@ -275,6 +344,8 @@ struct Isolator {
     // contains exactly one, the Stern–Brocot simplest — test it for an
     // exact snap before settling for the bracket.
     Rational candidate = simplest_between(a, b);
+    // Unfiltered: the candidate lies inside a min_width bracket of the
+    // root, where the enclosure always straddles — exact is the fast path.
     if (p.sign_at(candidate) == 0) {
       out.push_back(RootBracket{candidate, std::move(candidate), true});
       return;
@@ -342,7 +413,8 @@ struct Isolator {
 
     std::vector<int> signs;
     signs.reserve(boundaries.size());
-    for (const Rational& point : boundaries) signs.push_back(p.sign_at(point));
+    for (const Rational& point : boundaries)
+      signs.push_back(p.sign_at(point, filter));
 
     for (std::size_t i = 0; i < boundaries.size(); ++i) {
       if (signs[i] == 0)
@@ -351,9 +423,10 @@ struct Isolator {
         monotone_segment(p, boundaries[i], boundaries[i + 1], signs[i],
                          signs[i + 1], out);
     }
+    const FilteredCompare compare(filter);
     std::sort(out.begin(), out.end(),
-              [](const RootBracket& x, const RootBracket& y) {
-                return x.lo < y.lo;
+              [&compare](const RootBracket& x, const RootBracket& y) {
+                return compare.less(x.lo, y.lo);
               });
     out.erase(std::unique(out.begin(), out.end(),
                           [](const RootBracket& x, const RootBracket& y) {
@@ -372,15 +445,19 @@ std::vector<RootBracket> isolate_roots(const Polynomial& poly,
   if (poly.is_zero())
     throw std::invalid_argument("isolate_roots: zero polynomial");
   if (hi < lo) throw std::invalid_argument("isolate_roots: empty interval");
+  const FilterOptions filter{options.filtered, options.filter_cross_check};
   if (lo == hi) {
     std::vector<RootBracket> out;
+    // Unfiltered: an exact-zero query is the one sign the interval tier can
+    // only confirm by falling back anyway.
     if (poly.sign_at(lo) == 0) out.push_back(RootBracket{lo, lo, true});
     return out;
   }
   Isolator isolator{
       (hi - lo) / Rational(BigInt(1).shifted_left(static_cast<std::size_t>(
                                std::max(1, options.precision_bits))),
-                           BigInt(1))};
+                           BigInt(1)),
+      filter};
   return isolator.isolate(poly, lo, hi);
 }
 

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "numeric/filtered.hpp"
 #include "numeric/rational.hpp"
 
 namespace ringshare::num {
@@ -48,6 +49,14 @@ class Polynomial {
   [[nodiscard]] Rational at(const Rational& t) const;
   /// -1, 0 or +1 of at(t) without materializing the value's full reduction.
   [[nodiscard]] int sign_at(const Rational& t) const;
+  /// Same sign, optionally through the dyadic interval filter: an interval
+  /// Horner pass answers when its enclosure separates from zero, and the
+  /// exact integer Horner runs only on a straddle — the returned sign is
+  /// always the exact one. `filter_fell_back`, when given, is set to true
+  /// on a straddle so iterative callers (bisection) can demote the filter
+  /// once their probes converge below the enclosure's resolution.
+  [[nodiscard]] int sign_at(const Rational& t, const FilterOptions& filter,
+                            bool* filter_fell_back = nullptr) const;
 
   [[nodiscard]] Polynomial derivative() const;
 
@@ -80,6 +89,13 @@ struct RootBracket {
 struct RootIsolationOptions {
   /// Irrational roots are bracketed to width ≤ (hi − lo)/2^precision_bits.
   int precision_bits = 96;
+  /// Route the isolator's sign probes and bracket orderings through the
+  /// dyadic interval filter (results stay bit-identical; default off so
+  /// plain calls remain pure exact — bd-layer callers pass their config).
+  bool filtered = false;
+  /// Cross-check every filtered answer against the exact path (throws
+  /// std::logic_error on disagreement).
+  bool filter_cross_check = false;
 };
 
 /// The unique minimal-height rational in [lo, hi] (Stern–Brocot descent).

@@ -96,8 +96,18 @@ double LatencyHistogram::quantile_ms(double q) const noexcept {
   for (int i = 0; i < kLatencyBucketCount; ++i) {
     cumulative += buckets[i];
     if (cumulative >= rank) {
-      // Geometric midpoint of [2^i, 2^{i+1}) ns, in ms.
-      return std::exp2(static_cast<double>(i) + 0.5) / 1e6;
+      // Linear interpolation inside [2^i, 2^{i+1}) ns (bucket 0 spans
+      // [0, 2)): place the rank-th of the bucket's samples at its midpoint
+      // position assuming the samples spread uniformly across the bucket.
+      // A pure bucket midpoint collapses p50/p95/p99 to one value whenever
+      // the mass concentrates in a single power-of-two bucket.
+      const double lower = i == 0 ? 0.0 : std::exp2(static_cast<double>(i));
+      const double upper = std::exp2(static_cast<double>(i) + 1.0);
+      const std::uint64_t before = cumulative - buckets[i];
+      const double position =
+          (static_cast<double>(rank - before) - 0.5) /
+          static_cast<double>(buckets[i]);
+      return (lower + position * (upper - lower)) / 1e6;
     }
   }
   return 0.0;

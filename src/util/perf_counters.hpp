@@ -72,7 +72,10 @@ enum class Phase : int {
   X(serve_invalidations)                 \
   X(delta_hits)                          \
   X(delta_fallbacks)                     \
-  X(delta_patched_stages)
+  X(delta_patched_stages)                \
+  X(filter_hits)                         \
+  X(filter_fallbacks)                    \
+  X(filter_exact_ties)
 
 /// Power-of-two latency buckets: bucket i counts values in [2^i, 2^{i+1})
 /// nanoseconds (bucket 0 also absorbs 0 ns). 2^47 ns ≈ 39 hours — far above
@@ -83,8 +86,10 @@ inline constexpr int kLatencyBucketCount = 48;
 [[nodiscard]] int latency_bucket(std::uint64_t ns) noexcept;
 
 /// Plain-value latency histogram: power-of-two buckets plus exact count.
-/// Quantiles are bucket-resolved (the geometric midpoint of the winning
-/// bucket), which is observability precision, not exact arithmetic.
+/// Quantiles interpolate linearly inside the winning bucket (the quantile
+/// rank's position among the bucket's samples, assumed uniform over
+/// [2^i, 2^{i+1})), so distinct quantiles landing in one bucket still come
+/// back distinct. Observability precision, not exact arithmetic.
 struct LatencyHistogram {
   std::uint64_t buckets[kLatencyBucketCount] = {};
   std::uint64_t count = 0;

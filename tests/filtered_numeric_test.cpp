@@ -1,0 +1,295 @@
+// Tests for the lazy-exact numeric layer (numeric/filtered.hpp): the
+// dyadic-interval enclosure invariant, the filtered front ends against the
+// exact oracle, the constructed exact ties the interval can never decide,
+// and end-to-end bit-identity of deviation optima with the filter on vs
+// off over every small necklace.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bd/memo.hpp"
+#include "exp/families.hpp"
+#include "game/deviation.hpp"
+#include "game/piece_solver.hpp"
+#include "numeric/bigint.hpp"
+#include "numeric/filtered.hpp"
+#include "numeric/poly_roots.hpp"
+#include "util/perf_counters.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare {
+namespace {
+
+using graph::Graph;
+using num::BigInt;
+using num::DyadicInterval;
+using num::FilteredCompare;
+using num::FilteredSign;
+using num::FilterOptions;
+using num::Rational;
+
+/// Restores the hot-path configuration on scope exit so a failing assertion
+/// cannot leak a reconfigured filter into other tests.
+class ConfigGuard {
+ public:
+  ConfigGuard() : saved_(bd::hot_path_config()) {}
+  ~ConfigGuard() { bd::hot_path_config() = saved_; }
+
+ private:
+  bd::HotPathConfig saved_;
+};
+
+/// The exact rational value of one interval bound m·2^e.
+Rational dyadic(std::int64_t m, std::int64_t e) {
+  const bool negative = m < 0;
+  const BigInt magnitude(negative ? -m : m);
+  Rational value =
+      e >= 0 ? Rational(magnitude.shifted_left(static_cast<std::size_t>(e)))
+             : Rational(magnitude,
+                        BigInt(1).shifted_left(static_cast<std::size_t>(-e)));
+  return negative ? -value : value;
+}
+
+/// The enclosure invariant: lo ≤ value ≤ hi, exactly.
+void expect_encloses(const DyadicInterval& interval, const Rational& value,
+                     const std::string& context) {
+  const Rational lo = dyadic(interval.mantissa_lo(), interval.exponent());
+  const Rational hi = dyadic(interval.mantissa_hi(), interval.exponent());
+  EXPECT_LE(lo, value) << context;
+  EXPECT_LE(value, hi) << context;
+}
+
+/// A tall random rational: numerator and denominator both around
+/// `bits`-bit magnitudes, the height regime the filter engages at.
+Rational tall_rational(util::Xoshiro256& rng, int bits) {
+  BigInt num(rng.uniform_int(1, INT64_C(1) << 40));
+  BigInt den(rng.uniform_int(1, INT64_C(1) << 40));
+  num = num.shifted_left(static_cast<std::size_t>(bits - 40)) +
+        BigInt(rng.uniform_int(0, INT64_C(1) << 40));
+  den = den.shifted_left(static_cast<std::size_t>(bits - 40)) +
+        BigInt(rng.uniform_int(1, INT64_C(1) << 40));
+  const Rational value{std::move(num), std::move(den)};
+  return rng.uniform_int(0, 1) ? -value : value;
+}
+
+TEST(DyadicInterval, EnclosesBigIntsAcrossHeights) {
+  util::Xoshiro256 rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int bits = static_cast<int>(rng.uniform_int(0, 400));
+    BigInt value(rng.uniform_int(-(INT64_C(1) << 40), INT64_C(1) << 40));
+    value = value.shifted_left(static_cast<std::size_t>(bits));
+    value += BigInt(rng.uniform_int(-(INT64_C(1) << 40), INT64_C(1) << 40));
+    expect_encloses(DyadicInterval::from_bigint(value), Rational(value),
+                    "bits=" + std::to_string(bits));
+  }
+}
+
+TEST(DyadicInterval, EnclosesRationals) {
+  util::Xoshiro256 rng(20260809);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Rational value = tall_rational(rng, 60 + 2 * trial);
+    expect_encloses(DyadicInterval::from_rational(value), value,
+                    "trial=" + std::to_string(trial));
+  }
+}
+
+TEST(DyadicInterval, ArithmeticPreservesEnclosure) {
+  util::Xoshiro256 rng(20260810);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Rational a = tall_rational(rng, 80 + trial);
+    const Rational b = tall_rational(rng, 80 + 2 * trial);
+    const DyadicInterval ia = DyadicInterval::from_rational(a);
+    const DyadicInterval ib = DyadicInterval::from_rational(b);
+    const std::string context = "trial=" + std::to_string(trial);
+    expect_encloses(ia + ib, a + b, context + " sum");
+    expect_encloses(ia - ib, a - b, context + " difference");
+    expect_encloses(ia * ib, a * b, context + " product");
+    expect_encloses(-ia, -a, context + " negation");
+  }
+}
+
+TEST(DyadicInterval, CertainSignsAreTrueSigns) {
+  util::Xoshiro256 rng(20260811);
+  int certain = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Rational a = tall_rational(rng, 100 + trial);
+    const Rational b = tall_rational(rng, 100 + trial);
+    const Rational difference = a - b;
+    const DyadicInterval enclosure = DyadicInterval::from_rational(a) -
+                                     DyadicInterval::from_rational(b);
+    if (const std::optional<int> sign = enclosure.sign()) {
+      ++certain;
+      const int truth =
+          difference.is_zero() ? 0 : (difference.is_negative() ? -1 : 1);
+      EXPECT_EQ(*sign, truth) << "trial=" << trial;
+    }
+  }
+  // Independent random talls essentially never tie: the filter must be
+  // certain nearly always here, or it is not a filter.
+  EXPECT_GT(certain, 150);
+}
+
+TEST(DyadicInterval, ZeroPointIntervalIsCertainZero) {
+  const DyadicInterval zero;
+  ASSERT_TRUE(zero.sign().has_value());
+  EXPECT_EQ(*zero.sign(), 0);
+  const DyadicInterval cancelled =
+      DyadicInterval::exact(41) - DyadicInterval::exact(41);
+  ASSERT_TRUE(cancelled.sign().has_value());
+  EXPECT_EQ(*cancelled.sign(), 0);
+}
+
+/// Every filtered front end against the exact oracle, with the lockstep
+/// cross-check armed so a filter/oracle disagreement throws.
+TEST(FilteredFrontEnds, AgreeWithExactOracleOnTallOperands) {
+  const FilterOptions armed{/*enabled=*/true, /*cross_check=*/true};
+  const FilteredSign sign(armed);
+  const FilteredCompare compare(armed);
+  util::Xoshiro256 rng(20260812);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Rational a = tall_rational(rng, 110);
+    const Rational b = tall_rational(rng, 110);
+    const Rational c = tall_rational(rng, 110);
+    const Rational ab = a - b;
+    const int diff_truth = ab.is_zero() ? 0 : (ab.is_negative() ? -1 : 1);
+    EXPECT_EQ(sign.of_difference(a, b), diff_truth);
+    const Rational linear = a - b * c;
+    EXPECT_EQ(sign.of_linear(a, b, c),
+              linear.is_zero() ? 0 : (linear.is_negative() ? -1 : 1));
+    EXPECT_EQ(compare(a, b) < 0, a < b);
+    EXPECT_EQ(compare.less(a, b), a < b);
+  }
+}
+
+TEST(FilteredFrontEnds, RatioOrderingsMatchQuotients) {
+  const FilterOptions armed{/*enabled=*/true, /*cross_check=*/true};
+  const FilteredCompare compare(armed);
+  util::Xoshiro256 rng(20260813);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Rational p = tall_rational(rng, 110);
+    Rational q = tall_rational(rng, 110);
+    const Rational r = tall_rational(rng, 110);
+    Rational s = tall_rational(rng, 110);
+    if (q.is_negative()) q = -q;
+    if (s.is_negative()) s = -s;
+    const Rational lhs = p / q;
+    const Rational rhs = r / s;
+    const std::strong_ordering truth =
+        lhs < rhs ? std::strong_ordering::less
+                  : (rhs < lhs ? std::strong_ordering::greater
+                               : std::strong_ordering::equal);
+    EXPECT_EQ(compare.ratios(p, q, r, s), truth) << "trial=" << trial;
+  }
+}
+
+/// Constructed exact ties: the interval must straddle, the exact fallback
+/// must run (and count filter_exact_ties), and the answer must still be
+/// the exact zero.
+TEST(FilteredFrontEnds, ExactTiesFallBackAndCount) {
+  util::PerfCounters::reset();
+  const FilterOptions armed{/*enabled=*/true, /*cross_check=*/true};
+  const FilteredSign sign(armed);
+  const FilteredCompare compare(armed);
+  // Γ − λ·w == 0 exactly at bracket height: λ = Γ/w with tall operands in
+  // non-canonical form (a·w and w share no visible structure after the
+  // products are materialized).
+  const Rational a =
+      Rational(BigInt(5).shifted_left(117) + BigInt(11),
+               BigInt(1).shifted_left(119) + BigInt(7));
+  const Rational w =
+      Rational(BigInt(3), BigInt(1).shifted_left(120)) + Rational(9);
+  EXPECT_EQ(sign.of_linear(a * w, a, w), 0);
+  // Equal cross ratios: p/q == (p·s)/(q·s) for a tall scale s.
+  const Rational scale(BigInt(7).shifted_left(118) + BigInt(5));
+  EXPECT_EQ(compare.ratios(a * scale, scale, a * Rational(2), Rational(2)),
+            std::strong_ordering::equal);
+  // A polynomial that vanishes exactly at a tall rational root.
+  const Rational root = Rational(BigInt(1).shifted_left(120) + BigInt(1),
+                                 BigInt(3).shifted_left(119));
+  const num::Polynomial p =
+      num::Polynomial::linear(-root, Rational(1)) *
+      num::Polynomial::linear(Rational(1), Rational(1));
+  EXPECT_EQ(p.sign_at(root, armed), 0);
+  const util::PerfSnapshot counters = util::PerfCounters::snapshot();
+  EXPECT_GT(counters.filter_exact_ties, 0u);
+  EXPECT_GT(counters.filter_fallbacks, 0u);
+  // Ties are fallbacks by definition: every tie was first a straddle.
+  EXPECT_LE(counters.filter_exact_ties, counters.filter_fallbacks);
+}
+
+void clear_engine_caches() {
+  bd::BottleneckCache::instance().clear();
+  bd::DecompositionCache::instance().clear();
+  game::PartitionMemo::instance().clear();
+}
+
+std::vector<game::DeviationOptimum> sweep_all(
+    const std::vector<Graph>& rings, bool filtered) {
+  bd::hot_path_config() = bd::HotPathConfig{};  // library defaults
+  bd::hot_path_config().filtered_numerics = filtered;
+  clear_engine_caches();
+  game::DeviationSweep sweep;
+  sweep.kinds = {game::DeviationKind::kSybil, game::DeviationKind::kMisreport,
+                 game::DeviationKind::kCollusion};
+  std::vector<game::DeviationOptimum> optima;
+  for (const Graph& ring : rings) {
+    for (const game::DeviationTask& task : sweep.tasks(ring)) {
+      optima.push_back(sweep.run(ring, task));
+    }
+  }
+  return optima;
+}
+
+/// The load-bearing end-to-end contract: with the filter on, every
+/// deviation optimum — report, utility, honest utility, ratio — is
+/// bit-identical to the pure exact pipeline, on every necklace up to
+/// n = 6. The filter may only change how fast signs are decided, never
+/// which signs are decided.
+TEST(FilteredPipeline, BitIdenticalOptimaOnExhaustiveNecklaces) {
+  ConfigGuard guard;
+  for (std::size_t n = 3; n <= 6; ++n) {
+    const std::vector<Graph> rings =
+        exp::exhaustive_rings(n, /*max_weight=*/n <= 5 ? 3 : 2);
+    const std::vector<game::DeviationOptimum> filtered =
+        sweep_all(rings, /*filtered=*/true);
+    const std::vector<game::DeviationOptimum> exact =
+        sweep_all(rings, /*filtered=*/false);
+    ASSERT_EQ(filtered.size(), exact.size());
+    for (std::size_t i = 0; i < filtered.size(); ++i) {
+      const std::string context =
+          "n=" + std::to_string(n) + " task=" + std::to_string(i);
+      EXPECT_EQ(filtered[i].t_star, exact[i].t_star) << context;
+      EXPECT_EQ(filtered[i].utility, exact[i].utility) << context;
+      EXPECT_EQ(filtered[i].honest_utility, exact[i].honest_utility)
+          << context;
+      EXPECT_EQ(filtered[i].ratio, exact[i].ratio) << context;
+    }
+  }
+  clear_engine_caches();
+}
+
+/// The same necklace sweep under the lockstep cross-check: every filtered
+/// answer re-derived exactly in place, any disagreement throws.
+TEST(FilteredPipeline, CrossCheckCleanOnExhaustiveNecklaces) {
+  ConfigGuard guard;
+  bd::hot_path_config() = bd::HotPathConfig{};
+  bd::hot_path_config().cross_check_filtered = true;
+  clear_engine_caches();
+  game::DeviationSweep sweep;
+  sweep.kinds = {game::DeviationKind::kSybil, game::DeviationKind::kMisreport,
+                 game::DeviationKind::kCollusion};
+  for (std::size_t n = 4; n <= 5; ++n) {
+    for (const Graph& ring : exp::exhaustive_rings(n, /*max_weight=*/2)) {
+      for (const game::DeviationTask& task : sweep.tasks(ring)) {
+        EXPECT_NO_THROW((void)sweep.run(ring, task));
+      }
+    }
+  }
+  clear_engine_caches();
+}
+
+}  // namespace
+}  // namespace ringshare

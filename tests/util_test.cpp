@@ -416,10 +416,14 @@ TEST(Timer, MeasuresElapsedTime) {
   EXPECT_LT(timer.elapsed_seconds(), 1.0);
 }
 
-/// The geometric midpoint of power-of-two bucket i, in milliseconds — the
-/// value every quantile inside that bucket resolves to.
-double bucket_mid_ms(int bucket) {
-  return std::exp2(static_cast<double>(bucket) + 0.5) / 1e6;
+/// The value quantile_ms resolves to for the rank-th of n samples that all
+/// sit in power-of-two bucket i: linear interpolation across the bucket's
+/// span, with the rank placed at its midpoint position. Bucket 0 spans
+/// [0, 2) ns; bucket i spans [2^i, 2^{i+1}).
+double bucket_quantile_ms(int bucket, double rank, double in_bucket) {
+  const double lower = bucket == 0 ? 0.0 : std::exp2(bucket);
+  const double upper = std::exp2(bucket + 1.0);
+  return (lower + (rank - 0.5) / in_bucket * (upper - lower)) / 1e6;
 }
 
 TEST(LatencyHistogram, SubNanosecondSamplesLandInBucketZero) {
@@ -435,8 +439,10 @@ TEST(LatencyHistogram, SubNanosecondSamplesLandInBucketZero) {
   h.record_ns(1);
   EXPECT_EQ(h.count, 2u);
   EXPECT_EQ(h.buckets[0], 2u);
-  EXPECT_DOUBLE_EQ(h.p50_ms(), bucket_mid_ms(0));
-  EXPECT_DOUBLE_EQ(h.p99_ms(), bucket_mid_ms(0));
+  EXPECT_DOUBLE_EQ(h.p50_ms(), bucket_quantile_ms(0, 1, 2));
+  EXPECT_DOUBLE_EQ(h.p99_ms(), bucket_quantile_ms(0, 2, 2));
+  // Interpolation spreads ranks even inside one bucket.
+  EXPECT_LT(h.p50_ms(), h.p99_ms());
 }
 
 TEST(LatencyHistogram, TopBucketSaturatesInsteadOfOverflowing) {
@@ -448,7 +454,8 @@ TEST(LatencyHistogram, TopBucketSaturatesInsteadOfOverflowing) {
   LatencyHistogram h;
   h.record_ns(~std::uint64_t{0});
   EXPECT_EQ(h.buckets[kLatencyBucketCount - 1], 1u);
-  EXPECT_DOUBLE_EQ(h.p50_ms(), bucket_mid_ms(kLatencyBucketCount - 1));
+  EXPECT_DOUBLE_EQ(h.p50_ms(),
+                   bucket_quantile_ms(kLatencyBucketCount - 1, 1, 1));
 }
 
 TEST(LatencyHistogram, QuantilesOnEmptyAreZero) {
@@ -464,8 +471,23 @@ TEST(LatencyHistogram, QuantilesOnEmptyAreZero) {
 TEST(LatencyHistogram, QuantileArgumentIsClampedToUnitInterval) {
   LatencyHistogram h;
   h.record_ns(10);  // bucket 3
-  EXPECT_DOUBLE_EQ(h.quantile_ms(-0.5), bucket_mid_ms(3));
-  EXPECT_DOUBLE_EQ(h.quantile_ms(2.0), bucket_mid_ms(3));
+  EXPECT_DOUBLE_EQ(h.quantile_ms(-0.5), bucket_quantile_ms(3, 1, 1));
+  EXPECT_DOUBLE_EQ(h.quantile_ms(2.0), bucket_quantile_ms(3, 1, 1));
+}
+
+TEST(LatencyHistogram, QuantilesSpreadWithinASingleBucket) {
+  // 100 samples, all in bucket 10: the old geometric-midpoint readout
+  // collapsed p50/p95/p99 to one value here; interpolation keeps them
+  // strictly ordered while staying inside the bucket's true span.
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record_ns(std::uint64_t{1} << 10);
+  EXPECT_DOUBLE_EQ(h.p50_ms(), bucket_quantile_ms(10, 50, 100));
+  EXPECT_DOUBLE_EQ(h.p95_ms(), bucket_quantile_ms(10, 95, 100));
+  EXPECT_DOUBLE_EQ(h.p99_ms(), bucket_quantile_ms(10, 99, 100));
+  EXPECT_LT(h.p50_ms(), h.p95_ms());
+  EXPECT_LT(h.p95_ms(), h.p99_ms());
+  EXPECT_GT(h.p50_ms(), std::exp2(10.0) / 1e6);
+  EXPECT_LT(h.p99_ms(), std::exp2(11.0) / 1e6);
 }
 
 TEST(LatencyHistogram, MergeSumsBucketsAndShiftsQuantiles) {
@@ -479,9 +501,9 @@ TEST(LatencyHistogram, MergeSumsBucketsAndShiftsQuantiles) {
   EXPECT_EQ(fast.buckets[0], 99u);
   EXPECT_EQ(fast.buckets[20], 1u);
   // Rank 99 of 100 is still the fast bucket; the maximum lands in the
-  // slow one.
-  EXPECT_DOUBLE_EQ(fast.p99_ms(), bucket_mid_ms(0));
-  EXPECT_DOUBLE_EQ(fast.quantile_ms(1.0), bucket_mid_ms(20));
+  // slow one (its only sample, so rank 1 of 1 in bucket 20).
+  EXPECT_DOUBLE_EQ(fast.p99_ms(), bucket_quantile_ms(0, 99, 99));
+  EXPECT_DOUBLE_EQ(fast.quantile_ms(1.0), bucket_quantile_ms(20, 1, 1));
 
   // Merging an empty histogram is a no-op.
   const LatencyHistogram empty;

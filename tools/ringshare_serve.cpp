@@ -33,6 +33,7 @@
 //   --shards=N          worker shards (default: derived from threads)
 //   --cache-capacity=N  per-shard result cache entries (default 4096, 0 off)
 //   --no-dedup          disable single-flight coalescing
+//   --no-filter         disable the dyadic interval filter (pure exact signs)
 //   --engine=exact|scan per-piece optimizer (default exact)
 //   --cross-check       assert exact dominance over every scan sample
 //   --threads=N         shared pool size (default: hardware concurrency)
@@ -44,6 +45,7 @@
 #include <iostream>
 #include <string>
 
+#include "bd/memo.hpp"
 #include "engine/batch_server.hpp"
 #include "engine/wire.hpp"
 #include "graph/builders.hpp"
@@ -76,6 +78,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (std::strcmp(arg, "--no-dedup") == 0) {
       config.dedup = false;
+    } else if (std::strcmp(arg, "--no-filter") == 0) {
+      // A/B escape hatch: every shard answers bracket-height sign queries
+      // through the exact tier (results are bit-identical either way).
+      ringshare::bd::hot_path_config().filtered_numerics = false;
     } else if (const char* v = flag_value(arg, "--engine")) {
       if (std::strcmp(v, "exact") == 0) {
         config.solver.use_exact_piece_solver = true;

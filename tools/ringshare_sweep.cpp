@@ -19,6 +19,7 @@
 //   --out=PATH     JSONL checkpoint file (no file when omitted)
 //   --no-resume    re-run every task even if checkpointed
 //   --no-singleflight  solve every task separately (no canonical dedup)
+//   --no-filter    disable the dyadic interval filter (pure exact signs)
 //   --threads=N    shared pool size (default: hardware concurrency)
 //   --engine=exact|scan   per-piece optimizer (default exact)
 //   --cross-check  assert exact dominance over every scan sample
@@ -30,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bd/memo.hpp"
 #include "exp/sweep_driver.hpp"
 
 namespace {
@@ -94,6 +96,10 @@ int main(int argc, char** argv) {
       options.resume = false;
     } else if (std::strcmp(arg, "--no-singleflight") == 0) {
       options.singleflight = false;
+    } else if (std::strcmp(arg, "--no-filter") == 0) {
+      // A/B escape hatch: answer every bracket-height sign query through
+      // the exact tier (results are bit-identical either way).
+      ringshare::bd::hot_path_config().filtered_numerics = false;
     } else if (const char* v = flag_value(arg, "--threads")) {
       // Must land before the library first touches the shared pool.
       setenv("RINGSHARE_THREADS", v, /*overwrite=*/1);
