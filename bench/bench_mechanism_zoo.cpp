@@ -1,0 +1,318 @@
+// bench_mechanism_zoo — side-by-side comparison of every registered
+// mechanism (bd, prop, karma, and anything registered later) on IDENTICAL
+// instance families, through the SAME engine path
+// (engine::DeviationEngine::solve).
+//
+// Workload: 12 random 6-rings (deterministic seed) plus four structured
+// families — uniform, alternating, single-heavy, and the near-tight
+// Theorem 8 witness ring — with every deviation task of every kind
+// (sybil / misreport / collusion) solved per mechanism.
+//
+// Per mechanism the bench reports wall time, the exact worst incentive
+// ratio per kind and overall, welfare (budget balance Σ U_v = Σ w_v and
+// mean Nash welfare), and fairness (worst egalitarian share U_v / w_v),
+// written to BENCH_mechzoo.json at the repository root.
+//
+// Contracts (any violation exits nonzero):
+//   * results_identical — every BD task solved through the Mechanism
+//     interface (optimize_deviation_via_mechanism) is bit-identical to the
+//     legacy BD optimizer path: the zoo refactor changed no BD bit;
+//   * cross_check reports zero violations: every comparator optimum
+//     re-verified against a dense grid scan (PieceSolveOptions::cross_check
+//     armed through the symbolic optimizer), and the BD structured subset
+//     re-verified against its legacy scan;
+//   * misreport ratio is exactly 1 for EVERY mechanism (truthfulness of
+//     the report dimension — Theorem 10 for BD, monotone shares for the
+//     comparators);
+//   * every mechanism is budget-balanced on every instance;
+//   * BD's overall worst ratio respects the Theorem 8 bound of 2.
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bd/memo.hpp"
+#include "engine/deviation_engine.hpp"
+#include "exp/families.hpp"
+#include "game/deviation.hpp"
+#include "game/mechanism.hpp"
+#include "game/piece_solver.hpp"
+#include "graph/builders.hpp"
+#include "numeric/bigint.hpp"
+#include "util/perf_counters.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ringshare;
+using num::BigInt;
+using num::Rational;
+
+#ifndef RINGSHARE_REPO_ROOT
+#define RINGSHARE_REPO_ROOT "."
+#endif
+
+/// Library-default accelerators, cold shared caches, zeroed counters — the
+/// same starting line for every mechanism's timed pass.
+void configure() {
+  BigInt::set_fast_path_enabled(true);
+  bd::hot_path_config() = bd::HotPathConfig{};
+  bd::BottleneckCache::instance().clear();
+  bd::DecompositionCache::instance().clear();
+  game::PartitionMemo::instance().clear();
+  util::PerfCounters::reset();
+}
+
+/// The shared instance family: every mechanism is measured on exactly this
+/// list, so the JSON rows are directly comparable.
+std::vector<graph::Graph> build_instances() {
+  std::vector<graph::Graph> instances =
+      exp::random_rings(12, 6, /*seed=*/20260808, /*max_weight=*/9);
+  instances.push_back(exp::uniform_ring(6));
+  instances.push_back(exp::alternating_ring(6, Rational(5)));
+  instances.push_back(exp::single_heavy_ring(7, Rational(50)));
+  instances.push_back(exp::near_tight_ring(Rational(100)));
+  return instances;
+}
+
+const game::DeviationKind kKinds[] = {game::DeviationKind::kSybil,
+                                      game::DeviationKind::kMisreport,
+                                      game::DeviationKind::kCollusion};
+
+struct MechanismRow {
+  std::string tag;
+  std::string name;
+  double seconds = 0;
+  std::size_t tasks = 0;
+  Rational worst_ratio[game::kDeviationKindCount];
+  Rational overall_worst;
+  bool misreport_exactly_one = true;
+  bool budget_balanced = true;
+  double mean_nash_welfare = 0;
+  Rational min_fairness;  ///< min over instances of the egalitarian share
+};
+
+/// Solve every task of every kind on every instance under one mechanism,
+/// through the engine, folding per-kind worst ratios.
+MechanismRow run_mechanism(game::MechanismId id,
+                           const std::vector<graph::Graph>& instances) {
+  configure();
+  const game::Mechanism& m = game::mechanism(id);
+  MechanismRow row;
+  row.tag = std::string(m.tag());
+  row.name = std::string(m.name());
+
+  const engine::DeviationEngine eng;
+  util::Timer timer;
+  for (const graph::Graph& ring : instances) {
+    for (const game::DeviationKind kind : kKinds) {
+      for (const game::DeviationTask& task :
+           game::deviation_tasks(ring, kind, id)) {
+        const game::DeviationOptimum optimum = eng.solve(ring, task);
+        ++row.tasks;
+        const int k = static_cast<int>(kind);
+        if (optimum.ratio > row.worst_ratio[k])
+          row.worst_ratio[k] = optimum.ratio;
+        if (optimum.ratio > row.overall_worst)
+          row.overall_worst = optimum.ratio;
+        if (kind == game::DeviationKind::kMisreport &&
+            optimum.ratio != Rational(1))
+          row.misreport_exactly_one = false;
+      }
+    }
+  }
+  row.seconds = timer.elapsed_seconds();
+
+  // Welfare / fairness profile over the honest instances (untimed: these
+  // are metrics of the mechanism, not of the optimizer).
+  double log_nash_sum = 0;
+  bool first = true;
+  for (const graph::Graph& ring : instances) {
+    const game::MechanismProfile profile = game::mechanism_profile(m, ring);
+    Rational total_weight;
+    for (graph::Vertex v = 0; v < ring.vertex_count(); ++v)
+      total_weight = total_weight + ring.weight(v);
+    if (profile.total_utility != total_weight) row.budget_balanced = false;
+    log_nash_sum += std::log(profile.nash_welfare);
+    if (first || profile.min_share < row.min_fairness)
+      row.min_fairness = profile.min_share;
+    first = false;
+  }
+  row.mean_nash_welfare =
+      std::exp(log_nash_sum / static_cast<double>(instances.size()));
+  return row;
+}
+
+/// BD bit-parity: every BD task solved through the Mechanism interface must
+/// reproduce the legacy optimizer path exactly.
+bool check_bd_parity(const std::vector<graph::Graph>& instances,
+                     std::size_t& tasks_checked) {
+  configure();
+  bool identical = true;
+  for (const graph::Graph& ring : instances) {
+    for (const game::DeviationKind kind : kKinds) {
+      for (const game::DeviationTask& task :
+           game::deviation_tasks(ring, kind, game::kBdMechanismId)) {
+        const game::DeviationOptimum legacy =
+            game::optimize_deviation(ring, task);
+        const game::DeviationOptimum via =
+            game::optimize_deviation_via_mechanism(ring, task);
+        ++tasks_checked;
+        if (via.ratio != legacy.ratio || via.t_star != legacy.t_star ||
+            via.utility != legacy.utility ||
+            via.honest_utility != legacy.honest_utility) {
+          identical = false;
+          std::printf("PARITY VIOLATION: kind=%s v=%u\n",
+                      game::to_string(kind), task.vertex);
+        }
+      }
+    }
+  }
+  return identical;
+}
+
+/// Cross-check pass: every task of every mechanism re-solved with the
+/// dense-scan cross-check armed. A comparator violation surfaces as the
+/// symbolic optimizer's std::logic_error; a BD violation as the piece
+/// solver's. Each is counted, never fatal mid-pass.
+void run_cross_check(const std::vector<graph::Graph>& instances,
+                     std::size_t& tasks, std::size_t& violations) {
+  configure();
+  game::DeviationOptions options;
+  options.cross_check = true;
+  for (game::MechanismId id = 0; id < game::mechanism_count(); ++id) {
+    for (const graph::Graph& ring : instances) {
+      for (const game::DeviationKind kind : kKinds) {
+        for (const game::DeviationTask& task :
+             game::deviation_tasks(ring, kind, id)) {
+          ++tasks;
+          try {
+            (void)game::optimize_deviation(ring, task, options);
+          } catch (const std::exception& e) {
+            ++violations;
+            std::printf("CROSS-CHECK VIOLATION: %s kind=%s v=%u: %s\n",
+                        std::string(game::mechanism(id).tag()).c_str(),
+                        game::to_string(kind), task.vertex, e.what());
+          }
+        }
+      }
+    }
+  }
+}
+
+const char* bool_json(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+int main() {
+  const std::vector<graph::Graph> instances = build_instances();
+  std::printf("[mechzoo] %zu instances, %zu mechanisms\n", instances.size(),
+              game::mechanism_count());
+
+  std::vector<MechanismRow> rows;
+  for (game::MechanismId id = 0; id < game::mechanism_count(); ++id) {
+    MechanismRow row = run_mechanism(id, instances);
+    std::printf(
+        "[mechzoo] %-6s %4zu tasks in %.3fs  worst ratio %s (~%.6f)\n",
+        row.tag.c_str(), row.tasks, row.seconds,
+        row.overall_worst.to_string().c_str(),
+        row.overall_worst.to_double());
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("[mechzoo] BD parity: interface vs legacy optimizers...\n");
+  std::size_t parity_tasks = 0;
+  const bool results_identical = check_bd_parity(instances, parity_tasks);
+  std::printf("[mechzoo] %s over %zu BD tasks\n",
+              results_identical ? "results identical" : "RESULTS DIFFER",
+              parity_tasks);
+
+  std::printf("[mechzoo] cross-check pass (dense scan armed, all zoo)...\n");
+  std::size_t cc_tasks = 0;
+  std::size_t cc_violations = 0;
+  run_cross_check(instances, cc_tasks, cc_violations);
+  std::printf("[mechzoo] cross-check: %zu violations over %zu tasks\n",
+              cc_violations, cc_tasks);
+
+  const Rational theorem8_bound(2);
+  const bool bd_within_bound = rows[game::kBdMechanismId].overall_worst <=
+                               theorem8_bound;
+
+  const std::string json_path =
+      std::string(RINGSHARE_REPO_ROOT) + "/BENCH_mechzoo.json";
+  {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"mechanism_zoo\",\n"
+        << "  \"workload\": {\"instances\": " << instances.size()
+        << ", \"tasks_per_mechanism\": " << rows.front().tasks << "},\n"
+        << "  \"mechanisms\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const MechanismRow& row = rows[i];
+      out << "    {\"tag\": \"" << row.tag << "\", \"name\": \"" << row.name
+          << "\",\n"
+          << "     \"seconds\": " << row.seconds << ",\n"
+          << "     \"worst_ratio\": {";
+      for (int k = 0; k < game::kDeviationKindCount; ++k)
+        out << (k ? ", " : "") << "\""
+            << game::to_string(static_cast<game::DeviationKind>(k))
+            << "\": \"" << row.worst_ratio[k].to_string() << "\"";
+      out << "},\n     \"worst_ratio_double\": {";
+      for (int k = 0; k < game::kDeviationKindCount; ++k)
+        out << (k ? ", " : "") << "\""
+            << game::to_string(static_cast<game::DeviationKind>(k))
+            << "\": " << row.worst_ratio[k].to_double();
+      out << "},\n     \"overall_worst_ratio\": \""
+          << row.overall_worst.to_string() << "\",\n"
+          << "     \"overall_worst_ratio_double\": "
+          << row.overall_worst.to_double() << ",\n"
+          << "     \"misreport_ratio_exactly_one\": "
+          << bool_json(row.misreport_exactly_one) << ",\n"
+          << "     \"budget_balanced\": " << bool_json(row.budget_balanced)
+          << ",\n"
+          << "     \"mean_nash_welfare\": " << row.mean_nash_welfare << ",\n"
+          << "     \"min_fairness\": " << row.min_fairness.to_double()
+          << ",\n"
+          << "     \"min_fairness_exact\": \"" << row.min_fairness.to_string()
+          << "\"}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"results_identical\": " << bool_json(results_identical)
+        << ",\n"
+        << "  \"bd_parity_tasks\": " << parity_tasks << ",\n"
+        << "  \"bd_within_theorem8_bound\": " << bool_json(bd_within_bound)
+        << ",\n"
+        << "  \"cross_check\": {\"tasks\": " << cc_tasks
+        << ", \"violations\": " << cc_violations << "}\n}\n";
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  int exit_code = 0;
+  if (!results_identical) {
+    std::printf("FAIL: BD via the Mechanism interface differs from the "
+                "legacy path\n");
+    exit_code = 1;
+  }
+  if (cc_violations != 0) {
+    std::printf("FAIL: %zu cross-check violations\n", cc_violations);
+    exit_code = 1;
+  }
+  if (!bd_within_bound) {
+    std::printf("FAIL: BD worst ratio exceeds the Theorem 8 bound of 2\n");
+    exit_code = 1;
+  }
+  for (const MechanismRow& row : rows) {
+    if (!row.misreport_exactly_one) {
+      std::printf("FAIL: %s misreport ratio is not exactly 1\n",
+                  row.tag.c_str());
+      exit_code = 1;
+    }
+    if (!row.budget_balanced) {
+      std::printf("FAIL: %s is not budget-balanced\n", row.tag.c_str());
+      exit_code = 1;
+    }
+  }
+  configure();
+  return exit_code;
+}

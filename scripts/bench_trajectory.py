@@ -205,6 +205,44 @@ def rows_filter(report) -> list[dict]:
     ]
 
 
+def rows_mechzoo(report) -> list[dict]:
+    # Mechanism-comparison rows: one per comparator, with BD as the
+    # baseline (same instance families, same engine path — the columns are
+    # directly comparable solve times). The identical column is loud about
+    # the zoo's whole contract stack: the BD bit-parity verdict (the
+    # interface refactor changed no BD bit), zero armed cross-check
+    # violations, the Theorem 8 bound on BD's worst ratio, and every
+    # mechanism's truthful-report (misreport ratio exactly 1) and
+    # budget-balance invariants.
+    mechanisms = {m["tag"]: m for m in report["mechanisms"]}
+    bd = mechanisms["bd"]
+    contracts_ok = (
+        report["results_identical"] is True
+        and report["cross_check"]["violations"] == 0
+        and report["bd_within_theorem8_bound"] is True
+        and all(m["misreport_ratio_exactly_one"] is True
+                and m["budget_balanced"] is True
+                for m in report["mechanisms"])
+    )
+    rows = []
+    for tag, m in mechanisms.items():
+        if tag == "bd":
+            continue
+        rows.append(
+            {
+                "bench": "mechanism_zoo",
+                "pass": f"bd -> {tag}",
+                "baseline_seconds": bd["seconds"],
+                "current_seconds": m["seconds"],
+                "speedup": (
+                    bd["seconds"] / m["seconds"] if m["seconds"] > 0 else 0.0
+                ),
+                "results_identical": contracts_ok,
+            }
+        )
+    return rows
+
+
 PARSERS = {
     "BENCH_hotpaths.json": rows_hotpaths,
     "BENCH_sweep.json": rows_sweep,
@@ -213,6 +251,7 @@ PARSERS = {
     "BENCH_serve.json": rows_serve,
     "BENCH_delta.json": rows_delta,
     "BENCH_filter.json": rows_filter,
+    "BENCH_mechzoo.json": rows_mechzoo,
 }
 
 

@@ -42,6 +42,15 @@
 #      met on the standard deviation workload, zero lockstep cross-check
 #      violations over >= 1000 instances, and the exact-tie suite reaching
 #      the exact fallback (filter_exact_ties > 0).
+#  11. Mechanism zoo bench smoke: run bench_mechanism_zoo and validate
+#      that BENCH_mechzoo.json parses with results_identical == true (the
+#      Mechanism interface refactor changed no BD bit), all of bd/prop/
+#      karma reported side by side, BD's worst exact ratio within the
+#      Theorem 8 bound of 2, misreport ratio exactly 1 and budget balance
+#      for every mechanism, and zero armed cross-check violations. The
+#      mechanism suites also run under ASan/UBSan (all three) and TSan
+#      (metamorphic + wire), and the serve smoke includes mechanism-tagged
+#      queries (i0.v0@prop, i1.m3@karma) through the sanitized server.
 #
 # Usage: scripts/tier1.sh [--skip-asan]
 #   --skip-asan skips every sanitizer pass (ASan/UBSan and TSan) and the
@@ -76,6 +85,8 @@ cmake -B build-asan -S . \
 for target in numeric_fastpath_test filtered_numeric_test memo_cache_test \
               bigint_test rational_test util_test flow_test bd_test \
               deviation_differential_test deviation_metamorphic_test \
+              mechanism_differential_test mechanism_metamorphic_test \
+              mechanism_wire_test \
               incremental_flow_test engine_test serve_test \
               delta_test stream_test; do
   cmake --build build-asan -j "$jobs" --target "$target"
@@ -85,6 +96,8 @@ echo "=== ASan/UBSan: run ==="
 for target in numeric_fastpath_test filtered_numeric_test memo_cache_test \
               bigint_test rational_test util_test flow_test bd_test \
               deviation_differential_test deviation_metamorphic_test \
+              mechanism_differential_test mechanism_metamorphic_test \
+              mechanism_wire_test \
               incremental_flow_test engine_test serve_test \
               delta_test stream_test; do
   echo "--- $target ---"
@@ -98,12 +111,14 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="$tsan_flags" \
   -DCMAKE_EXE_LINKER_FLAGS="$tsan_flags"
 for target in util_test sweep_driver_test deviation_metamorphic_test \
+              mechanism_metamorphic_test mechanism_wire_test \
               filtered_numeric_test serve_test delta_test stream_test; do
   cmake --build build-tsan -j "$jobs" --target "$target"
 done
 
 echo "=== TSan: run (work-stealing pool + concurrent sweep + server) ==="
 for target in util_test sweep_driver_test deviation_metamorphic_test \
+              mechanism_metamorphic_test mechanism_wire_test \
               filtered_numeric_test serve_test delta_test stream_test; do
   echo "--- $target ---"
   "./build-tsan/tests/$target"
@@ -114,7 +129,9 @@ echo "=== serve smoke: ringshare_serve under ASan/UBSan and TSan ==="
 # a symmetric repeat (instance 1 is instance 0 rotated and doubled) so the
 # dedup/cache paths run under the sanitizers too, plus a weight update and
 # a post-update re-query so the edit-stream path (cache invalidation +
-# fresh solve) also runs sanitized.
+# fresh solve) also runs sanitized, and two mechanism-tagged queries so the
+# comparator route (symbolic optimizer + tag-prefixed canonical keys) runs
+# under the sanitizers too.
 serve_smoke_input='{"instance": 0, "ring": ["4", "1", "3", "2", "2"]}
 {"instance": 1, "ring": ["2", "6", "4", "4", "8"]}
 {"req": 0, "task": "i0.v0"}
@@ -122,16 +139,18 @@ serve_smoke_input='{"instance": 0, "ring": ["4", "1", "3", "2", "2"]}
 {"req": 2, "task": "i0.c1-2"}
 {"req": 3, "task": "i0.v0"}
 {"req": 4, "task": "i1.m3"}
-{"req": 5, "update": "i0.u1", "weight": "9/2"}
-{"req": 6, "task": "i0.v0"}'
+{"req": 5, "task": "i0.v0@prop"}
+{"req": 6, "task": "i1.m3@karma"}
+{"req": 7, "update": "i0.u1", "weight": "9/2"}
+{"req": 8, "task": "i0.v0"}'
 for tree in build-asan build-tsan; do
   cmake --build "$tree" -j "$jobs" --target ringshare_serve
   echo "--- $tree/tools/ringshare_serve ---"
   printf '%s\n' "$serve_smoke_input" \
     | "./$tree/tools/ringshare_serve" --shards=2 > serve_smoke_out.jsonl
   responses=$(grep -c '"ratio"' serve_smoke_out.jsonl || true)
-  if [ "$responses" -ne 6 ]; then
-    echo "tier1.sh: serve smoke expected 6 responses, got $responses" >&2
+  if [ "$responses" -ne 8 ]; then
+    echo "tier1.sh: serve smoke expected 8 responses, got $responses" >&2
     cat serve_smoke_out.jsonl >&2
     rm -f serve_smoke_out.jsonl
     exit 1
@@ -142,6 +161,16 @@ for tree in build-asan build-tsan; do
     rm -f serve_smoke_out.jsonl
     exit 1
   }
+  # The tagged queries must come back tagged: the server routed them to the
+  # comparator, not silently to BD.
+  for tag in prop karma; do
+    grep -q "\"mechanism\": \"$tag\"" serve_smoke_out.jsonl || {
+      echo "tier1.sh: serve smoke missing the $tag-tagged response" >&2
+      cat serve_smoke_out.jsonl >&2
+      rm -f serve_smoke_out.jsonl
+      exit 1
+    }
+  done
   rm -f serve_smoke_out.jsonl
 done
 
@@ -322,6 +351,53 @@ ok = (
     and ties["wrong_answers"] == 0
     and ties["exact_ties"] > 0
     and ties["exercised"] is True
+)
+sys.exit(0 if ok else 1)
+EOF
+else
+  echo "tier1.sh: python3 not found; JSON well-formedness check skipped"
+fi
+
+echo "=== mechanism zoo bench smoke: bench_mechanism_zoo ==="
+cmake --build build -j "$jobs" --target bench_mechanism_zoo
+./build/bench/bench_mechanism_zoo
+# The binary exits nonzero on any contract violation (BD bit-parity through
+# the Mechanism interface, armed cross-check, Theorem 8 bound, misreport
+# ratio, budget balance); re-validate the JSON independently so a stale or
+# corrupted artifact also fails CI.
+grep -q '"results_identical": true' BENCH_mechzoo.json || {
+  echo "tier1.sh: BENCH_mechzoo.json missing results_identical: true" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+from fractions import Fraction
+with open("BENCH_mechzoo.json") as f:
+    report = json.load(f)
+mechanisms = {m["tag"]: m for m in report["mechanisms"]}
+ok = (
+    report["results_identical"] is True
+    and report["bd_parity_tasks"] > 0
+    and report["cross_check"]["violations"] == 0
+    and report["cross_check"]["tasks"]
+        >= len(report["mechanisms"]) * report["workload"]["tasks_per_mechanism"]
+    # The built-in zoo must be reported side by side (later registrations
+    # may add rows, never remove these).
+    and {"bd", "prop", "karma"} <= set(mechanisms)
+    # Re-derive the bound check from the exact rationals: BD's worst sweep
+    # ratio must respect the Theorem 8 bound of 2; every mechanism's
+    # misreport dimension is truthful and budget-balanced.
+    and Fraction(mechanisms["bd"]["overall_worst_ratio"]) <= 2
+    and report["bd_within_theorem8_bound"] is True
+    and all(
+        Fraction(m["worst_ratio"]["misreport"]) == 1
+        and m["misreport_ratio_exactly_one"] is True
+        and m["budget_balanced"] is True
+        and m["seconds"] >= 0
+        and Fraction(m["overall_worst_ratio"]) >= 1
+        for m in report["mechanisms"]
+    )
 )
 sys.exit(0 if ok else 1)
 EOF

@@ -53,6 +53,7 @@ CanonicalTask canonicalize_task(const Graph& ring, const DeviationTask& task) {
   DeviationTask canonical_task;
   canonical_task.kind = task.kind;
   canonical_task.vertex = 0;
+  canonical_task.mechanism = task.mechanism;
 
   if (task.kind == DeviationKind::kCollusion) {
     // The pointed object is the ordered pair (coalition edge): candidate A
@@ -117,10 +118,14 @@ CanonicalTask canonicalize_task(const Graph& ring, const DeviationTask& task) {
     canonical_weights.push_back(
         Rational(w.numerator() * (l / w.denominator()) / g));
 
+  // Non-BD tasks namespace their cache/dedup identity by mechanism tag; BD
+  // keys keep the historical unprefixed form (cache bit-compatibility).
+  if (task.mechanism != game::kBdMechanismId)
+    out.key = std::string(game::mechanism(task.mechanism).tag()) + ":";
   switch (task.kind) {
-    case DeviationKind::kSybil: out.key = "s|"; break;
-    case DeviationKind::kMisreport: out.key = "m|"; break;
-    case DeviationKind::kCollusion: out.key = "c|"; break;
+    case DeviationKind::kSybil: out.key += "s|"; break;
+    case DeviationKind::kMisreport: out.key += "m|"; break;
+    case DeviationKind::kCollusion: out.key += "c|"; break;
   }
   for (std::size_t i = 0; i < canonical_weights.size(); ++i) {
     if (i) out.key += ',';
@@ -139,6 +144,7 @@ DeviationOptimum translate_optimum(const Graph& ring,
   out.kind = task.kind;
   out.vertex = task.vertex;
   out.partner = task.kind == DeviationKind::kCollusion ? task.partner : 0;
+  out.mechanism = task.mechanism;
   out.utility = canonical_opt.utility * canon.scale;
   out.honest_utility = canonical_opt.honest_utility * canon.scale;
   // The ratio is scale- and label-invariant; copying it (rather than

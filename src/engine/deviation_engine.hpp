@@ -20,7 +20,12 @@
 // weights and invariant under weighted-graph isomorphism, so utilities
 // scale by `scale`, ratios are copied verbatim, and parameters map
 // monotonically (t ↦ scale·t), which preserves the solver's deterministic
-// tie-breaking bit-for-bit.
+// tie-breaking bit-for-bit. Every registered game::Mechanism promises the
+// same two properties (see the contract in game/mechanism.hpp), so the
+// identical canonicalization serves the whole zoo: the task's MechanismId
+// rides through the canonical task, and non-BD canonical keys are prefixed
+// with "<tag>:" so mechanisms never share cache entries while BD keys stay
+// byte-compatible with every pre-zoo cache and checkpoint.
 #pragma once
 
 #include <cstddef>
@@ -41,7 +46,8 @@ using num::Rational;
 /// A deviation task in pointed dihedral canonical form.
 struct CanonicalTask {
   /// Stable identity of the canonical instance: kind tag plus the integer
-  /// canonical weight sequence. Equal keys ⟺ equivalent tasks (same kind,
+  /// canonical weight sequence, prefixed "<mechanism tag>:" for non-BD
+  /// tasks. Equal keys ⟺ equivalent tasks (same kind AND mechanism,
   /// isomorphic pointed rings up to rotation/reflection/scaling), so this
   /// is the dedup/cache key of every serving layer.
   std::string key;

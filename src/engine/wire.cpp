@@ -31,15 +31,28 @@ std::string format_task_key(std::size_t instance,
              std::to_string(task.partner);
       break;
   }
+  if (task.mechanism != game::kBdMechanismId)
+    out += "@" + std::string(game::mechanism(task.mechanism).tag());
   return out;
 }
 
 std::optional<TaskKeyParts> parse_task_key(std::string_view key) {
+  // Split off an optional "@<mechanism tag>" suffix; absent means BD.
+  game::MechanismId mechanism_id = game::kBdMechanismId;
+  const std::size_t at = key.rfind('@');
+  if (at != std::string_view::npos) {
+    const std::optional<game::MechanismId> id =
+        game::mechanism_from_tag(key.substr(at + 1));
+    if (!id) return std::nullopt;
+    mechanism_id = *id;
+    key = key.substr(0, at);
+  }
   if (key.size() < 4 || key.front() != 'i') return std::nullopt;
   const std::size_t dot = key.find('.');
   if (dot == std::string_view::npos || dot + 2 > key.size())
     return std::nullopt;
   TaskKeyParts out;
+  out.task.mechanism = mechanism_id;
   const char tag = key[dot + 1];
   switch (tag) {
     case 'v': out.task.kind = game::DeviationKind::kSybil; break;
@@ -199,10 +212,16 @@ std::string format_record_fields(std::size_t instance,
   task.kind = optimum.kind;
   task.vertex = optimum.vertex;
   task.partner = optimum.partner;
+  task.mechanism = optimum.mechanism;
   std::ostringstream os;
   os << "\"task\": \"" << format_task_key(instance, task) << "\", \"kind\": \""
-     << game::to_string(optimum.kind) << "\", \"instance\": " << instance
-     << ", \"vertex\": " << optimum.vertex;
+     << game::to_string(optimum.kind) << "\"";
+  // Non-BD records name their mechanism; BD lines stay byte-identical to
+  // the pre-zoo format.
+  if (optimum.mechanism != game::kBdMechanismId)
+    os << ", \"mechanism\": \"" << game::mechanism(optimum.mechanism).tag()
+       << "\"";
+  os << ", \"instance\": " << instance << ", \"vertex\": " << optimum.vertex;
   if (optimum.kind == game::DeviationKind::kCollusion)
     os << ", \"partner\": " << optimum.partner;
   os << ", \"ratio\": \"" << optimum.ratio.to_string()

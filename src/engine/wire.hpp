@@ -9,6 +9,14 @@
 // set in both places; the server merely appends serving metadata
 // (req / shard / served / latency_us).
 //
+// Mechanism-zoo extension: a task key may carry a mechanism suffix,
+// "i<instance>.v<vertex>@<tag>" (e.g. "i0.m2@prop"), selecting a registered
+// game::Mechanism. An ABSENT suffix means BD — so every pre-zoo checkpoint
+// and request keeps its meaning, byte for byte. An unknown tag fails the
+// parse (nullopt), and BD keys are always formatted WITHOUT the suffix, so
+// BD checkpoint files stay bit-compatible in both directions. Result
+// records likewise gain a "mechanism" field only for non-BD optima.
+//
 // Requests are JSONL, one object per line:
 //
 //     {"instance": 0, "ring": ["4", "1", "3/2"]}      registers instance 0
@@ -42,11 +50,13 @@ struct TaskKeyParts {
   game::DeviationTask task;
 };
 
-/// Format "i<instance>.v<vertex>" / ".m<vertex>" / ".c<vertex>-<partner>".
+/// Format "i<instance>.v<vertex>" / ".m<vertex>" / ".c<vertex>-<partner>",
+/// with "@<mechanism tag>" appended for non-BD tasks.
 [[nodiscard]] std::string format_task_key(std::size_t instance,
                                           const game::DeviationTask& task);
 
-/// Parse a task key; nullopt on malformed input.
+/// Parse a task key; nullopt on malformed input or an unregistered
+/// mechanism tag. An untagged key parses as BD.
 [[nodiscard]] std::optional<TaskKeyParts> parse_task_key(
     std::string_view key);
 

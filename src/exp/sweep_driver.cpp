@@ -36,6 +36,7 @@ std::string SweepTaskRecord::key() const {
   task.kind = kind;
   task.vertex = vertex;
   task.partner = partner;
+  task.mechanism = mechanism;
   return engine::format_task_key(instance, task);
 }
 
@@ -44,6 +45,7 @@ std::string SweepTaskRecord::to_jsonl() const {
   optimum.kind = kind;
   optimum.vertex = vertex;
   optimum.partner = partner;
+  optimum.mechanism = mechanism;
   optimum.ratio = ratio;
   optimum.t_star = t_star;
   optimum.utility = utility;
@@ -127,6 +129,9 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
                   << line_number << " of " << options.output_path << "\n";
         continue;
       }
+      // A checkpoint file may interleave sweeps of several mechanisms;
+      // only lines of THIS sweep's mechanism fold in or skip tasks.
+      if (parsed->task.mechanism != options.mechanism) continue;
       if (!done.insert(*key).second) continue;  // duplicate checkpoint line
       consider(*parsed_ratio, parsed->instance, parsed->task.kind,
                parsed->task.vertex, parsed->task.partner);
@@ -137,7 +142,7 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
   for (std::size_t i = 0; i < rings.size(); ++i) {
     for (const game::DeviationKind kind : options.kinds) {
       for (const game::DeviationTask& dev :
-           game::deviation_tasks(rings[i], kind)) {
+           game::deviation_tasks(rings[i], kind, options.mechanism)) {
         ++report.tasks_total;
         ++report.by_kind[static_cast<int>(kind)].tasks;
         if (done.count(engine::format_task_key(i, dev))) {
@@ -235,6 +240,7 @@ SweepDriverReport run_sweep_driver(const std::vector<Graph>& rings,
           record.kind = optimum.kind;
           record.vertex = optimum.vertex;
           record.partner = optimum.partner;
+          record.mechanism = optimum.mechanism;
           record.ratio = optimum.ratio;
           record.t_star = optimum.t_star;
           record.utility = optimum.utility;

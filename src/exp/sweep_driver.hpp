@@ -48,6 +48,12 @@ struct FamilySpec {
 struct SweepDriverOptions {
   /// Deviation kinds to sweep, in enumeration order per instance.
   std::vector<game::DeviationKind> kinds = {game::DeviationKind::kSybil};
+  /// Mechanism every task runs under (game/mechanism.hpp). BD keeps the
+  /// historical untagged checkpoint keys; other mechanisms tag their keys
+  /// "@<tag>", and resume folds ONLY lines of the sweep's own mechanism —
+  /// a mixed checkpoint file can host one sweep per mechanism, and old
+  /// untagged checkpoints resume as BD.
+  game::MechanismId mechanism = game::kBdMechanismId;
   /// Shared piece-solver switches (all kinds run the same pipeline).
   game::DeviationOptions solver;
   /// JSONL checkpoint path; empty streams nowhere (pure in-memory sweep).
@@ -67,6 +73,7 @@ struct SweepTaskRecord {
   game::DeviationKind kind = game::DeviationKind::kSybil;
   graph::Vertex vertex = 0;
   graph::Vertex partner = 0;  ///< collusion only
+  game::MechanismId mechanism = game::kBdMechanismId;
   Rational ratio;
   Rational t_star;  ///< sybil: w₁*; misreport / collusion: x*
   Rational utility;
@@ -74,7 +81,8 @@ struct SweepTaskRecord {
 
   /// Stable checkpoint key: "i<instance>.v<vertex>" (sybil, the historical
   /// scheme — old checkpoints resume unchanged), "i<instance>.m<vertex>"
-  /// (misreport), "i<instance>.c<vertex>-<partner>" (collusion).
+  /// (misreport), "i<instance>.c<vertex>-<partner>" (collusion); non-BD
+  /// records append "@<mechanism tag>".
   [[nodiscard]] std::string key() const;
   /// One JSON object, no trailing newline. Exact values are strings
   /// ("p/q"), with a ratio_double convenience field alongside. Sybil

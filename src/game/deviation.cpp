@@ -164,21 +164,22 @@ CollusionOptimum CollusionOptimizer::optimize(
 }
 
 std::vector<DeviationTask> deviation_tasks(const Graph& ring,
-                                           DeviationKind kind) {
+                                           DeviationKind kind,
+                                           MechanismId mechanism) {
   std::vector<DeviationTask> out;
   switch (kind) {
     case DeviationKind::kSybil:
     case DeviationKind::kMisreport:
       for (Vertex v = 0; v < ring.vertex_count(); ++v) {
         if (ring.weight(v).is_zero()) continue;  // no weight to deviate with
-        out.push_back(DeviationTask{kind, v, 0});
+        out.push_back(DeviationTask{kind, v, 0, mechanism});
       }
       break;
     case DeviationKind::kCollusion:
       if (ring.vertex_count() < 4) break;  // contraction would not be a ring
       for (const auto& [u, v] : ring.edges()) {
         if ((ring.weight(u) + ring.weight(v)).is_zero()) continue;
-        out.push_back(DeviationTask{kind, u, v});
+        out.push_back(DeviationTask{kind, u, v, mechanism});
       }
       break;
   }
@@ -188,7 +189,7 @@ std::vector<DeviationTask> deviation_tasks(const Graph& ring,
 std::vector<DeviationTask> DeviationSweep::tasks(const Graph& ring) const {
   std::vector<DeviationTask> out;
   for (const DeviationKind kind : kinds) {
-    std::vector<DeviationTask> slice = deviation_tasks(ring, kind);
+    std::vector<DeviationTask> slice = deviation_tasks(ring, kind, mechanism);
     out.insert(out.end(), slice.begin(), slice.end());
   }
   return out;
@@ -196,13 +197,102 @@ std::vector<DeviationTask> DeviationSweep::tasks(const Graph& ring) const {
 
 DeviationOptimum DeviationSweep::run(const Graph& ring,
                                      const DeviationTask& task) const {
-  return optimize_deviation(ring, task, options);
+  DeviationTask stamped = task;
+  stamped.mechanism = mechanism;
+  return optimize_deviation(ring, stamped, options);
+}
+
+DeviationOptimum optimize_deviation_via_mechanism(
+    const Graph& ring, const DeviationTask& task,
+    const DeviationOptions& options) {
+  const Mechanism& m = mechanism(task.mechanism);
+
+  // Preconditions mirror the BD optimizers', kind by kind.
+  switch (task.kind) {
+    case DeviationKind::kSybil:
+    case DeviationKind::kMisreport:
+      if (task.vertex >= ring.vertex_count())
+        throw std::invalid_argument(
+            "optimize_deviation_via_mechanism: vertex out of range");
+      if (ring.weight(task.vertex).is_zero())
+        throw std::invalid_argument(
+            "optimize_deviation_via_mechanism: w_v == 0");
+      break;
+    case DeviationKind::kCollusion:
+      if (task.vertex >= ring.vertex_count() ||
+          task.partner >= ring.vertex_count())
+        throw std::invalid_argument(
+            "optimize_deviation_via_mechanism: vertex out of range");
+      if ((ring.weight(task.vertex) + ring.weight(task.partner)).is_zero())
+        throw std::invalid_argument(
+            "optimize_deviation_via_mechanism: w_v + w_partner == 0");
+      break;
+  }
+
+  // The same one-parameter families BD optimizes over, with the deviating
+  // identities tracked: the two Sybil copies (path endpoints 0 and n), the
+  // misreporting agent, or the merged coalition agent (vertex 0).
+  const ParametrizedGraph family = [&] {
+    switch (task.kind) {
+      case DeviationKind::kSybil:
+        return sybil_family(ring, task.vertex);
+      case DeviationKind::kMisreport:
+        return misreport_family(ring, task.vertex);
+      case DeviationKind::kCollusion:
+        return collusion_family(ring, task.vertex, task.partner);
+    }
+    throw std::invalid_argument(
+        "optimize_deviation_via_mechanism: unknown deviation kind");
+  }();
+  std::vector<Vertex> tracked;
+  switch (task.kind) {
+    case DeviationKind::kSybil:
+      tracked = {0, static_cast<Vertex>(family.base().vertex_count() - 1)};
+      break;
+    case DeviationKind::kMisreport:
+      tracked = {task.vertex};
+      break;
+    case DeviationKind::kCollusion:
+      tracked = {0};
+      break;
+  }
+
+  DeviationOptimum out;
+  out.kind = task.kind;
+  out.vertex = task.vertex;
+  out.partner = task.kind == DeviationKind::kCollusion ? task.partner : 0;
+  out.mechanism = task.mechanism;
+
+  const std::vector<Rational> honest = m.utilities(ring);
+  out.honest_utility = honest.at(task.vertex);
+  if (task.kind == DeviationKind::kCollusion)
+    out.honest_utility = out.honest_utility + honest.at(task.partner);
+  if (out.honest_utility.is_zero())
+    throw std::domain_error(
+        "optimize_deviation_via_mechanism: honest utility is zero under "
+        "mechanism '" +
+        std::string(m.tag()) + "'");
+
+  const TrackedOptimum best = m.optimize(family, tracked, options);
+  out.t_star = best.t_star;
+  out.utility = best.utility;
+  out.ratio = out.utility / out.honest_utility;
+  return out;
 }
 
 DeviationOptimum optimize_deviation(const Graph& ring,
                                     const DeviationTask& task,
                                     const DeviationOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  if (task.mechanism != kBdMechanismId) {
+    DeviationOptimum out = optimize_deviation_via_mechanism(ring, task, options);
+    util::PerfCounters::local().record_task_latency(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+    return out;
+  }
   DeviationOptimum out;
   out.kind = task.kind;
   out.vertex = task.vertex;

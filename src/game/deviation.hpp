@@ -20,6 +20,13 @@
 //     ring.
 //   * sybil — the split of game/sybil_ring.hpp, dispatched through the
 //     same front-end.
+//
+// Tasks additionally carry a MechanismId (game/mechanism.hpp). The default,
+// kBdMechanismId, routes through the historical BD optimizers below —
+// bit-identical to the pre-zoo code path. Any other id dispatches the same
+// three deviation families through that mechanism's exact optimizer
+// (optimize_deviation_via_mechanism), so every registered mechanism's
+// incentive ratio is measured on identical instance families.
 #pragma once
 
 #include <optional>
@@ -27,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "game/mechanism.hpp"
 #include "game/sybil_ring.hpp"
 
 namespace ringshare::game {
@@ -142,12 +150,15 @@ class CollusionOptimizer {
   ParametrizedGraph family_;
 };
 
-/// One deviation task: a kind plus its actors. `partner` is meaningful for
-/// collusion only (the absorbed neighbor).
+/// One deviation task: a kind plus its actors, under one mechanism.
+/// `partner` is meaningful for collusion only (the absorbed neighbor).
+/// `mechanism` defaults to BD, so aggregate-initialized tasks keep their
+/// historical meaning.
 struct DeviationTask {
   DeviationKind kind = DeviationKind::kSybil;
   Vertex vertex = 0;
   Vertex partner = 0;
+  MechanismId mechanism = kBdMechanismId;
 };
 
 /// Unified per-task outcome across all kinds. For sybil, t_star is w₁*;
@@ -156,6 +167,7 @@ struct DeviationOptimum {
   DeviationKind kind = DeviationKind::kSybil;
   Vertex vertex = 0;
   Vertex partner = 0;  ///< collusion only
+  MechanismId mechanism = kBdMechanismId;
   Rational t_star;
   Rational utility;
   Rational honest_utility;
@@ -163,27 +175,45 @@ struct DeviationOptimum {
 };
 
 /// Unified front-end: enumerate and dispatch deviation tasks of any kind,
-/// so sweep drivers and benches treat the three families uniformly.
+/// so sweep drivers and benches treat the three families uniformly. The
+/// sweep's mechanism is authoritative: run() stamps it onto every task.
 struct DeviationSweep {
   std::vector<DeviationKind> kinds = {DeviationKind::kSybil};
   DeviationOptions options;
+  MechanismId mechanism = kBdMechanismId;
 
   /// All tasks of the configured kinds on one ring: sybil and misreport
   /// contribute one task per vertex; collusion one per ring edge (each
   /// coalition counted once, vertex < partner).
   [[nodiscard]] std::vector<DeviationTask> tasks(const Graph& ring) const;
 
-  /// Solve one task exactly.
+  /// Solve one task exactly (under the sweep's mechanism).
   [[nodiscard]] DeviationOptimum run(const Graph& ring,
                                      const DeviationTask& task) const;
 };
 
-/// Tasks of a single kind (the per-kind slice of DeviationSweep::tasks).
-[[nodiscard]] std::vector<DeviationTask> deviation_tasks(const Graph& ring,
-                                                         DeviationKind kind);
+/// Tasks of a single kind (the per-kind slice of DeviationSweep::tasks),
+/// stamped with `mechanism`.
+[[nodiscard]] std::vector<DeviationTask> deviation_tasks(
+    const Graph& ring, DeviationKind kind,
+    MechanismId mechanism = kBdMechanismId);
 
-/// Solve one deviation task exactly (free-function form).
+/// Solve one deviation task exactly (free-function form). Dispatches on
+/// task.mechanism: BD takes the historical optimizers above; any other
+/// registered mechanism goes through optimize_deviation_via_mechanism.
 [[nodiscard]] DeviationOptimum optimize_deviation(
+    const Graph& ring, const DeviationTask& task,
+    const DeviationOptions& options = {});
+
+/// Solve one deviation task through the Mechanism interface, whatever the
+/// mechanism — including BD, where the result is bit-identical to
+/// optimize_deviation (BdMechanism::optimize IS the piece-solver pipeline;
+/// the differential suite pins this parity). Builds the task's family
+/// (sybil split / misreport / collusion contraction), tracks the deviating
+/// identities, and normalizes by the mechanism's honest utilities. Throws
+/// std::domain_error when the honest utility is zero, mirroring the BD
+/// optimizers.
+[[nodiscard]] DeviationOptimum optimize_deviation_via_mechanism(
     const Graph& ring, const DeviationTask& task,
     const DeviationOptions& options = {});
 

@@ -1,0 +1,369 @@
+#include "game/mechanism.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "bd/decomposition.hpp"
+
+namespace ringshare::game {
+
+RationalFn operator+(const RationalFn& a, const RationalFn& b) {
+  if (a.num.is_zero()) return b;
+  if (b.num.is_zero()) return a;
+  return {a.num * b.den + b.num * a.den, a.den * b.den};
+}
+
+RationalFn operator*(const RationalFn& a, const RationalFn& b) {
+  if (a.num.is_zero() || b.num.is_zero())
+    return {num::Polynomial(), num::Polynomial::constant(Rational(1))};
+  return {a.num * b.num, a.den * b.den};
+}
+
+RationalFn Mechanism::utility_function(const ParametrizedGraph&,
+                                       std::span<const num::Polynomial>,
+                                       Vertex) const {
+  throw std::logic_error(
+      "Mechanism::utility_function: not provided (this mechanism overrides "
+      "optimize() instead)");
+}
+
+TrackedOptimum Mechanism::optimize(const ParametrizedGraph& family,
+                                   std::span<const Vertex> tracked,
+                                   const PieceSolveOptions& options) const {
+  const Rational& lo = family.t_lo();
+  const Rational& hi = family.t_hi();
+  const Rational span = hi - lo;
+
+  // Candidate parameters in the NORMALIZED coordinate s ∈ [0, 1]: the
+  // range endpoints plus every stationary point of the symbolic tracked
+  // utility. Working in s (not t) is what makes the optimizer
+  // scale-equivariant bit-for-bit: a uniform weight scaling multiplies the
+  // derivative numerator by one positive constant, which changes no sign
+  // probe, no bracket and no comparison inside isolate_roots.
+  std::vector<Rational> candidates;
+  candidates.push_back(Rational(0));
+  candidates.push_back(Rational(1));
+
+  if (!span.is_zero()) {
+    // Weight polynomials in s: w_v(s) = constant + slope·(lo + span·s).
+    const std::size_t n = family.base().vertex_count();
+    std::vector<num::Polynomial> weights;
+    weights.reserve(n);
+    for (Vertex v = 0; v < n; ++v) {
+      const AffineWeight w = family.weight_function(v);
+      weights.push_back(num::Polynomial::linear(w.constant + w.slope * lo,
+                                                w.slope * span));
+    }
+    RationalFn total{num::Polynomial(),
+                     num::Polynomial::constant(Rational(1))};
+    for (const Vertex v : tracked)
+      total = total + utility_function(family, weights, v);
+    // Stationary points are sign-changing roots of the derivative
+    // numerator N′D − ND′. Denominators of the symbolic utility are sums
+    // of products of non-negative affine weights, so they can vanish at an
+    // interior s only by being identically zero — and identically
+    // degenerate terms are skipped at construction. The rational function
+    // therefore agrees with the guarded exact utility on (0, 1); the
+    // endpoints (where divisions may genuinely degenerate) are always
+    // candidates and re-evaluated through the guarded utilities() below.
+    const num::Polynomial d = total.num.derivative() * total.den -
+                              total.num * total.den.derivative();
+    if (!d.is_zero()) {
+      for (const num::RootBracket& root :
+           num::isolate_roots(d, Rational(0), Rational(1))) {
+        if (root.exact) {
+          candidates.push_back(root.lo);
+        } else {
+          candidates.push_back(root.lo);
+          candidates.push_back(root.value());
+          candidates.push_back(root.hi);
+        }
+      }
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Exact re-evaluation of every candidate on the concrete instance.
+  // Strict `<` keeps the smallest-s (hence smallest-t) argmax on exact
+  // ties — deterministic and equivariant under scaling and relabeling.
+  TrackedOptimum best;
+  bool have = false;
+  for (const Rational& s : candidates) {
+    const Rational t = lo + span * s;
+    const std::vector<Rational> values = utilities(family.at(t));
+    Rational value(0);
+    for (const Vertex v : tracked) value = value + values.at(v);
+    if (!have || best.utility < value) {
+      best.t_star = t;
+      best.utility = value;
+      have = true;
+    }
+  }
+
+  if (options.cross_check && !span.is_zero()) {
+    // The comparator analogue of the piece solver's exact-vs-scan check:
+    // the reported optimum must dominate a dense uniform rational grid.
+    const int samples = std::max(options.samples_per_piece, 2);
+    for (int k = 0; k <= samples; ++k) {
+      const Rational t = lo + span * Rational(k, samples);
+      const std::vector<Rational> values = utilities(family.at(t));
+      Rational value(0);
+      for (const Vertex v : tracked) value = value + values.at(v);
+      if (best.utility < value)
+        throw std::logic_error(
+            "Mechanism::optimize cross-check: a grid sample beats the "
+            "reported optimum");
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Implementation 0: the paper's BD allocation. utilities() reads the
+/// equilibrium utilities off the bottleneck decomposition (Prop. 6);
+/// optimize() IS the historical exact piece-solver pipeline, so every BD
+/// solve through the Mechanism interface is bit-identical to the
+/// pre-refactor path.
+class BdMechanism final : public Mechanism {
+ public:
+  [[nodiscard]] std::string_view tag() const noexcept override { return "bd"; }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "bottleneck-decomposition allocation (Def. 5)";
+  }
+
+  [[nodiscard]] std::vector<Rational> utilities(const Graph& g) const override {
+    const bd::Decomposition decomposition(g);
+    std::vector<Rational> out;
+    out.reserve(g.vertex_count());
+    for (Vertex v = 0; v < g.vertex_count(); ++v)
+      out.push_back(decomposition.utility(v));
+    return out;
+  }
+
+  [[nodiscard]] TrackedOptimum optimize(
+      const ParametrizedGraph& family, std::span<const Vertex> tracked,
+      const PieceSolveOptions& options) const override {
+    return optimize_tracked_utility(family, tracked, options);
+  }
+};
+
+/// Σ_{x∈Γ(u)} w_x, the proportional divider's per-agent denominator.
+Rational neighborhood_weight(const Graph& g, Vertex u) {
+  Rational s(0);
+  for (const Vertex x : g.neighbors(u)) s = s + g.weight(x);
+  return s;
+}
+
+/// "prop": every agent u splits its endowment among its neighbors in
+/// proportion to their reported weights: x_{u→v} = w_u·w_v / Σ_{x∈Γ(u)} w_x
+/// (u sends nothing when its whole neighborhood reports zero). Budget
+/// balanced, 1-homogeneous, isomorphism-invariant; the truthful report is
+/// optimal because every received term x·w_u/(x + c) is non-decreasing in
+/// the own report x.
+class PropMechanism final : public Mechanism {
+ public:
+  [[nodiscard]] std::string_view tag() const noexcept override {
+    return "prop";
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "proportional divider (Shapley-style local sharing)";
+  }
+
+  [[nodiscard]] std::vector<Rational> utilities(const Graph& g) const override {
+    const std::size_t n = g.vertex_count();
+    std::vector<Rational> denom;
+    denom.reserve(n);
+    for (Vertex u = 0; u < n; ++u) denom.push_back(neighborhood_weight(g, u));
+    std::vector<Rational> out(n, Rational(0));
+    for (Vertex v = 0; v < n; ++v) {
+      for (const Vertex u : g.neighbors(v)) {
+        if (denom[u].is_zero()) continue;
+        out[v] = out[v] + g.weight(u) * g.weight(v) / denom[u];
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] RationalFn utility_function(
+      const ParametrizedGraph& family,
+      std::span<const num::Polynomial> weights, Vertex v) const override {
+    const Graph& g = family.base();
+    RationalFn out{num::Polynomial(), num::Polynomial::constant(Rational(1))};
+    for (const Vertex u : g.neighbors(v)) {
+      num::Polynomial denom;
+      for (const Vertex x : g.neighbors(u)) denom = denom + weights[x];
+      if (denom.is_zero()) continue;  // identically empty neighborhood
+      out = out + RationalFn{weights[u] * weights[v], denom};
+    }
+    return out;
+  }
+};
+
+/// "karma": each agent carries a credit rate k_v = w_v / Σ_{x∈Γ(v)} w_x —
+/// its endowment priced in its neighborhood's total supply, the Karma
+/// simulator's per-round credit update collapsed to equilibrium — and every
+/// agent u splits its endowment in proportion to its neighbors' CREDITS:
+/// x_{u→v} = w_u·k_v / Σ_{x∈Γ(u)} k_x. Rewarding relative contribution
+/// rather than raw weight; coincides with "prop" on uniform rings, differs
+/// everywhere else. Budget balanced, 1-homogeneous, isomorphism-invariant;
+/// truthful reporting is optimal (k_v is increasing in the own report while
+/// every sibling credit is non-increasing in it).
+class KarmaMechanism final : public Mechanism {
+ public:
+  [[nodiscard]] std::string_view tag() const noexcept override {
+    return "karma";
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "karma credit-based allocator";
+  }
+
+  [[nodiscard]] std::vector<Rational> utilities(const Graph& g) const override {
+    const std::size_t n = g.vertex_count();
+    std::vector<Rational> credit(n, Rational(0));
+    for (Vertex v = 0; v < n; ++v) {
+      const Rational denom = neighborhood_weight(g, v);
+      if (!denom.is_zero()) credit[v] = g.weight(v) / denom;
+    }
+    std::vector<Rational> out(n, Rational(0));
+    for (Vertex v = 0; v < n; ++v) {
+      if (credit[v].is_zero()) continue;  // no credit, nothing received
+      for (const Vertex u : g.neighbors(v)) {
+        Rational total_credit(0);
+        for (const Vertex x : g.neighbors(u))
+          total_credit = total_credit + credit[x];
+        if (total_credit.is_zero()) continue;
+        out[v] = out[v] + g.weight(u) * credit[v] / total_credit;
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] RationalFn utility_function(
+      const ParametrizedGraph& family,
+      std::span<const num::Polynomial> weights, Vertex v) const override {
+    const Graph& g = family.base();
+    // k_a = w_a / Σ_{x∈Γ(a)} w_x, or nothing when the neighborhood is
+    // identically empty (the pointwise guard, lifted to polynomials).
+    const auto credit = [&](Vertex a) -> std::optional<RationalFn> {
+      num::Polynomial denom;
+      for (const Vertex x : g.neighbors(a)) denom = denom + weights[x];
+      if (denom.is_zero()) return std::nullopt;
+      return RationalFn{weights[a], denom};
+    };
+    RationalFn out{num::Polynomial(), num::Polynomial::constant(Rational(1))};
+    const std::optional<RationalFn> k_v = credit(v);
+    if (!k_v || k_v->num.is_zero()) return out;
+    for (const Vertex u : g.neighbors(v)) {
+      bool have = false;
+      RationalFn total_credit;
+      for (const Vertex x : g.neighbors(u)) {
+        if (const std::optional<RationalFn> k_x = credit(x)) {
+          total_credit = have ? total_credit + *k_x : *k_x;
+          have = true;
+        }
+      }
+      if (!have || total_credit.num.is_zero()) continue;
+      out = out +
+            RationalFn{weights[u], num::Polynomial::constant(Rational(1))} *
+                *k_v * RationalFn{total_credit.den, total_credit.num};
+    }
+    return out;
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Mechanism>> mechanisms;
+};
+
+/// The process-wide registry, built on first touch with the built-ins at
+/// their stable ids (bd = 0, prop = 1, karma = 2). Heap-allocated and never
+/// destroyed so lookups stay valid during static teardown.
+Registry& registry() {
+  static Registry* instance = [] {
+    auto* out = new Registry;
+    out->mechanisms.push_back(std::make_unique<BdMechanism>());
+    out->mechanisms.push_back(std::make_unique<PropMechanism>());
+    out->mechanisms.push_back(std::make_unique<KarmaMechanism>());
+    return out;
+  }();
+  return *instance;
+}
+
+}  // namespace
+
+MechanismId register_mechanism(std::unique_ptr<Mechanism> mechanism) {
+  if (!mechanism)
+    throw std::invalid_argument("register_mechanism: null mechanism");
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  for (const std::unique_ptr<Mechanism>& existing : reg.mechanisms)
+    if (existing->tag() == mechanism->tag())
+      throw std::invalid_argument("register_mechanism: duplicate tag '" +
+                                  std::string(mechanism->tag()) + "'");
+  reg.mechanisms.push_back(std::move(mechanism));
+  return static_cast<MechanismId>(reg.mechanisms.size() - 1);
+}
+
+std::size_t mechanism_count() {
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  return reg.mechanisms.size();
+}
+
+const Mechanism& mechanism(MechanismId id) {
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  if (id >= reg.mechanisms.size())
+    throw std::out_of_range("mechanism: unknown id " + std::to_string(id));
+  return *reg.mechanisms[id];  // pointee is stable after unlock
+}
+
+std::optional<MechanismId> mechanism_from_tag(std::string_view tag) {
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  for (std::size_t i = 0; i < reg.mechanisms.size(); ++i)
+    if (reg.mechanisms[i]->tag() == tag)
+      return static_cast<MechanismId>(i);
+  return std::nullopt;
+}
+
+MechanismProfile mechanism_profile(const Mechanism& m, const Graph& g) {
+  const std::vector<Rational> utilities = m.utilities(g);
+  MechanismProfile out;
+  out.total_utility = Rational(0);
+  bool have_share = false;
+  bool zero_utility = false;
+  double log_sum = 0.0;
+  std::size_t agents = 0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    out.total_utility = out.total_utility + utilities[v];
+    if (g.weight(v).is_zero()) continue;
+    const Rational share = utilities[v] / g.weight(v);
+    if (!have_share || share < out.min_share) {
+      out.min_share = share;
+      have_share = true;
+    }
+    ++agents;
+    if (utilities[v].is_zero())
+      zero_utility = true;
+    else
+      log_sum += std::log(utilities[v].to_double());
+  }
+  if (!have_share)
+    throw std::invalid_argument(
+        "mechanism_profile: no positive-weight agent");
+  out.nash_welfare =
+      zero_utility ? 0.0 : std::exp(log_sum / static_cast<double>(agents));
+  return out;
+}
+
+}  // namespace ringshare::game

@@ -1,0 +1,129 @@
+// mechanism.hpp — the mechanism zoo behind one interface.
+//
+// The repo grew up verifying exactly one mechanism (the paper's BD
+// allocation). This module extracts what every layer above actually needs
+// from a mechanism — exact equilibrium utilities on an instance, plus an
+// exact tracked-utility optimizer over a one-parameter deviation family —
+// into an abstract `Mechanism`, registers BD as implementation 0, and ports
+// two comparators:
+//
+//   * "prop"  — proportional divider (Shapley-style local cost sharing):
+//     each agent u splits its endowment among its neighbors proportionally
+//     to their reported weights, x_{u→v} = w_u·w_v / Σ_{x∈Γ(u)} w_x.
+//   * "karma" — credit-based allocator (per the Karma simulator design):
+//     each agent carries a credit rate k_v = w_v / Σ_{x∈Γ(v)} w_x (what one
+//     unit of its neighborhood's goodwill is worth), and u splits its
+//     endowment proportionally to its neighbors' CREDITS rather than their
+//     raw weights, x_{u→v} = w_u·k_v / Σ_{x∈Γ(u)} k_x.
+//
+// Registered mechanisms are identified by a dense MechanismId; id 0 is BD
+// (`kBdMechanismId`), so a zero-initialized DeviationTask keeps today's
+// semantics and every untagged wire key / checkpoint line still means BD.
+//
+// Contract every registered mechanism must satisfy (this is what makes the
+// engine's canonical translation — utilities × scale, ratio verbatim,
+// t ↦ scale·t — sound for it, and what the metamorphic battery asserts):
+//   1. utilities() is 1-homogeneous in the weights and invariant under
+//      weighted-graph isomorphism;
+//   2. optimize() is deterministic, exact, and scale-equivariant: on a
+//      uniformly scaled family it returns the scaled t_star and utility
+//      bit-identically (the default optimizer guarantees this by working in
+//      the normalized parameter s = (t − lo)/(hi − lo) ∈ [0, 1], where a
+//      uniform weight scaling multiplies every polynomial by one positive
+//      constant and changes no root, bracket, or comparison).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "game/piece_solver.hpp"
+
+namespace ringshare::game {
+
+/// Dense registry index of a mechanism. 0 is always BD.
+using MechanismId = std::uint32_t;
+inline constexpr MechanismId kBdMechanismId = 0;
+
+/// Exact rational function num(s)/den(s) of one scalar, the symbolic
+/// currency of the default optimizer. den must not be the zero polynomial
+/// (callers skip identically-degenerate terms instead of building them).
+struct RationalFn {
+  num::Polynomial num;
+  num::Polynomial den = num::Polynomial::constant(Rational(1));
+
+  friend RationalFn operator+(const RationalFn& a, const RationalFn& b);
+  friend RationalFn operator*(const RationalFn& a, const RationalFn& b);
+};
+
+/// One allocation mechanism, as seen by the deviation engine: exact
+/// utilities on an instance, plus an exact optimizer over a one-parameter
+/// weight family. Implementations are stateless and thread-safe.
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Short wire tag ("bd", "prop", "karma"): suffix of tagged task keys,
+  /// prefix of canonical cache keys, value of the --mechanism flag.
+  [[nodiscard]] virtual std::string_view tag() const noexcept = 0;
+  /// Human-readable name for reports.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Exact equilibrium utility of every agent on one instance, indexed by
+  /// vertex. Must be 1-homogeneous and isomorphism-invariant (see the
+  /// header contract).
+  [[nodiscard]] virtual std::vector<Rational> utilities(
+      const Graph& g) const = 0;
+
+  /// Maximize Σ_{v ∈ tracked} U_v(t) over the family's parameter range,
+  /// exactly. The default enumerates the stationary points of the symbolic
+  /// utility (utility_function) in the normalized parameter s ∈ [0, 1] —
+  /// derivative-numerator root isolation — then re-evaluates every
+  /// candidate through utilities() on the concrete instance; ties break to
+  /// the smallest t. BD overrides this with the piece-solver pipeline.
+  [[nodiscard]] virtual TrackedOptimum optimize(
+      const ParametrizedGraph& family, std::span<const Vertex> tracked,
+      const PieceSolveOptions& options) const;
+
+  /// U_v as an exact rational function of the NORMALIZED parameter
+  /// s ∈ [0, 1] (t = lo + (hi − lo)·s). `weights[u]` is agent u's weight
+  /// polynomial in s. Required by the default optimize(); mechanisms that
+  /// override optimize() (BD) may throw std::logic_error instead.
+  [[nodiscard]] virtual RationalFn utility_function(
+      const ParametrizedGraph& family,
+      std::span<const num::Polynomial> weights, Vertex v) const;
+};
+
+/// Register a mechanism; returns its id. Throws std::invalid_argument on a
+/// duplicate tag. The built-ins (bd, prop, karma) self-register before any
+/// lookup, so their ids are stable: 0, 1, 2.
+MechanismId register_mechanism(std::unique_ptr<Mechanism> mechanism);
+
+/// Number of registered mechanisms (>= 3: the built-ins).
+[[nodiscard]] std::size_t mechanism_count();
+
+/// The registered mechanism; throws std::out_of_range for an unknown id.
+[[nodiscard]] const Mechanism& mechanism(MechanismId id);
+
+/// Look a mechanism up by wire tag; nullopt when unregistered.
+[[nodiscard]] std::optional<MechanismId> mechanism_from_tag(
+    std::string_view tag);
+
+/// Honest-instance comparison metrics of one mechanism on one instance,
+/// computed from its exact utilities (the bench's welfare/fairness row).
+struct MechanismProfile {
+  Rational total_utility;  ///< Σ_v U_v (= Σ_v w_v for budget-balanced rules)
+  /// min over positive-weight agents of U_v / w_v — the egalitarian share.
+  Rational min_share;
+  /// Geometric mean of positive-weight agents' utilities (Nash welfare);
+  /// 0 when any such agent gets nothing.
+  double nash_welfare = 0.0;
+};
+
+/// Profile `m` on `g`. Requires at least one positive-weight vertex.
+[[nodiscard]] MechanismProfile mechanism_profile(const Mechanism& m,
+                                                 const Graph& g);
+
+}  // namespace ringshare::game

@@ -1,0 +1,193 @@
+// Metamorphic suite parameterized over EVERY registered mechanism: optimal
+// deviation ratios are invariant under the ring's dihedral symmetries and
+// under uniform positive weight scaling, for BD and for every ported
+// comparator alike — the contract in game/mechanism.hpp, asserted
+// bit-identically. Any mechanism registered in the future inherits this
+// battery without new test code: the loops run to mechanism_count().
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/families.hpp"
+#include "game/deviation.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace ringshare::game {
+namespace {
+
+std::vector<Rational> ring_weights(std::size_t n, util::Xoshiro256& rng) {
+  std::vector<Rational> weights;
+  for (std::size_t i = 0; i < n; ++i)
+    weights.emplace_back(rng.uniform_int(1, 9));
+  return weights;
+}
+
+/// Rotated copy: rotated[i] = weights[(i + shift) % n]. Vertex v of the
+/// base ring sits at (v − shift) mod n in the copy.
+std::vector<Rational> rotated(const std::vector<Rational>& weights,
+                              std::size_t shift) {
+  const std::size_t n = weights.size();
+  std::vector<Rational> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(weights[(i + shift) % n]);
+  return out;
+}
+
+/// Reflected copy: reflected[i] = weights[(n − i) % n]. Vertex v sits at
+/// (n − v) mod n in the copy.
+std::vector<Rational> reflected(const std::vector<Rational>& weights) {
+  const std::size_t n = weights.size();
+  std::vector<Rational> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(weights[(n - i) % n]);
+  return out;
+}
+
+std::vector<Rational> scaled(const std::vector<Rational>& weights,
+                             const Rational& factor) {
+  std::vector<Rational> out;
+  for (const Rational& w : weights) out.push_back(w * factor);
+  return out;
+}
+
+DeviationTask make_task(DeviationKind kind, Vertex v, Vertex partner,
+                        MechanismId mechanism) {
+  DeviationTask task;
+  task.kind = kind;
+  task.vertex = v;
+  task.partner = partner;
+  task.mechanism = mechanism;
+  return task;
+}
+
+// Dihedral invariance for every mechanism and every kind: ratio, utility
+// and honest utility are properties of the weighted isomorphism class.
+// t_star is NOT asserted under symmetry — the Sybil split direction follows
+// the smaller-id neighbor, which relabeling can flip (same caveat as the
+// BD-only suite); the attainable allocation set, hence the optimum VALUE,
+// is direction-free for every mechanism.
+TEST(MechanismMetamorphic, DihedralInvarianceForAllMechanisms) {
+  util::Xoshiro256 rng(515);
+  const DeviationKind kinds[] = {DeviationKind::kSybil,
+                                 DeviationKind::kMisreport,
+                                 DeviationKind::kCollusion};
+  for (int trial = 0; trial < 2; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const std::vector<Rational> weights = ring_weights(n, rng);
+    const Graph base = graph::make_ring(weights);
+    for (MechanismId id = 0; id < mechanism_count(); ++id) {
+      for (const DeviationKind kind : kinds) {
+        for (Vertex v = 0; v < n; ++v) {
+          const Vertex partner = static_cast<Vertex>((v + 1) % n);
+          const DeviationTask task = make_task(kind, v, partner, id);
+          const DeviationOptimum expected = optimize_deviation(base, task);
+          if (kind == DeviationKind::kMisreport)
+            EXPECT_EQ(expected.ratio, Rational(1)) << mechanism(id).tag();
+
+          for (std::size_t shift = 1; shift < n; ++shift) {
+            const Graph copy = graph::make_ring(rotated(weights, shift));
+            const Vertex iv = static_cast<Vertex>((v + n - shift) % n);
+            const Vertex ip = static_cast<Vertex>((partner + n - shift) % n);
+            const DeviationOptimum got =
+                optimize_deviation(copy, make_task(kind, iv, ip, id));
+            EXPECT_EQ(got.ratio, expected.ratio)
+                << mechanism(id).tag() << " " << to_string(kind) << " v=" << v
+                << " shift=" << shift;
+            EXPECT_EQ(got.utility, expected.utility);
+            EXPECT_EQ(got.honest_utility, expected.honest_utility);
+          }
+          const Graph mirror = graph::make_ring(reflected(weights));
+          const Vertex iv = static_cast<Vertex>((n - v) % n);
+          const Vertex ip = static_cast<Vertex>((n - partner) % n);
+          const DeviationOptimum got =
+              optimize_deviation(mirror, make_task(kind, iv, ip, id));
+          EXPECT_EQ(got.ratio, expected.ratio)
+              << mechanism(id).tag() << " " << to_string(kind) << " v=" << v
+              << " reflected";
+          EXPECT_EQ(got.utility, expected.utility);
+        }
+      }
+    }
+  }
+}
+
+// Uniform positive scaling acts linearly for every mechanism: ratios are
+// dimensionless, optimal reports and utilities scale bit-exactly. For the
+// comparators this is guaranteed by the s-normalized optimizer (the root
+// isolation sees the SAME polynomials up to one positive constant); for BD
+// by the piece solver, exactly as the BD-only suite pins.
+TEST(MechanismMetamorphic, WeightScalingActsLinearlyForAllMechanisms) {
+  util::Xoshiro256 rng(626);
+  const Rational factors[] = {Rational(3), Rational(5, 2), Rational(1, 7)};
+  const DeviationKind kinds[] = {DeviationKind::kSybil,
+                                 DeviationKind::kMisreport,
+                                 DeviationKind::kCollusion};
+  for (int trial = 0; trial < 2; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const std::vector<Rational> weights = ring_weights(n, rng);
+    const Graph base = graph::make_ring(weights);
+    for (const Rational& factor : factors) {
+      const Graph copy = graph::make_ring(scaled(weights, factor));
+      for (MechanismId id = 0; id < mechanism_count(); ++id) {
+        for (const DeviationKind kind : kinds) {
+          for (Vertex v = 0; v < n; ++v) {
+            const DeviationTask task =
+                make_task(kind, v, static_cast<Vertex>((v + 1) % n), id);
+            const DeviationOptimum expected = optimize_deviation(base, task);
+            const DeviationOptimum got = optimize_deviation(copy, task);
+            EXPECT_EQ(got.ratio, expected.ratio)
+                << mechanism(id).tag() << " " << to_string(kind) << " v=" << v;
+            EXPECT_EQ(got.utility, expected.utility * factor);
+            EXPECT_EQ(got.honest_utility, expected.honest_utility * factor);
+            EXPECT_EQ(got.t_star, expected.t_star * factor);
+          }
+        }
+      }
+    }
+  }
+}
+
+// The coalition is symmetric in its pair for every mechanism: merging
+// {v, partner} from either endpoint is the same coalition, so the optimum
+// (including x_star — the merged family is literally identical) matches.
+TEST(MechanismMetamorphic, CollusionSymmetricInPairForAllMechanisms) {
+  util::Xoshiro256 rng(737);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const Graph ring = graph::make_ring(ring_weights(n, rng));
+    const Vertex v = static_cast<Vertex>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const Vertex partner = static_cast<Vertex>((v + 1) % n);
+    for (MechanismId id = 0; id < mechanism_count(); ++id) {
+      const DeviationOptimum a = optimize_deviation(
+          ring, make_task(DeviationKind::kCollusion, v, partner, id));
+      const DeviationOptimum b = optimize_deviation(
+          ring, make_task(DeviationKind::kCollusion, partner, v, id));
+      EXPECT_EQ(a.ratio, b.ratio) << mechanism(id).tag();
+      EXPECT_EQ(a.utility, b.utility);
+      EXPECT_EQ(a.honest_utility, b.honest_utility);
+      EXPECT_EQ(a.t_star, b.t_star);
+    }
+  }
+}
+
+// The sweep front-end stamps its mechanism onto every task it enumerates
+// and solves — a DeviationSweep configured for a comparator never slips
+// back into BD.
+TEST(MechanismMetamorphic, SweepStampsItsMechanism) {
+  const Graph ring = exp::uniform_ring(5);
+  for (MechanismId id = 0; id < mechanism_count(); ++id) {
+    DeviationSweep sweep;
+    sweep.kinds = {DeviationKind::kSybil, DeviationKind::kMisreport};
+    sweep.mechanism = id;
+    const std::vector<DeviationTask> tasks = sweep.tasks(ring);
+    ASSERT_FALSE(tasks.empty());
+    for (const DeviationTask& task : tasks)
+      EXPECT_EQ(task.mechanism, id);
+    const DeviationOptimum optimum = sweep.run(ring, tasks.front());
+    EXPECT_EQ(optimum.mechanism, id);
+  }
+}
+
+}  // namespace
+}  // namespace ringshare::game

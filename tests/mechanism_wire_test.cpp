@@ -1,0 +1,215 @@
+// Regression tests for the mechanism-tagged checkpoint grammar: tagged task
+// keys round-trip through the wire layer, untagged keys (every pre-zoo
+// checkpoint and request) still parse as BD, unknown tags are rejected, BD
+// records stay byte-identical to the historical format, and the sweep
+// driver resumes mechanism-tagged checkpoints correctly — folding only its
+// own mechanism's lines, tolerating corrupt lines, and letting one file
+// host a sweep per mechanism.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/wire.hpp"
+#include "exp/families.hpp"
+#include "exp/sweep_driver.hpp"
+#include "graph/builders.hpp"
+
+namespace ringshare::engine {
+namespace {
+
+using game::DeviationKind;
+using game::DeviationTask;
+using game::MechanismId;
+
+/// Self-deleting temp path so resume tests start from a clean file.
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_(::testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+DeviationTask make_task(DeviationKind kind, graph::Vertex v,
+                        graph::Vertex partner, MechanismId mechanism) {
+  DeviationTask task;
+  task.kind = kind;
+  task.vertex = v;
+  task.partner = partner;
+  task.mechanism = mechanism;
+  return task;
+}
+
+TEST(MechanismWire, TaggedKeysRoundTripForEveryMechanismAndKind) {
+  const DeviationKind kinds[] = {DeviationKind::kSybil,
+                                 DeviationKind::kMisreport,
+                                 DeviationKind::kCollusion};
+  for (MechanismId id = 0; id < game::mechanism_count(); ++id) {
+    for (const DeviationKind kind : kinds) {
+      const DeviationTask task = make_task(kind, 3, 4, id);
+      const std::string key = format_task_key(7, task);
+      if (id == game::kBdMechanismId) {
+        EXPECT_EQ(key.find('@'), std::string::npos) << key;
+      } else {
+        const std::string suffix =
+            "@" + std::string(game::mechanism(id).tag());
+        ASSERT_GE(key.size(), suffix.size());
+        EXPECT_EQ(key.substr(key.size() - suffix.size()), suffix);
+      }
+      const std::optional<TaskKeyParts> parsed = parse_task_key(key);
+      ASSERT_TRUE(parsed.has_value()) << key;
+      EXPECT_EQ(parsed->instance, 7u);
+      EXPECT_EQ(parsed->task.kind, kind);
+      EXPECT_EQ(parsed->task.vertex, 3u);
+      if (kind == DeviationKind::kCollusion)
+        EXPECT_EQ(parsed->task.partner, 4u);
+      EXPECT_EQ(parsed->task.mechanism, id);
+    }
+  }
+}
+
+// Backward compatibility pinned: the untagged keys every pre-zoo checkpoint
+// file contains parse as BD, byte for byte.
+TEST(MechanismWire, UntaggedKeysParseAsBd) {
+  for (const char* key : {"i0.v1", "i3.m2", "i9.c4-5", "i12.v0"}) {
+    const std::optional<TaskKeyParts> parsed = parse_task_key(key);
+    ASSERT_TRUE(parsed.has_value()) << key;
+    EXPECT_EQ(parsed->task.mechanism, game::kBdMechanismId) << key;
+  }
+  // And BD formatting never emits a tag, so new BD checkpoints stay
+  // readable by pre-zoo builds.
+  const DeviationTask task =
+      make_task(DeviationKind::kSybil, 1, 0, game::kBdMechanismId);
+  EXPECT_EQ(format_task_key(0, task), "i0.v1");
+}
+
+TEST(MechanismWire, UnknownOrEmptyTagsAreRejected) {
+  EXPECT_FALSE(parse_task_key("i0.v1@no_such_mechanism").has_value());
+  EXPECT_FALSE(parse_task_key("i0.v1@").has_value());
+  EXPECT_FALSE(parse_task_key("i0.c1-2@bogus").has_value());
+  // A tagged but otherwise malformed key is still malformed.
+  EXPECT_FALSE(parse_task_key("i0.z1@prop").has_value());
+}
+
+// Result records carry a "mechanism" field for comparators only; BD lines
+// are byte-identical to the historical format.
+TEST(MechanismWire, RecordFieldsTagComparatorsOnly) {
+  game::DeviationOptimum optimum;
+  optimum.kind = DeviationKind::kMisreport;
+  optimum.vertex = 2;
+  optimum.ratio = num::Rational(1);
+  optimum.t_star = num::Rational(3);
+  optimum.utility = num::Rational(3, 2);
+  optimum.honest_utility = num::Rational(3, 2);
+
+  const std::string bd_line = format_record_fields(0, optimum);
+  EXPECT_EQ(bd_line.find("mechanism"), std::string::npos);
+  EXPECT_NE(bd_line.find("\"task\": \"i0.m2\""), std::string::npos);
+
+  optimum.mechanism = *game::mechanism_from_tag("prop");
+  const std::string prop_line = format_record_fields(0, optimum);
+  EXPECT_NE(prop_line.find("\"mechanism\": \"prop\""), std::string::npos);
+  EXPECT_NE(prop_line.find("\"task\": \"i0.m2@prop\""), std::string::npos);
+  EXPECT_EQ(json_string_field(prop_line, "mechanism"), "prop");
+}
+
+// The sweep driver's resume fold is mechanism-scoped: a checkpoint file
+// hosting BD and prop sweeps resumes each without touching the other, old
+// untagged lines resume as BD, corrupt lines stay tolerated, and a
+// resumed sweep reports the same aggregate as an uninterrupted one.
+TEST(MechanismWire, SweepResumeIsMechanismScoped) {
+  const std::vector<graph::Graph> rings = {
+      graph::make_ring({num::Rational(4), num::Rational(1), num::Rational(3),
+                        num::Rational(2)})};
+  TempPath path("mechanism_sweep_resume.jsonl");
+
+  exp::SweepDriverOptions bd_options;
+  bd_options.kinds = {DeviationKind::kSybil, DeviationKind::kMisreport,
+                      DeviationKind::kCollusion};
+  bd_options.output_path = path.str();
+  const exp::SweepDriverReport bd_first =
+      exp::run_sweep_driver(rings, bd_options);
+  EXPECT_EQ(bd_first.tasks_skipped, 0u);
+  EXPECT_GT(bd_first.tasks_run, 0u);
+
+  // A prop sweep over the same file skips nothing (the BD lines are
+  // untagged, hence not prop's)...
+  exp::SweepDriverOptions prop_options = bd_options;
+  prop_options.mechanism = *game::mechanism_from_tag("prop");
+  const exp::SweepDriverReport prop_first =
+      exp::run_sweep_driver(rings, prop_options);
+  EXPECT_EQ(prop_first.tasks_skipped, 0u);
+  EXPECT_EQ(prop_first.tasks_run, bd_first.tasks_run);
+
+  // ...and a re-run of either sweep now resumes fully from the mixed file,
+  // reproducing its own aggregate bit-identically.
+  const exp::SweepDriverReport bd_again =
+      exp::run_sweep_driver(rings, bd_options);
+  EXPECT_EQ(bd_again.tasks_run, 0u);
+  EXPECT_EQ(bd_again.tasks_skipped, bd_first.tasks_total);
+  EXPECT_EQ(bd_again.max_ratio, bd_first.max_ratio);
+  EXPECT_EQ(bd_again.argmax_kind, bd_first.argmax_kind);
+
+  const exp::SweepDriverReport prop_again =
+      exp::run_sweep_driver(rings, prop_options);
+  EXPECT_EQ(prop_again.tasks_run, 0u);
+  EXPECT_EQ(prop_again.tasks_skipped, prop_first.tasks_total);
+  EXPECT_EQ(prop_again.max_ratio, prop_first.max_ratio);
+
+  // Corrupt-line tolerance is preserved under the extended grammar: a
+  // truncated line and a line with an unknown mechanism tag are both
+  // skipped (and their tasks re-run), never fatal.
+  {
+    std::ofstream append(path.str(), std::ios::app);
+    append << "{\"task\": \"i0.v1@no_such_mech\", \"ratio\": \"2\"}\n";
+    append << "{\"task\": \"i0.m" << '\n';
+  }
+  const exp::SweepDriverReport bd_tolerant =
+      exp::run_sweep_driver(rings, bd_options);
+  EXPECT_EQ(bd_tolerant.corrupt_lines_skipped, 2u);
+  EXPECT_EQ(bd_tolerant.tasks_run, 0u);
+  EXPECT_EQ(bd_tolerant.max_ratio, bd_first.max_ratio);
+}
+
+// Checkpoint records written by a comparator sweep parse back with the
+// right mechanism, and SweepTaskRecord::key reflects the tag.
+TEST(MechanismWire, ComparatorCheckpointLinesRoundTrip) {
+  const std::vector<graph::Graph> rings = {exp::uniform_ring(5)};
+  TempPath path("mechanism_sweep_tagged_lines.jsonl");
+
+  exp::SweepDriverOptions options;
+  options.kinds = {DeviationKind::kMisreport};
+  options.mechanism = *game::mechanism_from_tag("karma");
+  options.output_path = path.str();
+  const exp::SweepDriverReport report = exp::run_sweep_driver(rings, options);
+  EXPECT_EQ(report.tasks_run, 5u);
+  // Misreport monotonicity holds for karma, so the folded max ratio is 1.
+  EXPECT_EQ(report.max_ratio, num::Rational(1));
+
+  std::ifstream in(path.str());
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const std::optional<std::string> key = json_string_field(line, "task");
+    ASSERT_TRUE(key.has_value()) << line;
+    EXPECT_NE(key->find("@karma"), std::string::npos) << line;
+    const std::optional<TaskKeyParts> parsed = parse_task_key(*key);
+    ASSERT_TRUE(parsed.has_value()) << *key;
+    EXPECT_EQ(parsed->task.mechanism, options.mechanism);
+    EXPECT_EQ(json_string_field(line, "mechanism"), "karma");
+  }
+  EXPECT_EQ(lines, 5u);
+}
+
+}  // namespace
+}  // namespace ringshare::engine

@@ -8,7 +8,8 @@
 //   {"req": 1, "task": "i0.v1"}                         Sybil query
 //   {"req": 2, "task": "i0.m3"}                         misreport query
 //   {"req": 3, "task": "i0.c0-1"}                       collusion query
-//   {"req": 4, "update": "i0.u2", "weight": "7/3"}      edit one weight
+//   {"req": 4, "task": "i0.v1@prop"}                    non-BD mechanism
+//   {"req": 5, "update": "i0.u2", "weight": "7/3"}      edit one weight
 //
 // Updates mutate a registered instance in place: the edit applies before
 // any later line is processed, so every query submitted after it is
@@ -18,7 +19,9 @@
 // "latency_us": L} occupies the update's position in the response order.
 //
 // Task keys are exactly the sweep checkpoint keys, so a checkpoint file is
-// a replayable request log. Responses carry the checkpoint record fields
+// a replayable request log. An @tag suffix selects a registered non-BD
+// mechanism (game/mechanism.hpp); untagged keys are BD, and unknown tags
+// come back as request errors. Responses carry the checkpoint record fields
 // plus req / shard / served ("solve" | "dedup" | "cache") / latency_us.
 // Malformed lines that carry no usable request id are logged to stderr and
 // skipped; failures tied to a request id come back as

@@ -16,6 +16,10 @@
 //   --max-weight=N random/exhaustive cap       (default 10)
 //   --heavy=N      heavy weight / geometric ratio (default 100)
 //   --kinds=a,b,.. comma list of sybil|misreport|collusion (default sybil)
+//   --mechanism=TAG  registered mechanism to sweep (bd|prop|karma;
+//                  default bd). Non-BD checkpoint keys carry an "@TAG"
+//                  suffix, so one file can host a sweep per mechanism and
+//                  old untagged checkpoints resume as BD.
 //   --out=PATH     JSONL checkpoint file (no file when omitted)
 //   --no-resume    re-run every task even if checkpointed
 //   --no-singleflight  solve every task separately (no canonical dedup)
@@ -90,6 +94,10 @@ int main(int argc, char** argv) {
       spec.heavy = std::strtoll(v, nullptr, 10);
     } else if (const char* v = flag_value(arg, "--kinds")) {
       options.kinds = parse_kinds(v, arg);
+    } else if (const char* v = flag_value(arg, "--mechanism")) {
+      const auto id = ringshare::game::mechanism_from_tag(v);
+      if (!id) usage_error(arg);
+      options.mechanism = *id;
     } else if (const char* v = flag_value(arg, "--out")) {
       options.output_path = v;
     } else if (std::strcmp(arg, "--no-resume") == 0) {
@@ -124,8 +132,11 @@ int main(int argc, char** argv) {
     const auto rings = spec.build();
     const ringshare::exp::SweepDriverReport report =
         ringshare::exp::run_sweep_driver(rings, options);
+    const std::string mechanism_tag(
+        ringshare::game::mechanism(options.mechanism).tag());
     std::printf("{\n");
     std::printf("  \"family\": \"%s\",\n", spec.family.c_str());
+    std::printf("  \"mechanism\": \"%s\",\n", mechanism_tag.c_str());
     std::printf("  \"instances\": %zu,\n", rings.size());
     std::printf("  \"tasks_total\": %zu,\n", report.tasks_total);
     std::printf("  \"tasks_skipped\": %zu,\n", report.tasks_skipped);
